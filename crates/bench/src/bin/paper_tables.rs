@@ -1,0 +1,64 @@
+//! Regenerates every table of the reproduction (E1–E12).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin paper_tables [--quick] [--markdown] [EXP...]
+//! ```
+//!
+//! With experiment ids (e.g. `E4 E9`) only those tables run.
+
+use bench::exp;
+use bench::Table;
+
+/// An experiment id paired with its runner.
+type Runner = (&'static str, fn(bool) -> Table);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_uppercase())
+        .collect();
+
+    let runners: Vec<Runner> = vec![
+        ("E1", exp::e01_dma_styles::run),
+        ("E2", exp::e02_offload_overlap::run),
+        ("E3", exp::e03_domain_dispatch::run),
+        ("E4", exp::e04_component_restructure::run),
+        ("E5", exp::e05_ai_offload::run),
+        ("E6", exp::e06_accessor_loop::run),
+        ("E7", exp::e07_softcache_matrix::run),
+        ("E8", exp::e08_uniform_grouping::run),
+        ("E9", exp::e09_word_addressing::run),
+        ("E10", exp::e10_duplication::run),
+        ("E11", exp::e11_race_detection::run),
+        ("E12", exp::e12_cache_crossover::run),
+        ("E13", exp::e13_code_loading::run),
+        ("E14", exp::e14_multi_accel::run),
+    ];
+
+    eprintln!(
+        "Offload reproduction — regenerating {} experiment table(s){}…",
+        if wanted.is_empty() {
+            runners.len()
+        } else {
+            wanted.len()
+        },
+        if quick { " (quick sizes)" } else { "" },
+    );
+    for (id, runner) in runners {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        let table = runner(quick);
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}

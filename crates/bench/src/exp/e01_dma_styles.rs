@@ -1,0 +1,131 @@
+//! E1 — Figure 1: explicit DMA styles for collision-pair response.
+//!
+//! The paper's Figure 1 issues the two entity gets under one tag and
+//! waits once, so "the two game entities are fetched in parallel". This
+//! experiment measures the collision-pair response workload under four
+//! execution styles and reports accelerator cycles per pair.
+
+use gamekit::{
+    respond_pairs_blocking, respond_pairs_host, respond_pairs_streamed, respond_pairs_tagged,
+    CollisionPair, EntityArray, WorldGen,
+};
+use memspace::Addr;
+use simcell::{AccelCtx, Machine, MachineConfig, SimError};
+
+use crate::table::{cycles, speedup, Table};
+
+const ENTITIES: u32 = 1024;
+
+struct Rig {
+    machine: Machine,
+    entities: EntityArray,
+    pairs_addr: Addr,
+}
+
+fn rig(pair_count: u32) -> Rig {
+    let mut machine = Machine::new(MachineConfig::small()).expect("machine config is valid");
+    let entities = EntityArray::alloc(&mut machine, ENTITIES).expect("fits main memory");
+    let mut gen = WorldGen::new(0xE1);
+    gen.populate(&mut machine, &entities, 80.0).expect("fits");
+    let pairs_addr = gen
+        .collision_pairs(&mut machine, ENTITIES, pair_count)
+        .expect("fits");
+    Rig {
+        machine,
+        entities,
+        pairs_addr,
+    }
+}
+
+fn accel_style(
+    style: fn(&mut AccelCtx<'_>, &EntityArray, Addr, u32) -> Result<(), SimError>,
+    pair_count: u32,
+) -> u64 {
+    let mut r = rig(pair_count);
+    let entities = r.entities;
+    let pairs_addr = r.pairs_addr;
+    let handle = r
+        .machine
+        .offload(0, move |ctx| style(ctx, &entities, pairs_addr, pair_count))
+        .expect("accel 0 exists");
+    let elapsed = handle.elapsed();
+    r.machine.join(handle).expect("style succeeds");
+    assert_eq!(r.machine.races_detected(), 0, "styles must be race-free");
+    elapsed
+}
+
+fn host_style(pair_count: u32) -> u64 {
+    let mut r = rig(pair_count);
+    let flat = r
+        .machine
+        .main()
+        .read_pod_slice::<u32>(r.pairs_addr, pair_count * 2)
+        .expect("pairs readable");
+    let pairs: Vec<CollisionPair> = flat
+        .chunks(2)
+        .map(|c| CollisionPair {
+            first: c[0],
+            second: c[1],
+        })
+        .collect();
+    let t0 = r.machine.host_now();
+    respond_pairs_host(&mut r.machine, &r.entities, &pairs).expect("host style succeeds");
+    r.machine.host_now() - t0
+}
+
+/// Runs E1.
+pub fn run(quick: bool) -> Table {
+    let sweeps: &[u32] = if quick { &[256] } else { &[256, 1024, 4096] };
+    let mut table = Table::new(
+        "E1",
+        "DMA styles for collision-pair response (Figure 1)",
+        "tagged non-blocking DMA fetches both entities of a pair in parallel; correct \
+         synchronisation is essential (paper Fig. 1, Sec. 2)",
+        vec![
+            "pairs",
+            "host",
+            "blocking",
+            "tagged (Fig.1)",
+            "pipelined",
+            "tagged vs blocking",
+            "pipelined vs blocking",
+        ],
+    );
+    for &pairs in sweeps {
+        let host = host_style(pairs);
+        let blocking = accel_style(respond_pairs_blocking, pairs);
+        let tagged = accel_style(respond_pairs_tagged, pairs);
+        let streamed = accel_style(respond_pairs_streamed, pairs);
+        table.push_row(vec![
+            pairs.to_string(),
+            cycles(host),
+            cycles(blocking),
+            cycles(tagged),
+            cycles(streamed),
+            speedup(blocking, tagged),
+            speedup(blocking, streamed),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_tagging_beats_blocking_and_pipelining_beats_tagging() {
+        let blocking = accel_style(respond_pairs_blocking, 256);
+        let tagged = accel_style(respond_pairs_tagged, 256);
+        let streamed = accel_style(respond_pairs_streamed, 256);
+        assert!(tagged < blocking);
+        assert!(streamed < tagged);
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.columns.len(), 7);
+    }
+}

@@ -1,0 +1,84 @@
+//! E2 — Figure 2: the offloaded frame loop.
+//!
+//! `doFrame` offloads AI strategy to the accelerator while the host
+//! detects collisions, joining before the world update. This experiment
+//! compares the sequential and offloaded schedules per frame.
+
+use gamekit::{run_frame, AiConfig, EntityArray, FrameSchedule, WorldGen};
+use memspace::Addr;
+use simcell::{Machine, MachineConfig};
+
+use crate::table::{cycles, speedup, Table};
+
+fn setup(n: u32) -> (Machine, EntityArray, Addr) {
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    let mut gen = WorldGen::new(0xE2);
+    gen.populate(&mut machine, &entities, 60.0).expect("fits");
+    let table = gen
+        .candidate_table(&mut machine, n, AiConfig::default().candidates)
+        .expect("fits");
+    (machine, entities, table)
+}
+
+fn frame_cycles(n: u32, schedule_offloaded: bool) -> (u64, u32) {
+    let (mut machine, entities, table) = setup(n);
+    let schedule = if schedule_offloaded {
+        FrameSchedule::Offloaded { accel: 0 }
+    } else {
+        FrameSchedule::Sequential
+    };
+    let stats = run_frame(
+        &mut machine,
+        &entities,
+        table,
+        &AiConfig::default(),
+        schedule,
+    )
+    .expect("frame runs");
+    (stats.host_cycles, stats.pairs)
+}
+
+/// Runs E2.
+pub fn run(quick: bool) -> Table {
+    let sweeps: &[u32] = if quick { &[256] } else { &[256, 512, 1024, 2048] };
+    let mut table = Table::new(
+        "E2",
+        "Frame schedule: sequential vs offloaded AI (Figure 2)",
+        "the offload block runs calculateStrategy on the accelerator in parallel with host \
+         detectCollisions (paper Fig. 2, Sec. 3)",
+        vec!["entities", "pairs", "sequential frame", "offloaded frame", "speedup"],
+    );
+    for &n in sweeps {
+        let (seq, pairs_a) = frame_cycles(n, false);
+        let (offl, pairs_b) = frame_cycles(n, true);
+        assert_eq!(pairs_a, pairs_b, "schedules find identical collisions");
+        table.push_row(vec![
+            n.to_string(),
+            pairs_a.to_string(),
+            cycles(seq),
+            cycles(offl),
+            speedup(seq, offl),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_offloading_speeds_frames_up() {
+        let (seq, _) = frame_cycles(512, false);
+        let (offl, _) = frame_cycles(512, true);
+        assert!(offl < seq, "offloaded {offl} vs sequential {seq}");
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.columns.len(), 5);
+    }
+}

@@ -1,0 +1,86 @@
+//! E5 — §4.1: offloading the AI task.
+//!
+//! "It took 1 developer 2 months to offload the very complex existing
+//! AI code of a AAA game to SPU, with ~200 lines of additional code
+//! resulting in a ~50% performance increase." The port's *code* delta
+//! here is exactly the accessor plumbing in
+//! [`gamekit::ai_frame_offloaded`]; this experiment measures the
+//! performance delta.
+
+use gamekit::{ai_frame_host, ai_frame_offloaded, AiConfig, EntityArray, WorldGen};
+use memspace::Addr;
+use simcell::{Machine, MachineConfig};
+
+use crate::table::{cycles, speedup, Table};
+
+fn setup(n: u32) -> (Machine, EntityArray, Addr) {
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    let mut gen = WorldGen::new(0xE5);
+    gen.populate(&mut machine, &entities, 70.0).expect("fits");
+    let table = gen
+        .candidate_table(&mut machine, n, AiConfig::default().candidates)
+        .expect("fits");
+    (machine, entities, table)
+}
+
+/// `(host cycles, offloaded cycles)` for one AI frame over `n` entities.
+pub fn measure(n: u32) -> (u64, u64) {
+    let config = AiConfig::default();
+    let (mut m1, e1, t1) = setup(n);
+    let t0 = m1.host_now();
+    ai_frame_host(&mut m1, &e1, t1, &config).expect("host AI runs");
+    let host = m1.host_now() - t0;
+
+    let (mut m2, e2, t2) = setup(n);
+    let handle = m2
+        .offload(0, |ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
+        .expect("accel 0 exists");
+    let offloaded = handle.elapsed();
+    m2.join(handle).expect("offloaded AI runs");
+    (host, offloaded)
+}
+
+/// Runs E5.
+pub fn run(quick: bool) -> Table {
+    let sweeps: &[u32] = if quick { &[256] } else { &[256, 512, 1024, 2048] };
+    let mut table = Table::new(
+        "E5",
+        "Offloading the AI strategy task (Sec. 4.1)",
+        "porting complex AI to the accelerator with accessor-based data movement gave a ~50% \
+         performance increase for ~200 additional lines (paper Sec. 4.1)",
+        vec!["entities", "host AI (cyc)", "offloaded AI (cyc)", "speedup"],
+    );
+    for &n in sweeps {
+        let (host, offloaded) = measure(n);
+        table.push_row(vec![
+            n.to_string(),
+            cycles(host),
+            cycles(offloaded),
+            speedup(host, offloaded),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_speedup_is_in_the_papers_ballpark() {
+        let (host, offloaded) = measure(1024);
+        let s = host as f64 / offloaded as f64;
+        assert!(
+            (1.2..4.0).contains(&s),
+            "paper reports ~1.5x; measured {s:.2}x"
+        );
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.columns.len(), 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! E8 — §4.1: uniform-type grouping enables prefetch + double
+//! buffering.
+//!
+//! "Processing objects in groups of uniform type permits prefetching
+//! and double buffered transfers, for further performance increases."
+//! Three schedules over the same per-entity update: per-object
+//! synchronous access (what mixed types force), single-buffered chunks,
+//! and double-buffered streaming.
+
+use gamekit::{EntityArray, GameEntity, WorldGen};
+use offload_rt::{process_chunked, process_stream, StreamConfig};
+use simcell::{Machine, MachineConfig, SimError};
+
+use crate::table::{cycles, speedup, Table};
+
+/// Compute per entity update.
+const UPDATE_COMPUTE: u64 = 80;
+
+fn update(e: &mut GameEntity) {
+    e.pos = e.pos.add(e.vel.scale(1.0 / 60.0));
+    e.vel = e.vel.scale(0.998);
+}
+
+fn setup(n: u32) -> (Machine, EntityArray) {
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    WorldGen::new(0xE8)
+        .populate(&mut machine, &entities, 50.0)
+        .expect("fits");
+    (machine, entities)
+}
+
+/// `(per-object, chunked, double-buffered)` accelerator cycles.
+pub fn measure(n: u32) -> (u64, u64, u64) {
+    let per_object = {
+        let (mut machine, entities) = setup(n);
+        let handle = machine
+            .offload(0, |ctx| -> Result<(), SimError> {
+                for i in 0..n {
+                    let addr = entities.addr_of(i)?;
+                    let mut e: GameEntity = ctx.outer_read_pod(addr)?;
+                    update(&mut e);
+                    ctx.compute(UPDATE_COMPUTE);
+                    ctx.outer_write_pod(addr, &e)?;
+                }
+                Ok(())
+            })
+            .expect("accel 0 exists");
+        let t = handle.elapsed();
+        machine.join(handle).expect("runs");
+        t
+    };
+    let config = StreamConfig {
+        chunk_elems: 64,
+        write_back: true,
+    };
+    let worker = |ctx: &mut simcell::AccelCtx<'_>, _: u32, chunk: &mut [GameEntity]| {
+        for e in chunk.iter_mut() {
+            update(e);
+        }
+        ctx.compute(UPDATE_COMPUTE * chunk.len() as u64);
+        Ok(())
+    };
+    let chunked = {
+        let (mut machine, entities) = setup(n);
+        let handle = machine
+            .offload(0, |ctx| {
+                process_chunked::<GameEntity, _>(ctx, entities.base(), n, config, worker)
+            })
+            .expect("accel 0 exists");
+        let t = handle.elapsed();
+        machine.join(handle).expect("runs");
+        t
+    };
+    let streamed = {
+        let (mut machine, entities) = setup(n);
+        let handle = machine
+            .offload(0, |ctx| {
+                process_stream::<GameEntity, _>(ctx, entities.base(), n, config, worker)
+            })
+            .expect("accel 0 exists");
+        let t = handle.elapsed();
+        machine.join(handle).expect("runs");
+        assert_eq!(machine.races_detected(), 0);
+        t
+    };
+    (per_object, chunked, streamed)
+}
+
+/// Runs E8.
+pub fn run(quick: bool) -> Table {
+    let sweeps: &[u32] = if quick { &[256] } else { &[256, 1024, 4096] };
+    let mut table = Table::new(
+        "E8",
+        "Uniform-type grouping, prefetch and double buffering (Sec. 4.1)",
+        "uniform type ⇒ known size ⇒ bulk prefetch and double-buffered transfers; mixed types \
+         force per-object synchronous access (paper Sec. 4.1)",
+        vec![
+            "entities",
+            "per-object (mixed)",
+            "chunked (grouped)",
+            "double-buffered",
+            "group vs mixed",
+            "double-buffer bonus",
+        ],
+    );
+    for &n in sweeps {
+        let (object, chunked, streamed) = measure(n);
+        table.push_row(vec![
+            n.to_string(),
+            cycles(object),
+            cycles(chunked),
+            cycles(streamed),
+            speedup(object, chunked),
+            speedup(chunked, streamed),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_grouping_then_double_buffering_each_win() {
+        let (object, chunked, streamed) = measure(1024);
+        assert!(chunked < object / 2, "bulk chunks win big: {chunked} vs {object}");
+        assert!(streamed < chunked, "double buffering adds more: {streamed} vs {chunked}");
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.columns.len(), 6);
+    }
+}

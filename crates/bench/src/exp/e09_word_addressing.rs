@@ -1,0 +1,208 @@
+//! E9 — §5: indexed (word) addressing.
+//!
+//! The hybrid pointer discipline compiles constant sub-word offsets
+//! efficiently and *statically rejects* variable byte pointers; the
+//! byte-emulation alternative accepts everything but pays shifts and
+//! masks on every dereference. This experiment reproduces both halves:
+//! the accept/reject table and the emulation tax.
+
+use offload_lang::{compile, ErrorKind, Target, Vm, WordStrategy};
+use simcell::{Machine, MachineConfig};
+
+use crate::table::{cycles, speedup, Table};
+
+/// The compile-corpus: `(name, source, hybrid verdict)`.
+pub fn corpus() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        (
+            "struct char fields (p.a = p.b)",
+            r#"
+            struct T { a: char; b: char; c: char; d: char; }
+            var t: T;
+            fn main() -> int {
+                t.b = 42;
+                let p: T* = &t;
+                p.a = p.b;
+                return t.a;
+            }
+            "#,
+            true,
+        ),
+        (
+            "word-stride array loop",
+            r#"
+            var a: [int; 32];
+            fn main() -> int {
+                let i: int = 0;
+                while i < 32 { a[i] = i; i = i + 1; }
+                return a[31];
+            }
+            "#,
+            true,
+        ),
+        (
+            "char* q = p + 4 (whole word)",
+            r#"
+            var s: [char; 16];
+            fn main() -> int {
+                let p: char* = &s[0];
+                let q: char* = p + 4;
+                *q = 7;
+                return s[4];
+            }
+            "#,
+            true,
+        ),
+        (
+            "char byte* q = p + 1",
+            r#"
+            var s: [char; 16];
+            fn main() -> int {
+                let p: char* = &s[0];
+                let q: char byte* = p + 1;
+                *q = 9;
+                return s[1];
+            }
+            "#,
+            true,
+        ),
+        (
+            "char* q = p + 1",
+            r#"
+            var s: [char; 16];
+            fn main() -> int {
+                let p: char* = &s[0];
+                let q: char* = p + 1;
+                return 0;
+            }
+            "#,
+            false,
+        ),
+        (
+            "string store loop (s[i] = c)",
+            r#"
+            var s: [char; 32];
+            fn main() -> int {
+                let i: int = 0;
+                while i < 32 { s[i] = 65; i = i + 1; }
+                return s[31];
+            }
+            "#,
+            false,
+        ),
+        (
+            "p + variable (char stride)",
+            r#"
+            var s: [char; 32];
+            fn main() -> int {
+                let x: int = 3;
+                let p: char* = &s[0];
+                let q: char byte* = p + x;
+                return 0;
+            }
+            "#,
+            false,
+        ),
+    ]
+}
+
+/// The runnable timing program (word-legal under byte emulation).
+const TIMING: &str = r#"
+    var s: [char; 128];
+    var sum: int;
+    fn main() -> int {
+        let i: int = 0;
+        while i < 128 {
+            s[i] = i;
+            i = i + 1;
+        }
+        i = 0;
+        while i < 128 {
+            sum = sum + s[i];
+            i = i + 1;
+        }
+        return sum;
+    }
+"#;
+
+fn timed(target: &Target) -> u64 {
+    let program = compile(TIMING, target).expect("timing program compiles");
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let mut vm = Vm::new(&program, &mut machine).expect("fits");
+    let exit = vm.run(&mut machine).expect("runs");
+    assert_eq!(exit, 8128);
+    machine.host_now()
+}
+
+/// `(byte-native cycles, byte-emulated-on-word-target cycles)`.
+pub fn emulation_tax() -> (u64, u64) {
+    let native = timed(&Target::cell_like());
+    let emulated = timed(&Target::word_addressed(4).with_strategy(WordStrategy::ByteEmulate));
+    (native, emulated)
+}
+
+/// Runs E9.
+pub fn run(_quick: bool) -> Table {
+    let target = Target::word_addressed(4);
+    let mut table = Table::new(
+        "E9",
+        "Word addressing: the hybrid pointer discipline (Sec. 5)",
+        "constant sub-word offsets compile efficiently; variable byte-pointers are a static \
+         error; full byte emulation costs shifts/masks per dereference (paper Sec. 5)",
+        vec!["program", "hybrid verdict", "expected", "error class"],
+    );
+    for (name, source, expect_ok) in corpus() {
+        let result = compile(source, &target);
+        let (verdict, class) = match &result {
+            Ok(_) => ("accepted".to_string(), "-".to_string()),
+            Err(e) => ("rejected".to_string(), format!("{:?}", e.kind)),
+        };
+        assert_eq!(result.is_ok(), expect_ok, "verdict flipped for {name}");
+        if let Err(e) = &result {
+            assert_eq!(e.kind, ErrorKind::WordAddressing, "wrong class for {name}");
+        }
+        table.push_row(vec![
+            name.to_string(),
+            verdict,
+            if expect_ok { "accepted" } else { "rejected" }.to_string(),
+            class,
+        ]);
+    }
+    let (native, emulated) = emulation_tax();
+    table.push_row(vec![
+        "char-sum loop, byte-native vs byte-emulated".to_string(),
+        format!("{} vs {} cycles", cycles(native), cycles(emulated)),
+        "emulation pays".to_string(),
+        format!("tax {}", speedup(emulated, native)),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_hybrid_verdicts_match_the_paper() {
+        let target = Target::word_addressed(4);
+        for (name, source, expect_ok) in corpus() {
+            assert_eq!(
+                compile(source, &target).is_ok(),
+                expect_ok,
+                "verdict for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_byte_emulation_is_slower() {
+        let (native, emulated) = emulation_tax();
+        assert!(emulated > native);
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), corpus().len() + 1);
+    }
+}

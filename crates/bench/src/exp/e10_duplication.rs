@@ -1,0 +1,127 @@
+//! E10 — §3: automatic call-graph duplication.
+//!
+//! Offload C++ compiles every function reachable from an offload block
+//! once per combination of pointer-parameter memory spaces actually
+//! used. This experiment compiles programs whose call sites exercise
+//! all `2^k` combinations of `k` pointer parameters and reports the
+//! duplicate counts the compiler produced.
+
+use offload_lang::{compile, Target};
+
+use crate::table::Table;
+
+/// Source whose function `f` takes `k` pointer parameters and is called
+/// with every local/outer combination from inside an offload block.
+fn source_for(k: usize) -> String {
+    let params: Vec<String> = (0..k).map(|i| format!("p{i}: int*")).collect();
+    let sum: Vec<String> = (0..k).map(|i| format!("*p{i}")).collect();
+    let mut calls = String::new();
+    for combo in 0..(1u32 << k) {
+        let args: Vec<String> = (0..k)
+            .map(|i| {
+                if combo & (1 << i) != 0 {
+                    format!("&g{i}")
+                } else {
+                    format!("&l{i}")
+                }
+            })
+            .collect();
+        calls.push_str(&format!("        sink = sink + f({});\n", args.join(", ")));
+    }
+    let globals: String = (0..k).map(|i| format!("var g{i}: int;\n")).collect();
+    let locals: String = (0..k)
+        .map(|i| format!("        let l{i}: int = {i};\n"))
+        .collect();
+    format!(
+        r#"
+{globals}var sink: int;
+fn f({params}) -> int {{ return {sum}; }}
+fn main() -> int {{
+    offload {{
+{locals}{calls}    }}
+    return sink;
+}}
+"#,
+        params = params.join(", "),
+        sum = if k == 0 { "0".to_string() } else { sum.join(" + ") },
+    )
+}
+
+/// `(duplicates compiled for f, call-site combinations)` for `k`
+/// pointer parameters.
+pub fn measure(k: usize) -> (usize, usize) {
+    let source = source_for(k);
+    let program = compile(&source, &Target::cell_like()).expect("generated program compiles");
+    let duplicates = program.stats.duplicates.get("f").copied().unwrap_or(0);
+    // The host variant is compiled eagerly too, on top of the offload
+    // duplicates.
+    (duplicates, 1 << k)
+}
+
+/// Runs E10.
+pub fn run(quick: bool) -> Table {
+    let ks: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3, 4] };
+    let mut table = Table::new(
+        "E10",
+        "Automatic function duplication per memory-space signature (Sec. 3)",
+        "distinct combinations of memory spaces in arguments require distinct duplicates, \
+         compiled on demand via call-graph duplication (paper Sec. 3, Fig. 3)",
+        vec![
+            "pointer params k",
+            "space combinations 2^k",
+            "offload duplicates",
+            "host variant",
+            "total variants of f",
+        ],
+    );
+    for &k in ks {
+        let (duplicates, combos) = measure(k);
+        table.push_row(vec![
+            k.to_string(),
+            combos.to_string(),
+            (duplicates - 1).to_string(),
+            "1".to_string(),
+            duplicates.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_duplicates_grow_as_two_to_the_k() {
+        for k in 1..=4 {
+            let (duplicates, combos) = measure(k);
+            assert_eq!(
+                duplicates,
+                combos + 1,
+                "2^{k} offload duplicates + 1 host variant"
+            );
+        }
+    }
+
+    #[test]
+    fn single_combination_compiles_single_duplicate() {
+        // Selective compilation: only the signature actually used.
+        let source = r#"
+            var g: int;
+            fn f(p: int*) -> int { return *p; }
+            fn main() -> int {
+                offload { g = f(&g); }
+                return g;
+            }
+        "#;
+        let program = compile(source, &Target::cell_like()).unwrap();
+        // Host variant + one offload duplicate (outer pointer only).
+        assert_eq!(program.stats.duplicates.get("f"), Some(&2));
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! E12 — §4.2: software-cache lookup overhead vs repeated transfers.
+//!
+//! "Software cache lookup introduces some overhead, but this is
+//! typically outweighed by the performance increase from avoiding
+//! performing repeated accesses to data via inter-memory transfers."
+//! This experiment sweeps the *reuse factor* — how many times each
+//! datum is touched — and locates the crossover where the cache starts
+//! winning. With no reuse and no spatial locality the cache is pure
+//! overhead; with any repetition it wins rapidly.
+
+use simcell::{Machine, MachineConfig, SimError};
+use softcache::CacheConfig;
+
+use crate::table::{cycles, speedup, Table};
+
+/// One access per cache line (128-byte stride, matching the 4-way
+/// cache's line size): no spatial locality, so the first pass gains
+/// nothing from fetching whole lines.
+const STRIDE: u32 = 128;
+/// Lines touched (exactly fills the 16 KiB cache).
+const LINES: u32 = 128;
+
+/// `(naive cycles, cached cycles)` for `reuse` passes over the set.
+pub fn measure(reuse: u32) -> (u64, u64) {
+    let run = |cached: bool| -> u64 {
+        let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+        let data = machine.alloc_main(LINES * STRIDE, 16).expect("fits");
+        let handle = machine
+            .offload(0, |ctx| -> Result<(), SimError> {
+                let mut cache = if cached {
+                    Some(ctx.new_cache(CacheConfig::four_way_16k())?)
+                } else {
+                    None
+                };
+                let mut buf = [0u8; 16];
+                for _ in 0..reuse {
+                    for line in 0..LINES {
+                        let addr = data.offset_by(line * STRIDE)?;
+                        match &mut cache {
+                            Some(c) => ctx.cached_read_bytes(c, addr, &mut buf)?,
+                            None => ctx.outer_read_bytes(addr, &mut buf)?,
+                        }
+                        ctx.compute(8);
+                    }
+                }
+                Ok(())
+            })
+            .expect("accel 0 exists");
+        let elapsed = handle.elapsed();
+        machine.join(handle).expect("runs");
+        elapsed
+    };
+    (run(false), run(true))
+}
+
+/// Runs E12.
+pub fn run(quick: bool) -> Table {
+    let reuses: &[u32] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let mut table = Table::new(
+        "E12",
+        "Cache lookup overhead vs repeated inter-memory transfers (Sec. 4.2)",
+        "cache lookup overhead is typically outweighed by avoided repeated transfers \
+         (paper Sec. 4.2); with zero reuse and no spatial locality, it is not",
+        vec!["reuse factor", "naive", "cached", "cached vs naive", "winner"],
+    );
+    for &reuse in reuses {
+        let (naive, cached) = measure(reuse);
+        table.push_row(vec![
+            reuse.to_string(),
+            cycles(naive),
+            cycles(cached),
+            speedup(naive, cached),
+            if cached < naive { "cache" } else { "naive" }.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_crossover_exists() {
+        let (naive1, cached1) = measure(1);
+        let (naive8, cached8) = measure(8);
+        assert!(
+            cached1 >= naive1,
+            "no reuse: the cache is pure overhead ({cached1} vs {naive1})"
+        );
+        assert!(
+            cached8 * 2 < naive8,
+            "with reuse the cache wins big ({cached8} vs {naive8})"
+        );
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! E13 (extension) — §4.1's suggested elaboration: on-demand code
+//! loading for dispatch-domain misses.
+//!
+//! The paper: "Elaborations on this technique could implement
+//! alternative behaviours, such as on-demand code loading for functions
+//! not present in local memory." This ablation measures what that
+//! buys: full pre-annotation (every method pre-compiled, maximum
+//! local-store footprint, zero misses) against a fixed code-arena
+//! budget with LRU loading, across call patterns with different
+//! locality.
+
+use offload_rt::{
+    accel_virtual_dispatch, dispatch_with_loading, ClassRegistry, CodeLoader, Domain, DuplicateId,
+    FnAddr, MethodSlot, DEFAULT_CODE_SIZE,
+};
+use memspace::Addr;
+use simcell::{Machine, MachineConfig, SimError};
+
+use crate::table::{cycles, Table};
+
+/// Calls performed per configuration.
+const CALLS: u32 = 512;
+
+struct Rig {
+    registry: ClassRegistry,
+    /// Fully annotated domain (the preload configuration).
+    full_domain: Domain,
+    class_ids: Vec<u32>,
+    globals: Vec<FnAddr>,
+}
+
+fn rig(methods: u32) -> Rig {
+    let mut registry = ClassRegistry::new();
+    let mut full_domain = Domain::new();
+    let mut class_ids = Vec::new();
+    let mut globals = Vec::new();
+    for i in 0..methods {
+        let global = registry.fresh_fn(format!("C{i}::update"));
+        let local = registry.fresh_fn(format!("C{i}::update [spu]"));
+        let class = registry.register_class(format!("C{i}"), None);
+        registry.define_method(class, MethodSlot(0), global);
+        full_domain.add(global, &[(DuplicateId(1), local)]);
+        class_ids.push(class.0);
+        globals.push(global);
+    }
+    Rig {
+        registry,
+        full_domain,
+        class_ids,
+        globals,
+    }
+}
+
+/// The sequence of method indices called, per pattern.
+fn call_sequence(pattern: &str, methods: u32) -> Vec<u32> {
+    match pattern {
+        // Worst case for any finite budget: uniform rotation.
+        "round-robin" => (0..CALLS).map(|i| i % methods).collect(),
+        // Good locality: 90% of calls hit a 4-method hot set.
+        "hot-set" => {
+            let mut state = 0xC0DEu64;
+            (0..CALLS)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let r = (state >> 33) as u32;
+                    if i % 10 != 0 {
+                        r % 4.min(methods)
+                    } else {
+                        r % methods
+                    }
+                })
+                .collect()
+        }
+        other => unreachable!("unknown pattern {other}"),
+    }
+}
+
+/// Cycles per call (and loads) for one configuration.
+///
+/// `budget_methods == None` means the preload configuration: every
+/// method annotated in the domain, no loader.
+pub fn measure(methods: u32, pattern: &str, budget_methods: Option<u32>) -> (u64, u64) {
+    let r = rig(methods);
+    let sequence = call_sequence(pattern, methods);
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let image = CodeLoader::alloc_image(&mut machine, 64 * 1024).expect("fits");
+    // One object per class, in main memory.
+    let objs: Vec<Addr> = r
+        .class_ids
+        .iter()
+        .map(|&cid| {
+            let obj = machine.alloc_main(64, 16).expect("fits");
+            machine.main_mut().write_pod(obj, &cid).expect("fits");
+            obj
+        })
+        .collect();
+
+    let handle = machine
+        .offload(0, |ctx| -> Result<(u64, u64), SimError> {
+            let t0 = ctx.now();
+            let mut loads = 0u64;
+            match budget_methods {
+                None => {
+                    for &m in &sequence {
+                        accel_virtual_dispatch(
+                            ctx,
+                            &r.registry,
+                            &r.full_domain,
+                            objs[m as usize],
+                            MethodSlot(0),
+                            DuplicateId(1),
+                        )
+                        .map_err(|e| SimError::BadConfig {
+                            reason: e.to_string(),
+                        })?;
+                    }
+                }
+                Some(budget) => {
+                    let empty = Domain::new();
+                    let mut loader =
+                        CodeLoader::new(ctx, budget * DEFAULT_CODE_SIZE, image)?;
+                    for &m in &sequence {
+                        dispatch_with_loading(
+                            ctx,
+                            &r.registry,
+                            &empty,
+                            &mut loader,
+                            objs[m as usize],
+                            MethodSlot(0),
+                            DuplicateId(1),
+                            DEFAULT_CODE_SIZE,
+                        )
+                        .map_err(|e| SimError::BadConfig {
+                            reason: e.to_string(),
+                        })?;
+                    }
+                    loads = loader.stats().loads;
+                }
+            }
+            Ok(((ctx.now() - t0) / u64::from(CALLS), loads))
+        })
+        .expect("accel 0 exists");
+    let result = machine.join(handle).expect("dispatch runs");
+    let _ = r.globals;
+    result
+}
+
+/// Runs E13.
+pub fn run(quick: bool) -> Table {
+    let method_counts: &[u32] = if quick { &[16] } else { &[16, 64, 128] };
+    let mut table = Table::new(
+        "E13",
+        "Extension: on-demand code loading vs full pre-annotation (Sec. 4.1)",
+        "the paper suggests on-demand code loading as an alternative to the domain-miss \
+         exception; a small code arena serves large method working sets when calls have \
+         locality, and thrashes without it (paper Sec. 4.1, 'elaborations')",
+        vec![
+            "methods",
+            "pattern",
+            "preload (cyc/call)",
+            "budget 4 (cyc/call, loads)",
+            "budget 16 (cyc/call, loads)",
+            "preload LS footprint",
+            "budget-16 LS footprint",
+        ],
+    );
+    for &methods in method_counts {
+        for pattern in ["round-robin", "hot-set"] {
+            let (preload, _) = measure(methods, pattern, None);
+            let (b4, l4) = measure(methods, pattern, Some(4));
+            let (b16, l16) = measure(methods, pattern, Some(16));
+            table.push_row(vec![
+                methods.to_string(),
+                pattern.to_string(),
+                cycles(preload),
+                format!("{} ({l4})", cycles(b4)),
+                format!("{} ({l16})", cycles(b16)),
+                format!("{} KiB", methods * DEFAULT_CODE_SIZE / 1024),
+                format!("{} KiB", 16 * DEFAULT_CODE_SIZE / 1024),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_locality_decides_whether_loading_pays() {
+        // Hot-set pattern: a 16-method budget behaves nearly like full
+        // preload even with 128 methods.
+        let (preload, _) = measure(128, "hot-set", None);
+        let (budget, loads) = measure(128, "hot-set", Some(16));
+        assert!(
+            budget < preload * 3,
+            "loading stays competitive under locality: {budget} vs {preload}"
+        );
+        assert!(loads < 128, "most calls hit resident code ({loads} loads)");
+
+        // Round-robin with methods >> budget thrashes.
+        let (_, thrash_loads) = measure(128, "round-robin", Some(4));
+        assert_eq!(thrash_loads, u64::from(CALLS), "every call reloads");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the point is the numeric relation
+    fn shape_budget_bounds_the_footprint_preload_does_not() {
+        // That is the point of the elaboration: 128 methods would need
+        // 256 KiB pre-loaded (the whole local store); the arena fixes it.
+        assert!(128 * DEFAULT_CODE_SIZE >= memspace::LOCAL_STORE_SIZE);
+        assert!(16 * DEFAULT_CODE_SIZE < memspace::LOCAL_STORE_SIZE / 4);
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.columns.len(), 7);
+    }
+}

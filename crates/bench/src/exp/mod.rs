@@ -1,0 +1,39 @@
+//! The experiments, one module per table/figure (see DESIGN.md §3).
+
+pub mod e01_dma_styles;
+pub mod e02_offload_overlap;
+pub mod e03_domain_dispatch;
+pub mod e04_component_restructure;
+pub mod e05_ai_offload;
+pub mod e06_accessor_loop;
+pub mod e07_softcache_matrix;
+pub mod e08_uniform_grouping;
+pub mod e09_word_addressing;
+pub mod e10_duplication;
+pub mod e11_race_detection;
+pub mod e12_cache_crossover;
+pub mod e13_code_loading;
+pub mod e14_multi_accel;
+
+use crate::table::Table;
+
+/// Runs every experiment. `quick` shrinks workload sizes (used by the
+/// test suite); the `paper_tables` binary runs full sizes.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    vec![
+        e01_dma_styles::run(quick),
+        e02_offload_overlap::run(quick),
+        e03_domain_dispatch::run(quick),
+        e04_component_restructure::run(quick),
+        e05_ai_offload::run(quick),
+        e06_accessor_loop::run(quick),
+        e07_softcache_matrix::run(quick),
+        e08_uniform_grouping::run(quick),
+        e09_word_addressing::run(quick),
+        e10_duplication::run(quick),
+        e11_race_detection::run(quick),
+        e12_cache_crossover::run(quick),
+        e13_code_loading::run(quick),
+        e14_multi_accel::run(quick),
+    ]
+}

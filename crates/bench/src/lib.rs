@@ -1,0 +1,19 @@
+//! The experiment harness of the Offload reproduction.
+//!
+//! Every quantitative or mechanistic claim in the paper maps to one
+//! experiment here (DESIGN.md §3 has the full index); each experiment
+//! builds its workload on the simulated machine, runs every compared
+//! configuration, and emits a [`Table`] whose *shape* — who wins, by
+//! roughly what factor, where crossovers fall — is what the
+//! reproduction checks against the paper's text. Absolute cycle counts
+//! depend on the cost model and are not the claim.
+//!
+//! Run `cargo run -p bench --bin paper_tables` for the full tables (add
+//! `--markdown` for EXPERIMENTS.md-ready output), or `cargo bench` for
+//! the Criterion wall-time benchmarks of the underlying kernels.
+
+pub mod exp;
+pub mod table;
+
+pub use exp::run_all;
+pub use table::Table;

@@ -1,0 +1,154 @@
+//! Result tables, printed the way the paper's evaluation would report
+//! them.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper claim this table checks, quoted or paraphrased.
+    pub claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        claim: impl Into<String>,
+        columns: Vec<&str>,
+    ) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            columns: columns.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}: {}\n\n*{}*\n\n", self.id, self.title, self.claim);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        writeln!(f, "   claim: {}", self.claim)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "   {}", header.join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            writeln!(f, "   {}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a cycle count with thousands separators.
+pub fn cycles(value: u64) -> String {
+    let digits: Vec<char> = value.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, d) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*d);
+    }
+    out.chars().rev().collect()
+}
+
+/// Formats a speedup factor.
+pub fn speedup(base: u64, other: u64) -> String {
+    if other == 0 {
+        return "inf".to_string();
+    }
+    format!("{:.2}x", base as f64 / other as f64)
+}
+
+/// Formats a rate in percent.
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_align() {
+        let mut t = Table::new("E0", "demo", "a claim", vec!["n", "cycles"]);
+        t.push_row(vec!["1".into(), "10".into()]);
+        t.push_row(vec!["100".into(), "12345".into()]);
+        let text = t.to_string();
+        assert!(text.contains("E0: demo"));
+        assert!(text.contains("a claim"));
+        let md = t.to_markdown();
+        assert!(md.contains("| n | cycles |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("E0", "demo", "", vec!["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(cycles(1234567), "1,234,567");
+        assert_eq!(cycles(12), "12");
+        assert_eq!(speedup(200, 100), "2.00x");
+        assert_eq!(speedup(1, 0), "inf");
+        assert_eq!(percent(0.375), "37.5%");
+    }
+}

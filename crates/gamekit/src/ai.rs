@@ -1,0 +1,413 @@
+//! The offloadable AI strategy task (paper §4.1, Figure 2).
+//!
+//! "It took 1 developer 2 months to offload the very complex existing
+//! AI code of a AAA game to SPU, with ~200 lines of additional code
+//! resulting in a ~50% performance increase." This module is that task
+//! at reproduction scale: a per-entity strategy computation (scan
+//! candidate targets, pick one, choose a state, steer) that exists in a
+//! host form ([`ai_frame_host`]) and an offloaded form
+//! ([`ai_frame_offloaded`]) whose *additions* are exactly the
+//! memory-space plumbing — accessors in, bulk write-back out — the
+//! paper describes.
+//!
+//! The decision function only reads candidates' positions and health
+//! and only writes the deciding entity's velocity/state/target, so the
+//! sequential host order and the snapshot-based offloaded order compute
+//! identical results (asserted in tests).
+
+use memspace::Addr;
+use offload_rt::ArrayAccessor;
+use simcell::{AccelCtx, Machine, SimError};
+
+use crate::entity::{state, EntityArray, GameEntity};
+use crate::math::Vec3;
+
+/// Tuning knobs of the AI task.
+#[derive(Clone, Copy, Debug)]
+pub struct AiConfig {
+    /// Candidate targets considered per entity.
+    pub candidates: u32,
+    /// Cycles of pure "thinking" per entity (behaviour-tree traversal,
+    /// scoring, etc.).
+    pub think_compute: u64,
+    /// Cycles per candidate evaluated (distance math + compare).
+    pub per_candidate_compute: u64,
+}
+
+impl Default for AiConfig {
+    fn default() -> AiConfig {
+        AiConfig {
+            candidates: 8,
+            think_compute: 150,
+            per_candidate_compute: 12,
+        }
+    }
+}
+
+/// Squared distance below which an entity attacks.
+const ATTACK_RANGE_SQ: f32 = 25.0;
+/// Health below which an entity flees.
+const FLEE_HEALTH: f32 = 25.0;
+
+/// The pure strategy decision for one entity.
+///
+/// `candidates` holds `(index, position, health)` of each considered
+/// target. Mutates only `vel`, `state` and `target` of `me`.
+pub fn decide(me: &mut GameEntity, my_index: u32, candidates: &[(u32, Vec3, f32)]) {
+    let mut best: Option<(u32, f32, Vec3)> = None;
+    for &(idx, pos, health) in candidates {
+        if idx == my_index || health <= 0.0 {
+            continue;
+        }
+        let d = me.pos.distance_sq(pos);
+        if best.is_none_or(|(_, bd, _)| d < bd) {
+            best = Some((idx, d, pos));
+        }
+    }
+    match best {
+        None => {
+            me.state = state::IDLE;
+            me.vel = Vec3::ZERO;
+        }
+        Some((idx, dist_sq, pos)) => {
+            me.target = idx;
+            let toward = pos.sub(me.pos).normalized();
+            if me.health < FLEE_HEALTH {
+                me.state = state::FLEE;
+                me.vel = toward.scale(-3.0);
+            } else if dist_sq < ATTACK_RANGE_SQ {
+                me.state = state::ATTACK;
+                me.vel = toward.scale(2.0);
+            } else {
+                me.state = state::SEEK;
+                me.vel = toward.scale(1.5);
+            }
+        }
+    }
+}
+
+/// Runs one AI frame on the host.
+///
+/// Per entity: load it, load its candidate indices from the candidate
+/// table, load each candidate, decide, store — every access through the
+/// host's charged memory path.
+///
+/// # Errors
+///
+/// Fails on bounds violations.
+pub fn ai_frame_host(
+    machine: &mut Machine,
+    entities: &EntityArray,
+    candidate_table: Addr,
+    config: &AiConfig,
+) -> Result<(), SimError> {
+    let n = entities.len();
+    let k = config.candidates;
+    for i in 0..n {
+        let mut me = entities.host_load(machine, i)?;
+        let idx_addr = candidate_table.element(i * k, 4)?;
+        let indices = machine.host_read_slice::<u32>(idx_addr, k)?;
+        let mut candidates = Vec::with_capacity(k as usize);
+        for idx in indices {
+            let c = entities.host_load(machine, idx)?;
+            machine.host_compute(config.per_candidate_compute);
+            candidates.push((idx, c.pos, c.health));
+        }
+        decide(&mut me, i, &candidates);
+        machine.host_compute(config.think_compute);
+        entities.host_store(machine, i, &me)?;
+    }
+    Ok(())
+}
+
+/// Runs one AI frame on an accelerator.
+///
+/// The "≈200 additional lines" of the paper's port are exactly what this
+/// function adds over [`ai_frame_host`]: a bulk [`ArrayAccessor`] fetch
+/// of the entity array and the candidate table into local store, local
+/// accesses in the loop, and one bulk write-back. The decision logic is
+/// shared, unmodified.
+///
+/// # Errors
+///
+/// Fails if the working set does not fit the local store (use more,
+/// smaller offloads at larger entity counts), or on transfer failures.
+pub fn ai_frame_offloaded(
+    ctx: &mut AccelCtx<'_>,
+    entities: &EntityArray,
+    candidate_table: Addr,
+    config: &AiConfig,
+) -> Result<(), SimError> {
+    let n = entities.len();
+    let k = config.candidates;
+    let mut local = ArrayAccessor::<GameEntity>::fetch(ctx, entities.base(), n)?;
+    let table = ArrayAccessor::<u32>::fetch(ctx, candidate_table, n * k)?;
+    for i in 0..n {
+        let mut me = local.get(ctx, i)?;
+        let mut candidates = Vec::with_capacity(k as usize);
+        for j in 0..k {
+            let idx = table.get(ctx, i * k + j)?;
+            let c = local.get(ctx, idx)?;
+            ctx.compute(config.per_candidate_compute);
+            candidates.push((idx, c.pos, c.health));
+        }
+        decide(&mut me, i, &candidates);
+        ctx.compute(config.think_compute);
+        local.set(ctx, i, &me)?;
+    }
+    local.write_back(ctx)
+}
+
+/// Runs one AI frame tiled across `accels` accelerators.
+///
+/// Each accelerator bulk-fetches the (read-only) entity array plus its
+/// slice of the candidate table, decides for its own slice of entities,
+/// and writes back *only that slice* — the data-parallel decomposition
+/// game teams use once one SPE is not enough. All offloads are launched
+/// before any is joined, so they overlap; the host time from first
+/// launch to last join is returned.
+///
+/// Results are bit-identical to [`ai_frame_offloaded`]: decisions read
+/// only position/health (which the AI never writes), so tile order
+/// cannot matter.
+///
+/// # Errors
+///
+/// Fails if `accels` is zero or exceeds the machine, or if a tile does
+/// not fit the local store.
+pub fn ai_frame_offloaded_tiled(
+    machine: &mut Machine,
+    entities: &EntityArray,
+    candidate_table: Addr,
+    config: &AiConfig,
+    accels: u16,
+) -> Result<u64, SimError> {
+    if accels == 0 || accels > machine.accel_count() {
+        return Err(SimError::BadConfig {
+            reason: format!(
+                "tiling needs 1..={} accelerators, got {accels}",
+                machine.accel_count()
+            ),
+        });
+    }
+    let n = entities.len();
+    let k = config.candidates;
+    let t0 = machine.host_now();
+    let mut handles = Vec::with_capacity(usize::from(accels));
+    for a in 0..accels {
+        let begin = n * u32::from(a) / u32::from(accels);
+        let end = n * (u32::from(a) + 1) / u32::from(accels);
+        let handle = machine.offload(a, move |ctx| -> Result<(), SimError> {
+            let all = ArrayAccessor::<GameEntity>::fetch(ctx, entities.base(), n)?;
+            let count = end - begin;
+            if count == 0 {
+                return Ok(());
+            }
+            let table_slice =
+                ArrayAccessor::<u32>::fetch(ctx, candidate_table.element(begin * k, 4)?, count * k)?;
+            let mut out =
+                ArrayAccessor::<GameEntity>::for_output(ctx, entities.addr_of(begin)?, count)?;
+            for i in 0..count {
+                let mut me = all.get(ctx, begin + i)?;
+                let mut candidates = Vec::with_capacity(k as usize);
+                for j in 0..k {
+                    let idx = table_slice.get(ctx, i * k + j)?;
+                    let c = all.get(ctx, idx)?;
+                    ctx.compute(config.per_candidate_compute);
+                    candidates.push((idx, c.pos, c.health));
+                }
+                decide(&mut me, begin + i, &candidates);
+                ctx.compute(config.think_compute);
+                out.set(ctx, i, &me)?;
+            }
+            out.write_back(ctx)
+        })?;
+        handles.push(handle);
+    }
+    for handle in handles {
+        machine.join(handle)?;
+    }
+    Ok(machine.host_now() - t0)
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // building test fixtures field-by-field reads best
+mod tests {
+    use super::*;
+    use crate::workload::WorldGen;
+    use simcell::{Machine, MachineConfig};
+
+    fn setup(n: u32, seed: u64) -> (Machine, EntityArray, Addr) {
+        let mut machine = Machine::new(MachineConfig::small()).unwrap();
+        let entities = EntityArray::alloc(&mut machine, n).unwrap();
+        let mut gen = WorldGen::new(seed);
+        gen.populate(&mut machine, &entities, 80.0).unwrap();
+        let table = gen
+            .candidate_table(&mut machine, n, AiConfig::default().candidates)
+            .unwrap();
+        (machine, entities, table)
+    }
+
+    #[test]
+    fn decide_picks_the_nearest_living_candidate() {
+        let mut me = GameEntity::default();
+        me.pos = Vec3::ZERO;
+        me.health = 100.0;
+        let candidates = vec![
+            (1, Vec3::new(10.0, 0.0, 0.0), 50.0),
+            (2, Vec3::new(3.0, 0.0, 0.0), 50.0),
+            (3, Vec3::new(1.0, 0.0, 0.0), 0.0), // dead, skipped
+        ];
+        decide(&mut me, 0, &candidates);
+        assert_eq!(me.target, 2);
+        assert_eq!(me.state, state::ATTACK, "3 < attack range 5");
+        assert!(me.vel.x > 0.0, "moving toward the target");
+    }
+
+    #[test]
+    fn decide_seeks_when_far_and_flees_when_hurt() {
+        let mut me = GameEntity::default();
+        me.health = 100.0;
+        let far = vec![(1, Vec3::new(50.0, 0.0, 0.0), 50.0)];
+        decide(&mut me, 0, &far);
+        assert_eq!(me.state, state::SEEK);
+
+        me.health = 10.0;
+        decide(&mut me, 0, &far);
+        assert_eq!(me.state, state::FLEE);
+        assert!(me.vel.x < 0.0, "fleeing away");
+    }
+
+    #[test]
+    fn decide_idles_without_candidates() {
+        let mut me = GameEntity::default();
+        me.state = state::SEEK;
+        decide(&mut me, 0, &[(0, Vec3::ZERO, 100.0)]); // only itself
+        assert_eq!(me.state, state::IDLE);
+        assert_eq!(me.vel, Vec3::ZERO);
+    }
+
+    #[test]
+    fn host_and_offloaded_compute_identical_frames() {
+        let config = AiConfig::default();
+        let (mut m1, e1, t1) = setup(256, 11);
+        ai_frame_host(&mut m1, &e1, t1, &config).unwrap();
+        let host_result = e1.snapshot(&m1).unwrap();
+
+        let (mut m2, e2, t2) = setup(256, 11);
+        m2.run_offload(0, |ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
+            .unwrap()
+            .unwrap();
+        let offl_result = e2.snapshot(&m2).unwrap();
+        assert_eq!(host_result, offl_result);
+        assert_eq!(m2.races_detected(), 0);
+    }
+
+    #[test]
+    fn offloaded_ai_is_faster_by_roughly_the_papers_factor() {
+        // The paper reports ~50% performance increase (~1.5x).
+        let config = AiConfig::default();
+        let (mut m1, e1, t1) = setup(1024, 11);
+        let t0 = m1.host_now();
+        ai_frame_host(&mut m1, &e1, t1, &config).unwrap();
+        let host_cycles = m1.host_now() - t0;
+
+        let (mut m2, e2, t2) = setup(1024, 11);
+        let handle = m2
+            .offload(0, |ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
+            .unwrap();
+        let offl_cycles = handle.elapsed();
+        m2.join(handle).unwrap();
+
+        let speedup = host_cycles as f64 / offl_cycles as f64;
+        assert!(
+            speedup > 1.2 && speedup < 4.0,
+            "expected a moderate (paper: ~1.5x) speedup, got {speedup:.2}x \
+             ({host_cycles} vs {offl_cycles})"
+        );
+    }
+
+    #[test]
+    fn tiled_ai_matches_single_accelerator_results() {
+        let config = AiConfig::default();
+        let build = |n: u32| {
+            let mut machine = Machine::new(MachineConfig::default()).unwrap();
+            let entities = EntityArray::alloc(&mut machine, n).unwrap();
+            let mut gen = WorldGen::new(31);
+            gen.populate(&mut machine, &entities, 70.0).unwrap();
+            let table = gen
+                .candidate_table(&mut machine, n, config.candidates)
+                .unwrap();
+            (machine, entities, table)
+        };
+
+        let (mut m1, e1, t1) = build(512);
+        m1.run_offload(0, |ctx| ai_frame_offloaded(ctx, &e1, t1, &config))
+            .unwrap()
+            .unwrap();
+        let reference = e1.snapshot(&m1).unwrap();
+
+        for accels in [1u16, 2, 3, 6] {
+            let (mut m, e, t) = build(512);
+            ai_frame_offloaded_tiled(&mut m, &e, t, &config, accels).unwrap();
+            assert_eq!(
+                e.snapshot(&m).unwrap(),
+                reference,
+                "{accels} tiles diverged"
+            );
+            assert_eq!(m.races_detected(), 0);
+        }
+    }
+
+    #[test]
+    fn tiling_scales_across_accelerators() {
+        let config = AiConfig::default();
+        let run = |accels: u16| {
+            let mut machine = Machine::new(MachineConfig::default()).unwrap();
+            let entities = EntityArray::alloc(&mut machine, 1024).unwrap();
+            let mut gen = WorldGen::new(32);
+            gen.populate(&mut machine, &entities, 70.0).unwrap();
+            let table = gen
+                .candidate_table(&mut machine, 1024, config.candidates)
+                .unwrap();
+            ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, accels).unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four * 2 < one,
+            "4 accelerators should be >2x faster: {four} vs {one}"
+        );
+    }
+
+    #[test]
+    fn tiling_validates_the_accelerator_count() {
+        let config = AiConfig::default();
+        let mut machine = Machine::new(MachineConfig::small()).unwrap();
+        let entities = EntityArray::alloc(&mut machine, 16).unwrap();
+        let table = WorldGen::new(1)
+            .candidate_table(&mut machine, 16, config.candidates)
+            .unwrap();
+        assert!(
+            ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 0).is_err()
+        );
+        assert!(
+            ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 9).is_err()
+        );
+    }
+
+    #[test]
+    fn ai_only_touches_ai_fields() {
+        let config = AiConfig::default();
+        let (mut m, e, t) = setup(64, 5);
+        let before = e.snapshot(&m).unwrap();
+        ai_frame_host(&mut m, &e, t, &config).unwrap();
+        let after = e.snapshot(&m).unwrap();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.pos, a.pos);
+            assert_eq!(b.health, a.health);
+            assert_eq!(b.radius, a.radius);
+            assert_eq!(b.class, a.class);
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Collision detection and the Figure 1 pair-response workload.
+//!
+//! Figure 1 of the paper is SPE code that pulls the two `GameEntity`s of
+//! a collision pair into local store with tagged DMA, runs
+//! `do_collision_response`, and writes them back. This module implements
+//! that workload in four styles so experiment E1 can compare them:
+//!
+//! - [`respond_pairs_host`]: host-only baseline,
+//! - [`respond_pairs_blocking`]: accelerator, waiting after every
+//!   command (what naive code does),
+//! - [`respond_pairs_tagged`]: the paper's Figure 1 — both gets under
+//!   one tag, one wait, compute, both puts, one wait,
+//! - [`respond_pairs_streamed`]: additionally prefetches the next
+//!   pair's entities while responding to the current pair.
+//!
+//! [`detect_collisions_host`] is the broad phase used by the frame loop
+//! (host side, as in Figure 2's `detectCollisions`).
+
+use std::collections::HashMap;
+
+use dma::Tag;
+use memspace::Addr;
+use offload_rt::ArrayAccessor;
+use simcell::{AccelCtx, Machine, SimError};
+
+use crate::entity::{EntityArray, GameEntity};
+
+/// Cycles of pure computation per pair response (impulse resolution,
+/// a dozen or two FLOPs plus branches).
+pub const RESPONSE_COMPUTE: u64 = 60;
+
+/// Cycles per candidate distance test in the broad phase.
+pub const BROADPHASE_TEST_COMPUTE: u64 = 8;
+
+/// A pair of entity indices that may be colliding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CollisionPair {
+    /// Index of the first entity.
+    pub first: u32,
+    /// Index of the second entity.
+    pub second: u32,
+}
+
+/// The pure collision response: separate the entities along their
+/// centre line, reflect velocities, and apply a little damage.
+///
+/// Deterministic so every execution style produces bit-identical
+/// results (the correctness check of experiment E1).
+pub fn collision_response(a: &mut GameEntity, b: &mut GameEntity) {
+    let delta = b.pos.sub(a.pos);
+    let dist_sq = delta.length_sq().max(1e-6);
+    let normal = delta.scale(1.0 / dist_sq.sqrt());
+    // Push apart proportionally to overlap.
+    let overlap = (a.radius + b.radius) - dist_sq.sqrt();
+    if overlap > 0.0 {
+        let push = normal.scale(overlap * 0.5);
+        a.pos = a.pos.sub(push);
+        b.pos = b.pos.add(push);
+    }
+    // Exchange the normal components of velocity (equal masses).
+    let va = a.vel.dot(normal);
+    let vb = b.vel.dot(normal);
+    a.vel = a.vel.add(normal.scale(vb - va));
+    b.vel = b.vel.add(normal.scale(va - vb));
+    // Contact damage.
+    a.health -= 0.5;
+    b.health -= 0.5;
+}
+
+/// Runs the response for every pair on the host, reading and writing
+/// entities through the host's (charged) memory path.
+///
+/// # Errors
+///
+/// Fails on bounds violations.
+pub fn respond_pairs_host(
+    machine: &mut Machine,
+    entities: &EntityArray,
+    pairs: &[CollisionPair],
+) -> Result<(), SimError> {
+    for pair in pairs {
+        let mut a = entities.host_load(machine, pair.first)?;
+        let mut b = entities.host_load(machine, pair.second)?;
+        collision_response(&mut a, &mut b);
+        machine.host_compute(RESPONSE_COMPUTE);
+        entities.host_store(machine, pair.first, &a)?;
+        entities.host_store(machine, pair.second, &b)?;
+    }
+    Ok(())
+}
+
+/// Reads the pair list (an array of `2 * pair_count` `u32` indices in
+/// main memory) into local store with one bulk transfer.
+fn fetch_pairs(
+    ctx: &mut AccelCtx<'_>,
+    pairs_addr: Addr,
+    pair_count: u32,
+) -> Result<Vec<CollisionPair>, SimError> {
+    let accessor = ArrayAccessor::<u32>::fetch(ctx, pairs_addr, pair_count * 2)?;
+    let flat = accessor.to_vec(ctx)?;
+    Ok(flat
+        .chunks(2)
+        .map(|c| CollisionPair {
+            first: c[0],
+            second: c[1],
+        })
+        .collect())
+}
+
+/// Accelerator response, fully blocking: every DMA command is waited on
+/// individually before the next is issued.
+///
+/// # Errors
+///
+/// Fails on allocation or transfer failures.
+pub fn respond_pairs_blocking(
+    ctx: &mut AccelCtx<'_>,
+    entities: &EntityArray,
+    pairs_addr: Addr,
+    pair_count: u32,
+) -> Result<(), SimError> {
+    let pairs = fetch_pairs(ctx, pairs_addr, pair_count)?;
+    let buf_a = ctx.alloc_local_pod::<GameEntity>()?;
+    let buf_b = ctx.alloc_local_pod::<GameEntity>()?;
+    let tag = Tag::new(0).expect("tag 0 is valid");
+    for pair in pairs {
+        let ra = entities.addr_of(pair.first)?;
+        let rb = entities.addr_of(pair.second)?;
+        ctx.dma_get(buf_a, ra, GameEntity::STRIDE, tag)?;
+        ctx.dma_wait_tag(tag);
+        ctx.dma_get(buf_b, rb, GameEntity::STRIDE, tag)?;
+        ctx.dma_wait_tag(tag);
+        let mut a: GameEntity = ctx.local_read_pod(buf_a)?;
+        let mut b: GameEntity = ctx.local_read_pod(buf_b)?;
+        collision_response(&mut a, &mut b);
+        ctx.compute(RESPONSE_COMPUTE);
+        ctx.local_write_pod(buf_a, &a)?;
+        ctx.local_write_pod(buf_b, &b)?;
+        ctx.dma_put(buf_a, ra, GameEntity::STRIDE, tag)?;
+        ctx.dma_wait_tag(tag);
+        ctx.dma_put(buf_b, rb, GameEntity::STRIDE, tag)?;
+        ctx.dma_wait_tag(tag);
+    }
+    Ok(())
+}
+
+/// Accelerator response in the paper's Figure 1 style: the two gets are
+/// issued under one tag and waited once (they proceed in parallel), as
+/// are the two puts.
+///
+/// # Errors
+///
+/// Fails on allocation or transfer failures.
+pub fn respond_pairs_tagged(
+    ctx: &mut AccelCtx<'_>,
+    entities: &EntityArray,
+    pairs_addr: Addr,
+    pair_count: u32,
+) -> Result<(), SimError> {
+    let pairs = fetch_pairs(ctx, pairs_addr, pair_count)?;
+    let buf_a = ctx.alloc_local_pod::<GameEntity>()?;
+    let buf_b = ctx.alloc_local_pod::<GameEntity>()?;
+    let tag = Tag::new(0).expect("tag 0 is valid");
+    for pair in pairs {
+        let ra = entities.addr_of(pair.first)?;
+        let rb = entities.addr_of(pair.second)?;
+        // dma_get(&e1, ..., t); dma_get(&e2, ..., t); dma_wait(t);
+        ctx.dma_get(buf_a, ra, GameEntity::STRIDE, tag)?;
+        ctx.dma_get(buf_b, rb, GameEntity::STRIDE, tag)?;
+        ctx.dma_wait_tag(tag);
+        let mut a: GameEntity = ctx.local_read_pod(buf_a)?;
+        let mut b: GameEntity = ctx.local_read_pod(buf_b)?;
+        collision_response(&mut a, &mut b);
+        ctx.compute(RESPONSE_COMPUTE);
+        ctx.local_write_pod(buf_a, &a)?;
+        ctx.local_write_pod(buf_b, &b)?;
+        ctx.dma_put(buf_a, ra, GameEntity::STRIDE, tag)?;
+        ctx.dma_put(buf_b, rb, GameEntity::STRIDE, tag)?;
+        ctx.dma_wait_tag(tag);
+    }
+    Ok(())
+}
+
+/// Accelerator response with pair pipelining: two pair slots alternate
+/// so the next pair's entities stream in while the current pair is
+/// being resolved.
+///
+/// When consecutive pairs share an entity the pipeline drains first —
+/// overlapping an in-flight put of an entity with a get of the same
+/// entity would be a real DMA race (and the checker would say so).
+///
+/// # Errors
+///
+/// Fails on allocation or transfer failures.
+pub fn respond_pairs_streamed(
+    ctx: &mut AccelCtx<'_>,
+    entities: &EntityArray,
+    pairs_addr: Addr,
+    pair_count: u32,
+) -> Result<(), SimError> {
+    let pairs = fetch_pairs(ctx, pairs_addr, pair_count)?;
+    if pairs.is_empty() {
+        return Ok(());
+    }
+    // Two slots, each with buffers for both entities and its own tag.
+    let slots = [
+        (
+            ctx.alloc_local_pod::<GameEntity>()?,
+            ctx.alloc_local_pod::<GameEntity>()?,
+            Tag::new(0).expect("valid"),
+        ),
+        (
+            ctx.alloc_local_pod::<GameEntity>()?,
+            ctx.alloc_local_pod::<GameEntity>()?,
+            Tag::new(1).expect("valid"),
+        ),
+    ];
+    let shares_entity = |x: &CollisionPair, y: &CollisionPair| {
+        x.first == y.first || x.first == y.second || x.second == y.first || x.second == y.second
+    };
+
+    let issue_gets = |ctx: &mut AccelCtx<'_>, slot: usize, pair: &CollisionPair| -> Result<(), SimError> {
+        let (buf_a, buf_b, tag) = slots[slot];
+        ctx.dma_get(buf_a, entities.addr_of(pair.first)?, GameEntity::STRIDE, tag)?;
+        ctx.dma_get(buf_b, entities.addr_of(pair.second)?, GameEntity::STRIDE, tag)?;
+        Ok(())
+    };
+
+    // Prime slot 0.
+    issue_gets(ctx, 0, &pairs[0])?;
+    for i in 0..pairs.len() {
+        let cur = i % 2;
+        let nxt = 1 - cur;
+        let (buf_a, buf_b, tag) = slots[cur];
+        // Prefetch the next pair into the other slot — but only when it
+        // shares no entity with the current pair. Prefetching a shared
+        // entity would let this pair's write-back race the prefetch on
+        // the entity's bytes in main memory; in that case the fetch is
+        // deferred to after the write-back below.
+        let next_conflicts =
+            i + 1 < pairs.len() && shares_entity(&pairs[i], &pairs[i + 1]);
+        if i + 1 < pairs.len() && !next_conflicts {
+            ctx.dma_wait_tag(slots[nxt].2);
+            issue_gets(ctx, nxt, &pairs[i + 1])?;
+        }
+        ctx.dma_wait_tag(tag);
+        let mut a: GameEntity = ctx.local_read_pod(buf_a)?;
+        let mut b: GameEntity = ctx.local_read_pod(buf_b)?;
+        collision_response(&mut a, &mut b);
+        ctx.compute(RESPONSE_COMPUTE);
+        ctx.local_write_pod(buf_a, &a)?;
+        ctx.local_write_pod(buf_b, &b)?;
+        ctx.dma_put(buf_a, entities.addr_of(pairs[i].first)?, GameEntity::STRIDE, tag)?;
+        ctx.dma_put(buf_b, entities.addr_of(pairs[i].second)?, GameEntity::STRIDE, tag)?;
+        // Not waited here: the puts drain behind the next pair's work.
+        if next_conflicts {
+            // Deferred, ordered fetch: drain this pair's write-back (and
+            // the other slot) before fetching the shared entity.
+            ctx.dma_wait_tag(tag);
+            ctx.dma_wait_tag(slots[nxt].2);
+            issue_gets(ctx, nxt, &pairs[i + 1])?;
+        }
+    }
+    ctx.dma_wait_tag(slots[0].2);
+    ctx.dma_wait_tag(slots[1].2);
+    Ok(())
+}
+
+/// Host broad phase: spatial hashing on a uniform grid, then exact
+/// sphere tests within each cell (charged host reads + per-test
+/// compute). Returns pairs with `first < second`, each reported once.
+///
+/// # Errors
+///
+/// Fails on bounds violations.
+pub fn detect_collisions_host(
+    machine: &mut Machine,
+    entities: &EntityArray,
+    cell_size: f32,
+) -> Result<Vec<CollisionPair>, SimError> {
+    let n = entities.len();
+    let all = machine.host_read_slice::<GameEntity>(entities.base(), n)?;
+    let key = |v: f32| (v / cell_size).floor() as i32;
+    let mut grid: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
+    for (i, e) in all.iter().enumerate() {
+        machine.host_compute(6); // hash + insert
+        grid.entry((key(e.pos.x), key(e.pos.y), key(e.pos.z)))
+            .or_default()
+            .push(i as u32);
+    }
+    let mut pairs = Vec::new();
+    for bucket in grid.values() {
+        for (i, &a) in bucket.iter().enumerate() {
+            for &b in &bucket[i + 1..] {
+                machine.host_compute(BROADPHASE_TEST_COMPUTE);
+                let ea = &all[a as usize];
+                let eb = &all[b as usize];
+                let r = ea.radius + eb.radius;
+                if ea.pos.distance_sq(eb.pos) < r * r {
+                    let (first, second) = if a < b { (a, b) } else { (b, a) };
+                    pairs.push(CollisionPair { first, second });
+                }
+            }
+        }
+    }
+    pairs.sort_by_key(|p| (p.first, p.second));
+    Ok(pairs)
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // building test fixtures field-by-field reads best
+mod tests {
+    use super::*;
+    use crate::math::Vec3;
+    use crate::workload::WorldGen;
+    use simcell::MachineConfig;
+
+    fn touching_pair() -> (GameEntity, GameEntity) {
+        let mut a = GameEntity::default();
+        a.pos = Vec3::new(0.0, 0.0, 0.0);
+        a.vel = Vec3::new(1.0, 0.0, 0.0);
+        a.radius = 1.0;
+        a.health = 10.0;
+        let mut b = GameEntity::default();
+        b.pos = Vec3::new(1.5, 0.0, 0.0);
+        b.vel = Vec3::new(-1.0, 0.0, 0.0);
+        b.radius = 1.0;
+        b.health = 10.0;
+        (a, b)
+    }
+
+    #[test]
+    fn response_separates_and_reflects() {
+        let (mut a, mut b) = touching_pair();
+        collision_response(&mut a, &mut b);
+        assert!(b.pos.x - a.pos.x >= 2.0 - 1e-5, "pushed apart");
+        assert!(a.vel.x < 0.0 && b.vel.x > 0.0, "velocities exchanged");
+        assert_eq!(a.health, 9.5);
+        assert_eq!(b.health, 9.5);
+    }
+
+    #[test]
+    fn response_is_symmetric_under_momentum() {
+        let (mut a, mut b) = touching_pair();
+        let before = a.vel.add(b.vel);
+        collision_response(&mut a, &mut b);
+        let after = a.vel.add(b.vel);
+        assert!((before.x - after.x).abs() < 1e-5, "momentum conserved");
+    }
+
+    struct Rig {
+        machine: Machine,
+        entities: EntityArray,
+        pairs_addr: Addr,
+    }
+
+    fn rig(pair_count: u32) -> Rig {
+        let mut machine = Machine::new(MachineConfig::small()).unwrap();
+        let entities = EntityArray::alloc(&mut machine, 256).unwrap();
+        let mut gen = WorldGen::new(42);
+        gen.populate(&mut machine, &entities, 60.0).unwrap();
+        let pairs_addr = gen.collision_pairs(&mut machine, 256, pair_count).unwrap();
+        let _ = pair_count;
+        Rig {
+            machine,
+            entities,
+            pairs_addr,
+        }
+    }
+
+    /// Runs one accel style and returns (entity snapshot, accel cycles).
+    fn run_style(
+        style: fn(&mut AccelCtx<'_>, &EntityArray, Addr, u32) -> Result<(), SimError>,
+        pair_count: u32,
+    ) -> (Vec<GameEntity>, u64) {
+        let mut r = rig(pair_count);
+        let entities = r.entities;
+        let pairs_addr = r.pairs_addr;
+        let handle = r
+            .machine
+            .offload(0, move |ctx| style(ctx, &entities, pairs_addr, pair_count))
+            .unwrap();
+        let elapsed = handle.elapsed();
+        r.machine.join(handle).unwrap();
+        assert_eq!(r.machine.races_detected(), 0, "style must be race-free");
+        (r.entities.snapshot(&r.machine).unwrap(), elapsed)
+    }
+
+    #[test]
+    fn all_styles_compute_identical_results() {
+        // Host reference.
+        let mut r = rig(64);
+        let flat = r
+            .machine
+            .main()
+            .read_pod_slice::<u32>(r.pairs_addr, 128)
+            .unwrap();
+        let pairs: Vec<CollisionPair> = flat
+            .chunks(2)
+            .map(|c| CollisionPair {
+                first: c[0],
+                second: c[1],
+            })
+            .collect();
+        respond_pairs_host(&mut r.machine, &r.entities, &pairs).unwrap();
+        let reference = r.entities.snapshot(&r.machine).unwrap();
+
+        let (blocking, _) = run_style(respond_pairs_blocking, 64);
+        let (tagged, _) = run_style(respond_pairs_tagged, 64);
+        let (streamed, _) = run_style(respond_pairs_streamed, 64);
+        assert_eq!(blocking, reference);
+        assert_eq!(tagged, reference);
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn tagged_beats_blocking_and_streaming_beats_tagged() {
+        let (_, blocking) = run_style(respond_pairs_blocking, 256);
+        let (_, tagged) = run_style(respond_pairs_tagged, 256);
+        let (_, streamed) = run_style(respond_pairs_streamed, 256);
+        assert!(
+            tagged < blocking,
+            "figure-1 tagging wins: {tagged} vs {blocking}"
+        );
+        assert!(
+            streamed < tagged,
+            "pipelining wins further: {streamed} vs {tagged}"
+        );
+    }
+
+    #[test]
+    fn broadphase_finds_exactly_the_overlapping_pairs() {
+        let mut machine = Machine::new(MachineConfig::small()).unwrap();
+        let entities = EntityArray::alloc(&mut machine, 4).unwrap();
+        let mut place = |i: u32, x: f32, r: f32| {
+            let mut e = GameEntity::default();
+            e.pos = Vec3::new(x, 0.0, 0.0);
+            e.radius = r;
+            entities.store(&mut machine, i, &e).unwrap();
+        };
+        place(0, 0.0, 1.0);
+        place(1, 1.5, 1.0); // overlaps 0
+        place(2, 10.0, 1.0); // alone
+        place(3, 11.0, 1.0); // overlaps 2
+        let pairs = detect_collisions_host(&mut machine, &entities, 4.0).unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                CollisionPair { first: 0, second: 1 },
+                CollisionPair { first: 2, second: 3 }
+            ]
+        );
+    }
+
+    #[test]
+    fn broadphase_charges_host_time() {
+        let mut machine = Machine::new(MachineConfig::small()).unwrap();
+        let entities = EntityArray::alloc(&mut machine, 128).unwrap();
+        WorldGen::new(1)
+            .populate(&mut machine, &entities, 30.0)
+            .unwrap();
+        let t0 = machine.host_now();
+        let _ = detect_collisions_host(&mut machine, &entities, 4.0).unwrap();
+        assert!(machine.host_now() > t0);
+    }
+
+    #[test]
+    fn empty_pair_list_is_a_noop() {
+        let (snapshot, _) = run_style(respond_pairs_streamed, 0);
+        let r = rig(0);
+        assert_eq!(snapshot, r.entities.snapshot(&r.machine).unwrap());
+    }
+}

@@ -1,0 +1,662 @@
+//! The abstract component system of paper §4.1, before and after the
+//! restructuring.
+//!
+//! The paper: "the game used an abstract component system, performing
+//! more than 1300 virtual calls per frame, which we tried to offload in
+//! its entirety. […] it was necessary to annotate a portion of offloaded
+//! code with upwards of 100 virtual functions. […] We therefore
+//! restructured the component system to be type specialised, in 1 day
+//! […] We wrote a separate offload for each task, one per component,
+//! instead of a single offload for all the distinct components,
+//! resulting in 13 separate type-specialised offloads. After the
+//! restructuring, the maximum number of virtual functions associated
+//! with a portion of offloaded code being shipped in this particular
+//! game is 40."
+//!
+//! This module reproduces both architectures over identical component
+//! data:
+//!
+//! - **Monolithic** ([`ComponentSystem::update_monolithic_offloaded`]):
+//!   one offload walks an interleaved array of all 13 component kinds.
+//!   Every component is dispatched through one huge domain (106 virtual
+//!   functions), and — because the concrete type (and hence size) of the
+//!   next component is unknown — nothing can be prefetched: each object
+//!   is touched through synchronous outer accesses.
+//! - **Type-specialised** ([`ComponentSystem::update_specialised_offloaded`]):
+//!   thirteen offloads, one per kind, each with a small domain (max 40)
+//!   over a homogeneous array that is bulk-fetched with an accessor.
+//!
+//! Both paths execute the *same* per-component behaviours, so their
+//! results are bit-identical; only schedule and memory traffic differ.
+
+use memspace::{impl_pod, Addr, Pod};
+use offload_rt::{
+    accel_virtual_dispatch, host_virtual_dispatch, ArrayAccessor, ClassId, ClassRegistry,
+    DispatchError, Domain, DuplicateId, FnAddr, MethodSlot, MethodTable,
+};
+use simcell::{Machine, SimError};
+
+use crate::workload::WorldGen;
+
+/// Number of component kinds (the paper's 13).
+pub const KIND_COUNT: usize = 13;
+
+/// Kind names, for reports.
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "Transform",
+    "Physics",
+    "Render",
+    "Animation",
+    "Ai",
+    "Audio",
+    "Collision",
+    "Particle",
+    "Script",
+    "Navigation",
+    "Input",
+    "Network",
+    "Debug",
+];
+
+/// Virtual-function (subclass) count per kind. Sums to 106 — the paper's
+/// "upwards of 100 virtual functions" — with a maximum of 40, the
+/// paper's post-restructuring per-offload maximum.
+pub const KIND_VARIANTS: [u32; KIND_COUNT] = [40, 12, 10, 8, 8, 6, 5, 4, 4, 3, 2, 2, 2];
+
+/// Cycles of pure computation per component update, by kind.
+pub const KIND_COMPUTE: [u64; KIND_COUNT] =
+    [80, 120, 60, 90, 150, 40, 70, 50, 100, 110, 30, 45, 35];
+
+/// The dispatch slot of every component's `update` method.
+pub const UPDATE_SLOT: MethodSlot = MethodSlot(0);
+
+impl_pod! {
+    /// A component instance in simulated memory (32 bytes): class-id
+    /// header, owning entity, and six floats of payload.
+    #[derive(PartialEq)]
+    pub struct Component {
+        /// Class id header (offset 0).
+        pub class: u32,
+        /// Owning entity index.
+        pub entity: u32,
+        /// Kind-specific payload.
+        pub data: [f32; 6],
+    }
+}
+
+impl Component {
+    /// Byte stride in simulated memory.
+    pub const STRIDE: u32 = Component::SIZE as u32;
+}
+
+/// The behaviour behind one update function: a pure payload transform
+/// plus a compute charge.
+#[derive(Clone, Copy)]
+pub struct ComponentBehavior {
+    /// Cycles of pure computation per invocation.
+    pub compute: u64,
+    /// The payload transform.
+    pub transform: fn(&mut [f32; 6]),
+}
+
+impl std::fmt::Debug for ComponentBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentBehavior")
+            .field("compute", &self.compute)
+            .finish()
+    }
+}
+
+const DT: f32 = 1.0 / 60.0;
+
+fn t_transform(d: &mut [f32; 6]) {
+    d[0] += d[3] * DT;
+    d[1] += d[4] * DT;
+    d[2] += d[5] * DT;
+}
+fn t_physics(d: &mut [f32; 6]) {
+    d[3] *= 0.995;
+    d[4] -= 9.81 * DT;
+    d[5] *= 0.995;
+}
+fn t_render(d: &mut [f32; 6]) {
+    d[0] = (d[0] + 1.0).min(1024.0);
+}
+fn t_animation(d: &mut [f32; 6]) {
+    d[1] = (d[1] + d[2] * DT) % 1.0;
+}
+fn t_ai(d: &mut [f32; 6]) {
+    d[4] = if d[0] > d[1] { d[2] } else { d[3] };
+}
+fn t_audio(d: &mut [f32; 6]) {
+    d[5] = (d[5] * 0.9 + 0.1).clamp(0.0, 1.0);
+}
+fn t_collision(d: &mut [f32; 6]) {
+    d[2] = (d[0] * d[0] + d[1] * d[1]).sqrt();
+}
+fn t_particle(d: &mut [f32; 6]) {
+    d[2] -= DT;
+    if d[2] < 0.0 {
+        d[2] = 1.0;
+    }
+}
+fn t_script(d: &mut [f32; 6]) {
+    d[3] += d[0] * 0.01;
+}
+fn t_navigation(d: &mut [f32; 6]) {
+    d[4] = (d[4] + 0.125) % 64.0;
+}
+fn t_input(d: &mut [f32; 6]) {
+    d[5] = -d[5];
+}
+fn t_network(d: &mut [f32; 6]) {
+    d[0] = (d[0] + 1.0) % 255.0;
+}
+fn t_debug(d: &mut [f32; 6]) {
+    d[1] += 1.0;
+}
+
+/// Per-kind payload transforms.
+pub const KIND_TRANSFORMS: [fn(&mut [f32; 6]); KIND_COUNT] = [
+    t_transform,
+    t_physics,
+    t_render,
+    t_animation,
+    t_ai,
+    t_audio,
+    t_collision,
+    t_particle,
+    t_script,
+    t_navigation,
+    t_input,
+    t_network,
+    t_debug,
+];
+
+/// Which architecture an update ran under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemLayout {
+    /// One offload over the interleaved array (pre-restructuring).
+    Monolithic,
+    /// Thirteen type-specialised offloads (post-restructuring).
+    TypeSpecialised,
+    /// Host-only baseline.
+    Host,
+}
+
+impl std::fmt::Display for SystemLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemLayout::Monolithic => write!(f, "monolithic"),
+            SystemLayout::TypeSpecialised => write!(f, "type-specialised"),
+            SystemLayout::Host => write!(f, "host"),
+        }
+    }
+}
+
+/// What one frame of component updates cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ComponentSystemStats {
+    /// The architecture measured.
+    pub layout: SystemLayout,
+    /// Host cycles end-to-end (launch through final join).
+    pub host_cycles: u64,
+    /// Virtual dispatches performed.
+    pub vcalls: u64,
+    /// Number of offload blocks launched.
+    pub offloads: u32,
+    /// The largest domain annotation any single offload needed.
+    pub max_domain_size: usize,
+}
+
+/// The component system: classes, behaviours, domains, and both
+/// storage layouts over identical data.
+pub struct ComponentSystem {
+    registry: ClassRegistry,
+    behaviors: MethodTable<ComponentBehavior>,
+    monolithic: Addr,
+    total: u32,
+    specialised: [(Addr, u32); KIND_COUNT],
+    monolithic_domain: Domain,
+    specialised_domains: Vec<Domain>,
+}
+
+impl std::fmt::Debug for ComponentSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentSystem")
+            .field("total", &self.total)
+            .field("monolithic_domain", &self.monolithic_domain.len())
+            .finish()
+    }
+}
+
+impl ComponentSystem {
+    /// Builds the class hierarchy, behaviours, domains and both storage
+    /// layouts for `entities` entities (one component of each kind per
+    /// entity — `13 * entities` components per frame; 100 entities gives
+    /// the paper's 1300 virtual calls).
+    ///
+    /// # Errors
+    ///
+    /// Fails when main memory is exhausted.
+    pub fn build(machine: &mut Machine, entities: u32, seed: u64) -> Result<ComponentSystem, SimError> {
+        let mut registry = ClassRegistry::new();
+        let mut behaviors = MethodTable::new();
+        let mut monolithic_domain = Domain::new();
+        let mut specialised_domains = Vec::with_capacity(KIND_COUNT);
+        let mut class_base = [0u32; KIND_COUNT];
+
+        for kind in 0..KIND_COUNT {
+            let mut kind_domain = Domain::new();
+            let base = registry.register_class(format!("{}Component", KIND_NAMES[kind]), None);
+            class_base[kind] = base.0;
+            for variant in 0..KIND_VARIANTS[kind] {
+                let class = if variant == 0 {
+                    base
+                } else {
+                    registry.register_class(
+                        format!("{}Component_{variant}", KIND_NAMES[kind]),
+                        Some(base),
+                    )
+                };
+                debug_assert_eq!(class.0, base.0 + variant);
+                let global =
+                    registry.fresh_fn(format!("{}Component_{variant}::update", KIND_NAMES[kind]));
+                let local_outer = registry.fresh_fn(format!(
+                    "{}Component_{variant}::update [spu, outer this]",
+                    KIND_NAMES[kind]
+                ));
+                let local_local = registry.fresh_fn(format!(
+                    "{}Component_{variant}::update [spu, local this]",
+                    KIND_NAMES[kind]
+                ));
+                registry.define_method(class, UPDATE_SLOT, global);
+                // The monolithic offload touches components through outer
+                // pointers; the specialised offloads through local ones.
+                monolithic_domain.add(global, &[(DuplicateId(0b1), local_outer)]);
+                kind_domain.add(global, &[(DuplicateId::ALL_LOCAL, local_local)]);
+                let behaviour = ComponentBehavior {
+                    compute: KIND_COMPUTE[kind],
+                    transform: KIND_TRANSFORMS[kind],
+                };
+                behaviors.register(global, behaviour);
+                behaviors.register(local_outer, behaviour);
+                behaviors.register(local_local, behaviour);
+            }
+            specialised_domains.push(kind_domain);
+        }
+
+        // Create the component instances: one of each kind per entity.
+        let total = entities * KIND_COUNT as u32;
+        let mut gen = WorldGen::new(seed);
+        let mut instances = Vec::with_capacity(total as usize);
+        for entity in 0..entities {
+            for kind in 0..KIND_COUNT {
+                let variant = (entity + kind as u32 * 7) % KIND_VARIANTS[kind];
+                let mut data = [0f32; 6];
+                for (i, d) in data.iter_mut().enumerate() {
+                    *d = (gen.index(1000) as f32) / 100.0 + i as f32;
+                }
+                instances.push(Component {
+                    class: class_base[kind] + variant,
+                    entity,
+                    data,
+                });
+            }
+        }
+
+        // Monolithic layout: the same instances, interleaved/shuffled as
+        // they would be behind an array of base-class pointers.
+        let perm = gen.permutation(total);
+        let monolithic = machine.alloc_main_slice::<Component>(total)?;
+        let shuffled: Vec<Component> = perm.iter().map(|&i| instances[i as usize]).collect();
+        machine.main_mut().write_pod_slice(monolithic, &shuffled)?;
+
+        // Specialised layout: grouped by kind.
+        let mut specialised = [(Addr::null(memspace::SpaceId::MAIN), 0u32); KIND_COUNT];
+        for kind in 0..KIND_COUNT {
+            let of_kind: Vec<Component> = instances
+                .iter()
+                .filter(|c| {
+                    c.class >= class_base[kind] && c.class < class_base[kind] + KIND_VARIANTS[kind]
+                })
+                .copied()
+                .collect();
+            let addr = machine.alloc_main_slice::<Component>(of_kind.len() as u32)?;
+            machine.main_mut().write_pod_slice(addr, &of_kind)?;
+            specialised[kind] = (addr, of_kind.len() as u32);
+        }
+
+        Ok(ComponentSystem {
+            registry,
+            behaviors,
+            monolithic,
+            total,
+            specialised,
+            monolithic_domain,
+            specialised_domains,
+        })
+    }
+
+    /// Total components updated per frame.
+    pub fn component_count(&self) -> u32 {
+        self.total
+    }
+
+    /// The monolithic offload's domain annotation count (the paper's
+    /// ">100 virtual functions").
+    pub fn monolithic_annotations(&self) -> usize {
+        self.monolithic_domain.len()
+    }
+
+    /// The largest per-offload annotation count after restructuring
+    /// (the paper's "maximum … is 40").
+    pub fn max_specialised_annotations(&self) -> usize {
+        self.specialised_domains.iter().map(Domain::len).max().unwrap_or(0)
+    }
+
+    /// The class registry (for examples/diagnostics).
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    fn behaviour_of(&self, addr: FnAddr) -> Result<ComponentBehavior, DispatchError> {
+        self.behaviors
+            .get(addr)
+            .copied()
+            .ok_or(DispatchError::NoSuchMethod {
+                class: ClassId(u32::MAX),
+                slot: UPDATE_SLOT,
+            })
+    }
+
+    /// Updates every component on the host (no offloading) — the
+    /// baseline the paper's teams started from.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dispatch or memory errors.
+    pub fn update_host(&self, machine: &mut Machine) -> Result<ComponentSystemStats, SimError> {
+        let t0 = machine.host_now();
+        let mut vcalls = 0u64;
+        for i in 0..self.total {
+            let addr = self.monolithic.element(i, Component::STRIDE)?;
+            let target = host_virtual_dispatch(machine, &self.registry, addr, UPDATE_SLOT)
+                .map_err(dispatch_to_sim)?;
+            let behaviour = self.behaviour_of(target).map_err(dispatch_to_sim)?;
+            let mut comp: Component = machine.host_read_pod(addr)?;
+            (behaviour.transform)(&mut comp.data);
+            machine.host_compute(behaviour.compute);
+            machine.host_write_pod(addr, &comp)?;
+            vcalls += 1;
+        }
+        Ok(ComponentSystemStats {
+            layout: SystemLayout::Host,
+            host_cycles: machine.host_now() - t0,
+            vcalls,
+            offloads: 0,
+            max_domain_size: 0,
+        })
+    }
+
+    /// Updates every component through ONE offload over the interleaved
+    /// array — the pre-restructuring architecture. Every dispatch pays
+    /// an outer header read, a 106-entry domain search, and synchronous
+    /// outer accesses for the payload (unknown concrete type ⇒ no
+    /// prefetch).
+    ///
+    /// # Errors
+    ///
+    /// Fails on dispatch or memory errors.
+    pub fn update_monolithic_offloaded(
+        &self,
+        machine: &mut Machine,
+        accel: u16,
+    ) -> Result<ComponentSystemStats, SimError> {
+        let t0 = machine.host_now();
+        let total = self.total;
+        let monolithic = self.monolithic;
+        let handle = machine.offload(accel, |ctx| -> Result<u64, SimError> {
+            let mut vcalls = 0u64;
+            for i in 0..total {
+                let addr = monolithic.element(i, Component::STRIDE)?;
+                let local_fn = accel_virtual_dispatch(
+                    ctx,
+                    &self.registry,
+                    &self.monolithic_domain,
+                    addr,
+                    UPDATE_SLOT,
+                    DuplicateId(0b1),
+                )
+                .map_err(dispatch_to_sim)?;
+                let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
+                let mut comp: Component = ctx.outer_read_pod(addr)?;
+                (behaviour.transform)(&mut comp.data);
+                ctx.compute(behaviour.compute);
+                ctx.outer_write_pod(addr, &comp)?;
+                vcalls += 1;
+            }
+            Ok(vcalls)
+        })?;
+        let vcalls = machine.join(handle)?;
+        Ok(ComponentSystemStats {
+            layout: SystemLayout::Monolithic,
+            host_cycles: machine.host_now() - t0,
+            vcalls,
+            offloads: 1,
+            max_domain_size: self.monolithic_domain.len(),
+        })
+    }
+
+    /// Updates every component through THIRTEEN type-specialised
+    /// offloads — the post-restructuring architecture. Each offload
+    /// bulk-fetches its homogeneous array, dispatches through a ≤40
+    /// entry domain with local headers, and bulk-writes back.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dispatch or memory errors.
+    pub fn update_specialised_offloaded(
+        &self,
+        machine: &mut Machine,
+        accel: u16,
+    ) -> Result<ComponentSystemStats, SimError> {
+        let t0 = machine.host_now();
+        let mut vcalls = 0u64;
+        for kind in 0..KIND_COUNT {
+            let (addr, count) = self.specialised[kind];
+            let domain = &self.specialised_domains[kind];
+            let handle = machine.offload(accel, |ctx| -> Result<u64, SimError> {
+                let mut local_calls = 0u64;
+                let mut array = ArrayAccessor::<Component>::fetch(ctx, addr, count)?;
+                for i in 0..count {
+                    let obj = array.element_addr(i)?;
+                    let local_fn = accel_virtual_dispatch(
+                        ctx,
+                        &self.registry,
+                        domain,
+                        obj,
+                        UPDATE_SLOT,
+                        DuplicateId::ALL_LOCAL,
+                    )
+                    .map_err(dispatch_to_sim)?;
+                    let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
+                    let mut comp = array.get(ctx, i)?;
+                    (behaviour.transform)(&mut comp.data);
+                    ctx.compute(behaviour.compute);
+                    array.set(ctx, i, &comp)?;
+                    local_calls += 1;
+                }
+                array.write_back(ctx)?;
+                Ok(local_calls)
+            })?;
+            vcalls += machine.join(handle)?;
+        }
+        Ok(ComponentSystemStats {
+            layout: SystemLayout::TypeSpecialised,
+            host_cycles: machine.host_now() - t0,
+            vcalls,
+            offloads: KIND_COUNT as u32,
+            max_domain_size: self.max_specialised_annotations(),
+        })
+    }
+
+    /// Reads back all component payloads, keyed and sorted by
+    /// `(entity, class)` so the two layouts can be compared.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations.
+    pub fn snapshot_canonical(
+        &self,
+        machine: &Machine,
+        layout: SystemLayout,
+    ) -> Result<Vec<(u32, u32, [u32; 6])>, SimError> {
+        let mut all: Vec<Component> = match layout {
+            SystemLayout::Monolithic | SystemLayout::Host => machine
+                .main()
+                .read_pod_slice::<Component>(self.monolithic, self.total)?,
+            SystemLayout::TypeSpecialised => {
+                let mut v = Vec::with_capacity(self.total as usize);
+                for &(addr, count) in &self.specialised {
+                    v.extend(machine.main().read_pod_slice::<Component>(addr, count)?);
+                }
+                v
+            }
+        };
+        all.sort_by_key(|c| (c.entity, c.class));
+        Ok(all
+            .into_iter()
+            .map(|c| (c.entity, c.class, c.data.map(f32::to_bits)))
+            .collect())
+    }
+}
+
+/// Folds a dispatch error into a simulator error for `?` interop (a
+/// domain miss is a programming error in these fixed workloads, so it
+/// surfaces as `BadConfig` with the informative message).
+fn dispatch_to_sim(err: DispatchError) -> SimError {
+    match err {
+        DispatchError::Sim(e) => e,
+        other => SimError::BadConfig {
+            reason: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcell::MachineConfig;
+
+    #[test]
+    fn variant_counts_match_the_paper() {
+        assert_eq!(KIND_VARIANTS.iter().sum::<u32>(), 106, "paper: >100");
+        assert_eq!(*KIND_VARIANTS.iter().max().unwrap(), 40, "paper: max 40");
+        assert_eq!(KIND_COUNT, 13, "paper: 13 type-specialised offloads");
+    }
+
+    #[test]
+    fn component_is_32_bytes() {
+        assert_eq!(Component::SIZE, 32);
+    }
+
+    fn build(entities: u32) -> (Machine, ComponentSystem) {
+        let mut machine = Machine::new(MachineConfig::small()).unwrap();
+        let system = ComponentSystem::build(&mut machine, entities, 99).unwrap();
+        (machine, system)
+    }
+
+    #[test]
+    fn build_reproduces_the_papers_counts() {
+        let (_, system) = build(100);
+        assert_eq!(system.component_count(), 1300, "paper: ~1300 vcalls/frame");
+        assert_eq!(system.monolithic_annotations(), 106);
+        assert_eq!(system.max_specialised_annotations(), 40);
+    }
+
+    #[test]
+    fn host_update_runs_all_vcalls() {
+        let (mut machine, system) = build(10);
+        let stats = system.update_host(&mut machine).unwrap();
+        assert_eq!(stats.vcalls, 130);
+        assert!(stats.host_cycles > 0);
+        assert_eq!(stats.layout, SystemLayout::Host);
+    }
+
+    #[test]
+    fn monolithic_and_specialised_compute_identical_results() {
+        let (mut m1, s1) = build(20);
+        s1.update_monolithic_offloaded(&mut m1, 0).unwrap();
+        let r1 = s1.snapshot_canonical(&m1, SystemLayout::Monolithic).unwrap();
+
+        let (mut m2, s2) = build(20);
+        s2.update_specialised_offloaded(&mut m2, 0).unwrap();
+        let r2 = s2
+            .snapshot_canonical(&m2, SystemLayout::TypeSpecialised)
+            .unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn host_and_monolithic_compute_identical_results() {
+        let (mut m1, s1) = build(12);
+        s1.update_host(&mut m1).unwrap();
+        let r1 = s1.snapshot_canonical(&m1, SystemLayout::Host).unwrap();
+
+        let (mut m2, s2) = build(12);
+        s2.update_monolithic_offloaded(&mut m2, 0).unwrap();
+        let r2 = s2.snapshot_canonical(&m2, SystemLayout::Monolithic).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn restructuring_wins_despite_13x_launch_overhead() {
+        let (mut m1, s1) = build(100);
+        let mono = s1.update_monolithic_offloaded(&mut m1, 0).unwrap();
+        let (mut m2, s2) = build(100);
+        let spec = s2.update_specialised_offloaded(&mut m2, 0).unwrap();
+
+        assert_eq!(mono.vcalls, 1300);
+        assert_eq!(spec.vcalls, 1300);
+        assert_eq!(spec.offloads, 13);
+        assert!(
+            spec.host_cycles * 2 < mono.host_cycles,
+            "specialised should win big: {} vs {}",
+            spec.host_cycles,
+            mono.host_cycles
+        );
+        assert!(spec.max_domain_size < mono.max_domain_size);
+    }
+
+    #[test]
+    fn updates_are_race_free() {
+        let (mut machine, system) = build(20);
+        system.update_monolithic_offloaded(&mut machine, 0).unwrap();
+        system
+            .update_specialised_offloaded(&mut machine, 0)
+            .unwrap();
+        assert_eq!(machine.races_detected(), 0);
+    }
+
+    #[test]
+    fn transforms_are_deterministic_and_distinct() {
+        let mut a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut b = a;
+        t_transform(&mut a);
+        t_transform(&mut b);
+        assert_eq!(a.map(f32::to_bits), b.map(f32::to_bits));
+        // Each kind's transform does something (on a generic payload).
+        for (i, t) in KIND_TRANSFORMS.iter().enumerate() {
+            let before = [1.5f32, 2.5, 3.5, 4.5, 5.5, 6.5];
+            let mut after = before;
+            t(&mut after);
+            assert_ne!(
+                before.map(f32::to_bits),
+                after.map(f32::to_bits),
+                "kind {} transform is a no-op",
+                KIND_NAMES[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Game entities and their main-memory storage.
+
+use memspace::{impl_pod, Addr, Pod};
+use simcell::{Machine, SimError};
+
+use crate::math::Vec3;
+
+/// AI states an entity can be in (stored in [`GameEntity::state`]).
+pub mod state {
+    /// Standing around.
+    pub const IDLE: u32 = 0;
+    /// Moving towards its target.
+    pub const SEEK: u32 = 1;
+    /// In range, attacking its target.
+    pub const ATTACK: u32 = 2;
+    /// Low health, running away.
+    pub const FLEE: u32 = 3;
+}
+
+impl_pod! {
+    /// A game entity as stored in simulated main memory.
+    ///
+    /// Exactly 64 bytes (one host cache line, four DMA quadwords) — the
+    /// size class games actually use for hot per-entity data. The first
+    /// field is the class-id header used by the dispatch machinery in
+    /// [`offload_rt::domain`].
+    #[derive(PartialEq, Default)]
+    pub struct GameEntity {
+        /// Class id header (offset 0, the "vtable pointer").
+        pub class: u32,
+        /// World position.
+        pub pos: Vec3,
+        /// Velocity.
+        pub vel: Vec3,
+        /// Collision radius.
+        pub radius: f32,
+        /// Hit points.
+        pub health: f32,
+        /// AI state (see [`state`]).
+        pub state: u32,
+        /// Index of the entity's current target.
+        pub target: u32,
+        /// Padding to 64 bytes (reserved).
+        pub pad: [u32; 5],
+    }
+}
+
+impl GameEntity {
+    /// Byte size as a `u32`, for address arithmetic.
+    pub const STRIDE: u32 = GameEntity::SIZE as u32;
+}
+
+/// A main-memory array of entities plus typed access helpers.
+///
+/// # Example
+///
+/// ```
+/// use gamekit::{EntityArray, GameEntity};
+/// use simcell::{Machine, MachineConfig};
+///
+/// # fn main() -> Result<(), simcell::SimError> {
+/// let mut machine = Machine::new(MachineConfig::small())?;
+/// let entities = EntityArray::alloc(&mut machine, 100)?;
+/// let mut e = GameEntity::default();
+/// e.health = 50.0;
+/// entities.store(&mut machine, 7, &e)?;
+/// assert_eq!(entities.load(&machine, 7)?.health, 50.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EntityArray {
+    base: Addr,
+    count: u32,
+}
+
+impl EntityArray {
+    /// Allocates an array of `count` zeroed entities in main memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when main memory is exhausted.
+    pub fn alloc(machine: &mut Machine, count: u32) -> Result<EntityArray, SimError> {
+        let base = machine.alloc_main_slice::<GameEntity>(count)?;
+        Ok(EntityArray { base, count })
+    }
+
+    /// Base address of the array.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Address of entity `index`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `index` is out of bounds.
+    pub fn addr_of(&self, index: u32) -> Result<Addr, SimError> {
+        if index >= self.count {
+            return Err(SimError::Memory(memspace::MemError::OutOfBounds {
+                space: self.base.space(),
+                offset: index,
+                len: GameEntity::STRIDE,
+                capacity: self.count * GameEntity::STRIDE,
+            }));
+        }
+        Ok(self.base.element(index, GameEntity::STRIDE)?)
+    }
+
+    /// Reads entity `index` without charging time (setup/inspection).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `index` is out of bounds.
+    pub fn load(&self, machine: &Machine, index: u32) -> Result<GameEntity, SimError> {
+        Ok(machine.main().read_pod(self.addr_of(index)?)?)
+    }
+
+    /// Writes entity `index` without charging time (setup/inspection).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `index` is out of bounds.
+    pub fn store(&self, machine: &mut Machine, index: u32, entity: &GameEntity) -> Result<(), SimError> {
+        Ok(machine.main_mut().write_pod(self.addr_of(index)?, entity)?)
+    }
+
+    /// Reads entity `index` on the host, charging host time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `index` is out of bounds.
+    pub fn host_load(&self, machine: &mut Machine, index: u32) -> Result<GameEntity, SimError> {
+        let addr = self.addr_of(index)?;
+        machine.host_read_pod(addr)
+    }
+
+    /// Writes entity `index` on the host, charging host time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `index` is out of bounds.
+    pub fn host_store(
+        &self,
+        machine: &mut Machine,
+        index: u32,
+        entity: &GameEntity,
+    ) -> Result<(), SimError> {
+        let addr = self.addr_of(index)?;
+        machine.host_write_pod(addr, entity)
+    }
+
+    /// Reads the whole array without charging time (inspection).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations.
+    pub fn snapshot(&self, machine: &Machine) -> Result<Vec<GameEntity>, SimError> {
+        Ok(machine.main().read_pod_slice(self.base, self.count)?)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // building test fixtures field-by-field reads best
+mod tests {
+    use super::*;
+    use simcell::MachineConfig;
+
+    #[test]
+    fn entity_is_exactly_64_bytes() {
+        assert_eq!(GameEntity::SIZE, 64);
+        assert_eq!(GameEntity::STRIDE, 64);
+    }
+
+    #[test]
+    fn entity_roundtrips_through_memory() {
+        let e = GameEntity {
+            class: 3,
+            pos: Vec3::new(1.0, 2.0, 3.0),
+            vel: Vec3::new(-1.0, 0.0, 0.5),
+            radius: 2.5,
+            health: 80.0,
+            state: state::SEEK,
+            target: 42,
+            pad: [0; 5],
+        };
+        let mut buf = [0u8; 64];
+        e.write_to(&mut buf);
+        assert_eq!(GameEntity::read_from(&buf), e);
+    }
+
+    #[test]
+    fn array_store_and_load() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let arr = EntityArray::alloc(&mut m, 10).unwrap();
+        assert_eq!(arr.len(), 10);
+        assert!(!arr.is_empty());
+        let mut e = GameEntity::default();
+        e.target = 5;
+        arr.store(&mut m, 9, &e).unwrap();
+        assert_eq!(arr.load(&m, 9).unwrap().target, 5);
+        assert_eq!(arr.load(&m, 0).unwrap(), GameEntity::default());
+    }
+
+    #[test]
+    fn out_of_bounds_index_is_rejected() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let arr = EntityArray::alloc(&mut m, 10).unwrap();
+        assert!(arr.addr_of(10).is_err());
+        assert!(arr.load(&m, 11).is_err());
+    }
+
+    #[test]
+    fn host_access_charges_one_cache_line() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let arr = EntityArray::alloc(&mut m, 4).unwrap();
+        let t0 = m.host_now();
+        let _ = arr.host_load(&mut m, 0).unwrap();
+        assert_eq!(m.host_now() - t0, m.cost().host_mem_access);
+    }
+
+    #[test]
+    fn snapshot_reads_everything() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let arr = EntityArray::alloc(&mut m, 3).unwrap();
+        let mut e = GameEntity::default();
+        e.health = 1.0;
+        arr.store(&mut m, 2, &e).unwrap();
+        let all = arr.snapshot(&m).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].health, 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The game frame loop of paper Figure 2.
+//!
+//! ```c++
+//! void GameWorld::doFrame(...) {
+//!   __offload_handle_t h = __offload {        // AI to the accelerator
+//!     this->calculateStrategy(...);
+//!   };
+//!   this->detectCollisions();                 // host, in parallel
+//!   __offload_join(h);
+//!   this->updateEntities();
+//!   this->renderFrame();
+//! }
+//! ```
+//!
+//! [`run_frame`] executes exactly that schedule (or its sequential
+//! baseline): AI strategy on the accelerator overlapping host collision
+//! detection, then pair response, integration and rendering on the
+//! host. Both schedules compute bit-identical world states — the AI
+//! task writes only velocity/state/target while collision detection
+//! reads only position/radius, the "parallel, distinct tasks" property
+//! game code is structured around.
+
+use memspace::Addr;
+use simcell::{Machine, SimError};
+
+use crate::ai::{ai_frame_host, ai_frame_offloaded, AiConfig};
+use crate::collision::{detect_collisions_host, respond_pairs_host};
+use crate::entity::{EntityArray, GameEntity};
+
+/// Cycles of host computation per entity for rendering (visibility,
+/// draw-call assembly).
+pub const RENDER_COMPUTE_PER_ENTITY: u64 = 30;
+
+/// Cycles of host computation per entity for integration.
+pub const INTEGRATE_COMPUTE_PER_ENTITY: u64 = 10;
+
+/// Broad-phase grid cell size used by the frame.
+pub const FRAME_CELL_SIZE: f32 = 4.0;
+
+const DT: f32 = 1.0 / 60.0;
+
+/// Which schedule a frame ran under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameSchedule {
+    /// Everything on the host, one task after another.
+    Sequential,
+    /// Figure 2: AI offloaded, overlapping host collision detection.
+    Offloaded {
+        /// The accelerator running the AI task.
+        accel: u16,
+    },
+}
+
+impl std::fmt::Display for FrameSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameSchedule::Sequential => write!(f, "sequential"),
+            FrameSchedule::Offloaded { accel } => write!(f, "offloaded(accel {accel})"),
+        }
+    }
+}
+
+/// What one frame cost and found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameStats {
+    /// The schedule used.
+    pub schedule_was_offloaded: bool,
+    /// Host cycles for the whole frame.
+    pub host_cycles: u64,
+    /// Collision pairs found by the broad phase.
+    pub pairs: u32,
+    /// Cycles the AI task occupied its core (host or accelerator).
+    pub ai_cycles: u64,
+}
+
+/// Integrates positions on the host (`pos += vel * dt` with damping).
+fn update_entities(machine: &mut Machine, entities: &EntityArray) -> Result<(), SimError> {
+    let n = entities.len();
+    let mut all = machine.host_read_slice::<GameEntity>(entities.base(), n)?;
+    for e in &mut all {
+        e.pos = e.pos.add(e.vel.scale(DT));
+        e.vel = e.vel.scale(0.999);
+    }
+    machine.host_compute(INTEGRATE_COMPUTE_PER_ENTITY * u64::from(n));
+    machine.host_write_slice(entities.base(), &all)?;
+    Ok(())
+}
+
+/// Renders the frame on the host (reads every entity, fixed compute per
+/// entity).
+fn render_frame(machine: &mut Machine, entities: &EntityArray) -> Result<(), SimError> {
+    let n = entities.len();
+    let _ = machine.host_read_slice::<GameEntity>(entities.base(), n)?;
+    machine.host_compute(RENDER_COMPUTE_PER_ENTITY * u64::from(n));
+    Ok(())
+}
+
+/// Runs one `doFrame` under the given schedule and reports its cost.
+///
+/// # Errors
+///
+/// Fails on memory/transfer errors or if the configured accelerator
+/// does not exist.
+pub fn run_frame(
+    machine: &mut Machine,
+    entities: &EntityArray,
+    candidate_table: Addr,
+    ai_config: &AiConfig,
+    schedule: FrameSchedule,
+) -> Result<FrameStats, SimError> {
+    let t0 = machine.host_now();
+    let (pairs, ai_cycles) = match schedule {
+        FrameSchedule::Sequential => {
+            let a0 = machine.host_now();
+            ai_frame_host(machine, entities, candidate_table, ai_config)?;
+            let ai_cycles = machine.host_now() - a0;
+            let pairs = detect_collisions_host(machine, entities, FRAME_CELL_SIZE)?;
+            (pairs, ai_cycles)
+        }
+        FrameSchedule::Offloaded { accel } => {
+            // __offload { this->calculateStrategy(...); }
+            let handle = machine.offload(accel, |ctx| {
+                ai_frame_offloaded(ctx, entities, candidate_table, ai_config)
+            })?;
+            let ai_cycles = handle.elapsed();
+            // this->detectCollisions();  (host, in parallel)
+            let pairs = detect_collisions_host(machine, entities, FRAME_CELL_SIZE)?;
+            // __offload_join(h);
+            machine.join(handle)?;
+            (pairs, ai_cycles)
+        }
+    };
+    respond_pairs_host(machine, entities, &pairs)?;
+    update_entities(machine, entities)?;
+    render_frame(machine, entities)?;
+    Ok(FrameStats {
+        schedule_was_offloaded: matches!(schedule, FrameSchedule::Offloaded { .. }),
+        host_cycles: machine.host_now() - t0,
+        pairs: pairs.len() as u32,
+        ai_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorldGen;
+    use simcell::MachineConfig;
+
+    fn setup(n: u32) -> (Machine, EntityArray, Addr) {
+        let mut machine = Machine::new(MachineConfig::small()).unwrap();
+        let entities = EntityArray::alloc(&mut machine, n).unwrap();
+        let mut gen = WorldGen::new(21);
+        gen.populate(&mut machine, &entities, 40.0).unwrap();
+        let table = gen
+            .candidate_table(&mut machine, n, AiConfig::default().candidates)
+            .unwrap();
+        (machine, entities, table)
+    }
+
+    #[test]
+    fn both_schedules_compute_identical_worlds() {
+        let config = AiConfig::default();
+        let (mut m1, e1, t1) = setup(256);
+        run_frame(&mut m1, &e1, t1, &config, FrameSchedule::Sequential).unwrap();
+        let w1 = e1.snapshot(&m1).unwrap();
+
+        let (mut m2, e2, t2) = setup(256);
+        run_frame(&mut m2, &e2, t2, &config, FrameSchedule::Offloaded { accel: 0 }).unwrap();
+        let w2 = e2.snapshot(&m2).unwrap();
+        assert_eq!(w1, w2);
+        assert_eq!(m2.races_detected(), 0);
+    }
+
+    #[test]
+    fn offloading_overlaps_ai_with_collision_detection() {
+        let config = AiConfig::default();
+        let (mut m1, e1, t1) = setup(512);
+        let seq = run_frame(&mut m1, &e1, t1, &config, FrameSchedule::Sequential).unwrap();
+
+        let (mut m2, e2, t2) = setup(512);
+        let offl = run_frame(&mut m2, &e2, t2, &config, FrameSchedule::Offloaded { accel: 0 }).unwrap();
+
+        assert_eq!(seq.pairs, offl.pairs);
+        assert!(
+            offl.host_cycles < seq.host_cycles,
+            "offloaded frame should be faster: {} vs {}",
+            offl.host_cycles,
+            seq.host_cycles
+        );
+    }
+
+    #[test]
+    fn frames_advance_the_world() {
+        let config = AiConfig::default();
+        let (mut m, e, t) = setup(64);
+        let before = e.snapshot(&m).unwrap();
+        run_frame(&mut m, &e, t, &config, FrameSchedule::Sequential).unwrap();
+        let after = e.snapshot(&m).unwrap();
+        assert_ne!(before, after, "positions integrate");
+    }
+
+    #[test]
+    fn multiple_frames_run_back_to_back() {
+        let config = AiConfig::default();
+        let (mut m, e, t) = setup(128);
+        let mut last = 0;
+        for _ in 0..3 {
+            let stats = run_frame(&mut m, &e, t, &config, FrameSchedule::Offloaded { accel: 0 }).unwrap();
+            assert!(stats.host_cycles > 0);
+            assert!(m.host_now() > last);
+            last = m.host_now();
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Game-engine workload substrate.
+//!
+//! The paper draws all of its evidence from AAA game codebases: frame
+//! loops of "parallel, distinct tasks with well defined synchronisation
+//! points", tasks that perform "complex processing on relatively small
+//! numbers of objects (100's – 1000's)" for "animation, AI, collision
+//! detection, physics, and rendering", an abstract component system
+//! doing ">1300 virtual calls per frame", and collision-pair response
+//! code moved by explicit DMA (Figure 1). We cannot ship a AAA game, but
+//! every one of those *structural* facts is synthesisable — this crate
+//! regenerates them at the stated scale on the simulated machine:
+//!
+//! - [`math`] / [`entity`]: vector math and the 64-byte `GameEntity`,
+//! - [`components`]: the abstract component system in both its
+//!   *monolithic* (pre-restructuring) and *type-specialised*
+//!   (post-restructuring) forms, with the paper's annotation counts,
+//! - [`collision`]: broad-phase pair finding plus the Figure 1 pair
+//!   response in blocking / tagged / pipelined DMA styles,
+//! - [`ai`]: the offloadable strategy computation of Figure 2,
+//! - [`frame`]: the `GameWorld::doFrame` loop, sequential and offloaded,
+//! - [`workload`]: seeded, deterministic scenario generators.
+
+pub mod ai;
+pub mod collision;
+pub mod components;
+pub mod entity;
+pub mod frame;
+pub mod math;
+pub mod workload;
+
+pub use ai::{ai_frame_host, ai_frame_offloaded, ai_frame_offloaded_tiled, AiConfig};
+pub use collision::{
+    detect_collisions_host, respond_pairs_blocking, respond_pairs_host, respond_pairs_streamed,
+    respond_pairs_tagged, CollisionPair,
+};
+pub use components::{ComponentSystem, ComponentSystemStats, SystemLayout};
+pub use entity::{EntityArray, GameEntity};
+pub use frame::{run_frame, FrameSchedule, FrameStats};
+pub use math::Vec3;
+pub use workload::WorldGen;

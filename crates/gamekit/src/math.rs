@@ -1,0 +1,145 @@
+//! Minimal 3D vector math with an explicit simulated-memory layout.
+
+use memspace::impl_pod;
+
+impl_pod! {
+    /// A 3-component single-precision vector (12 bytes in simulated
+    /// memory, packed little-endian — the layout game code DMAs around).
+    #[derive(PartialEq, Default)]
+    pub struct Vec3 {
+        /// X component.
+        pub x: f32,
+        /// Y component.
+        pub y: f32,
+        /// Z component.
+        pub z: f32,
+    }
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub` deliberately mirror the operator impls
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector.
+    pub fn new(x: f32, y: f32, z: f32) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// Component-wise addition.
+    pub fn add(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Squared length (avoids the square root, as game code does in
+    /// broad phases).
+    pub fn length_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Length.
+    pub fn length(self) -> f32 {
+        self.length_sq().sqrt()
+    }
+
+    /// Squared distance to `other`.
+    pub fn distance_sq(self, other: Vec3) -> f32 {
+        self.sub(other).length_sq()
+    }
+
+    /// A unit vector in this direction, or zero for the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        if len > 1e-12 {
+            self.scale(1.0 / len)
+        } else {
+            Vec3::ZERO
+        }
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, other: Vec3) -> Vec3 {
+        Vec3::add(self, other)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, other: Vec3) -> Vec3 {
+        Vec3::sub(self, other)
+    }
+}
+
+impl std::ops::Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        self.scale(s)
+    }
+}
+
+impl std::fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memspace::Pod;
+
+    #[test]
+    fn pod_layout_is_12_bytes() {
+        assert_eq!(Vec3::SIZE, 12);
+        let v = Vec3::new(1.0, -2.0, 3.5);
+        let mut buf = [0u8; 12];
+        v.write_to(&mut buf);
+        assert_eq!(Vec3::read_from(&buf), v);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(a.length_sq(), 14.0);
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).length(), 5.0);
+        assert_eq!(a.distance_sq(b), 27.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let n = Vec3::new(10.0, 0.0, 0.0).normalized();
+        assert!((n.x - 1.0).abs() < 1e-6);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Vec3::ZERO.to_string(), "(0.000, 0.000, 0.000)");
+    }
+}

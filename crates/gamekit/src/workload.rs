@@ -1,0 +1,210 @@
+//! Seeded, deterministic scenario generators.
+//!
+//! Benchmarks need identical worlds on every run; all randomness flows
+//! from one explicit seed.
+
+use memspace::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcell::{Machine, SimError};
+
+use crate::entity::{state, EntityArray, GameEntity};
+use crate::math::Vec3;
+
+/// A deterministic world generator.
+///
+/// # Example
+///
+/// ```
+/// use gamekit::{EntityArray, WorldGen};
+/// use simcell::{Machine, MachineConfig};
+///
+/// # fn main() -> Result<(), simcell::SimError> {
+/// let mut machine = Machine::new(MachineConfig::small())?;
+/// let entities = EntityArray::alloc(&mut machine, 64)?;
+/// let mut gen = WorldGen::new(7);
+/// gen.populate(&mut machine, &entities, 100.0)?;
+/// assert!(entities.load(&machine, 0)?.health > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct WorldGen {
+    rng: StdRng,
+}
+
+impl WorldGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> WorldGen {
+        WorldGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn vec_in_cube(&mut self, half: f32) -> Vec3 {
+        Vec3::new(
+            self.rng.gen_range(-half..half),
+            self.rng.gen_range(-half..half),
+            self.rng.gen_range(-half..half),
+        )
+    }
+
+    /// Fills `entities` with random positions/velocities inside a cube
+    /// of side `world_size`, plausible radii and health, idle state, and
+    /// random targets. Class headers are left zero; component/class
+    /// setups assign them.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations.
+    pub fn populate(
+        &mut self,
+        machine: &mut Machine,
+        entities: &EntityArray,
+        world_size: f32,
+    ) -> Result<(), SimError> {
+        let n = entities.len();
+        for i in 0..n {
+            let entity = GameEntity {
+                class: 0,
+                pos: self.vec_in_cube(world_size / 2.0),
+                vel: self.vec_in_cube(2.0),
+                radius: self.rng.gen_range(0.5..2.0),
+                health: self.rng.gen_range(10.0..100.0),
+                state: state::IDLE,
+                target: self.rng.gen_range(0..n),
+                pad: [0; 5],
+            };
+            entities.store(machine, i, &entity)?;
+        }
+        Ok(())
+    }
+
+    /// Builds a per-entity candidate table: `k` random entity indices
+    /// for each of `count` entities (the "which entities does my AI
+    /// consider" working set), stored as a flat `u32` array in main
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when main memory is exhausted.
+    pub fn candidate_table(
+        &mut self,
+        machine: &mut Machine,
+        count: u32,
+        k: u32,
+    ) -> Result<Addr, SimError> {
+        let table = machine.alloc_main_slice::<u32>(count * k)?;
+        let mut values = Vec::with_capacity((count * k) as usize);
+        for _ in 0..count * k {
+            values.push(self.rng.gen_range(0..count));
+        }
+        machine.main_mut().write_pod_slice(table, &values)?;
+        Ok(table)
+    }
+
+    /// Generates `pair_count` random collision pairs over `count`
+    /// entities (distinct indices per pair), stored as a flat `u32`
+    /// array of `2 * pair_count` indices.
+    ///
+    /// # Errors
+    ///
+    /// Fails when main memory is exhausted.
+    pub fn collision_pairs(
+        &mut self,
+        machine: &mut Machine,
+        count: u32,
+        pair_count: u32,
+    ) -> Result<Addr, SimError> {
+        assert!(count >= 2, "pairs need at least two entities");
+        let table = machine.alloc_main_slice::<u32>(pair_count * 2)?;
+        let mut values = Vec::with_capacity((pair_count * 2) as usize);
+        for _ in 0..pair_count {
+            let a = self.rng.gen_range(0..count);
+            let mut b = self.rng.gen_range(0..count);
+            while b == a {
+                b = self.rng.gen_range(0..count);
+            }
+            values.push(a);
+            values.push(b);
+        }
+        machine.main_mut().write_pod_slice(table, &values)?;
+        Ok(table)
+    }
+
+    /// A random permutation of `0..count` (used to shuffle component
+    /// arrays so the monolithic system's types are interleaved, as in
+    /// the real game).
+    pub fn permutation(&mut self, count: u32) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..count).collect();
+        // Fisher–Yates.
+        for i in (1..count as usize).rev() {
+            let j = self.rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    /// A random value in `[0, bound)`.
+    pub fn index(&mut self, bound: u32) -> u32 {
+        self.rng.gen_range(0..bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcell::MachineConfig;
+
+    #[test]
+    fn same_seed_same_world() {
+        let build = |seed: u64| {
+            let mut m = Machine::new(MachineConfig::small()).unwrap();
+            let arr = EntityArray::alloc(&mut m, 32).unwrap();
+            WorldGen::new(seed).populate(&mut m, &arr, 50.0).unwrap();
+            arr.snapshot(&m).unwrap()
+        };
+        assert_eq!(build(1), build(1));
+        assert_ne!(build(1), build(2));
+    }
+
+    #[test]
+    fn populate_produces_plausible_entities() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let arr = EntityArray::alloc(&mut m, 64).unwrap();
+        WorldGen::new(3).populate(&mut m, &arr, 100.0).unwrap();
+        for e in arr.snapshot(&m).unwrap() {
+            assert!(e.pos.x.abs() <= 50.0);
+            assert!((0.5..2.0).contains(&e.radius));
+            assert!((10.0..100.0).contains(&e.health));
+            assert!(e.target < 64);
+            assert_eq!(e.state, state::IDLE);
+        }
+    }
+
+    #[test]
+    fn candidate_table_indices_in_range() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let table = WorldGen::new(5).candidate_table(&mut m, 40, 8).unwrap();
+        let values = m.main().read_pod_slice::<u32>(table, 40 * 8).unwrap();
+        assert!(values.iter().all(|&v| v < 40));
+    }
+
+    #[test]
+    fn collision_pairs_are_distinct() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let table = WorldGen::new(5).collision_pairs(&mut m, 30, 100).unwrap();
+        let values = m.main().read_pod_slice::<u32>(table, 200).unwrap();
+        for pair in values.chunks(2) {
+            assert_ne!(pair[0], pair[1]);
+            assert!(pair[0] < 30 && pair[1] < 30);
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut perm = WorldGen::new(9).permutation(100);
+        perm.sort_unstable();
+        assert_eq!(perm, (0..100).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,306 @@
+//! Space-tagged addresses.
+
+use std::fmt;
+
+use crate::error::MemError;
+use crate::space::SpaceId;
+
+/// An address that knows which memory space it points into.
+///
+/// On a machine with disjoint memory spaces a bare integer address is
+/// meaningless — the same offset exists in main memory and in every local
+/// store. `Addr` pairs the offset with a [`SpaceId`], which is exactly the
+/// information the Offload C++ type system tracks with its `__outer`
+/// qualifier (paper §3): the compiler must know, for every pointer,
+/// *which* memory it dereferences into.
+///
+/// Offsets are 32-bit, matching the simulated machine's address range.
+///
+/// # Example
+///
+/// ```
+/// use memspace::{Addr, SpaceId};
+///
+/// let a = Addr::new(SpaceId::MAIN, 0x100);
+/// let b = a.offset_by(16)?;
+/// assert_eq!(b.offset(), 0x110);
+/// assert_eq!(b.space(), SpaceId::MAIN);
+/// # Ok::<(), memspace::MemError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    space: SpaceId,
+    offset: u32,
+}
+
+impl Addr {
+    /// Creates an address at `offset` within `space`.
+    pub fn new(space: SpaceId, offset: u32) -> Addr {
+        Addr { space, offset }
+    }
+
+    /// The null address of a space (offset zero is reserved by convention
+    /// and never handed out by allocators).
+    pub fn null(space: SpaceId) -> Addr {
+        Addr { space, offset: 0 }
+    }
+
+    /// Whether this is the null address of its space.
+    pub fn is_null(self) -> bool {
+        self.offset == 0
+    }
+
+    /// The memory space this address points into.
+    pub fn space(self) -> SpaceId {
+        self.space
+    }
+
+    /// The byte offset within the space.
+    pub fn offset(self) -> u32 {
+        self.offset
+    }
+
+    /// Returns the address `delta` bytes past this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOverflow`] if the sum exceeds the 32-bit
+    /// simulated address range.
+    pub fn offset_by(self, delta: u32) -> Result<Addr, MemError> {
+        match self.offset.checked_add(delta) {
+            Some(offset) => Ok(Addr {
+                space: self.space,
+                offset,
+            }),
+            None => Err(MemError::AddressOverflow {
+                space: self.space,
+                offset: self.offset,
+                delta,
+            }),
+        }
+    }
+
+    /// Returns the address of element `index` in an array of `stride`-byte
+    /// elements starting at this address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOverflow`] if the computation exceeds
+    /// the 32-bit simulated address range.
+    pub fn element(self, index: u32, stride: u32) -> Result<Addr, MemError> {
+        let delta = index.checked_mul(stride).ok_or(MemError::AddressOverflow {
+            space: self.space,
+            offset: self.offset,
+            delta: u32::MAX,
+        })?;
+        self.offset_by(delta)
+    }
+
+    /// Whether this address is aligned to `align` bytes. An alignment of
+    /// zero or one is always satisfied.
+    pub fn is_aligned_to(self, align: u32) -> bool {
+        crate::layout::is_aligned(self.offset, align)
+    }
+
+    /// Byte distance from `other` to `self`, if both lie in the same space
+    /// and `self >= other`.
+    pub fn distance_from(self, other: Addr) -> Option<u32> {
+        if self.space != other.space {
+            return None;
+        }
+        self.offset.checked_sub(other.offset)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({}:{:#x})", self.space, self.offset)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.space, self.offset)
+    }
+}
+
+/// A half-open range of addresses within a single space.
+///
+/// Used by the DMA engine and race checker to reason about transfer
+/// overlap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AddrRange {
+    start: Addr,
+    len: u32,
+}
+
+impl AddrRange {
+    /// Creates the range `[start, start + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOverflow`] if the end would overflow.
+    pub fn new(start: Addr, len: u32) -> Result<AddrRange, MemError> {
+        // Validate that the end is representable.
+        start.offset_by(len)?;
+        Ok(AddrRange { start, len })
+    }
+
+    /// Start address.
+    pub fn start(self) -> Addr {
+        self.start
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> u32 {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// One-past-the-end offset.
+    pub fn end_offset(self) -> u32 {
+        self.start.offset() + self.len
+    }
+
+    /// Whether two ranges overlap (they never overlap across spaces, and
+    /// empty ranges overlap nothing).
+    pub fn overlaps(self, other: AddrRange) -> bool {
+        if self.space() != other.space() || self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.start.offset() < other.end_offset() && other.start.offset() < self.end_offset()
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(self, addr: Addr) -> bool {
+        addr.space() == self.space()
+            && addr.offset() >= self.start.offset()
+            && addr.offset() < self.end_offset()
+    }
+
+    /// The space the range lies in.
+    pub fn space(self) -> SpaceId {
+        self.start.space()
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:[{:#x}, {:#x})",
+            self.space(),
+            self.start.offset(),
+            self.end_offset()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn main_addr(offset: u32) -> Addr {
+        Addr::new(SpaceId::MAIN, offset)
+    }
+
+    #[test]
+    fn offset_by_advances_within_space() {
+        let a = main_addr(0x10);
+        let b = a.offset_by(0x20).unwrap();
+        assert_eq!(b.offset(), 0x30);
+        assert_eq!(b.space(), SpaceId::MAIN);
+    }
+
+    #[test]
+    fn offset_by_detects_overflow() {
+        let a = main_addr(u32::MAX - 1);
+        let err = a.offset_by(2).unwrap_err();
+        assert!(matches!(err, MemError::AddressOverflow { .. }));
+    }
+
+    #[test]
+    fn element_addressing() {
+        let base = main_addr(0x100);
+        assert_eq!(base.element(0, 12).unwrap().offset(), 0x100);
+        assert_eq!(base.element(3, 12).unwrap().offset(), 0x100 + 36);
+    }
+
+    #[test]
+    fn element_detects_multiplication_overflow() {
+        let base = main_addr(0);
+        assert!(base.element(u32::MAX, 16).is_err());
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(main_addr(0x40).is_aligned_to(16));
+        assert!(!main_addr(0x41).is_aligned_to(16));
+        assert!(main_addr(0x41).is_aligned_to(1));
+        assert!(main_addr(0x41).is_aligned_to(0));
+    }
+
+    #[test]
+    fn null_address() {
+        let n = Addr::null(SpaceId::local_store(0));
+        assert!(n.is_null());
+        assert!(!main_addr(4).is_null());
+    }
+
+    #[test]
+    fn distance_requires_same_space() {
+        let a = main_addr(0x100);
+        let b = main_addr(0x40);
+        assert_eq!(a.distance_from(b), Some(0xc0));
+        assert_eq!(b.distance_from(a), None); // would be negative
+        let c = Addr::new(SpaceId::local_store(0), 0x40);
+        assert_eq!(a.distance_from(c), None);
+    }
+
+    #[test]
+    fn range_overlap_same_space() {
+        let r1 = AddrRange::new(main_addr(0x100), 0x40).unwrap();
+        let r2 = AddrRange::new(main_addr(0x120), 0x40).unwrap();
+        let r3 = AddrRange::new(main_addr(0x140), 0x40).unwrap();
+        assert!(r1.overlaps(r2));
+        assert!(r2.overlaps(r1));
+        assert!(!r1.overlaps(r3));
+        assert!(r2.overlaps(r3));
+    }
+
+    #[test]
+    fn range_overlap_never_across_spaces() {
+        let r1 = AddrRange::new(main_addr(0x100), 0x40).unwrap();
+        let r2 = AddrRange::new(Addr::new(SpaceId::local_store(0), 0x100), 0x40).unwrap();
+        assert!(!r1.overlaps(r2));
+    }
+
+    #[test]
+    fn empty_ranges_overlap_nothing() {
+        let r1 = AddrRange::new(main_addr(0x100), 0).unwrap();
+        let r2 = AddrRange::new(main_addr(0x100), 0x10).unwrap();
+        assert!(!r1.overlaps(r2));
+        assert!(!r2.overlaps(r1));
+        assert!(r1.is_empty());
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = AddrRange::new(main_addr(0x100), 0x10).unwrap();
+        assert!(r.contains(main_addr(0x100)));
+        assert!(r.contains(main_addr(0x10f)));
+        assert!(!r.contains(main_addr(0x110)));
+        assert!(!r.contains(Addr::new(SpaceId::local_store(0), 0x100)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(main_addr(0x20).to_string(), "main:0x20");
+        let r = AddrRange::new(main_addr(0x20), 0x10).unwrap();
+        assert_eq!(r.to_string(), "main:[0x20, 0x30)");
+    }
+}

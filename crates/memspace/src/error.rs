@@ -1,0 +1,144 @@
+//! Error type for memory operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::space::SpaceId;
+
+/// Errors raised by simulated-memory operations.
+///
+/// Every fallible operation in this crate (and the crates layered on it)
+/// reports one of these. The variants carry enough context to produce the
+/// kind of actionable diagnostics the paper argues developers need when
+/// working against multiple memory spaces.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// An access fell outside the bounds of its memory region.
+    OutOfBounds {
+        /// Space the access targeted.
+        space: SpaceId,
+        /// Byte offset of the access.
+        offset: u32,
+        /// Length of the access in bytes.
+        len: u32,
+        /// Capacity of the region in bytes.
+        capacity: u32,
+    },
+    /// An access violated an alignment requirement.
+    Misaligned {
+        /// Space the access targeted.
+        space: SpaceId,
+        /// Byte offset of the access.
+        offset: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// An address for one space was presented to a different space.
+    SpaceMismatch {
+        /// Space the address named.
+        expected: SpaceId,
+        /// Space the operation was performed on.
+        actual: SpaceId,
+    },
+    /// Address arithmetic overflowed the 32-bit simulated address range.
+    AddressOverflow {
+        /// Space of the address being advanced.
+        space: SpaceId,
+        /// Base offset.
+        offset: u32,
+        /// Amount added.
+        delta: u32,
+    },
+    /// An allocation request could not be satisfied.
+    OutOfMemory {
+        /// Space the allocation targeted.
+        space: SpaceId,
+        /// Bytes requested.
+        requested: u32,
+        /// Bytes available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds {
+                space,
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access of {len} bytes at offset {offset:#x} is out of bounds for space {space} of {capacity} bytes"
+            ),
+            MemError::Misaligned {
+                space,
+                offset,
+                align,
+            } => write!(
+                f,
+                "access at offset {offset:#x} in space {space} violates {align}-byte alignment"
+            ),
+            MemError::SpaceMismatch { expected, actual } => write!(
+                f,
+                "address names space {expected} but was used with space {actual}"
+            ),
+            MemError::AddressOverflow {
+                space,
+                offset,
+                delta,
+            } => write!(
+                f,
+                "address arithmetic {offset:#x} + {delta:#x} overflows space {space}"
+            ),
+            MemError::OutOfMemory {
+                space,
+                requested,
+                available,
+            } => write!(
+                f,
+                "allocation of {requested} bytes in space {space} exceeds {available} available bytes"
+            ),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = MemError::OutOfBounds {
+            space: SpaceId::MAIN,
+            offset: 0x100,
+            len: 4,
+            capacity: 16,
+        };
+        let text = err.to_string();
+        assert!(text.contains("out of bounds"));
+        assert!(text.contains("main"));
+
+        let err = MemError::Misaligned {
+            space: SpaceId::local_store(0),
+            offset: 3,
+            align: 16,
+        };
+        assert!(err.to_string().contains("alignment"));
+
+        let err = MemError::SpaceMismatch {
+            expected: SpaceId::MAIN,
+            actual: SpaceId::local_store(1),
+        };
+        assert!(err.to_string().contains("ls1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MemError>();
+    }
+}

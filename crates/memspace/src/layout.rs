@@ -1,0 +1,195 @@
+//! Alignment arithmetic and addressing modes.
+//!
+//! Paper §5 discusses *indexed addressing*: memory systems whose native
+//! addressing unit is a word or vector rather than a byte (TigerSHARC,
+//! the PlayStation 2 vector units). [`AddressingMode`] captures the unit;
+//! the `offload-lang` type checker uses it to implement the paper's
+//! hybrid word/byte pointer discipline.
+
+use crate::error::MemError;
+use crate::space::SpaceId;
+
+/// Rounds `offset` up to the next multiple of `align`.
+///
+/// An `align` of zero or one returns `offset` unchanged. `align` need not
+/// be a power of two, though all alignments used in the workspace are.
+///
+/// # Example
+///
+/// ```
+/// use memspace::align_up;
+///
+/// assert_eq!(align_up(13, 16), 16);
+/// assert_eq!(align_up(16, 16), 16);
+/// assert_eq!(align_up(0, 16), 0);
+/// assert_eq!(align_up(5, 1), 5);
+/// ```
+pub fn align_up(offset: u32, align: u32) -> u32 {
+    if align <= 1 {
+        return offset;
+    }
+    let rem = offset % align;
+    if rem == 0 {
+        offset
+    } else {
+        offset + (align - rem)
+    }
+}
+
+/// Checked version of [`align_up`] that reports overflow.
+///
+/// # Errors
+///
+/// Returns [`MemError::AddressOverflow`] if rounding up would exceed
+/// `u32::MAX`.
+pub fn checked_align_up(space: SpaceId, offset: u32, align: u32) -> Result<u32, MemError> {
+    if align <= 1 {
+        return Ok(offset);
+    }
+    let rem = offset % align;
+    if rem == 0 {
+        return Ok(offset);
+    }
+    offset
+        .checked_add(align - rem)
+        .ok_or(MemError::AddressOverflow {
+            space,
+            offset,
+            delta: align - rem,
+        })
+}
+
+/// Whether `offset` is a multiple of `align` (zero and one always are).
+pub fn is_aligned(offset: u32, align: u32) -> bool {
+    align <= 1 || offset.is_multiple_of(align)
+}
+
+/// The native addressing unit of a memory system (paper §5).
+///
+/// In a byte-addressed system, adding 1 to an address moves one byte; in
+/// a word-addressed system it moves one *word*. Software that assumes
+/// byte addressing (virtually all modern C/C++ code) either breaks or
+/// pays an emulation tax on word-addressed systems — the paper's hybrid
+/// pointer-typing scheme exists to manage exactly this.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AddressingMode {
+    /// Conventional byte addressing.
+    Byte,
+    /// Word addressing with the given word size in bytes (e.g. 4 for
+    /// TigerSHARC-style 32-bit words, 16 for PS2 VU-style vectors).
+    Word {
+        /// Word size in bytes; always at least 2.
+        bytes: u8,
+    },
+}
+
+impl AddressingMode {
+    /// Word addressing with 4-byte words.
+    pub const WORD4: AddressingMode = AddressingMode::Word { bytes: 4 };
+
+    /// Vector addressing with 16-byte units (PS2-VU-like).
+    pub const VECTOR16: AddressingMode = AddressingMode::Word { bytes: 16 };
+
+    /// Size in bytes of the native addressing unit.
+    pub fn unit_bytes(self) -> u32 {
+        match self {
+            AddressingMode::Byte => 1,
+            AddressingMode::Word { bytes } => u32::from(bytes),
+        }
+    }
+
+    /// Whether this mode is word-oriented (unit larger than a byte).
+    pub fn is_word_addressed(self) -> bool {
+        self.unit_bytes() > 1
+    }
+
+    /// Splits a byte offset into `(unit_index, byte_within_unit)`.
+    ///
+    /// For byte addressing the second component is always zero.
+    pub fn split(self, byte_offset: u32) -> (u32, u32) {
+        let unit = self.unit_bytes();
+        (byte_offset / unit, byte_offset % unit)
+    }
+
+    /// Whether a byte offset is expressible as a whole number of units.
+    pub fn is_unit_aligned(self, byte_offset: u32) -> bool {
+        byte_offset.is_multiple_of(self.unit_bytes())
+    }
+}
+
+impl std::fmt::Display for AddressingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddressingMode::Byte => write!(f, "byte-addressed"),
+            AddressingMode::Word { bytes } => write!(f, "word-addressed ({bytes}-byte units)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 16), 0);
+        assert_eq!(align_up(1, 16), 16);
+        assert_eq!(align_up(15, 16), 16);
+        assert_eq!(align_up(16, 16), 16);
+        assert_eq!(align_up(17, 16), 32);
+        assert_eq!(align_up(100, 0), 100);
+        assert_eq!(align_up(100, 1), 100);
+    }
+
+    #[test]
+    fn align_up_non_power_of_two() {
+        assert_eq!(align_up(10, 12), 12);
+        assert_eq!(align_up(24, 12), 24);
+    }
+
+    #[test]
+    fn checked_align_up_overflow() {
+        let err = checked_align_up(SpaceId::MAIN, u32::MAX - 2, 16).unwrap_err();
+        assert!(matches!(err, MemError::AddressOverflow { .. }));
+        assert_eq!(checked_align_up(SpaceId::MAIN, 17, 16).unwrap(), 32);
+        assert_eq!(
+            checked_align_up(SpaceId::MAIN, u32::MAX, 1).unwrap(),
+            u32::MAX
+        );
+    }
+
+    #[test]
+    fn is_aligned_basics() {
+        assert!(is_aligned(32, 16));
+        assert!(!is_aligned(33, 16));
+        assert!(is_aligned(33, 1));
+        assert!(is_aligned(33, 0));
+    }
+
+    #[test]
+    fn addressing_mode_units() {
+        assert_eq!(AddressingMode::Byte.unit_bytes(), 1);
+        assert_eq!(AddressingMode::WORD4.unit_bytes(), 4);
+        assert_eq!(AddressingMode::VECTOR16.unit_bytes(), 16);
+        assert!(!AddressingMode::Byte.is_word_addressed());
+        assert!(AddressingMode::WORD4.is_word_addressed());
+    }
+
+    #[test]
+    fn addressing_mode_split() {
+        assert_eq!(AddressingMode::WORD4.split(13), (3, 1));
+        assert_eq!(AddressingMode::WORD4.split(12), (3, 0));
+        assert_eq!(AddressingMode::Byte.split(13), (13, 0));
+        assert!(AddressingMode::WORD4.is_unit_aligned(8));
+        assert!(!AddressingMode::WORD4.is_unit_aligned(9));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AddressingMode::Byte.to_string(), "byte-addressed");
+        assert_eq!(
+            AddressingMode::WORD4.to_string(),
+            "word-addressed (4-byte units)"
+        );
+    }
+}

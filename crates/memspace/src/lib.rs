@@ -1,0 +1,54 @@
+//! Memory-space model for the Offload reproduction.
+//!
+//! The paper (Russell et al., MSPC/PLDI 2011) is about software running on
+//! machines with *multiple, disjoint, non-cache-coherent memory spaces* —
+//! concretely a Cell-BE-like machine with a host core addressing a large
+//! main memory and accelerator cores each owning a small, fast scratch-pad
+//! *local store*. This crate provides the vocabulary every other crate in
+//! the workspace builds on:
+//!
+//! - [`SpaceId`] / [`SpaceKind`]: identity of a memory space,
+//! - [`Addr`]: an address that knows which space it points into,
+//! - [`MemoryRegion`]: a bounds-checked simulated memory (a byte array),
+//! - [`Pod`]: safe, explicit byte-level layout for typed values,
+//! - [`AddressingMode`]: byte- vs word-addressed memories (paper §5).
+//!
+//! Nothing in this crate models *time*; cycle accounting lives in
+//! `simcell`. Nothing here is `unsafe`.
+//!
+//! # Example
+//!
+//! ```
+//! use memspace::{Addr, MemoryRegion, Pod, SpaceId, SpaceKind};
+//!
+//! # fn main() -> Result<(), memspace::MemError> {
+//! let main_id = SpaceId::MAIN;
+//! let mut main = MemoryRegion::new(main_id, SpaceKind::Main, 1024);
+//! let addr = Addr::new(main_id, 64);
+//! main.write_pod(addr, &42u32)?;
+//! assert_eq!(main.read_pod::<u32>(addr)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod addr;
+pub mod error;
+pub mod layout;
+pub mod pod;
+pub mod region;
+pub mod space;
+
+pub use addr::{Addr, AddrRange};
+pub use error::MemError;
+pub use layout::{align_up, checked_align_up, is_aligned, AddressingMode};
+pub use pod::Pod;
+pub use region::{copy_between, MemoryRegion};
+pub use space::{SpaceId, SpaceKind};
+
+/// Size of an accelerator local store, in bytes (256 KiB, as on the Cell
+/// BE SPEs the paper targets).
+pub const LOCAL_STORE_SIZE: u32 = 256 * 1024;
+
+/// Preferred DMA transfer alignment, in bytes (Cell MFC transfers are most
+/// efficient at 16-byte — quadword — alignment).
+pub const DMA_ALIGN: u32 = 16;

@@ -1,0 +1,274 @@
+//! Safe, explicit byte-level layout for typed values.
+//!
+//! Simulated memories are byte arrays; game data and language values must
+//! be marshalled into and out of them. Rather than transmuting (which
+//! would require `unsafe` and entangle simulated layout with host layout),
+//! [`Pod`] types define an explicit, packed, little-endian wire layout.
+//! The [`impl_pod!`](crate::impl_pod) macro derives the implementation
+//! for plain structs of `Pod` fields, mirroring how real engine code
+//! declares DMA-able PODs.
+
+/// A plain-old-data value with an explicit simulated-memory layout.
+///
+/// The layout contract:
+///
+/// - a value occupies exactly [`Pod::SIZE`] bytes, packed (no padding),
+/// - multi-byte integers and floats are little-endian,
+/// - [`Pod::ALIGN`] is the *preferred* placement alignment (used by
+///   allocators and the DMA cost model), not a correctness requirement.
+///
+/// # Panics
+///
+/// `write_to` and `read_from` panic if the provided buffer is shorter
+/// than [`Pod::SIZE`]; callers (memory regions, accessors) always check
+/// bounds first and pass exactly-sized slices.
+///
+/// # Example
+///
+/// ```
+/// use memspace::Pod;
+///
+/// let mut buf = [0u8; 4];
+/// 0xdead_beef_u32.write_to(&mut buf);
+/// assert_eq!(u32::read_from(&buf), 0xdead_beef);
+/// ```
+pub trait Pod: Sized + Copy {
+    /// Size of the value in simulated memory, in bytes.
+    const SIZE: usize;
+    /// Preferred placement alignment in simulated memory, in bytes.
+    const ALIGN: usize;
+
+    /// Serialises `self` into the first [`Pod::SIZE`] bytes of `out`.
+    fn write_to(&self, out: &mut [u8]);
+
+    /// Deserialises a value from the first [`Pod::SIZE`] bytes of `buf`.
+    fn read_from(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Pod for $ty {
+                const SIZE: usize = std::mem::size_of::<$ty>();
+                const ALIGN: usize = std::mem::size_of::<$ty>();
+
+                fn write_to(&self, out: &mut [u8]) {
+                    out[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+                }
+
+                fn read_from(buf: &[u8]) -> Self {
+                    let mut bytes = [0u8; std::mem::size_of::<$ty>()];
+                    bytes.copy_from_slice(&buf[..Self::SIZE]);
+                    <$ty>::from_le_bytes(bytes)
+                }
+            }
+        )*
+    };
+}
+
+impl_pod_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Pod for bool {
+    const SIZE: usize = 1;
+    const ALIGN: usize = 1;
+
+    fn write_to(&self, out: &mut [u8]) {
+        out[0] = u8::from(*self);
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+impl<T: Pod, const N: usize> Pod for [T; N] {
+    const SIZE: usize = T::SIZE * N;
+    const ALIGN: usize = T::ALIGN;
+
+    fn write_to(&self, out: &mut [u8]) {
+        for (i, item) in self.iter().enumerate() {
+            item.write_to(&mut out[i * T::SIZE..(i + 1) * T::SIZE]);
+        }
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        std::array::from_fn(|i| T::read_from(&buf[i * T::SIZE..(i + 1) * T::SIZE]))
+    }
+}
+
+/// Maximum of two usizes, usable in const context (for `impl_pod!`).
+#[doc(hidden)]
+pub const fn const_max(a: usize, b: usize) -> usize {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Derives [`Pod`] for a struct whose fields are all `Pod`.
+///
+/// The struct is declared by the macro itself so field order (and hence
+/// the packed layout) is unambiguous. Attributes and visibility pass
+/// through.
+///
+/// # Example
+///
+/// ```
+/// use memspace::{impl_pod, Pod};
+///
+/// impl_pod! {
+///     /// A 3-vector as stored in simulated memory.
+///     #[derive(PartialEq)]
+///     pub struct Vec3f {
+///         pub x: f32,
+///         pub y: f32,
+///         pub z: f32,
+///     }
+/// }
+///
+/// assert_eq!(Vec3f::SIZE, 12);
+/// let v = Vec3f { x: 1.0, y: 2.0, z: 3.0 };
+/// let mut buf = [0u8; 12];
+/// v.write_to(&mut buf);
+/// assert_eq!(Vec3f::read_from(&buf), v);
+/// ```
+#[macro_export]
+macro_rules! impl_pod {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $fty:ty ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug)]
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $fty, )*
+        }
+
+        impl $crate::Pod for $name {
+            const SIZE: usize = 0 $( + <$fty as $crate::Pod>::SIZE )*;
+            const ALIGN: usize = {
+                #[allow(unused_mut)]
+                let mut align = 1usize;
+                $( align = $crate::pod::const_max(align, <$fty as $crate::Pod>::ALIGN); )*
+                align
+            };
+
+            fn write_to(&self, out: &mut [u8]) {
+                let _ = &out;
+                #[allow(unused_mut)]
+                let mut at = 0usize;
+                $(
+                    <$fty as $crate::Pod>::write_to(
+                        &self.$field,
+                        &mut out[at..at + <$fty as $crate::Pod>::SIZE],
+                    );
+                    at += <$fty as $crate::Pod>::SIZE;
+                )*
+                let _ = at;
+            }
+
+            fn read_from(buf: &[u8]) -> Self {
+                let _ = &buf;
+                #[allow(unused_mut)]
+                let mut at = 0usize;
+                $(
+                    let $field = <$fty as $crate::Pod>::read_from(
+                        &buf[at..at + <$fty as $crate::Pod>::SIZE],
+                    );
+                    at += <$fty as $crate::Pod>::SIZE;
+                )*
+                let _ = at;
+                Self { $( $field, )* }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = [0u8; 8];
+        0x0123_4567_89ab_cdef_u64.write_to(&mut buf);
+        assert_eq!(u64::read_from(&buf), 0x0123_4567_89ab_cdef);
+        assert_eq!(buf[0], 0xef, "layout is little-endian");
+
+        (-5i16).write_to(&mut buf);
+        assert_eq!(i16::read_from(&buf), -5);
+
+        1.5f32.write_to(&mut buf);
+        assert_eq!(f32::read_from(&buf), 1.5);
+
+        true.write_to(&mut buf);
+        assert!(bool::read_from(&buf));
+        false.write_to(&mut buf);
+        assert!(!bool::read_from(&buf));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let arr = [1u16, 2, 3, 4];
+        let mut buf = [0u8; 8];
+        arr.write_to(&mut buf);
+        assert_eq!(<[u16; 4]>::read_from(&buf), arr);
+        assert_eq!(<[u16; 4]>::SIZE, 8);
+    }
+
+    impl_pod! {
+        /// Test struct with mixed field sizes.
+        #[derive(PartialEq)]
+        struct Mixed {
+            a: u8,
+            b: u32,
+            c: i16,
+            d: [f32; 2],
+        }
+    }
+
+    #[test]
+    fn struct_layout_is_packed() {
+        assert_eq!(Mixed::SIZE, 1 + 4 + 2 + 8);
+        assert_eq!(Mixed::ALIGN, 4);
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let m = Mixed {
+            a: 7,
+            b: 0xdead_beef,
+            c: -300,
+            d: [1.0, -2.0],
+        };
+        let mut buf = vec![0u8; Mixed::SIZE];
+        m.write_to(&mut buf);
+        assert_eq!(Mixed::read_from(&buf), m);
+        // The first field lands at offset 0, packed.
+        assert_eq!(buf[0], 7);
+        assert_eq!(&buf[1..5], &0xdead_beef_u32.to_le_bytes());
+    }
+
+    impl_pod! {
+        struct Empty {}
+    }
+
+    #[test]
+    fn empty_struct_is_zero_sized() {
+        assert_eq!(Empty::SIZE, 0);
+        assert_eq!(Empty::ALIGN, 1);
+        let e = Empty {};
+        e.write_to(&mut []);
+        let _ = Empty::read_from(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_buffer_panics() {
+        let mut buf = [0u8; 2];
+        0u32.write_to(&mut buf);
+    }
+}

@@ -1,0 +1,173 @@
+//! Memory-space identity.
+//!
+//! A *memory space* is a region of storage with its own address range,
+//! disjoint from every other space: pointers into different spaces are
+//! incomparable, and moving data between spaces requires an explicit
+//! transfer (DMA on the simulated machine). This mirrors the paper's
+//! setting, where host (outer) memory and each accelerator's local store
+//! are separate spaces.
+
+use std::fmt;
+
+/// Identifier of a memory space.
+///
+/// `SpaceId` is a small, cheap, `Copy` handle. The conventional layout
+/// used throughout the workspace is: id 0 is main (host) memory, and ids
+/// `1..=n` are the local stores of accelerators `0..n-1`. Helper
+/// constructors encode that convention; nothing stops other layouts.
+///
+/// # Example
+///
+/// ```
+/// use memspace::SpaceId;
+///
+/// assert_eq!(SpaceId::MAIN.index(), 0);
+/// assert_eq!(SpaceId::local_store(2).index(), 3);
+/// assert!(SpaceId::local_store(0).is_local_store());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpaceId(u16);
+
+impl SpaceId {
+    /// The main (host / outer) memory space.
+    pub const MAIN: SpaceId = SpaceId(0);
+
+    /// Creates a space id from a raw index.
+    pub fn from_index(index: u16) -> SpaceId {
+        SpaceId(index)
+    }
+
+    /// The space id of accelerator `accel`'s local store, under the
+    /// conventional layout.
+    pub fn local_store(accel: u16) -> SpaceId {
+        SpaceId(accel + 1)
+    }
+
+    /// Raw index of this space.
+    pub fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the main memory space (under the conventional
+    /// layout).
+    pub fn is_main(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is a local-store space (under the conventional
+    /// layout).
+    pub fn is_local_store(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The accelerator index owning this local store, or `None` for main
+    /// memory.
+    pub fn accel_index(self) -> Option<u16> {
+        if self.is_local_store() {
+            Some(self.0 - 1)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_main() {
+            write!(f, "SpaceId(main)")
+        } else {
+            write!(f, "SpaceId(ls{})", self.0 - 1)
+        }
+    }
+}
+
+impl fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_main() {
+            write!(f, "main")
+        } else {
+            write!(f, "ls{}", self.0 - 1)
+        }
+    }
+}
+
+/// The kind of a memory space, determining its rough performance class
+/// and capacity expectations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpaceKind {
+    /// Large, high-latency (from an accelerator's perspective) main
+    /// memory, shared by the host and all accelerators.
+    Main,
+    /// A small, fast scratch-pad local store private to one accelerator.
+    LocalStore {
+        /// Index of the owning accelerator.
+        accel: u16,
+    },
+}
+
+impl SpaceKind {
+    /// Whether this kind is a local store.
+    pub fn is_local_store(self) -> bool {
+        matches!(self, SpaceKind::LocalStore { .. })
+    }
+}
+
+impl fmt::Display for SpaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceKind::Main => write!(f, "main memory"),
+            SpaceKind::LocalStore { accel } => write!(f, "local store of accelerator {accel}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_space_convention() {
+        assert!(SpaceId::MAIN.is_main());
+        assert!(!SpaceId::MAIN.is_local_store());
+        assert_eq!(SpaceId::MAIN.accel_index(), None);
+    }
+
+    #[test]
+    fn local_store_convention() {
+        for accel in 0..8 {
+            let id = SpaceId::local_store(accel);
+            assert!(id.is_local_store());
+            assert!(!id.is_main());
+            assert_eq!(id.accel_index(), Some(accel));
+            assert_eq!(id.index(), accel + 1);
+        }
+    }
+
+    #[test]
+    fn space_ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SpaceId::MAIN);
+        set.insert(SpaceId::local_store(0));
+        set.insert(SpaceId::local_store(0));
+        assert_eq!(set.len(), 2);
+        assert!(SpaceId::MAIN < SpaceId::local_store(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SpaceId::MAIN.to_string(), "main");
+        assert_eq!(SpaceId::local_store(3).to_string(), "ls3");
+        assert_eq!(SpaceKind::Main.to_string(), "main memory");
+        assert_eq!(
+            SpaceKind::LocalStore { accel: 1 }.to_string(),
+            "local store of accelerator 1"
+        );
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", SpaceId::MAIN).is_empty());
+        assert!(!format!("{:?}", SpaceKind::Main).is_empty());
+    }
+}

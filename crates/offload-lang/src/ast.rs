@@ -1,0 +1,411 @@
+//! The abstract syntax tree.
+
+use crate::span::Span;
+
+/// A parsed source file.
+#[derive(Clone, Debug, Default)]
+pub struct SourceProgram {
+    /// Top-level items in declaration order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// A plain-old-data struct.
+    Struct(StructDef),
+    /// A class with methods and optional parent.
+    Class(ClassDef),
+    /// A global variable (`var name: type;`), allocated in main memory.
+    Global(GlobalDef),
+    /// A free function.
+    Func(FuncDef),
+}
+
+/// A struct definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// Definition span.
+    pub span: Span,
+}
+
+/// A field of a struct or class.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A class definition (`class Name : Parent { fields; methods }`).
+#[derive(Clone, Debug)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Parent class name, if any.
+    pub parent: Option<String>,
+    /// Own (non-inherited) fields.
+    pub fields: Vec<FieldDef>,
+    /// Methods defined in this class.
+    pub methods: Vec<MethodDef>,
+    /// Definition span.
+    pub span: Span,
+}
+
+/// A method definition.
+#[derive(Clone, Debug)]
+pub struct MethodDef {
+    /// `virtual fn …` introduces a new slot.
+    pub is_virtual: bool,
+    /// `override fn …` overrides a parent's virtual slot.
+    pub is_override: bool,
+    /// Name, parameters (excluding the implicit `self`), return type
+    /// and body.
+    pub func: FuncDef,
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug)]
+pub struct GlobalDef {
+    /// Global name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// Function (or method) name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (`void` if omitted in source).
+    pub ret: TypeExpr,
+    /// Body.
+    pub body: Block,
+    /// Definition span.
+    pub span: Span,
+}
+
+/// A parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A syntactic type.
+#[derive(Clone, Debug)]
+pub enum TypeExpr {
+    /// `int`, `float`, `bool`, `void`, or a struct/class name.
+    Named(String, Span),
+    /// `T*` (word-addressed by default on word targets) or `T byte*`.
+    Ptr {
+        /// Pointee type.
+        pointee: Box<TypeExpr>,
+        /// `byte*`: explicitly byte-addressed (paper §5).
+        byte_addressed: bool,
+        /// Span.
+        span: Span,
+    },
+    /// `[T; N]` fixed array.
+    Array {
+        /// Element type.
+        elem: Box<TypeExpr>,
+        /// Length.
+        len: u32,
+        /// Span.
+        span: Span,
+    },
+}
+
+impl TypeExpr {
+    /// The span of the type expression.
+    pub fn span(&self) -> Span {
+        match self {
+            TypeExpr::Named(_, span) => *span,
+            TypeExpr::Ptr { span, .. } => *span,
+            TypeExpr::Array { span, .. } => *span,
+        }
+    }
+}
+
+/// A block of statements.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+    /// Span of the braces.
+    pub span: Span,
+}
+
+/// One entry of an offload `domain(...)` annotation: `Class.method`.
+#[derive(Clone, Debug)]
+pub struct DomainEntry {
+    /// Class name.
+    pub class: String,
+    /// Method name.
+    pub method: String,
+    /// Span.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let name: ty = init;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeExpr,
+        /// Initialiser (required for scalars, optional for aggregates).
+        init: Option<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `place = value;`
+    Assign {
+        /// Assignment target (an lvalue expression).
+        target: Expr,
+        /// Value.
+        value: Expr,
+        /// Span.
+        span: Span,
+    },
+    /// `if cond { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Else branch.
+        else_blk: Option<Block>,
+        /// Span.
+        span: Span,
+    },
+    /// `while cond { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+        /// Span.
+        span: Span,
+    },
+    /// `return expr;` / `return;`
+    Return {
+        /// Returned value.
+        value: Option<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// An expression statement (usually a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Span.
+        span: Span,
+    },
+    /// `offload [handle] domain(...) { … }` — run the block on an
+    /// accelerator. With a handle name the offload is *asynchronous*
+    /// (the paper's `__offload_handle_t h = __offload { … }`): the host
+    /// continues and must `join` the handle later.
+    Offload {
+        /// Handle name for an asynchronous offload; `None` joins
+        /// implicitly at the end of the block.
+        handle: Option<String>,
+        /// `use(x, y)`: host locals captured *by value* into the block
+        /// (the paper's "additional syntax … to pass parameters to the
+        /// block").
+        captures: Vec<(String, Span)>,
+        /// The `domain(...)` annotation (may be empty).
+        domain: Vec<DomainEntry>,
+        /// The offloaded body.
+        body: Block,
+        /// Span.
+        span: Span,
+    },
+    /// `join h;` — block until the named offload completes (the paper's
+    /// `__offload_join(h)`).
+    Join {
+        /// The handle name.
+        name: String,
+        /// Span.
+        span: Span,
+    },
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+` (also pointer + integer).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator yields `bool`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i32, Span),
+    /// Float literal.
+    FloatLit(f32, Span),
+    /// Boolean literal.
+    BoolLit(bool, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Free-function call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Method call `recv.m(args)`; `recv` is a class pointer.
+    MethodCall {
+        /// Receiver (pointer to class instance).
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Field access `base.f` (struct lvalue or pointer, auto-deref).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Span.
+        span: Span,
+    },
+    /// Array indexing `base[i]`.
+    Index {
+        /// Array or pointer base.
+        base: Box<Expr>,
+        /// Index.
+        index: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Pointer dereference `*p`.
+    Deref {
+        /// Pointer operand.
+        ptr: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Address-of `&place`.
+    AddrOf {
+        /// The lvalue whose address is taken.
+        place: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `new ClassName` — arena allocation in the current memory space.
+    New {
+        /// Class name.
+        class: String,
+        /// Span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s) | Expr::FloatLit(_, s) | Expr::BoolLit(_, s) | Expr::Var(_, s) => *s,
+            Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::MethodCall { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Deref { span, .. }
+            | Expr::AddrOf { span, .. }
+            | Expr::New { span, .. } => *span,
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The bytecode a compiled program consists of.
+//!
+//! A stack machine: expressions push values onto an operand stack
+//! (modelling registers — operand traffic is free), while locals,
+//! globals, heap objects and frames live in *simulated memory*, so
+//! every pointer dereference pays the cost of the space it touches.
+
+use std::fmt;
+
+/// Index of a compiled function within [`Program::funcs`](crate::compile::Program).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+/// Index of a dispatch domain within the program.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DomainId(pub u32);
+
+/// Which space a pointer *value* refers into (resolved against the
+/// executing accelerator at runtime).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpaceTag {
+    /// Main (outer) memory.
+    Host,
+    /// The executing core's local store (main memory when the host
+    /// executes the instruction).
+    Local,
+}
+
+/// The scalar type of a memory access or stack slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 32-bit float.
+    F32,
+    /// 1-byte boolean.
+    Bool,
+    /// 1-byte character.
+    Char,
+    /// 4-byte pointer (offset); the space is static.
+    Ptr(SpaceTag),
+}
+
+impl ValType {
+    /// Size of the value in simulated memory.
+    pub fn size(self) -> u32 {
+        match self {
+            ValType::I32 | ValType::F32 | ValType::Ptr(_) => 4,
+            ValType::Bool | ValType::Char => 1,
+        }
+    }
+}
+
+/// Comparison operators for `CmpI`/`CmpF`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One bytecode instruction.
+///
+/// Stack effects are noted as `… pops → pushes`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Instr {
+    /// `→ i32`
+    ConstI(i32),
+    /// `→ f32`
+    ConstF(f32),
+    /// `→ bool`
+    ConstB(bool),
+    /// Discard the top of stack.
+    Drop,
+
+    /// Load a frame slot. `→ value`
+    LoadLocal {
+        /// Byte offset within the frame.
+        offset: u32,
+        /// Scalar type.
+        ty: ValType,
+    },
+    /// Store to a frame slot. `value →`
+    StoreLocal {
+        /// Byte offset within the frame.
+        offset: u32,
+        /// Scalar type.
+        ty: ValType,
+    },
+    /// Push the address of a frame slot. `→ ptr(local-or-host)`
+    AddrOfLocal {
+        /// Byte offset within the frame.
+        offset: u32,
+    },
+    /// Push the address of a global. `→ ptr(host)`
+    AddrOfGlobal {
+        /// Byte offset within the globals block.
+        offset: u32,
+    },
+
+    /// Load through a pointer. `ptr → value`. `penalty` is extra cycles
+    /// for sub-word extraction / byte-pointer emulation (paper §5).
+    LoadMem {
+        /// Scalar type loaded.
+        ty: ValType,
+        /// Extra cycles charged on top of the memory access.
+        penalty: u32,
+    },
+    /// Store through a pointer. `ptr value →`
+    StoreMem {
+        /// Scalar type stored.
+        ty: ValType,
+        /// Extra cycles charged on top of the memory access.
+        penalty: u32,
+    },
+    /// Aggregate copy. `dst_ptr src_ptr →`
+    CopyMem {
+        /// Bytes copied.
+        size: u32,
+    },
+    /// Add a constant byte offset to a pointer. `ptr → ptr`
+    PtrAddConst(i32),
+    /// Add a scaled dynamic index. `ptr i32 → ptr`
+    PtrIndex {
+        /// Element stride in bytes.
+        stride: u32,
+    },
+
+    /// `i32 i32 → i32`
+    AddI,
+    /// `i32 i32 → i32`
+    SubI,
+    /// `i32 i32 → i32`
+    MulI,
+    /// `i32 i32 → i32` (traps on zero divisor)
+    DivI,
+    /// `i32 i32 → i32` (traps on zero divisor)
+    ModI,
+    /// `i32 → i32`
+    NegI,
+    /// `f32 f32 → f32`
+    AddF,
+    /// `f32 f32 → f32`
+    SubF,
+    /// `f32 f32 → f32`
+    MulF,
+    /// `f32 f32 → f32`
+    DivF,
+    /// `f32 → f32`
+    NegF,
+    /// `i32 i32 → bool`
+    CmpI(Cmp),
+    /// `f32 f32 → bool`
+    CmpF(Cmp),
+    /// `bool → bool`
+    NotB,
+    /// `i32 → f32`
+    I2F,
+    /// `f32 → i32` (truncating)
+    F2I,
+
+    /// Unconditional jump to an instruction index.
+    Jump(u32),
+    /// `bool →`; jump when false.
+    JumpIfFalse(u32),
+    /// `bool →`; jump when true (for `||`).
+    JumpIfTrue(u32),
+
+    /// Static call. `args… → ret?`
+    Call {
+        /// Callee.
+        func: FuncId,
+    },
+    /// Virtual call through the receiver's class-id header.
+    /// `recv args… → ret?`
+    CallVirtual {
+        /// vtable slot.
+        slot: u16,
+        /// Number of arguments *excluding* the receiver.
+        nargs: u16,
+        /// Dispatch domain (accelerator code only; `None` on the host).
+        domain: Option<DomainId>,
+        /// Memory-space signature of the required duplicate.
+        dup: u16,
+    },
+    /// Return from the current function. `ret? →` (caller receives it)
+    Ret {
+        /// Whether a value is returned.
+        has_value: bool,
+    },
+
+    /// Allocate a class instance in the *current* space's arena and
+    /// write its class-id header. `→ ptr(local)`
+    NewObject {
+        /// Class id (index into the program's class list).
+        class: u32,
+        /// Instance size in bytes.
+        size: u32,
+    },
+
+    /// Launch an offload block (host only): run `func` on the
+    /// accelerator under `domain`, joining before continuing.
+    Offload {
+        /// The compiled body.
+        func: FuncId,
+        /// The block's dispatch domain.
+        domain: DomainId,
+    },
+    /// Launch an *asynchronous* offload block (host only): the host
+    /// continues; `Join` with the same slot synchronises.
+    OffloadAsync {
+        /// The compiled body.
+        func: FuncId,
+        /// The block's dispatch domain.
+        domain: DomainId,
+        /// The handle slot.
+        slot: u16,
+    },
+    /// Join the asynchronous offload registered under `slot`.
+    Join {
+        /// The handle slot.
+        slot: u16,
+    },
+
+    /// Print the top of stack to the VM output. `i32 →`
+    PrintI,
+    /// Print the top of stack to the VM output. `f32 →`
+    PrintF,
+}
+
+/// A compiled function (or function duplicate, or offload body).
+#[derive(Clone, Debug)]
+pub struct FuncBody {
+    /// Diagnostic name, e.g. `update@Enemy[self:outer]`.
+    pub name: String,
+    /// Parameter types, in call order (receiver first for methods).
+    pub params: Vec<ValType>,
+    /// Byte offsets of the parameter slots in the frame.
+    pub param_offsets: Vec<u32>,
+    /// Total frame size in bytes.
+    pub frame_size: u32,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// The code.
+    pub code: Vec<Instr>,
+}
+
+impl fmt::Display for FuncBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {} (frame {} bytes):", self.name, self.frame_size)?;
+        for (i, instr) in self.code.iter().enumerate() {
+            writeln!(f, "  {i:4}: {instr:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A class as the VM sees it: name + vtable of host implementations.
+#[derive(Clone, Debug)]
+pub struct VmClass {
+    /// Class name (diagnostics).
+    pub name: String,
+    /// slot → host-compiled [`FuncId`].
+    pub vtable: Vec<FuncId>,
+}
+
+/// A dispatch domain as the VM sees it (paper Figure 3).
+#[derive(Clone, Debug, Default)]
+pub struct VmDomain {
+    /// Outer domain: host function ids known to this offload.
+    pub outer: Vec<FuncId>,
+    /// Inner domain: per outer entry, `(duplicate id, accel FuncId)`.
+    pub inner: Vec<Vec<(u16, FuncId)>>,
+}
+
+impl VmDomain {
+    /// Adds a duplicate for `host_fn`.
+    pub fn add(&mut self, host_fn: FuncId, dup: u16, accel_fn: FuncId) {
+        if let Some(i) = self.outer.iter().position(|&f| f == host_fn) {
+            if !self.inner[i].iter().any(|&(d, _)| d == dup) {
+                self.inner[i].push((dup, accel_fn));
+            }
+        } else {
+            self.outer.push(host_fn);
+            self.inner.push(vec![(dup, accel_fn)]);
+        }
+    }
+
+    /// Two-stage lookup; returns `(accel fn, outer probes, inner probes)`.
+    pub fn lookup(&self, host_fn: FuncId, dup: u16) -> Option<(FuncId, u32, u32)> {
+        for (i, &entry) in self.outer.iter().enumerate() {
+            if entry == host_fn {
+                for (j, &(d, accel_fn)) in self.inner[i].iter().enumerate() {
+                    if d == dup {
+                        return Some((accel_fn, i as u32 + 1, j as u32 + 1));
+                    }
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Annotation count (outer-domain size).
+    pub fn len(&self) -> usize {
+        self.outer.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.outer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn val_type_sizes() {
+        assert_eq!(ValType::I32.size(), 4);
+        assert_eq!(ValType::Char.size(), 1);
+        assert_eq!(ValType::Bool.size(), 1);
+        assert_eq!(ValType::Ptr(SpaceTag::Host).size(), 4);
+    }
+
+    #[test]
+    fn domain_add_and_lookup() {
+        let mut d = VmDomain::default();
+        d.add(FuncId(10), 0, FuncId(100));
+        d.add(FuncId(10), 1, FuncId(101));
+        d.add(FuncId(20), 1, FuncId(200));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup(FuncId(10), 1), Some((FuncId(101), 1, 2)));
+        assert_eq!(d.lookup(FuncId(20), 1), Some((FuncId(200), 2, 1)));
+        assert_eq!(d.lookup(FuncId(20), 0), None, "duplicate not compiled");
+        assert_eq!(d.lookup(FuncId(30), 0), None, "not annotated");
+    }
+
+    #[test]
+    fn domain_deduplicates() {
+        let mut d = VmDomain::default();
+        d.add(FuncId(1), 0, FuncId(2));
+        d.add(FuncId(1), 0, FuncId(2));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.inner[0].len(), 1);
+    }
+
+    #[test]
+    fn func_body_display_lists_instructions() {
+        let body = FuncBody {
+            name: "main".into(),
+            params: vec![],
+            param_offsets: vec![],
+            frame_size: 8,
+            returns_value: true,
+            code: vec![Instr::ConstI(42), Instr::Ret { has_value: true }],
+        };
+        let text = body.to_string();
+        assert!(text.contains("main"));
+        assert!(text.contains("ConstI(42)"));
+    }
+}

@@ -1,0 +1,2111 @@
+//! The code generator: type checking, memory-space inference,
+//! word-addressing discipline, call-graph duplication, domain
+//! construction, and lowering to bytecode — one type-directed pass per
+//! compiled function variant, mirroring how Offload C++ compiles each
+//! function once per memory-space signature actually used (paper §3).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{self, BinOp, Expr, Stmt, UnOp};
+use crate::bytecode::{Cmp, DomainId, FuncBody, FuncId, Instr, SpaceTag, ValType, VmClass, VmDomain};
+use crate::compile::{CompileStats, Program, Target, WordStrategy};
+use crate::diag::{CompileError, ErrorKind};
+use crate::span::Span;
+use crate::types::{
+    ClassInfo, FieldInfo, MethodInfo, PtrUnit, ResolvedDomainEntry, Space, StructInfo, Type,
+    TypeTable,
+};
+
+/// How a pointer expression relates to word alignment (paper §5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WordClass {
+    /// Word-aligned (or the target is byte-addressed).
+    Aligned,
+    /// Word base plus a compile-time-constant sub-word offset.
+    ConstSub(u32),
+    /// A stored `byte*` value: sub-word offset known only at runtime,
+    /// but bounded machinery (declared byte-addressed).
+    RuntimeByte,
+    /// A variable byte offset — inexpressible efficiently; a static
+    /// error under the hybrid strategy.
+    Dynamic,
+}
+
+/// The static result of compiling an expression.
+#[derive(Clone, Debug)]
+struct ExprVal {
+    ty: Type,
+    word: WordClass,
+}
+
+impl ExprVal {
+    fn plain(ty: Type) -> ExprVal {
+        ExprVal {
+            ty,
+            word: WordClass::Aligned,
+        }
+    }
+}
+
+/// A resolved assignment/read target.
+enum PlaceVal {
+    /// A scalar frame slot (register-like cost).
+    Slot { offset: u32, ty: Type },
+    /// A memory location whose address is on the operand stack.
+    Mem {
+        ty: Type,
+        space: Space,
+        word: WordClass,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct LocalVar {
+    offset: u32,
+    ty: Type,
+}
+
+#[derive(Clone, Debug)]
+struct GlobalVar {
+    offset: u32,
+    ty: Type,
+}
+
+/// One function AST tracked by the compiler.
+struct FnAst {
+    def: ast::FuncDef,
+    /// `Some(method index)` when this is a class method.
+    method_of: Option<usize>,
+}
+
+/// Key identifying one compiled variant of a function.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct FuncKey {
+    ast: usize,
+    accel: bool,
+    /// Full space-resolved parameter types (receiver first for methods).
+    params: Vec<Type>,
+}
+
+/// Per-function compilation state.
+struct FnCtx {
+    accel: bool,
+    space_here: Space,
+    scopes: Vec<HashMap<String, LocalVar>>,
+    frame_size: u32,
+    code: Vec<Instr>,
+    ret: Type,
+    /// Local names of the *enclosing host function* (for offload-body
+    /// diagnostics).
+    enclosing_names: Vec<String>,
+    /// Offload handle names declared in this function, by slot.
+    handles: HashMap<String, u16>,
+    next_handle: u16,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<LocalVar> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn emit(&mut self, instr: Instr) -> usize {
+        self.code.push(instr);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.here();
+        match &mut self.code[at] {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => *t = target,
+            other => unreachable!("patching a non-jump {other:?}"),
+        }
+    }
+}
+
+/// The program compiler. Create with [`Compiler::new`], run with
+/// [`Compiler::compile`].
+pub struct Compiler<'t> {
+    target: &'t Target,
+    types: TypeTable,
+    fn_asts: Vec<FnAst>,
+    free_fns: HashMap<String, usize>,
+    globals: HashMap<String, GlobalVar>,
+    globals_size: u32,
+    funcs: Vec<FuncBody>,
+    classes: Vec<VmClass>,
+    domains: Vec<VmDomain>,
+    compiled: HashMap<FuncKey, FuncId>,
+    /// `(slot, duplicate-id)` signatures observed at accelerator virtual
+    /// call sites.
+    vcall_sigs: HashSet<(u16, u16)>,
+    stats: CompileStats,
+}
+
+fn err(kind: ErrorKind, span: Span, message: impl Into<String>) -> CompileError {
+    CompileError::new(kind, span, message)
+}
+
+impl<'t> Compiler<'t> {
+    /// Creates a compiler for the target.
+    pub fn new(target: &'t Target) -> Compiler<'t> {
+        Compiler {
+            target,
+            types: TypeTable::default(),
+            fn_asts: Vec::new(),
+            free_fns: HashMap::new(),
+            globals: HashMap::new(),
+            globals_size: 0,
+            funcs: Vec::new(),
+            classes: Vec::new(),
+            domains: Vec::new(),
+            compiled: HashMap::new(),
+            vcall_sigs: HashSet::new(),
+            stats: CompileStats::default(),
+        }
+    }
+
+    /// Runs the full pipeline over a parsed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first semantic error.
+    pub fn compile(mut self, source: &ast::SourceProgram) -> Result<Program, CompileError> {
+        self.collect_types(source)?;
+        self.collect_globals(source)?;
+        self.collect_functions(source)?;
+        self.compile_host_world()?;
+        let main_ast = *self.free_fns.get("main").ok_or_else(|| {
+            err(ErrorKind::Resolve, Span::point(0), "missing `fn main() -> int`")
+        })?;
+        let main_def = &self.fn_asts[main_ast].def;
+        if !main_def.params.is_empty() {
+            return Err(err(
+                ErrorKind::Resolve,
+                main_def.span,
+                "`main` must take no parameters",
+            ));
+        }
+        let main = self.compiled[&FuncKey {
+            ast: main_ast,
+            accel: false,
+            params: vec![],
+        }];
+        if !self.funcs[main.0 as usize].returns_value {
+            return Err(err(
+                ErrorKind::Resolve,
+                main_def.span,
+                "`main` must return `int`",
+            ));
+        }
+        self.stats.functions_compiled = self.funcs.len();
+        Ok(Program {
+            funcs: self.funcs,
+            classes: self.classes,
+            domains: self.domains,
+            globals_size: self.globals_size.max(4),
+            main,
+            stats: self.stats,
+            types: self.types,
+        })
+    }
+
+    // ---- declaration collection -------------------------------------------
+
+    fn collect_types(&mut self, source: &ast::SourceProgram) -> Result<(), CompileError> {
+        for item in &source.items {
+            match item {
+                ast::Item::Struct(def) => {
+                    if self.types.struct_by_name(&def.name).is_some()
+                        || self.types.class_by_name(&def.name).is_some()
+                    {
+                        return Err(err(
+                            ErrorKind::Resolve,
+                            def.span,
+                            format!("type `{}` is defined twice", def.name),
+                        ));
+                    }
+                    let mut decls = Vec::new();
+                    for field in &def.fields {
+                        let ty = self.types.lower(&field.ty, Space::Host)?;
+                        if ty == Type::Void {
+                            return Err(err(ErrorKind::Type, field.span, "fields cannot be void"));
+                        }
+                        decls.push((field.name.clone(), ty));
+                    }
+                    let (fields, size, align) = self.types.layout_fields(0, &decls);
+                    self.types.add_struct(StructInfo {
+                        name: def.name.clone(),
+                        fields,
+                        size,
+                        align,
+                    });
+                }
+                ast::Item::Class(def) => {
+                    self.collect_class(def)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_class(&mut self, def: &ast::ClassDef) -> Result<(), CompileError> {
+        if self.types.struct_by_name(&def.name).is_some()
+            || self.types.class_by_name(&def.name).is_some()
+        {
+            return Err(err(
+                ErrorKind::Resolve,
+                def.span,
+                format!("type `{}` is defined twice", def.name),
+            ));
+        }
+        let parent = match &def.parent {
+            Some(name) => Some(self.types.class_by_name(name).ok_or_else(|| {
+                err(
+                    ErrorKind::Resolve,
+                    def.span,
+                    format!("unknown parent class `{name}` (classes must be declared before use)"),
+                )
+            })?),
+            None => None,
+        };
+        // Fields: class-id header at offset 0, then inherited, then own.
+        let (mut fields, start) = match parent {
+            Some(p) => {
+                let info = &self.types.classes[p];
+                (info.fields.clone(), info.size)
+            }
+            None => (Vec::new(), 4),
+        };
+        let mut decls = Vec::new();
+        for field in &def.fields {
+            if fields.iter().any(|f: &FieldInfo| f.name == field.name)
+                || decls.iter().any(|(n, _)| n == &field.name)
+            {
+                return Err(err(
+                    ErrorKind::Resolve,
+                    field.span,
+                    format!("field `{}` shadows an inherited or duplicate field", field.name),
+                ));
+            }
+            decls.push((field.name.clone(), self.types.lower(&field.ty, Space::Host)?));
+        }
+        let (own, size, align) = self.types.layout_fields(start, &decls);
+        fields.extend(own);
+        let (mut vtable, parent_size_align) = match parent {
+            Some(p) => (
+                self.types.classes[p].vtable.clone(),
+                self.types.classes[p].align,
+            ),
+            None => (Vec::new(), 4),
+        };
+        let align = align.max(parent_size_align).max(4);
+        let size = memspace::align_up(size.max(start), align);
+
+        let class_idx = self.types.classes.len();
+        let mut static_methods = HashMap::new();
+
+        for method in &def.methods {
+            let fdef = &method.func;
+            let mut params = Vec::new();
+            for p in &fdef.params {
+                let ty = self.types.lower(&p.ty, Space::Host)?;
+                if !ty.is_scalar() {
+                    return Err(err(
+                        ErrorKind::Type,
+                        p.span,
+                        "parameters must be scalars or pointers (pass aggregates by pointer)",
+                    ));
+                }
+                params.push(ty);
+            }
+            let ret = self.types.lower(&fdef.ret, Space::Host)?;
+            if ret.is_ptr() {
+                return Err(err(
+                    ErrorKind::Type,
+                    fdef.span,
+                    "returning pointers is not supported; return through an out-parameter",
+                ));
+            }
+            let ast_index = self.fn_asts.len();
+            let method_index = self.types.methods.len();
+
+            if method.is_override {
+                // Find the parent slot with this name.
+                let parent_method = parent
+                    .and_then(|p| self.types.method_by_name(p, &fdef.name))
+                    .ok_or_else(|| {
+                        err(
+                            ErrorKind::Resolve,
+                            fdef.span,
+                            format!("`{}` overrides nothing in the parent class", fdef.name),
+                        )
+                    })?;
+                let parent_info = &self.types.methods[parent_method];
+                if !parent_info.is_virtual {
+                    return Err(err(
+                        ErrorKind::Resolve,
+                        fdef.span,
+                        format!("`{}` in the parent class is not virtual", fdef.name),
+                    ));
+                }
+                if parent_info.params.len() != params.len()
+                    || !parent_info
+                        .params
+                        .iter()
+                        .zip(&params)
+                        .all(|(a, b)| a.same_shape(b))
+                    || !parent_info.ret.same_shape(&ret)
+                {
+                    return Err(err(
+                        ErrorKind::Type,
+                        fdef.span,
+                        format!("override of `{}` changes the signature", fdef.name),
+                    ));
+                }
+                let slot = parent_info.slot;
+                vtable[usize::from(slot)] = method_index;
+                self.types.methods.push(MethodInfo {
+                    name: fdef.name.clone(),
+                    slot,
+                    is_virtual: true,
+                    params,
+                    ret,
+                    defined_in: class_idx,
+                    ast_index,
+                });
+            } else if method.is_virtual {
+                let slot = vtable.len() as u16;
+                vtable.push(method_index);
+                self.types.methods.push(MethodInfo {
+                    name: fdef.name.clone(),
+                    slot,
+                    is_virtual: true,
+                    params,
+                    ret,
+                    defined_in: class_idx,
+                    ast_index,
+                });
+            } else {
+                static_methods.insert(fdef.name.clone(), method_index);
+                self.types.methods.push(MethodInfo {
+                    name: fdef.name.clone(),
+                    slot: u16::MAX,
+                    is_virtual: false,
+                    params,
+                    ret,
+                    defined_in: class_idx,
+                    ast_index,
+                });
+            }
+            self.fn_asts.push(FnAst {
+                def: fdef.clone(),
+                method_of: Some(method_index),
+            });
+        }
+
+        self.types.add_class(ClassInfo {
+            name: def.name.clone(),
+            parent,
+            fields,
+            size,
+            align,
+            vtable,
+            static_methods,
+        });
+        Ok(())
+    }
+
+    fn collect_globals(&mut self, source: &ast::SourceProgram) -> Result<(), CompileError> {
+        for item in &source.items {
+            if let ast::Item::Global(def) = item {
+                if self.globals.contains_key(&def.name) {
+                    return Err(err(
+                        ErrorKind::Resolve,
+                        def.span,
+                        format!("global `{}` is defined twice", def.name),
+                    ));
+                }
+                let ty = self.types.lower(&def.ty, Space::Host)?;
+                if ty == Type::Void {
+                    return Err(err(ErrorKind::Type, def.span, "globals cannot be void"));
+                }
+                let align = self.types.align_of(&ty).max(4);
+                let offset = memspace::align_up(self.globals_size, align);
+                self.globals_size = offset + self.types.size_of(&ty);
+                self.globals.insert(def.name.clone(), GlobalVar { offset, ty });
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_functions(&mut self, source: &ast::SourceProgram) -> Result<(), CompileError> {
+        for item in &source.items {
+            if let ast::Item::Func(def) = item {
+                if self.free_fns.contains_key(&def.name) {
+                    return Err(err(
+                        ErrorKind::Resolve,
+                        def.span,
+                        format!("function `{}` is defined twice", def.name),
+                    ));
+                }
+                for p in &def.params {
+                    let ty = self.types.lower(&p.ty, Space::Host)?;
+                    if !ty.is_scalar() {
+                        return Err(err(
+                            ErrorKind::Type,
+                            p.span,
+                            "parameters must be scalars or pointers (pass aggregates by pointer)",
+                        ));
+                    }
+                }
+                let ret = self.types.lower(&def.ret, Space::Host)?;
+                if ret.is_ptr() {
+                    return Err(err(
+                        ErrorKind::Type,
+                        def.span,
+                        "returning pointers is not supported; return through an out-parameter",
+                    ));
+                }
+                self.free_fns.insert(def.name.clone(), self.fn_asts.len());
+                self.fn_asts.push(FnAst {
+                    def: def.clone(),
+                    method_of: None,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles every function and method in host context and builds the
+    /// host vtables.
+    fn compile_host_world(&mut self) -> Result<(), CompileError> {
+        // Methods first, so vtables are complete before any dispatch.
+        for class_idx in 0..self.types.classes.len() {
+            let vtable = self.types.classes[class_idx].vtable.clone();
+            let mut vm_vtable = Vec::with_capacity(vtable.len());
+            for &midx in &vtable {
+                let fid = self.compile_method_variant(midx, false, Space::Host, None)?;
+                vm_vtable.push(fid);
+            }
+            self.classes.push(VmClass {
+                name: self.types.classes[class_idx].name.clone(),
+                vtable: vm_vtable,
+            });
+            // Static methods too (host variants).
+            let statics: Vec<usize> = self.types.classes[class_idx]
+                .static_methods
+                .values()
+                .copied()
+                .collect();
+            for midx in statics {
+                self.compile_method_variant(midx, false, Space::Host, None)?;
+            }
+        }
+        for ast_idx in 0..self.fn_asts.len() {
+            if self.fn_asts[ast_idx].method_of.is_none() {
+                let params = self.host_param_types(ast_idx)?;
+                self.compile_variant(FuncKey {
+                    ast: ast_idx,
+                    accel: false,
+                    params,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn host_param_types(&self, ast_idx: usize) -> Result<Vec<Type>, CompileError> {
+        self.fn_asts[ast_idx]
+            .def
+            .params
+            .iter()
+            .map(|p| self.types.lower(&p.ty, Space::Host))
+            .collect()
+    }
+
+    /// Compiles one variant of a method: receiver in `self_space`,
+    /// pointer parameters per `dup_bits` (bit *i+1* set ⇒ parameter *i*
+    /// outer) when given, else all receiver-space.
+    fn compile_method_variant(
+        &mut self,
+        midx: usize,
+        accel: bool,
+        self_space: Space,
+        dup_bits: Option<u16>,
+    ) -> Result<FuncId, CompileError> {
+        let info = self.types.methods[midx].clone();
+        let self_ty = Type::ptr(Type::Class(info.defined_in), self_space);
+        let mut params = vec![self_ty];
+        let mut ptr_index = 0u16;
+        for p in &info.params {
+            let ty = if p.is_ptr() {
+                ptr_index += 1;
+                let space = match dup_bits {
+                    Some(bits) => {
+                        if bits & (1 << ptr_index) != 0 {
+                            Space::Host
+                        } else {
+                            Space::Local
+                        }
+                    }
+                    None => self_space,
+                };
+                respace_top(p, space)
+            } else {
+                p.clone()
+            };
+            params.push(ty);
+        }
+        self.compile_variant(FuncKey {
+            ast: info.ast_index,
+            accel,
+            params,
+        })
+    }
+
+    /// Compiles (or reuses) the function variant named by `key`.
+    fn compile_variant(&mut self, key: FuncKey) -> Result<FuncId, CompileError> {
+        if let Some(&fid) = self.compiled.get(&key) {
+            return Ok(fid);
+        }
+        // Reserve the id first so recursion terminates.
+        let fid = FuncId(self.funcs.len() as u32);
+        self.funcs.push(FuncBody {
+            name: String::new(),
+            params: Vec::new(),
+            param_offsets: Vec::new(),
+            frame_size: 0,
+            returns_value: false,
+            code: Vec::new(),
+        });
+        self.compiled.insert(key.clone(), fid);
+
+        let fn_ast = &self.fn_asts[key.ast];
+        let def = fn_ast.def.clone();
+        let method_of = fn_ast.method_of;
+        let ret = self.types.lower(&def.ret, Space::Host)?;
+
+        let mut fx = FnCtx {
+            accel: key.accel,
+            space_here: if key.accel { Space::Local } else { Space::Host },
+            scopes: vec![HashMap::new()],
+            frame_size: 0,
+            code: Vec::new(),
+            ret: ret.clone(),
+            enclosing_names: Vec::new(),
+            handles: HashMap::new(),
+            next_handle: 0,
+        };
+
+        // Bind parameters to frame slots.
+        let mut param_tys = Vec::new();
+        let mut param_offsets = Vec::new();
+        let names: Vec<String> = if method_of.is_some() {
+            std::iter::once("self".to_string())
+                .chain(def.params.iter().map(|p| p.name.clone()))
+                .collect()
+        } else {
+            def.params.iter().map(|p| p.name.clone()).collect()
+        };
+        if names.len() != key.params.len() {
+            unreachable!("caller built the parameter list from the signature");
+        }
+        for (name, ty) in names.iter().zip(&key.params) {
+            let offset = self.alloc_slot(&mut fx, ty);
+            fx.scopes[0].insert(
+                name.clone(),
+                LocalVar {
+                    offset,
+                    ty: ty.clone(),
+                },
+            );
+            param_tys.push(self.val_type(ty, def.span)?);
+            param_offsets.push(offset);
+        }
+
+        self.block(&mut fx, &def.body)?;
+        fx.emit(Instr::Ret { has_value: false });
+
+        let sig: Vec<String> = key
+            .params
+            .iter()
+            .map(|t| self.types.display(t))
+            .collect();
+        let variant_name = format!(
+            "{}{}({})",
+            def.name,
+            if key.accel { "@accel" } else { "" },
+            sig.join(", ")
+        );
+        *self.stats.duplicates.entry(def.name.clone()).or_insert(0) += 1;
+        self.funcs[fid.0 as usize] = FuncBody {
+            name: variant_name,
+            params: param_tys,
+            param_offsets,
+            frame_size: memspace::align_up(fx.frame_size.max(4), 16),
+            returns_value: ret != Type::Void,
+            code: fx.code,
+        };
+        Ok(fid)
+    }
+
+    fn alloc_slot(&self, fx: &mut FnCtx, ty: &Type) -> u32 {
+        let align = self.types.align_of(ty).max(4);
+        let offset = memspace::align_up(fx.frame_size, align);
+        fx.frame_size = offset + self.types.size_of(ty);
+        offset
+    }
+
+    fn val_type(&self, ty: &Type, span: Span) -> Result<ValType, CompileError> {
+        match ty {
+            Type::Int => Ok(ValType::I32),
+            Type::Float => Ok(ValType::F32),
+            Type::Bool => Ok(ValType::Bool),
+            Type::Char => Ok(ValType::Char),
+            Type::Ptr { space, .. } => Ok(ValType::Ptr(match space {
+                Space::Host => SpaceTag::Host,
+                Space::Local => SpaceTag::Local,
+            })),
+            other => Err(err(
+                ErrorKind::Type,
+                span,
+                format!(
+                    "a value of type `{}` cannot be used here (scalars only)",
+                    self.types.display(other)
+                ),
+            )),
+        }
+    }
+
+    // ---- word-addressing helpers --------------------------------------------
+
+    fn word_bytes(&self) -> u32 {
+        self.target.word_bytes()
+    }
+
+    fn word_rules_apply(&self) -> bool {
+        self.target.is_word_addressed()
+    }
+
+    fn hybrid(&self) -> bool {
+        self.target.strategy == WordStrategy::Hybrid
+    }
+
+    fn combine_const(&self, word: WordClass, delta: i64) -> WordClass {
+        if !self.word_rules_apply() {
+            return WordClass::Aligned;
+        }
+        let w = i64::from(self.word_bytes());
+        match word {
+            WordClass::Aligned => {
+                if delta.rem_euclid(w) == 0 {
+                    WordClass::Aligned
+                } else {
+                    WordClass::ConstSub(delta.rem_euclid(w) as u32)
+                }
+            }
+            WordClass::ConstSub(off) => {
+                let total = (i64::from(off) + delta).rem_euclid(w);
+                if total == 0 {
+                    WordClass::Aligned
+                } else {
+                    WordClass::ConstSub(total as u32)
+                }
+            }
+            WordClass::RuntimeByte => WordClass::RuntimeByte,
+            WordClass::Dynamic => WordClass::Dynamic,
+        }
+    }
+
+    fn combine_dynamic(
+        &self,
+        word: WordClass,
+        stride: u32,
+        span: Span,
+    ) -> Result<WordClass, CompileError> {
+        if !self.word_rules_apply() {
+            return Ok(WordClass::Aligned);
+        }
+        if stride.is_multiple_of(self.word_bytes()) {
+            return Ok(word);
+        }
+        if self.hybrid() {
+            Err(err(
+                ErrorKind::WordAddressing,
+                span,
+                format!(
+                    "adding a variable offset with stride {stride} to a pointer produces a \
+                     variable byte-pointer, which cannot be dereferenced efficiently on this \
+                     word-addressed target ({}-byte words); restructure the loop to step by \
+                     whole words, or copy through a word-sized buffer",
+                    self.word_bytes()
+                ),
+            ))
+        } else {
+            Ok(WordClass::Dynamic)
+        }
+    }
+
+    /// Extra cycles a dereference of `ty` through a pointer of class
+    /// `word` costs on this target.
+    fn deref_penalty(&self, word: WordClass, ty: &Type) -> u32 {
+        if !self.word_rules_apply() {
+            return 0;
+        }
+        if self.target.strategy == WordStrategy::ByteEmulate {
+            return self.target.byte_emulation_cost;
+        }
+        match word {
+            WordClass::Aligned => {
+                if self.types.size_of(ty) < self.word_bytes() {
+                    self.target.subword_extract_cost
+                } else {
+                    0
+                }
+            }
+            WordClass::ConstSub(_) => self.target.subword_extract_cost,
+            WordClass::RuntimeByte => self.target.byte_ptr_deref_cost,
+            WordClass::Dynamic => self.target.byte_emulation_cost,
+        }
+    }
+
+    /// The word class of a pointer *value loaded from storage*, by its
+    /// declared unit.
+    fn loaded_class(&self, ty: &Type) -> WordClass {
+        if !self.word_rules_apply() {
+            return WordClass::Aligned;
+        }
+        match ty {
+            Type::Ptr {
+                unit: PtrUnit::Byte,
+                ..
+            } => WordClass::RuntimeByte,
+            _ => WordClass::Aligned,
+        }
+    }
+
+    /// Checks that `value` may be stored into a declared `target` type
+    /// (spaces, units, shapes, numeric coercions).
+    fn check_assign(
+        &self,
+        target: &Type,
+        value: &ExprVal,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        // Numeric coercion.
+        if (target == &Type::Char && value.ty == Type::Int)
+            || (target == &Type::Int && value.ty == Type::Char)
+        {
+            return Ok(());
+        }
+        match (target, &value.ty) {
+            (
+                Type::Ptr {
+                    pointee: tp,
+                    space: ts,
+                    unit: tu,
+                },
+                Type::Ptr {
+                    pointee: vp,
+                    space: vs,
+                    ..
+                },
+            ) => {
+                let pointee_ok = tp.same_shape(vp)
+                    || match (&**tp, &**vp) {
+                        (Type::Class(sup), Type::Class(sub)) => {
+                            self.types.is_subclass_of(*sub, *sup)
+                        }
+                        _ => false,
+                    };
+                if !pointee_ok {
+                    return Err(err(
+                        ErrorKind::Type,
+                        span,
+                        format!(
+                            "expected `{}`, found `{}`",
+                            self.types.display(target),
+                            self.types.display(&value.ty)
+                        ),
+                    ));
+                }
+                if ts != vs {
+                    return Err(err(
+                        ErrorKind::MemorySpace,
+                        span,
+                        format!(
+                            "cannot assign a pointer into {vs} memory to a pointer into {ts} \
+                             memory; data must be moved between memory spaces explicitly",
+                        ),
+                    ));
+                }
+                if !self.deep_spaces_match(tp, vp) {
+                    return Err(err(
+                        ErrorKind::MemorySpace,
+                        span,
+                        "pointer targets disagree about nested memory spaces".to_string(),
+                    ));
+                }
+                if self.word_rules_apply() && self.hybrid() && *tu == PtrUnit::Word {
+                    match value.word {
+                        WordClass::Aligned => {}
+                        _ => {
+                            return Err(err(
+                                ErrorKind::WordAddressing,
+                                span,
+                                "cannot assign a byte-addressed value to a word-addressed \
+                                 pointer; declare the destination as `byte*`",
+                            ))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            _ if target.same_shape(&value.ty) && self.deep_spaces_match(target, &value.ty) => {
+                Ok(())
+            }
+            _ if target.same_shape(&value.ty) => Err(err(
+                ErrorKind::MemorySpace,
+                span,
+                "value has the right shape but refers into a different memory space",
+            )),
+            _ => Err(err(
+                ErrorKind::Type,
+                span,
+                format!(
+                    "expected `{}`, found `{}`",
+                    self.types.display(target),
+                    self.types.display(&value.ty)
+                ),
+            )),
+        }
+    }
+
+    fn deep_spaces_match(&self, a: &Type, b: &Type) -> bool {
+        match (a, b) {
+            (
+                Type::Ptr {
+                    pointee: ap,
+                    space: asp,
+                    ..
+                },
+                Type::Ptr {
+                    pointee: bp,
+                    space: bsp,
+                    ..
+                },
+            ) => asp == bsp && self.deep_spaces_match(ap, bp),
+            (Type::Array { elem: ae, .. }, Type::Array { elem: be, .. }) => {
+                self.deep_spaces_match(ae, be)
+            }
+            _ => true,
+        }
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn block(&mut self, fx: &mut FnCtx, block: &ast::Block) -> Result<(), CompileError> {
+        fx.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.stmt(fx, stmt)?;
+        }
+        fx.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, fx: &mut FnCtx, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                span,
+            } => self.stmt_let(fx, name, ty, init.as_ref(), *span),
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => self.stmt_assign(fx, target, value, *span),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                let c = self.expr(fx, cond)?;
+                if c.ty != Type::Bool {
+                    return Err(err(ErrorKind::Type, *span, "`if` condition must be bool"));
+                }
+                let jf = fx.emit(Instr::JumpIfFalse(0));
+                self.block(fx, then_blk)?;
+                if let Some(else_blk) = else_blk {
+                    let jend = fx.emit(Instr::Jump(0));
+                    fx.patch_jump(jf);
+                    self.block(fx, else_blk)?;
+                    fx.patch_jump(jend);
+                } else {
+                    fx.patch_jump(jf);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, span } => {
+                let top = fx.here();
+                let c = self.expr(fx, cond)?;
+                if c.ty != Type::Bool {
+                    return Err(err(ErrorKind::Type, *span, "`while` condition must be bool"));
+                }
+                let jf = fx.emit(Instr::JumpIfFalse(0));
+                self.block(fx, body)?;
+                fx.emit(Instr::Jump(top));
+                fx.patch_jump(jf);
+                Ok(())
+            }
+            Stmt::Return { value, span } => {
+                if fx.accel && fx.ret == Type::Void && fx.enclosing_names.is_empty() {
+                    // Plain `return;` from an offload body is fine; it just
+                    // ends the block.
+                }
+                match (value, fx.ret.clone()) {
+                    (None, Type::Void) => {
+                        fx.emit(Instr::Ret { has_value: false });
+                        Ok(())
+                    }
+                    (Some(_), Type::Void) => Err(err(
+                        ErrorKind::Type,
+                        *span,
+                        "this function does not return a value",
+                    )),
+                    (None, _) => Err(err(
+                        ErrorKind::Type,
+                        *span,
+                        "this function must return a value",
+                    )),
+                    (Some(expr), ret) => {
+                        let v = self.expr(fx, expr)?;
+                        self.check_assign(&ret, &v, *span)?;
+                        self.coerce_numeric(fx, &ret, &v);
+                        fx.emit(Instr::Ret { has_value: true });
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::Expr { expr, span } => {
+                let v = self.expr(fx, expr)?;
+                if v.ty != Type::Void {
+                    fx.emit(Instr::Drop);
+                }
+                let _ = span;
+                Ok(())
+            }
+            Stmt::Offload {
+                handle,
+                captures,
+                domain,
+                body,
+                span,
+            } => self.stmt_offload(fx, handle.as_deref(), captures, domain, body, *span),
+            Stmt::Join { name, span } => {
+                if fx.accel {
+                    return Err(err(
+                        ErrorKind::Offload,
+                        *span,
+                        "`join` synchronises host code with an offload; it cannot appear on \
+                         the accelerator",
+                    ));
+                }
+                let slot = *fx.handles.get(name).ok_or_else(|| {
+                    err(
+                        ErrorKind::Resolve,
+                        *span,
+                        format!(
+                            "no offload handle named `{name}` in this function; handles are \
+                             created with `offload {name} {{ ... }}`"
+                        ),
+                    )
+                })?;
+                fx.emit(Instr::Join { slot });
+                Ok(())
+            }
+        }
+    }
+
+    fn coerce_numeric(&self, _fx: &mut FnCtx, _target: &Type, _value: &ExprVal) {
+        // Char and Int share the I32 stack representation; stores
+        // truncate by ValType. Nothing to emit.
+    }
+
+    fn stmt_let(
+        &mut self,
+        fx: &mut FnCtx,
+        name: &str,
+        ty: &ast::TypeExpr,
+        init: Option<&Expr>,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        let declared = self.types.lower(ty, fx.space_here)?;
+        if declared == Type::Void {
+            return Err(err(ErrorKind::Type, span, "variables cannot be void"));
+        }
+        let final_ty = match init {
+            Some(init_expr) => {
+                let v = self.expr(fx, init_expr)?;
+                // Adopt the initialiser's spaces (Offload C++'s automatic
+                // `__outer` qualification), keeping declared units.
+                let adopted = adopt_spaces(&declared, &v.ty);
+                self.check_assign(&adopted, &v, span)?;
+                let offset = self.alloc_slot(fx, &adopted);
+                if adopted.is_scalar() {
+                    fx.emit(Instr::StoreLocal {
+                        offset,
+                        ty: self.val_type(&adopted, span)?,
+                    });
+                } else {
+                    // Aggregate initialisation: the initialiser must be a
+                    // place; copy bytes.
+                    return Err(err(
+                        ErrorKind::Type,
+                        span,
+                        "aggregate initialisers are not supported; declare then assign fields",
+                    ));
+                }
+                fx.scopes
+                    .last_mut()
+                    .expect("function scope")
+                    .insert(name.to_string(), LocalVar { offset, ty: adopted.clone() });
+                adopted
+            }
+            None => {
+                if declared.is_scalar() && declared.is_ptr() {
+                    return Err(err(
+                        ErrorKind::MemorySpace,
+                        span,
+                        "pointer variables must be initialised so their memory space is known",
+                    ));
+                }
+                let offset = self.alloc_slot(fx, &declared);
+                fx.scopes
+                    .last_mut()
+                    .expect("function scope")
+                    .insert(name.to_string(), LocalVar { offset, ty: declared.clone() });
+                declared
+            }
+        };
+        let _ = final_ty;
+        Ok(())
+    }
+
+    fn stmt_assign(
+        &mut self,
+        fx: &mut FnCtx,
+        target: &Expr,
+        value: &Expr,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        let place = self.place(fx, target)?;
+        match place {
+            PlaceVal::Slot { offset, ty } => {
+                let v = self.expr(fx, value)?;
+                self.check_assign(&ty, &v, span)?;
+                fx.emit(Instr::StoreLocal {
+                    offset,
+                    ty: self.val_type(&ty, span)?,
+                });
+                Ok(())
+            }
+            PlaceVal::Mem { ty, word, .. } => {
+                if ty.is_scalar() {
+                    let v = self.expr(fx, value)?;
+                    self.check_assign(&ty, &v, span)?;
+                    let penalty = self.deref_penalty(word, &ty);
+                    fx.emit(Instr::StoreMem {
+                        ty: self.val_type(&ty, span)?,
+                        penalty,
+                    });
+                    Ok(())
+                } else {
+                    // Aggregate copy: compute the source address.
+                    let src = self.place(fx, value)?;
+                    match src {
+                        PlaceVal::Mem { ty: sty, .. } => {
+                            if !sty.same_shape(&ty) {
+                                return Err(err(
+                                    ErrorKind::Type,
+                                    span,
+                                    format!(
+                                        "cannot assign `{}` to `{}`",
+                                        self.types.display(&sty),
+                                        self.types.display(&ty)
+                                    ),
+                                ));
+                            }
+                            fx.emit(Instr::CopyMem {
+                                size: self.types.size_of(&ty),
+                            });
+                            Ok(())
+                        }
+                        PlaceVal::Slot { .. } => Err(err(
+                            ErrorKind::Type,
+                            span,
+                            "cannot copy an aggregate from a scalar",
+                        )),
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stmt_offload(
+        &mut self,
+        fx: &mut FnCtx,
+        handle: Option<&str>,
+        captures: &[(String, Span)],
+        domain: &[ast::DomainEntry],
+        body: &ast::Block,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        if fx.accel {
+            return Err(err(
+                ErrorKind::Offload,
+                span,
+                "offload blocks cannot nest: this code already runs on the accelerator",
+            ));
+        }
+        // Resolve the domain annotation.
+        let mut entries = Vec::new();
+        for entry in domain {
+            let class = self.types.class_by_name(&entry.class).ok_or_else(|| {
+                err(
+                    ErrorKind::Resolve,
+                    entry.span,
+                    format!("unknown class `{}` in domain annotation", entry.class),
+                )
+            })?;
+            let method = self
+                .types
+                .method_by_name(class, &entry.method)
+                .ok_or_else(|| {
+                    err(
+                        ErrorKind::Resolve,
+                        entry.span,
+                        format!(
+                            "class `{}` has no method `{}`",
+                            entry.class, entry.method
+                        ),
+                    )
+                })?;
+            if !self.types.methods[method].is_virtual {
+                return Err(err(
+                    ErrorKind::Resolve,
+                    entry.span,
+                    format!(
+                        "`{}.{}` is not virtual and needs no domain entry",
+                        entry.class, entry.method
+                    ),
+                ));
+            }
+            entries.push(ResolvedDomainEntry {
+                class,
+                method,
+                span: entry.span,
+            });
+        }
+
+        let domain_id = DomainId(self.domains.len() as u32);
+        self.domains.push(VmDomain::default());
+
+        // Evaluate the captured host locals by value (they become the
+        // block's parameters; pointers arrive as outer pointers).
+        let mut capture_vars = Vec::with_capacity(captures.len());
+        for (name, cspan) in captures {
+            let local = fx.lookup(name).ok_or_else(|| {
+                err(
+                    ErrorKind::Resolve,
+                    *cspan,
+                    format!("`{name}` is not a local variable of the enclosing function"),
+                )
+            })?;
+            if !local.ty.is_scalar() {
+                return Err(err(
+                    ErrorKind::Offload,
+                    *cspan,
+                    format!(
+                        "`{name}` is an aggregate; capture a pointer to it instead                          (aggregates are not copied into offload blocks)"
+                    ),
+                ));
+            }
+            fx.emit(Instr::LoadLocal {
+                offset: local.offset,
+                ty: self.val_type(&local.ty, *cspan)?,
+            });
+            capture_vars.push((name.clone(), local.ty));
+        }
+
+        // Compile the body as a synthetic accelerator function whose
+        // parameters are the captures.
+        let enclosing: Vec<String> = fx
+            .scopes
+            .iter()
+            .flat_map(|s| s.keys().cloned())
+            .collect();
+        let mut ox = FnCtx {
+            accel: true,
+            space_here: Space::Local,
+            scopes: vec![HashMap::new()],
+            frame_size: 0,
+            code: Vec::new(),
+            ret: Type::Void,
+            enclosing_names: enclosing,
+            handles: HashMap::new(),
+            next_handle: 0,
+        };
+        let mut param_tys = Vec::new();
+        let mut param_offsets = Vec::new();
+        for (name, ty) in &capture_vars {
+            let offset = self.alloc_slot(&mut ox, ty);
+            ox.scopes[0].insert(
+                name.clone(),
+                LocalVar {
+                    offset,
+                    ty: ty.clone(),
+                },
+            );
+            param_tys.push(self.val_type(ty, span)?);
+            param_offsets.push(offset);
+        }
+        self.block(&mut ox, body)?;
+        ox.emit(Instr::Ret { has_value: false });
+        let body_id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(FuncBody {
+            name: format!("offload#{}", self.stats.offload_blocks),
+            params: param_tys,
+            param_offsets,
+            frame_size: memspace::align_up(ox.frame_size.max(4), 16),
+            returns_value: false,
+            code: ox.code,
+        });
+
+        // Compile duplicates for the annotated methods, for every
+        // signature seen at accelerator virtual-call sites with a
+        // matching slot.
+        let sigs: Vec<(u16, u16)> = self.vcall_sigs.iter().copied().collect();
+        for entry in &entries {
+            let slot = self.types.methods[entry.method].slot;
+            let host_fn = self.classes[entry.class].vtable[usize::from(slot)];
+            for &(s, dup) in &sigs {
+                if s != slot {
+                    continue;
+                }
+                let self_space = if dup & 1 != 0 { Space::Host } else { Space::Local };
+                let accel_fn =
+                    self.compile_method_variant(entry.method, true, self_space, Some(dup))?;
+                self.domains[domain_id.0 as usize].add(host_fn, dup, accel_fn);
+            }
+        }
+        self.stats.offload_blocks += 1;
+        self.stats
+            .domain_sizes
+            .push(self.domains[domain_id.0 as usize].len());
+
+        match handle {
+            None => {
+                fx.emit(Instr::Offload {
+                    func: body_id,
+                    domain: domain_id,
+                });
+            }
+            Some(name) => {
+                let slot = fx.next_handle;
+                fx.next_handle += 1;
+                fx.handles.insert(name.to_string(), slot);
+                fx.emit(Instr::OffloadAsync {
+                    func: body_id,
+                    domain: domain_id,
+                    slot,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ---- places -------------------------------------------------------------
+
+    fn place(&mut self, fx: &mut FnCtx, expr: &Expr) -> Result<PlaceVal, CompileError> {
+        match expr {
+            Expr::Var(name, span) => {
+                if let Some(local) = fx.lookup(name) {
+                    if local.ty.is_scalar() {
+                        return Ok(PlaceVal::Slot {
+                            offset: local.offset,
+                            ty: local.ty,
+                        });
+                    }
+                    fx.emit(Instr::AddrOfLocal {
+                        offset: local.offset,
+                    });
+                    return Ok(PlaceVal::Mem {
+                        ty: local.ty,
+                        space: fx.space_here,
+                        word: WordClass::Aligned,
+                    });
+                }
+                if let Some(global) = self.globals.get(name).cloned() {
+                    fx.emit(Instr::AddrOfGlobal {
+                        offset: global.offset,
+                    });
+                    return Ok(PlaceVal::Mem {
+                        ty: global.ty,
+                        space: Space::Host,
+                        word: WordClass::Aligned,
+                    });
+                }
+                if fx.accel && fx.enclosing_names.iter().any(|n| n == name) {
+                    return Err(err(
+                        ErrorKind::Offload,
+                        *span,
+                        format!(
+                            "`{name}` is a local of the enclosing host function and is not \
+                             accessible inside the offload block; capture it by value with \
+                             `offload use({name}) {{ ... }}` or pass it through a global"
+                        ),
+                    ));
+                }
+                Err(err(
+                    ErrorKind::Resolve,
+                    *span,
+                    format!("unknown variable `{name}`"),
+                ))
+            }
+            Expr::Deref { ptr, span } => {
+                let p = self.expr(fx, ptr)?;
+                match p.ty.clone() {
+                    Type::Ptr { pointee, space, .. } => Ok(PlaceVal::Mem {
+                        ty: *pointee,
+                        space,
+                        word: p.word,
+                    }),
+                    other => Err(err(
+                        ErrorKind::Type,
+                        *span,
+                        format!("cannot dereference `{}`", self.types.display(&other)),
+                    )),
+                }
+            }
+            Expr::Field { base, field, span } => {
+                // Pointer base: auto-deref.
+                let base_val_ty = self.peek_type(fx, base)?;
+                if let Type::Ptr { pointee, space, .. } = base_val_ty {
+                    let v = self.expr(fx, base)?;
+                    let info = self.types.field_of(&pointee, field).ok_or_else(|| {
+                        self.no_field_err(&pointee, field, *span)
+                    })?;
+                    fx.emit(Instr::PtrAddConst(info.offset as i32));
+                    let word = self.combine_const(v.word, i64::from(info.offset));
+                    return Ok(PlaceVal::Mem {
+                        ty: self.respace_field(&info.ty, space),
+                        space,
+                        word,
+                    });
+                }
+                let place = self.place(fx, base)?;
+                match place {
+                    PlaceVal::Mem { ty, space, word } => {
+                        let info = self
+                            .types
+                            .field_of(&ty, field)
+                            .ok_or_else(|| self.no_field_err(&ty, field, *span))?;
+                        fx.emit(Instr::PtrAddConst(info.offset as i32));
+                        let word = self.combine_const(word, i64::from(info.offset));
+                        Ok(PlaceVal::Mem {
+                            ty: self.respace_field(&info.ty, space),
+                            space,
+                            word,
+                        })
+                    }
+                    PlaceVal::Slot { ty, .. } => {
+                        Err(self.no_field_err(&ty, field, *span))
+                    }
+                }
+            }
+            Expr::Index { base, index, span } => {
+                let base_val_ty = self.peek_type(fx, base)?;
+                let (elem, space, base_word) = if let Type::Ptr { pointee, space, .. } =
+                    base_val_ty.clone()
+                {
+                    let v = self.expr(fx, base)?;
+                    (*pointee, space, v.word)
+                } else {
+                    let place = self.place(fx, base)?;
+                    match place {
+                        PlaceVal::Mem {
+                            ty: Type::Array { elem, .. },
+                            space,
+                            word,
+                        } => (*elem, space, word),
+                        PlaceVal::Mem { ty, .. } | PlaceVal::Slot { ty, .. } => {
+                            return Err(err(
+                                ErrorKind::Type,
+                                *span,
+                                format!("cannot index `{}`", self.types.display(&ty)),
+                            ))
+                        }
+                    }
+                };
+                let stride = self.types.size_of(&elem);
+                let word = if let Some(k) = const_int(index) {
+                    fx.emit(Instr::PtrAddConst((k as i32).wrapping_mul(stride as i32)));
+                    self.combine_const(base_word, k * i64::from(stride))
+                } else {
+                    let i = self.expr(fx, index)?;
+                    if !i.ty.is_integer() {
+                        return Err(err(ErrorKind::Type, *span, "index must be an integer"));
+                    }
+                    let wc = self.combine_dynamic(base_word, stride, *span)?;
+                    fx.emit(Instr::PtrIndex { stride });
+                    wc
+                };
+                Ok(PlaceVal::Mem {
+                    ty: self.respace_field(&elem, space),
+                    space,
+                    word,
+                })
+            }
+            other => Err(err(
+                ErrorKind::Type,
+                other.span(),
+                "this expression is not assignable",
+            )),
+        }
+    }
+
+    fn no_field_err(&self, ty: &Type, field: &str, span: Span) -> CompileError {
+        err(
+            ErrorKind::Resolve,
+            span,
+            format!("`{}` has no field `{field}`", self.types.display(ty)),
+        )
+    }
+
+    /// Fields of aggregates stored in a space hold pointers whose
+    /// declared (Host-default) spaces must be reinterpreted: a pointer
+    /// *stored in* outer memory still points wherever its declared space
+    /// says. Offload/Mini restricts stored pointer fields to Host space
+    /// (data structures live in main memory), so this is the identity —
+    /// kept as a single point of truth.
+    fn respace_field(&self, ty: &Type, _container_space: Space) -> Type {
+        ty.clone()
+    }
+
+    /// Computes the type an expression would have, *without* emitting
+    /// code, for the cases where place/rvalue handling diverges. Only
+    /// the outermost constructor is needed.
+    fn peek_type(&mut self, fx: &mut FnCtx, expr: &Expr) -> Result<Type, CompileError> {
+        Ok(match expr {
+            Expr::Var(name, _) => {
+                if let Some(local) = fx.lookup(name) {
+                    local.ty
+                } else if let Some(global) = self.globals.get(name) {
+                    global.ty.clone()
+                } else {
+                    Type::Void
+                }
+            }
+            Expr::Deref { ptr, .. } => match self.peek_type(fx, ptr)? {
+                Type::Ptr { pointee, .. } => *pointee,
+                _ => Type::Void,
+            },
+            Expr::Field { base, field, .. } => {
+                let base_ty = self.peek_type(fx, base)?;
+                let target = match &base_ty {
+                    Type::Ptr { pointee, .. } => (**pointee).clone(),
+                    other => other.clone(),
+                };
+                self.types
+                    .field_of(&target, field)
+                    .map(|f| f.ty)
+                    .unwrap_or(Type::Void)
+            }
+            Expr::Index { base, .. } => {
+                let base_ty = self.peek_type(fx, base)?;
+                match base_ty {
+                    Type::Ptr { pointee, .. } => *pointee,
+                    Type::Array { elem, .. } => *elem,
+                    _ => Type::Void,
+                }
+            }
+            Expr::AddrOf { place, .. } => {
+                let inner = self.peek_type(fx, place)?;
+                Type::ptr(inner, fx.space_here)
+            }
+            Expr::New { class, .. } => match self.types.class_by_name(class) {
+                Some(c) => Type::ptr(Type::Class(c), fx.space_here),
+                None => Type::Void,
+            },
+            Expr::IntLit(..) => Type::Int,
+            Expr::FloatLit(..) => Type::Float,
+            Expr::BoolLit(..) => Type::Bool,
+            Expr::Unary { operand, .. } => self.peek_type(fx, operand)?,
+            Expr::Binary { op, lhs, .. } => {
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    Type::Bool
+                } else {
+                    self.peek_type(fx, lhs)?
+                }
+            }
+            Expr::Call { callee, .. } => match self.free_fns.get(callee) {
+                Some(&idx) => self.types.lower(&self.fn_asts[idx].def.ret.clone(), Space::Host)?,
+                None => Type::Void,
+            },
+            Expr::MethodCall { recv, method, .. } => {
+                let recv_ty = self.peek_type(fx, recv)?;
+                if let Type::Ptr { pointee, .. } = recv_ty {
+                    if let Type::Class(c) = *pointee {
+                        if let Some(m) = self.types.method_by_name(c, method) {
+                            return Ok(self.types.methods[m].ret.clone());
+                        }
+                    }
+                }
+                Type::Void
+            }
+        })
+    }
+
+    // ---- expressions -----------------------------------------------------------
+
+    fn expr(&mut self, fx: &mut FnCtx, expr: &Expr) -> Result<ExprVal, CompileError> {
+        match expr {
+            Expr::IntLit(v, _) => {
+                fx.emit(Instr::ConstI(*v));
+                Ok(ExprVal::plain(Type::Int))
+            }
+            Expr::FloatLit(v, _) => {
+                fx.emit(Instr::ConstF(*v));
+                Ok(ExprVal::plain(Type::Float))
+            }
+            Expr::BoolLit(v, _) => {
+                fx.emit(Instr::ConstB(*v));
+                Ok(ExprVal::plain(Type::Bool))
+            }
+            Expr::Var(_, span) | Expr::Field { span, .. } | Expr::Index { span, .. } | Expr::Deref { span, .. } => {
+                let place = self.place(fx, expr)?;
+                match place {
+                    PlaceVal::Slot { offset, ty } => {
+                        fx.emit(Instr::LoadLocal {
+                            offset,
+                            ty: self.val_type(&ty, *span)?,
+                        });
+                        let word = self.loaded_class(&ty);
+                        Ok(ExprVal { ty, word })
+                    }
+                    PlaceVal::Mem { ty, word, .. } => {
+                        if !ty.is_scalar() {
+                            return Err(err(
+                                ErrorKind::Type,
+                                *span,
+                                "aggregates cannot be read as values; access a field or element",
+                            ));
+                        }
+                        let penalty = self.deref_penalty(word, &ty);
+                        fx.emit(Instr::LoadMem {
+                            ty: self.val_type(&ty, *span)?,
+                            penalty,
+                        });
+                        let word = self.loaded_class(&ty);
+                        Ok(ExprVal { ty, word })
+                    }
+                }
+            }
+            Expr::AddrOf { place, span } => {
+                let p = self.place(fx, place)?;
+                match p {
+                    PlaceVal::Slot { offset, ty } => {
+                        fx.emit(Instr::AddrOfLocal { offset });
+                        Ok(ExprVal {
+                            ty: Type::ptr(ty, fx.space_here),
+                            word: WordClass::Aligned,
+                        })
+                    }
+                    PlaceVal::Mem { ty, space, word } => {
+                        let _ = span;
+                        Ok(ExprVal {
+                            ty: Type::ptr(ty, space),
+                            word,
+                        })
+                    }
+                }
+            }
+            Expr::Unary { op, operand, span } => {
+                let v = self.expr(fx, operand)?;
+                match op {
+                    UnOp::Neg => match v.ty {
+                        Type::Int | Type::Char => {
+                            fx.emit(Instr::NegI);
+                            Ok(ExprVal::plain(Type::Int))
+                        }
+                        Type::Float => {
+                            fx.emit(Instr::NegF);
+                            Ok(ExprVal::plain(Type::Float))
+                        }
+                        other => Err(err(
+                            ErrorKind::Type,
+                            *span,
+                            format!("cannot negate `{}`", self.types.display(&other)),
+                        )),
+                    },
+                    UnOp::Not => {
+                        if v.ty != Type::Bool {
+                            return Err(err(ErrorKind::Type, *span, "`!` needs a bool"));
+                        }
+                        fx.emit(Instr::NotB);
+                        Ok(ExprVal::plain(Type::Bool))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => self.expr_binary(fx, *op, lhs, rhs, *span),
+            Expr::Call { callee, args, span } => self.expr_call(fx, callee, args, *span),
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                span,
+            } => self.expr_method_call(fx, recv, method, args, *span),
+            Expr::New { class, span } => {
+                let c = self.types.class_by_name(class).ok_or_else(|| {
+                    err(
+                        ErrorKind::Resolve,
+                        *span,
+                        format!("unknown class `{class}`"),
+                    )
+                })?;
+                let size = self.types.classes[c].size;
+                fx.emit(Instr::NewObject {
+                    class: c as u32,
+                    size,
+                });
+                Ok(ExprVal {
+                    ty: Type::ptr(Type::Class(c), fx.space_here),
+                    word: WordClass::Aligned,
+                })
+            }
+        }
+    }
+
+    fn expr_binary(
+        &mut self,
+        fx: &mut FnCtx,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<ExprVal, CompileError> {
+        // Short-circuit logic.
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let l = self.expr(fx, lhs)?;
+            if l.ty != Type::Bool {
+                return Err(err(ErrorKind::Type, span, "logical operands must be bool"));
+            }
+            let j = fx.emit(if op == BinOp::And {
+                Instr::JumpIfFalse(0)
+            } else {
+                Instr::JumpIfTrue(0)
+            });
+            let r = self.expr(fx, rhs)?;
+            if r.ty != Type::Bool {
+                return Err(err(ErrorKind::Type, span, "logical operands must be bool"));
+            }
+            let jend = fx.emit(Instr::Jump(0));
+            fx.patch_jump(j);
+            fx.emit(Instr::ConstB(op == BinOp::Or));
+            fx.patch_jump(jend);
+            return Ok(ExprVal::plain(Type::Bool));
+        }
+
+        // Pointer arithmetic: `p + k` / `p - k`.
+        let lhs_ty = self.peek_type(fx, lhs)?;
+        if lhs_ty.is_ptr() && matches!(op, BinOp::Add | BinOp::Sub) {
+            let p = self.expr(fx, lhs)?;
+            let Type::Ptr { pointee, space, unit } = p.ty.clone() else {
+                unreachable!("peeked as pointer");
+            };
+            let stride = self.types.size_of(&pointee);
+            let word = if let Some(k) = const_int(rhs) {
+                let signed = if op == BinOp::Sub { -k } else { k };
+                fx.emit(Instr::PtrAddConst(
+                    (signed as i32).wrapping_mul(stride as i32),
+                ));
+                self.combine_const(p.word, signed * i64::from(stride))
+            } else {
+                let i = self.expr(fx, rhs)?;
+                if !i.ty.is_integer() {
+                    return Err(err(
+                        ErrorKind::Type,
+                        span,
+                        "pointer arithmetic needs an integer offset",
+                    ));
+                }
+                let wc = self.combine_dynamic(p.word, stride, span)?;
+                if op == BinOp::Sub {
+                    fx.emit(Instr::NegI);
+                }
+                fx.emit(Instr::PtrIndex { stride });
+                wc
+            };
+            return Ok(ExprVal {
+                ty: Type::Ptr {
+                    pointee,
+                    space,
+                    unit,
+                },
+                word,
+            });
+        }
+
+        // Pointer comparison.
+        if lhs_ty.is_ptr() && op.is_comparison() {
+            let l = self.expr(fx, lhs)?;
+            let r = self.expr(fx, rhs)?;
+            match (&l.ty, &r.ty) {
+                (Type::Ptr { space: ls, .. }, Type::Ptr { space: rs, .. }) => {
+                    if ls != rs {
+                        return Err(err(
+                            ErrorKind::MemorySpace,
+                            span,
+                            "cannot compare pointers into different memory spaces",
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(err(
+                        ErrorKind::Type,
+                        span,
+                        "cannot compare a pointer with a non-pointer",
+                    ))
+                }
+            }
+            fx.emit(Instr::CmpI(cmp_of(op)));
+            return Ok(ExprVal::plain(Type::Bool));
+        }
+
+        let l = self.expr(fx, lhs)?;
+        let r = self.expr(fx, rhs)?;
+        let both_int = l.ty.is_integer() && r.ty.is_integer();
+        let both_float = l.ty == Type::Float && r.ty == Type::Float;
+        if !(both_int || both_float) {
+            return Err(err(
+                ErrorKind::Type,
+                span,
+                format!(
+                    "operands of `{op:?}` must both be integers or both floats \
+                     (found `{}` and `{}`; use int_to_float/float_to_int)",
+                    self.types.display(&l.ty),
+                    self.types.display(&r.ty)
+                ),
+            ));
+        }
+        if op.is_comparison() {
+            fx.emit(if both_int {
+                Instr::CmpI(cmp_of(op))
+            } else {
+                Instr::CmpF(cmp_of(op))
+            });
+            return Ok(ExprVal::plain(Type::Bool));
+        }
+        let instr = match (op, both_int) {
+            (BinOp::Add, true) => Instr::AddI,
+            (BinOp::Sub, true) => Instr::SubI,
+            (BinOp::Mul, true) => Instr::MulI,
+            (BinOp::Div, true) => Instr::DivI,
+            (BinOp::Mod, true) => Instr::ModI,
+            (BinOp::Add, false) => Instr::AddF,
+            (BinOp::Sub, false) => Instr::SubF,
+            (BinOp::Mul, false) => Instr::MulF,
+            (BinOp::Div, false) => Instr::DivF,
+            (BinOp::Mod, false) => {
+                return Err(err(ErrorKind::Type, span, "`%` needs integer operands"))
+            }
+            _ => unreachable!("comparisons handled above"),
+        };
+        fx.emit(instr);
+        Ok(ExprVal::plain(if both_int { Type::Int } else { Type::Float }))
+    }
+
+    fn expr_call(
+        &mut self,
+        fx: &mut FnCtx,
+        callee: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<ExprVal, CompileError> {
+        // Intrinsics.
+        match callee {
+            "print_int" | "print_float" | "int_to_float" | "float_to_int" => {
+                if args.len() != 1 {
+                    return Err(err(
+                        ErrorKind::Type,
+                        span,
+                        format!("`{callee}` takes exactly one argument"),
+                    ));
+                }
+                let v = self.expr(fx, &args[0])?;
+                return match callee {
+                    "print_int" => {
+                        if !v.ty.is_integer() {
+                            return Err(err(ErrorKind::Type, span, "`print_int` needs an int"));
+                        }
+                        fx.emit(Instr::PrintI);
+                        Ok(ExprVal::plain(Type::Void))
+                    }
+                    "print_float" => {
+                        if v.ty != Type::Float {
+                            return Err(err(ErrorKind::Type, span, "`print_float` needs a float"));
+                        }
+                        fx.emit(Instr::PrintF);
+                        Ok(ExprVal::plain(Type::Void))
+                    }
+                    "int_to_float" => {
+                        if !v.ty.is_integer() {
+                            return Err(err(ErrorKind::Type, span, "`int_to_float` needs an int"));
+                        }
+                        fx.emit(Instr::I2F);
+                        Ok(ExprVal::plain(Type::Float))
+                    }
+                    _ => {
+                        if v.ty != Type::Float {
+                            return Err(err(
+                                ErrorKind::Type,
+                                span,
+                                "`float_to_int` needs a float",
+                            ));
+                        }
+                        fx.emit(Instr::F2I);
+                        Ok(ExprVal::plain(Type::Int))
+                    }
+                };
+            }
+            _ => {}
+        }
+
+        let &ast_idx = self.free_fns.get(callee).ok_or_else(|| {
+            err(
+                ErrorKind::Resolve,
+                span,
+                format!("unknown function `{callee}`"),
+            )
+        })?;
+        let def_params: Vec<ast::Param> = self.fn_asts[ast_idx].def.params.clone();
+        let ret = self
+            .types
+            .lower(&self.fn_asts[ast_idx].def.ret.clone(), Space::Host)?;
+        if args.len() != def_params.len() {
+            return Err(err(
+                ErrorKind::Type,
+                span,
+                format!(
+                    "`{callee}` takes {} argument(s), {} given",
+                    def_params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut key_params = Vec::with_capacity(args.len());
+        for (arg, param) in args.iter().zip(&def_params) {
+            let declared = self.types.lower(&param.ty, fx.space_here)?;
+            let v = self.expr(fx, arg)?;
+            let adopted = adopt_spaces(&declared, &v.ty);
+            self.check_assign(&adopted, &v, arg.span())?;
+            key_params.push(adopted);
+        }
+        let func = self.compile_variant(FuncKey {
+            ast: ast_idx,
+            accel: fx.accel,
+            params: key_params,
+        })?;
+        fx.emit(Instr::Call { func });
+        Ok(ExprVal::plain(ret))
+    }
+
+    fn expr_method_call(
+        &mut self,
+        fx: &mut FnCtx,
+        recv: &Expr,
+        method: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<ExprVal, CompileError> {
+        let r = self.expr(fx, recv)?;
+        let (class, recv_space) = match &r.ty {
+            Type::Ptr { pointee, space, .. } => match &**pointee {
+                Type::Class(c) => (*c, *space),
+                other => {
+                    return Err(err(
+                        ErrorKind::Type,
+                        span,
+                        format!(
+                            "method calls need a class pointer, found `{} {space}*`",
+                            self.types.display(other)
+                        ),
+                    ))
+                }
+            },
+            other => {
+                return Err(err(
+                    ErrorKind::Type,
+                    span,
+                    format!(
+                        "method calls need a class pointer, found `{}`",
+                        self.types.display(other)
+                    ),
+                ))
+            }
+        };
+        let midx = self.types.method_by_name(class, method).ok_or_else(|| {
+            err(
+                ErrorKind::Resolve,
+                span,
+                format!(
+                    "class `{}` has no method `{method}`",
+                    self.types.classes[class].name
+                ),
+            )
+        })?;
+        let info = self.types.methods[midx].clone();
+        if args.len() != info.params.len() {
+            return Err(err(
+                ErrorKind::Type,
+                span,
+                format!(
+                    "`{method}` takes {} argument(s), {} given",
+                    info.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        // Compile arguments and build the duplicate signature.
+        let mut dup: u16 = if recv_space == Space::Host { 1 } else { 0 };
+        let mut arg_types = Vec::with_capacity(args.len());
+        let mut ptr_index = 0u16;
+        for (arg, param) in args.iter().zip(&info.params) {
+            let declared = param.clone();
+            let v = self.expr(fx, arg)?;
+            let adopted = adopt_spaces(&declared, &v.ty);
+            self.check_assign(&adopted, &v, arg.span())?;
+            if adopted.is_ptr() {
+                ptr_index += 1;
+                if let Type::Ptr { space: Space::Host, .. } = adopted {
+                    dup |= 1 << ptr_index;
+                }
+            }
+            arg_types.push(adopted);
+        }
+
+        if info.is_virtual {
+            if fx.accel {
+                self.vcall_sigs.insert((info.slot, dup));
+            }
+            fx.emit(Instr::CallVirtual {
+                slot: info.slot,
+                nargs: args.len() as u16,
+                domain: None,
+                dup,
+            });
+        } else {
+            let self_ty = Type::ptr(Type::Class(info.defined_in), recv_space);
+            let mut params = vec![self_ty];
+            params.extend(arg_types);
+            let func = self.compile_variant(FuncKey {
+                ast: info.ast_index,
+                accel: fx.accel,
+                params,
+            })?;
+            fx.emit(Instr::Call { func });
+        }
+        Ok(ExprVal::plain(info.ret))
+    }
+}
+
+/// Rebinds the top-level space of a pointer type.
+fn respace_top(ty: &Type, space: Space) -> Type {
+    match ty {
+        Type::Ptr { pointee, unit, .. } => Type::Ptr {
+            pointee: pointee.clone(),
+            space,
+            unit: *unit,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Adopts the memory spaces of `found` into `declared` (keeping the
+/// declared units and shape) — the automatic `__outer` qualification of
+/// paper §3.
+fn adopt_spaces(declared: &Type, found: &Type) -> Type {
+    match (declared, found) {
+        (
+            Type::Ptr {
+                pointee: dp,
+                unit,
+                ..
+            },
+            Type::Ptr {
+                pointee: fp,
+                space,
+                ..
+            },
+        ) => Type::Ptr {
+            pointee: Box::new(adopt_spaces(dp, fp)),
+            space: *space,
+            unit: *unit,
+        },
+        (Type::Array { elem: de, len }, Type::Array { elem: fe, .. }) => Type::Array {
+            elem: Box::new(adopt_spaces(de, fe)),
+            len: *len,
+        },
+        _ => declared.clone(),
+    }
+}
+
+/// Constant-folds an integer expression (literals, unary minus, and
+/// literal arithmetic).
+fn const_int(expr: &Expr) -> Option<i64> {
+    match expr {
+        Expr::IntLit(v, _) => Some(i64::from(*v)),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => const_int(operand).map(|v| -v),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let l = const_int(lhs)?;
+            let r = const_int(rhs)?;
+            match op {
+                BinOp::Add => Some(l + r),
+                BinOp::Sub => Some(l - r),
+                BinOp::Mul => Some(l * r),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn cmp_of(op: BinOp) -> Cmp {
+    match op {
+        BinOp::Eq => Cmp::Eq,
+        BinOp::Ne => Cmp::Ne,
+        BinOp::Lt => Cmp::Lt,
+        BinOp::Le => Cmp::Le,
+        BinOp::Gt => Cmp::Gt,
+        BinOp::Ge => Cmp::Ge,
+        other => unreachable!("{other:?} is not a comparison"),
+    }
+}

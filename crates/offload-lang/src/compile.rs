@@ -1,0 +1,156 @@
+//! The compilation pipeline driver.
+
+use std::collections::HashMap;
+
+use memspace::AddressingMode;
+
+use crate::bytecode::{FuncBody, FuncId, VmClass, VmDomain};
+use crate::codegen::Compiler;
+use crate::diag::CompileError;
+use crate::parser::parse;
+use crate::types::TypeTable;
+
+/// How byte-level access is compiled on a word-addressed target
+/// (paper §5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WordStrategy {
+    /// The paper's hybrid discipline: pointers are word-addressed by
+    /// default, constant sub-word offsets compile efficiently, and
+    /// pointer arithmetic that would require a *variable* byte pointer
+    /// is a **static error** pushing the programmer to restructure.
+    #[default]
+    Hybrid,
+    /// "Keep all pointers as byte-pointers and convert when
+    /// dereferencing": everything compiles, and every dereference pays
+    /// shift/mask emulation cycles.
+    ByteEmulate,
+}
+
+/// The machine model a program is compiled for.
+#[derive(Clone, Copy, Debug)]
+pub struct Target {
+    /// Native addressing unit.
+    pub addressing: AddressingMode,
+    /// Strategy on word-addressed targets (ignored for byte targets).
+    pub strategy: WordStrategy,
+    /// Extra cycles per dereference under [`WordStrategy::ByteEmulate`].
+    pub byte_emulation_cost: u32,
+    /// Extra cycles for a constant sub-word extract under
+    /// [`WordStrategy::Hybrid`].
+    pub subword_extract_cost: u32,
+    /// Extra cycles to dereference a stored `byte*` value (runtime
+    /// extract) under [`WordStrategy::Hybrid`].
+    pub byte_ptr_deref_cost: u32,
+}
+
+impl Target {
+    /// The Cell-like byte-addressed target (the default for offload
+    /// experiments).
+    pub fn cell_like() -> Target {
+        Target {
+            addressing: AddressingMode::Byte,
+            strategy: WordStrategy::Hybrid,
+            byte_emulation_cost: 4,
+            subword_extract_cost: 1,
+            byte_ptr_deref_cost: 2,
+        }
+    }
+
+    /// A word-addressed target (TigerSHARC/PS2-VU-like) with the given
+    /// word size in bytes.
+    pub fn word_addressed(bytes: u8) -> Target {
+        Target {
+            addressing: AddressingMode::Word { bytes },
+            ..Target::cell_like()
+        }
+    }
+
+    /// Selects the word strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: WordStrategy) -> Target {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Whether word-addressing rules apply.
+    pub fn is_word_addressed(&self) -> bool {
+        self.addressing.is_word_addressed()
+    }
+
+    /// The word size in bytes (1 on byte targets).
+    pub fn word_bytes(&self) -> u32 {
+        self.addressing.unit_bytes()
+    }
+}
+
+/// Statistics from one compilation — the data of experiment E10
+/// (function duplication) and E4 (annotation counts).
+#[derive(Clone, Debug, Default)]
+pub struct CompileStats {
+    /// Total function bodies emitted (host + accelerator + offload
+    /// blocks).
+    pub functions_compiled: usize,
+    /// Per source function: how many space-signature duplicates were
+    /// compiled (host variant included).
+    pub duplicates: HashMap<String, usize>,
+    /// Number of offload blocks.
+    pub offload_blocks: usize,
+    /// Outer-domain size per offload block (annotation counts).
+    pub domain_sizes: Vec<usize>,
+}
+
+impl CompileStats {
+    /// Total duplicates across all functions.
+    pub fn total_duplicates(&self) -> usize {
+        self.duplicates.values().sum()
+    }
+}
+
+/// A compiled program, ready for the [`crate::Vm`].
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All compiled function bodies.
+    pub funcs: Vec<FuncBody>,
+    /// Classes with their host vtables.
+    pub classes: Vec<VmClass>,
+    /// Dispatch domains, one per offload block.
+    pub domains: Vec<VmDomain>,
+    /// Bytes of global variables (zero-initialised).
+    pub globals_size: u32,
+    /// The entry point (`fn main() -> int`).
+    pub main: FuncId,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+    /// The type table (for diagnostics).
+    pub types: TypeTable,
+}
+
+impl Program {
+    /// Looks up a function body.
+    pub fn func(&self, id: FuncId) -> &FuncBody {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Disassembles the whole program (debugging aid).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for func in &self.funcs {
+            out.push_str(&func.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compiles Offload/Mini source for a target.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntax, type, memory-space,
+/// word-addressing or offload error (see [`crate::ErrorKind`]). Use
+/// [`CompileError::render`] for a source-annotated message.
+pub fn compile(source: &str, target: &Target) -> Result<Program, CompileError> {
+    let ast = parse(source)?;
+    let compiler = Compiler::new(target);
+    compiler.compile(&ast)
+}

@@ -1,0 +1,104 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// Broad classification of a compile error, for tests and the E9
+/// accept/reject table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ErrorKind {
+    /// Lexical error (bad character, unterminated literal…).
+    Lex,
+    /// Syntax error.
+    Parse,
+    /// Unknown name, duplicate definition, bad override…
+    Resolve,
+    /// Ordinary type mismatch.
+    Type,
+    /// Memory-space violation (outer vs local pointers) — the class of
+    /// error the Offload C++ type system exists to catch.
+    MemorySpace,
+    /// Word-addressing violation (paper §5): pointer arithmetic that
+    /// cannot be compiled efficiently for a word-addressed target.
+    WordAddressing,
+    /// Offload restrictions (host locals in offload blocks, nested
+    /// offloads…).
+    Offload,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lexical error"),
+            ErrorKind::Parse => write!(f, "syntax error"),
+            ErrorKind::Resolve => write!(f, "resolution error"),
+            ErrorKind::Type => write!(f, "type error"),
+            ErrorKind::MemorySpace => write!(f, "memory-space error"),
+            ErrorKind::WordAddressing => write!(f, "word-addressing error"),
+            ErrorKind::Offload => write!(f, "offload error"),
+        }
+    }
+}
+
+/// A compile-time diagnostic with location and explanation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError {
+    /// Classification.
+    pub kind: ErrorKind,
+    /// Where.
+    pub span: Span,
+    /// What went wrong (and often, what to do about it).
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(kind: ErrorKind, span: Span, message: impl Into<String>) -> CompileError {
+        CompileError {
+            kind,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with the offending source line, compiler-style.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let text = self.span.source_line(source);
+        let caret = " ".repeat(col.saturating_sub(1) as usize) + "^";
+        format!(
+            "{} at {line}:{col}: {}\n  | {text}\n  | {caret}",
+            self.kind, self.message
+        )
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_column() {
+        let src = "let x: int = true;";
+        let err = CompileError::new(ErrorKind::Type, Span::new(13, 17), "expected int, found bool");
+        let rendered = err.render(src);
+        assert!(rendered.contains("1:14"));
+        assert!(rendered.contains("let x: int = true;"));
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn display_mentions_kind() {
+        let err = CompileError::new(ErrorKind::MemorySpace, Span::point(0), "boom");
+        assert!(err.to_string().contains("memory-space error"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The lexer.
+
+use crate::diag::{CompileError, ErrorKind};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source`.
+///
+/// Comments run `//` to end of line. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] of kind [`ErrorKind::Lex`] on unknown
+/// characters or malformed numeric literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i as u32;
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let mut is_float = false;
+            if j < bytes.len() && bytes[j] == b'.' && j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit()
+            {
+                is_float = true;
+                j += 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+            }
+            let text = &source[i..j];
+            let span = Span::new(start, j as u32);
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| {
+                    CompileError::new(ErrorKind::Lex, span, format!("malformed float `{text}`"))
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| {
+                    CompileError::new(
+                        ErrorKind::Lex,
+                        span,
+                        format!("integer `{text}` does not fit in 32 bits"),
+                    )
+                })?)
+            };
+            tokens.push(Token { kind, span });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(b) {
+            let mut j = i;
+            while j < bytes.len() && is_ident_cont(bytes[j]) {
+                j += 1;
+            }
+            let text = &source[i..j];
+            let span = Span::new(start, j as u32);
+            let kind = match text {
+                "fn" => TokenKind::Fn,
+                "let" => TokenKind::Let,
+                "var" => TokenKind::Var,
+                "struct" => TokenKind::Struct,
+                "class" => TokenKind::Class,
+                "virtual" => TokenKind::Virtual,
+                "override" => TokenKind::Override,
+                "new" => TokenKind::New,
+                "if" => TokenKind::If,
+                "else" => TokenKind::Else,
+                "while" => TokenKind::While,
+                "return" => TokenKind::Return,
+                "offload" => TokenKind::Offload,
+                "domain" => TokenKind::Domain,
+                "join" => TokenKind::Join,
+                "byte" => TokenKind::Byte,
+                "true" => TokenKind::Bool(true),
+                "false" => TokenKind::Bool(false),
+                _ => TokenKind::Ident(text.to_string()),
+            };
+            tokens.push(Token { kind, span });
+            i = j;
+            continue;
+        }
+        // Operators and punctuation.
+        let two = if i + 1 < bytes.len() {
+            &source[i..i + 2]
+        } else {
+            ""
+        };
+        let (kind, len) = match two {
+            "->" => (TokenKind::Arrow, 2),
+            "==" => (TokenKind::Eq, 2),
+            "!=" => (TokenKind::Ne, 2),
+            "<=" => (TokenKind::Le, 2),
+            ">=" => (TokenKind::Ge, 2),
+            "&&" => (TokenKind::AndAnd, 2),
+            "||" => (TokenKind::OrOr, 2),
+            _ => {
+                let kind = match b {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b';' => TokenKind::Semi,
+                    b':' => TokenKind::Colon,
+                    b',' => TokenKind::Comma,
+                    b'.' => TokenKind::Dot,
+                    b'*' => TokenKind::Star,
+                    b'&' => TokenKind::Amp,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'/' => TokenKind::Slash,
+                    b'%' => TokenKind::Percent,
+                    b'=' => TokenKind::Assign,
+                    b'<' => TokenKind::Lt,
+                    b'>' => TokenKind::Gt,
+                    b'!' => TokenKind::Not,
+                    other => {
+                        return Err(CompileError::new(
+                            ErrorKind::Lex,
+                            Span::new(start, start + 1),
+                            format!("unexpected character `{}`", other as char),
+                        ))
+                    }
+                };
+                (kind, 1)
+            }
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(start, start + len as u32),
+        });
+        i += len;
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::point(bytes.len() as u32),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_function_header() {
+        assert_eq!(
+            kinds("fn main() -> int {"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("main".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Ident("int".into()),
+                TokenKind::LBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5 0 1.0"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Int(0),
+                TokenKind::Float(1.0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn int_dot_is_not_a_float_without_digits() {
+        // `p.x` style field access after a number shouldn't happen, but
+        // `1.` must not eat the dot.
+        assert_eq!(
+            kinds("1 . 2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        assert_eq!(
+            kinds("== = <= < -> - && &"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Assign,
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Arrow,
+                TokenKind::Minus,
+                TokenKind::AndAnd,
+                TokenKind::Amp,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("offload domain byte bytes true falsehood"),
+            vec![
+                TokenKind::Offload,
+                TokenKind::Domain,
+                TokenKind::Byte,
+                TokenKind::Ident("bytes".into()),
+                TokenKind::Bool(true),
+                TokenKind::Ident("falsehood".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        let err = lex("let $x").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Lex);
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn overflowing_int_is_an_error() {
+        let err = lex("99999999999").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Lex);
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let tokens = lex("ab cd").unwrap();
+        assert_eq!(tokens[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,860 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::diag::{CompileError, ErrorKind};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error encountered.
+pub fn parse(source: &str) -> Result<SourceProgram, CompileError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Span, CompileError> {
+        if self.peek() == &kind {
+            let span = self.span();
+            self.bump();
+            Ok(span)
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        CompileError::new(ErrorKind::Parse, self.span(), message)
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(self.error(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    // ---- items ------------------------------------------------------------
+
+    fn program(&mut self) -> Result<SourceProgram, CompileError> {
+        let mut items = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(SourceProgram { items })
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        match self.peek() {
+            TokenKind::Struct => Ok(Item::Struct(self.struct_def()?)),
+            TokenKind::Class => Ok(Item::Class(self.class_def()?)),
+            TokenKind::Var => Ok(Item::Global(self.global_def()?)),
+            TokenKind::Fn => Ok(Item::Func(self.func_def()?)),
+            other => Err(self.error(format!(
+                "expected `struct`, `class`, `var` or `fn` at top level, found {other}"
+            ))),
+        }
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, CompileError> {
+        let start = self.expect(TokenKind::Struct)?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            fields.push(self.field_def()?);
+            self.expect(TokenKind::Semi)?;
+        }
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn field_def(&mut self) -> Result<FieldDef, CompileError> {
+        let (name, span) = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        Ok(FieldDef {
+            name,
+            span: span.to(ty.span()),
+            ty,
+        })
+    }
+
+    fn class_def(&mut self) -> Result<ClassDef, CompileError> {
+        let start = self.expect(TokenKind::Class)?;
+        let (name, _) = self.ident()?;
+        let parent = if self.eat(&TokenKind::Colon) {
+            Some(self.ident()?.0)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            match self.peek() {
+                TokenKind::Virtual | TokenKind::Override | TokenKind::Fn => {
+                    methods.push(self.method_def()?);
+                }
+                _ => {
+                    fields.push(self.field_def()?);
+                    self.expect(TokenKind::Semi)?;
+                }
+            }
+        }
+        Ok(ClassDef {
+            name,
+            parent,
+            fields,
+            methods,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn method_def(&mut self) -> Result<MethodDef, CompileError> {
+        let is_virtual = self.eat(&TokenKind::Virtual);
+        let is_override = !is_virtual && self.eat(&TokenKind::Override);
+        let func = self.func_def()?;
+        Ok(MethodDef {
+            is_virtual,
+            is_override,
+            func,
+        })
+    }
+
+    fn global_def(&mut self) -> Result<GlobalDef, CompileError> {
+        let start = self.expect(TokenKind::Var)?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(GlobalDef {
+            name,
+            ty,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef, CompileError> {
+        let start = self.expect(TokenKind::Fn)?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let (pname, pspan) = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                params.push(Param {
+                    name: pname,
+                    span: pspan.to(ty.span()),
+                    ty,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let ret = if self.eat(&TokenKind::Arrow) {
+            self.type_expr()?
+        } else {
+            TypeExpr::Named("void".to_string(), self.span())
+        };
+        let body = self.block()?;
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            span: start.to(self.prev_span()),
+            body,
+        })
+    }
+
+    // ---- types -------------------------------------------------------------
+
+    fn type_expr(&mut self) -> Result<TypeExpr, CompileError> {
+        let mut base = match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                TypeExpr::Named(name, span)
+            }
+            TokenKind::LBracket => {
+                let start = self.span();
+                self.bump();
+                let elem = self.type_expr()?;
+                self.expect(TokenKind::Semi)?;
+                let len = match self.bump() {
+                    TokenKind::Int(n) if n > 0 => n as u32,
+                    _ => {
+                        return Err(CompileError::new(
+                            ErrorKind::Parse,
+                            self.prev_span(),
+                            "array length must be a positive integer literal",
+                        ))
+                    }
+                };
+                let end = self.expect(TokenKind::RBracket)?;
+                TypeExpr::Array {
+                    elem: Box::new(elem),
+                    len,
+                    span: start.to(end),
+                }
+            }
+            other => return Err(self.error(format!("expected a type, found {other}"))),
+        };
+        loop {
+            if self.peek() == &TokenKind::Byte && self.peek2() == &TokenKind::Star {
+                let bspan = self.span();
+                self.bump();
+                let sspan = self.expect(TokenKind::Star)?;
+                base = TypeExpr::Ptr {
+                    span: base.span().to(bspan).to(sspan),
+                    pointee: Box::new(base),
+                    byte_addressed: true,
+                };
+            } else if self.peek() == &TokenKind::Star {
+                let sspan = self.span();
+                self.bump();
+                base = TypeExpr::Ptr {
+                    span: base.span().to(sspan),
+                    pointee: Box::new(base),
+                    byte_addressed: false,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(base)
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        let start = self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block {
+            stmts,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            TokenKind::Let => {
+                let start = self.span();
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Let {
+                    name,
+                    ty,
+                    init,
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::If => {
+                let start = self.span();
+                self.bump();
+                let cond = self.expr()?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&TokenKind::Else) {
+                    Some(self.block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::While => {
+                let start = self.span();
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::Return => {
+                let start = self.span();
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return {
+                    value,
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::Join => {
+                let start = self.span();
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Join {
+                    name,
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::Offload => {
+                let start = self.span();
+                self.bump();
+                let handle = match self.peek() {
+                    TokenKind::Ident(name) if name != "use" => Some(self.ident()?.0),
+                    _ => None,
+                };
+                let mut captures = Vec::new();
+                if matches!(self.peek(), TokenKind::Ident(name) if name == "use") {
+                    self.bump();
+                    self.expect(TokenKind::LParen)?;
+                    loop {
+                        let (name, span) = self.ident()?;
+                        captures.push((name, span));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                let mut domain = Vec::new();
+                if self.eat(&TokenKind::Domain) {
+                    self.expect(TokenKind::LParen)?;
+                    loop {
+                        let (class, cspan) = self.ident()?;
+                        self.expect(TokenKind::Dot)?;
+                        let (method, mspan) = self.ident()?;
+                        domain.push(DomainEntry {
+                            class,
+                            method,
+                            span: cspan.to(mspan),
+                        });
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                let body = self.block()?;
+                Ok(Stmt::Offload {
+                    handle,
+                    captures,
+                    domain,
+                    body,
+                    span: start.to(self.prev_span()),
+                })
+            }
+            _ => {
+                let start = self.span();
+                let expr = self.expr()?;
+                if self.eat(&TokenKind::Assign) {
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Assign {
+                        target: expr,
+                        value,
+                        span: start.to(self.prev_span()),
+                    })
+                } else {
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Expr {
+                        expr,
+                        span: start.to(self.prev_span()),
+                    })
+                }
+            }
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().to(rhs.span());
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.to(operand.span());
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.to(operand.span());
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                    span,
+                })
+            }
+            TokenKind::Star => {
+                self.bump();
+                let ptr = self.unary_expr()?;
+                let span = start.to(ptr.span());
+                Ok(Expr::Deref {
+                    ptr: Box::new(ptr),
+                    span,
+                })
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let place = self.unary_expr()?;
+                let span = start.to(place.span());
+                Ok(Expr::AddrOf {
+                    place: Box::new(place),
+                    span,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let (name, nspan) = self.ident()?;
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.call_args()?;
+                    let span = expr.span().to(self.prev_span());
+                    expr = Expr::MethodCall {
+                        recv: Box::new(expr),
+                        method: name,
+                        args,
+                        span,
+                    };
+                } else {
+                    let span = expr.span().to(nspan);
+                    expr = Expr::Field {
+                        base: Box::new(expr),
+                        field: name,
+                        span,
+                    };
+                }
+            } else if self.peek() == &TokenKind::LBracket {
+                self.bump();
+                let index = self.expr()?;
+                let end = self.expect(TokenKind::RBracket)?;
+                let span = expr.span().to(end);
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v, span))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v, span))
+            }
+            TokenKind::Bool(v) => {
+                self.bump();
+                Ok(Expr::BoolLit(v, span))
+            }
+            TokenKind::New => {
+                self.bump();
+                let (class, cspan) = self.ident()?;
+                Ok(Expr::New {
+                    class,
+                    span: span.to(cspan),
+                })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call {
+                        callee: name,
+                        args,
+                        span: span.to(self.prev_span()),
+                    })
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_program() {
+        let src = "fn main() -> int { return 0; }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.items.len(), 1);
+        match &prog.items[0] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "main");
+                assert!(f.params.is_empty());
+                assert_eq!(f.body.stmts.len(), 1);
+            }
+            other => panic!("expected a function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_structs_classes_and_globals() {
+        let src = r#"
+            struct Vec3 { x: float; y: float; z: float; }
+            var world: Vec3;
+            class Entity {
+                hp: float;
+                virtual fn update(dt: float) { self.hp = self.hp - dt; }
+            }
+            class Enemy : Entity {
+                override fn update(dt: float) { self.hp = self.hp - dt - dt; }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.items.len(), 4);
+        match &prog.items[2] {
+            Item::Class(c) => {
+                assert_eq!(c.name, "Entity");
+                assert!(c.parent.is_none());
+                assert_eq!(c.fields.len(), 1);
+                assert!(c.methods[0].is_virtual);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &prog.items[3] {
+            Item::Class(c) => {
+                assert_eq!(c.parent.as_deref(), Some("Entity"));
+                assert!(c.methods[0].is_override);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_pointer_and_array_types() {
+        let src = "fn f(p: int*, q: int byte*, r: int**, a: [float; 8]*) { }";
+        let prog = parse(src).unwrap();
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
+        match &f.params[0].ty {
+            TypeExpr::Ptr {
+                byte_addressed, ..
+            } => assert!(!byte_addressed),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &f.params[1].ty {
+            TypeExpr::Ptr {
+                byte_addressed, ..
+            } => assert!(byte_addressed),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &f.params[2].ty {
+            TypeExpr::Ptr { pointee, .. } => {
+                assert!(matches!(**pointee, TypeExpr::Ptr { .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &f.params[3].ty {
+            TypeExpr::Ptr { pointee, .. } => {
+                assert!(matches!(**pointee, TypeExpr::Array { len: 8, .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_offload_with_domain() {
+        let src = r#"
+            fn main() {
+                offload domain(Entity.update, Enemy.update) {
+                    let x: int = 1;
+                }
+                offload { }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
+        match &f.body.stmts[0] {
+            Stmt::Offload { domain, body, .. } => {
+                assert_eq!(domain.len(), 2);
+                assert_eq!(domain[0].class, "Entity");
+                assert_eq!(domain[1].method, "update");
+                assert_eq!(body.stmts.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&f.body.stmts[1], Stmt::Offload { domain, .. } if domain.is_empty()));
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let src = "fn f() -> bool { return 1 + 2 * 3 < 4 && true || false; }";
+        let prog = parse(src).unwrap();
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
+        let Stmt::Return {
+            value: Some(expr), ..
+        } = &f.body.stmts[0]
+        else {
+            panic!()
+        };
+        // ((1 + (2*3)) < 4 && true) || false
+        let Expr::Binary { op: BinOp::Or, lhs, .. } = expr else {
+            panic!("top is ||: {expr:?}")
+        };
+        let Expr::Binary { op: BinOp::And, lhs, .. } = &**lhs else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::Lt, lhs, .. } = &**lhs else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = &**lhs else {
+            panic!()
+        };
+        assert!(matches!(&**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_postfix_chains() {
+        let src = "fn f() { a.b[1].c(2, 3); *p = &q.r; }";
+        let prog = parse(src).unwrap();
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
+        assert!(matches!(&f.body.stmts[0], Stmt::Expr { expr: Expr::MethodCall { .. }, .. }));
+        match &f.body.stmts[1] {
+            Stmt::Assign { target, value, .. } => {
+                assert!(matches!(target, Expr::Deref { .. }));
+                assert!(matches!(value, Expr::AddrOf { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_is_a_syntax_error() {
+        let err = parse("fn f() { let x: int = 1 }").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+        assert!(err.message.contains("`;`"));
+    }
+
+    #[test]
+    fn stray_top_level_token_is_an_error() {
+        let err = parse("return 4;").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn zero_length_array_is_rejected() {
+        let err = parse("fn f(a: [int; 0]) { }").unwrap_err();
+        assert!(err.message.contains("positive"));
+    }
+}

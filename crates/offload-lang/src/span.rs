@@ -1,0 +1,96 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+
+/// A byte range in the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: u32,
+    /// End byte offset (exclusive).
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn point(at: u32) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The `(line, column)` of the span start in `source` (1-based).
+    pub fn line_col(self, source: &str) -> (u32, u32) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i as u32 >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+
+    /// The source line containing the span start.
+    pub fn source_line(self, source: &str) -> &str {
+        let start = self.start.min(source.len() as u32) as usize;
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = source[start..]
+            .find('\n')
+            .map_or(source.len(), |i| start + i);
+        &source[line_start..line_end]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joins_cover_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::point(0).line_col(src), (1, 1));
+        assert_eq!(Span::point(1).line_col(src), (1, 2));
+        assert_eq!(Span::point(3).line_col(src), (2, 1));
+        assert_eq!(Span::point(7).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn source_line_extraction() {
+        let src = "first\nsecond\nthird";
+        assert_eq!(Span::point(0).source_line(src), "first");
+        assert_eq!(Span::point(8).source_line(src), "second");
+        assert_eq!(Span::point(14).source_line(src), "third");
+    }
+}

@@ -1,0 +1,176 @@
+//! Token kinds.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// Integer literal.
+    Int(i32),
+    /// Float literal.
+    Float(f32),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `var` (global declaration)
+    Var,
+    /// `struct`
+    Struct,
+    /// `class`
+    Class,
+    /// `virtual`
+    Virtual,
+    /// `override`
+    Override,
+    /// `new`
+    New,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `offload`
+    Offload,
+    /// `domain`
+    Domain,
+    /// `join` (synchronise with a named offload handle)
+    Join,
+    /// `byte` (byte-addressed pointer qualifier, paper §5)
+    Byte,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Bool(v) => write!(f, "`{v}`"),
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::Fn => write!(f, "`fn`"),
+            TokenKind::Let => write!(f, "`let`"),
+            TokenKind::Var => write!(f, "`var`"),
+            TokenKind::Struct => write!(f, "`struct`"),
+            TokenKind::Class => write!(f, "`class`"),
+            TokenKind::Virtual => write!(f, "`virtual`"),
+            TokenKind::Override => write!(f, "`override`"),
+            TokenKind::New => write!(f, "`new`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::While => write!(f, "`while`"),
+            TokenKind::Return => write!(f, "`return`"),
+            TokenKind::Offload => write!(f, "`offload`"),
+            TokenKind::Domain => write!(f, "`domain`"),
+            TokenKind::Join => write!(f, "`join`"),
+            TokenKind::Byte => write!(f, "`byte`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Not => write!(f, "`!`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The kind (and payload).
+    pub kind: TokenKind,
+    /// Where in the source.
+    pub span: Span,
+}

@@ -1,0 +1,503 @@
+//! Semantic types, memory spaces, and data layout.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast;
+use crate::diag::{CompileError, ErrorKind};
+use crate::span::Span;
+
+/// The memory space a pointer refers into.
+///
+/// `Host` is the paper's "outer" memory; `Local` is the accelerator's
+/// scratch-pad. Outside offload blocks everything is `Host`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Space {
+    /// Main (host/outer) memory.
+    Host,
+    /// The executing accelerator's local store.
+    Local,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Host => write!(f, "outer"),
+            Space::Local => write!(f, "local"),
+        }
+    }
+}
+
+/// The addressing discipline of a pointer on word-addressed targets
+/// (paper §5): `Word` pointers hold word-aligned addresses, `Byte`
+/// pointers may carry constant sub-word offsets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PtrUnit {
+    /// Default: word-addressed.
+    Word,
+    /// Explicitly byte-addressed (`T byte*`).
+    Byte,
+}
+
+/// A semantic type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit float.
+    Float,
+    /// Boolean (1 byte).
+    Bool,
+    /// 8-bit character/byte (the sub-word scalar of paper §5).
+    Char,
+    /// No value.
+    Void,
+    /// A struct, by index into the [`TypeTable`].
+    Struct(usize),
+    /// A class instance type, by index into the [`TypeTable`].
+    Class(usize),
+    /// A pointer.
+    Ptr {
+        /// Pointee type.
+        pointee: Box<Type>,
+        /// Memory space.
+        space: Space,
+        /// Addressing discipline.
+        unit: PtrUnit,
+    },
+    /// A fixed array.
+    Array {
+        /// Element type.
+        elem: Box<Type>,
+        /// Length.
+        len: u32,
+    },
+}
+
+impl Type {
+    /// Shorthand for a pointer type.
+    pub fn ptr(pointee: Type, space: Space) -> Type {
+        Type::Ptr {
+            pointee: Box::new(pointee),
+            space,
+            unit: PtrUnit::Word,
+        }
+    }
+
+    /// Whether this is any pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr { .. })
+    }
+
+    /// Whether this is a scalar (fits the operand stack).
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            Type::Int | Type::Float | Type::Bool | Type::Char | Type::Ptr { .. }
+        )
+    }
+
+    /// Whether this type is an integer-like arithmetic type.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Type::Int | Type::Char)
+    }
+
+    /// Structural equality *ignoring* pointer spaces and units — used to
+    /// report "same type, different space" specially.
+    pub fn same_shape(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Ptr { pointee: a, .. }, Type::Ptr { pointee: b, .. }) => a.same_shape(b),
+            (Type::Array { elem: a, len: la }, Type::Array { elem: b, len: lb }) => {
+                la == lb && a.same_shape(b)
+            }
+            _ => self == other,
+        }
+    }
+}
+
+/// A field with its resolved type and byte offset.
+#[derive(Clone, Debug)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Byte offset within the aggregate.
+    pub offset: u32,
+}
+
+/// Layout and fields of a struct.
+#[derive(Clone, Debug)]
+pub struct StructInfo {
+    /// Struct name.
+    pub name: String,
+    /// Fields with offsets (C-like natural alignment).
+    pub fields: Vec<FieldInfo>,
+    /// Total size in bytes (padded to alignment).
+    pub size: u32,
+    /// Alignment in bytes.
+    pub align: u32,
+}
+
+/// A method signature attached to a class.
+#[derive(Clone, Debug)]
+pub struct MethodInfo {
+    /// Method name.
+    pub name: String,
+    /// Virtual-dispatch slot (shared across overrides).
+    pub slot: u16,
+    /// Whether the method participates in dynamic dispatch.
+    pub is_virtual: bool,
+    /// Parameter types (excluding `self`), with `Host` placeholder
+    /// spaces (duplicates rebind them).
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Index of the defining class (for diagnostics).
+    pub defined_in: usize,
+    /// Index of this method's AST within the program's method list.
+    pub ast_index: usize,
+}
+
+/// Layout, hierarchy, and dispatch info of a class.
+#[derive(Clone, Debug)]
+pub struct ClassInfo {
+    /// Class name.
+    pub name: String,
+    /// Parent class index.
+    pub parent: Option<usize>,
+    /// All fields (inherited first), offsets include the 4-byte class-id
+    /// header at offset 0.
+    pub fields: Vec<FieldInfo>,
+    /// Total size (header + fields, padded).
+    pub size: u32,
+    /// Alignment.
+    pub align: u32,
+    /// vtable: slot → index into [`TypeTable::methods`].
+    pub vtable: Vec<usize>,
+    /// Methods dispatched statically (non-virtual), by name.
+    pub static_methods: HashMap<String, usize>,
+}
+
+/// All named types of a program, with layouts computed.
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    /// Structs, in declaration order.
+    pub structs: Vec<StructInfo>,
+    /// Classes, in declaration order.
+    pub classes: Vec<ClassInfo>,
+    /// Every method of every class (AST bodies live in the compiler).
+    pub methods: Vec<MethodInfo>,
+    struct_names: HashMap<String, usize>,
+    class_names: HashMap<String, usize>,
+}
+
+impl TypeTable {
+    /// Looks up a struct by name.
+    pub fn struct_by_name(&self, name: &str) -> Option<usize> {
+        self.struct_names.get(name).copied()
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<usize> {
+        self.class_names.get(name).copied()
+    }
+
+    /// Registers a struct (layout must already be computed).
+    pub fn add_struct(&mut self, info: StructInfo) -> usize {
+        let idx = self.structs.len();
+        self.struct_names.insert(info.name.clone(), idx);
+        self.structs.push(info);
+        idx
+    }
+
+    /// Registers a class.
+    pub fn add_class(&mut self, info: ClassInfo) -> usize {
+        let idx = self.classes.len();
+        self.class_names.insert(info.name.clone(), idx);
+        self.classes.push(info);
+        idx
+    }
+
+    /// Size of a type in bytes.
+    pub fn size_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Int | Type::Float => 4,
+            Type::Bool | Type::Char => 1,
+            Type::Void => 0,
+            Type::Ptr { .. } => 4,
+            Type::Struct(i) => self.structs[*i].size,
+            Type::Class(i) => self.classes[*i].size,
+            Type::Array { elem, len } => self.size_of(elem) * len,
+        }
+    }
+
+    /// Alignment of a type in bytes.
+    pub fn align_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Int | Type::Float | Type::Ptr { .. } => 4,
+            Type::Bool | Type::Char => 1,
+            Type::Void => 1,
+            Type::Struct(i) => self.structs[*i].align,
+            Type::Class(i) => self.classes[*i].align,
+            Type::Array { elem, .. } => self.align_of(elem),
+        }
+    }
+
+    /// Finds a field of a struct or class type.
+    pub fn field_of(&self, ty: &Type, name: &str) -> Option<FieldInfo> {
+        let fields = match ty {
+            Type::Struct(i) => &self.structs[*i].fields,
+            Type::Class(i) => &self.classes[*i].fields,
+            _ => return None,
+        };
+        fields.iter().find(|f| f.name == name).cloned()
+    }
+
+    /// Whether `sub` equals `sup` or is a subclass of it.
+    pub fn is_subclass_of(&self, mut sub: usize, sup: usize) -> bool {
+        loop {
+            if sub == sup {
+                return true;
+            }
+            match self.classes[sub].parent {
+                Some(p) => sub = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Resolves a method by name on a class (searching up the
+    /// hierarchy): returns the method index.
+    pub fn method_by_name(&self, class: usize, name: &str) -> Option<usize> {
+        // Virtual slots first.
+        for &m in &self.classes[class].vtable {
+            if self.methods[m].name == name {
+                return Some(m);
+            }
+        }
+        let mut current = Some(class);
+        while let Some(c) = current {
+            if let Some(&m) = self.classes[c].static_methods.get(name) {
+                return Some(m);
+            }
+            current = self.classes[c].parent;
+        }
+        None
+    }
+
+    /// Computes a C-like layout for the given `(name, type)` fields
+    /// starting at byte `start`: natural alignment, size padded to the
+    /// max alignment. Returns `(fields, size, align)`.
+    pub fn layout_fields(
+        &self,
+        start: u32,
+        decls: &[(String, Type)],
+    ) -> (Vec<FieldInfo>, u32, u32) {
+        let mut offset = start;
+        let mut align = 1u32.max(if start > 0 { 4 } else { 1 });
+        let mut fields = Vec::with_capacity(decls.len());
+        for (name, ty) in decls {
+            let a = self.align_of(ty);
+            align = align.max(a);
+            offset = memspace::align_up(offset, a);
+            fields.push(FieldInfo {
+                name: name.clone(),
+                ty: ty.clone(),
+                offset,
+            });
+            offset += self.size_of(ty);
+        }
+        let size = memspace::align_up(offset, align);
+        (fields, size, align)
+    }
+
+    /// Renders a type for diagnostics.
+    pub fn display(&self, ty: &Type) -> String {
+        match ty {
+            Type::Int => "int".into(),
+            Type::Float => "float".into(),
+            Type::Bool => "bool".into(),
+            Type::Char => "char".into(),
+            Type::Void => "void".into(),
+            Type::Struct(i) => self.structs[*i].name.clone(),
+            Type::Class(i) => self.classes[*i].name.clone(),
+            Type::Ptr {
+                pointee,
+                space,
+                unit,
+            } => {
+                let u = if *unit == PtrUnit::Byte { " byte" } else { "" };
+                format!("{} {}{u}*", self.display(pointee), space)
+            }
+            Type::Array { elem, len } => format!("[{}; {len}]", self.display(elem)),
+        }
+    }
+
+    /// Lowers a syntactic type, resolving names; pointer spaces default
+    /// to `default_space`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown type names.
+    pub fn lower(
+        &self,
+        texpr: &ast::TypeExpr,
+        default_space: Space,
+    ) -> Result<Type, CompileError> {
+        match texpr {
+            ast::TypeExpr::Named(name, span) => match name.as_str() {
+                "int" => Ok(Type::Int),
+                "float" => Ok(Type::Float),
+                "bool" => Ok(Type::Bool),
+                "char" => Ok(Type::Char),
+                "void" => Ok(Type::Void),
+                other => {
+                    if let Some(i) = self.struct_by_name(other) {
+                        Ok(Type::Struct(i))
+                    } else if let Some(i) = self.class_by_name(other) {
+                        Ok(Type::Class(i))
+                    } else {
+                        Err(CompileError::new(
+                            ErrorKind::Resolve,
+                            *span,
+                            format!("unknown type `{other}`"),
+                        ))
+                    }
+                }
+            },
+            ast::TypeExpr::Ptr {
+                pointee,
+                byte_addressed,
+                ..
+            } => Ok(Type::Ptr {
+                pointee: Box::new(self.lower(pointee, default_space)?),
+                space: default_space,
+                unit: if *byte_addressed {
+                    PtrUnit::Byte
+                } else {
+                    PtrUnit::Word
+                },
+            }),
+            ast::TypeExpr::Array { elem, len, .. } => Ok(Type::Array {
+                elem: Box::new(self.lower(elem, default_space)?),
+                len: *len,
+            }),
+        }
+    }
+}
+
+/// A resolved domain annotation entry: `(class index, method index)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResolvedDomainEntry {
+    /// The class named in the annotation.
+    pub class: usize,
+    /// The method (as implemented by that class).
+    pub method: usize,
+    /// The annotation's source span.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_struct() -> (TypeTable, usize) {
+        let mut t = TypeTable::default();
+        let decls = vec![
+            ("a".to_string(), Type::Char),
+            ("b".to_string(), Type::Int),
+            ("c".to_string(), Type::Char),
+        ];
+        let (fields, size, align) = t.layout_fields(0, &decls);
+        let idx = t.add_struct(StructInfo {
+            name: "T".into(),
+            fields,
+            size,
+            align,
+        });
+        (t, idx)
+    }
+
+    #[test]
+    fn c_like_layout_with_padding() {
+        let (t, idx) = table_with_struct();
+        let info = &t.structs[idx];
+        assert_eq!(info.fields[0].offset, 0); // a: char
+        assert_eq!(info.fields[1].offset, 4); // b: int (aligned)
+        assert_eq!(info.fields[2].offset, 8); // c: char
+        assert_eq!(info.size, 12); // padded to 4
+        assert_eq!(info.align, 4);
+        assert_eq!(t.size_of(&Type::Struct(idx)), 12);
+    }
+
+    #[test]
+    fn packed_char_struct() {
+        let mut t = TypeTable::default();
+        let decls: Vec<(String, Type)> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| (n.to_string(), Type::Char))
+            .collect();
+        let (fields, size, align) = t.layout_fields(0, &decls);
+        assert_eq!(size, 4);
+        assert_eq!(align, 1);
+        assert_eq!(fields[3].offset, 3);
+        let _ = t.add_struct(StructInfo {
+            name: "B".into(),
+            fields,
+            size,
+            align,
+        });
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let t = TypeTable::default();
+        assert_eq!(t.size_of(&Type::Int), 4);
+        assert_eq!(t.size_of(&Type::Char), 1);
+        assert_eq!(t.size_of(&Type::Bool), 1);
+        assert_eq!(t.size_of(&Type::ptr(Type::Int, Space::Host)), 4);
+        assert_eq!(
+            t.size_of(&Type::Array {
+                elem: Box::new(Type::Int),
+                len: 5
+            }),
+            20
+        );
+    }
+
+    #[test]
+    fn same_shape_ignores_spaces() {
+        let host = Type::ptr(Type::Int, Space::Host);
+        let local = Type::ptr(Type::Int, Space::Local);
+        assert!(host.same_shape(&local));
+        assert_ne!(host, local);
+        assert!(!host.same_shape(&Type::ptr(Type::Float, Space::Host)));
+    }
+
+    #[test]
+    fn display_shows_spaces() {
+        let t = TypeTable::default();
+        assert_eq!(t.display(&Type::ptr(Type::Int, Space::Host)), "int outer*");
+        let byte_ptr = Type::Ptr {
+            pointee: Box::new(Type::Char),
+            space: Space::Local,
+            unit: PtrUnit::Byte,
+        };
+        assert_eq!(t.display(&byte_ptr), "char local byte*");
+    }
+
+    #[test]
+    fn lower_resolves_names_and_spaces() {
+        let (t, _) = table_with_struct();
+        let texpr = ast::TypeExpr::Ptr {
+            pointee: Box::new(ast::TypeExpr::Named("T".into(), Span::point(0))),
+            byte_addressed: false,
+            span: Span::point(0),
+        };
+        let ty = t.lower(&texpr, Space::Local).unwrap();
+        assert_eq!(ty, Type::ptr(Type::Struct(0), Space::Local));
+        let bad = ast::TypeExpr::Named("Nope".into(), Span::point(0));
+        assert!(t.lower(&bad, Space::Host).is_err());
+    }
+}

@@ -1,0 +1,883 @@
+//! The bytecode virtual machine.
+//!
+//! Executes a compiled [`Program`] on a [`simcell::Machine`]: host code
+//! runs against the host core's clock and memory path; `offload` blocks
+//! run on accelerator 0 with local-store frames, and their accesses to
+//! outer (host) data either pay a synchronous DMA round trip each
+//! ([`OffloadCachePolicy::Naive`]) or go "through a software cache"
+//! ([`OffloadCachePolicy::Cached`]) exactly as paper §3 describes.
+//!
+//! # Cost accounting
+//!
+//! Every instruction charges one `arith` cycle for decode/execute, plus:
+//! jumps and calls a `branch`; pointer indexing an extra `arith`;
+//! memory instructions the cost of the space they touch (accesses
+//! falling inside the *current frame* model register/L1-resident locals
+//! and charge nothing extra); word-addressing penalties from the
+//! compiler (paper §5); virtual calls the header read plus `vcall` plus
+//! — on the accelerator — the Figure 3 domain search costs.
+
+use memspace::{Addr, SpaceId};
+use simcell::{AccelCtx, CostModel, Machine, SimError};
+use softcache::CacheConfig;
+
+use crate::bytecode::{Cmp, DomainId, FuncId, Instr, SpaceTag, ValType};
+use crate::compile::Program;
+
+/// Bytes reserved for the host call stack.
+const HOST_STACK: u32 = 256 * 1024;
+/// Bytes reserved for the accelerator call stack inside an offload.
+const ACCEL_STACK: u32 = 48 * 1024;
+
+/// How offloaded code reaches outer (host) memory.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum OffloadCachePolicy {
+    /// Every outer access is a synchronous DMA round trip.
+    #[default]
+    Naive,
+    /// Outer accesses go through a software cache of this geometry,
+    /// flushed when the offload block ends.
+    Cached(CacheConfig),
+}
+
+/// Errors raised during execution.
+#[derive(Clone, Debug)]
+pub enum VmError {
+    /// Integer division or modulo by zero.
+    DivideByZero {
+        /// Function name.
+        func: String,
+    },
+    /// The paper's informative dispatch-domain miss (Figure 3).
+    DomainMiss {
+        /// The host function that was dispatched.
+        method: String,
+        /// The required memory-space signature.
+        dup: u16,
+        /// Outer-domain entries searched.
+        searched: usize,
+    },
+    /// Call stack exhausted.
+    StackOverflow,
+    /// The configured instruction budget ran out (probable infinite
+    /// loop).
+    OutOfFuel,
+    /// `join` on a handle with no offload in flight (joined twice, or
+    /// the offload statement never executed on this path).
+    InvalidJoin {
+        /// The handle slot.
+        slot: u16,
+    },
+    /// A function with a non-void return type fell off its end.
+    MissingReturn {
+        /// Function name.
+        func: String,
+    },
+    /// Underlying simulator failure (bounds, allocation, transfer…).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::DivideByZero { func } => write!(f, "division by zero in `{func}`"),
+            VmError::DomainMiss {
+                method,
+                dup,
+                searched,
+            } => write!(
+                f,
+                "dispatch-domain miss: `{method}` (memory-space signature {dup:#b}) is not \
+                 pre-compiled for local dispatch (searched {searched} domain entries); add the \
+                 method to the offload's domain(...) annotation"
+            ),
+            VmError::StackOverflow => write!(f, "simulated call stack overflow"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted (infinite loop?)"),
+            VmError::InvalidJoin { slot } => write!(
+                f,
+                "join on offload handle #{slot} which has no offload in flight (already joined, \
+                 or the offload never ran on this path)"
+            ),
+            VmError::MissingReturn { func } => {
+                write!(f, "`{func}` ended without returning a value")
+            }
+            VmError::Sim(err) => write!(f, "simulator error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<SimError> for VmError {
+    fn from(err: SimError) -> VmError {
+        VmError::Sim(err)
+    }
+}
+
+/// A runtime scalar value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Value {
+    I(i32),
+    F(f32),
+    B(bool),
+    P(Addr),
+}
+
+impl Value {
+    fn as_i(self) -> i32 {
+        match self {
+            Value::I(v) => v,
+            other => unreachable!("typechecked program pushed {other:?} where int expected"),
+        }
+    }
+
+    fn as_f(self) -> f32 {
+        match self {
+            Value::F(v) => v,
+            other => unreachable!("typechecked program pushed {other:?} where float expected"),
+        }
+    }
+
+    fn as_b(self) -> bool {
+        match self {
+            Value::B(v) => v,
+            other => unreachable!("typechecked program pushed {other:?} where bool expected"),
+        }
+    }
+
+    fn as_p(self) -> Addr {
+        match self {
+            Value::P(v) => v,
+            other => unreachable!("typechecked program pushed {other:?} where pointer expected"),
+        }
+    }
+}
+
+/// The execution environment a piece of code runs in (host core or an
+/// accelerator inside an offload block).
+trait Env {
+    fn space(&self) -> SpaceId;
+    fn cost(&self) -> CostModel;
+    fn compute(&mut self, cycles: u64);
+    /// Reads bytes; `in_frame` marks current-frame (register-modelled)
+    /// accesses that charge nothing extra.
+    fn read(&mut self, addr: Addr, out: &mut [u8], in_frame: bool) -> Result<(), VmError>;
+    fn write(&mut self, addr: Addr, data: &[u8], in_frame: bool) -> Result<(), VmError>;
+    /// Arena allocation in this environment's current space.
+    fn alloc(&mut self, size: u32, align: u32) -> Result<Addr, VmError>;
+    /// Runs an offload block (host only; the compiler rejects nesting).
+    /// `args` holds the block's by-value captures.
+    fn exec_offload(
+        &mut self,
+        vm: &mut Vm<'_>,
+        func: FuncId,
+        domain: DomainId,
+        args: Vec<Value>,
+    ) -> Result<(), VmError>;
+    /// Launches an asynchronous offload under a handle slot (host only).
+    fn exec_offload_async(
+        &mut self,
+        vm: &mut Vm<'_>,
+        func: FuncId,
+        domain: DomainId,
+        slot: u16,
+        args: Vec<Value>,
+    ) -> Result<(), VmError>;
+    /// Joins the offload registered under `slot` (host only).
+    fn exec_join(&mut self, slot: u16) -> Result<(), VmError>;
+}
+
+struct HostEnv<'a> {
+    machine: &'a mut Machine,
+    /// In-flight asynchronous offloads by handle slot.
+    pending: std::collections::HashMap<u16, simcell::OffloadHandle<Result<(), VmError>>>,
+    /// Round-robin accelerator assignment for asynchronous offloads.
+    next_accel: u16,
+}
+
+impl<'a> HostEnv<'a> {
+    fn new(machine: &'a mut Machine) -> HostEnv<'a> {
+        HostEnv {
+            machine,
+            pending: std::collections::HashMap::new(),
+            next_accel: 0,
+        }
+    }
+
+    /// Joins every still-pending offload (end of `main`).
+    fn drain(&mut self) -> Result<(), VmError> {
+        let slots: Vec<u16> = self.pending.keys().copied().collect();
+        for slot in slots {
+            self.exec_join(slot)?;
+        }
+        Ok(())
+    }
+}
+
+impl Env for HostEnv<'_> {
+    fn space(&self) -> SpaceId {
+        SpaceId::MAIN
+    }
+
+    fn cost(&self) -> CostModel {
+        *self.machine.cost()
+    }
+
+    fn compute(&mut self, cycles: u64) {
+        self.machine.host_compute(cycles);
+    }
+
+    fn read(&mut self, addr: Addr, out: &mut [u8], in_frame: bool) -> Result<(), VmError> {
+        if in_frame {
+            self.machine.main().read_into(addr, out).map_err(SimError::from)?;
+            Ok(())
+        } else {
+            Ok(self.machine.host_read_bytes(addr, out)?)
+        }
+    }
+
+    fn write(&mut self, addr: Addr, data: &[u8], in_frame: bool) -> Result<(), VmError> {
+        if in_frame {
+            self.machine
+                .main_mut()
+                .write_bytes(addr, data)
+                .map_err(SimError::from)?;
+            Ok(())
+        } else {
+            Ok(self.machine.host_write_bytes(addr, data)?)
+        }
+    }
+
+    fn alloc(&mut self, size: u32, align: u32) -> Result<Addr, VmError> {
+        Ok(self.machine.alloc_main(size, align)?)
+    }
+
+    fn exec_offload(
+        &mut self,
+        vm: &mut Vm<'_>,
+        func: FuncId,
+        domain: DomainId,
+        args: Vec<Value>,
+    ) -> Result<(), VmError> {
+        let policy = vm.cache_policy;
+        self.machine
+            .run_offload(0, |ctx| vm.run_on_accel(ctx, func, domain, policy, args))??;
+        Ok(())
+    }
+
+    fn exec_offload_async(
+        &mut self,
+        vm: &mut Vm<'_>,
+        func: FuncId,
+        domain: DomainId,
+        slot: u16,
+        args: Vec<Value>,
+    ) -> Result<(), VmError> {
+        let policy = vm.cache_policy;
+        // Asynchronous offloads round-robin over the accelerators, so
+        // several language-level handles genuinely overlap.
+        let accel = self.next_accel;
+        self.next_accel = (self.next_accel + 1) % self.machine.accel_count();
+        let handle = self
+            .machine
+            .offload(accel, |ctx| vm.run_on_accel(ctx, func, domain, policy, args))?;
+        if let Some(stale) = self.pending.insert(slot, handle) {
+            // Rebinding a live handle implicitly joins the old offload
+            // (matching scoped handle semantics).
+            self.machine.join(stale)?;
+        }
+        Ok(())
+    }
+
+    fn exec_join(&mut self, slot: u16) -> Result<(), VmError> {
+        let handle = self
+            .pending
+            .remove(&slot)
+            .ok_or(VmError::InvalidJoin { slot })?;
+        self.machine.join(handle)
+    }
+}
+
+struct AccelEnv<'a, 'm> {
+    ctx: &'a mut AccelCtx<'m>,
+    cache: Option<softcache::SetAssociativeCache>,
+}
+
+impl Env for AccelEnv<'_, '_> {
+    fn space(&self) -> SpaceId {
+        self.ctx.local_space()
+    }
+
+    fn cost(&self) -> CostModel {
+        *self.ctx.cost()
+    }
+
+    fn compute(&mut self, cycles: u64) {
+        self.ctx.compute(cycles);
+    }
+
+    fn read(&mut self, addr: Addr, out: &mut [u8], in_frame: bool) -> Result<(), VmError> {
+        if addr.space() == self.ctx.local_space() {
+            if in_frame {
+                // Register-modelled frame access: data only.
+                return Ok(self.ctx.peek_local(addr, out)?);
+            }
+            return Ok(self.ctx.local_read_bytes(addr, out)?);
+        }
+        match &mut self.cache {
+            Some(cache) => Ok(self.ctx.cached_read_bytes(cache, addr, out)?),
+            None => Ok(self.ctx.outer_read_bytes(addr, out)?),
+        }
+    }
+
+    fn write(&mut self, addr: Addr, data: &[u8], in_frame: bool) -> Result<(), VmError> {
+        if addr.space() == self.ctx.local_space() {
+            if in_frame {
+                return Ok(self.ctx.poke_local(addr, data)?);
+            }
+            return Ok(self.ctx.local_write_bytes(addr, data)?);
+        }
+        match &mut self.cache {
+            Some(cache) => Ok(self.ctx.cached_write_bytes(cache, addr, data)?),
+            None => Ok(self.ctx.outer_write_bytes(addr, data)?),
+        }
+    }
+
+    fn alloc(&mut self, size: u32, align: u32) -> Result<Addr, VmError> {
+        Ok(self.ctx.alloc_local(size, align)?)
+    }
+
+    fn exec_offload(
+        &mut self,
+        _vm: &mut Vm<'_>,
+        _func: FuncId,
+        _domain: DomainId,
+        _args: Vec<Value>,
+    ) -> Result<(), VmError> {
+        unreachable!("the compiler rejects nested offload blocks")
+    }
+
+    fn exec_offload_async(
+        &mut self,
+        _vm: &mut Vm<'_>,
+        _func: FuncId,
+        _domain: DomainId,
+        _slot: u16,
+        _args: Vec<Value>,
+    ) -> Result<(), VmError> {
+        unreachable!("the compiler rejects nested offload blocks")
+    }
+
+    fn exec_join(&mut self, _slot: u16) -> Result<(), VmError> {
+        unreachable!("the compiler rejects `join` on the accelerator")
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    pc: usize,
+    base: Addr,
+    size: u32,
+    domain: Option<DomainId>,
+}
+
+/// The virtual machine for one compiled program.
+///
+/// See the crate-level example.
+pub struct Vm<'p> {
+    program: &'p Program,
+    globals_base: Addr,
+    host_stack: Addr,
+    output: Vec<String>,
+    fuel: u64,
+    cache_policy: OffloadCachePolicy,
+    /// Instructions executed so far.
+    executed: u64,
+}
+
+impl<'p> Vm<'p> {
+    /// Prepares a VM: allocates the globals block (zeroed) and the host
+    /// call stack in the machine's main memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if main memory cannot fit the program's static data.
+    pub fn new(program: &'p Program, machine: &mut Machine) -> Result<Vm<'p>, SimError> {
+        let globals_base = machine.alloc_main(program.globals_size, 16)?;
+        let host_stack = machine.alloc_main(HOST_STACK, 16)?;
+        Ok(Vm {
+            program,
+            globals_base,
+            host_stack,
+            output: Vec::new(),
+            fuel: 500_000_000,
+            cache_policy: OffloadCachePolicy::default(),
+            executed: 0,
+        })
+    }
+
+    /// Sets the outer-access policy for offload blocks.
+    pub fn set_cache_policy(&mut self, policy: OffloadCachePolicy) {
+        self.cache_policy = policy;
+    }
+
+    /// Sets the instruction budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Lines produced by `print_int`/`print_float`.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Runs `main` to completion and returns its exit value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`].
+    pub fn run(&mut self, machine: &mut Machine) -> Result<i32, VmError> {
+        let main = self.program.main;
+        let mut env = HostEnv::new(machine);
+        let stack = self.host_stack;
+        let result = self.exec(&mut env, main, Vec::new(), stack, HOST_STACK, None)?;
+        env.drain()?;
+        match result {
+            Some(Value::I(code)) => Ok(code),
+            other => unreachable!("main returns int per the compiler ({other:?})"),
+        }
+    }
+
+    /// Entry point for offload bodies (called back from the host env).
+    fn run_on_accel(
+        &mut self,
+        ctx: &mut AccelCtx<'_>,
+        func: FuncId,
+        domain: DomainId,
+        policy: OffloadCachePolicy,
+        args: Vec<Value>,
+    ) -> Result<(), VmError> {
+        let stack = ctx.alloc_local(ACCEL_STACK, 16)?;
+        let cache = match policy {
+            OffloadCachePolicy::Naive => None,
+            OffloadCachePolicy::Cached(config) => Some(ctx.new_cache(config)?),
+        };
+        let mut env = AccelEnv { ctx, cache };
+        self.exec(&mut env, func, args, stack, ACCEL_STACK, Some(domain))?;
+        if let Some(mut cache) = env.cache.take() {
+            env.ctx.cache_flush(&mut cache)?;
+        }
+        Ok(())
+    }
+
+    fn load_value(
+        &self,
+        env: &mut impl Env,
+        addr: Addr,
+        ty: ValType,
+        in_frame: bool,
+    ) -> Result<Value, VmError> {
+        let mut buf = [0u8; 4];
+        let size = ty.size() as usize;
+        env.read(addr, &mut buf[..size], in_frame)?;
+        Ok(match ty {
+            ValType::I32 => Value::I(i32::from_le_bytes(buf)),
+            ValType::F32 => Value::F(f32::from_le_bytes(buf)),
+            ValType::Bool => Value::B(buf[0] != 0),
+            ValType::Char => Value::I(i32::from(buf[0])),
+            ValType::Ptr(tag) => {
+                let offset = u32::from_le_bytes(buf);
+                let space = match tag {
+                    SpaceTag::Host => SpaceId::MAIN,
+                    SpaceTag::Local => env.space(),
+                };
+                Value::P(Addr::new(space, offset))
+            }
+        })
+    }
+
+    fn store_value(
+        &self,
+        env: &mut impl Env,
+        addr: Addr,
+        ty: ValType,
+        value: Value,
+        in_frame: bool,
+    ) -> Result<(), VmError> {
+        let mut buf = [0u8; 4];
+        let size = ty.size() as usize;
+        match ty {
+            ValType::I32 => buf = value.as_i().to_le_bytes(),
+            ValType::F32 => buf = value.as_f().to_le_bytes(),
+            ValType::Bool => buf[0] = u8::from(value.as_b()),
+            ValType::Char => buf[0] = (value.as_i() & 0xff) as u8,
+            ValType::Ptr(_) => buf = value.as_p().offset().to_le_bytes(),
+        }
+        env.write(addr, &buf[..size], in_frame)?;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(
+        &mut self,
+        env: &mut impl Env,
+        entry: FuncId,
+        args: Vec<Value>,
+        stack_base: Addr,
+        stack_size: u32,
+        domain: Option<DomainId>,
+    ) -> Result<Option<Value>, VmError> {
+        let cost = env.cost();
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut stack_top = 0u32;
+
+        // Pushes a frame for `func`, consuming `args`.
+        macro_rules! push_frame {
+            ($func:expr, $args:expr, $domain:expr) => {{
+                let body = self.program.func($func);
+                let base = stack_base.offset_by(stack_top).map_err(SimError::from)?;
+                if stack_top + body.frame_size > stack_size || frames.len() >= 512 {
+                    return Err(VmError::StackOverflow);
+                }
+                stack_top += body.frame_size;
+                env.compute(cost.branch);
+                for (i, value) in $args.into_iter().enumerate() {
+                    let slot = base
+                        .offset_by(body.param_offsets[i])
+                        .map_err(SimError::from)?;
+                    self.store_value(env, slot, body.params[i], value, true)?;
+                    env.compute(cost.arith);
+                }
+                frames.push(Frame {
+                    func: $func,
+                    pc: 0,
+                    base,
+                    size: body.frame_size,
+                    domain: $domain,
+                });
+            }};
+        }
+
+        push_frame!(entry, args, domain);
+
+        loop {
+            if self.executed >= self.fuel {
+                return Err(VmError::OutOfFuel);
+            }
+            self.executed += 1;
+
+            let frame = frames.last_mut().expect("at least the entry frame");
+            let code = &self.program.func(frame.func).code;
+            if frame.pc >= code.len() {
+                unreachable!("compiler emits a trailing Ret");
+            }
+            let instr = code[frame.pc];
+            frame.pc += 1;
+            let frame_base = frame.base;
+            let frame_size = frame.size;
+            let frame_domain = frame.domain;
+            let in_frame = |addr: Addr| {
+                addr.space() == frame_base.space()
+                    && addr.offset() >= frame_base.offset()
+                    && addr.offset() < frame_base.offset() + frame_size
+            };
+            env.compute(cost.arith);
+
+            match instr {
+                Instr::ConstI(v) => stack.push(Value::I(v)),
+                Instr::ConstF(v) => stack.push(Value::F(v)),
+                Instr::ConstB(v) => stack.push(Value::B(v)),
+                Instr::Drop => {
+                    stack.pop();
+                }
+                Instr::LoadLocal { offset, ty } => {
+                    let addr = frame_base.offset_by(offset).map_err(SimError::from)?;
+                    let v = self.load_value(env, addr, ty, true)?;
+                    stack.push(v);
+                }
+                Instr::StoreLocal { offset, ty } => {
+                    let v = stack.pop().expect("value to store");
+                    let addr = frame_base.offset_by(offset).map_err(SimError::from)?;
+                    self.store_value(env, addr, ty, v, true)?;
+                }
+                Instr::AddrOfLocal { offset } => {
+                    stack.push(Value::P(
+                        frame_base.offset_by(offset).map_err(SimError::from)?,
+                    ));
+                }
+                Instr::AddrOfGlobal { offset } => {
+                    stack.push(Value::P(
+                        self.globals_base.offset_by(offset).map_err(SimError::from)?,
+                    ));
+                }
+                Instr::LoadMem { ty, penalty } => {
+                    let ptr = stack.pop().expect("pointer").as_p();
+                    env.compute(u64::from(penalty));
+                    let v = self.load_value(env, ptr, ty, in_frame(ptr))?;
+                    stack.push(v);
+                }
+                Instr::StoreMem { ty, penalty } => {
+                    let v = stack.pop().expect("value");
+                    let ptr = stack.pop().expect("pointer").as_p();
+                    env.compute(u64::from(penalty));
+                    self.store_value(env, ptr, ty, v, in_frame(ptr))?;
+                }
+                Instr::CopyMem { size } => {
+                    let src = stack.pop().expect("source").as_p();
+                    let dst = stack.pop().expect("destination").as_p();
+                    let mut buf = vec![0u8; size as usize];
+                    env.read(src, &mut buf, in_frame(src))?;
+                    env.write(dst, &buf, in_frame(dst))?;
+                }
+                Instr::PtrAddConst(delta) => {
+                    let ptr = stack.pop().expect("pointer").as_p();
+                    let offset = (ptr.offset() as i64 + i64::from(delta)) as u32;
+                    stack.push(Value::P(Addr::new(ptr.space(), offset)));
+                }
+                Instr::PtrIndex { stride } => {
+                    let index = stack.pop().expect("index").as_i();
+                    let ptr = stack.pop().expect("pointer").as_p();
+                    env.compute(cost.arith);
+                    let offset =
+                        (ptr.offset() as i64 + i64::from(index) * i64::from(stride)) as u32;
+                    stack.push(Value::P(Addr::new(ptr.space(), offset)));
+                }
+                Instr::AddI | Instr::SubI | Instr::MulI | Instr::DivI | Instr::ModI => {
+                    let b = stack.pop().expect("rhs").as_i();
+                    let a = stack.pop().expect("lhs").as_i();
+                    let v = match instr {
+                        Instr::AddI => a.wrapping_add(b),
+                        Instr::SubI => a.wrapping_sub(b),
+                        Instr::MulI => a.wrapping_mul(b),
+                        Instr::DivI | Instr::ModI => {
+                            if b == 0 {
+                                return Err(VmError::DivideByZero {
+                                    func: self.program.func(frame.func).name.clone(),
+                                });
+                            }
+                            if matches!(instr, Instr::DivI) {
+                                a.wrapping_div(b)
+                            } else {
+                                a.wrapping_rem(b)
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    stack.push(Value::I(v));
+                }
+                Instr::NegI => {
+                    let a = stack.pop().expect("operand").as_i();
+                    stack.push(Value::I(a.wrapping_neg()));
+                }
+                Instr::AddF | Instr::SubF | Instr::MulF | Instr::DivF => {
+                    let b = stack.pop().expect("rhs").as_f();
+                    let a = stack.pop().expect("lhs").as_f();
+                    let v = match instr {
+                        Instr::AddF => a + b,
+                        Instr::SubF => a - b,
+                        Instr::MulF => a * b,
+                        Instr::DivF => a / b,
+                        _ => unreachable!(),
+                    };
+                    stack.push(Value::F(v));
+                }
+                Instr::NegF => {
+                    let a = stack.pop().expect("operand").as_f();
+                    stack.push(Value::F(-a));
+                }
+                Instr::CmpI(op) => {
+                    let b = stack.pop().expect("rhs");
+                    let a = stack.pop().expect("lhs");
+                    // Pointer comparisons arrive here too.
+                    let (a, b) = match (a, b) {
+                        (Value::P(pa), Value::P(pb)) => (pa.offset() as i32, pb.offset() as i32),
+                        (a, b) => (a.as_i(), b.as_i()),
+                    };
+                    stack.push(Value::B(cmp_i(op, a, b)));
+                }
+                Instr::CmpF(op) => {
+                    let b = stack.pop().expect("rhs").as_f();
+                    let a = stack.pop().expect("lhs").as_f();
+                    stack.push(Value::B(cmp_f(op, a, b)));
+                }
+                Instr::NotB => {
+                    let a = stack.pop().expect("operand").as_b();
+                    stack.push(Value::B(!a));
+                }
+                Instr::I2F => {
+                    let a = stack.pop().expect("operand").as_i();
+                    stack.push(Value::F(a as f32));
+                }
+                Instr::F2I => {
+                    let a = stack.pop().expect("operand").as_f();
+                    stack.push(Value::I(a as i32));
+                }
+                Instr::Jump(target) => {
+                    env.compute(cost.branch);
+                    frames.last_mut().expect("frame").pc = target as usize;
+                }
+                Instr::JumpIfFalse(target) => {
+                    env.compute(cost.branch);
+                    if !stack.pop().expect("condition").as_b() {
+                        frames.last_mut().expect("frame").pc = target as usize;
+                    }
+                }
+                Instr::JumpIfTrue(target) => {
+                    env.compute(cost.branch);
+                    if stack.pop().expect("condition").as_b() {
+                        frames.last_mut().expect("frame").pc = target as usize;
+                    }
+                }
+                Instr::Call { func } => {
+                    let nparams = self.program.func(func).params.len();
+                    let mut call_args = Vec::with_capacity(nparams);
+                    for _ in 0..nparams {
+                        call_args.push(stack.pop().expect("argument"));
+                    }
+                    call_args.reverse();
+                    push_frame!(func, call_args, frame_domain);
+                }
+                Instr::CallVirtual {
+                    slot, nargs, dup, ..
+                } => {
+                    let mut call_args = Vec::with_capacity(usize::from(nargs) + 1);
+                    for _ in 0..nargs {
+                        call_args.push(stack.pop().expect("argument"));
+                    }
+                    let recv = stack.pop().expect("receiver");
+                    call_args.push(recv);
+                    call_args.reverse(); // receiver first
+
+                    // Read the class-id header (costed by space).
+                    let recv_ptr = recv.as_p();
+                    let mut header = [0u8; 4];
+                    env.read(recv_ptr, &mut header, in_frame(recv_ptr))?;
+                    let class = u32::from_le_bytes(header) as usize;
+                    env.compute(cost.vcall);
+                    let host_fn = self.program.classes[class].vtable[usize::from(slot)];
+
+                    let target = if env.space().is_main() {
+                        host_fn
+                    } else {
+                        let d = frame_domain.expect("accelerator code runs under a domain");
+                        let vm_domain = &self.program.domains[d.0 as usize];
+                        match vm_domain.lookup(host_fn, dup) {
+                            Some((accel_fn, outer_probes, inner_probes)) => {
+                                env.compute(
+                                    cost.domain_lookup_base
+                                        + cost.domain_outer_entry * u64::from(outer_probes)
+                                        + cost.domain_inner_entry * u64::from(inner_probes),
+                                );
+                                accel_fn
+                            }
+                            None => {
+                                env.compute(
+                                    cost.domain_lookup_base
+                                        + cost.domain_outer_entry
+                                            * vm_domain.len() as u64,
+                                );
+                                return Err(VmError::DomainMiss {
+                                    method: self.program.func(host_fn).name.clone(),
+                                    dup,
+                                    searched: vm_domain.len(),
+                                });
+                            }
+                        }
+                    };
+                    push_frame!(target, call_args, frame_domain);
+                }
+                Instr::Ret { has_value } => {
+                    env.compute(cost.branch);
+                    let body = self.program.func(frames.last().expect("frame").func);
+                    if body.returns_value && !has_value {
+                        return Err(VmError::MissingReturn {
+                            func: body.name.clone(),
+                        });
+                    }
+                    let result = if has_value {
+                        Some(stack.pop().expect("return value"))
+                    } else {
+                        None
+                    };
+                    let popped = frames.pop().expect("frame");
+                    stack_top -= popped.size;
+                    if frames.is_empty() {
+                        return Ok(result);
+                    }
+                    if let Some(v) = result {
+                        stack.push(v);
+                    }
+                }
+                Instr::NewObject { class, size } => {
+                    env.compute(cost.arith * 4);
+                    let addr = env.alloc(size, 16)?;
+                    self.store_value(
+                        env,
+                        addr,
+                        ValType::I32,
+                        Value::I(class as i32),
+                        false,
+                    )?;
+                    stack.push(Value::P(addr));
+                }
+                Instr::Offload { func, domain } => {
+                    let nparams = self.program.func(func).params.len();
+                    let mut capture_args = Vec::with_capacity(nparams);
+                    for _ in 0..nparams {
+                        capture_args.push(stack.pop().expect("capture value"));
+                    }
+                    capture_args.reverse();
+                    env.exec_offload(self, func, domain, capture_args)?;
+                }
+                Instr::OffloadAsync { func, domain, slot } => {
+                    let nparams = self.program.func(func).params.len();
+                    let mut capture_args = Vec::with_capacity(nparams);
+                    for _ in 0..nparams {
+                        capture_args.push(stack.pop().expect("capture value"));
+                    }
+                    capture_args.reverse();
+                    env.exec_offload_async(self, func, domain, slot, capture_args)?;
+                }
+                Instr::Join { slot } => {
+                    env.exec_join(slot)?;
+                }
+                Instr::PrintI => {
+                    let v = stack.pop().expect("value").as_i();
+                    self.output.push(v.to_string());
+                }
+                Instr::PrintF => {
+                    let v = stack.pop().expect("value").as_f();
+                    self.output.push(format!("{v:.4}"));
+                }
+            }
+        }
+    }
+}
+
+fn cmp_i(op: Cmp, a: i32, b: i32) -> bool {
+    match op {
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+        Cmp::Gt => a > b,
+        Cmp::Ge => a >= b,
+    }
+}
+
+fn cmp_f(op: Cmp, a: f32, b: f32) -> bool {
+    match op {
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+        Cmp::Gt => a > b,
+        Cmp::Ge => a >= b,
+    }
+}

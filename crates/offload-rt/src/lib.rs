@@ -1,0 +1,39 @@
+//! The Offload runtime library.
+//!
+//! Offload C++ (paper §3) is a compiler *plus a runtime library*; this
+//! crate is the runtime library half for the simulated machine, holding
+//! the three mechanisms §4 of the paper is about:
+//!
+//! - **Accessor classes** ([`accessor`]): "portable accessor classes
+//!   (efficient data access abstractions)" — the `Array` accessor that
+//!   replaces one high-latency transfer per loop iteration with a single
+//!   bulk transfer (paper §4.2).
+//! - **Uniform-type streaming** ([`stream`]): "processing objects in
+//!   groups of uniform type permits prefetching and double buffered
+//!   transfers, for further performance increases" (paper §4.1).
+//! - **Dispatch domains** ([`domain`]): the outer/inner-domain virtual
+//!   method machinery of Figure 3, including the informative miss
+//!   exception that tells the programmer which method annotation is
+//!   missing.
+//!
+//! Everything here runs against [`simcell::AccelCtx`], so each
+//! abstraction carries its real (simulated) cost: the benchmarks in
+//! `bench` measure exactly these code paths.
+
+pub mod accessor;
+pub mod codeload;
+pub mod domain;
+pub mod stream;
+
+pub use accessor::ArrayAccessor;
+pub use codeload::{dispatch_with_loading, CodeLoader, CodeLoaderStats, DEFAULT_CODE_SIZE};
+pub use domain::{
+    accel_virtual_dispatch, class_of, host_virtual_dispatch, set_class, ClassId, ClassRegistry,
+    DispatchError, Domain, DomainMiss, DuplicateId, FnAddr, LookupCost, MethodSlot, MethodTable,
+};
+pub use stream::{process_chunked, process_stream, StreamConfig};
+
+/// DMA tag used by [`ArrayAccessor`] bulk transfers.
+pub const ACCESSOR_TAG: u8 = 26;
+/// DMA tags used by the double-buffered streamer (one per buffer).
+pub const STREAM_TAGS: [u8; 2] = [24, 25];

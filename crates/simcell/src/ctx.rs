@@ -1,0 +1,506 @@
+//! The accelerator execution context.
+
+use dma::{AccessKind, DmaEngine, Tag, TagMask};
+use memspace::{Addr, AddrRange, MemoryRegion, Pod};
+use softcache::{CacheBacking, SoftwareCache};
+
+use crate::cost::CostModel;
+use crate::error::SimError;
+
+/// DMA tag reserved for synchronous "outer" accesses (the naive
+/// dereference-of-a-host-pointer path). User code should use tags
+/// `0..=26`; `27..=31` are reserved by the runtime and caches.
+pub const OUTER_ACCESS_TAG: u8 = 27;
+
+/// Everything an offloaded thread can do, with every operation charged
+/// to the accelerator's cycle counter.
+///
+/// An `AccelCtx` is handed to the closure passed to
+/// [`crate::Machine::offload`]. It exposes exactly the operations an SPE
+/// thread has (paper §3):
+///
+/// - allocate and access *local store* data (fast),
+/// - issue tagged, non-blocking DMA to main memory and wait on tags,
+/// - perform naive synchronous "outer" accesses — each one a full DMA
+///   round trip, which is what makes unoptimised pointer-chasing code so
+///   slow on these machines (paper §4.2),
+/// - route outer accesses through a [`SoftwareCache`].
+///
+/// Direct local accesses are reported to the DMA race checker, so a
+/// missing `dma_wait` is caught even though the simulation itself is
+/// sequential.
+#[derive(Debug)]
+pub struct AccelCtx<'m> {
+    pub(crate) now: u64,
+    pub(crate) cost: CostModel,
+    pub(crate) accel_index: u16,
+    pub(crate) main: &'m mut MemoryRegion,
+    pub(crate) ls: &'m mut MemoryRegion,
+    pub(crate) dma: &'m mut DmaEngine,
+    pub(crate) staging: Addr,
+    pub(crate) staging_size: u32,
+}
+
+impl<'m> AccelCtx<'m> {
+    /// The accelerator's current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This accelerator's index.
+    pub fn accel_index(&self) -> u16 {
+        self.accel_index
+    }
+
+    /// The local-store space of this accelerator.
+    pub fn local_space(&self) -> memspace::SpaceId {
+        self.ls.id()
+    }
+
+    /// The machine's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Charges `cycles` of pure computation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    fn ls_cycles(&self, bytes: u32) -> u64 {
+        self.cost.ls_access * u64::from(bytes.div_ceil(16).max(1))
+    }
+
+    // ---- local store ----------------------------------------------------
+
+    /// Allocates `size` bytes in the local store. Allocations made inside
+    /// an offload block are released when the block ends, matching the
+    /// paper's rule that "data declared inside the offload block should
+    /// be allocated in scratch-pad memory".
+    ///
+    /// # Errors
+    ///
+    /// Fails when the 256 KiB local store is exhausted — the everyday
+    /// constraint of SPE programming.
+    pub fn alloc_local(&mut self, size: u32, align: u32) -> Result<Addr, SimError> {
+        Ok(self.ls.alloc(size, align)?)
+    }
+
+    /// Allocates room for one `T` in the local store.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AccelCtx::alloc_local`].
+    pub fn alloc_local_pod<T: Pod>(&mut self) -> Result<Addr, SimError> {
+        Ok(self.ls.alloc_pod::<T>()?)
+    }
+
+    /// Allocates room for `count` consecutive `T`s in the local store.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AccelCtx::alloc_local`].
+    pub fn alloc_local_slice<T: Pod>(&mut self, count: u32) -> Result<Addr, SimError> {
+        Ok(self.ls.alloc_pod_slice::<T>(count)?)
+    }
+
+    /// Reads a `T` from the local store (fast path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn local_read_pod<T: Pod>(&mut self, addr: Addr) -> Result<T, SimError> {
+        self.now += self.ls_cycles(T::SIZE as u32);
+        self.dma.note_local_access(
+            AddrRange::new(addr, T::SIZE as u32)?,
+            AccessKind::Read,
+            self.now,
+        );
+        Ok(self.ls.read_pod(addr)?)
+    }
+
+    /// Writes a `T` to the local store (fast path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn local_write_pod<T: Pod>(&mut self, addr: Addr, value: &T) -> Result<(), SimError> {
+        self.now += self.ls_cycles(T::SIZE as u32);
+        self.dma.note_local_access(
+            AddrRange::new(addr, T::SIZE as u32)?,
+            AccessKind::Write,
+            self.now,
+        );
+        Ok(self.ls.write_pod(addr, value)?)
+    }
+
+    /// Reads `count` consecutive `T`s from the local store.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn local_read_slice<T: Pod>(&mut self, addr: Addr, count: u32) -> Result<Vec<T>, SimError> {
+        let bytes = (T::SIZE as u32) * count;
+        self.now += self.ls_cycles(bytes);
+        self.dma
+            .note_local_access(AddrRange::new(addr, bytes)?, AccessKind::Read, self.now);
+        Ok(self.ls.read_pod_slice(addr, count)?)
+    }
+
+    /// Writes consecutive `T`s to the local store.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn local_write_slice<T: Pod>(&mut self, addr: Addr, values: &[T]) -> Result<(), SimError> {
+        let bytes = (T::SIZE * values.len()) as u32;
+        self.now += self.ls_cycles(bytes);
+        self.dma
+            .note_local_access(AddrRange::new(addr, bytes)?, AccessKind::Write, self.now);
+        Ok(self.ls.write_pod_slice(addr, values)?)
+    }
+
+    /// Reads raw bytes from the local store (fast path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn local_read_bytes(&mut self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
+        self.now += self.ls_cycles(out.len() as u32);
+        self.dma.note_local_access(
+            AddrRange::new(addr, out.len() as u32)?,
+            AccessKind::Read,
+            self.now,
+        );
+        Ok(self.ls.read_into(addr, out)?)
+    }
+
+    /// Writes raw bytes to the local store (fast path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn local_write_bytes(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
+        self.now += self.ls_cycles(data.len() as u32);
+        self.dma.note_local_access(
+            AddrRange::new(addr, data.len() as u32)?,
+            AccessKind::Write,
+            self.now,
+        );
+        Ok(self.ls.write_bytes(addr, data)?)
+    }
+
+    /// Reads local-store bytes *without charging time* — for runtime
+    /// bookkeeping of register-modelled data (e.g. a language VM's frame
+    /// slots). Not a modelled memory access; no race note.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn peek_local(&self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
+        Ok(self.ls.read_into(addr, out)?)
+    }
+
+    /// Writes local-store bytes without charging time (see
+    /// [`AccelCtx::peek_local`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn poke_local(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
+        Ok(self.ls.write_bytes(addr, data)?)
+    }
+
+    // ---- explicit DMA ---------------------------------------------------
+
+    /// Issues a non-blocking `dma_get` of `size` bytes from main memory
+    /// into the local store, under `tag`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`dma::DmaEngine::get`].
+    pub fn dma_get(&mut self, local: Addr, remote: Addr, size: u32, tag: Tag) -> Result<(), SimError> {
+        self.now = self
+            .dma
+            .get(self.now, local, remote, size, tag, self.main, self.ls)?;
+        Ok(())
+    }
+
+    /// Issues a non-blocking `dma_put` of `size` bytes from the local
+    /// store out to main memory, under `tag`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`dma::DmaEngine::put`].
+    pub fn dma_put(&mut self, local: Addr, remote: Addr, size: u32, tag: Tag) -> Result<(), SimError> {
+        self.now = self
+            .dma
+            .put(self.now, local, remote, size, tag, self.main, self.ls)?;
+        Ok(())
+    }
+
+    /// Blocks until every command in `mask` has completed.
+    pub fn dma_wait(&mut self, mask: TagMask) {
+        self.now = self.dma.wait(mask, self.now);
+    }
+
+    /// Blocks until every command under `tag` has completed.
+    pub fn dma_wait_tag(&mut self, tag: Tag) {
+        self.dma_wait(tag.mask());
+    }
+
+    /// Blocks until the DMA engine is idle.
+    pub fn dma_wait_all(&mut self) {
+        self.now = self.dma.wait_all(self.now);
+    }
+
+    // ---- naive outer access ----------------------------------------------
+
+    fn outer_tag(&self) -> Tag {
+        Tag::new(OUTER_ACCESS_TAG).expect("constant tag is valid")
+    }
+
+    /// Reads a `T` from main memory *synchronously*: one full DMA round
+    /// trip through a staging buffer. This is the cost of dereferencing
+    /// an `__outer` pointer without any caching or batching.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `T` exceeds the staging buffer or the transfer fails.
+    pub fn outer_read_pod<T: Pod>(&mut self, addr: Addr) -> Result<T, SimError> {
+        let size = T::SIZE as u32;
+        if size > self.staging_size {
+            return Err(SimError::ValueTooLarge {
+                size,
+                staging: self.staging_size,
+            });
+        }
+        let tag = self.outer_tag();
+        self.now = self
+            .dma
+            .get(self.now, self.staging, addr, size, tag, self.main, self.ls)?;
+        self.now = self.dma.wait(tag.mask(), self.now);
+        self.now += self.ls_cycles(size);
+        Ok(self.ls.read_pod(self.staging)?)
+    }
+
+    /// Writes a `T` to main memory synchronously (staging + DMA put +
+    /// wait).
+    ///
+    /// # Errors
+    ///
+    /// As for [`AccelCtx::outer_read_pod`].
+    pub fn outer_write_pod<T: Pod>(&mut self, addr: Addr, value: &T) -> Result<(), SimError> {
+        let size = T::SIZE as u32;
+        if size > self.staging_size {
+            return Err(SimError::ValueTooLarge {
+                size,
+                staging: self.staging_size,
+            });
+        }
+        self.now += self.ls_cycles(size);
+        self.ls.write_pod(self.staging, value)?;
+        let tag = self.outer_tag();
+        self.now = self
+            .dma
+            .put(self.now, self.staging, addr, size, tag, self.main, self.ls)?;
+        self.now = self.dma.wait(tag.mask(), self.now);
+        Ok(())
+    }
+
+    /// Reads raw bytes from main memory synchronously, chunked through
+    /// the staging buffer (one DMA round trip per chunk).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transfer errors.
+    pub fn outer_read_bytes(&mut self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
+        let tag = self.outer_tag();
+        let mut done = 0usize;
+        while done < out.len() {
+            let chunk = (out.len() - done).min(self.staging_size as usize);
+            let remote = addr.offset_by(done as u32)?;
+            self.now = self.dma.get(
+                self.now,
+                self.staging,
+                remote,
+                chunk as u32,
+                tag,
+                self.main,
+                self.ls,
+            )?;
+            self.now = self.dma.wait(tag.mask(), self.now);
+            self.now += self.ls_cycles(chunk as u32);
+            self.ls
+                .read_into(self.staging, &mut out[done..done + chunk])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Writes raw bytes to main memory synchronously through the staging
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transfer errors.
+    pub fn outer_write_bytes(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
+        let tag = self.outer_tag();
+        let mut done = 0usize;
+        while done < data.len() {
+            let chunk = (data.len() - done).min(self.staging_size as usize);
+            let remote = addr.offset_by(done as u32)?;
+            self.now += self.ls_cycles(chunk as u32);
+            self.ls.write_bytes(self.staging, &data[done..done + chunk])?;
+            self.now = self.dma.put(
+                self.now,
+                self.staging,
+                remote,
+                chunk as u32,
+                tag,
+                self.main,
+                self.ls,
+            )?;
+            self.now = self.dma.wait(tag.mask(), self.now);
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Reads raw bytes from main memory through a software cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`softcache::SoftwareCache::read`].
+    pub fn cached_read_bytes<C: SoftwareCache>(
+        &mut self,
+        cache: &mut C,
+        addr: Addr,
+        out: &mut [u8],
+    ) -> Result<(), SimError> {
+        let mut backing = CacheBacking {
+            main: self.main,
+            ls: self.ls,
+            dma: self.dma,
+        };
+        self.now = cache.read(self.now, addr, out, &mut backing)?;
+        Ok(())
+    }
+
+    /// Writes raw bytes to main memory through a software cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`softcache::SoftwareCache::write`].
+    pub fn cached_write_bytes<C: SoftwareCache>(
+        &mut self,
+        cache: &mut C,
+        addr: Addr,
+        data: &[u8],
+    ) -> Result<(), SimError> {
+        let mut backing = CacheBacking {
+            main: self.main,
+            ls: self.ls,
+            dma: self.dma,
+        };
+        self.now = cache.write(self.now, addr, data, &mut backing)?;
+        Ok(())
+    }
+
+    // ---- cached outer access ----------------------------------------------
+
+    /// Reads a `T` from main memory through a software cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`softcache::SoftwareCache::read`].
+    pub fn cached_read_pod<T: Pod, C: SoftwareCache>(
+        &mut self,
+        cache: &mut C,
+        addr: Addr,
+    ) -> Result<T, SimError> {
+        let mut buf = vec![0u8; T::SIZE];
+        let mut backing = CacheBacking {
+            main: self.main,
+            ls: self.ls,
+            dma: self.dma,
+        };
+        self.now = cache.read(self.now, addr, &mut buf, &mut backing)?;
+        Ok(T::read_from(&buf))
+    }
+
+    /// Writes a `T` to main memory through a software cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`softcache::SoftwareCache::write`].
+    pub fn cached_write_pod<T: Pod, C: SoftwareCache>(
+        &mut self,
+        cache: &mut C,
+        addr: Addr,
+        value: &T,
+    ) -> Result<(), SimError> {
+        let mut buf = vec![0u8; T::SIZE];
+        value.write_to(&mut buf);
+        let mut backing = CacheBacking {
+            main: self.main,
+            ls: self.ls,
+            dma: self.dma,
+        };
+        self.now = cache.write(self.now, addr, &buf, &mut backing)?;
+        Ok(())
+    }
+
+    /// Builds a set-associative software cache whose line arena lives in
+    /// this accelerator's local store.
+    ///
+    /// The arena is released when the offload block ends; for a cache
+    /// that persists across offloads, use
+    /// [`crate::Machine::new_cache_for`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the local store cannot fit the cache.
+    pub fn new_cache(
+        &mut self,
+        config: softcache::CacheConfig,
+    ) -> Result<softcache::SetAssociativeCache, SimError> {
+        Ok(softcache::SetAssociativeCache::new(
+            config,
+            memspace::SpaceId::MAIN,
+            self.ls,
+        )?)
+    }
+
+    /// Builds a streaming software cache in this accelerator's local
+    /// store (released when the offload block ends).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the local store cannot fit the two line buffers.
+    pub fn new_stream_cache(
+        &mut self,
+        config: softcache::CacheConfig,
+    ) -> Result<softcache::StreamCache, SimError> {
+        Ok(softcache::StreamCache::new(
+            config,
+            memspace::SpaceId::MAIN,
+            self.ls,
+        )?)
+    }
+
+    /// Flushes a software cache's dirty data back to main memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`softcache::SoftwareCache::flush`].
+    pub fn cache_flush<C: SoftwareCache>(&mut self, cache: &mut C) -> Result<(), SimError> {
+        let mut backing = CacheBacking {
+            main: self.main,
+            ls: self.ls,
+            dma: self.dma,
+        };
+        self.now = cache.flush(self.now, &mut backing)?;
+        Ok(())
+    }
+}

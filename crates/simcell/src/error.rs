@@ -1,0 +1,111 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use dma::DmaError;
+use memspace::MemError;
+use softcache::CacheError;
+
+/// Errors raised by simulated-machine operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// An accelerator index beyond the configured count.
+    NoSuchAccel {
+        /// The requested accelerator index.
+        index: u16,
+        /// How many accelerators the machine has.
+        count: u16,
+    },
+    /// A machine configuration that cannot be built.
+    BadConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
+    /// A value too large for the context's staging buffer.
+    ValueTooLarge {
+        /// Size of the value in bytes.
+        size: u32,
+        /// Size of the staging buffer in bytes.
+        staging: u32,
+    },
+    /// An underlying memory failure.
+    Memory(MemError),
+    /// An underlying DMA failure.
+    Dma(DmaError),
+    /// An underlying software-cache failure.
+    Cache(CacheError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchAccel { index, count } => {
+                write!(f, "accelerator {index} does not exist (machine has {count})")
+            }
+            SimError::BadConfig { reason } => write!(f, "invalid machine configuration: {reason}"),
+            SimError::ValueTooLarge { size, staging } => write!(
+                f,
+                "value of {size} bytes exceeds the {staging}-byte outer-access staging buffer"
+            ),
+            SimError::Memory(err) => write!(f, "memory error: {err}"),
+            SimError::Dma(err) => write!(f, "DMA error: {err}"),
+            SimError::Cache(err) => write!(f, "software-cache error: {err}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Memory(err) => Some(err),
+            SimError::Dma(err) => Some(err),
+            SimError::Cache(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for SimError {
+    fn from(err: MemError) -> SimError {
+        SimError::Memory(err)
+    }
+}
+
+impl From<DmaError> for SimError {
+    fn from(err: DmaError) -> SimError {
+        SimError::Dma(err)
+    }
+}
+
+impl From<CacheError> for SimError {
+    fn from(err: CacheError) -> SimError {
+        SimError::Cache(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = SimError::NoSuchAccel { index: 9, count: 6 };
+        assert!(err.to_string().contains('9'));
+        assert!(err.source().is_none());
+
+        let err = SimError::from(MemError::OutOfMemory {
+            space: memspace::SpaceId::MAIN,
+            requested: 10,
+            available: 5,
+        });
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("memory error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

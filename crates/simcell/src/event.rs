@@ -1,0 +1,133 @@
+//! A lightweight timeline of machine events.
+
+use std::fmt;
+
+/// What happened.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An offload thread started on an accelerator.
+    OffloadStart {
+        /// The accelerator index.
+        accel: u16,
+    },
+    /// An offload thread finished.
+    OffloadEnd {
+        /// The accelerator index.
+        accel: u16,
+    },
+    /// The host joined an offload thread.
+    Join {
+        /// The accelerator index.
+        accel: u16,
+    },
+    /// A free-form annotation from user code.
+    Note {
+        /// The annotation text.
+        text: String,
+    },
+}
+
+/// One timestamped event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Cycle at which the event happened.
+    pub at: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::OffloadStart { accel } => {
+                write!(f, "[{:>10}] offload start on accel {accel}", self.at)
+            }
+            EventKind::OffloadEnd { accel } => {
+                write!(f, "[{:>10}] offload end on accel {accel}", self.at)
+            }
+            EventKind::Join { accel } => write!(f, "[{:>10}] join accel {accel}", self.at),
+            EventKind::Note { text } => write!(f, "[{:>10}] {text}", self.at),
+        }
+    }
+}
+
+/// An append-only event log, disabled by default (recording costs host
+/// memory, not simulated cycles).
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates a disabled log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled.
+    pub fn record(&mut self, at: u64, kind: EventKind) {
+        if self.enabled {
+            self.events.push(Event { at, kind });
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::new();
+        log.record(5, EventKind::Note { text: "x".into() });
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = EventLog::new();
+        log.set_enabled(true);
+        log.record(1, EventKind::OffloadStart { accel: 0 });
+        log.record(9, EventKind::OffloadEnd { accel: 0 });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].at, 1);
+        log.clear();
+        assert!(log.events().is_empty());
+        assert!(log.is_enabled());
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Event {
+            at: 42,
+            kind: EventKind::Join { accel: 3 },
+        };
+        assert!(e.to_string().contains("join accel 3"));
+        let e = Event {
+            at: 42,
+            kind: EventKind::Note { text: "frame 1".into() },
+        };
+        assert!(e.to_string().contains("frame 1"));
+    }
+}

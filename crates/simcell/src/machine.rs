@@ -1,0 +1,832 @@
+//! The simulated machine: host core + accelerators.
+
+use dma::{DmaEngine, DmaStats, RaceReport};
+use memspace::{Addr, MemoryRegion, Pod, SpaceId, SpaceKind};
+
+use crate::cost::CostModel;
+use crate::ctx::AccelCtx;
+use crate::error::SimError;
+use crate::event::{EventKind, EventLog};
+
+/// Machine shape and cost parameters.
+///
+/// The default is PS3-like: six available accelerators with 256 KiB
+/// local stores and a 16 MiB simulated main memory (large enough for
+/// every workload in the workspace while keeping regions cheap to
+/// clone).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of accelerator cores.
+    pub accel_count: u16,
+    /// Main-memory capacity in bytes.
+    pub main_capacity: u32,
+    /// Local-store capacity per accelerator, in bytes.
+    pub local_store_size: u32,
+    /// Per-accelerator staging buffer for synchronous outer accesses.
+    pub staging_size: u32,
+    /// The cost model.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            accel_count: 6,
+            main_capacity: 16 * 1024 * 1024,
+            local_store_size: memspace::LOCAL_STORE_SIZE,
+            staging_size: 4096,
+            cost: CostModel::cell_like(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A smaller machine for unit tests (1 accelerator, 1 MiB main).
+    pub fn small() -> MachineConfig {
+        MachineConfig {
+            accel_count: 1,
+            main_capacity: 1024 * 1024,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Accel {
+    ls: MemoryRegion,
+    dma: DmaEngine,
+    busy_until: u64,
+    staging: Addr,
+}
+
+/// A completed-but-unjoined offload thread.
+///
+/// Produced by [`Machine::offload`]; pass it to [`Machine::join`] to
+/// synchronise the host with the accelerator and obtain the closure's
+/// result (the `__offload_join` of paper §3).
+#[must_use = "an offload handle must be joined for the host clock to observe the accelerator"]
+#[derive(Debug)]
+pub struct OffloadHandle<R> {
+    result: R,
+    accel: u16,
+    start: u64,
+    end: u64,
+}
+
+impl<R> OffloadHandle<R> {
+    /// The accelerator the thread ran on.
+    pub fn accel(&self) -> u16 {
+        self.accel
+    }
+
+    /// Cycle at which the thread started on the accelerator.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Cycle at which the thread finished on the accelerator.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Cycles the thread occupied the accelerator.
+    pub fn elapsed(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// The simulated heterogeneous machine.
+///
+/// See the crate documentation for the execution model and an example.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    main: MemoryRegion,
+    accels: Vec<Accel>,
+    host_now: u64,
+    events: EventLog,
+}
+
+impl Machine {
+    /// Builds a machine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects configurations with no accelerators, or staging buffers
+    /// that do not fit the local store.
+    pub fn new(config: MachineConfig) -> Result<Machine, SimError> {
+        if config.accel_count == 0 {
+            return Err(SimError::BadConfig {
+                reason: "at least one accelerator is required".into(),
+            });
+        }
+        if config.staging_size == 0 || config.staging_size >= config.local_store_size {
+            return Err(SimError::BadConfig {
+                reason: format!(
+                    "staging size {} must be positive and smaller than the local store ({})",
+                    config.staging_size, config.local_store_size
+                ),
+            });
+        }
+        let main = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, config.main_capacity);
+        let mut accels = Vec::with_capacity(usize::from(config.accel_count));
+        for index in 0..config.accel_count {
+            let space = SpaceId::local_store(index);
+            let mut ls =
+                MemoryRegion::new(space, SpaceKind::LocalStore { accel: index }, config.local_store_size);
+            let staging = ls.alloc(config.staging_size, memspace::DMA_ALIGN)?;
+            let mut dma = DmaEngine::with_timing(space, config.cost.dma);
+            dma.set_race_mode(dma::RaceMode::Record);
+            accels.push(Accel {
+                ls,
+                dma,
+                busy_until: 0,
+                staging,
+            });
+        }
+        Ok(Machine {
+            config,
+            main,
+            accels,
+            host_now: 0,
+            events: EventLog::new(),
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// Number of accelerators.
+    pub fn accel_count(&self) -> u16 {
+        self.config.accel_count
+    }
+
+    /// The host core's current cycle.
+    pub fn host_now(&self) -> u64 {
+        self.host_now
+    }
+
+    /// The event log (disabled by default).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Mutable access to the event log, e.g. to enable it.
+    pub fn events_mut(&mut self) -> &mut EventLog {
+        &mut self.events
+    }
+
+    fn check_accel(&self, index: u16) -> Result<(), SimError> {
+        if index >= self.config.accel_count {
+            return Err(SimError::NoSuchAccel {
+                index,
+                count: self.config.accel_count,
+            });
+        }
+        Ok(())
+    }
+
+    // ---- main memory (host view) -----------------------------------------
+
+    /// Direct, *cost-free* access to main memory, for scenario setup and
+    /// result inspection outside the measured region.
+    pub fn main(&self) -> &MemoryRegion {
+        &self.main
+    }
+
+    /// Direct, cost-free mutable access to main memory (setup only).
+    pub fn main_mut(&mut self) -> &mut MemoryRegion {
+        &mut self.main
+    }
+
+    /// Allocates `size` bytes of main memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when main memory is exhausted.
+    pub fn alloc_main(&mut self, size: u32, align: u32) -> Result<Addr, SimError> {
+        Ok(self.main.alloc(size, align)?)
+    }
+
+    /// Allocates room for one `T` in main memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::alloc_main`].
+    pub fn alloc_main_pod<T: Pod>(&mut self) -> Result<Addr, SimError> {
+        Ok(self.main.alloc_pod::<T>()?)
+    }
+
+    /// Allocates room for `count` consecutive `T`s in main memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::alloc_main`].
+    pub fn alloc_main_slice<T: Pod>(&mut self, count: u32) -> Result<Addr, SimError> {
+        Ok(self.main.alloc_pod_slice::<T>(count)?)
+    }
+
+    fn host_cycles(&self, bytes: u32) -> u64 {
+        // Host accesses go through a conventional cache hierarchy; charge
+        // per cache line touched (amortised cost per 64-byte line).
+        self.config.cost.host_mem_access * u64::from(bytes.div_ceil(64).max(1))
+    }
+
+    /// Reads a `T` from main memory on the host, charging host time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn host_read_pod<T: Pod>(&mut self, addr: Addr) -> Result<T, SimError> {
+        self.host_now += self.host_cycles(T::SIZE as u32);
+        Ok(self.main.read_pod(addr)?)
+    }
+
+    /// Writes a `T` to main memory on the host, charging host time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn host_write_pod<T: Pod>(&mut self, addr: Addr, value: &T) -> Result<(), SimError> {
+        self.host_now += self.host_cycles(T::SIZE as u32);
+        Ok(self.main.write_pod(addr, value)?)
+    }
+
+    /// Reads `count` consecutive `T`s on the host, charging host time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn host_read_slice<T: Pod>(&mut self, addr: Addr, count: u32) -> Result<Vec<T>, SimError> {
+        self.host_now += self.host_cycles((T::SIZE as u32) * count);
+        Ok(self.main.read_pod_slice(addr, count)?)
+    }
+
+    /// Writes consecutive `T`s on the host, charging host time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn host_write_slice<T: Pod>(&mut self, addr: Addr, values: &[T]) -> Result<(), SimError> {
+        self.host_now += self.host_cycles((T::SIZE * values.len()) as u32);
+        Ok(self.main.write_pod_slice(addr, values)?)
+    }
+
+    /// Reads raw bytes on the host, charging host time per cache line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn host_read_bytes(&mut self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
+        self.host_now += self.host_cycles(out.len() as u32);
+        Ok(self.main.read_into(addr, out)?)
+    }
+
+    /// Writes raw bytes on the host, charging host time per cache line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn host_write_bytes(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
+        self.host_now += self.host_cycles(data.len() as u32);
+        Ok(self.main.write_bytes(addr, data)?)
+    }
+
+    /// Charges `cycles` of host computation.
+    pub fn host_compute(&mut self, cycles: u64) {
+        self.host_now += cycles;
+    }
+
+    // ---- offload ----------------------------------------------------------
+
+    /// Launches `f` as an offload thread on accelerator `accel`.
+    ///
+    /// The closure runs to completion immediately (the simulation is
+    /// sequential) against an [`AccelCtx`] whose clock starts when the
+    /// accelerator is free; the host is charged only the launch overhead
+    /// and keeps its own clock. Join the returned handle to synchronise.
+    ///
+    /// Local-store allocations made inside the closure are released when
+    /// the closure returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    pub fn offload<R>(
+        &mut self,
+        accel: u16,
+        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
+    ) -> Result<OffloadHandle<R>, SimError> {
+        self.check_accel(accel)?;
+        self.host_now += self.config.cost.offload_launch;
+        let slot = &mut self.accels[usize::from(accel)];
+        let start = self.host_now.max(slot.busy_until);
+        self.events
+            .record(start, EventKind::OffloadStart { accel });
+        let mark = slot.ls.save_alloc();
+        let mut ctx = AccelCtx {
+            now: start,
+            cost: self.config.cost,
+            accel_index: accel,
+            main: &mut self.main,
+            ls: &mut slot.ls,
+            dma: &mut slot.dma,
+            staging: slot.staging,
+            staging_size: self.config.staging_size,
+        };
+        let result = f(&mut ctx);
+        let end = ctx.now;
+        slot.ls.restore_alloc(mark);
+        slot.busy_until = end;
+        self.events.record(end, EventKind::OffloadEnd { accel });
+        Ok(OffloadHandle {
+            result,
+            accel,
+            start,
+            end,
+        })
+    }
+
+    /// Joins an offload thread: the host blocks until the accelerator
+    /// finished, then resumes with the closure's result.
+    pub fn join<R>(&mut self, handle: OffloadHandle<R>) -> R {
+        self.host_now = self.host_now.max(handle.end) + self.config.cost.join_overhead;
+        self.events
+            .record(self.host_now, EventKind::Join { accel: handle.accel });
+        handle.result
+    }
+
+    /// Offloads and joins immediately (no host work in between) — the
+    /// convenience for purely sequential offload use.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::offload`].
+    pub fn run_offload<R>(
+        &mut self,
+        accel: u16,
+        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
+    ) -> Result<R, SimError> {
+        let handle = self.offload(accel, f)?;
+        Ok(self.join(handle))
+    }
+
+    // ---- inspection --------------------------------------------------------
+
+    /// DMA statistics for one accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    pub fn dma_stats(&self, accel: u16) -> Result<DmaStats, SimError> {
+        self.check_accel(accel)?;
+        Ok(self.accels[usize::from(accel)].dma.stats())
+    }
+
+    /// Drains DMA race reports from every accelerator.
+    pub fn take_race_reports(&mut self) -> Vec<RaceReport> {
+        let mut all = Vec::new();
+        for accel in &mut self.accels {
+            all.extend(accel.dma.take_race_reports());
+        }
+        all
+    }
+
+    /// Total races detected across all accelerators (including drained
+    /// ones).
+    pub fn races_detected(&self) -> u64 {
+        self.accels
+            .iter()
+            .map(|a| a.dma.race_checker().detected())
+            .sum()
+    }
+
+    /// Builds a set-associative software cache whose arena is allocated
+    /// *permanently* in accelerator `accel`'s local store, surviving
+    /// across offload blocks (call before the first offload).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist or its local store is full.
+    pub fn new_cache_for(
+        &mut self,
+        accel: u16,
+        config: softcache::CacheConfig,
+    ) -> Result<softcache::SetAssociativeCache, SimError> {
+        self.check_accel(accel)?;
+        Ok(softcache::SetAssociativeCache::new(
+            config,
+            SpaceId::MAIN,
+            &mut self.accels[usize::from(accel)].ls,
+        )?)
+    }
+
+    /// Builds a streaming software cache persisting in accelerator
+    /// `accel`'s local store.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::new_cache_for`].
+    pub fn new_stream_cache_for(
+        &mut self,
+        accel: u16,
+        config: softcache::CacheConfig,
+    ) -> Result<softcache::StreamCache, SimError> {
+        self.check_accel(accel)?;
+        Ok(softcache::StreamCache::new(
+            config,
+            SpaceId::MAIN,
+            &mut self.accels[usize::from(accel)].ls,
+        )?)
+    }
+
+    /// Read-only view of an accelerator's local store (for tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    pub fn local_store(&self, accel: u16) -> Result<&MemoryRegion, SimError> {
+        self.check_accel(accel)?;
+        Ok(&self.accels[usize::from(accel)].ls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = MachineConfig {
+            accel_count: 0,
+            ..MachineConfig::default()
+        };
+        assert!(matches!(Machine::new(bad), Err(SimError::BadConfig { .. })));
+        let bad = MachineConfig {
+            staging_size: 0,
+            ..MachineConfig::default()
+        };
+        assert!(matches!(Machine::new(bad), Err(SimError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn host_accesses_charge_time() {
+        let mut m = machine();
+        let a = m.alloc_main_pod::<u64>().unwrap();
+        let t0 = m.host_now();
+        m.host_write_pod(a, &5u64).unwrap();
+        let t1 = m.host_now();
+        assert_eq!(t1 - t0, m.cost().host_mem_access);
+        assert_eq!(m.host_read_pod::<u64>(a).unwrap(), 5);
+    }
+
+    #[test]
+    fn host_slice_access_charges_per_cache_line() {
+        let mut m = machine();
+        let a = m.alloc_main_slice::<u32>(64).unwrap(); // 256 bytes = 4 lines
+        let t0 = m.host_now();
+        m.host_read_slice::<u32>(a, 64).unwrap();
+        assert_eq!(m.host_now() - t0, 4 * m.cost().host_mem_access);
+    }
+
+    #[test]
+    fn setup_access_is_free() {
+        let mut m = machine();
+        let a = m.alloc_main_pod::<u32>().unwrap();
+        m.main_mut().write_pod(a, &9u32).unwrap();
+        assert_eq!(m.host_now(), 0);
+        assert_eq!(m.main().read_pod::<u32>(a).unwrap(), 9);
+    }
+
+    #[test]
+    fn offload_runs_in_parallel_with_host() {
+        let mut m = machine();
+        let handle = m
+            .offload(0, |ctx| {
+                ctx.compute(10_000);
+            })
+            .unwrap();
+        // Host does 4k cycles of its own work; the accel took 10k.
+        m.host_compute(4_000);
+        let host_before_join = m.host_now();
+        m.join(handle);
+        // Join waits for the accelerator, not host+accel serially.
+        assert!(m.host_now() >= 10_000);
+        assert!(m.host_now() < host_before_join + 10_000);
+    }
+
+    #[test]
+    fn join_is_free_when_accel_already_finished() {
+        let mut m = machine();
+        let handle = m.offload(0, |ctx| ctx.compute(100)).unwrap();
+        m.host_compute(50_000);
+        let before = m.host_now();
+        m.join(handle);
+        assert_eq!(m.host_now(), before + m.cost().join_overhead);
+    }
+
+    #[test]
+    fn sequential_offloads_to_same_accel_queue_up() {
+        let mut m = machine();
+        let h1 = m.offload(0, |ctx| ctx.compute(5_000)).unwrap();
+        let h2 = m.offload(0, |ctx| ctx.compute(5_000)).unwrap();
+        assert!(h2.start() >= h1.end(), "same accelerator serialises");
+        m.join(h1);
+        m.join(h2);
+    }
+
+    #[test]
+    fn offloads_to_different_accels_overlap() {
+        let mut m = Machine::new(MachineConfig::default()).unwrap();
+        let h1 = m.offload(0, |ctx| ctx.compute(5_000)).unwrap();
+        let h2 = m.offload(1, |ctx| ctx.compute(5_000)).unwrap();
+        assert!(h2.start() < h1.end(), "different accelerators overlap");
+        m.join(h1);
+        m.join(h2);
+        assert!(m.host_now() < 12_000, "parallel, not serial: {}", m.host_now());
+    }
+
+    #[test]
+    fn outer_access_round_trips_through_dma() {
+        let mut m = machine();
+        let a = m.alloc_main_pod::<u32>().unwrap();
+        m.main_mut().write_pod(a, &123u32).unwrap();
+        let result = m
+            .run_offload(0, |ctx| -> Result<u32, SimError> {
+                let start = ctx.now();
+                let v: u32 = ctx.outer_read_pod(a)?;
+                let cost = ctx.now() - start;
+                // A full DMA round trip: far more than a local access.
+                assert!(cost > ctx.cost().dma.latency);
+                ctx.outer_write_pod(a, &(v * 2))?;
+                Ok(v)
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(result, 123);
+        assert_eq!(m.main().read_pod::<u32>(a).unwrap(), 246);
+        let stats = m.dma_stats(0).unwrap();
+        assert_eq!(stats.gets, 1);
+        assert_eq!(stats.puts, 1);
+    }
+
+    #[test]
+    fn local_allocations_are_scoped_to_the_offload() {
+        let mut m = machine();
+        let first = m
+            .run_offload(0, |ctx| ctx.alloc_local(1024, 16).unwrap())
+            .unwrap();
+        let second = m
+            .run_offload(0, |ctx| ctx.alloc_local(1024, 16).unwrap())
+            .unwrap();
+        assert_eq!(first, second, "local data died with the first offload");
+    }
+
+    #[test]
+    fn local_store_exhaustion_surfaces() {
+        let mut m = machine();
+        let result = m
+            .run_offload(0, |ctx| ctx.alloc_local(512 * 1024, 16))
+            .unwrap();
+        assert!(matches!(result, Err(SimError::Memory(_))));
+    }
+
+    #[test]
+    fn explicit_dma_with_tags_works_in_ctx() {
+        let mut m = machine();
+        let remote = m.alloc_main_slice::<u32>(16).unwrap();
+        let values: Vec<u32> = (0..16).collect();
+        m.main_mut().write_pod_slice(remote, &values).unwrap();
+        let out = m
+            .run_offload(0, |ctx| -> Result<Vec<u32>, SimError> {
+                let local = ctx.alloc_local_slice::<u32>(16)?;
+                let tag = dma::Tag::new(0).unwrap();
+                ctx.dma_get(local, remote, 64, tag)?;
+                ctx.dma_wait_tag(tag);
+                ctx.local_read_slice::<u32>(local, 16)
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, values);
+        assert_eq!(m.races_detected(), 0);
+    }
+
+    #[test]
+    fn missing_wait_is_detected_as_a_race() {
+        let mut m = machine();
+        let remote = m.alloc_main_slice::<u32>(16).unwrap();
+        m.run_offload(0, |ctx| -> Result<(), SimError> {
+            let local = ctx.alloc_local_slice::<u32>(16)?;
+            let tag = dma::Tag::new(0).unwrap();
+            ctx.dma_get(local, remote, 64, tag)?;
+            // BUG: read without waiting.
+            let _: u32 = ctx.local_read_pod(local)?;
+            ctx.dma_wait_tag(tag);
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(m.races_detected(), 1);
+        let reports = m.take_race_reports();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].to_string().contains("missing dma_wait"));
+    }
+
+    #[test]
+    fn cached_access_through_ctx() {
+        let mut m = machine();
+        let a = m.alloc_main_slice::<u32>(64).unwrap();
+        m.main_mut()
+            .write_pod_slice(a, &(0..64).collect::<Vec<u32>>())
+            .unwrap();
+        let sum = m
+            .run_offload(0, |ctx| -> Result<(u32, u64, u64), SimError> {
+                // Allocate the cache arena inside the offload scope.
+                let mut cache = ctx.new_cache(softcache::CacheConfig::direct_mapped_4k())?;
+                let t0 = ctx.now();
+                let mut sum = 0u32;
+                for i in 0..64u32 {
+                    sum += ctx.cached_read_pod::<u32, _>(&mut cache, a.element(i, 4)?)?;
+                }
+                let cached_cycles = ctx.now() - t0;
+                let t1 = ctx.now();
+                let mut sum2 = 0u32;
+                for i in 0..64u32 {
+                    sum2 += ctx.outer_read_pod::<u32>(a.element(i, 4)?)?;
+                }
+                let naive_cycles = ctx.now() - t1;
+                assert_eq!(sum, sum2);
+                Ok((sum, cached_cycles, naive_cycles))
+            })
+            .unwrap()
+            .unwrap();
+        let (total, cached, naive) = sum;
+        assert_eq!(total, (0..64).sum::<u32>());
+        assert!(
+            cached * 4 < naive,
+            "cache should be >4x faster: {cached} vs {naive}"
+        );
+    }
+
+    #[test]
+    fn no_such_accel_is_reported() {
+        let mut m = machine();
+        assert!(matches!(
+            m.offload(5, |_| ()),
+            Err(SimError::NoSuchAccel { index: 5, count: 1 })
+        ));
+        assert!(m.dma_stats(3).is_err());
+    }
+
+    #[test]
+    fn events_record_the_offload_lifecycle() {
+        let mut m = machine();
+        m.events_mut().set_enabled(true);
+        let h = m.offload(0, |ctx| ctx.compute(100)).unwrap();
+        m.join(h);
+        let kinds: Vec<_> = m.events().events().iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::OffloadStart { accel: 0 }));
+        assert!(matches!(kinds[1], EventKind::OffloadEnd { accel: 0 }));
+        assert!(matches!(kinds[2], EventKind::Join { accel: 0 }));
+    }
+
+    #[test]
+    fn outer_byte_access_chunks_through_the_staging_buffer() {
+        // 10 KiB > the 4 KiB staging buffer: the transfer splits into
+        // three synchronous round trips, each paying full latency.
+        let mut m = machine();
+        let remote = m.alloc_main(10 * 1024, 16).unwrap();
+        let pattern: Vec<u8> = (0..10 * 1024).map(|i| (i % 251) as u8).collect();
+        m.main_mut().write_bytes(remote, &pattern).unwrap();
+        let (data, elapsed) = m
+            .run_offload(0, |ctx| -> Result<(Vec<u8>, u64), SimError> {
+                let t0 = ctx.now();
+                let mut buf = vec![0u8; 10 * 1024];
+                ctx.outer_read_bytes(remote, &mut buf)?;
+                Ok((buf, ctx.now() - t0))
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(data, pattern);
+        let latency = m.cost().dma.latency;
+        assert!(
+            elapsed >= 3 * latency,
+            "three chunked round trips pay 3x latency: {elapsed}"
+        );
+        assert_eq!(m.dma_stats(0).unwrap().gets, 3);
+    }
+
+    #[test]
+    fn outer_byte_writes_round_trip() {
+        let mut m = machine();
+        let remote = m.alloc_main(256, 16).unwrap();
+        m.run_offload(0, |ctx| ctx.outer_write_bytes(remote, &[7u8; 100]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.main().read_bytes(remote, 100).unwrap(), &[7u8; 100][..]);
+    }
+
+    #[test]
+    fn peek_and_poke_are_cost_free() {
+        let mut m = machine();
+        m.run_offload(0, |ctx| -> Result<(), SimError> {
+            let local = ctx.alloc_local(64, 16)?;
+            let before = ctx.now();
+            ctx.poke_local(local, &[1, 2, 3])?;
+            let mut out = [0u8; 3];
+            ctx.peek_local(local, &mut out)?;
+            assert_eq!(out, [1, 2, 3]);
+            assert_eq!(ctx.now(), before, "bookkeeping access charges nothing");
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(m.races_detected(), 0, "bookkeeping access is not race-tracked");
+    }
+
+    #[test]
+    fn local_byte_access_charges_quadword_granularity() {
+        let mut m = machine();
+        m.run_offload(0, |ctx| -> Result<(), SimError> {
+            let local = ctx.alloc_local(256, 16)?;
+            let ls = ctx.cost().ls_access;
+            let t0 = ctx.now();
+            ctx.local_write_bytes(local, &[0u8; 16])?;
+            assert_eq!(ctx.now() - t0, ls, "one quadword");
+            let t1 = ctx.now();
+            ctx.local_write_bytes(local, &[0u8; 64])?;
+            assert_eq!(ctx.now() - t1, 4 * ls, "four quadwords");
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+    }
+
+    #[test]
+    fn host_byte_helpers_charge_per_cache_line() {
+        let mut m = machine();
+        let addr = m.alloc_main(256, 16).unwrap();
+        let t0 = m.host_now();
+        m.host_write_bytes(addr, &[1u8; 130]).unwrap();
+        assert_eq!(
+            m.host_now() - t0,
+            3 * m.cost().host_mem_access,
+            "130 bytes touch three 64-byte lines"
+        );
+        let mut out = [0u8; 130];
+        m.host_read_bytes(addr, &mut out).unwrap();
+        assert_eq!(out, [1u8; 130]);
+    }
+
+    #[test]
+    fn machine_level_caches_persist_across_offloads() {
+        use softcache::SoftwareCache;
+        let mut m = machine();
+        let a = m.alloc_main_slice::<u32>(16).unwrap();
+        m.main_mut().write_pod(a, &9u32).unwrap();
+        let mut cache = m
+            .new_cache_for(0, softcache::CacheConfig::direct_mapped_4k())
+            .unwrap();
+        // First offload misses; the second hits the *same* cache because
+        // its arena was allocated before any offload scope.
+        for _ in 0..2 {
+            let v = m
+                .run_offload(0, |ctx| ctx.cached_read_pod::<u32, _>(&mut cache, a))
+                .unwrap()
+                .unwrap();
+            assert_eq!(v, 9);
+        }
+        assert_eq!(cache.stats().hits, 1, "the second offload hit the persistent cache");
+        assert_eq!(cache.stats().misses, 1);
+
+        let mut stream = m
+            .new_stream_cache_for(0, softcache::CacheConfig::new(256, 1, 1))
+            .unwrap();
+        let v = m
+            .run_offload(0, |ctx| ctx.cached_read_pod::<u32, _>(&mut stream, a))
+            .unwrap()
+            .unwrap();
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn value_too_large_for_staging() {
+        let mut m = machine();
+        let a = m.alloc_main(8192, 16).unwrap();
+        let result = m
+            .run_offload(0, |ctx| ctx.outer_read_pod::<[u8; 8192]>(a))
+            .unwrap();
+        assert!(matches!(result, Err(SimError::ValueTooLarge { .. })));
+    }
+}

@@ -1,0 +1,108 @@
+//! Cache statistics.
+
+use std::fmt;
+
+/// Counters describing a cache's behaviour, for profiling-driven cache
+/// selection (the paper: "the programmer must decide, based on
+/// profiling, which cache is most suitable for a given offload").
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct CacheStats {
+    /// Total read accesses.
+    pub reads: u64,
+    /// Total write accesses.
+    pub writes: u64,
+    /// Line-grain hits.
+    pub hits: u64,
+    /// Line-grain misses (each triggers a line fetch).
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Dirty lines written back (write-back) or puts issued
+    /// (write-through).
+    pub writebacks: u64,
+    /// Lines whose fetch was satisfied by an earlier asynchronous
+    /// prefetch.
+    pub prefetch_hits: u64,
+    /// Prefetched lines that were evicted before use.
+    pub prefetch_wasted: u64,
+    /// Bytes fetched from remote memory.
+    pub bytes_fetched: u64,
+    /// Bytes written back to remote memory.
+    pub bytes_written_back: u64,
+    /// Total cycles the cache added on top of a free access (lookup,
+    /// copies, transfer stalls).
+    pub cycles: u64,
+}
+
+impl CacheStats {
+    /// Line-grain hit rate in `[0, 1]`; zero when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean cycles added per access; zero when there were no accesses.
+    pub fn cycles_per_access(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {:.1}% hit rate, {} evictions, {} writebacks, {:.1} cycles/access",
+            self.accesses(),
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.writebacks,
+            self.cycles_per_access(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.cycles_per_access(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = CacheStats {
+            reads: 8,
+            writes: 2,
+            hits: 6,
+            misses: 4,
+            cycles: 100,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.cycles_per_access() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = CacheStats::default();
+        assert!(s.to_string().contains("accesses"));
+    }
+}

@@ -1,0 +1,112 @@
+//! A DMA "lint tool": static + dynamic race checking over kernels.
+//!
+//! ```text
+//! cargo run --release --example dma_doctor
+//! ```
+//!
+//! The paper (§2) notes that DMA synchronisation bugs are "hard to
+//! reproduce and fix" and points at both static and dynamic detection
+//! tools. This example plays the tool: it takes Figure 1's kernel in a
+//! correct and a broken variant, runs the static analyzer over both,
+//! then executes the broken one on a real simulated engine to show the
+//! dynamic checker catching the same bug.
+
+use offload_repro::dma::{
+    analyze_kernel, AccessKind, DmaKernel, KernelOp, RaceMode, Tag,
+};
+use offload_repro::memspace::{Addr, AddrRange, SpaceId};
+use offload_repro::simcell::{Machine, MachineConfig, SimError};
+
+fn ls(offset: u32, len: u32) -> AddrRange {
+    AddrRange::new(Addr::new(SpaceId::local_store(0), offset), len).unwrap()
+}
+
+fn main_r(offset: u32, len: u32) -> AddrRange {
+    AddrRange::new(Addr::new(SpaceId::MAIN, offset), len).unwrap()
+}
+
+/// The paper's Figure 1 kernel; `broken` drops the first `dma_wait`.
+fn figure1(broken: bool) -> DmaKernel {
+    let mut kernel = DmaKernel::new(if broken {
+        "figure1 (missing dma_wait)"
+    } else {
+        "figure1 (correct)"
+    });
+    kernel.ops.push(KernelOp::Get {
+        local: ls(0x100, 64),
+        remote: main_r(0x1000, 64),
+        tag: 1,
+    });
+    kernel.ops.push(KernelOp::Get {
+        local: ls(0x140, 64),
+        remote: main_r(0x2000, 64),
+        tag: 1,
+    });
+    if !broken {
+        kernel.ops.push(KernelOp::Wait { mask: 1 << 1 });
+    }
+    // do_collision_response(&e1, &e2);
+    kernel.ops.push(KernelOp::Access {
+        range: ls(0x100, 128),
+        kind: AccessKind::Write,
+    });
+    kernel.ops.push(KernelOp::Put {
+        local: ls(0x100, 64),
+        remote: main_r(0x1000, 64),
+        tag: 1,
+    });
+    kernel.ops.push(KernelOp::Put {
+        local: ls(0x140, 64),
+        remote: main_r(0x2000, 64),
+        tag: 1,
+    });
+    kernel.ops.push(KernelOp::Wait { mask: 1 << 1 });
+    kernel
+}
+
+fn main() -> Result<(), SimError> {
+    println!("== static analysis (cf. Donaldson et al., TACAS 2010) ==\n");
+    for broken in [false, true] {
+        let kernel = figure1(broken);
+        let findings = analyze_kernel(&kernel);
+        println!("{}: {} finding(s)", kernel.name, findings.len());
+        for finding in &findings {
+            println!("  {finding}");
+        }
+    }
+
+    println!("\n== dynamic checking (cf. IBM Cell Race Check Library) ==\n");
+    // Execute the broken pattern on the simulated machine: the data
+    // still arrives "in time" in simulation — exactly why such bugs
+    // slip through testing — but the checker flags it.
+    let mut machine = Machine::new(MachineConfig::default())?;
+    let e1 = machine.alloc_main(64, 16)?;
+    let e2 = machine.alloc_main(64, 16)?;
+    machine.run_offload(0, |ctx| -> Result<(), SimError> {
+        let b1 = ctx.alloc_local(64, 16)?;
+        let b2 = ctx.alloc_local(64, 16)?;
+        let tag = Tag::new(1).expect("valid tag");
+        ctx.dma_get(b1, e1, 64, tag)?;
+        ctx.dma_get(b2, e2, 64, tag)?;
+        // BUG: no ctx.dma_wait_tag(tag) before touching the buffers.
+        let v: u32 = ctx.local_read_pod(b1)?;
+        ctx.local_write_pod(b1, &(v + 1))?;
+        ctx.dma_wait_tag(tag);
+        ctx.dma_put(b1, e1, 64, tag)?;
+        ctx.dma_wait_tag(tag);
+        Ok(())
+    })??;
+    println!(
+        "program computed a plausible result; races detected: {}",
+        machine.races_detected()
+    );
+    for report in machine.take_race_reports() {
+        println!("  {report}");
+    }
+
+    println!(
+        "\nIn panic mode the first race aborts the run (RaceMode::{:?} vs RaceMode::Record).",
+        RaceMode::Panic
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # offload-repro
+//!
+//! A from-scratch Rust reproduction of *"The Impact of Diverse Memory
+//! Architectures on Multicore Consumer Software: An industrial
+//! perspective from the video games domain"* (Russell, Riley, Henning,
+//! Dolinsky, Richards, Donaldson, van Amesfoort — MSPC/PLDI 2011).
+//!
+//! The paper describes Codeplay's **Offload C++** system for moving
+//! portions of AAA game code onto accelerator cores with private,
+//! non-cache-coherent local stores (the Cell BE in the PlayStation 3).
+//! This workspace rebuilds the whole stack on a simulated machine:
+//!
+//! | Crate | What it is |
+//! |---|---|
+//! | [`memspace`] | memory spaces, addresses, simulated memories, Pod layout |
+//! | [`dma`] | tagged non-blocking DMA + dynamic & static race checkers |
+//! | [`softcache`] | the software-cache family (set-associative, streaming) |
+//! | [`simcell`] | the cycle-accounted host+accelerators machine |
+//! | [`offload_rt`] | accessor classes, double buffering, dispatch domains |
+//! | [`offload_lang`] | the Offload/Mini compiler + VM (outer pointers, duplication, word addressing) |
+//! | [`gamekit`] | the game-workload substrate (entities, components, collision, AI, frames) |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! The `bench` crate regenerates every table with
+//! `cargo run -p bench --bin paper_tables`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use offload_repro::simcell::{Machine, MachineConfig, SimError};
+//! use offload_repro::offload_rt::ArrayAccessor;
+//!
+//! # fn main() -> Result<(), SimError> {
+//! let mut machine = Machine::new(MachineConfig::default())?;
+//! let data = machine.alloc_main_slice::<f32>(1024)?;
+//! machine.main_mut().write_pod_slice(data, &vec![1.0f32; 1024])?;
+//!
+//! // An offload block: runs on an accelerator, local store + DMA.
+//! let handle = machine.offload(0, |ctx| -> Result<f32, SimError> {
+//!     let array = ArrayAccessor::<f32>::fetch(ctx, data, 1024)?;
+//!     let mut sum = 0.0;
+//!     for i in 0..array.len() {
+//!         sum += array.get(ctx, i)?;
+//!     }
+//!     Ok(sum)
+//! })?;
+//! machine.host_compute(10_000); // host works in parallel
+//! let sum = machine.join(handle)?;
+//! assert_eq!(sum, 1024.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dma;
+pub use gamekit;
+pub use memspace;
+pub use offload_lang;
+pub use offload_rt;
+pub use simcell;
+pub use softcache;
