@@ -1,81 +1,68 @@
-//! Criterion benches, one per experiment table (E1–E14).
+//! Wall-time benches, one per experiment table (E1–E14).
 //!
 //! These measure the *wall time* of each experiment's kernel at a small
 //! size, which tracks regressions in the simulator and the runtime; the
 //! simulated-cycle tables themselves come from
 //! `cargo run -p bench --bin paper_tables`.
+//!
+//! Run with `cargo bench -p bench --bench paper`. The harness is the
+//! hand-rolled one in [`bench::timing`] (no external framework in this
+//! container).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 
 use bench::exp;
+use bench::timing::{row, time, Measurement};
 
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_tables");
-    group.sample_size(10);
+/// An experiment name paired with its runner.
+type Runner = (&'static str, fn(bool) -> bench::Table);
 
-    group.bench_function("e01_dma_styles", |b| {
-        b.iter(|| black_box(exp::e01_dma_styles::run(true)))
-    });
-    group.bench_function("e02_offload_overlap", |b| {
-        b.iter(|| black_box(exp::e02_offload_overlap::run(true)))
-    });
-    group.bench_function("e03_domain_dispatch", |b| {
-        b.iter(|| black_box(exp::e03_domain_dispatch::run(true)))
-    });
-    group.bench_function("e04_component_restructure", |b| {
-        b.iter(|| black_box(exp::e04_component_restructure::run(true)))
-    });
-    group.bench_function("e05_ai_offload", |b| {
-        b.iter(|| black_box(exp::e05_ai_offload::run(true)))
-    });
-    group.bench_function("e06_accessor_loop", |b| {
-        b.iter(|| black_box(exp::e06_accessor_loop::run(true)))
-    });
-    group.bench_function("e07_softcache_matrix", |b| {
-        b.iter(|| black_box(exp::e07_softcache_matrix::run(true)))
-    });
-    group.bench_function("e08_uniform_grouping", |b| {
-        b.iter(|| black_box(exp::e08_uniform_grouping::run(true)))
-    });
-    group.bench_function("e09_word_addressing", |b| {
-        b.iter(|| black_box(exp::e09_word_addressing::run(true)))
-    });
-    group.bench_function("e10_duplication", |b| {
-        b.iter(|| black_box(exp::e10_duplication::run(true)))
-    });
-    group.bench_function("e11_race_detection", |b| {
-        b.iter(|| black_box(exp::e11_race_detection::run(true)))
-    });
-    group.bench_function("e12_cache_crossover", |b| {
-        b.iter(|| black_box(exp::e12_cache_crossover::run(true)))
-    });
-    group.bench_function("e13_code_loading", |b| {
-        b.iter(|| black_box(exp::e13_code_loading::run(true)))
-    });
-    group.bench_function("e14_multi_accel", |b| {
-        b.iter(|| black_box(exp::e14_multi_accel::run(true)))
-    });
-    group.finish();
-}
+fn main() {
+    let budget = Duration::from_millis(100);
+    let mut results: Vec<Measurement> = Vec::new();
 
-/// Microbenchmarks of the hot substrate paths the experiments lean on.
-fn bench_substrate(c: &mut Criterion) {
-    use memspace::{Addr, MemoryRegion, SpaceId, SpaceKind};
+    println!("paper_tables — per-experiment kernel wall time (quick sizes)");
+    let experiments: &[Runner] = &[
+        ("e01_dma_styles", exp::e01_dma_styles::run),
+        ("e02_offload_overlap", exp::e02_offload_overlap::run),
+        ("e03_domain_dispatch", exp::e03_domain_dispatch::run),
+        (
+            "e04_component_restructure",
+            exp::e04_component_restructure::run,
+        ),
+        ("e05_ai_offload", exp::e05_ai_offload::run),
+        ("e06_accessor_loop", exp::e06_accessor_loop::run),
+        ("e07_softcache_matrix", exp::e07_softcache_matrix::run),
+        ("e08_uniform_grouping", exp::e08_uniform_grouping::run),
+        ("e09_word_addressing", exp::e09_word_addressing::run),
+        ("e10_duplication", exp::e10_duplication::run),
+        ("e11_race_detection", exp::e11_race_detection::run),
+        ("e12_cache_crossover", exp::e12_cache_crossover::run),
+        ("e13_code_loading", exp::e13_code_loading::run),
+        ("e14_multi_accel", exp::e14_multi_accel::run),
+    ];
+    for &(name, run) in experiments {
+        let m = time(name, budget, || run(true));
+        println!("  {}", row(&m));
+        results.push(m);
+    }
 
-    let mut group = c.benchmark_group("substrate");
+    println!("substrate — hot primitives the experiments lean on");
+    {
+        use memspace::{Addr, MemoryRegion, SpaceId, SpaceKind};
 
-    group.bench_function("memory_region_pod_roundtrip", |b| {
         let mut region = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 64 * 1024);
         let addr = Addr::new(SpaceId::MAIN, 128);
-        b.iter(|| {
-            region.write_pod(addr, &black_box(0xdeadbeef_u32)).unwrap();
-            black_box(region.read_pod::<u32>(addr).unwrap())
+        let m = time("memory_region_pod_roundtrip", budget, || {
+            region
+                .write_pod(addr, &std::hint::black_box(0xdead_beef_u32))
+                .unwrap();
+            region.read_pod::<u32>(addr).unwrap()
         });
-    });
+        println!("  {}", row(&m));
+        results.push(m);
 
-    group.bench_function("dma_get_wait", |b| {
-        let mut main = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 64 * 1024);
+        let mut main_mem = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 64 * 1024);
         let mut ls = MemoryRegion::new(
             SpaceId::local_store(0),
             SpaceKind::LocalStore { accel: 0 },
@@ -86,16 +73,16 @@ fn bench_substrate(c: &mut Criterion) {
         let local = Addr::new(SpaceId::local_store(0), 0x100);
         let remote = Addr::new(SpaceId::MAIN, 0x1000);
         let mut now = 0u64;
-        b.iter(|| {
+        let m = time("dma_get_wait", budget, || {
             now = engine
-                .get(now, local, remote, 256, tag, &mut main, &mut ls)
+                .get(now, local, remote, 256, tag, &mut main_mem, &mut ls)
                 .unwrap();
             now = engine.wait(tag.mask(), now);
-            black_box(now)
+            now
         });
-    });
+        println!("  {}", row(&m));
+        results.push(m);
 
-    group.bench_function("compile_offload_mini_program", |b| {
         let source = r#"
             var g: int;
             fn f(p: int*) -> int { return *p + 1; }
@@ -105,11 +92,17 @@ fn bench_substrate(c: &mut Criterion) {
             }
         "#;
         let target = offload_lang::Target::cell_like();
-        b.iter(|| black_box(offload_lang::compile(source, &target).unwrap()));
-    });
+        let m = time("compile_offload_mini_program", budget, || {
+            offload_lang::compile(source, &target).unwrap()
+        });
+        println!("  {}", row(&m));
+        results.push(m);
+    }
 
-    group.finish();
+    let total: Duration = results.iter().map(|m| m.elapsed).sum();
+    println!(
+        "{} benches, {:.1}s measured wall time",
+        results.len(),
+        total.as_secs_f64()
+    );
 }
-
-criterion_group!(benches, bench_tables, bench_substrate);
-criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Hot-path throughput suite: seed strategy vs current strategy.
+//!
+//! Times the three hot paths the allocation-free overhaul touched —
+//! DMA issue/wait bookkeeping, bulk byte transfer, and VM call-path
+//! argument passing — each as a faithful replica of the seed
+//! implementation against the current one, on an identical workload
+//! (see [`bench::hotpath`] for the replicas).
+//!
+//! Run with `cargo bench -p bench --bench throughput`. The JSON-emitting
+//! variant of this suite is `cargo run --release -p bench --bin
+//! bench_throughput`, which writes `BENCH_throughput.json`.
+
+use std::time::Duration;
+
+use bench::hotpath::{
+    dma_ledger_legacy, dma_ledger_rings, vm_call_path_legacy, vm_call_path_sliced, CopyRig,
+};
+use bench::timing::{row, time};
+
+fn main() {
+    let budget = Duration::from_millis(150);
+
+    println!("dma issue/wait bookkeeping (8 live tag groups)");
+    assert_eq!(dma_ledger_legacy(512), dma_ledger_rings(512));
+    let legacy = time("flat Vec + retain (seed)", budget, || {
+        dma_ledger_legacy(512)
+    });
+    let rings = time("per-tag rings (current)", budget, || dma_ledger_rings(512));
+    println!("  {}", row(&legacy));
+    println!("  {}", row(&rings));
+    println!("  speedup: {:.2}x", rings.speedup_over(&legacy));
+
+    println!("bulk byte transfer (1 KiB per copy)");
+    let mut rig = CopyRig::new(1024);
+    assert_eq!(rig.step_legacy(), rig.step_new());
+    let legacy = time("read_bytes().to_vec() (seed)", budget, || rig.step_legacy());
+    let direct = time("copy_between slices (current)", budget, || rig.step_new());
+    println!("  {}", row(&legacy));
+    println!("  {}", row(&direct));
+    println!("  speedup: {:.2}x", direct.speedup_over(&legacy));
+
+    println!("accessor bulk read (1 KiB per read)");
+    assert_eq!(rig.read_slice_legacy(), rig.read_slice_new());
+    let legacy = time("fresh Vec + element loop (seed)", budget, || {
+        rig.read_slice_legacy()
+    });
+    let reuse = time("scratch reuse + memcpy (current)", budget, || {
+        rig.read_slice_new()
+    });
+    println!("  {}", row(&legacy));
+    println!("  {}", row(&reuse));
+    println!("  speedup: {:.2}x", reuse.speedup_over(&legacy));
+
+    println!("vm call-path bookkeeping (6 ops per round)");
+    assert_eq!(vm_call_path_legacy(512), vm_call_path_sliced(512));
+    let legacy = time("pop into Vec + HashMap (seed)", budget, || {
+        vm_call_path_legacy(512)
+    });
+    let sliced = time("stack split + flat slots (current)", budget, || {
+        vm_call_path_sliced(512)
+    });
+    println!("  {}", row(&legacy));
+    println!("  {}", row(&sliced));
+    println!("  speedup: {:.2}x", sliced.speedup_over(&legacy));
+}

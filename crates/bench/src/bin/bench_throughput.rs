@@ -1,0 +1,254 @@
+//! Emits `BENCH_throughput.json`: the hot-path throughput report.
+//!
+//! Two kinds of numbers:
+//!
+//! - **End-to-end throughput** of the simulated-execution pipeline:
+//!   simulated cycles retired per wall-second (a double-buffered
+//!   streaming offload) and VM instructions retired per wall-second (a
+//!   call-heavy Offload/Mini program with virtual dispatch). These are
+//!   the headline "how fast does the simulator run" figures.
+//! - **Seed-vs-current speedups** on the three hot paths the
+//!   allocation-free overhaul touched, each timed against a faithful
+//!   standalone replica of the seed implementation on an identical
+//!   workload (see [`bench::hotpath`]).
+//!
+//! Usage: `cargo run --release -p bench --bin bench_throughput
+//! [output.json]`. Defaults to `BENCH_throughput.json` in the current
+//! directory.
+
+use std::time::Duration;
+
+use bench::hotpath::{
+    dma_ledger_legacy, dma_ledger_rings, vm_call_path_legacy, vm_call_path_sliced, CopyRig,
+};
+use bench::timing::{row, time, Measurement};
+use offload_lang::{compile, Target, Vm};
+use offload_rt::{process_stream, StreamConfig};
+use simcell::{Machine, MachineConfig};
+
+/// A call-heavy Offload/Mini program: virtual dispatch through a
+/// domain, function calls, and outer accesses inside an offload block.
+const VM_PROGRAM: &str = r#"
+    class Entity {
+        hp: float;
+        virtual fn tick(d: float) { self.hp = self.hp - d; }
+    }
+    class Enemy : Entity {
+        override fn tick(d: float) { self.hp = self.hp - d - d; }
+    }
+    var e: Entity*;
+    var f: Entity*;
+    var total: int;
+
+    fn accumulate(a: int, b: int) -> int { return a + b; }
+
+    fn main() -> int {
+        e = new Enemy;
+        f = new Entity;
+        e.hp = 1000.0;
+        f.hp = 1000.0;
+        let i: int = 0;
+        while i < 40 {
+            offload domain(Entity.tick, Enemy.tick) {
+                let j: int = 0;
+                while j < 10 {
+                    e.tick(1.0);
+                    f.tick(1.0);
+                    j = j + 1;
+                }
+            }
+            total = accumulate(total, i);
+            i = i + 1;
+        }
+        return total;
+    }
+"#;
+
+/// One full VM run; returns (simulated cycles, instructions retired).
+fn vm_run(program: &offload_lang::Program) -> (u64, u64) {
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let mut vm = Vm::new(program, &mut machine).expect("program fits");
+    vm.run(&mut machine).expect("program runs");
+    (machine.host_now(), vm.instructions_executed())
+}
+
+/// One full streaming offload; returns simulated cycles retired.
+fn stream_run() -> u64 {
+    const LEN: u32 = 4096;
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let remote = machine.alloc_main_slice::<u32>(LEN).expect("fits");
+    let values: Vec<u32> = (0..LEN).collect();
+    machine
+        .main_mut()
+        .write_pod_slice(remote, &values)
+        .expect("fits");
+    let handle = machine
+        .offload(0, |ctx| {
+            process_stream::<u32, _>(
+                ctx,
+                remote,
+                LEN,
+                StreamConfig {
+                    chunk_elems: 256,
+                    write_back: true,
+                },
+                |ctx, _, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = v.wrapping_mul(3).wrapping_add(1);
+                    }
+                    ctx.compute(chunk.len() as u64);
+                    Ok(())
+                },
+            )
+        })
+        .expect("accel 0 exists");
+    let elapsed = handle.elapsed();
+    machine.join(handle).expect("stream succeeds");
+    elapsed
+}
+
+struct Comparison {
+    key: &'static str,
+    label: &'static str,
+    legacy: Measurement,
+    current: Measurement,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.current.speedup_over(&self.legacy)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let budget = Duration::from_millis(300);
+
+    // --- End-to-end throughput -----------------------------------
+    eprintln!("end-to-end pipeline throughput");
+    let program = compile(VM_PROGRAM, &Target::cell_like()).expect("benchmark program compiles");
+    let (vm_cycles, vm_instrs) = vm_run(&program);
+    let vm_wall = time("vm program (calls + offloads)", budget, || vm_run(&program));
+    eprintln!("  {}", row(&vm_wall));
+    let vm_instrs_per_sec = vm_instrs as f64 * vm_wall.iters_per_sec();
+    let vm_cycles_per_sec = vm_cycles as f64 * vm_wall.iters_per_sec();
+
+    let stream_cycles = stream_run();
+    let stream_wall = time("double-buffered stream offload", budget, stream_run);
+    eprintln!("  {}", row(&stream_wall));
+    let stream_cycles_per_sec = stream_cycles as f64 * stream_wall.iters_per_sec();
+
+    // The headline figure pools both pipelines: total simulated cycles
+    // retired per second of wall time across the measured runs.
+    let sim_cycles_per_sec = stream_cycles_per_sec + vm_cycles_per_sec;
+
+    // --- Seed-vs-current hot paths -------------------------------
+    eprintln!("seed-vs-current hot paths");
+    assert_eq!(dma_ledger_legacy(512), dma_ledger_rings(512));
+    let mut rig = CopyRig::new(1024);
+    assert_eq!(rig.step_legacy(), rig.step_new());
+    assert_eq!(rig.read_slice_legacy(), rig.read_slice_new());
+    assert_eq!(vm_call_path_legacy(512), vm_call_path_sliced(512));
+
+    let comparisons = [
+        Comparison {
+            key: "dma_issue_wait",
+            label: "DMA issue/wait bookkeeping (8 live tag groups)",
+            legacy: time("dma: flat Vec + retain (seed)", budget, || {
+                dma_ledger_legacy(512)
+            }),
+            current: time("dma: per-tag rings (current)", budget, || {
+                dma_ledger_rings(512)
+            }),
+        },
+        Comparison {
+            key: "accessor_bulk_transfer",
+            label: "accessor bulk transfer (1 KiB copies + typed reads)",
+            legacy: {
+                let m1 = time("copy: read_bytes().to_vec() (seed)", budget, || {
+                    rig.step_legacy()
+                });
+                let m2 = time("read: fresh Vec + element loop (seed)", budget, || {
+                    rig.read_slice_legacy()
+                });
+                Measurement {
+                    name: "bulk transfer (seed)".to_string(),
+                    iters: m1.iters + m2.iters,
+                    elapsed: m1.elapsed + m2.elapsed,
+                }
+            },
+            current: {
+                let m1 = time("copy: copy_between slices (current)", budget, || {
+                    rig.step_new()
+                });
+                let m2 = time("read: scratch reuse + memcpy (current)", budget, || {
+                    rig.read_slice_new()
+                });
+                Measurement {
+                    name: "bulk transfer (current)".to_string(),
+                    iters: m1.iters + m2.iters,
+                    elapsed: m1.elapsed + m2.elapsed,
+                }
+            },
+        },
+        Comparison {
+            key: "vm_dispatch",
+            label: "VM call-path bookkeeping (arg slices + flat slots)",
+            legacy: time("vm: pop into Vec + HashMap (seed)", budget, || {
+                vm_call_path_legacy(512)
+            }),
+            current: time("vm: stack split + flat slots (current)", budget, || {
+                vm_call_path_sliced(512)
+            }),
+        },
+    ];
+    for c in &comparisons {
+        eprintln!("  {}", row(&c.legacy));
+        eprintln!("  {}", row(&c.current));
+        eprintln!("  {}: {:.2}x", c.key, c.speedup());
+    }
+
+    // --- Report ---------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"sim_cycles_per_sec\": {sim_cycles_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"vm_instrs_per_sec\": {vm_instrs_per_sec:.0},\n"
+    ));
+    json.push_str("  \"pipelines\": {\n");
+    json.push_str(&format!(
+        "    \"vm_program\": {{ \"sim_cycles\": {vm_cycles}, \"vm_instrs\": {vm_instrs}, \"runs_per_sec\": {:.2} }},\n",
+        vm_wall.iters_per_sec()
+    ));
+    json.push_str(&format!(
+        "    \"stream_offload\": {{ \"sim_cycles\": {stream_cycles}, \"runs_per_sec\": {:.2} }}\n",
+        stream_wall.iters_per_sec()
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"speedups\": {\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        let comma = if i + 1 < comparisons.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"label\": \"{}\", \"legacy_ns_per_iter\": {:.1}, \"current_ns_per_iter\": {:.1}, \"speedup\": {:.3} }}{comma}\n",
+            c.key,
+            json_escape(c.label),
+            c.legacy.nanos_per_iter(),
+            c.current.nanos_per_iter(),
+            c.speedup()
+        ));
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("report is writable");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

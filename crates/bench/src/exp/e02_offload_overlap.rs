@@ -41,13 +41,23 @@ fn frame_cycles(n: u32, schedule_offloaded: bool) -> (u64, u32) {
 
 /// Runs E2.
 pub fn run(quick: bool) -> Table {
-    let sweeps: &[u32] = if quick { &[256] } else { &[256, 512, 1024, 2048] };
+    let sweeps: &[u32] = if quick {
+        &[256]
+    } else {
+        &[256, 512, 1024, 2048]
+    };
     let mut table = Table::new(
         "E2",
         "Frame schedule: sequential vs offloaded AI (Figure 2)",
         "the offload block runs calculateStrategy on the accelerator in parallel with host \
          detectCollisions (paper Fig. 2, Sec. 3)",
-        vec!["entities", "pairs", "sequential frame", "offloaded frame", "speedup"],
+        vec![
+            "entities",
+            "pairs",
+            "sequential frame",
+            "offloaded frame",
+            "speedup",
+        ],
     );
     for &n in sweeps {
         let (seq, pairs_a) = frame_cycles(n, false);

@@ -33,7 +33,10 @@ fn rig(n: usize) -> Rig {
         let local = registry.fresh_fn(format!("C{i}::update [spu]"));
         let class = registry.register_class(format!("C{i}"), None);
         registry.define_method(class, MethodSlot(0), global);
-        domain.add(global, &[(DuplicateId::ALL_LOCAL, local), (DuplicateId(1), local)]);
+        domain.add(
+            global,
+            &[(DuplicateId::ALL_LOCAL, local), (DuplicateId(1), local)],
+        );
         last = Some(class);
     }
     Rig {
@@ -78,7 +81,7 @@ fn dispatch_cycles(n: usize, receiver_local: bool) -> u64 {
             Ok::<u64, simcell::SimError>((ctx.now() - t0) / u64::from(DISPATCHES))
         })
         .expect("accel 0 exists");
-    
+
     machine.join(handle).expect("dispatch succeeds")
 }
 

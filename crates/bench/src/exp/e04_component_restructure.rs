@@ -73,7 +73,10 @@ mod tests {
         assert_eq!(mono.vcalls, 1300);
         assert_eq!(spec.vcalls, 1300);
         assert!(mono.max_domain_size > 100, "paper: >100 annotations");
-        assert_eq!(spec.max_domain_size, 40, "paper: max 40 after restructuring");
+        assert_eq!(
+            spec.max_domain_size, 40,
+            "paper: max 40 after restructuring"
+        );
         assert_eq!(spec.offloads, 13, "paper: 13 type-specialised offloads");
         assert!(spec.host_cycles < mono.host_cycles);
     }

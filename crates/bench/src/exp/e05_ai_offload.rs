@@ -43,7 +43,11 @@ pub fn measure(n: u32) -> (u64, u64) {
 
 /// Runs E5.
 pub fn run(quick: bool) -> Table {
-    let sweeps: &[u32] = if quick { &[256] } else { &[256, 512, 1024, 2048] };
+    let sweeps: &[u32] = if quick {
+        &[256]
+    } else {
+        &[256, 512, 1024, 2048]
+    };
     let mut table = Table::new(
         "E5",
         "Offloading the AI strategy task (Sec. 4.1)",

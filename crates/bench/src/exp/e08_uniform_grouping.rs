@@ -125,8 +125,14 @@ mod tests {
     #[test]
     fn shape_grouping_then_double_buffering_each_win() {
         let (object, chunked, streamed) = measure(1024);
-        assert!(chunked < object / 2, "bulk chunks win big: {chunked} vs {object}");
-        assert!(streamed < chunked, "double buffering adds more: {streamed} vs {chunked}");
+        assert!(
+            chunked < object / 2,
+            "bulk chunks win big: {chunked} vs {object}"
+        );
+        assert!(
+            streamed < chunked,
+            "double buffering adds more: {streamed} vs {chunked}"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ fn main() -> int {{
 }}
 "#,
         params = params.join(", "),
-        sum = if k == 0 { "0".to_string() } else { sum.join(" + ") },
+        sum = if k == 0 {
+            "0".to_string()
+        } else {
+            sum.join(" + ")
+        },
     )
 }
 

@@ -185,13 +185,29 @@ fn exec_ops(
             KernelOp::Get { local, remote, tag } => {
                 let tag = Tag::new(*tag % 32).expect("in range");
                 *now = engine
-                    .get(*now, local.start(), remote.start(), local.len(), tag, main, lsr)
+                    .get(
+                        *now,
+                        local.start(),
+                        remote.start(),
+                        local.len(),
+                        tag,
+                        main,
+                        lsr,
+                    )
                     .expect("corpus transfers are well-formed");
             }
             KernelOp::Put { local, remote, tag } => {
                 let tag = Tag::new(*tag % 32).expect("in range");
                 *now = engine
-                    .put(*now, local.start(), remote.start(), local.len(), tag, main, lsr)
+                    .put(
+                        *now,
+                        local.start(),
+                        remote.start(),
+                        local.len(),
+                        tag,
+                        main,
+                        lsr,
+                    )
                     .expect("corpus transfers are well-formed");
             }
             KernelOp::Wait { mask } => {

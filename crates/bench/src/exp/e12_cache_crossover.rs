@@ -61,7 +61,13 @@ pub fn run(quick: bool) -> Table {
         "Cache lookup overhead vs repeated inter-memory transfers (Sec. 4.2)",
         "cache lookup overhead is typically outweighed by avoided repeated transfers \
          (paper Sec. 4.2); with zero reuse and no spatial locality, it is not",
-        vec!["reuse factor", "naive", "cached", "cached vs naive", "winner"],
+        vec![
+            "reuse factor",
+            "naive",
+            "cached",
+            "cached vs naive",
+            "winner",
+        ],
     );
     for &reuse in reuses {
         let (naive, cached) = measure(reuse);

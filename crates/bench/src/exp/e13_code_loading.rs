@@ -9,11 +9,11 @@
 //! budget with LRU loading, across call patterns with different
 //! locality.
 
+use memspace::Addr;
 use offload_rt::{
     accel_virtual_dispatch, dispatch_with_loading, ClassRegistry, CodeLoader, Domain, DuplicateId,
     FnAddr, MethodSlot, DEFAULT_CODE_SIZE,
 };
-use memspace::Addr;
 use simcell::{Machine, MachineConfig, SimError};
 
 use crate::table::{cycles, Table};
@@ -119,8 +119,7 @@ pub fn measure(methods: u32, pattern: &str, budget_methods: Option<u32>) -> (u64
                 }
                 Some(budget) => {
                     let empty = Domain::new();
-                    let mut loader =
-                        CodeLoader::new(ctx, budget * DEFAULT_CODE_SIZE, image)?;
+                    let mut loader = CodeLoader::new(ctx, budget * DEFAULT_CODE_SIZE, image)?;
                     for &m in &sequence {
                         dispatch_with_loading(
                             ctx,

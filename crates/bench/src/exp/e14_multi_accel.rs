@@ -39,7 +39,12 @@ pub fn run(quick: bool) -> Table {
         "Extension: tiling the AI task across accelerators",
         "the Cell exposes six usable accelerators; data-parallel tiling of a frame task scales \
          until the replicated bulk fetch of shared data dominates (paper Sec. 1, 4.1 context)",
-        vec!["accelerators", "frame AI cycles", "speedup vs 1", "efficiency"],
+        vec![
+            "accelerators",
+            "frame AI cycles",
+            "speedup vs 1",
+            "efficiency",
+        ],
     );
     let base = measure(n, 1);
     for accels in 1u16..=6 {

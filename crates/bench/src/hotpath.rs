@@ -1,0 +1,446 @@
+//! Hot-path microkernels behind the throughput suite.
+//!
+//! Each comparison pairs the *seed implementation strategy* — re-created
+//! here as a standalone replica, byte-for-byte faithful to the patterns
+//! the optimisation replaced — with the current hot path, driven by an
+//! identical deterministic workload. Wall-clock ratios between the two
+//! sides are therefore apples-to-apples. Every kernel returns a
+//! checksum so the optimizer cannot delete the work and callers can
+//! assert both sides computed the same thing.
+//!
+//! The three comparisons mirror the three hot paths the overhaul
+//! touched:
+//!
+//! 1. **DMA bookkeeping** — seed: one flat `Vec` of in-flight commands,
+//!    waits retire by `retain` with a per-wait scratch `Vec` of ids;
+//!    now: per-tag FIFO rings whose back entry *is* the group maximum.
+//! 2. **Bulk byte transfer** — seed: `read_bytes(..)?.to_vec()` then
+//!    `write_bytes` (one heap allocation per copy); now:
+//!    [`memspace::copy_between`]'s direct slice-to-slice copy, and
+//!    `read_pod_slice_into` refilling one caller-owned scratch vector.
+//! 3. **VM call-path bookkeeping** — seed: arguments popped one by one
+//!    into a freshly allocated reversed `Vec`, async offload handles in
+//!    a `HashMap<u16, _>`; now: a stack split passes arguments as a
+//!    borrowed slice and handles live in a flat slot vector.
+
+use std::collections::{HashMap, VecDeque};
+
+use memspace::{copy_between, Addr, MemoryRegion, SpaceId, SpaceKind};
+
+// ---------------------------------------------------------------------
+// 1. DMA bookkeeping: flat Vec + retain vs per-tag rings.
+// ---------------------------------------------------------------------
+
+const TAG_COUNT: usize = 32;
+
+#[derive(Clone, Copy)]
+struct Cmd {
+    id: u64,
+    tag: u8,
+    complete_at: u64,
+}
+
+/// Seed-style ledger: every in-flight command in one flat `Vec`.
+struct VecLedger {
+    inflight: Vec<Cmd>,
+    checksum: u64,
+}
+
+impl VecLedger {
+    fn new() -> VecLedger {
+        VecLedger {
+            inflight: Vec::new(),
+            checksum: 0,
+        }
+    }
+
+    fn issue(&mut self, cmd: Cmd) {
+        self.inflight.push(cmd);
+    }
+
+    /// Replica of the seed `DmaEngine::wait`: scan-and-retain over the
+    /// whole ledger, collecting retired ids into a scratch `Vec` (the
+    /// seed fed them to the race checker one by one afterwards).
+    fn wait(&mut self, mask: u32, now: u64) -> u64 {
+        let mut resume = now;
+        let mut retired = Vec::new();
+        self.inflight.retain(|c| {
+            if mask & (1u32 << c.tag) != 0 {
+                resume = resume.max(c.complete_at);
+                retired.push(c.id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in retired {
+            self.checksum = self.checksum.wrapping_add(id);
+        }
+        resume
+    }
+}
+
+/// Current-style ledger: one FIFO ring per tag; completion times are
+/// monotone within a tag, so the group max is the back of each ring.
+struct RingLedger {
+    queues: [VecDeque<Cmd>; TAG_COUNT],
+    checksum: u64,
+}
+
+impl RingLedger {
+    fn new() -> RingLedger {
+        RingLedger {
+            queues: std::array::from_fn(|_| VecDeque::new()),
+            checksum: 0,
+        }
+    }
+
+    fn issue(&mut self, cmd: Cmd) {
+        self.queues[usize::from(cmd.tag)].push_back(cmd);
+    }
+
+    fn wait(&mut self, mask: u32, now: u64) -> u64 {
+        let mut resume = now;
+        let mut bits = mask;
+        while bits != 0 {
+            let raw = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let queue = &mut self.queues[raw];
+            if let Some(last) = queue.back() {
+                resume = resume.max(last.complete_at);
+            }
+            while let Some(cmd) = queue.pop_front() {
+                self.checksum = self.checksum.wrapping_add(cmd.id);
+            }
+        }
+        resume
+    }
+}
+
+trait Ledger {
+    fn issue(&mut self, cmd: Cmd);
+    fn wait(&mut self, mask: u32, now: u64) -> u64;
+    fn checksum(&self) -> u64;
+}
+
+impl Ledger for VecLedger {
+    fn issue(&mut self, cmd: Cmd) {
+        VecLedger::issue(self, cmd);
+    }
+    fn wait(&mut self, mask: u32, now: u64) -> u64 {
+        VecLedger::wait(self, mask, now)
+    }
+    fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+impl Ledger for RingLedger {
+    fn issue(&mut self, cmd: Cmd) {
+        RingLedger::issue(self, cmd);
+    }
+    fn wait(&mut self, mask: u32, now: u64) -> u64 {
+        RingLedger::wait(self, mask, now)
+    }
+    fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+/// The shared trace: `rounds` rounds, each issuing one command on each
+/// of 8 tags and waiting on a single round-robin tag, so up to ~64
+/// commands stay in flight — the steady state of a double-buffered
+/// streaming loop with several tag groups live at once.
+fn drive_ledger(rounds: u64, ledger: &mut impl Ledger) -> u64 {
+    const LIVE_TAGS: u64 = 8;
+    let mut id = 0u64;
+    let mut now = 0u64;
+    let mut acc = 0u64;
+    for round in 0..rounds {
+        for t in 0..LIVE_TAGS {
+            now += 3;
+            ledger.issue(Cmd {
+                id,
+                tag: t as u8,
+                complete_at: now + 100,
+            });
+            id += 1;
+        }
+        let tag = (round % LIVE_TAGS) as u8;
+        now = ledger.wait(1u32 << tag, now);
+        acc = acc.wrapping_add(now);
+    }
+    // Drain everything, as a teardown wait-all would.
+    now = ledger.wait(u32::MAX, now);
+    acc.wrapping_add(now).wrapping_add(ledger.checksum())
+}
+
+/// Runs the trace against the seed-style flat-`Vec` ledger.
+#[must_use]
+pub fn dma_ledger_legacy(rounds: u64) -> u64 {
+    drive_ledger(rounds, &mut VecLedger::new())
+}
+
+/// Runs the trace against the current-style per-tag-ring ledger.
+#[must_use]
+pub fn dma_ledger_rings(rounds: u64) -> u64 {
+    drive_ledger(rounds, &mut RingLedger::new())
+}
+
+// ---------------------------------------------------------------------
+// 2. Bulk byte transfer: to_vec-per-copy vs direct slice copy.
+// ---------------------------------------------------------------------
+
+/// A pair of memory regions plus a transfer size, reused across
+/// iterations so the kernels time the copy, not region setup.
+pub struct CopyRig {
+    src: MemoryRegion,
+    dst: MemoryRegion,
+    src_addr: Addr,
+    dst_addr: Addr,
+    len: u32,
+    scratch: Vec<u8>,
+}
+
+impl CopyRig {
+    /// Builds a rig transferring `len` bytes per step.
+    #[must_use]
+    pub fn new(len: u32) -> CopyRig {
+        let capacity = (len + 256).next_power_of_two().max(4096);
+        let mut src = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, capacity);
+        let dst = MemoryRegion::new(
+            SpaceId::local_store(0),
+            SpaceKind::LocalStore { accel: 0 },
+            capacity,
+        );
+        let src_addr = Addr::new(SpaceId::MAIN, 64);
+        let dst_addr = Addr::new(SpaceId::local_store(0), 64);
+        let payload: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+        src.write_bytes(src_addr, &payload).expect("fits");
+        CopyRig {
+            src,
+            dst,
+            src_addr,
+            dst_addr,
+            len,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        let bytes = self.dst.read_bytes(self.dst_addr, self.len).expect("fits");
+        bytes.iter().fold(0u64, |acc, &b| {
+            acc.wrapping_mul(31).wrapping_add(u64::from(b))
+        })
+    }
+
+    /// Seed-style transfer: materialise the source bytes as an owned
+    /// `Vec`, then write them — one heap allocation per copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rig's addresses fall outside the regions (they
+    /// cannot: `new` sizes the regions to fit).
+    #[must_use]
+    pub fn step_legacy(&mut self) -> u64 {
+        let data = self
+            .src
+            .read_bytes(self.src_addr, self.len)
+            .expect("fits")
+            .to_vec();
+        self.dst.write_bytes(self.dst_addr, &data).expect("fits");
+        self.checksum()
+    }
+
+    /// Current transfer: [`copy_between`]'s direct slice-to-slice copy.
+    ///
+    /// # Panics
+    ///
+    /// As for [`CopyRig::step_legacy`].
+    #[must_use]
+    pub fn step_new(&mut self) -> u64 {
+        copy_between(
+            &self.src,
+            self.src_addr,
+            &mut self.dst,
+            self.dst_addr,
+            self.len,
+        )
+        .expect("fits");
+        self.checksum()
+    }
+
+    /// Seed-style typed read: a fresh `Vec<u8>` per call, filled by the
+    /// per-element decode loop the seed `read_pod_slice` used.
+    ///
+    /// # Panics
+    ///
+    /// As for [`CopyRig::step_legacy`].
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // faithful replica of the seed's indexed decode loop
+    pub fn read_slice_legacy(&mut self) -> u64 {
+        let bytes = self.src.read_bytes(self.src_addr, self.len).expect("fits");
+        let mut out: Vec<u8> = Vec::with_capacity(self.len as usize);
+        for i in 0..self.len as usize {
+            out.push(u8::from_le_bytes([bytes[i]]));
+        }
+        out.iter()
+            .fold(0u64, |acc, &b| acc.wrapping_add(u64::from(b)))
+    }
+
+    /// Current typed read: refill one caller-owned scratch vector via
+    /// the bulk fast lane.
+    ///
+    /// # Panics
+    ///
+    /// As for [`CopyRig::step_legacy`].
+    #[must_use]
+    pub fn read_slice_new(&mut self) -> u64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.src
+            .read_pod_slice_into::<u8>(self.src_addr, self.len, &mut scratch)
+            .expect("fits");
+        let sum = scratch
+            .iter()
+            .fold(0u64, |acc, &b| acc.wrapping_add(u64::from(b)));
+        self.scratch = scratch;
+        sum
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. VM call path: pop-into-Vec + HashMap slots vs slice + flat slots.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum CallOp {
+    /// Call a function with this many arguments already on the stack.
+    Call { nargs: usize },
+    /// Start an async offload parked in this handle slot.
+    Spawn { slot: u16 },
+    /// Join the handle in this slot.
+    Join { slot: u16 },
+}
+
+/// The shared instruction trace: bursts of calls with 2–4 arguments
+/// interleaved with spawn/join pairs across a handful of handle slots,
+/// shaped like the inner loop of a compiled Offload/Mini program.
+fn call_trace(rounds: u64) -> impl Iterator<Item = CallOp> {
+    (0..rounds).flat_map(|round| {
+        let slot = (round % 6) as u16;
+        [
+            CallOp::Call { nargs: 2 },
+            CallOp::Call { nargs: 4 },
+            CallOp::Spawn { slot },
+            CallOp::Call { nargs: 3 },
+            CallOp::Join { slot },
+            CallOp::Call { nargs: 2 },
+        ]
+    })
+}
+
+/// Seed-style call path: arguments popped into a fresh reversed `Vec`
+/// per call, handles in a `HashMap<u16, u64>`.
+#[must_use]
+pub fn vm_call_path_legacy(rounds: u64) -> u64 {
+    let mut stack: Vec<u64> = Vec::with_capacity(64);
+    let mut pending: HashMap<u16, u64> = HashMap::new();
+    let mut acc = 0u64;
+    let mut ticket = 0u64;
+    stack.extend(0..8u64);
+    for op in call_trace(rounds) {
+        match op {
+            CallOp::Call { nargs } => {
+                let mut call_args = Vec::with_capacity(nargs);
+                for _ in 0..nargs {
+                    call_args.push(stack.pop().expect("argument"));
+                }
+                call_args.reverse();
+                // "Execute": fold the frame's locals and push a result.
+                let mut frame = 0u64;
+                for (i, &arg) in call_args.iter().enumerate() {
+                    frame = frame.wrapping_add(arg.rotate_left(i as u32));
+                }
+                acc = acc.wrapping_add(frame);
+                stack.push(frame);
+                while stack.len() < 8 {
+                    stack.push(acc);
+                }
+            }
+            CallOp::Spawn { slot } => {
+                ticket += 1;
+                pending.insert(slot, ticket);
+            }
+            CallOp::Join { slot } => {
+                let joined = pending.remove(&slot).expect("spawned");
+                acc = acc.wrapping_add(joined);
+            }
+        }
+    }
+    acc
+}
+
+/// Current call path: a stack split passes arguments as a borrowed
+/// slice (then truncates), handles in a flat slot vector.
+#[must_use]
+pub fn vm_call_path_sliced(rounds: u64) -> u64 {
+    let mut stack: Vec<u64> = Vec::with_capacity(64);
+    let mut pending: Vec<Option<u64>> = Vec::new();
+    let mut acc = 0u64;
+    let mut ticket = 0u64;
+    stack.extend(0..8u64);
+    for op in call_trace(rounds) {
+        match op {
+            CallOp::Call { nargs } => {
+                let split = stack.len() - nargs;
+                let mut frame = 0u64;
+                for (i, &arg) in stack[split..].iter().enumerate() {
+                    frame = frame.wrapping_add(arg.rotate_left(i as u32));
+                }
+                stack.truncate(split);
+                acc = acc.wrapping_add(frame);
+                stack.push(frame);
+                while stack.len() < 8 {
+                    stack.push(acc);
+                }
+            }
+            CallOp::Spawn { slot } => {
+                ticket += 1;
+                if pending.len() <= usize::from(slot) {
+                    pending.resize(usize::from(slot) + 1, None);
+                }
+                pending[usize::from(slot)] = Some(ticket);
+            }
+            CallOp::Join { slot } => {
+                let joined = pending[usize::from(slot)].take().expect("spawned");
+                acc = acc.wrapping_add(joined);
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_ledgers_agree() {
+        assert_eq!(dma_ledger_legacy(500), dma_ledger_rings(500));
+    }
+
+    #[test]
+    fn copy_kernels_agree() {
+        let mut rig = CopyRig::new(1024);
+        let a = rig.step_legacy();
+        let b = rig.step_new();
+        assert_eq!(a, b);
+        assert_eq!(rig.read_slice_legacy(), rig.read_slice_new());
+    }
+
+    #[test]
+    fn call_paths_agree() {
+        assert_eq!(vm_call_path_legacy(1000), vm_call_path_sliced(1000));
+    }
+}

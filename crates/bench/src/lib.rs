@@ -9,11 +9,15 @@
 //! depend on the cost model and are not the claim.
 //!
 //! Run `cargo run -p bench --bin paper_tables` for the full tables (add
-//! `--markdown` for EXPERIMENTS.md-ready output), or `cargo bench` for
-//! the Criterion wall-time benchmarks of the underlying kernels.
+//! `--markdown` for EXPERIMENTS.md-ready output), `cargo bench` for the
+//! wall-time suites of the underlying kernels, or `cargo run --release
+//! -p bench --bin bench_throughput` for the hot-path throughput report
+//! (`BENCH_throughput.json`).
 
 pub mod exp;
+pub mod hotpath;
 pub mod table;
+pub mod timing;
 
 pub use exp::run_all;
 pub use table::Table;

@@ -1,0 +1,116 @@
+//! A minimal wall-clock timing harness.
+//!
+//! The container has no external bench framework, so the wall-time
+//! suites roll their own: calibrate a batch size against a 5 ms probe,
+//! scale it to the requested budget, and time one contiguous run. Good
+//! enough for the ×1.5-style ratios the throughput suite reports; not a
+//! statistics package.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One timed kernel.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Label used in reports.
+    pub name: String,
+    /// Timed iterations (after warmup/calibration).
+    pub iters: u64,
+    /// Total wall time across all timed iterations.
+    pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    #[must_use]
+    pub fn nanos_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+
+    /// Iterations per second.
+    #[must_use]
+    pub fn iters_per_sec(&self) -> f64 {
+        self.iters as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// How many times faster `self` is than `other` (per-iteration).
+    #[must_use]
+    pub fn speedup_over(&self, other: &Measurement) -> f64 {
+        other.nanos_per_iter() / self.nanos_per_iter().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Times `f`, aiming to spend roughly `budget` of wall time on the
+/// measured run. The kernel's return value is [`black_box`]ed so the
+/// optimizer cannot delete the work.
+pub fn time<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
+    // Warmup, and a first estimate of per-iteration cost.
+    let mut batch: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let dt = start.elapsed();
+        if dt >= Duration::from_millis(5) || batch >= 1 << 28 {
+            break dt.as_secs_f64() / batch as f64;
+        }
+        batch *= 2;
+    };
+    // One contiguous measured run sized to the budget.
+    let iters = ((budget.as_secs_f64() / per_iter.max(1e-12)).ceil() as u64).clamp(1, 1 << 32);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    Measurement {
+        name: name.to_string(),
+        iters,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Formats a measurement as a fixed-width report row.
+#[must_use]
+pub fn row(m: &Measurement) -> String {
+    format!(
+        "{:<44} {:>12.1} ns/iter {:>14.0} iter/s ({} iters)",
+        m.name,
+        m.nanos_per_iter(),
+        m.iters_per_sec(),
+        m.iters
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_measures_something() {
+        let mut x = 0u64;
+        let m = time("spin", Duration::from_millis(10), || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(m.iters >= 1);
+        assert!(m.elapsed > Duration::ZERO);
+        assert!(m.nanos_per_iter() > 0.0);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_per_iter_costs() {
+        let fast = Measurement {
+            name: "fast".into(),
+            iters: 100,
+            elapsed: Duration::from_nanos(100),
+        };
+        let slow = Measurement {
+            name: "slow".into(),
+            iters: 100,
+            elapsed: Duration::from_nanos(300),
+        };
+        let ratio = fast.speedup_over(&slow);
+        assert!((ratio - 3.0).abs() < 1e-9, "{ratio}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Smoke test: the `paper_tables` binary runs end-to-end.
+//!
+//! Runs the real binary (not the library) at quick sizes and checks it
+//! exits cleanly with every experiment table present, so a broken CLI,
+//! a panicking experiment, or a dropped table shows up in `cargo test`
+//! rather than only when someone regenerates the tables by hand.
+
+use std::process::Command;
+
+#[test]
+fn quick_tables_run_end_to_end() {
+    let output = Command::new(env!("CARGO_BIN_EXE_paper_tables"))
+        .arg("--quick")
+        .output()
+        .expect("paper_tables binary runs");
+    assert!(
+        output.status.success(),
+        "paper_tables --quick failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("tables are UTF-8");
+    for exp in 1..=14 {
+        assert!(
+            stdout.contains(&format!("== E{exp}:")),
+            "table E{exp} missing from output:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("claim:"), "tables state the paper's claims");
+}
+
+#[test]
+fn experiment_filter_selects_a_single_table() {
+    let output = Command::new(env!("CARGO_BIN_EXE_paper_tables"))
+        .args(["--quick", "E10"])
+        .output()
+        .expect("paper_tables binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("tables are UTF-8");
+    assert!(stdout.contains("E10"), "requested table present:\n{stdout}");
+    assert!(
+        !stdout.contains("E11"),
+        "unrequested tables absent:\n{stdout}"
+    );
+}
+
+#[test]
+fn markdown_mode_emits_markdown_tables() {
+    let output = Command::new(env!("CARGO_BIN_EXE_paper_tables"))
+        .args(["--quick", "--markdown", "E1"])
+        .output()
+        .expect("paper_tables binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("tables are UTF-8");
+    assert!(
+        stdout.lines().any(|l| l.trim_start().starts_with('|')),
+        "markdown rows present:\n{stdout}"
+    );
+}

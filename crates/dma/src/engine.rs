@@ -286,10 +286,14 @@ pub struct DmaStats {
     pub misaligned: u64,
 }
 
-#[derive(Clone, Debug)]
-struct Inflight {
+/// One queued command: everything `wait`/`tag_busy` need to retire it.
+///
+/// The full [`DmaRequest`] is *not* kept here — the race checker holds
+/// the address ranges it needs, keyed by `id`, and completion tracking
+/// only needs the time.
+#[derive(Clone, Copy, Debug)]
+struct QueuedCmd {
     id: u64,
-    request: DmaRequest,
     complete_at: u64,
 }
 
@@ -339,7 +343,16 @@ pub struct DmaEngine {
     local_space: memspace::SpaceId,
     timing: DmaTiming,
     engine_free_at: u64,
-    inflight: Vec<Inflight>,
+    // One completion ring per tag. The engine streams commands serially
+    // (`admit` advances `engine_free_at` monotonically), so completion
+    // times are non-decreasing in issue order: each ring is sorted by
+    // construction and the latest completion under a tag is its back.
+    // `wait` is then O(tags-in-mask + commands-retired) instead of a
+    // scan of everything in flight, and the rings keep their capacity
+    // across retire/reissue (the free list), so steady-state issue and
+    // wait allocate nothing.
+    queues: [std::collections::VecDeque<QueuedCmd>; Tag::COUNT as usize],
+    inflight_count: usize,
     next_id: u64,
     stats: DmaStats,
     checker: RaceChecker,
@@ -358,7 +371,8 @@ impl DmaEngine {
             local_space,
             timing,
             engine_free_at: 0,
-            inflight: Vec::new(),
+            queues: std::array::from_fn(|_| std::collections::VecDeque::new()),
+            inflight_count: 0,
             next_id: 1,
             stats: DmaStats::default(),
             checker: RaceChecker::new(RaceMode::Record),
@@ -498,11 +512,8 @@ impl DmaEngine {
         let id = self.next_id;
         self.next_id += 1;
         self.checker.note_issue(id, &request, now);
-        self.inflight.push(Inflight {
-            id,
-            request,
-            complete_at,
-        });
+        self.queues[request.tag.raw() as usize].push_back(QueuedCmd { id, complete_at });
+        self.inflight_count += 1;
         now + self.timing.issue_cost
     }
 
@@ -513,18 +524,20 @@ impl DmaEngine {
     /// commands are retired.
     pub fn wait(&mut self, mask: TagMask, now: u64) -> u64 {
         let mut resume = now;
-        let mut retired = Vec::new();
-        self.inflight.retain(|t| {
-            if mask.contains(t.request.tag) {
-                resume = resume.max(t.complete_at);
-                retired.push(t.id);
-                false
-            } else {
-                true
+        let mut bits = mask.bits();
+        while bits != 0 {
+            let raw = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let queue = &mut self.queues[raw];
+            // The ring is completion-ordered, so the group's finish time
+            // is simply its newest command.
+            if let Some(last) = queue.back() {
+                resume = resume.max(last.complete_at);
             }
-        });
-        for id in retired {
-            self.checker.note_retire(id);
+            while let Some(cmd) = queue.pop_front() {
+                self.checker.note_retire(cmd.id);
+                self.inflight_count -= 1;
+            }
         }
         self.stats.stall_cycles += resume - now;
         resume
@@ -537,12 +550,12 @@ impl DmaEngine {
 
     /// Number of commands still in flight.
     pub fn inflight_len(&self) -> usize {
-        self.inflight.len()
+        self.inflight_count
     }
 
     /// Whether any command under `tag` is still in flight.
     pub fn tag_busy(&self, tag: Tag) -> bool {
-        self.inflight.iter().any(|t| t.request.tag == tag)
+        !self.queues[tag.raw() as usize].is_empty()
     }
 
     /// Records a direct core access to the local store so the race
@@ -577,7 +590,10 @@ mod tests {
     #[test]
     fn tag_validation() {
         assert!(Tag::new(31).is_ok());
-        assert!(matches!(Tag::new(32), Err(DmaError::InvalidTag { raw: 32 })));
+        assert!(matches!(
+            Tag::new(32),
+            Err(DmaError::InvalidTag { raw: 32 })
+        ));
     }
 
     #[test]
@@ -675,7 +691,9 @@ mod tests {
         let (mut main, mut ls, mut engine) = setup();
         let a = Addr::new(SpaceId::local_store(0), 0x100);
         let ra = Addr::new(SpaceId::MAIN, 0x1000);
-        engine.get(0, a, ra, 16, tag(1), &mut main, &mut ls).unwrap();
+        engine
+            .get(0, a, ra, 16, tag(1), &mut main, &mut ls)
+            .unwrap();
         engine
             .get(
                 0,
@@ -761,7 +779,15 @@ mod tests {
         let local = Addr::new(SpaceId::local_store(0), 0);
         let remote = Addr::new(SpaceId::MAIN, 0);
         let err = engine
-            .get(0, local, remote, MAX_TRANSFER + 1, tag(0), &mut main, &mut ls)
+            .get(
+                0,
+                local,
+                remote,
+                MAX_TRANSFER + 1,
+                tag(0),
+                &mut main,
+                &mut ls,
+            )
             .unwrap_err();
         assert!(matches!(err, DmaError::TransferTooLarge { .. }));
         let err = engine

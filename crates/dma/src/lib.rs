@@ -23,7 +23,9 @@ pub mod engine;
 pub mod race;
 pub mod static_check;
 
-pub use engine::{DmaDirection, DmaEngine, DmaError, DmaRequest, DmaStats, DmaTiming, Tag, TagMask};
+pub use engine::{
+    DmaDirection, DmaEngine, DmaError, DmaRequest, DmaStats, DmaTiming, Tag, TagMask,
+};
 pub use race::{AccessKind, RaceChecker, RaceKind, RaceMode, RaceReport};
 pub use static_check::{analyze_kernel, DmaKernel, KernelOp, StaticFinding, StaticFindingKind};
 

@@ -194,8 +194,8 @@ impl RaceChecker {
     ///
     /// Panics on detection in [`RaceMode::Panic`].
     pub fn note_issue(&mut self, id: u64, request: &DmaRequest, now: u64) {
-        let local = AddrRange::new(request.local, request.size)
-            .expect("engine validated the local range");
+        let local =
+            AddrRange::new(request.local, request.size).expect("engine validated the local range");
         let remote = AddrRange::new(request.remote, request.size)
             .expect("engine validated the remote range");
         let entry = Tracked {

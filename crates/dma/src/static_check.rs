@@ -19,8 +19,8 @@ use std::fmt;
 
 use memspace::AddrRange;
 
-use crate::race::{AccessKind, RaceChecker, RaceKind, RaceMode};
 use crate::engine::{DmaDirection, DmaRequest, Tag, TagMask};
+use crate::race::{AccessKind, RaceChecker, RaceKind, RaceMode};
 
 /// One operation in a DMA kernel.
 #[derive(Clone, Debug)]
@@ -139,7 +139,8 @@ struct Analyzer {
 /// Strips unrolling-iteration markers so the same source-level conflict
 /// reported from different unrolled copies deduplicates to one finding.
 fn strip_iterations(text: &str) -> String {
-    text.replace(" (iteration 1)", "").replace(" (iteration 2)", "")
+    text.replace(" (iteration 1)", "")
+        .replace(" (iteration 2)", "")
 }
 
 impl Analyzer {
@@ -432,15 +433,13 @@ mod tests {
     #[test]
     fn correct_single_buffered_loop_is_clean_except_exit() {
         let mut k = DmaKernel::new("loop_ok");
-        k.ops = vec![
-            KernelOp::Loop {
-                body: vec![
-                    get(ls(0x100, 64), main_r(0x1000, 64), 1),
-                    wait(1 << 1),
-                    read(ls(0x100, 64)),
-                ],
-            },
-        ];
+        k.ops = vec![KernelOp::Loop {
+            body: vec![
+                get(ls(0x100, 64), main_r(0x1000, 64), 1),
+                wait(1 << 1),
+                read(ls(0x100, 64)),
+            ],
+        }];
         assert!(analyze_kernel(&k).is_empty());
     }
 

@@ -203,8 +203,11 @@ pub fn ai_frame_offloaded_tiled(
             if count == 0 {
                 return Ok(());
             }
-            let table_slice =
-                ArrayAccessor::<u32>::fetch(ctx, candidate_table.element(begin * k, 4)?, count * k)?;
+            let table_slice = ArrayAccessor::<u32>::fetch(
+                ctx,
+                candidate_table.element(begin * k, 4)?,
+                count * k,
+            )?;
             let mut out =
                 ArrayAccessor::<GameEntity>::for_output(ctx, entities.addr_of(begin)?, count)?;
             for i in 0..count {
@@ -388,12 +391,8 @@ mod tests {
         let table = WorldGen::new(1)
             .candidate_table(&mut machine, 16, config.candidates)
             .unwrap();
-        assert!(
-            ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 0).is_err()
-        );
-        assert!(
-            ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 9).is_err()
-        );
+        assert!(ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 0).is_err());
+        assert!(ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 9).is_err());
     }
 
     #[test]

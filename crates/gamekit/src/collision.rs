@@ -219,12 +219,23 @@ pub fn respond_pairs_streamed(
         x.first == y.first || x.first == y.second || x.second == y.first || x.second == y.second
     };
 
-    let issue_gets = |ctx: &mut AccelCtx<'_>, slot: usize, pair: &CollisionPair| -> Result<(), SimError> {
-        let (buf_a, buf_b, tag) = slots[slot];
-        ctx.dma_get(buf_a, entities.addr_of(pair.first)?, GameEntity::STRIDE, tag)?;
-        ctx.dma_get(buf_b, entities.addr_of(pair.second)?, GameEntity::STRIDE, tag)?;
-        Ok(())
-    };
+    let issue_gets =
+        |ctx: &mut AccelCtx<'_>, slot: usize, pair: &CollisionPair| -> Result<(), SimError> {
+            let (buf_a, buf_b, tag) = slots[slot];
+            ctx.dma_get(
+                buf_a,
+                entities.addr_of(pair.first)?,
+                GameEntity::STRIDE,
+                tag,
+            )?;
+            ctx.dma_get(
+                buf_b,
+                entities.addr_of(pair.second)?,
+                GameEntity::STRIDE,
+                tag,
+            )?;
+            Ok(())
+        };
 
     // Prime slot 0.
     issue_gets(ctx, 0, &pairs[0])?;
@@ -237,8 +248,7 @@ pub fn respond_pairs_streamed(
         // entity would let this pair's write-back race the prefetch on
         // the entity's bytes in main memory; in that case the fetch is
         // deferred to after the write-back below.
-        let next_conflicts =
-            i + 1 < pairs.len() && shares_entity(&pairs[i], &pairs[i + 1]);
+        let next_conflicts = i + 1 < pairs.len() && shares_entity(&pairs[i], &pairs[i + 1]);
         if i + 1 < pairs.len() && !next_conflicts {
             ctx.dma_wait_tag(slots[nxt].2);
             issue_gets(ctx, nxt, &pairs[i + 1])?;
@@ -250,8 +260,18 @@ pub fn respond_pairs_streamed(
         ctx.compute(RESPONSE_COMPUTE);
         ctx.local_write_pod(buf_a, &a)?;
         ctx.local_write_pod(buf_b, &b)?;
-        ctx.dma_put(buf_a, entities.addr_of(pairs[i].first)?, GameEntity::STRIDE, tag)?;
-        ctx.dma_put(buf_b, entities.addr_of(pairs[i].second)?, GameEntity::STRIDE, tag)?;
+        ctx.dma_put(
+            buf_a,
+            entities.addr_of(pairs[i].first)?,
+            GameEntity::STRIDE,
+            tag,
+        )?;
+        ctx.dma_put(
+            buf_b,
+            entities.addr_of(pairs[i].second)?,
+            GameEntity::STRIDE,
+            tag,
+        )?;
         // Not waited here: the puts drain behind the next pair's work.
         if next_conflicts {
             // Deferred, ordered fetch: drain this pair's write-back (and
@@ -446,8 +466,14 @@ mod tests {
         assert_eq!(
             pairs,
             vec![
-                CollisionPair { first: 0, second: 1 },
-                CollisionPair { first: 2, second: 3 }
+                CollisionPair {
+                    first: 0,
+                    second: 1
+                },
+                CollisionPair {
+                    first: 2,
+                    second: 3
+                }
             ]
         );
     }

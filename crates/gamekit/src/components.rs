@@ -239,7 +239,11 @@ impl ComponentSystem {
     /// # Errors
     ///
     /// Fails when main memory is exhausted.
-    pub fn build(machine: &mut Machine, entities: u32, seed: u64) -> Result<ComponentSystem, SimError> {
+    pub fn build(
+        machine: &mut Machine,
+        entities: u32,
+        seed: u64,
+    ) -> Result<ComponentSystem, SimError> {
         let mut registry = ClassRegistry::new();
         let mut behaviors = MethodTable::new();
         let mut monolithic_domain = Domain::new();
@@ -352,7 +356,11 @@ impl ComponentSystem {
     /// The largest per-offload annotation count after restructuring
     /// (the paper's "maximum … is 40").
     pub fn max_specialised_annotations(&self) -> usize {
-        self.specialised_domains.iter().map(Domain::len).max().unwrap_or(0)
+        self.specialised_domains
+            .iter()
+            .map(Domain::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The class registry (for examples/diagnostics).
@@ -588,7 +596,9 @@ mod tests {
     fn monolithic_and_specialised_compute_identical_results() {
         let (mut m1, s1) = build(20);
         s1.update_monolithic_offloaded(&mut m1, 0).unwrap();
-        let r1 = s1.snapshot_canonical(&m1, SystemLayout::Monolithic).unwrap();
+        let r1 = s1
+            .snapshot_canonical(&m1, SystemLayout::Monolithic)
+            .unwrap();
 
         let (mut m2, s2) = build(20);
         s2.update_specialised_offloaded(&mut m2, 0).unwrap();
@@ -606,7 +616,9 @@ mod tests {
 
         let (mut m2, s2) = build(12);
         s2.update_monolithic_offloaded(&mut m2, 0).unwrap();
-        let r2 = s2.snapshot_canonical(&m2, SystemLayout::Monolithic).unwrap();
+        let r2 = s2
+            .snapshot_canonical(&m2, SystemLayout::Monolithic)
+            .unwrap();
         assert_eq!(r1, r2);
     }
 

@@ -131,7 +131,12 @@ impl EntityArray {
     /// # Errors
     ///
     /// Fails if `index` is out of bounds.
-    pub fn store(&self, machine: &mut Machine, index: u32, entity: &GameEntity) -> Result<(), SimError> {
+    pub fn store(
+        &self,
+        machine: &mut Machine,
+        index: u32,
+        entity: &GameEntity,
+    ) -> Result<(), SimError> {
         Ok(machine.main_mut().write_pod(self.addr_of(index)?, entity)?)
     }
 

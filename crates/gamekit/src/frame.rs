@@ -166,7 +166,14 @@ mod tests {
         let w1 = e1.snapshot(&m1).unwrap();
 
         let (mut m2, e2, t2) = setup(256);
-        run_frame(&mut m2, &e2, t2, &config, FrameSchedule::Offloaded { accel: 0 }).unwrap();
+        run_frame(
+            &mut m2,
+            &e2,
+            t2,
+            &config,
+            FrameSchedule::Offloaded { accel: 0 },
+        )
+        .unwrap();
         let w2 = e2.snapshot(&m2).unwrap();
         assert_eq!(w1, w2);
         assert_eq!(m2.races_detected(), 0);
@@ -179,7 +186,14 @@ mod tests {
         let seq = run_frame(&mut m1, &e1, t1, &config, FrameSchedule::Sequential).unwrap();
 
         let (mut m2, e2, t2) = setup(512);
-        let offl = run_frame(&mut m2, &e2, t2, &config, FrameSchedule::Offloaded { accel: 0 }).unwrap();
+        let offl = run_frame(
+            &mut m2,
+            &e2,
+            t2,
+            &config,
+            FrameSchedule::Offloaded { accel: 0 },
+        )
+        .unwrap();
 
         assert_eq!(seq.pairs, offl.pairs);
         assert!(
@@ -206,7 +220,14 @@ mod tests {
         let (mut m, e, t) = setup(128);
         let mut last = 0;
         for _ in 0..3 {
-            let stats = run_frame(&mut m, &e, t, &config, FrameSchedule::Offloaded { accel: 0 }).unwrap();
+            let stats = run_frame(
+                &mut m,
+                &e,
+                t,
+                &config,
+                FrameSchedule::Offloaded { accel: 0 },
+            )
+            .unwrap();
             assert!(stats.host_cycles > 0);
             assert!(m.host_now() > last);
             last = m.host_now();

@@ -4,9 +4,8 @@
 //! from one explicit seed.
 
 use memspace::Addr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simcell::{Machine, SimError};
+use xrng::Rng;
 
 use crate::entity::{state, EntityArray, GameEntity};
 use crate::math::Vec3;
@@ -30,22 +29,22 @@ use crate::math::Vec3;
 /// ```
 #[derive(Debug)]
 pub struct WorldGen {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl WorldGen {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> WorldGen {
         WorldGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
         }
     }
 
     fn vec_in_cube(&mut self, half: f32) -> Vec3 {
         Vec3::new(
-            self.rng.gen_range(-half..half),
-            self.rng.gen_range(-half..half),
-            self.rng.gen_range(-half..half),
+            self.rng.range_f32(-half, half),
+            self.rng.range_f32(-half, half),
+            self.rng.range_f32(-half, half),
         )
     }
 
@@ -69,10 +68,10 @@ impl WorldGen {
                 class: 0,
                 pos: self.vec_in_cube(world_size / 2.0),
                 vel: self.vec_in_cube(2.0),
-                radius: self.rng.gen_range(0.5..2.0),
-                health: self.rng.gen_range(10.0..100.0),
+                radius: self.rng.range_f32(0.5, 2.0),
+                health: self.rng.range_f32(10.0, 100.0),
                 state: state::IDLE,
-                target: self.rng.gen_range(0..n),
+                target: self.rng.below_u32(n),
                 pad: [0; 5],
             };
             entities.store(machine, i, &entity)?;
@@ -97,7 +96,7 @@ impl WorldGen {
         let table = machine.alloc_main_slice::<u32>(count * k)?;
         let mut values = Vec::with_capacity((count * k) as usize);
         for _ in 0..count * k {
-            values.push(self.rng.gen_range(0..count));
+            values.push(self.rng.below_u32(count));
         }
         machine.main_mut().write_pod_slice(table, &values)?;
         Ok(table)
@@ -120,10 +119,10 @@ impl WorldGen {
         let table = machine.alloc_main_slice::<u32>(pair_count * 2)?;
         let mut values = Vec::with_capacity((pair_count * 2) as usize);
         for _ in 0..pair_count {
-            let a = self.rng.gen_range(0..count);
-            let mut b = self.rng.gen_range(0..count);
+            let a = self.rng.below_u32(count);
+            let mut b = self.rng.below_u32(count);
             while b == a {
-                b = self.rng.gen_range(0..count);
+                b = self.rng.below_u32(count);
             }
             values.push(a);
             values.push(b);
@@ -137,17 +136,13 @@ impl WorldGen {
     /// the real game).
     pub fn permutation(&mut self, count: u32) -> Vec<u32> {
         let mut perm: Vec<u32> = (0..count).collect();
-        // Fisher–Yates.
-        for i in (1..count as usize).rev() {
-            let j = self.rng.gen_range(0..=i);
-            perm.swap(i, j);
-        }
+        self.rng.shuffle(&mut perm);
         perm
     }
 
     /// A random value in `[0, bound)`.
     pub fn index(&mut self, bound: u32) -> u32 {
-        self.rng.gen_range(0..bound)
+        self.rng.below_u32(bound)
     }
 }
 

@@ -43,6 +43,48 @@ pub trait Pod: Sized + Copy {
 
     /// Deserialises a value from the first [`Pod::SIZE`] bytes of `buf`.
     fn read_from(buf: &[u8]) -> Self;
+
+    /// Serialises a whole slice of values into `out` (packed, in order).
+    ///
+    /// The default walks the slice element by element; types whose wire
+    /// layout coincides with a raw byte copy (notably `u8`) override it
+    /// with a single `copy_from_slice` so bulk transfers take one memcpy
+    /// instead of a per-element loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `values.len() * SIZE`.
+    fn write_slice_to(values: &[Self], out: &mut [u8]) {
+        if Self::SIZE == 0 {
+            return;
+        }
+        for (value, chunk) in values.iter().zip(out.chunks_exact_mut(Self::SIZE)) {
+            value.write_to(chunk);
+        }
+    }
+
+    /// Deserialises `count` values from `buf`, appending them to `out`.
+    ///
+    /// The default walks the buffer element by element; `u8` overrides it
+    /// with a single `extend_from_slice`. Appending (rather than
+    /// returning a fresh `Vec`) lets callers reuse scratch buffers across
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than `count * SIZE`.
+    fn read_slice_into(buf: &[u8], count: usize, out: &mut Vec<Self>) {
+        out.reserve(count);
+        if Self::SIZE == 0 {
+            for _ in 0..count {
+                out.push(Self::read_from(&[]));
+            }
+            return;
+        }
+        for chunk in buf.chunks_exact(Self::SIZE).take(count) {
+            out.push(Self::read_from(chunk));
+        }
+    }
 }
 
 macro_rules! impl_pod_int {
@@ -66,7 +108,32 @@ macro_rules! impl_pod_int {
     };
 }
 
-impl_pod_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+impl_pod_int!(u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+// `u8` gets a hand-written impl so the slice paths become single
+// memcpys — the wire layout of a `u8` slice IS the byte slice. This is
+// the bulk fast lane every byte-level transfer (DMA staging, cache
+// fills, accessor fetches) bottoms out in.
+impl Pod for u8 {
+    const SIZE: usize = 1;
+    const ALIGN: usize = 1;
+
+    fn write_to(&self, out: &mut [u8]) {
+        out[0] = *self;
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        buf[0]
+    }
+
+    fn write_slice_to(values: &[Self], out: &mut [u8]) {
+        out[..values.len()].copy_from_slice(values);
+    }
+
+    fn read_slice_into(buf: &[u8], count: usize, out: &mut Vec<Self>) {
+        out.extend_from_slice(&buf[..count]);
+    }
+}
 
 impl Pod for bool {
     const SIZE: usize = 1;
@@ -270,5 +337,41 @@ mod tests {
     fn short_buffer_panics() {
         let mut buf = [0u8; 2];
         0u32.write_to(&mut buf);
+    }
+
+    #[test]
+    fn slice_paths_match_element_paths() {
+        let values = [0x1122u16, 0x3344, 0x5566];
+        let mut bulk = [0u8; 6];
+        u16::write_slice_to(&values, &mut bulk);
+        let mut by_element = [0u8; 6];
+        for (i, v) in values.iter().enumerate() {
+            v.write_to(&mut by_element[i * 2..i * 2 + 2]);
+        }
+        assert_eq!(bulk, by_element);
+
+        let mut back = Vec::new();
+        u16::read_slice_into(&bulk, 3, &mut back);
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn u8_slice_paths_are_plain_copies() {
+        let bytes = [9u8, 8, 7, 6];
+        let mut out = [0u8; 4];
+        u8::write_slice_to(&bytes, &mut out);
+        assert_eq!(out, bytes);
+        let mut back = vec![1u8]; // appends, does not clear
+        u8::read_slice_into(&out, 3, &mut back);
+        assert_eq!(back, [1, 9, 8, 7]);
+    }
+
+    #[test]
+    fn zero_sized_pod_slices_are_safe() {
+        let values = [Empty {}, Empty {}];
+        Empty::write_slice_to(&values, &mut []);
+        let mut out = Vec::new();
+        Empty::read_slice_into(&[], 2, &mut out);
+        assert_eq!(out.len(), 2);
     }
 }

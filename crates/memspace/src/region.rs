@@ -176,6 +176,24 @@ impl MemoryRegion {
     ///
     /// As for [`MemoryRegion::read_bytes`].
     pub fn read_pod_slice<T: Pod>(&self, addr: Addr, count: u32) -> Result<Vec<T>, MemError> {
+        let mut out = Vec::with_capacity(count as usize);
+        self.read_pod_slice_into(addr, count, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `count` consecutive typed values starting at `addr`,
+    /// appending them to `out`. Lets hot loops reuse one scratch `Vec`
+    /// (clear + refill) instead of allocating a fresh one per call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryRegion::read_bytes`].
+    pub fn read_pod_slice_into<T: Pod>(
+        &self,
+        addr: Addr,
+        count: u32,
+        out: &mut Vec<T>,
+    ) -> Result<(), MemError> {
         let total = (T::SIZE as u32)
             .checked_mul(count)
             .ok_or(MemError::AddressOverflow {
@@ -184,14 +202,15 @@ impl MemoryRegion {
                 delta: u32::MAX,
             })?;
         let at = self.check(addr, total)?;
-        let mut out = Vec::with_capacity(count as usize);
-        for i in 0..count as usize {
-            out.push(T::read_from(&self.bytes[at + i * T::SIZE..at + (i + 1) * T::SIZE]));
-        }
-        Ok(out)
+        T::read_slice_into(&self.bytes[at..at + total as usize], count as usize, out);
+        Ok(())
     }
 
     /// Writes consecutive typed values starting at `addr`.
+    ///
+    /// One bounds check, then the type's bulk serialiser — a single
+    /// `copy_from_slice` for byte-layout types rather than a
+    /// per-element loop.
     ///
     /// # Errors
     ///
@@ -199,9 +218,7 @@ impl MemoryRegion {
     pub fn write_pod_slice<T: Pod>(&mut self, addr: Addr, values: &[T]) -> Result<(), MemError> {
         let total = (T::SIZE * values.len()) as u32;
         let at = self.check(addr, total)?;
-        for (i, v) in values.iter().enumerate() {
-            v.write_to(&mut self.bytes[at + i * T::SIZE..at + (i + 1) * T::SIZE]);
-        }
+        T::write_slice_to(values, &mut self.bytes[at..at + total as usize]);
         Ok(())
     }
 
@@ -311,8 +328,14 @@ pub fn copy_between(
     dst_addr: Addr,
     len: u32,
 ) -> Result<(), MemError> {
-    let data = src.read_bytes(src_addr, len)?.to_vec();
-    dst.write_bytes(dst_addr, &data)
+    // Check both sides first, then copy directly region-to-region: this
+    // runs on every simulated DMA transfer, so it must not bounce the
+    // payload through a temporary allocation.
+    let src_at = src.check(src_addr, len)?;
+    let dst_at = dst.check(dst_addr, len)?;
+    dst.bytes[dst_at..dst_at + len as usize]
+        .copy_from_slice(&src.bytes[src_at..src_at + len as usize]);
+    Ok(())
 }
 
 impl fmt::Debug for MemoryRegion {
@@ -345,7 +368,10 @@ mod tests {
     #[test]
     fn fresh_region_is_zeroed() {
         let m = region();
-        assert_eq!(m.read_bytes(Addr::new(SpaceId::MAIN, 0), 16).unwrap(), &[0; 16]);
+        assert_eq!(
+            m.read_bytes(Addr::new(SpaceId::MAIN, 0), 16).unwrap(),
+            &[0; 16]
+        );
     }
 
     #[test]
@@ -395,6 +421,19 @@ mod tests {
         let values = [1.0f32, 2.0, 3.0, 4.0];
         m.write_pod_slice(addr, &values).unwrap();
         assert_eq!(m.read_pod_slice::<f32>(addr, 4).unwrap(), values);
+    }
+
+    #[test]
+    fn pod_slice_into_reuses_scratch() {
+        let mut m = region();
+        let addr = Addr::new(SpaceId::MAIN, 64);
+        m.write_pod_slice(addr, &[10u32, 20, 30]).unwrap();
+        let mut scratch: Vec<u32> = Vec::with_capacity(8);
+        m.read_pod_slice_into(addr, 3, &mut scratch).unwrap();
+        assert_eq!(scratch, [10, 20, 30]);
+        scratch.clear();
+        m.read_pod_slice_into(addr, 2, &mut scratch).unwrap();
+        assert_eq!(scratch, [10, 20]);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::ast::{self, BinOp, Expr, Stmt, UnOp};
-use crate::bytecode::{Cmp, DomainId, FuncBody, FuncId, Instr, SpaceTag, ValType, VmClass, VmDomain};
+use crate::bytecode::{
+    Cmp, DomainId, FuncBody, FuncId, Instr, SpaceTag, ValType, VmClass, VmDomain,
+};
 use crate::compile::{CompileStats, Program, Target, WordStrategy};
 use crate::diag::{CompileError, ErrorKind};
 use crate::span::Span;
@@ -184,7 +186,11 @@ impl<'t> Compiler<'t> {
         self.collect_functions(source)?;
         self.compile_host_world()?;
         let main_ast = *self.free_fns.get("main").ok_or_else(|| {
-            err(ErrorKind::Resolve, Span::point(0), "missing `fn main() -> int`")
+            err(
+                ErrorKind::Resolve,
+                Span::point(0),
+                "missing `fn main() -> int`",
+            )
         })?;
         let main_def = &self.fn_asts[main_ast].def;
         if !main_def.params.is_empty() {
@@ -294,10 +300,16 @@ impl<'t> Compiler<'t> {
                 return Err(err(
                     ErrorKind::Resolve,
                     field.span,
-                    format!("field `{}` shadows an inherited or duplicate field", field.name),
+                    format!(
+                        "field `{}` shadows an inherited or duplicate field",
+                        field.name
+                    ),
                 ));
             }
-            decls.push((field.name.clone(), self.types.lower(&field.ty, Space::Host)?));
+            decls.push((
+                field.name.clone(),
+                self.types.lower(&field.ty, Space::Host)?,
+            ));
         }
         let (own, size, align) = self.types.layout_fields(start, &decls);
         fields.extend(own);
@@ -442,7 +454,8 @@ impl<'t> Compiler<'t> {
                 let align = self.types.align_of(&ty).max(4);
                 let offset = memspace::align_up(self.globals_size, align);
                 self.globals_size = offset + self.types.size_of(&ty);
-                self.globals.insert(def.name.clone(), GlobalVar { offset, ty });
+                self.globals
+                    .insert(def.name.clone(), GlobalVar { offset, ty });
             }
         }
         Ok(())
@@ -636,11 +649,7 @@ impl<'t> Compiler<'t> {
         self.block(&mut fx, &def.body)?;
         fx.emit(Instr::Ret { has_value: false });
 
-        let sig: Vec<String> = key
-            .params
-            .iter()
-            .map(|t| self.types.display(t))
-            .collect();
+        let sig: Vec<String> = key.params.iter().map(|t| self.types.display(t)).collect();
         let variant_name = format!(
             "{}{}({})",
             def.name,
@@ -796,12 +805,7 @@ impl<'t> Compiler<'t> {
 
     /// Checks that `value` may be stored into a declared `target` type
     /// (spaces, units, shapes, numeric coercions).
-    fn check_assign(
-        &self,
-        target: &Type,
-        value: &ExprVal,
-        span: Span,
-    ) -> Result<(), CompileError> {
+    fn check_assign(&self, target: &Type, value: &ExprVal, span: Span) -> Result<(), CompileError> {
         // Numeric coercion.
         if (target == &Type::Char && value.ty == Type::Int)
             || (target == &Type::Int && value.ty == Type::Char)
@@ -962,7 +966,11 @@ impl<'t> Compiler<'t> {
                 let top = fx.here();
                 let c = self.expr(fx, cond)?;
                 if c.ty != Type::Bool {
-                    return Err(err(ErrorKind::Type, *span, "`while` condition must be bool"));
+                    return Err(err(
+                        ErrorKind::Type,
+                        *span,
+                        "`while` condition must be bool",
+                    ));
                 }
                 let jf = fx.emit(Instr::JumpIfFalse(0));
                 self.block(fx, body)?;
@@ -1078,10 +1086,13 @@ impl<'t> Compiler<'t> {
                         "aggregate initialisers are not supported; declare then assign fields",
                     ));
                 }
-                fx.scopes
-                    .last_mut()
-                    .expect("function scope")
-                    .insert(name.to_string(), LocalVar { offset, ty: adopted.clone() });
+                fx.scopes.last_mut().expect("function scope").insert(
+                    name.to_string(),
+                    LocalVar {
+                        offset,
+                        ty: adopted.clone(),
+                    },
+                );
                 adopted
             }
             None => {
@@ -1093,10 +1104,13 @@ impl<'t> Compiler<'t> {
                     ));
                 }
                 let offset = self.alloc_slot(fx, &declared);
-                fx.scopes
-                    .last_mut()
-                    .expect("function scope")
-                    .insert(name.to_string(), LocalVar { offset, ty: declared.clone() });
+                fx.scopes.last_mut().expect("function scope").insert(
+                    name.to_string(),
+                    LocalVar {
+                        offset,
+                        ty: declared.clone(),
+                    },
+                );
                 declared
             }
         };
@@ -1198,10 +1212,7 @@ impl<'t> Compiler<'t> {
                     err(
                         ErrorKind::Resolve,
                         entry.span,
-                        format!(
-                            "class `{}` has no method `{}`",
-                            entry.class, entry.method
-                        ),
+                        format!("class `{}` has no method `{}`", entry.class, entry.method),
                     )
                 })?;
             if !self.types.methods[method].is_virtual {
@@ -1253,11 +1264,7 @@ impl<'t> Compiler<'t> {
 
         // Compile the body as a synthetic accelerator function whose
         // parameters are the captures.
-        let enclosing: Vec<String> = fx
-            .scopes
-            .iter()
-            .flat_map(|s| s.keys().cloned())
-            .collect();
+        let enclosing: Vec<String> = fx.scopes.iter().flat_map(|s| s.keys().cloned()).collect();
         let mut ox = FnCtx {
             accel: true,
             space_here: Space::Local,
@@ -1306,7 +1313,11 @@ impl<'t> Compiler<'t> {
                 if s != slot {
                     continue;
                 }
-                let self_space = if dup & 1 != 0 { Space::Host } else { Space::Local };
+                let self_space = if dup & 1 != 0 {
+                    Space::Host
+                } else {
+                    Space::Local
+                };
                 let accel_fn =
                     self.compile_method_variant(entry.method, true, self_space, Some(dup))?;
                 self.domains[domain_id.0 as usize].add(host_fn, dup, accel_fn);
@@ -1406,9 +1417,10 @@ impl<'t> Compiler<'t> {
                 let base_val_ty = self.peek_type(fx, base)?;
                 if let Type::Ptr { pointee, space, .. } = base_val_ty {
                     let v = self.expr(fx, base)?;
-                    let info = self.types.field_of(&pointee, field).ok_or_else(|| {
-                        self.no_field_err(&pointee, field, *span)
-                    })?;
+                    let info = self
+                        .types
+                        .field_of(&pointee, field)
+                        .ok_or_else(|| self.no_field_err(&pointee, field, *span))?;
                     fx.emit(Instr::PtrAddConst(info.offset as i32));
                     let word = self.combine_const(v.word, i64::from(info.offset));
                     return Ok(PlaceVal::Mem {
@@ -1432,35 +1444,32 @@ impl<'t> Compiler<'t> {
                             word,
                         })
                     }
-                    PlaceVal::Slot { ty, .. } => {
-                        Err(self.no_field_err(&ty, field, *span))
-                    }
+                    PlaceVal::Slot { ty, .. } => Err(self.no_field_err(&ty, field, *span)),
                 }
             }
             Expr::Index { base, index, span } => {
                 let base_val_ty = self.peek_type(fx, base)?;
-                let (elem, space, base_word) = if let Type::Ptr { pointee, space, .. } =
-                    base_val_ty.clone()
-                {
-                    let v = self.expr(fx, base)?;
-                    (*pointee, space, v.word)
-                } else {
-                    let place = self.place(fx, base)?;
-                    match place {
-                        PlaceVal::Mem {
-                            ty: Type::Array { elem, .. },
-                            space,
-                            word,
-                        } => (*elem, space, word),
-                        PlaceVal::Mem { ty, .. } | PlaceVal::Slot { ty, .. } => {
-                            return Err(err(
-                                ErrorKind::Type,
-                                *span,
-                                format!("cannot index `{}`", self.types.display(&ty)),
-                            ))
+                let (elem, space, base_word) =
+                    if let Type::Ptr { pointee, space, .. } = base_val_ty.clone() {
+                        let v = self.expr(fx, base)?;
+                        (*pointee, space, v.word)
+                    } else {
+                        let place = self.place(fx, base)?;
+                        match place {
+                            PlaceVal::Mem {
+                                ty: Type::Array { elem, .. },
+                                space,
+                                word,
+                            } => (*elem, space, word),
+                            PlaceVal::Mem { ty, .. } | PlaceVal::Slot { ty, .. } => {
+                                return Err(err(
+                                    ErrorKind::Type,
+                                    *span,
+                                    format!("cannot index `{}`", self.types.display(&ty)),
+                                ))
+                            }
                         }
-                    }
-                };
+                    };
                 let stride = self.types.size_of(&elem);
                 let word = if let Some(k) = const_int(index) {
                     fx.emit(Instr::PtrAddConst((k as i32).wrapping_mul(stride as i32)));
@@ -1563,7 +1572,9 @@ impl<'t> Compiler<'t> {
                 }
             }
             Expr::Call { callee, .. } => match self.free_fns.get(callee) {
-                Some(&idx) => self.types.lower(&self.fn_asts[idx].def.ret.clone(), Space::Host)?,
+                Some(&idx) => self
+                    .types
+                    .lower(&self.fn_asts[idx].def.ret.clone(), Space::Host)?,
                 None => Type::Void,
             },
             Expr::MethodCall { recv, method, .. } => {
@@ -1596,7 +1607,10 @@ impl<'t> Compiler<'t> {
                 fx.emit(Instr::ConstB(*v));
                 Ok(ExprVal::plain(Type::Bool))
             }
-            Expr::Var(_, span) | Expr::Field { span, .. } | Expr::Index { span, .. } | Expr::Deref { span, .. } => {
+            Expr::Var(_, span)
+            | Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Deref { span, .. } => {
                 let place = self.place(fx, expr)?;
                 match place {
                     PlaceVal::Slot { offset, ty } => {
@@ -1734,7 +1748,12 @@ impl<'t> Compiler<'t> {
         let lhs_ty = self.peek_type(fx, lhs)?;
         if lhs_ty.is_ptr() && matches!(op, BinOp::Add | BinOp::Sub) {
             let p = self.expr(fx, lhs)?;
-            let Type::Ptr { pointee, space, unit } = p.ty.clone() else {
+            let Type::Ptr {
+                pointee,
+                space,
+                unit,
+            } = p.ty.clone()
+            else {
                 unreachable!("peeked as pointer");
             };
             let stride = self.types.size_of(&pointee);
@@ -1836,7 +1855,11 @@ impl<'t> Compiler<'t> {
             _ => unreachable!("comparisons handled above"),
         };
         fx.emit(instr);
-        Ok(ExprVal::plain(if both_int { Type::Int } else { Type::Float }))
+        Ok(ExprVal::plain(if both_int {
+            Type::Int
+        } else {
+            Type::Float
+        }))
     }
 
     fn expr_call(
@@ -1881,11 +1904,7 @@ impl<'t> Compiler<'t> {
                     }
                     _ => {
                         if v.ty != Type::Float {
-                            return Err(err(
-                                ErrorKind::Type,
-                                span,
-                                "`float_to_int` needs a float",
-                            ));
+                            return Err(err(ErrorKind::Type, span, "`float_to_int` needs a float"));
                         }
                         fx.emit(Instr::F2I);
                         Ok(ExprVal::plain(Type::Int))
@@ -2001,7 +2020,10 @@ impl<'t> Compiler<'t> {
             self.check_assign(&adopted, &v, arg.span())?;
             if adopted.is_ptr() {
                 ptr_index += 1;
-                if let Type::Ptr { space: Space::Host, .. } = adopted {
+                if let Type::Ptr {
+                    space: Space::Host, ..
+                } = adopted
+                {
                     dup |= 1 << ptr_index;
                 }
             }
@@ -2052,14 +2074,10 @@ fn adopt_spaces(declared: &Type, found: &Type) -> Type {
     match (declared, found) {
         (
             Type::Ptr {
-                pointee: dp,
-                unit,
-                ..
+                pointee: dp, unit, ..
             },
             Type::Ptr {
-                pointee: fp,
-                space,
-                ..
+                pointee: fp, space, ..
             },
         ) => Type::Ptr {
             pointee: Box::new(adopt_spaces(dp, fp)),

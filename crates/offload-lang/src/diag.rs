@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn render_points_at_the_column() {
         let src = "let x: int = true;";
-        let err = CompileError::new(ErrorKind::Type, Span::new(13, 17), "expected int, found bool");
+        let err = CompileError::new(
+            ErrorKind::Type,
+            Span::new(13, 17),
+            "expected int, found bool",
+        );
         let rendered = err.render(src);
         assert!(rendered.contains("1:14"));
         assert!(rendered.contains("let x: int = true;"));

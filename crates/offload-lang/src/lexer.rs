@@ -42,7 +42,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                 j += 1;
             }
             let mut is_float = false;
-            if j < bytes.len() && bytes[j] == b'.' && j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit()
+            if j < bytes.len()
+                && bytes[j] == b'.'
+                && j + 1 < bytes.len()
+                && bytes[j + 1].is_ascii_digit()
             {
                 is_float = true;
                 j += 1;

@@ -742,15 +742,11 @@ mod tests {
             panic!()
         };
         match &f.params[0].ty {
-            TypeExpr::Ptr {
-                byte_addressed, ..
-            } => assert!(!byte_addressed),
+            TypeExpr::Ptr { byte_addressed, .. } => assert!(!byte_addressed),
             other => panic!("unexpected {other:?}"),
         }
         match &f.params[1].ty {
-            TypeExpr::Ptr {
-                byte_addressed, ..
-            } => assert!(byte_addressed),
+            TypeExpr::Ptr { byte_addressed, .. } => assert!(byte_addressed),
             other => panic!("unexpected {other:?}"),
         }
         match &f.params[2].ty {
@@ -807,16 +803,32 @@ mod tests {
             panic!()
         };
         // ((1 + (2*3)) < 4 && true) || false
-        let Expr::Binary { op: BinOp::Or, lhs, .. } = expr else {
+        let Expr::Binary {
+            op: BinOp::Or, lhs, ..
+        } = expr
+        else {
             panic!("top is ||: {expr:?}")
         };
-        let Expr::Binary { op: BinOp::And, lhs, .. } = &**lhs else {
+        let Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = &**lhs
+        else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::Lt, lhs, .. } = &**lhs else {
+        let Expr::Binary {
+            op: BinOp::Lt, lhs, ..
+        } = &**lhs
+        else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = &**lhs else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &**lhs
+        else {
             panic!()
         };
         assert!(matches!(&**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -829,7 +841,13 @@ mod tests {
         let Item::Func(f) = &prog.items[0] else {
             panic!()
         };
-        assert!(matches!(&f.body.stmts[0], Stmt::Expr { expr: Expr::MethodCall { .. }, .. }));
+        assert!(matches!(
+            &f.body.stmts[0],
+            Stmt::Expr {
+                expr: Expr::MethodCall { .. },
+                ..
+            }
+        ));
         match &f.body.stmts[1] {
             Stmt::Assign { target, value, .. } => {
                 assert!(matches!(target, Expr::Deref { .. }));

@@ -340,11 +340,7 @@ impl TypeTable {
     /// # Errors
     ///
     /// Fails on unknown type names.
-    pub fn lower(
-        &self,
-        texpr: &ast::TypeExpr,
-        default_space: Space,
-    ) -> Result<Type, CompileError> {
+    pub fn lower(&self, texpr: &ast::TypeExpr, default_space: Space) -> Result<Type, CompileError> {
         match texpr {
             ast::TypeExpr::Named(name, span) => match name.as_str() {
                 "int" => Ok(Type::Int),

@@ -16,6 +16,16 @@
 //! and charge nothing extra); word-addressing penalties from the
 //! compiler (paper §5); virtual calls the header read plus `vcall` plus
 //! — on the accelerator — the Figure 3 domain search costs.
+//!
+//! # Hot-path discipline
+//!
+//! The interpreter loop is allocation-free in steady state: function and
+//! method names are interned as [`FuncId`]s at compile time, call
+//! arguments move via slices of the value stack (never through temporary
+//! `Vec`s), `CopyMem` reuses one scratch buffer, and asynchronous
+//! offload handles live in a flat slot vector rather than a hash map.
+//! `String`s only materialise on the cold error paths that terminate
+//! execution (where the id is resolved back to its interned name).
 
 use memspace::{Addr, SpaceId};
 use simcell::{AccelCtx, CostModel, Machine, SimError};
@@ -172,7 +182,7 @@ trait Env {
         vm: &mut Vm<'_>,
         func: FuncId,
         domain: DomainId,
-        args: Vec<Value>,
+        args: &[Value],
     ) -> Result<(), VmError>;
     /// Launches an asynchronous offload under a handle slot (host only).
     fn exec_offload_async(
@@ -181,7 +191,7 @@ trait Env {
         func: FuncId,
         domain: DomainId,
         slot: u16,
-        args: Vec<Value>,
+        args: &[Value],
     ) -> Result<(), VmError>;
     /// Joins the offload registered under `slot` (host only).
     fn exec_join(&mut self, slot: u16) -> Result<(), VmError>;
@@ -189,8 +199,12 @@ trait Env {
 
 struct HostEnv<'a> {
     machine: &'a mut Machine,
-    /// In-flight asynchronous offloads by handle slot.
-    pending: std::collections::HashMap<u16, simcell::OffloadHandle<Result<(), VmError>>>,
+    /// In-flight asynchronous offloads, indexed directly by handle slot.
+    /// Handle slots are small dense compiler-assigned integers, so a flat
+    /// slot vector replaces the former `HashMap<u16, _>`: no hashing on
+    /// the dispatch path, and the vector's capacity is reused across
+    /// launch/join cycles.
+    pending: Vec<Option<simcell::OffloadHandle<Result<(), VmError>>>>,
     /// Round-robin accelerator assignment for asynchronous offloads.
     next_accel: u16,
 }
@@ -199,16 +213,17 @@ impl<'a> HostEnv<'a> {
     fn new(machine: &'a mut Machine) -> HostEnv<'a> {
         HostEnv {
             machine,
-            pending: std::collections::HashMap::new(),
+            pending: Vec::new(),
             next_accel: 0,
         }
     }
 
     /// Joins every still-pending offload (end of `main`).
     fn drain(&mut self) -> Result<(), VmError> {
-        let slots: Vec<u16> = self.pending.keys().copied().collect();
-        for slot in slots {
-            self.exec_join(slot)?;
+        for slot in 0..self.pending.len() {
+            if self.pending[slot].is_some() {
+                self.exec_join(slot as u16)?;
+            }
         }
         Ok(())
     }
@@ -229,7 +244,10 @@ impl Env for HostEnv<'_> {
 
     fn read(&mut self, addr: Addr, out: &mut [u8], in_frame: bool) -> Result<(), VmError> {
         if in_frame {
-            self.machine.main().read_into(addr, out).map_err(SimError::from)?;
+            self.machine
+                .main()
+                .read_into(addr, out)
+                .map_err(SimError::from)?;
             Ok(())
         } else {
             Ok(self.machine.host_read_bytes(addr, out)?)
@@ -257,7 +275,7 @@ impl Env for HostEnv<'_> {
         vm: &mut Vm<'_>,
         func: FuncId,
         domain: DomainId,
-        args: Vec<Value>,
+        args: &[Value],
     ) -> Result<(), VmError> {
         let policy = vm.cache_policy;
         self.machine
@@ -271,17 +289,20 @@ impl Env for HostEnv<'_> {
         func: FuncId,
         domain: DomainId,
         slot: u16,
-        args: Vec<Value>,
+        args: &[Value],
     ) -> Result<(), VmError> {
         let policy = vm.cache_policy;
         // Asynchronous offloads round-robin over the accelerators, so
         // several language-level handles genuinely overlap.
         let accel = self.next_accel;
         self.next_accel = (self.next_accel + 1) % self.machine.accel_count();
-        let handle = self
-            .machine
-            .offload(accel, |ctx| vm.run_on_accel(ctx, func, domain, policy, args))?;
-        if let Some(stale) = self.pending.insert(slot, handle) {
+        let handle = self.machine.offload(accel, |ctx| {
+            vm.run_on_accel(ctx, func, domain, policy, args)
+        })?;
+        if usize::from(slot) >= self.pending.len() {
+            self.pending.resize_with(usize::from(slot) + 1, || None);
+        }
+        if let Some(stale) = self.pending[usize::from(slot)].replace(handle) {
             // Rebinding a live handle implicitly joins the old offload
             // (matching scoped handle semantics).
             self.machine.join(stale)?;
@@ -292,7 +313,8 @@ impl Env for HostEnv<'_> {
     fn exec_join(&mut self, slot: u16) -> Result<(), VmError> {
         let handle = self
             .pending
-            .remove(&slot)
+            .get_mut(usize::from(slot))
+            .and_then(Option::take)
             .ok_or(VmError::InvalidJoin { slot })?;
         self.machine.join(handle)
     }
@@ -352,7 +374,7 @@ impl Env for AccelEnv<'_, '_> {
         _vm: &mut Vm<'_>,
         _func: FuncId,
         _domain: DomainId,
-        _args: Vec<Value>,
+        _args: &[Value],
     ) -> Result<(), VmError> {
         unreachable!("the compiler rejects nested offload blocks")
     }
@@ -363,7 +385,7 @@ impl Env for AccelEnv<'_, '_> {
         _func: FuncId,
         _domain: DomainId,
         _slot: u16,
-        _args: Vec<Value>,
+        _args: &[Value],
     ) -> Result<(), VmError> {
         unreachable!("the compiler rejects nested offload blocks")
     }
@@ -393,6 +415,9 @@ pub struct Vm<'p> {
     cache_policy: OffloadCachePolicy,
     /// Instructions executed so far.
     executed: u64,
+    /// Reusable byte buffer for `CopyMem`, so struct copies don't
+    /// allocate per instruction.
+    copy_scratch: Vec<u8>,
 }
 
 impl<'p> Vm<'p> {
@@ -413,6 +438,7 @@ impl<'p> Vm<'p> {
             fuel: 500_000_000,
             cache_policy: OffloadCachePolicy::default(),
             executed: 0,
+            copy_scratch: Vec::new(),
         })
     }
 
@@ -445,7 +471,7 @@ impl<'p> Vm<'p> {
         let main = self.program.main;
         let mut env = HostEnv::new(machine);
         let stack = self.host_stack;
-        let result = self.exec(&mut env, main, Vec::new(), stack, HOST_STACK, None)?;
+        let result = self.exec(&mut env, main, &[], stack, HOST_STACK, None)?;
         env.drain()?;
         match result {
             Some(Value::I(code)) => Ok(code),
@@ -460,7 +486,7 @@ impl<'p> Vm<'p> {
         func: FuncId,
         domain: DomainId,
         policy: OffloadCachePolicy,
-        args: Vec<Value>,
+        args: &[Value],
     ) -> Result<(), VmError> {
         let stack = ctx.alloc_local(ACCEL_STACK, 16)?;
         let cache = match policy {
@@ -527,7 +553,7 @@ impl<'p> Vm<'p> {
         &mut self,
         env: &mut impl Env,
         entry: FuncId,
-        args: Vec<Value>,
+        args: &[Value],
         stack_base: Addr,
         stack_size: u32,
         domain: Option<DomainId>,
@@ -537,7 +563,10 @@ impl<'p> Vm<'p> {
         let mut frames: Vec<Frame> = Vec::new();
         let mut stack_top = 0u32;
 
-        // Pushes a frame for `func`, consuming `args`.
+        // Pushes a frame for `func`, copying arguments from a `&[Value]`
+        // slice. Call sites pass a view of the value stack's tail and
+        // truncate afterwards, so calls move no values through temporary
+        // heap storage.
         macro_rules! push_frame {
             ($func:expr, $args:expr, $domain:expr) => {{
                 let body = self.program.func($func);
@@ -547,7 +576,7 @@ impl<'p> Vm<'p> {
                 }
                 stack_top += body.frame_size;
                 env.compute(cost.branch);
-                for (i, value) in $args.into_iter().enumerate() {
+                for (i, &value) in $args.iter().enumerate() {
                     let slot = base
                         .offset_by(body.param_offsets[i])
                         .map_err(SimError::from)?;
@@ -613,7 +642,9 @@ impl<'p> Vm<'p> {
                 }
                 Instr::AddrOfGlobal { offset } => {
                     stack.push(Value::P(
-                        self.globals_base.offset_by(offset).map_err(SimError::from)?,
+                        self.globals_base
+                            .offset_by(offset)
+                            .map_err(SimError::from)?,
                     ));
                 }
                 Instr::LoadMem { ty, penalty } => {
@@ -631,9 +662,17 @@ impl<'p> Vm<'p> {
                 Instr::CopyMem { size } => {
                     let src = stack.pop().expect("source").as_p();
                     let dst = stack.pop().expect("destination").as_p();
-                    let mut buf = vec![0u8; size as usize];
-                    env.read(src, &mut buf, in_frame(src))?;
-                    env.write(dst, &buf, in_frame(dst))?;
+                    // Reuse one scratch buffer across CopyMem executions;
+                    // take/restore keeps the buffer through error returns
+                    // from the read/write pair.
+                    let mut buf = std::mem::take(&mut self.copy_scratch);
+                    buf.clear();
+                    buf.resize(size as usize, 0);
+                    let moved = env
+                        .read(src, &mut buf, in_frame(src))
+                        .and_then(|()| env.write(dst, &buf, in_frame(dst)));
+                    self.copy_scratch = buf;
+                    moved?;
                 }
                 Instr::PtrAddConst(delta) => {
                     let ptr = stack.pop().expect("pointer").as_p();
@@ -736,23 +775,18 @@ impl<'p> Vm<'p> {
                 }
                 Instr::Call { func } => {
                     let nparams = self.program.func(func).params.len();
-                    let mut call_args = Vec::with_capacity(nparams);
-                    for _ in 0..nparams {
-                        call_args.push(stack.pop().expect("argument"));
-                    }
-                    call_args.reverse();
-                    push_frame!(func, call_args, frame_domain);
+                    let split = stack.len() - nparams;
+                    push_frame!(func, stack[split..], frame_domain);
+                    stack.truncate(split);
                 }
                 Instr::CallVirtual {
                     slot, nargs, dup, ..
                 } => {
-                    let mut call_args = Vec::with_capacity(usize::from(nargs) + 1);
-                    for _ in 0..nargs {
-                        call_args.push(stack.pop().expect("argument"));
-                    }
-                    let recv = stack.pop().expect("receiver");
-                    call_args.push(recv);
-                    call_args.reverse(); // receiver first
+                    // The compiler pushes receiver first, then arguments,
+                    // so `stack[split..]` is already the receiver-first
+                    // parameter list push_frame! expects.
+                    let split = stack.len() - usize::from(nargs) - 1;
+                    let recv = stack[split];
 
                     // Read the class-id header (costed by space).
                     let recv_ptr = recv.as_p();
@@ -779,8 +813,7 @@ impl<'p> Vm<'p> {
                             None => {
                                 env.compute(
                                     cost.domain_lookup_base
-                                        + cost.domain_outer_entry
-                                            * vm_domain.len() as u64,
+                                        + cost.domain_outer_entry * vm_domain.len() as u64,
                                 );
                                 return Err(VmError::DomainMiss {
                                     method: self.program.func(host_fn).name.clone(),
@@ -790,7 +823,8 @@ impl<'p> Vm<'p> {
                             }
                         }
                     };
-                    push_frame!(target, call_args, frame_domain);
+                    push_frame!(target, stack[split..], frame_domain);
+                    stack.truncate(split);
                 }
                 Instr::Ret { has_value } => {
                     env.compute(cost.branch);
@@ -817,32 +851,20 @@ impl<'p> Vm<'p> {
                 Instr::NewObject { class, size } => {
                     env.compute(cost.arith * 4);
                     let addr = env.alloc(size, 16)?;
-                    self.store_value(
-                        env,
-                        addr,
-                        ValType::I32,
-                        Value::I(class as i32),
-                        false,
-                    )?;
+                    self.store_value(env, addr, ValType::I32, Value::I(class as i32), false)?;
                     stack.push(Value::P(addr));
                 }
                 Instr::Offload { func, domain } => {
                     let nparams = self.program.func(func).params.len();
-                    let mut capture_args = Vec::with_capacity(nparams);
-                    for _ in 0..nparams {
-                        capture_args.push(stack.pop().expect("capture value"));
-                    }
-                    capture_args.reverse();
-                    env.exec_offload(self, func, domain, capture_args)?;
+                    let split = stack.len() - nparams;
+                    env.exec_offload(self, func, domain, &stack[split..])?;
+                    stack.truncate(split);
                 }
                 Instr::OffloadAsync { func, domain, slot } => {
                     let nparams = self.program.func(func).params.len();
-                    let mut capture_args = Vec::with_capacity(nparams);
-                    for _ in 0..nparams {
-                        capture_args.push(stack.pop().expect("capture value"));
-                    }
-                    capture_args.reverse();
-                    env.exec_offload_async(self, func, domain, slot, capture_args)?;
+                    let split = stack.len() - nparams;
+                    env.exec_offload_async(self, func, domain, slot, &stack[split..])?;
+                    stack.truncate(split);
                 }
                 Instr::Join { slot } => {
                     env.exec_join(slot)?;

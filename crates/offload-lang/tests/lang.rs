@@ -469,10 +469,7 @@ fn type_errors_are_reported() {
     );
     assert_eq!(err.kind, ErrorKind::Type);
 
-    let err = compile_err(
-        "fn main() -> int { return 1 + 2.0; }",
-        &Target::cell_like(),
-    );
+    let err = compile_err("fn main() -> int { return 1 + 2.0; }", &Target::cell_like());
     assert_eq!(err.kind, ErrorKind::Type);
     assert!(err.message.contains("int_to_float"));
 }
@@ -482,7 +479,10 @@ fn resolution_errors_are_reported() {
     let err = compile_err("fn main() -> int { return foo(); }", &Target::cell_like());
     assert_eq!(err.kind, ErrorKind::Resolve);
 
-    let err = compile_err("fn f() { } fn f() { } fn main() -> int { return 0; }", &Target::cell_like());
+    let err = compile_err(
+        "fn f() { } fn f() { } fn main() -> int { return 0; }",
+        &Target::cell_like(),
+    );
     assert!(err.message.contains("twice"));
 
     let err = compile_err("fn nomain() { }", &Target::cell_like());
@@ -588,7 +588,11 @@ fn word_target_pointer_arithmetic_rules() {
             return s[4];
         }
     "#;
-    let (exit, _) = run_with(legal_word, &Target::word_addressed(4), OffloadCachePolicy::Naive);
+    let (exit, _) = run_with(
+        legal_word,
+        &Target::word_addressed(4),
+        OffloadCachePolicy::Naive,
+    );
     assert_eq!(exit, 7);
 
     let illegal = r#"
@@ -612,7 +616,11 @@ fn word_target_pointer_arithmetic_rules() {
             return s[1];
         }
     "#;
-    let (exit, _) = run_with(legal_byte, &Target::word_addressed(4), OffloadCachePolicy::Naive);
+    let (exit, _) = run_with(
+        legal_byte,
+        &Target::word_addressed(4),
+        OffloadCachePolicy::Naive,
+    );
     assert_eq!(exit, 9);
 }
 
@@ -660,8 +668,7 @@ fn byte_emulation_accepts_everything_but_costs_more() {
 
     // …byte emulation runs it, but slower than a plain byte-addressed
     // target.
-    let emulated = Target::word_addressed(4)
-        .with_strategy(offload_lang::WordStrategy::ByteEmulate);
+    let emulated = Target::word_addressed(4).with_strategy(offload_lang::WordStrategy::ByteEmulate);
     let program = compile(source, &emulated).unwrap();
     let mut machine = Machine::new(MachineConfig::small()).unwrap();
     let mut vm = Vm::new(&program, &mut machine).unwrap();

@@ -161,7 +161,11 @@ impl<T: Pod> ArrayAccessor<T> {
     /// # Errors
     ///
     /// Fails if `values.len() != self.len()` (bounds violation).
-    pub fn copy_from_slice(&mut self, ctx: &mut AccelCtx<'_>, values: &[T]) -> Result<(), SimError> {
+    pub fn copy_from_slice(
+        &mut self,
+        ctx: &mut AccelCtx<'_>,
+        values: &[T],
+    ) -> Result<(), SimError> {
         self.dirty = true;
         ctx.local_write_slice(self.local, values)
     }

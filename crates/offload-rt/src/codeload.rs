@@ -75,7 +75,11 @@ impl CodeLoader {
     /// # Errors
     ///
     /// Fails if the local store cannot fit the arena.
-    pub fn new(ctx: &mut AccelCtx<'_>, capacity: u32, image_base: Addr) -> Result<CodeLoader, SimError> {
+    pub fn new(
+        ctx: &mut AccelCtx<'_>,
+        capacity: u32,
+        image_base: Addr,
+    ) -> Result<CodeLoader, SimError> {
         let arena = ctx.alloc_local(capacity, memspace::DMA_ALIGN)?;
         Ok(CodeLoader {
             arena,
@@ -167,7 +171,12 @@ impl CodeLoader {
         let mut moved = 0u32;
         while moved < size {
             let chunk = (size - moved).min(dma::MAX_TRANSFER);
-            ctx.dma_get(local.offset_by(moved)?, remote.offset_by(moved % 512)?, chunk, Self::tag())?;
+            ctx.dma_get(
+                local.offset_by(moved)?,
+                remote.offset_by(moved % 512)?,
+                chunk,
+                Self::tag(),
+            )?;
             moved += chunk;
         }
         ctx.dma_wait_tag(Self::tag());
@@ -295,12 +304,22 @@ mod tests {
                 for round in 0..2 {
                     let t0 = ctx.now();
                     dispatch_with_loading(
-                        ctx, &registry, &domain, &mut loader, obj, MethodSlot(0),
-                        DuplicateId(1), DEFAULT_CODE_SIZE,
+                        ctx,
+                        &registry,
+                        &domain,
+                        &mut loader,
+                        obj,
+                        MethodSlot(0),
+                        DuplicateId(1),
+                        DEFAULT_CODE_SIZE,
                     )
                     .unwrap();
                     let cost = ctx.now() - t0;
-                    if round == 0 { first_cost = cost } else { second_cost = cost }
+                    if round == 0 {
+                        first_cost = cost
+                    } else {
+                        second_cost = cost
+                    }
                 }
                 assert_eq!(loader.stats().loads, 1);
                 assert_eq!(loader.stats().hits, 1);
@@ -335,12 +354,16 @@ mod tests {
             .run_offload(0, |ctx| {
                 // Budget for exactly two methods.
                 let mut loader = CodeLoader::new(ctx, 2 * DEFAULT_CODE_SIZE, image)?;
-                let call = |ctx: &mut simcell::AccelCtx<'_>,
-                                loader: &mut CodeLoader,
-                                i: usize| {
+                let call = |ctx: &mut simcell::AccelCtx<'_>, loader: &mut CodeLoader, i: usize| {
                     dispatch_with_loading(
-                        ctx, &registry, &domain, loader, objs[i], MethodSlot(0),
-                        DuplicateId(1), DEFAULT_CODE_SIZE,
+                        ctx,
+                        &registry,
+                        &domain,
+                        loader,
+                        objs[i],
+                        MethodSlot(0),
+                        DuplicateId(1),
+                        DEFAULT_CODE_SIZE,
                     )
                     .unwrap();
                 };
@@ -373,8 +396,14 @@ mod tests {
             .run_offload(0, |ctx| {
                 let mut loader = CodeLoader::new(ctx, 1024, image)?;
                 dispatch_with_loading(
-                    ctx, &registry, &domain, &mut loader, obj, MethodSlot(0),
-                    DuplicateId(1), 4096,
+                    ctx,
+                    &registry,
+                    &domain,
+                    &mut loader,
+                    obj,
+                    MethodSlot(0),
+                    DuplicateId(1),
+                    4096,
                 )
                 .map_err(|e| SimError::BadConfig {
                     reason: e.to_string(),
@@ -401,8 +430,14 @@ mod tests {
             .run_offload(0, |ctx| {
                 let mut loader = CodeLoader::new(ctx, 16 * 1024, image)?;
                 let f = dispatch_with_loading(
-                    ctx, &registry, &domain, &mut loader, obj, MethodSlot(0),
-                    DuplicateId(1), DEFAULT_CODE_SIZE,
+                    ctx,
+                    &registry,
+                    &domain,
+                    &mut loader,
+                    obj,
+                    MethodSlot(0),
+                    DuplicateId(1),
+                    DEFAULT_CODE_SIZE,
                 )
                 .unwrap();
                 assert_eq!(f, local, "the domain fast path resolved it");

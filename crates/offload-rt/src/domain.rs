@@ -392,7 +392,9 @@ pub enum DispatchError {
 impl fmt::Display for DispatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DispatchError::UnknownClass { raw } => write!(f, "unknown class id {raw} in object header"),
+            DispatchError::UnknownClass { raw } => {
+                write!(f, "unknown class id {raw} in object header")
+            }
             DispatchError::NoSuchMethod { class, slot } => {
                 write!(f, "class {} has no method in slot {}", class.0, slot.0)
             }
@@ -564,11 +566,23 @@ mod tests {
 
         let (local, cost) = domain.lookup(f1, DuplicateId::ALL_LOCAL).unwrap();
         assert_eq!(local, l1);
-        assert_eq!(cost, LookupCost { outer_probes: 1, inner_probes: 1 });
+        assert_eq!(
+            cost,
+            LookupCost {
+                outer_probes: 1,
+                inner_probes: 1
+            }
+        );
 
         let (local, cost) = domain.lookup(f2, DuplicateId(0b11)).unwrap();
         assert_eq!(local, l2b);
-        assert_eq!(cost, LookupCost { outer_probes: 2, inner_probes: 2 });
+        assert_eq!(
+            cost,
+            LookupCost {
+                outer_probes: 2,
+                inner_probes: 2
+            }
+        );
 
         let model = CostModel::cell_like();
         assert_eq!(
@@ -580,7 +594,9 @@ mod tests {
     #[test]
     fn miss_when_function_not_in_domain() {
         let domain = Domain::new();
-        let miss = domain.lookup(FnAddr(0x42), DuplicateId::ALL_LOCAL).unwrap_err();
+        let miss = domain
+            .lookup(FnAddr(0x42), DuplicateId::ALL_LOCAL)
+            .unwrap_err();
         assert!(!miss.outer_matched);
         assert!(miss.to_string().contains("not in the offload's domain"));
     }
@@ -659,7 +675,12 @@ mod tests {
             .run_offload(0, |ctx| -> Result<(u64, u64), DispatchError> {
                 let t0 = ctx.now();
                 accel_virtual_dispatch(
-                    ctx, &reg, &domain, outer_obj, MethodSlot(0), DuplicateId::ALL_LOCAL,
+                    ctx,
+                    &reg,
+                    &domain,
+                    outer_obj,
+                    MethodSlot(0),
+                    DuplicateId::ALL_LOCAL,
                 )?;
                 let outer_cost = ctx.now() - t0;
 
@@ -667,7 +688,12 @@ mod tests {
                 ctx.local_write_pod(local_obj, &entity.0)?;
                 let t1 = ctx.now();
                 accel_virtual_dispatch(
-                    ctx, &reg, &domain, local_obj, MethodSlot(0), DuplicateId::ALL_LOCAL,
+                    ctx,
+                    &reg,
+                    &domain,
+                    local_obj,
+                    MethodSlot(0),
+                    DuplicateId::ALL_LOCAL,
                 )?;
                 Ok((outer_cost, ctx.now() - t1))
             })
@@ -691,7 +717,12 @@ mod tests {
         let err = m
             .run_offload(0, |ctx| {
                 accel_virtual_dispatch(
-                    ctx, &reg, &domain, obj, MethodSlot(0), DuplicateId::ALL_LOCAL,
+                    ctx,
+                    &reg,
+                    &domain,
+                    obj,
+                    MethodSlot(0),
+                    DuplicateId::ALL_LOCAL,
                 )
             })
             .unwrap()
@@ -725,10 +756,7 @@ mod tests {
         let t0 = m.host_now();
         let resolved = host_virtual_dispatch(&mut m, &reg, obj, MethodSlot(0)).unwrap();
         assert_eq!(resolved, enemy_update);
-        assert_eq!(
-            m.host_now() - t0,
-            m.cost().host_mem_access + m.cost().vcall
-        );
+        assert_eq!(m.host_now() - t0, m.cost().host_mem_access + m.cost().vcall);
     }
 
     #[test]

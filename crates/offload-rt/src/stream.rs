@@ -62,13 +62,16 @@ where
     let buffer = ctx.alloc_local_slice::<T>(chunk_elems)?;
     let tag = stream_tag(0);
     let elem = T::SIZE as u32;
+    // One scratch allocation reused across every chunk.
+    let mut chunk: Vec<T> = Vec::with_capacity(chunk_elems as usize);
     let mut base = 0u32;
     while base < len {
         let n = chunk_elems.min(len - base);
         let r = remote.element(base, elem)?;
         ctx.dma_get(buffer, r, n * elem, tag)?;
         ctx.dma_wait_tag(tag);
-        let mut chunk = ctx.local_read_slice::<T>(buffer, n)?;
+        chunk.clear();
+        ctx.local_read_slice_into(buffer, n, &mut chunk)?;
         f(ctx, base, &mut chunk)?;
         if config.write_back {
             ctx.local_write_slice(buffer, &chunk)?;
@@ -112,9 +115,16 @@ where
     let chunk_count = len.div_ceil(chunk_elems);
     let chunk_len = |i: u32| chunk_elems.min(len - i * chunk_elems);
     let chunk_remote = |i: u32| remote.element(i * chunk_elems, elem);
+    // One scratch allocation reused across every chunk.
+    let mut chunk: Vec<T> = Vec::with_capacity(chunk_elems as usize);
 
     // Prime the pipeline with chunk 0.
-    ctx.dma_get(buffers[0], chunk_remote(0)?, chunk_len(0) * elem, stream_tag(0))?;
+    ctx.dma_get(
+        buffers[0],
+        chunk_remote(0)?,
+        chunk_len(0) * elem,
+        stream_tag(0),
+    )?;
 
     for i in 0..chunk_count {
         let cur = (i % 2) as usize;
@@ -133,7 +143,8 @@ where
         // Wait for the current chunk and process it.
         ctx.dma_wait_tag(stream_tag(cur));
         let n = chunk_len(i);
-        let mut chunk = ctx.local_read_slice::<T>(buffers[cur], n)?;
+        chunk.clear();
+        ctx.local_read_slice_into(buffers[cur], n, &mut chunk)?;
         f(ctx, i * chunk_elems, &mut chunk)?;
         if config.write_back {
             ctx.local_write_slice(buffers[cur], &chunk)?;
@@ -168,13 +179,19 @@ mod tests {
         let mut m = machine();
         let remote = prepared(&mut m, 300);
         m.run_offload(0, |ctx| {
-            process_chunked::<u32, _>(ctx, remote, 300, StreamConfig::default(), |ctx, _, chunk| {
-                for v in chunk.iter_mut() {
-                    *v += 1000;
-                }
-                ctx.compute(chunk.len() as u64);
-                Ok(())
-            })
+            process_chunked::<u32, _>(
+                ctx,
+                remote,
+                300,
+                StreamConfig::default(),
+                |ctx, _, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v += 1000;
+                    }
+                    ctx.compute(chunk.len() as u64);
+                    Ok(())
+                },
+            )
         })
         .unwrap()
         .unwrap();
@@ -187,14 +204,20 @@ mod tests {
         let mut m = machine();
         let remote = prepared(&mut m, 300);
         m.run_offload(0, |ctx| {
-            process_stream::<u32, _>(ctx, remote, 300, StreamConfig::default(), |ctx, base, chunk| {
-                for (i, v) in chunk.iter_mut().enumerate() {
-                    assert_eq!(*v, base + i as u32, "chunks arrive in order");
-                    *v *= 2;
-                }
-                ctx.compute(chunk.len() as u64);
-                Ok(())
-            })
+            process_stream::<u32, _>(
+                ctx,
+                remote,
+                300,
+                StreamConfig::default(),
+                |ctx, base, chunk| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        assert_eq!(*v, base + i as u32, "chunks arrive in order");
+                        *v *= 2;
+                    }
+                    ctx.compute(chunk.len() as u64);
+                    Ok(())
+                },
+            )
         })
         .unwrap()
         .unwrap();

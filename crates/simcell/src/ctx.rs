@@ -12,6 +12,12 @@ use crate::error::SimError;
 /// `0..=26`; `27..=31` are reserved by the runtime and caches.
 pub const OUTER_ACCESS_TAG: u8 = 27;
 
+/// Stack-buffer size for per-element Pod marshalling: any `T` up to
+/// this size round-trips through cached accessors without touching the
+/// heap. Covers every Pod in the workspace (the largest, a full game
+/// entity, is 48 bytes).
+const POD_STACK_BUF: usize = 64;
+
 /// Everything an offloaded thread can do, with every operation charged
 /// to the accelerator's cycle counter.
 ///
@@ -140,11 +146,32 @@ impl<'m> AccelCtx<'m> {
     ///
     /// Fails on bounds or space violations.
     pub fn local_read_slice<T: Pod>(&mut self, addr: Addr, count: u32) -> Result<Vec<T>, SimError> {
+        let mut out = Vec::with_capacity(count as usize);
+        self.local_read_slice_into(addr, count, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `count` consecutive `T`s from the local store, appending
+    /// them to `out`. Charges exactly the same cycles as
+    /// [`AccelCtx::local_read_slice`]; the only difference is that
+    /// callers iterating over chunks can clear and refill one scratch
+    /// `Vec` instead of allocating a fresh one per chunk.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations.
+    pub fn local_read_slice_into<T: Pod>(
+        &mut self,
+        addr: Addr,
+        count: u32,
+        out: &mut Vec<T>,
+    ) -> Result<(), SimError> {
         let bytes = (T::SIZE as u32) * count;
         self.now += self.ls_cycles(bytes);
         self.dma
             .note_local_access(AddrRange::new(addr, bytes)?, AccessKind::Read, self.now);
-        Ok(self.ls.read_pod_slice(addr, count)?)
+        self.ls.read_pod_slice_into(addr, count, out)?;
+        Ok(())
     }
 
     /// Writes consecutive `T`s to the local store.
@@ -219,7 +246,13 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// As for [`dma::DmaEngine::get`].
-    pub fn dma_get(&mut self, local: Addr, remote: Addr, size: u32, tag: Tag) -> Result<(), SimError> {
+    pub fn dma_get(
+        &mut self,
+        local: Addr,
+        remote: Addr,
+        size: u32,
+        tag: Tag,
+    ) -> Result<(), SimError> {
         self.now = self
             .dma
             .get(self.now, local, remote, size, tag, self.main, self.ls)?;
@@ -232,7 +265,13 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// As for [`dma::DmaEngine::put`].
-    pub fn dma_put(&mut self, local: Addr, remote: Addr, size: u32, tag: Tag) -> Result<(), SimError> {
+    pub fn dma_put(
+        &mut self,
+        local: Addr,
+        remote: Addr,
+        size: u32,
+        tag: Tag,
+    ) -> Result<(), SimError> {
         self.now = self
             .dma
             .put(self.now, local, remote, size, tag, self.main, self.ls)?;
@@ -351,7 +390,8 @@ impl<'m> AccelCtx<'m> {
             let chunk = (data.len() - done).min(self.staging_size as usize);
             let remote = addr.offset_by(done as u32)?;
             self.now += self.ls_cycles(chunk as u32);
-            self.ls.write_bytes(self.staging, &data[done..done + chunk])?;
+            self.ls
+                .write_bytes(self.staging, &data[done..done + chunk])?;
             self.now = self.dma.put(
                 self.now,
                 self.staging,
@@ -419,14 +459,23 @@ impl<'m> AccelCtx<'m> {
         cache: &mut C,
         addr: Addr,
     ) -> Result<T, SimError> {
-        let mut buf = vec![0u8; T::SIZE];
+        // Stack buffer for the common small-Pod case; per-element cached
+        // reads are the hottest path in cached offload loops.
+        let mut small = [0u8; POD_STACK_BUF];
+        let mut large;
+        let buf = if T::SIZE <= POD_STACK_BUF {
+            &mut small[..T::SIZE]
+        } else {
+            large = vec![0u8; T::SIZE];
+            &mut large[..]
+        };
         let mut backing = CacheBacking {
             main: self.main,
             ls: self.ls,
             dma: self.dma,
         };
-        self.now = cache.read(self.now, addr, &mut buf, &mut backing)?;
-        Ok(T::read_from(&buf))
+        self.now = cache.read(self.now, addr, buf, &mut backing)?;
+        Ok(T::read_from(buf))
     }
 
     /// Writes a `T` to main memory through a software cache.
@@ -440,14 +489,21 @@ impl<'m> AccelCtx<'m> {
         addr: Addr,
         value: &T,
     ) -> Result<(), SimError> {
-        let mut buf = vec![0u8; T::SIZE];
-        value.write_to(&mut buf);
+        let mut small = [0u8; POD_STACK_BUF];
+        let mut large;
+        let buf = if T::SIZE <= POD_STACK_BUF {
+            &mut small[..T::SIZE]
+        } else {
+            large = vec![0u8; T::SIZE];
+            &mut large[..]
+        };
+        value.write_to(buf);
         let mut backing = CacheBacking {
             main: self.main,
             ls: self.ls,
             dma: self.dma,
         };
-        self.now = cache.write(self.now, addr, &buf, &mut backing)?;
+        self.now = cache.write(self.now, addr, buf, &mut backing)?;
         Ok(())
     }
 

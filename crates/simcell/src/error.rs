@@ -41,7 +41,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NoSuchAccel { index, count } => {
-                write!(f, "accelerator {index} does not exist (machine has {count})")
+                write!(
+                    f,
+                    "accelerator {index} does not exist (machine has {count})"
+                )
             }
             SimError::BadConfig { reason } => write!(f, "invalid machine configuration: {reason}"),
             SimError::ValueTooLarge { size, staging } => write!(

@@ -126,7 +126,9 @@ mod tests {
         assert!(e.to_string().contains("join accel 3"));
         let e = Event {
             at: 42,
-            kind: EventKind::Note { text: "frame 1".into() },
+            kind: EventKind::Note {
+                text: "frame 1".into(),
+            },
         };
         assert!(e.to_string().contains("frame 1"));
     }

@@ -132,8 +132,11 @@ impl Machine {
         let mut accels = Vec::with_capacity(usize::from(config.accel_count));
         for index in 0..config.accel_count {
             let space = SpaceId::local_store(index);
-            let mut ls =
-                MemoryRegion::new(space, SpaceKind::LocalStore { accel: index }, config.local_store_size);
+            let mut ls = MemoryRegion::new(
+                space,
+                SpaceKind::LocalStore { accel: index },
+                config.local_store_size,
+            );
             let staging = ls.alloc(config.staging_size, memspace::DMA_ALIGN)?;
             let mut dma = DmaEngine::with_timing(space, config.cost.dma);
             dma.set_race_mode(dma::RaceMode::Record);
@@ -328,8 +331,7 @@ impl Machine {
         self.host_now += self.config.cost.offload_launch;
         let slot = &mut self.accels[usize::from(accel)];
         let start = self.host_now.max(slot.busy_until);
-        self.events
-            .record(start, EventKind::OffloadStart { accel });
+        self.events.record(start, EventKind::OffloadStart { accel });
         let mark = slot.ls.save_alloc();
         let mut ctx = AccelCtx {
             now: start,
@@ -358,8 +360,12 @@ impl Machine {
     /// finished, then resumes with the closure's result.
     pub fn join<R>(&mut self, handle: OffloadHandle<R>) -> R {
         self.host_now = self.host_now.max(handle.end) + self.config.cost.join_overhead;
-        self.events
-            .record(self.host_now, EventKind::Join { accel: handle.accel });
+        self.events.record(
+            self.host_now,
+            EventKind::Join {
+                accel: handle.accel,
+            },
+        );
         handle.result
     }
 
@@ -554,7 +560,11 @@ mod tests {
         assert!(h2.start() < h1.end(), "different accelerators overlap");
         m.join(h1);
         m.join(h2);
-        assert!(m.host_now() < 12_000, "parallel, not serial: {}", m.host_now());
+        assert!(
+            m.host_now() < 12_000,
+            "parallel, not serial: {}",
+            m.host_now()
+        );
     }
 
     #[test]
@@ -752,7 +762,11 @@ mod tests {
         })
         .unwrap()
         .unwrap();
-        assert_eq!(m.races_detected(), 0, "bookkeeping access is not race-tracked");
+        assert_eq!(
+            m.races_detected(),
+            0,
+            "bookkeeping access is not race-tracked"
+        );
     }
 
     #[test]
@@ -807,7 +821,11 @@ mod tests {
                 .unwrap();
             assert_eq!(v, 9);
         }
-        assert_eq!(cache.stats().hits, 1, "the second offload hit the persistent cache");
+        assert_eq!(
+            cache.stats().hits,
+            1,
+            "the second offload hit the persistent cache"
+        );
         assert_eq!(cache.stats().misses, 1);
 
         let mut stream = m

@@ -207,9 +207,15 @@ impl SetAssociativeCache {
             .min(backing.main.capacity().saturating_sub(line_start));
         debug_assert!(len > 0, "caller validated the access is in bounds");
         let remote = Addr::new(self.remote_space, line_start);
-        let resume = backing
-            .dma
-            .get(t, buffer, remote, len, self.fetch_tag(), backing.main, backing.ls)?;
+        let resume = backing.dma.get(
+            t,
+            buffer,
+            remote,
+            len,
+            self.fetch_tag(),
+            backing.main,
+            backing.ls,
+        )?;
         t = backing.dma.wait(self.fetch_tag().mask(), resume);
         self.stats.bytes_fetched += u64::from(len);
 
@@ -441,7 +447,10 @@ mod tests {
         assert_eq!(v, 0);
         let miss_cost = t1;
         let hit_cost = t2 - t1;
-        assert!(hit_cost < miss_cost / 5, "hit {hit_cost} vs miss {miss_cost}");
+        assert!(
+            hit_cost < miss_cost / 5,
+            "hit {hit_cost} vs miss {miss_cost}"
+        );
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
     }
@@ -500,7 +509,10 @@ mod tests {
         // Line 0 (set 0), dirty.
         let t = cache.write_pod(0, addr(0x20), &1u32, &mut backing).unwrap();
         // Line 2 also maps to set 0 -> evicts and writes back.
-        let t = cache.read_pod::<u32>(t, addr(0x40), &mut backing).unwrap().1;
+        let t = cache
+            .read_pod::<u32>(t, addr(0x40), &mut backing)
+            .unwrap()
+            .1;
         assert_eq!(backing.main.read_pod::<u32>(addr(0x20)).unwrap(), 1);
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().writebacks, 1);
@@ -554,7 +566,11 @@ mod tests {
         t = cache.read_pod::<u32>(t, addr(0), &mut backing).unwrap().1;
         assert_eq!(cache.stats().misses, misses_before, "line 0 survived");
         cache.read_pod::<u32>(t, addr(64), &mut backing).unwrap();
-        assert_eq!(cache.stats().misses, misses_before + 1, "line 1 was evicted");
+        assert_eq!(
+            cache.stats().misses,
+            misses_before + 1,
+            "line 1 was evicted"
+        );
     }
 
     #[test]
@@ -596,7 +612,12 @@ mod tests {
         let mut backing = rig.backing();
         let mut out = [0u8; 4];
         let err = cache
-            .read(0, Addr::new(SpaceId::local_store(0), 0), &mut out, &mut backing)
+            .read(
+                0,
+                Addr::new(SpaceId::local_store(0), 0),
+                &mut out,
+                &mut backing,
+            )
             .unwrap_err();
         assert!(matches!(err, CacheError::NotCacheable { .. }));
     }

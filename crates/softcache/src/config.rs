@@ -74,7 +74,10 @@ impl CacheConfig {
             line_size.is_power_of_two() && line_size >= 16,
             "line size must be a power of two >= 16"
         );
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(ways > 0, "associativity must be at least 1");
         CacheConfig {
             line_size,
@@ -169,7 +172,10 @@ mod tests {
 
     #[test]
     fn cost_helpers() {
-        let c = CacheConfig::new(64, 32, 2).lookup_cost(10).probe_cost(3).copy_cost(2);
+        let c = CacheConfig::new(64, 32, 2)
+            .lookup_cost(10)
+            .probe_cost(3)
+            .copy_cost(2);
         assert_eq!(c.lookup_cycles(2), 16);
         assert_eq!(c.copy_cycles(4), 2);
         assert_eq!(c.copy_cycles(64), 8);

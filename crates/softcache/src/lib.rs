@@ -153,6 +153,10 @@ pub trait SoftwareCache {
     fn describe(&self) -> String;
 }
 
+/// Stack-buffer size for typed cache accesses; Pods up to this size
+/// avoid heap allocation entirely.
+const POD_STACK_BUF: usize = 64;
+
 /// Typed convenience layer over any [`SoftwareCache`].
 pub trait CacheExt: SoftwareCache {
     /// Reads one `T` through the cache.
@@ -169,9 +173,18 @@ pub trait CacheExt: SoftwareCache {
     where
         Self: Sized,
     {
-        let mut buf = vec![0u8; T::SIZE];
-        let t = self.read(now, addr, &mut buf, backing)?;
-        Ok((T::read_from(&buf), t))
+        // Small Pods (the overwhelmingly common case) marshal through a
+        // stack buffer; only oversized types fall back to the heap.
+        let mut small = [0u8; POD_STACK_BUF];
+        let mut large;
+        let buf = if T::SIZE <= POD_STACK_BUF {
+            &mut small[..T::SIZE]
+        } else {
+            large = vec![0u8; T::SIZE];
+            &mut large[..]
+        };
+        let t = self.read(now, addr, buf, backing)?;
+        Ok((T::read_from(buf), t))
     }
 
     /// Writes one `T` through the cache.
@@ -189,9 +202,16 @@ pub trait CacheExt: SoftwareCache {
     where
         Self: Sized,
     {
-        let mut buf = vec![0u8; T::SIZE];
-        value.write_to(&mut buf);
-        self.write(now, addr, &buf, backing)
+        let mut small = [0u8; POD_STACK_BUF];
+        let mut large;
+        let buf = if T::SIZE <= POD_STACK_BUF {
+            &mut small[..T::SIZE]
+        } else {
+            large = vec![0u8; T::SIZE];
+            &mut large[..]
+        };
+        value.write_to(buf);
+        self.write(now, addr, buf, backing)
     }
 }
 

@@ -245,10 +245,9 @@ impl SoftwareCache for StreamCache {
                     t = self.cancel_prefetch(t, backing);
                 }
             }
-            backing.ls.write_bytes(
-                self.staging,
-                &data[done as usize..(done + chunk) as usize],
-            )?;
+            backing
+                .ls
+                .write_bytes(self.staging, &data[done as usize..(done + chunk) as usize])?;
             let resume = backing.dma.put(
                 t,
                 self.staging,
@@ -379,7 +378,9 @@ mod tests {
         let t0 = cache.read(0, addr(0), &mut out, &mut backing).unwrap();
         // Simulate compute long enough for the prefetch to land.
         let resume = t0 + 10_000;
-        let t1 = cache.read(resume, addr(1024), &mut out, &mut backing).unwrap();
+        let t1 = cache
+            .read(resume, addr(1024), &mut out, &mut backing)
+            .unwrap();
         let advance_cost = t1 - resume;
         let miss_cost = t0;
         assert!(
@@ -396,7 +397,9 @@ mod tests {
         let mut out = [0u8; 16];
         let mut t = 0;
         for line in [0u32, 50, 3, 97, 12] {
-            t = cache.read(t, addr(line * 1024), &mut out, &mut backing).unwrap();
+            t = cache
+                .read(t, addr(line * 1024), &mut out, &mut backing)
+                .unwrap();
         }
         assert_eq!(cache.stats().misses, 5);
         assert!(cache.stats().prefetch_wasted >= 4);
@@ -412,7 +415,9 @@ mod tests {
             let mut state = 12345u64;
             (0..512)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((state >> 33) as u32 % (scan_len / 64)) * 64
                 })
                 .collect()
@@ -507,9 +512,13 @@ mod tests {
         let mut t = 0;
         let mut out = [0u8; 32];
         for i in 0..64u32 {
-            t = cache.read(t, addr(i * 512), &mut out, &mut backing).unwrap();
+            t = cache
+                .read(t, addr(i * 512), &mut out, &mut backing)
+                .unwrap();
             if i % 7 == 0 {
-                t = cache.write(t, addr(i * 512), &[1, 2, 3], &mut backing).unwrap();
+                t = cache
+                    .write(t, addr(i * 512), &[1, 2, 3], &mut backing)
+                    .unwrap();
             }
         }
         cache.flush(t, &mut backing).unwrap();

@@ -1,0 +1,207 @@
+//! A tiny, zero-dependency, seeded pseudo-random number generator.
+//!
+//! The workspace's benchmarks need *identical worlds on every run, on
+//! every machine, with no network access at build time*. This crate
+//! replaces the external `rand` dependency with SplitMix64 (Steele,
+//! Lea & Flood, OOPSLA 2014's `java.util.SplittableRandom` finalizer),
+//! which is tiny, fast, passes BigCrush when used as a 64-bit stream,
+//! and — most importantly here — is fully specified by this file, so
+//! generated scenarios can never drift under a dependency upgrade.
+//!
+//! Not cryptographic. Not for statistics. For deterministic workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use xrng::Rng;
+//!
+//! let mut a = Rng::new(42);
+//! let mut b = Rng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let f = a.range_f32(-1.0, 1.0);
+//! assert!((-1.0..1.0).contains(&f));
+//! ```
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64: an additive Weyl sequence fed through a 3-stage
+        // xor-shift-multiply finalizer.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 random bits (the high half of [`Rng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below_u32(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "below_u32 needs a non-zero bound");
+        // Lemire's multiply-shift reduction without the rejection step:
+        // bias is at most bound/2^64, irrelevant for workload generation
+        // and (unlike rejection) branch-free and obviously deterministic.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u32
+    }
+
+    /// A uniform value in `[lo, hi)` (half-open, like `gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "range_u32 needs lo < hi, got {lo}..{hi}");
+        lo + self.below_u32(hi - lo)
+    }
+
+    /// A uniform value in `[0, bound]` (inclusive), for Fisher–Yates.
+    pub fn below_inclusive_usize(&mut self, bound: usize) -> usize {
+        ((u128::from(self.next_u64()) * (bound as u128 + 1)) >> 64) as usize
+    }
+
+    /// A uniform float in `[0, 1)` with 24 bits of precision.
+    pub fn unit_f32(&mut self) -> f32 {
+        // 24 explicit mantissa bits -> every value is exactly
+        // representable and strictly below 1.0.
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "range_f32 needs lo < hi, got {lo}..{hi}");
+        assert!((hi - lo).is_finite(), "range_f32 span must be finite");
+        lo + self.unit_f32() * (hi - lo)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below_inclusive_usize(i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // First three outputs of reference SplitMix64 with seed 0, as
+        // produced by the original public-domain C implementation. Pins
+        // the exact algorithm so generated worlds can never silently
+        // change under a refactor.
+        let mut rng = Rng::new(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(rng.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(99);
+        for _ in 0..10_000 {
+            let v = rng.range_u32(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.range_f32(-2.5, 7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let u = rng.unit_f32();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_inclusive_reaches_both_ends() {
+        let mut rng = Rng::new(5);
+        let mut saw_zero = false;
+        let mut saw_top = false;
+        for _ in 0..1000 {
+            match rng.below_inclusive_usize(3) {
+                0 => saw_zero = true,
+                3 => saw_top = true,
+                1 | 2 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_zero && saw_top);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "100 elements never shuffle to identity"
+        );
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = Rng::new(3);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.below_u32(8) as usize] += 1;
+        }
+        for &count in &buckets {
+            assert!(
+                (800..1200).contains(&count),
+                "bucket count {count} far from 1000"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn zero_bound_panics() {
+        Rng::new(0).below_u32(0);
+    }
+}

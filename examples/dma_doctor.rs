@@ -11,9 +11,7 @@
 //! then executes the broken one on a real simulated engine to show the
 //! dynamic checker catching the same bug.
 
-use offload_repro::dma::{
-    analyze_kernel, AccessKind, DmaKernel, KernelOp, RaceMode, Tag,
-};
+use offload_repro::dma::{analyze_kernel, AccessKind, DmaKernel, KernelOp, RaceMode, Tag};
 use offload_repro::memspace::{Addr, AddrRange, SpaceId};
 use offload_repro::simcell::{Machine, MachineConfig, SimError};
 

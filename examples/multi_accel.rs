@@ -61,8 +61,11 @@ fn main() -> Result<(), SimError> {
     let fanout_cycles = machine.host_now();
 
     // The synchronous version of the same program, for contrast.
-    let sync = source.replace("offload h0", "offload").replace("offload h1", "offload")
-        .replace("offload h2", "offload").replace("offload h3", "offload")
+    let sync = source
+        .replace("offload h0", "offload")
+        .replace("offload h1", "offload")
+        .replace("offload h2", "offload")
+        .replace("offload h3", "offload")
         .replace("join h0; join h1; join h2; join h3;", "");
     let program = compile(&sync, &Target::cell_like()).expect("sync compiles");
     let mut machine = Machine::new(MachineConfig::default())?;

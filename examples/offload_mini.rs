@@ -10,9 +10,7 @@
 //! the paper's type system is built around: the memory-space error, the
 //! domain-miss exception, and the word-addressing error.
 
-use offload_repro::offload_lang::{
-    compile, OffloadCachePolicy, Target, Vm, WordStrategy,
-};
+use offload_repro::offload_lang::{compile, OffloadCachePolicy, Target, Vm, WordStrategy};
 use offload_repro::simcell::{Machine, MachineConfig};
 
 const GAME: &str = r#"
@@ -161,13 +159,17 @@ fn main() {
     "#;
     let word_target = Target::word_addressed(4);
     let err = compile(strings, &word_target).expect_err("hybrid rejects byte loops");
-    println!("\n[word-addressing error on a 4-byte-word target]\n{}", err.render(strings));
+    println!(
+        "\n[word-addressing error on a 4-byte-word target]\n{}",
+        err.render(strings)
+    );
 
     let emulate = word_target.with_strategy(WordStrategy::ByteEmulate);
     let program = compile(strings, &emulate).expect("byte emulation accepts it");
     let mut machine = Machine::new(MachineConfig::default()).expect("machine builds");
     let mut vm = Vm::new(&program, &mut machine).expect("loads");
-    vm.run(&mut machine).expect("runs, paying the emulation tax");
+    vm.run(&mut machine)
+        .expect("runs, paying the emulation tax");
     println!(
         "\nthe same program under byte emulation: runs in {} cycles (every dereference pays)",
         machine.host_now()

@@ -62,8 +62,11 @@ fn main() -> Result<(), SimError> {
         Ok((sum, ctx.now() - t0))
     })??;
 
-    for (name, (sum, cycles)) in [("naive outer", naive), ("software cache", cached), ("Array accessor", bulk)]
-    {
+    for (name, (sum, cycles)) in [
+        ("naive outer", naive),
+        ("software cache", cached),
+        ("Array accessor", bulk),
+    ] {
         assert_eq!(sum, expected, "every style computes the same sum");
         println!(
             "{name:>16}: {cycles:>9} accelerator cycles  ({:.1} cycles/element)",

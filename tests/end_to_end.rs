@@ -123,7 +123,10 @@ fn compiled_program_with_cache_policy_matches_naive_results() {
     }
     let naive_cycles = results[0].1;
     let cached_cycles = results[1].1;
-    assert!(cached_cycles < naive_cycles, "the cache only changes cost, and downward");
+    assert!(
+        cached_cycles < naive_cycles,
+        "the cache only changes cost, and downward"
+    );
 }
 
 #[test]
@@ -169,7 +172,10 @@ fn event_log_reconstructs_the_figure2_schedule() {
     .unwrap();
     let events = machine.events().events();
     use offload_repro::simcell::EventKind;
-    assert!(matches!(events[0].kind, EventKind::OffloadStart { accel: 0 }));
+    assert!(matches!(
+        events[0].kind,
+        EventKind::OffloadStart { accel: 0 }
+    ));
     assert!(matches!(events[1].kind, EventKind::OffloadEnd { accel: 0 }));
     assert!(matches!(events[2].kind, EventKind::Join { accel: 0 }));
     // The join happens after the host's collision detection, i.e. the

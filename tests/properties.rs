@@ -1,76 +1,104 @@
-//! Property-based tests over the workspace's core invariants.
+//! Property-style tests over the workspace's core invariants.
+//!
+//! Each test drives its oracle with a few hundred cases drawn from the
+//! in-repo seeded [`xrng`] generator instead of an external property
+//! testing framework: the workspace must build and test with no network
+//! access, and deterministic cases make failures trivially repeatable
+//! (the failing seed is the constant in the test).
 
 use offload_repro::dma::{DmaEngine, Tag};
-use offload_repro::memspace::{
-    align_up, Addr, AddrRange, MemoryRegion, Pod, SpaceId, SpaceKind,
-};
+use offload_repro::memspace::{align_up, Addr, AddrRange, MemoryRegion, Pod, SpaceId, SpaceKind};
 use offload_repro::simcell::{Machine, MachineConfig, SimError};
 use offload_repro::softcache::{
     CacheBacking, CacheConfig, SetAssociativeCache, SoftwareCache, WritePolicy,
 };
-use proptest::prelude::*;
+use xrng::Rng;
 
 // ---------------------------------------------------------------- memspace
 
-proptest! {
-    #[test]
-    fn align_up_is_idempotent_and_minimal(offset in 0u32..1_000_000, align in 1u32..512) {
+#[test]
+fn align_up_is_idempotent_and_minimal() {
+    let mut rng = Rng::new(0xA11);
+    for _ in 0..2000 {
+        let offset = rng.below_u32(1_000_000);
+        let align = rng.range_u32(1, 512);
         let aligned = align_up(offset, align);
-        prop_assert!(aligned >= offset);
-        prop_assert!(aligned - offset < align);
-        prop_assert_eq!(aligned % align, 0);
-        prop_assert_eq!(align_up(aligned, align), aligned);
+        assert!(aligned >= offset);
+        assert!(aligned - offset < align);
+        assert_eq!(aligned % align, 0);
+        assert_eq!(align_up(aligned, align), aligned);
     }
+}
 
-    #[test]
-    fn pod_scalars_roundtrip(v_u32: u32, v_i64: i64, v_f32: f32, v_bool: bool) {
+#[test]
+fn pod_scalars_roundtrip() {
+    let mut rng = Rng::new(0x50d);
+    for _ in 0..2000 {
+        let v_u32 = rng.next_u32();
+        let v_i64 = rng.next_u64() as i64;
+        let v_f32 = f32::from_bits(rng.next_u32());
+        let v_bool = rng.next_u32() & 1 == 1;
         let mut buf = [0u8; 8];
         v_u32.write_to(&mut buf);
-        prop_assert_eq!(u32::read_from(&buf), v_u32);
+        assert_eq!(u32::read_from(&buf), v_u32);
         v_i64.write_to(&mut buf);
-        prop_assert_eq!(i64::read_from(&buf), v_i64);
+        assert_eq!(i64::read_from(&buf), v_i64);
         v_f32.write_to(&mut buf);
-        let back = f32::read_from(&buf);
-        prop_assert_eq!(back.to_bits(), v_f32.to_bits());
+        assert_eq!(f32::read_from(&buf).to_bits(), v_f32.to_bits());
         v_bool.write_to(&mut buf);
-        prop_assert_eq!(bool::read_from(&buf), v_bool);
+        assert_eq!(bool::read_from(&buf), v_bool);
     }
+}
 
-    #[test]
-    fn region_write_then_read_returns_written_bytes(
-        offset in 0u32..3_900,
-        data in proptest::collection::vec(any::<u8>(), 1..128),
-    ) {
+#[test]
+fn region_write_then_read_returns_written_bytes() {
+    let mut rng = Rng::new(0x12E6);
+    for _ in 0..500 {
+        let offset = rng.below_u32(3_900);
+        let len = rng.range_u32(1, 128) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
         let mut region = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 4096);
-        region.write_bytes(Addr::new(SpaceId::MAIN, offset), &data).unwrap();
-        let back = region.read_bytes(Addr::new(SpaceId::MAIN, offset), data.len() as u32).unwrap();
-        prop_assert_eq!(back, &data[..]);
+        region
+            .write_bytes(Addr::new(SpaceId::MAIN, offset), &data)
+            .unwrap();
+        let back = region
+            .read_bytes(Addr::new(SpaceId::MAIN, offset), data.len() as u32)
+            .unwrap();
+        assert_eq!(back, &data[..]);
     }
+}
 
-    #[test]
-    fn range_overlap_is_symmetric_and_matches_brute_force(
-        a_start in 0u32..1000, a_len in 0u32..100,
-        b_start in 0u32..1000, b_len in 0u32..100,
-    ) {
+#[test]
+fn range_overlap_is_symmetric_and_matches_brute_force() {
+    let mut rng = Rng::new(0x0E7A);
+    for _ in 0..2000 {
+        let a_start = rng.below_u32(1000);
+        let a_len = rng.below_u32(100);
+        let b_start = rng.below_u32(1000);
+        let b_len = rng.below_u32(100);
         let a = AddrRange::new(Addr::new(SpaceId::MAIN, a_start), a_len).unwrap();
         let b = AddrRange::new(Addr::new(SpaceId::MAIN, b_start), b_len).unwrap();
-        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        assert_eq!(a.overlaps(b), b.overlaps(a));
         let brute = (a_start..a_start + a_len).any(|x| (b_start..b_start + b_len).contains(&x));
-        prop_assert_eq!(a.overlaps(b), brute);
+        assert_eq!(a.overlaps(b), brute);
     }
+}
 
-    #[test]
-    fn bump_allocator_never_hands_out_overlapping_blocks(
-        requests in proptest::collection::vec((1u32..256, prop_oneof![Just(1u32), Just(4), Just(16)]), 1..20),
-    ) {
+#[test]
+fn bump_allocator_never_hands_out_overlapping_blocks() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..200 {
         let mut region = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 64 * 1024);
         let mut blocks: Vec<(u32, u32)> = Vec::new();
-        for (size, align) in requests {
+        let count = rng.range_u32(1, 20);
+        for _ in 0..count {
+            let size = rng.range_u32(1, 256);
+            let align = [1u32, 4, 16][rng.below_u32(3) as usize];
             if let Ok(addr) = region.alloc(size, align) {
-                prop_assert!(addr.is_aligned_to(align));
+                assert!(addr.is_aligned_to(align));
                 for &(start, len) in &blocks {
                     let disjoint = addr.offset() + size <= start || start + len <= addr.offset();
-                    prop_assert!(disjoint, "blocks overlap");
+                    assert!(disjoint, "blocks overlap");
                 }
                 blocks.push((addr.offset(), size));
             }
@@ -80,11 +108,10 @@ proptest! {
 
 // ------------------------------------------------------------------- dma
 
-proptest! {
-    #[test]
-    fn dma_wait_time_is_monotone_and_transfers_are_faithful(
-        sizes in proptest::collection::vec(16u32..2048, 1..12),
-    ) {
+#[test]
+fn dma_wait_time_is_monotone_and_transfers_are_faithful() {
+    let mut rng = Rng::new(0xD3A);
+    for _ in 0..100 {
         let mut main = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 64 * 1024);
         let mut ls = MemoryRegion::new(
             SpaceId::local_store(0),
@@ -95,29 +122,34 @@ proptest! {
         let tag = Tag::new(0).unwrap();
         let mut now = 0u64;
         let mut remote_off = 16u32;
-        for (i, size) in sizes.iter().enumerate() {
-            let size = size & !15; // keep transfers aligned
-            if size == 0 { continue; }
+        let transfers = rng.range_u32(1, 12);
+        for i in 0..transfers {
+            let size = rng.range_u32(16, 2048) & !15; // keep transfers aligned
+            if size == 0 || remote_off + size > 60 * 1024 {
+                continue;
+            }
             let pattern = (i as u8).wrapping_add(1);
             let remote = Addr::new(SpaceId::MAIN, remote_off);
             main.fill(remote, size, pattern).unwrap();
             let local = Addr::new(SpaceId::local_store(0), 1024);
-            let after_issue = engine.get(now, local, remote, size, tag, &mut main, &mut ls).unwrap();
-            prop_assert!(after_issue >= now);
+            let after_issue = engine
+                .get(now, local, remote, size, tag, &mut main, &mut ls)
+                .unwrap();
+            assert!(after_issue >= now);
             let done = engine.wait(tag.mask(), after_issue);
-            prop_assert!(done >= after_issue);
+            assert!(done >= after_issue);
             let bytes = ls.read_bytes(local, size).unwrap();
-            prop_assert!(bytes.iter().all(|&b| b == pattern));
+            assert!(bytes.iter().all(|&b| b == pattern));
             now = done;
             remote_off += size;
         }
-        prop_assert_eq!(engine.race_checker().detected(), 0);
+        assert_eq!(engine.race_checker().detected(), 0);
     }
 }
 
 // -------------------------------------------------------------- softcache
 
-/// Cache operations for the oracle test.
+/// Cache operations for the oracle tests.
 #[derive(Clone, Debug)]
 enum CacheOp {
     Read { offset: u32, len: u8 },
@@ -125,19 +157,30 @@ enum CacheOp {
     Flush,
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (0u32..4000, 1u8..16).prop_map(|(offset, len)| CacheOp::Read { offset, len }),
-        (0u32..4000, any::<u8>(), 1u8..16)
-            .prop_map(|(offset, value, len)| CacheOp::Write { offset, value, len }),
-        Just(CacheOp::Flush),
-    ]
+fn random_op(rng: &mut Rng) -> CacheOp {
+    match rng.below_u32(3) {
+        0 => CacheOp::Read {
+            offset: rng.below_u32(4000),
+            len: rng.range_u32(1, 16) as u8,
+        },
+        1 => CacheOp::Write {
+            offset: rng.below_u32(4000),
+            value: rng.next_u32() as u8,
+            len: rng.range_u32(1, 16) as u8,
+        },
+        _ => CacheOp::Flush,
+    }
+}
+
+fn random_ops(rng: &mut Rng, max: u32) -> Vec<CacheOp> {
+    let count = rng.range_u32(1, max);
+    (0..count).map(|_| random_op(rng)).collect()
 }
 
 /// Runs a random operation sequence through a software cache and a
 /// plain mirror array; after a final flush, simulated main memory must
 /// equal the mirror, and every read must have returned mirror contents.
-fn cache_oracle(config: CacheConfig, ops: Vec<CacheOp>) -> Result<(), TestCaseError> {
+fn cache_oracle(config: CacheConfig, ops: Vec<CacheOp>) {
     let mut main = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 4096);
     let mut ls = MemoryRegion::new(
         SpaceId::local_store(0),
@@ -163,9 +206,14 @@ fn cache_oracle(config: CacheConfig, ops: Vec<CacheOp>) -> Result<(), TestCaseEr
                 }
                 let mut buf = vec![0u8; len];
                 now = cache
-                    .read(now, Addr::new(SpaceId::MAIN, offset), &mut buf, &mut backing)
+                    .read(
+                        now,
+                        Addr::new(SpaceId::MAIN, offset),
+                        &mut buf,
+                        &mut backing,
+                    )
                     .unwrap();
-                prop_assert_eq!(&buf[..], &mirror[offset as usize..offset as usize + len]);
+                assert_eq!(&buf[..], &mirror[offset as usize..offset as usize + len]);
             }
             CacheOp::Write { offset, value, len } => {
                 let len = len as usize;
@@ -193,40 +241,40 @@ fn cache_oracle(config: CacheConfig, ops: Vec<CacheOp>) -> Result<(), TestCaseEr
         .read_bytes(Addr::new(SpaceId::MAIN, 0), 4096)
         .unwrap()
         .to_vec();
-    prop_assert_eq!(stored, mirror);
-    prop_assert_eq!(engine.race_checker().detected(), 0);
-    Ok(())
+    assert_eq!(stored, mirror);
+    assert_eq!(engine.race_checker().detected(), 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn write_back_cache_is_a_transparent_memory(ops in proptest::collection::vec(cache_op(), 1..60)) {
-        cache_oracle(CacheConfig::new(64, 8, 2), ops)?;
+#[test]
+fn write_back_cache_is_a_transparent_memory() {
+    let mut rng = Rng::new(0xCACE);
+    for _ in 0..64 {
+        cache_oracle(CacheConfig::new(64, 8, 2), random_ops(&mut rng, 60));
     }
+}
 
-    #[test]
-    fn write_through_cache_is_a_transparent_memory(ops in proptest::collection::vec(cache_op(), 1..60)) {
+#[test]
+fn write_through_cache_is_a_transparent_memory() {
+    let mut rng = Rng::new(0x77CE);
+    for _ in 0..64 {
         cache_oracle(
             CacheConfig::new(32, 4, 1).write_policy(WritePolicy::WriteThrough),
-            ops,
-        )?;
+            random_ops(&mut rng, 60),
+        );
     }
 }
 
 // ------------------------------------------------------------- offload-rt
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn chunked_and_streamed_processing_agree() {
+    use offload_repro::offload_rt::{process_chunked, process_stream, StreamConfig};
 
-    #[test]
-    fn chunked_and_streamed_processing_agree(
-        len in 1u32..600,
-        chunk in 1u32..128,
-        seed in any::<u32>(),
-    ) {
-        use offload_repro::offload_rt::{process_chunked, process_stream, StreamConfig};
+    let mut rng = Rng::new(0x57E4);
+    for _ in 0..32 {
+        let len = rng.range_u32(1, 600);
+        let chunk = rng.range_u32(1, 128);
+        let seed = rng.next_u32();
 
         let build = || {
             let mut machine = Machine::new(MachineConfig::small()).unwrap();
@@ -235,7 +283,10 @@ proptest! {
             machine.main_mut().write_pod_slice(remote, &values).unwrap();
             (machine, remote)
         };
-        let config = StreamConfig { chunk_elems: chunk, write_back: true };
+        let config = StreamConfig {
+            chunk_elems: chunk,
+            write_back: true,
+        };
         let work = |_: &mut offload_repro::simcell::AccelCtx<'_>, base: u32, data: &mut [u32]| {
             for (i, v) in data.iter_mut().enumerate() {
                 *v = v.wrapping_add(base + i as u32);
@@ -244,43 +295,55 @@ proptest! {
         };
 
         let (mut m1, r1) = build();
-        m1.run_offload(0, |ctx| process_chunked::<u32, _>(ctx, r1, len, config, work))
-            .unwrap()
-            .unwrap();
+        m1.run_offload(0, |ctx| {
+            process_chunked::<u32, _>(ctx, r1, len, config, work)
+        })
+        .unwrap()
+        .unwrap();
         let chunked = m1.main().read_pod_slice::<u32>(r1, len).unwrap();
 
         let (mut m2, r2) = build();
-        m2.run_offload(0, |ctx| process_stream::<u32, _>(ctx, r2, len, config, work))
-            .unwrap()
-            .unwrap();
+        m2.run_offload(0, |ctx| {
+            process_stream::<u32, _>(ctx, r2, len, config, work)
+        })
+        .unwrap()
+        .unwrap();
         let streamed = m2.main().read_pod_slice::<u32>(r2, len).unwrap();
 
-        prop_assert_eq!(chunked, streamed);
-        prop_assert_eq!(m2.races_detected(), 0);
+        assert_eq!(chunked, streamed);
+        assert_eq!(m2.races_detected(), 0);
     }
 }
 
 // ------------------------------------------------------------ offload-lang
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn compiled_arithmetic_matches_rust_semantics() {
+    use offload_repro::offload_lang::{compile, Target, Vm};
 
-    #[test]
-    fn compiled_arithmetic_matches_rust_semantics(a in -1000i32..1000, b in -1000i32..1000, c in 1i32..50) {
-        use offload_repro::offload_lang::{compile, Target, Vm};
-        let source = format!(
-            "fn main() -> int {{ return ({a} + {b}) * 3 - {a} / {c} + {b} % {c}; }}"
-        );
+    let mut rng = Rng::new(0xA417);
+    for _ in 0..48 {
+        let a = rng.below_u32(2000) as i32 - 1000;
+        let b = rng.below_u32(2000) as i32 - 1000;
+        let c = rng.range_u32(1, 50) as i32;
+        let source =
+            format!("fn main() -> int {{ return ({a} + {b}) * 3 - {a} / {c} + {b} % {c}; }}");
         let expected = (a + b) * 3 - a / c + b % c;
         let program = compile(&source, &Target::cell_like()).unwrap();
         let mut machine = Machine::new(MachineConfig::small()).unwrap();
         let mut vm = Vm::new(&program, &mut machine).unwrap();
-        prop_assert_eq!(vm.run(&mut machine).unwrap(), expected);
+        assert_eq!(vm.run(&mut machine).unwrap(), expected);
     }
+}
 
-    #[test]
-    fn offloaded_and_host_loops_compute_identically(n in 1u32..64, mult in 1i32..9) {
-        use offload_repro::offload_lang::{compile, Target, Vm};
+#[test]
+fn offloaded_and_host_loops_compute_identically() {
+    use offload_repro::offload_lang::{compile, Target, Vm};
+
+    let mut rng = Rng::new(0x100F);
+    for _ in 0..24 {
+        let n = rng.range_u32(1, 64);
+        let mult = rng.range_u32(1, 9) as i32;
         let host_src = format!(
             r#"
             var acc: int;
@@ -312,13 +375,13 @@ proptest! {
             let mut vm = Vm::new(&program, &mut machine).unwrap();
             vm.run(&mut machine).unwrap()
         };
-        prop_assert_eq!(run(&host_src), run(&offl_src));
+        assert_eq!(run(&host_src), run(&offl_src));
     }
 }
 
 /// Oracle test for the streaming cache: any mix of reads and (uncached,
 /// synchronous) writes behaves like plain memory.
-fn stream_oracle(ops: Vec<CacheOp>) -> Result<(), TestCaseError> {
+fn stream_oracle(ops: Vec<CacheOp>) {
     use offload_repro::softcache::StreamCache;
 
     let mut main = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 4096);
@@ -346,9 +409,14 @@ fn stream_oracle(ops: Vec<CacheOp>) -> Result<(), TestCaseError> {
                 }
                 let mut buf = vec![0u8; len];
                 now = cache
-                    .read(now, Addr::new(SpaceId::MAIN, offset), &mut buf, &mut backing)
+                    .read(
+                        now,
+                        Addr::new(SpaceId::MAIN, offset),
+                        &mut buf,
+                        &mut backing,
+                    )
                     .unwrap();
-                prop_assert_eq!(&buf[..], &mirror[offset as usize..offset as usize + len]);
+                assert_eq!(&buf[..], &mirror[offset as usize..offset as usize + len]);
             }
             CacheOp::Write { offset, value, len } => {
                 let len = len as usize;
@@ -376,29 +444,37 @@ fn stream_oracle(ops: Vec<CacheOp>) -> Result<(), TestCaseError> {
         .read_bytes(Addr::new(SpaceId::MAIN, 0), 4096)
         .unwrap()
         .to_vec();
-    prop_assert_eq!(stored, mirror);
-    prop_assert_eq!(engine.race_checker().detected(), 0);
-    Ok(())
+    assert_eq!(stored, mirror);
+    assert_eq!(engine.race_checker().detected(), 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn stream_cache_is_a_transparent_memory(ops in proptest::collection::vec(cache_op(), 1..60)) {
-        stream_oracle(ops)?;
+#[test]
+fn stream_cache_is_a_transparent_memory() {
+    let mut rng = Rng::new(0x57CE);
+    for _ in 0..48 {
+        stream_oracle(random_ops(&mut rng, 60));
     }
+}
 
-    #[test]
-    fn array_accessor_matches_direct_memory(
-        len in 1u32..512,
-        writes in proptest::collection::vec((0u32..512, any::<u32>()), 0..40),
-    ) {
-        use offload_repro::offload_rt::ArrayAccessor;
+#[test]
+fn array_accessor_matches_direct_memory() {
+    use offload_repro::offload_rt::ArrayAccessor;
+
+    let mut rng = Rng::new(0xACC);
+    for _ in 0..32 {
+        let len = rng.range_u32(1, 512);
+        let write_count = rng.below_u32(40);
+        let writes: Vec<(u32, u32)> = (0..write_count)
+            .map(|_| (rng.below_u32(512), rng.next_u32()))
+            .collect();
+
         let mut machine = Machine::new(MachineConfig::small()).unwrap();
         let remote = machine.alloc_main_slice::<u32>(len).unwrap();
         let initial: Vec<u32> = (0..len).map(|i| i ^ 0xa5a5).collect();
-        machine.main_mut().write_pod_slice(remote, &initial).unwrap();
+        machine
+            .main_mut()
+            .write_pod_slice(remote, &initial)
+            .unwrap();
 
         let mut mirror = initial.clone();
         let writes2 = writes.clone();
@@ -419,10 +495,10 @@ proptest! {
                 mirror[index as usize] = value;
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             machine.main().read_pod_slice::<u32>(remote, len).unwrap(),
             mirror
         );
-        prop_assert_eq!(machine.races_detected(), 0);
+        assert_eq!(machine.races_detected(), 0);
     }
 }
