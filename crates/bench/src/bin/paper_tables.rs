@@ -1,23 +1,61 @@
-//! Regenerates every table of the reproduction (E1–E12).
+//! Regenerates every table of the reproduction (E1–E14).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p bench --bin paper_tables [--quick] [--markdown] [EXP...]
+//! cargo run --release -p bench --bin paper_tables -- --trace e2.json
+//! cargo run --release -p bench --bin paper_tables -- --stats
 //! ```
 //!
 //! With experiment ids (e.g. `E4 E9`) only those tables run.
+//!
+//! `--trace <file>` runs one traced E2 offloaded frame (paper Figure 2)
+//! and writes its event log as Chrome trace-event JSON — open the file
+//! in <https://ui.perfetto.dev>; `PROFILING.md` is the reading guide.
+//! `--stats` runs the same frame and prints the plain-text utilization
+//! report instead. Tracing is zero simulated cost, so neither flag
+//! perturbs any table.
 
 use bench::exp;
+use bench::profile::traced_e2_frame;
 use bench::Table;
+use simcell::chrome_trace_json;
 
 /// An experiment id paired with its runner.
 type Runner = (&'static str, fn(bool) -> Table);
+
+/// Runs a traced E2 frame and writes the Chrome trace JSON to `path`.
+fn write_trace(path: &str) {
+    let (machine, stats) = traced_e2_frame(true);
+    let json = chrome_trace_json(machine.events());
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!(
+        "wrote {path}: {} events from one offloaded frame ({} host cycles, {} pairs) — \
+         open in https://ui.perfetto.dev (see PROFILING.md)",
+        machine.events().len(),
+        stats.host_cycles,
+        stats.pairs,
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--trace needs a file argument, e.g. --trace e2.json");
+            std::process::exit(2);
+        };
+        write_trace(path);
+        return;
+    }
+    if args.iter().any(|a| a == "--stats") {
+        let (machine, _) = traced_e2_frame(false);
+        print!("{}", machine.utilization_report());
+        return;
+    }
     let wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

@@ -12,10 +12,24 @@
 //! `--markdown` for EXPERIMENTS.md-ready output), `cargo bench` for the
 //! wall-time suites of the underlying kernels, or `cargo run --release
 //! -p bench --bin bench_throughput` for the hot-path throughput report
-//! (`BENCH_throughput.json`).
+//! (`BENCH_throughput.json`). `paper_tables --trace <file>` / `--stats`
+//! capture a profiling trace instead of tables (see `PROFILING.md`).
+//!
+//! # Example
+//!
+//! ```
+//! // Every experiment returns a Table whose shape (not absolute
+//! // cycles) carries the claim; E2 in quick mode runs one sweep row.
+//! let table = bench::exp::e02_offload_overlap::run(true);
+//! assert_eq!(table.rows.len(), 1);
+//! assert!(table.columns.iter().any(|c| c == "speedup"));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod exp;
 pub mod hotpath;
+pub mod profile;
 pub mod table;
 pub mod timing;
 

@@ -1,0 +1,72 @@
+//! Traced runs for profiling — the capture side of `PROFILING.md`.
+//!
+//! [`traced_e2_frame`] re-runs E2's offloaded frame (paper Figure 2)
+//! with the event log enabled and hands back the machine, ready for
+//! [`simcell::chrome_trace_json`], [`simcell::ascii_timeline`] or
+//! [`simcell::Machine::utilization_report`]. Tracing is zero simulated
+//! cost, so the cycle counts match an untraced E2 run bit for bit —
+//! [`traced_e2_frame_cycles`] is the untraced twin the regression tests
+//! compare against.
+
+use gamekit::{run_frame, AiConfig, EntityArray, FrameSchedule, FrameStats, WorldGen};
+use memspace::Addr;
+use simcell::{Machine, MachineConfig};
+
+/// Entity count used by the traced frame (matches E2's quick sweep).
+pub const TRACE_ENTITIES: u32 = 256;
+
+fn setup(n: u32) -> (Machine, EntityArray, Addr) {
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    let mut gen = WorldGen::new(0xE2);
+    gen.populate(&mut machine, &entities, 60.0).expect("fits");
+    let table = gen
+        .candidate_table(&mut machine, n, AiConfig::default().candidates)
+        .expect("fits");
+    (machine, entities, table)
+}
+
+/// Runs one E2 offloaded frame with `trace` deciding whether the event
+/// log records. The returned machine holds the log, the always-on
+/// [`simcell::MachineStats`], and per-engine DMA statistics.
+pub fn traced_e2_frame(trace: bool) -> (Machine, FrameStats) {
+    let (mut machine, entities, table) = setup(TRACE_ENTITIES);
+    machine.events_mut().set_enabled(trace);
+    let stats = run_frame(
+        &mut machine,
+        &entities,
+        table,
+        &AiConfig::default(),
+        FrameSchedule::Offloaded { accel: 0 },
+    )
+    .expect("frame runs");
+    (machine, stats)
+}
+
+/// Host cycles of one untraced E2 offloaded frame — the baseline the
+/// zero-cost regression tests pin traced runs against.
+pub fn traced_e2_frame_cycles() -> u64 {
+    traced_e2_frame(false).1.host_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_frame_records_the_figure2_events() {
+        let (machine, stats) = traced_e2_frame(true);
+        assert!(stats.schedule_was_offloaded);
+        assert!(!machine.events().is_empty());
+        assert!(machine.stats().offloads >= 1);
+    }
+
+    #[test]
+    fn tracing_never_changes_frame_cycles() {
+        let (_, traced) = traced_e2_frame(true);
+        let (_, untraced) = traced_e2_frame(false);
+        assert_eq!(traced.host_cycles, untraced.host_cycles);
+        assert_eq!(traced.ai_cycles, untraced.ai_cycles);
+        assert_eq!(traced.pairs, untraced.pairs);
+    }
+}

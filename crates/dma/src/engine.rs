@@ -354,6 +354,7 @@ pub struct DmaEngine {
     queues: [std::collections::VecDeque<QueuedCmd>; Tag::COUNT as usize],
     inflight_count: usize,
     next_id: u64,
+    last_complete_at: u64,
     stats: DmaStats,
     checker: RaceChecker,
 }
@@ -374,6 +375,7 @@ impl DmaEngine {
             queues: std::array::from_fn(|_| std::collections::VecDeque::new()),
             inflight_count: 0,
             next_id: 1,
+            last_complete_at: 0,
             stats: DmaStats::default(),
             checker: RaceChecker::new(RaceMode::Record),
         }
@@ -509,6 +511,7 @@ impl DmaEngine {
         let streamed = start + stream;
         self.engine_free_at = streamed;
         let complete_at = streamed + self.timing.latency;
+        self.last_complete_at = complete_at;
         let id = self.next_id;
         self.next_id += 1;
         self.checker.note_issue(id, &request, now);
@@ -546,6 +549,15 @@ impl DmaEngine {
     /// Waits for *all* in-flight commands (a full barrier).
     pub fn wait_all(&mut self, now: u64) -> u64 {
         self.wait(TagMask::ALL, now)
+    }
+
+    /// Completion cycle of the most recently issued command (0 if none
+    /// was ever issued). The timing model is deterministic, so the
+    /// completion time is known at issue time; tracing layers read this
+    /// right after `get`/`put` to stamp transfer intervals without
+    /// perturbing the engine.
+    pub fn last_complete_at(&self) -> u64 {
+        self.last_complete_at
     }
 
     /// Number of commands still in flight.

@@ -18,6 +18,20 @@
 //!
 //! Time is represented as plain `u64` cycle counts supplied by the
 //! caller; the `simcell` crate owns the clocks.
+//!
+//! # Example
+//!
+//! ```
+//! use dma::{Tag, TagMask};
+//!
+//! let tag = Tag::new(3).expect("0..=31 are valid tags");
+//! let mask = tag.mask();
+//! assert!(mask.contains(tag));
+//! assert_eq!(mask.bits(), 1 << 3);
+//! assert!(TagMask::ALL.contains(tag));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod race;

@@ -109,30 +109,44 @@ pub fn run_frame(
     schedule: FrameSchedule,
 ) -> Result<FrameStats, SimError> {
     let t0 = machine.host_now();
+    machine.span_start("doFrame");
     let (pairs, ai_cycles) = match schedule {
         FrameSchedule::Sequential => {
             let a0 = machine.host_now();
+            machine.span_start("calculateStrategy");
             ai_frame_host(machine, entities, candidate_table, ai_config)?;
+            machine.span_end("calculateStrategy");
             let ai_cycles = machine.host_now() - a0;
+            machine.span_start("detectCollisions");
             let pairs = detect_collisions_host(machine, entities, FRAME_CELL_SIZE)?;
+            machine.span_end("detectCollisions");
             (pairs, ai_cycles)
         }
         FrameSchedule::Offloaded { accel } => {
             // __offload { this->calculateStrategy(...); }
-            let handle = machine.offload(accel, |ctx| {
+            let handle = machine.offload_labeled(accel, "calculateStrategy", |ctx| {
                 ai_frame_offloaded(ctx, entities, candidate_table, ai_config)
             })?;
             let ai_cycles = handle.elapsed();
             // this->detectCollisions();  (host, in parallel)
+            machine.span_start("detectCollisions");
             let pairs = detect_collisions_host(machine, entities, FRAME_CELL_SIZE)?;
+            machine.span_end("detectCollisions");
             // __offload_join(h);
             machine.join(handle)?;
             (pairs, ai_cycles)
         }
     };
+    machine.span_start("respondPairs");
     respond_pairs_host(machine, entities, &pairs)?;
+    machine.span_end("respondPairs");
+    machine.span_start("updateEntities");
     update_entities(machine, entities)?;
+    machine.span_end("updateEntities");
+    machine.span_start("renderFrame");
     render_frame(machine, entities)?;
+    machine.span_end("renderFrame");
+    machine.span_end("doFrame");
     Ok(FrameStats {
         schedule_was_offloaded: matches!(schedule, FrameSchedule::Offloaded { .. }),
         host_cycles: machine.host_now() - t0,

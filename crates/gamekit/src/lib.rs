@@ -19,6 +19,33 @@
 //! - [`ai`]: the offloadable strategy computation of Figure 2,
 //! - [`frame`]: the `GameWorld::doFrame` loop, sequential and offloaded,
 //! - [`workload`]: seeded, deterministic scenario generators.
+//!
+//! # Example
+//!
+//! ```
+//! use gamekit::{run_frame, AiConfig, EntityArray, FrameSchedule, WorldGen};
+//! use simcell::{Machine, MachineConfig, SimError};
+//!
+//! # fn main() -> Result<(), SimError> {
+//! let mut machine = Machine::new(MachineConfig::small())?;
+//! let entities = EntityArray::alloc(&mut machine, 64)?;
+//! let mut gen = WorldGen::new(7);
+//! gen.populate(&mut machine, &entities, 40.0)?;
+//! let table = gen.candidate_table(&mut machine, 64, AiConfig::default().candidates)?;
+//! let stats = run_frame(
+//!     &mut machine,
+//!     &entities,
+//!     table,
+//!     &AiConfig::default(),
+//!     FrameSchedule::Offloaded { accel: 0 },
+//! )?;
+//! assert!(stats.schedule_was_offloaded);
+//! assert!(stats.host_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod ai;
 pub mod collision;

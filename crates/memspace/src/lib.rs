@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod error;
 pub mod layout;

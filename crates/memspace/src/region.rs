@@ -38,6 +38,7 @@ pub struct MemoryRegion {
     kind: SpaceKind,
     bytes: Vec<u8>,
     next_free: u32,
+    high_water: u32,
 }
 
 impl MemoryRegion {
@@ -56,6 +57,7 @@ impl MemoryRegion {
             // Offset 0 is the null address; start allocating past it at
             // a DMA-friendly boundary.
             next_free: crate::DMA_ALIGN,
+            high_water: crate::DMA_ALIGN,
         }
     }
 
@@ -247,6 +249,7 @@ impl MemoryRegion {
             });
         }
         self.next_free = end;
+        self.high_water = self.high_water.max(end);
         Ok(Addr::new(self.id, start))
     }
 
@@ -303,6 +306,15 @@ impl MemoryRegion {
             self.next_free
         );
         self.next_free = mark;
+    }
+
+    /// Peak allocator position ever reached, in bytes — the region's
+    /// allocation high-water mark. Unlike [`MemoryRegion::save_alloc`],
+    /// this survives `restore_alloc`/`reset_allocator`, so it reports
+    /// the worst-case local-store footprint across scoped offload
+    /// blocks (the number an SPE programmer budgets against).
+    pub fn alloc_high_water(&self) -> u32 {
+        self.high_water
     }
 
     /// The full addressable range of the region.

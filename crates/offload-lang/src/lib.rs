@@ -58,6 +58,8 @@
 //! assert_eq!(exit, 42);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod bytecode;
 pub mod codegen;

@@ -69,6 +69,7 @@ impl<T: Pod> ArrayAccessor<T> {
     /// Fails if the local store cannot hold the array or a transfer
     /// fails.
     pub fn fetch(ctx: &mut AccelCtx<'_>, remote: Addr, len: u32) -> Result<Self, SimError> {
+        ctx.span_start("accessor.fetch");
         let local = ctx.alloc_local_slice::<T>(len)?;
         let accessor = ArrayAccessor {
             local,
@@ -80,6 +81,7 @@ impl<T: Pod> ArrayAccessor<T> {
         let bytes = (T::SIZE as u32) * len;
         transfer_chunked(ctx, local, remote, bytes, TransferDir::Get)?;
         ctx.dma_wait_tag(Self::tag());
+        ctx.span_end("accessor.fetch");
         Ok(accessor)
     }
 
@@ -180,10 +182,12 @@ impl<T: Pod> ArrayAccessor<T> {
         if !self.dirty {
             return Ok(());
         }
+        ctx.span_start("accessor.write_back");
         let bytes = (T::SIZE as u32) * self.len;
         transfer_chunked(ctx, self.local, self.remote, bytes, TransferDir::Put)?;
         ctx.dma_wait_tag(Self::tag());
         self.dirty = false;
+        ctx.span_end("accessor.write_back");
         Ok(())
     }
 }

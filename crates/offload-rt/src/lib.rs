@@ -19,6 +19,31 @@
 //! Everything here runs against [`simcell::AccelCtx`], so each
 //! abstraction carries its real (simulated) cost: the benchmarks in
 //! `bench` measure exactly these code paths.
+//!
+//! # Example
+//!
+//! ```
+//! use offload_rt::ArrayAccessor;
+//! use simcell::{Machine, MachineConfig, SimError};
+//!
+//! # fn main() -> Result<(), SimError> {
+//! let mut machine = Machine::new(MachineConfig::small())?;
+//! let remote = machine.alloc_main_slice::<u32>(64)?;
+//! machine.main_mut().write_pod_slice(remote, &(0..64).collect::<Vec<u32>>())?;
+//! let sum = machine.run_offload(0, |ctx| -> Result<u32, SimError> {
+//!     let array = ArrayAccessor::<u32>::fetch(ctx, remote, 64)?;
+//!     let mut sum = 0;
+//!     for i in 0..array.len() {
+//!         sum += array.get(ctx, i)?;
+//!     }
+//!     Ok(sum)
+//! })??;
+//! assert_eq!(sum, (0..64).sum());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod accessor;
 pub mod codeload;

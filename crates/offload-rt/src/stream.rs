@@ -58,6 +58,7 @@ where
     T: Pod,
     F: FnMut(&mut AccelCtx<'_>, u32, &mut [T]) -> Result<(), SimError>,
 {
+    ctx.span_start("process_chunked");
     let chunk_elems = config.chunk_elems.max(1);
     let buffer = ctx.alloc_local_slice::<T>(chunk_elems)?;
     let tag = stream_tag(0);
@@ -80,6 +81,7 @@ where
         }
         base += n;
     }
+    ctx.span_end("process_chunked");
     Ok(())
 }
 
@@ -112,6 +114,7 @@ where
     if len == 0 {
         return Ok(());
     }
+    ctx.span_start("process_stream");
     let chunk_count = len.div_ceil(chunk_elems);
     let chunk_len = |i: u32| chunk_elems.min(len - i * chunk_elems);
     let chunk_remote = |i: u32| remote.element(i * chunk_elems, elem);
@@ -155,6 +158,7 @@ where
     // Drain the pipeline.
     ctx.dma_wait_tag(stream_tag(0));
     ctx.dma_wait_tag(stream_tag(1));
+    ctx.span_end("process_stream");
     Ok(())
 }
 

@@ -1,11 +1,13 @@
 //! The accelerator execution context.
 
-use dma::{AccessKind, DmaEngine, Tag, TagMask};
+use dma::{AccessKind, DmaDirection, DmaEngine, Tag, TagMask};
 use memspace::{Addr, AddrRange, MemoryRegion, Pod};
 use softcache::{CacheBacking, SoftwareCache};
 
 use crate::cost::CostModel;
 use crate::error::SimError;
+use crate::event::{CoreId, EventKind, EventLog};
+use crate::trace::MachineStats;
 
 /// DMA tag reserved for synchronous "outer" accesses (the naive
 /// dereference-of-a-host-pointer path). User code should use tags
@@ -45,6 +47,8 @@ pub struct AccelCtx<'m> {
     pub(crate) dma: &'m mut DmaEngine,
     pub(crate) staging: Addr,
     pub(crate) staging_size: u32,
+    pub(crate) events: &'m mut EventLog,
+    pub(crate) stats: &'m mut MachineStats,
 }
 
 impl<'m> AccelCtx<'m> {
@@ -75,6 +79,133 @@ impl<'m> AccelCtx<'m> {
 
     fn ls_cycles(&self, bytes: u32) -> u64 {
         self.cost.ls_access * u64::from(bytes.div_ceil(16).max(1))
+    }
+
+    /// Counts one DMA command in [`MachineStats`] and, when the event
+    /// log is enabled, records a [`EventKind::DmaIssue`] stamped at
+    /// `issued_at` with the completion cycle the engine just computed.
+    /// Pure bookkeeping: no simulated cycles.
+    fn trace_dma(&mut self, issued_at: u64, bytes: u32, tag: Tag, dir: DmaDirection) {
+        match dir {
+            DmaDirection::Get => {
+                self.stats.dma_gets += 1;
+                self.stats.dma_bytes_to_local += u64::from(bytes);
+            }
+            DmaDirection::Put => {
+                self.stats.dma_puts += 1;
+                self.stats.dma_bytes_from_local += u64::from(bytes);
+            }
+        }
+        if self.events.is_enabled() {
+            self.events.record(
+                issued_at,
+                EventKind::DmaIssue {
+                    accel: self.accel_index,
+                    tag: tag.raw(),
+                    bytes,
+                    dir,
+                    complete_at: self.dma.last_complete_at(),
+                },
+            );
+        }
+    }
+
+    /// Records a [`EventKind::DmaWait`] covering `[issued_at, self.now]`
+    /// when the event log is enabled.
+    fn trace_wait(&mut self, issued_at: u64, mask: TagMask) {
+        if self.events.is_enabled() {
+            self.events.record(
+                issued_at,
+                EventKind::DmaWait {
+                    accel: self.accel_index,
+                    mask: mask.bits(),
+                    resumed_at: self.now,
+                },
+            );
+        }
+    }
+
+    /// Diffs a cache's counters across one routed access and emits
+    /// cache events / [`MachineStats`] updates for the delta.
+    fn trace_cache_delta(
+        &mut self,
+        at: u64,
+        before: softcache::CacheStats,
+        after: softcache::CacheStats,
+    ) {
+        let hits = after.hits - before.hits;
+        let misses = after.misses - before.misses;
+        let evictions = after.evictions - before.evictions;
+        let bytes_fetched = after.bytes_fetched - before.bytes_fetched;
+        let bytes_written_back = after.bytes_written_back - before.bytes_written_back;
+        self.stats.cache_hits += hits;
+        self.stats.cache_misses += misses;
+        self.stats.cache_evictions += evictions;
+        self.stats.cache_bytes_fetched += bytes_fetched;
+        self.stats.cache_bytes_written_back += bytes_written_back;
+        if self.events.is_enabled() {
+            let accel = self.accel_index;
+            if hits > 0 {
+                self.events.record(
+                    at,
+                    EventKind::CacheHit {
+                        accel,
+                        count: hits as u32,
+                    },
+                );
+            }
+            if misses > 0 {
+                self.events.record(
+                    at,
+                    EventKind::CacheMiss {
+                        accel,
+                        count: misses as u32,
+                        bytes_fetched,
+                    },
+                );
+            }
+            if evictions > 0 {
+                self.events.record(
+                    at,
+                    EventKind::CacheEvict {
+                        accel,
+                        count: evictions as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- annotation ------------------------------------------------------
+
+    /// Opens a named span on this accelerator's timeline (free: recording
+    /// never advances the clock). Pair with [`AccelCtx::span_end`] using
+    /// the same name.
+    pub fn span_start(&mut self, name: &'static str) {
+        self.events.record(
+            self.now,
+            EventKind::SpanStart {
+                core: CoreId::Accel(self.accel_index),
+                name,
+            },
+        );
+    }
+
+    /// Closes the innermost span opened with [`AccelCtx::span_start`].
+    pub fn span_end(&mut self, name: &'static str) {
+        self.events.record(
+            self.now,
+            EventKind::SpanEnd {
+                core: CoreId::Accel(self.accel_index),
+                name,
+            },
+        );
+    }
+
+    /// Records a static annotation stamped at this accelerator's current
+    /// cycle, without allocating (see [`EventLog::note_static`]).
+    pub fn note_static(&mut self, text: &'static str) {
+        self.events.note_static(self.now, text);
     }
 
     // ---- local store ----------------------------------------------------
@@ -253,9 +384,11 @@ impl<'m> AccelCtx<'m> {
         size: u32,
         tag: Tag,
     ) -> Result<(), SimError> {
+        let issued_at = self.now;
         self.now = self
             .dma
             .get(self.now, local, remote, size, tag, self.main, self.ls)?;
+        self.trace_dma(issued_at, size, tag, DmaDirection::Get);
         Ok(())
     }
 
@@ -272,15 +405,19 @@ impl<'m> AccelCtx<'m> {
         size: u32,
         tag: Tag,
     ) -> Result<(), SimError> {
+        let issued_at = self.now;
         self.now = self
             .dma
             .put(self.now, local, remote, size, tag, self.main, self.ls)?;
+        self.trace_dma(issued_at, size, tag, DmaDirection::Put);
         Ok(())
     }
 
     /// Blocks until every command in `mask` has completed.
     pub fn dma_wait(&mut self, mask: TagMask) {
+        let issued_at = self.now;
         self.now = self.dma.wait(mask, self.now);
+        self.trace_wait(issued_at, mask);
     }
 
     /// Blocks until every command under `tag` has completed.
@@ -290,7 +427,9 @@ impl<'m> AccelCtx<'m> {
 
     /// Blocks until the DMA engine is idle.
     pub fn dma_wait_all(&mut self) {
+        let issued_at = self.now;
         self.now = self.dma.wait_all(self.now);
+        self.trace_wait(issued_at, TagMask::ALL);
     }
 
     // ---- naive outer access ----------------------------------------------
@@ -315,10 +454,14 @@ impl<'m> AccelCtx<'m> {
             });
         }
         let tag = self.outer_tag();
+        let issued_at = self.now;
         self.now = self
             .dma
             .get(self.now, self.staging, addr, size, tag, self.main, self.ls)?;
+        self.trace_dma(issued_at, size, tag, DmaDirection::Get);
+        let wait_at = self.now;
         self.now = self.dma.wait(tag.mask(), self.now);
+        self.trace_wait(wait_at, tag.mask());
         self.now += self.ls_cycles(size);
         Ok(self.ls.read_pod(self.staging)?)
     }
@@ -340,10 +483,14 @@ impl<'m> AccelCtx<'m> {
         self.now += self.ls_cycles(size);
         self.ls.write_pod(self.staging, value)?;
         let tag = self.outer_tag();
+        let issued_at = self.now;
         self.now = self
             .dma
             .put(self.now, self.staging, addr, size, tag, self.main, self.ls)?;
+        self.trace_dma(issued_at, size, tag, DmaDirection::Put);
+        let wait_at = self.now;
         self.now = self.dma.wait(tag.mask(), self.now);
+        self.trace_wait(wait_at, tag.mask());
         Ok(())
     }
 
@@ -359,6 +506,7 @@ impl<'m> AccelCtx<'m> {
         while done < out.len() {
             let chunk = (out.len() - done).min(self.staging_size as usize);
             let remote = addr.offset_by(done as u32)?;
+            let issued_at = self.now;
             self.now = self.dma.get(
                 self.now,
                 self.staging,
@@ -368,7 +516,10 @@ impl<'m> AccelCtx<'m> {
                 self.main,
                 self.ls,
             )?;
+            self.trace_dma(issued_at, chunk as u32, tag, DmaDirection::Get);
+            let wait_at = self.now;
             self.now = self.dma.wait(tag.mask(), self.now);
+            self.trace_wait(wait_at, tag.mask());
             self.now += self.ls_cycles(chunk as u32);
             self.ls
                 .read_into(self.staging, &mut out[done..done + chunk])?;
@@ -392,6 +543,7 @@ impl<'m> AccelCtx<'m> {
             self.now += self.ls_cycles(chunk as u32);
             self.ls
                 .write_bytes(self.staging, &data[done..done + chunk])?;
+            let issued_at = self.now;
             self.now = self.dma.put(
                 self.now,
                 self.staging,
@@ -401,7 +553,10 @@ impl<'m> AccelCtx<'m> {
                 self.main,
                 self.ls,
             )?;
+            self.trace_dma(issued_at, chunk as u32, tag, DmaDirection::Put);
+            let wait_at = self.now;
             self.now = self.dma.wait(tag.mask(), self.now);
+            self.trace_wait(wait_at, tag.mask());
             done += chunk;
         }
         Ok(())
@@ -418,12 +573,15 @@ impl<'m> AccelCtx<'m> {
         addr: Addr,
         out: &mut [u8],
     ) -> Result<(), SimError> {
+        let before = cache.stats();
+        let at = self.now;
         let mut backing = CacheBacking {
             main: self.main,
             ls: self.ls,
             dma: self.dma,
         };
         self.now = cache.read(self.now, addr, out, &mut backing)?;
+        self.trace_cache_delta(at, before, cache.stats());
         Ok(())
     }
 
@@ -438,12 +596,15 @@ impl<'m> AccelCtx<'m> {
         addr: Addr,
         data: &[u8],
     ) -> Result<(), SimError> {
+        let before = cache.stats();
+        let at = self.now;
         let mut backing = CacheBacking {
             main: self.main,
             ls: self.ls,
             dma: self.dma,
         };
         self.now = cache.write(self.now, addr, data, &mut backing)?;
+        self.trace_cache_delta(at, before, cache.stats());
         Ok(())
     }
 
@@ -469,13 +630,17 @@ impl<'m> AccelCtx<'m> {
             large = vec![0u8; T::SIZE];
             &mut large[..]
         };
+        let before = cache.stats();
+        let at = self.now;
         let mut backing = CacheBacking {
             main: self.main,
             ls: self.ls,
             dma: self.dma,
         };
         self.now = cache.read(self.now, addr, buf, &mut backing)?;
-        Ok(T::read_from(buf))
+        let value = T::read_from(buf);
+        self.trace_cache_delta(at, before, cache.stats());
+        Ok(value)
     }
 
     /// Writes a `T` to main memory through a software cache.
@@ -498,12 +663,15 @@ impl<'m> AccelCtx<'m> {
             &mut large[..]
         };
         value.write_to(buf);
+        let before = cache.stats();
+        let at = self.now;
         let mut backing = CacheBacking {
             main: self.main,
             ls: self.ls,
             dma: self.dma,
         };
         self.now = cache.write(self.now, addr, buf, &mut backing)?;
+        self.trace_cache_delta(at, before, cache.stats());
         Ok(())
     }
 
@@ -551,12 +719,15 @@ impl<'m> AccelCtx<'m> {
     ///
     /// As for [`softcache::SoftwareCache::flush`].
     pub fn cache_flush<C: SoftwareCache>(&mut self, cache: &mut C) -> Result<(), SimError> {
+        let before = cache.stats();
+        let at = self.now;
         let mut backing = CacheBacking {
             main: self.main,
             ls: self.ls,
             dma: self.dma,
         };
         self.now = cache.flush(self.now, &mut backing)?;
+        self.trace_cache_delta(at, before, cache.stats());
         Ok(())
     }
 }

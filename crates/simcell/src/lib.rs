@@ -46,14 +46,27 @@
 //! # }
 //! ```
 
+//! # Observability
+//!
+//! Every machine carries an always-on [`trace::MachineStats`] counter
+//! block and an opt-in [`EventLog`] timeline. Both are zero
+//! *simulated* cost: recording spends host memory, never cycles, so
+//! traced and untraced runs produce bit-identical results. See the
+//! [`trace`] module for the Chrome-trace/Perfetto exporter and the
+//! repository's `PROFILING.md` for the reading guide.
+
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod ctx;
 pub mod error;
 pub mod event;
 pub mod machine;
+pub mod trace;
 
 pub use cost::CostModel;
 pub use ctx::AccelCtx;
 pub use error::SimError;
-pub use event::{Event, EventKind, EventLog};
+pub use event::{CoreId, Event, EventKind, EventLog};
 pub use machine::{Machine, MachineConfig, OffloadHandle};
+pub use trace::{ascii_timeline, chrome_trace_json, parse_chrome_trace, ChromeEvent, MachineStats};

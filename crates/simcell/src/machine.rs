@@ -6,7 +6,8 @@ use memspace::{Addr, MemoryRegion, Pod, SpaceId, SpaceKind};
 use crate::cost::CostModel;
 use crate::ctx::AccelCtx;
 use crate::error::SimError;
-use crate::event::{EventKind, EventLog};
+use crate::event::{CoreId, EventKind, EventLog};
+use crate::trace::MachineStats;
 
 /// Machine shape and cost parameters.
 ///
@@ -56,6 +57,7 @@ struct Accel {
     ls: MemoryRegion,
     dma: DmaEngine,
     busy_until: u64,
+    busy_cycles: u64,
     staging: Addr,
 }
 
@@ -105,6 +107,7 @@ pub struct Machine {
     accels: Vec<Accel>,
     host_now: u64,
     events: EventLog,
+    stats: MachineStats,
 }
 
 impl Machine {
@@ -144,6 +147,7 @@ impl Machine {
                 ls,
                 dma,
                 busy_until: 0,
+                busy_cycles: 0,
                 staging,
             });
         }
@@ -153,6 +157,7 @@ impl Machine {
             accels,
             host_now: 0,
             events: EventLog::new(),
+            stats: MachineStats::default(),
         })
     }
 
@@ -184,6 +189,68 @@ impl Machine {
     /// Mutable access to the event log, e.g. to enable it.
     pub fn events_mut(&mut self) -> &mut EventLog {
         &mut self.events
+    }
+
+    /// The always-on machine counter block (see [`MachineStats`]).
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Resets the counter block (e.g. between measured phases). The
+    /// event log, clocks, and memories are untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = MachineStats::default();
+    }
+
+    /// Cycles accelerator `accel` has spent executing offload threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    pub fn accel_busy_cycles(&self, accel: u16) -> Result<u64, SimError> {
+        self.check_accel(accel)?;
+        Ok(self.accels[usize::from(accel)].busy_cycles)
+    }
+
+    /// Peak local-store allocation (bytes) accelerator `accel` ever
+    /// reached, across scoped offload blocks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    pub fn ls_high_water(&self, accel: u16) -> Result<u32, SimError> {
+        self.check_accel(accel)?;
+        Ok(self.accels[usize::from(accel)].ls.alloc_high_water())
+    }
+
+    /// Opens a named span on the host timeline (zero simulated cycles;
+    /// a no-op unless the event log is enabled). Pair with
+    /// [`Machine::span_end`] using the same `name`.
+    pub fn span_start(&mut self, name: &'static str) {
+        self.events.record(
+            self.host_now,
+            EventKind::SpanStart {
+                core: CoreId::Host,
+                name,
+            },
+        );
+    }
+
+    /// Closes a named span on the host timeline.
+    pub fn span_end(&mut self, name: &'static str) {
+        self.events.record(
+            self.host_now,
+            EventKind::SpanEnd {
+                core: CoreId::Host,
+                name,
+            },
+        );
+    }
+
+    /// Records a static annotation at the host's current cycle without
+    /// allocating (see [`EventLog::note_static`]).
+    pub fn note_static(&mut self, text: &'static str) {
+        self.events.note_static(self.host_now, text);
     }
 
     fn check_accel(&self, index: u16) -> Result<(), SimError> {
@@ -249,6 +316,7 @@ impl Machine {
     /// Fails on bounds or space violations.
     pub fn host_read_pod<T: Pod>(&mut self, addr: Addr) -> Result<T, SimError> {
         self.host_now += self.host_cycles(T::SIZE as u32);
+        self.stats.host_bytes_read += T::SIZE as u64;
         Ok(self.main.read_pod(addr)?)
     }
 
@@ -259,6 +327,7 @@ impl Machine {
     /// Fails on bounds or space violations.
     pub fn host_write_pod<T: Pod>(&mut self, addr: Addr, value: &T) -> Result<(), SimError> {
         self.host_now += self.host_cycles(T::SIZE as u32);
+        self.stats.host_bytes_written += T::SIZE as u64;
         Ok(self.main.write_pod(addr, value)?)
     }
 
@@ -269,6 +338,7 @@ impl Machine {
     /// Fails on bounds or space violations.
     pub fn host_read_slice<T: Pod>(&mut self, addr: Addr, count: u32) -> Result<Vec<T>, SimError> {
         self.host_now += self.host_cycles((T::SIZE as u32) * count);
+        self.stats.host_bytes_read += (T::SIZE as u64) * u64::from(count);
         Ok(self.main.read_pod_slice(addr, count)?)
     }
 
@@ -279,6 +349,7 @@ impl Machine {
     /// Fails on bounds or space violations.
     pub fn host_write_slice<T: Pod>(&mut self, addr: Addr, values: &[T]) -> Result<(), SimError> {
         self.host_now += self.host_cycles((T::SIZE * values.len()) as u32);
+        self.stats.host_bytes_written += (T::SIZE * values.len()) as u64;
         Ok(self.main.write_pod_slice(addr, values)?)
     }
 
@@ -289,6 +360,7 @@ impl Machine {
     /// Fails on bounds or space violations.
     pub fn host_read_bytes(&mut self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
         self.host_now += self.host_cycles(out.len() as u32);
+        self.stats.host_bytes_read += out.len() as u64;
         Ok(self.main.read_into(addr, out)?)
     }
 
@@ -299,6 +371,7 @@ impl Machine {
     /// Fails on bounds or space violations.
     pub fn host_write_bytes(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
         self.host_now += self.host_cycles(data.len() as u32);
+        self.stats.host_bytes_written += data.len() as u64;
         Ok(self.main.write_bytes(addr, data)?)
     }
 
@@ -327,11 +400,30 @@ impl Machine {
         accel: u16,
         f: impl FnOnce(&mut AccelCtx<'_>) -> R,
     ) -> Result<OffloadHandle<R>, SimError> {
+        self.offload_labeled(accel, "offload", f)
+    }
+
+    /// [`Machine::offload`] with a label: the name shows up on the
+    /// offload's trace slice (e.g. `"calculateStrategy"` in the Figure 2
+    /// frame) instead of the generic `"offload"`. Semantics and cycle
+    /// accounting are identical.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::offload`].
+    pub fn offload_labeled<R>(
+        &mut self,
+        accel: u16,
+        name: &'static str,
+        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
+    ) -> Result<OffloadHandle<R>, SimError> {
         self.check_accel(accel)?;
         self.host_now += self.config.cost.offload_launch;
+        self.stats.offloads += 1;
         let slot = &mut self.accels[usize::from(accel)];
         let start = self.host_now.max(slot.busy_until);
-        self.events.record(start, EventKind::OffloadStart { accel });
+        self.events
+            .record(start, EventKind::OffloadStart { accel, name });
         let mark = slot.ls.save_alloc();
         let mut ctx = AccelCtx {
             now: start,
@@ -342,11 +434,24 @@ impl Machine {
             dma: &mut slot.dma,
             staging: slot.staging,
             staging_size: self.config.staging_size,
+            events: &mut self.events,
+            stats: &mut self.stats,
         };
         let result = f(&mut ctx);
         let end = ctx.now;
+        if self.events.is_enabled() {
+            self.events.record(
+                end,
+                EventKind::LsHighWater {
+                    accel,
+                    bytes: slot.ls.alloc_high_water(),
+                },
+            );
+        }
         slot.ls.restore_alloc(mark);
         slot.busy_until = end;
+        slot.busy_cycles += end - start;
+        self.stats.accel_busy_cycles += end - start;
         self.events.record(end, EventKind::OffloadEnd { accel });
         Ok(OffloadHandle {
             result,
@@ -360,6 +465,7 @@ impl Machine {
     /// finished, then resumes with the closure's result.
     pub fn join<R>(&mut self, handle: OffloadHandle<R>) -> R {
         self.host_now = self.host_now.max(handle.end) + self.config.cost.join_overhead;
+        self.stats.joins += 1;
         self.events.record(
             self.host_now,
             EventKind::Join {
@@ -706,9 +812,38 @@ mod tests {
         let h = m.offload(0, |ctx| ctx.compute(100)).unwrap();
         m.join(h);
         let kinds: Vec<_> = m.events().events().iter().map(|e| &e.kind).collect();
-        assert!(matches!(kinds[0], EventKind::OffloadStart { accel: 0 }));
-        assert!(matches!(kinds[1], EventKind::OffloadEnd { accel: 0 }));
-        assert!(matches!(kinds[2], EventKind::Join { accel: 0 }));
+        assert!(matches!(
+            kinds[0],
+            EventKind::OffloadStart {
+                accel: 0,
+                name: "offload"
+            }
+        ));
+        // The end of the offload reports the local-store high-water mark
+        // before the lifecycle events resume.
+        assert!(matches!(kinds[1], EventKind::LsHighWater { accel: 0, .. }));
+        assert!(matches!(kinds[2], EventKind::OffloadEnd { accel: 0 }));
+        assert!(matches!(kinds[3], EventKind::Join { accel: 0 }));
+        assert_eq!(m.stats().offloads, 1);
+        assert_eq!(m.stats().joins, 1);
+        assert_eq!(m.stats().accel_busy_cycles, 100);
+    }
+
+    #[test]
+    fn labeled_offloads_carry_their_name() {
+        let mut m = machine();
+        m.events_mut().set_enabled(true);
+        let h = m
+            .offload_labeled(0, "calculateStrategy", |ctx| ctx.compute(10))
+            .unwrap();
+        m.join(h);
+        assert!(m.events().events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::OffloadStart {
+                accel: 0,
+                name: "calculateStrategy"
+            }
+        )));
     }
 
     #[test]

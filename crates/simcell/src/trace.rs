@@ -1,0 +1,1026 @@
+//! Trace exporters and the always-on machine counter block.
+//!
+//! The paper's §4.2 advice is "choose by profiling": several software
+//! caches favour different behaviours, and only measurement tells you
+//! which one fits an offload. This module is the measurement half of
+//! the simulator:
+//!
+//! - [`MachineStats`] — a cheap, always-on counter block (plain integer
+//!   adds, no allocation, no simulated cycles) summarising offloads,
+//!   host traffic, explicit DMA traffic, and software-cache behaviour,
+//! - [`chrome_trace_json`] — exports an enabled [`EventLog`] as Chrome
+//!   trace-event JSON, loadable in [Perfetto](https://ui.perfetto.dev)
+//!   or `chrome://tracing` (see `PROFILING.md` for the reading guide),
+//! - [`parse_chrome_trace`] — a minimal parser for that JSON, used by
+//!   the round-trip tests and handy as a validity check,
+//! - [`ascii_timeline`] — a terminal-friendly rendering of the same
+//!   timeline, used by the `sim_profile` example and `PROFILING.md`,
+//! - [`Machine::utilization_report`] — a plain-text per-run report
+//!   merging [`MachineStats`] with per-engine DMA statistics.
+//!
+//! Everything here reads state; nothing advances a clock. The
+//! determinism regression test pins that tracing on/off leaves every
+//! simulated cycle count bit-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use simcell::{Machine, MachineConfig};
+//! use simcell::trace::{chrome_trace_json, parse_chrome_trace};
+//!
+//! # fn main() -> Result<(), simcell::SimError> {
+//! let mut machine = Machine::new(MachineConfig::small())?;
+//! machine.events_mut().set_enabled(true);
+//! machine.run_offload(0, |ctx| ctx.compute(500))?;
+//! let json = chrome_trace_json(machine.events());
+//! let events = parse_chrome_trace(&json).expect("exporter emits valid JSON");
+//! assert!(events.iter().any(|e| e.name == "offload"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use dma::DmaDirection;
+
+use crate::event::{CoreId, Event, EventKind, EventLog};
+use crate::machine::Machine;
+
+/// Always-on machine-level counters.
+///
+/// Updated unconditionally (the cost is a handful of integer adds per
+/// operation — never an allocation, never a simulated cycle), so every
+/// run has a free utilization summary even with the event log disabled.
+///
+/// Scope: these counters cover *machine-level* operations — host
+/// accesses, offload lifecycle, explicit context-level DMA (including
+/// synchronous outer accesses), and software-cache accesses routed
+/// through [`crate::AccelCtx`]. Traffic a cache generates internally is
+/// accounted by its own [`softcache::CacheStats`] and by the per-engine
+/// [`dma::DmaStats`]; the utilization report merges all three views.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct MachineStats {
+    /// Offload threads launched.
+    pub offloads: u64,
+    /// Offload threads joined.
+    pub joins: u64,
+    /// Bytes the host read from main memory (charged accesses only).
+    pub host_bytes_read: u64,
+    /// Bytes the host wrote to main memory (charged accesses only).
+    pub host_bytes_written: u64,
+    /// Explicit `dma_get` commands issued through accelerator contexts.
+    pub dma_gets: u64,
+    /// Explicit `dma_put` commands issued through accelerator contexts.
+    pub dma_puts: u64,
+    /// Bytes moved into local stores by explicit context-level DMA.
+    pub dma_bytes_to_local: u64,
+    /// Bytes moved out of local stores by explicit context-level DMA.
+    pub dma_bytes_from_local: u64,
+    /// Line-grain hits across all context-routed software-cache accesses.
+    pub cache_hits: u64,
+    /// Line-grain misses across all context-routed software-cache accesses.
+    pub cache_misses: u64,
+    /// Lines evicted across all context-routed software-cache accesses.
+    pub cache_evictions: u64,
+    /// Bytes software caches fetched from remote memory (context-routed).
+    pub cache_bytes_fetched: u64,
+    /// Bytes software caches wrote back to remote memory (context-routed).
+    pub cache_bytes_written_back: u64,
+    /// Total cycles offload threads occupied accelerators.
+    pub accel_busy_cycles: u64,
+}
+
+impl MachineStats {
+    /// Total bytes that crossed a memory-space boundary via explicit
+    /// DMA, in either direction.
+    pub fn dma_bytes_total(&self) -> u64 {
+        self.dma_bytes_to_local + self.dma_bytes_from_local
+    }
+
+    /// Line-grain cache hit rate in `[0, 1]`; zero with no accesses.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} offloads ({} joined), host {} B read / {} B written, \
+             dma {} gets / {} puts ({} B in, {} B out), \
+             cache {} hits / {} misses / {} evictions, accel busy {} cycles",
+            self.offloads,
+            self.joins,
+            self.host_bytes_read,
+            self.host_bytes_written,
+            self.dma_gets,
+            self.dma_puts,
+            self.dma_bytes_to_local,
+            self.dma_bytes_from_local,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.accel_busy_cycles,
+        )
+    }
+}
+
+// ---- Chrome trace-event export ------------------------------------------
+
+/// Thread-id layout of the exported trace: the host runs on tid 0,
+/// accelerator *n* on tid `1 + n`, and accelerator *n*'s DMA lane on
+/// tid `DMA_LANE_BASE + n`.
+pub const DMA_LANE_BASE: u64 = 100;
+
+/// Thread id of accelerator `accel`'s execution lane.
+pub fn accel_tid(accel: u16) -> u64 {
+    1 + u64::from(accel)
+}
+
+/// Thread id of accelerator `accel`'s DMA lane.
+pub fn dma_tid(accel: u16) -> u64 {
+    DMA_LANE_BASE + u64::from(accel)
+}
+
+fn tid_of(core: CoreId) -> u64 {
+    match core {
+        CoreId::Host => 0,
+        CoreId::Accel(index) => accel_tid(index),
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct ChromeWriter {
+    out: String,
+    first: bool,
+}
+
+impl ChromeWriter {
+    fn new() -> ChromeWriter {
+        ChromeWriter {
+            out: String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    /// Emits one trace event. `dur` is `Some` for complete ("X") events;
+    /// `args` is a preformatted JSON object body (without braces).
+    fn event(&mut self, name: &str, ph: char, ts: u64, dur: Option<u64>, tid: u64, args: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str("{\"name\":");
+        push_json_string(&mut self.out, name);
+        self.out.push_str(&format!(
+            ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}"
+        ));
+        if let Some(dur) = dur {
+            self.out.push_str(&format!(",\"dur\":{dur}"));
+        }
+        if ph == 'i' {
+            // Instant events need a scope; thread scope keeps them on
+            // their lane.
+            self.out.push_str(",\"s\":\"t\"");
+        }
+        if !args.is_empty() {
+            self.out.push_str(",\"args\":{");
+            self.out.push_str(args);
+            self.out.push('}');
+        }
+        self.out.push('}');
+    }
+
+    fn metadata(&mut self, name: &str, tid: u64, value: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str("{\"name\":");
+        push_json_string(&mut self.out, name);
+        self.out.push_str(&format!(
+            ",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":"
+        ));
+        push_json_string(&mut self.out, value);
+        self.out.push_str("}}");
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+/// Exports an event log as Chrome trace-event JSON.
+///
+/// Load the result in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`. Timestamps are simulated cycles reported as
+/// microseconds (the units are relative; only ratios matter). Lane
+/// layout: host on tid 0, accelerator *n* on tid `1+n`, its DMA
+/// transfers on tid `100+n`. Offload intervals and host/accel spans
+/// become complete ("X") slices; DMA commands become slices on the DMA
+/// lane spanning issue→completion; cache hits/misses/evictions and
+/// notes become instant events; local-store high-water marks become
+/// counter tracks.
+pub fn chrome_trace_json(log: &EventLog) -> String {
+    let mut w = ChromeWriter::new();
+    w.metadata("process_name", 0, "offload-sim");
+    w.metadata("thread_name", 0, "host");
+
+    let events = log.sorted();
+    // Name each lane that actually appears.
+    let mut seen_accel = [false; 64];
+    let mut seen_dma = [false; 64];
+    for e in &events {
+        if let CoreId::Accel(a) = e.core() {
+            let a = a as usize;
+            if a < 64 && !seen_accel[a] {
+                seen_accel[a] = true;
+                w.metadata("thread_name", accel_tid(a as u16), &format!("accel {a}"));
+            }
+        }
+        if let EventKind::DmaIssue { accel, .. } = e.kind {
+            let a = accel as usize;
+            if a < 64 && !seen_dma[a] {
+                seen_dma[a] = true;
+                w.metadata("thread_name", dma_tid(accel), &format!("dma {a}"));
+            }
+        }
+    }
+
+    // Open-interval bookkeeping: offloads pair Start/End per accel.
+    let mut open_offload: Vec<(u16, u64, &'static str)> = Vec::new();
+    for e in &events {
+        match &e.kind {
+            EventKind::OffloadStart { accel, name } => {
+                open_offload.push((*accel, e.at, name));
+            }
+            EventKind::OffloadEnd { accel } => {
+                if let Some(pos) = open_offload.iter().rposition(|(a, _, _)| a == accel) {
+                    let (_, start, name) = open_offload.remove(pos);
+                    w.event(
+                        name,
+                        'X',
+                        start,
+                        Some(e.at - start),
+                        accel_tid(*accel),
+                        &format!("\"accel\":{accel}"),
+                    );
+                }
+            }
+            EventKind::Join { accel } => {
+                w.event("join", 'i', e.at, None, 0, &format!("\"accel\":{accel}"));
+            }
+            EventKind::Note { text } => {
+                w.event(text, 'i', e.at, None, 0, "");
+            }
+            EventKind::SpanStart { core, name } => {
+                w.event(name, 'B', e.at, None, tid_of(*core), "");
+            }
+            EventKind::SpanEnd { core, name } => {
+                w.event(name, 'E', e.at, None, tid_of(*core), "");
+            }
+            EventKind::DmaIssue {
+                accel,
+                tag,
+                bytes,
+                dir,
+                complete_at,
+            } => {
+                let name = match dir {
+                    DmaDirection::Get => "dma_get",
+                    DmaDirection::Put => "dma_put",
+                };
+                w.event(
+                    name,
+                    'X',
+                    e.at,
+                    Some(complete_at.saturating_sub(e.at)),
+                    dma_tid(*accel),
+                    &format!("\"tag\":{tag},\"bytes\":{bytes}"),
+                );
+            }
+            EventKind::DmaWait {
+                accel,
+                mask,
+                resumed_at,
+            } => {
+                w.event(
+                    "dma_wait",
+                    'X',
+                    e.at,
+                    Some(resumed_at.saturating_sub(e.at)),
+                    accel_tid(*accel),
+                    &format!("\"mask\":{mask}"),
+                );
+            }
+            EventKind::CacheHit { accel, count } => {
+                w.event(
+                    "cache_hit",
+                    'i',
+                    e.at,
+                    None,
+                    accel_tid(*accel),
+                    &format!("\"count\":{count}"),
+                );
+            }
+            EventKind::CacheMiss {
+                accel,
+                count,
+                bytes_fetched,
+            } => {
+                w.event(
+                    "cache_miss",
+                    'i',
+                    e.at,
+                    None,
+                    accel_tid(*accel),
+                    &format!("\"count\":{count},\"bytes_fetched\":{bytes_fetched}"),
+                );
+            }
+            EventKind::CacheEvict { accel, count } => {
+                w.event(
+                    "cache_evict",
+                    'i',
+                    e.at,
+                    None,
+                    accel_tid(*accel),
+                    &format!("\"count\":{count}"),
+                );
+            }
+            EventKind::LsHighWater { accel, bytes } => {
+                w.event(
+                    "ls_high_water",
+                    'C',
+                    e.at,
+                    None,
+                    accel_tid(*accel),
+                    &format!("\"bytes\":{bytes}"),
+                );
+            }
+        }
+    }
+    // Close any offloads left open (trace captured mid-offload).
+    for (accel, start, name) in open_offload {
+        w.event(
+            name,
+            'B',
+            start,
+            None,
+            accel_tid(accel),
+            &format!("\"accel\":{accel}"),
+        );
+    }
+    w.finish()
+}
+
+// ---- minimal Chrome trace parser ----------------------------------------
+
+/// One event parsed back out of Chrome trace-event JSON — the fields
+/// the workspace's tests and tools care about.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChromeEvent {
+    /// Event name (slice label, instant label, or metadata kind).
+    pub name: String,
+    /// Phase: `X` complete, `B`/`E` begin/end, `i` instant, `C` counter,
+    /// `M` metadata.
+    pub ph: char,
+    /// Timestamp (simulated cycles); 0 for metadata events.
+    pub ts: u64,
+    /// Duration for complete events.
+    pub dur: Option<u64>,
+    /// Thread id (lane).
+    pub tid: u64,
+}
+
+impl ChromeEvent {
+    /// End timestamp of a complete event (`ts` for everything else).
+    pub fn end(&self) -> u64 {
+        self.ts + self.dur.unwrap_or(0)
+    }
+
+    /// Whether two complete events overlap in time.
+    pub fn overlaps(&self, other: &ChromeEvent) -> bool {
+        self.ts < other.end() && other.ts < self.end()
+    }
+}
+
+/// A hand-rolled, dependency-free parser for the subset of JSON the
+/// exporter emits (objects, arrays, strings, and unsigned integers).
+struct MiniJson<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MiniJson<'a> {
+    fn new(s: &'a str) -> MiniJson<'a> {
+        MiniJson {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        let found = self.peek();
+        if found == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} (found {:?})",
+                c as char,
+                self.pos,
+                found.map(|b| b as char)
+            ))
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                other => {
+                    // Re-borrow as chars for multi-byte UTF-8: back up and
+                    // take the full char.
+                    if other < 0x80 {
+                        out.push(other as char);
+                    } else {
+                        self.pos -= 1;
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|e| e.to_string())?;
+                        let c = rest.chars().next().ok_or("empty char")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+
+    /// Skips any JSON value (used for `args` bodies and unknown fields).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.eat(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.string()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+                self.expect(b'}')
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if self.eat(b']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+                self.expect(b']')
+            }
+            Some(b) if b.is_ascii_digit() => {
+                self.number()?;
+                Ok(())
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+}
+
+/// Parses Chrome trace-event JSON produced by [`chrome_trace_json`]
+/// back into its events.
+///
+/// Deliberately minimal — it understands the exporter's subset of the
+/// format — but strict within it, so the round-trip test doubles as a
+/// validity check on the exporter's output.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn parse_chrome_trace(json: &str) -> Result<Vec<ChromeEvent>, String> {
+    let mut p = MiniJson::new(json);
+    p.expect(b'{')?;
+    let mut events = Vec::new();
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        if key == "traceEvents" {
+            p.expect(b'[')?;
+            if !p.eat(b']') {
+                loop {
+                    events.push(parse_event(&mut p)?);
+                    if !p.eat(b',') {
+                        break;
+                    }
+                }
+                p.expect(b']')?;
+            }
+        } else {
+            p.skip_value()?;
+        }
+        if !p.eat(b',') {
+            break;
+        }
+    }
+    p.expect(b'}')?;
+    Ok(events)
+}
+
+fn parse_event(p: &mut MiniJson<'_>) -> Result<ChromeEvent, String> {
+    p.expect(b'{')?;
+    let mut event = ChromeEvent {
+        name: String::new(),
+        ph: '?',
+        ts: 0,
+        dur: None,
+        tid: 0,
+    };
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "name" => event.name = p.string()?,
+            "ph" => {
+                let s = p.string()?;
+                event.ph = s.chars().next().ok_or("empty ph")?;
+            }
+            "ts" => event.ts = p.number()?,
+            "dur" => event.dur = Some(p.number()?),
+            "tid" => event.tid = p.number()?,
+            _ => p.skip_value()?,
+        }
+        if !p.eat(b',') {
+            break;
+        }
+    }
+    p.expect(b'}')?;
+    if event.ph == '?' {
+        return Err(format!("event {:?} has no phase", event.name));
+    }
+    Ok(event)
+}
+
+// ---- ASCII timeline ------------------------------------------------------
+
+/// Renders the log as a fixed-width ASCII timeline, one lane per core
+/// plus a DMA lane per accelerator that transferred anything.
+///
+/// `width` is the number of timeline columns (clamped to at least 10).
+/// Host/accel spans draw as `[====]` bars labelled where room permits;
+/// DMA transfers draw as `-` runs; cache misses mark `x` on the owning
+/// accelerator's lane margin. This is the "screenshots-as-ASCII" view
+/// `PROFILING.md` walks through; for real analysis, load the Chrome
+/// JSON in Perfetto.
+pub fn ascii_timeline(log: &EventLog, width: usize) -> String {
+    let width = width.max(10);
+    let events = log.sorted();
+    let Some(t_end) = events.iter().map(end_cycle).max() else {
+        return String::from("(empty trace)\n");
+    };
+    let t_end = t_end.max(1);
+    let col = |cycle: u64| -> usize {
+        ((cycle.min(t_end) as u128 * (width as u128 - 1)) / t_end as u128) as usize
+    };
+
+    // Lane set: host, then each accel seen, then each DMA lane seen.
+    let mut accels: Vec<u16> = Vec::new();
+    let mut dma_accels: Vec<u16> = Vec::new();
+    for e in &events {
+        if let CoreId::Accel(a) = e.core() {
+            if !accels.contains(&a) {
+                accels.push(a);
+            }
+        }
+        if let EventKind::DmaIssue { accel, .. } = e.kind {
+            if !dma_accels.contains(&accel) {
+                dma_accels.push(accel);
+            }
+        }
+    }
+    accels.sort_unstable();
+    dma_accels.sort_unstable();
+
+    let mut lanes: Vec<(String, Vec<u8>)> = Vec::new();
+    lanes.push(("host    ".into(), vec![b' '; width]));
+    for &a in &accels {
+        lanes.push((format!("accel {a} "), vec![b' '; width]));
+    }
+    for &a in &dma_accels {
+        lanes.push((format!("dma {a}   "), vec![b' '; width]));
+    }
+    let lane_index = |core: CoreId| -> usize {
+        match core {
+            CoreId::Host => 0,
+            CoreId::Accel(a) => 1 + accels.iter().position(|&x| x == a).unwrap_or(0),
+        }
+    };
+    let dma_lane_index = |a: u16| -> usize {
+        1 + accels.len() + dma_accels.iter().position(|&x| x == a).unwrap_or(0)
+    };
+
+    // Bars never overwrite cells another bar already claimed, so nested
+    // spans drawn first stay visible inside their parents. The label
+    // lands in the longest run of this bar's own fill.
+    let draw_bar =
+        |lane: usize, from: u64, to: u64, label: &str, lanes: &mut Vec<(String, Vec<u8>)>| {
+            let (c0, c1) = (col(from), col(to).max(col(from)));
+            let row = &mut lanes[lane].1;
+            if row[c0] == b' ' {
+                row[c0] = b'[';
+            }
+            if row[c1] == b' ' {
+                row[c1] = b']';
+            }
+            let mut filled: Vec<usize> = Vec::new();
+            for (i, cell) in row.iter_mut().enumerate().take(c1).skip(c0 + 1) {
+                if *cell == b' ' {
+                    *cell = b'=';
+                    filled.push(i);
+                }
+            }
+            // Longest contiguous run of cells this bar just filled.
+            let (mut best_start, mut best_len) = (0usize, 0usize);
+            let (mut run_start, mut run_len) = (0usize, 0usize);
+            for (k, &i) in filled.iter().enumerate() {
+                if k > 0 && filled[k - 1] + 1 == i {
+                    run_len += 1;
+                } else {
+                    run_start = i;
+                    run_len = 1;
+                }
+                if run_len > best_len {
+                    best_start = run_start;
+                    best_len = run_len;
+                }
+            }
+            // Write the label (truncated if need be) when at least a few
+            // characters fit.
+            let n = label.len().min(best_len);
+            if n >= 3 {
+                for (i, &b) in label.as_bytes()[..n].iter().enumerate() {
+                    row[best_start + i] = b;
+                }
+            }
+        };
+
+    // Pair spans and offloads into bars, then draw longest first so
+    // nested (shorter) spans stay visible on top of their parents.
+    let mut bars: Vec<(usize, u64, u64, &'static str)> = Vec::new();
+    let mut open_spans: Vec<(CoreId, &'static str, u64)> = Vec::new();
+    let mut open_offloads: Vec<(u16, &'static str, u64)> = Vec::new();
+    for e in &events {
+        match &e.kind {
+            EventKind::SpanStart { core, name } => open_spans.push((*core, name, e.at)),
+            EventKind::SpanEnd { core, name } => {
+                if let Some(pos) = open_spans
+                    .iter()
+                    .rposition(|(c, n, _)| c == core && n == name)
+                {
+                    let (_, _, start) = open_spans.remove(pos);
+                    bars.push((lane_index(*core), start, e.at, name));
+                }
+            }
+            EventKind::OffloadStart { accel, name } => open_offloads.push((*accel, name, e.at)),
+            EventKind::OffloadEnd { accel } => {
+                if let Some(pos) = open_offloads.iter().rposition(|(a, _, _)| a == accel) {
+                    let (_, name, start) = open_offloads.remove(pos);
+                    bars.push((lane_index(CoreId::Accel(*accel)), start, e.at, name));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Shortest first: children claim their cells before parents fill
+    // the gaps around them.
+    bars.sort_by_key(|&(_, from, to, _)| to - from);
+    for (lane, from, to, name) in bars {
+        draw_bar(lane, from, to, name, &mut lanes);
+    }
+
+    // Point marks draw after the bars: DMA activity, cache misses, joins.
+    for e in &events {
+        match &e.kind {
+            EventKind::DmaIssue {
+                accel, complete_at, ..
+            } => {
+                let lane = dma_lane_index(*accel);
+                let (c0, c1) = (col(e.at), col(*complete_at).max(col(e.at)));
+                let row = &mut lanes[lane].1;
+                for cell in row.iter_mut().take(c1 + 1).skip(c0) {
+                    if *cell == b' ' {
+                        *cell = b'-';
+                    }
+                }
+            }
+            EventKind::CacheMiss { accel, .. } => {
+                let lane = lane_index(CoreId::Accel(*accel));
+                let c = col(e.at);
+                if lanes[lane].1[c] == b' ' {
+                    lanes[lane].1[c] = b'x';
+                }
+            }
+            EventKind::Join { .. } => {
+                let c = col(e.at);
+                lanes[0].1[c] = b'J';
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("cycles 0 .. {t_end}\n"));
+    for (label, row) in &lanes {
+        out.push_str(label);
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("ASCII only"));
+        out.push_str("|\n");
+    }
+    out
+}
+
+fn end_cycle(e: &Event) -> u64 {
+    match e.kind {
+        EventKind::DmaIssue { complete_at, .. } => complete_at.max(e.at),
+        EventKind::DmaWait { resumed_at, .. } => resumed_at.max(e.at),
+        _ => e.at,
+    }
+}
+
+// ---- utilization report --------------------------------------------------
+
+impl Machine {
+    /// A plain-text utilization report for the run so far: per-core
+    /// busy/occupancy figures, DMA traffic per accelerator (including
+    /// cache-internal transfers, which the engines count), stall time,
+    /// software-cache totals, and local-store high-water marks.
+    ///
+    /// Works with the event log disabled — everything here comes from
+    /// the always-on [`MachineStats`] block and the per-engine
+    /// [`dma::DmaStats`].
+    pub fn utilization_report(&self) -> String {
+        let stats = self.stats();
+        let total = self.host_now().max(1);
+        let mut out = String::new();
+        out.push_str("== utilization report ==\n");
+        out.push_str(&format!(
+            "host: {} cycles elapsed, {} offloads launched, {} joined\n",
+            self.host_now(),
+            stats.offloads,
+            stats.joins
+        ));
+        out.push_str(&format!(
+            "host memory: {} B read, {} B written\n",
+            stats.host_bytes_read, stats.host_bytes_written
+        ));
+        for accel in 0..self.accel_count() {
+            let busy = self.accel_busy_cycles(accel).unwrap_or(0);
+            let occupancy = 100.0 * busy as f64 / total as f64;
+            let dma = self.dma_stats(accel).unwrap_or_default();
+            let hw = self.ls_high_water(accel).unwrap_or(0);
+            out.push_str(&format!(
+                "accel {accel}: busy {busy} cycles ({occupancy:.1}% of host elapsed), \
+                 dma {} gets / {} puts, {} B in / {} B out, {} stall cycles, \
+                 {} misaligned, ls high water {hw} B\n",
+                dma.gets, dma.puts, dma.bytes_in, dma.bytes_out, dma.stall_cycles, dma.misaligned
+            ));
+        }
+        out.push_str(&format!(
+            "explicit dma (context level): {} gets / {} puts, {} B to local / {} B from local\n",
+            stats.dma_gets, stats.dma_puts, stats.dma_bytes_to_local, stats.dma_bytes_from_local
+        ));
+        let accesses = stats.cache_hits + stats.cache_misses;
+        if accesses > 0 {
+            out.push_str(&format!(
+                "software caches: {} hits / {} misses ({:.1}% hit rate), {} evictions, \
+                 {} B fetched, {} B written back\n",
+                stats.cache_hits,
+                stats.cache_misses,
+                100.0 * stats.cache_hit_rate(),
+                stats.cache_evictions,
+                stats.cache_bytes_fetched,
+                stats.cache_bytes_written_back
+            ));
+        }
+        if self.events().is_enabled() {
+            out.push_str(&format!(
+                "event log: {} events recorded\n",
+                self.events().len()
+            ));
+        } else {
+            out.push_str(
+                "event log: disabled (enable with machine.events_mut().set_enabled(true))\n",
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::SimError;
+
+    #[test]
+    fn machine_stats_rates() {
+        let mut s = MachineStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        s.dma_bytes_to_local = 100;
+        s.dma_bytes_from_local = 28;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.dma_bytes_total(), 128);
+        assert!(s.to_string().contains("3 hits"));
+    }
+
+    #[test]
+    fn json_string_escaping_round_trips() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\te\u{1}f");
+        let mut p = MiniJson::new(&out);
+        assert_eq!(p.string().unwrap(), "a\"b\\c\nd\te\u{1}f");
+    }
+
+    #[test]
+    fn empty_log_exports_and_parses() {
+        let log = EventLog::new();
+        let json = chrome_trace_json(&log);
+        let events = parse_chrome_trace(&json).unwrap();
+        // Only process/thread metadata, no timeline events.
+        assert!(events.iter().all(|e| e.ph == 'M'));
+        assert_eq!(ascii_timeline(&log, 60), "(empty trace)\n");
+    }
+
+    #[test]
+    fn offload_becomes_a_complete_slice() -> Result<(), SimError> {
+        let mut m = Machine::new(MachineConfig::small())?;
+        m.events_mut().set_enabled(true);
+        m.run_offload(0, |ctx| ctx.compute(1000))?;
+        let json = chrome_trace_json(m.events());
+        let events = parse_chrome_trace(&json).unwrap();
+        let slice = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "offload")
+            .expect("offload slice present");
+        assert_eq!(slice.tid, accel_tid(0));
+        assert_eq!(slice.dur, Some(1000));
+        assert!(events.iter().any(|e| e.ph == 'i' && e.name == "join"));
+        Ok(())
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let a = ChromeEvent {
+            name: "a".into(),
+            ph: 'X',
+            ts: 0,
+            dur: Some(100),
+            tid: 0,
+        };
+        let b = ChromeEvent {
+            name: "b".into(),
+            ph: 'X',
+            ts: 50,
+            dur: Some(100),
+            tid: 1,
+        };
+        let c = ChromeEvent {
+            name: "c".into(),
+            ph: 'X',
+            ts: 100,
+            dur: Some(10),
+            tid: 1,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+    }
+
+    #[test]
+    fn ascii_timeline_draws_lanes() -> Result<(), SimError> {
+        let mut m = Machine::new(MachineConfig::small())?;
+        m.events_mut().set_enabled(true);
+        m.span_start("setup");
+        m.host_compute(500);
+        m.span_end("setup");
+        m.run_offload(0, |ctx| ctx.compute(1000))?;
+        let art = ascii_timeline(m.events(), 60);
+        assert!(art.contains("host    |"));
+        assert!(art.contains("accel 0 |"));
+        assert!(art.contains('='), "bars are drawn:\n{art}");
+        Ok(())
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
+    }
+}

@@ -21,6 +21,24 @@
 //! account their own cost in cycles; `bench` experiments E7 and E12
 //! reproduce the paper's "no single winner" and "lookup overhead vs
 //! repeated transfers" claims on top of them.
+//!
+//! # Example
+//!
+//! ```
+//! use softcache::{CacheConfig, CacheStats};
+//!
+//! let config = CacheConfig::direct_mapped_4k();
+//! assert_eq!(config.ways, 1, "direct-mapped means one way");
+//! assert_eq!(config.capacity_bytes(), 4096);
+//! let stats = CacheStats {
+//!     hits: 3,
+//!     misses: 1,
+//!     ..CacheStats::default()
+//! };
+//! assert_eq!(stats.hit_rate(), 0.75);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod config;

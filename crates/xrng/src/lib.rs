@@ -22,6 +22,8 @@
 //! assert!((-1.0..1.0).contains(&f));
 //! ```
 
+#![warn(missing_docs)]
+
 /// A seeded SplitMix64 generator.
 #[derive(Clone, Debug)]
 pub struct Rng {
