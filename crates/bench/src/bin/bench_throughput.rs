@@ -15,6 +15,12 @@
 //! Usage: `cargo run --release -p bench --bin bench_throughput
 //! [output.json]`. Defaults to `BENCH_throughput.json` in the current
 //! directory.
+//!
+//! With `--check <baseline.json> [--max-regress <ratio>]` the run
+//! additionally enforces the CI perf-regression budget: after writing
+//! the fresh report, every hot-path speedup is compared against the
+//! baseline's and the process exits non-zero if any fell below
+//! `ratio` (default 0.85) of its committed value.
 
 use std::time::Duration;
 
@@ -124,10 +130,106 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Parsed command line: output path plus the optional budget check.
+struct Args {
+    out_path: String,
+    check: Option<(String, f64)>,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = None;
+    let mut baseline = None;
+    let mut max_regress = 0.85f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                baseline = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--check needs a baseline file, e.g. --check BENCH_throughput.json");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--max-regress" => {
+                max_regress = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-regress needs a ratio, e.g. --max-regress 0.85");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            positional => {
+                out_path = Some(positional.to_string());
+                i += 1;
+            }
+        }
+    }
+    Args {
+        out_path: out_path.unwrap_or_else(|| "BENCH_throughput.json".to_string()),
+        check: baseline.map(|b| (b, max_regress)),
+    }
+}
+
+/// Enforces the perf-regression budget; returns the process exit code.
+fn run_check(report_json: &str, baseline_path: &str, max_regress: f64) -> i32 {
+    let baseline_json = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let baseline = match bench::perfbudget::parse_speedups(&baseline_json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("baseline {baseline_path} is not a throughput report: {e}");
+            return 2;
+        }
+    };
+    let current =
+        bench::perfbudget::parse_speedups(report_json).expect("fresh report always parses");
+    let violations = bench::perfbudget::check_speedups(&baseline, &current, max_regress);
+    for (key, base) in &baseline {
+        let measured = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        eprintln!(
+            "  budget {key}: baseline {base:.3}x, current {measured:.3}x ({:.0}% — floor {:.0}%)",
+            100.0 * measured / base,
+            100.0 * max_regress
+        );
+    }
+    if violations.is_empty() {
+        eprintln!("perf budget holds: no hot path below {max_regress} of baseline");
+        0
+    } else {
+        for v in &violations {
+            eprintln!(
+                "PERF REGRESSION {}: speedup {:.3}x is {:.0}% of the committed {:.3}x \
+                 (budget floor {:.0}%)",
+                v.key,
+                v.current,
+                100.0 * v.ratio(),
+                v.baseline,
+                100.0 * max_regress
+            );
+        }
+        1
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let args = parse_args();
+    let out_path = args.out_path;
     let budget = Duration::from_millis(300);
 
     // --- End-to-end throughput -----------------------------------
@@ -251,4 +353,12 @@ fn main() {
     std::fs::write(&out_path, &json).expect("report is writable");
     println!("wrote {out_path}");
     print!("{json}");
+
+    if let Some((baseline_path, max_regress)) = args.check {
+        eprintln!("perf-regression budget vs {baseline_path}");
+        let code = run_check(&json, &baseline_path, max_regress);
+        if code != 0 {
+            std::process::exit(code);
+        }
+    }
 }

@@ -4,11 +4,16 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin paper_tables [--quick] [--markdown] [EXP...]
+//! cargo run --release -p bench --bin paper_tables -- --autotune
 //! cargo run --release -p bench --bin paper_tables -- --trace e2.json
 //! cargo run --release -p bench --bin paper_tables -- --stats
 //! ```
 //!
 //! With experiment ids (e.g. `E4 E9`) only those tables run.
+//!
+//! `--autotune` re-runs E7 and E12 with the trace-driven cache-policy
+//! autotuner next to the hand-picked winner, asserting bit-identical
+//! replay and family agreement (see `softcache::autotune`).
 //!
 //! `--trace <file>` runs one traced E2 offloaded frame (paper Figure 2)
 //! and writes its event log as Chrome trace-event JSON — open the file
@@ -20,16 +25,37 @@
 use bench::exp;
 use bench::profile::traced_e2_frame;
 use bench::Table;
-use simcell::chrome_trace_json;
+use simcell::{chrome_trace_json, parse_chrome_trace};
 
 /// An experiment id paired with its runner.
 type Runner = (&'static str, fn(bool) -> Table);
 
-/// Runs a traced E2 frame and writes the Chrome trace JSON to `path`.
+/// Runs a traced E2 frame and writes the Chrome trace JSON to `path`,
+/// then reads the file back and round-trips it through the trace parser
+/// so a write that produced malformed or truncated JSON fails loudly.
 fn write_trace(path: &str) {
     let (machine, stats) = traced_e2_frame(true);
     let json = chrome_trace_json(machine.events());
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let back = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let parsed = parse_chrome_trace(&back)
+        .unwrap_or_else(|e| panic!("{path} does not parse as a Chrome trace: {e}"));
+    // The export adds `M` (metadata) records for lane names, and each
+    // matched OffloadStart/OffloadEnd pair collapses into one `X`
+    // slice — so the expected payload count is the log length minus
+    // one per completed offload.
+    let payload = parsed.iter().filter(|e| e.ph != 'M').count();
+    let completed_offloads = machine
+        .events()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, simcell::EventKind::OffloadEnd { .. }))
+        .count();
+    assert_eq!(
+        payload,
+        machine.events().len() - completed_offloads,
+        "{path}: parsed payload event count must match the event log"
+    );
     eprintln!(
         "wrote {path}: {} events from one offloaded frame ({} host cycles, {} pairs) — \
          open in https://ui.perfetto.dev (see PROFILING.md)",
@@ -54,6 +80,14 @@ fn main() {
     if args.iter().any(|a| a == "--stats") {
         let (machine, _) = traced_e2_frame(false);
         print!("{}", machine.utilization_report());
+        return;
+    }
+    if args.iter().any(|a| a == "--autotune") {
+        eprintln!(
+            "Offload reproduction — autotuned E7/E12{}…",
+            if quick { " (quick sizes)" } else { "" },
+        );
+        bench::autotune::run(quick, markdown);
         return;
     }
     let wanted: Vec<String> = args

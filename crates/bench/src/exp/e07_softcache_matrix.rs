@@ -102,9 +102,40 @@ pub fn measure(cache_kind: &str, pattern: &str, accesses: u32) -> (u64, f64) {
     machine.join(handle).expect("pattern runs")
 }
 
+/// Number of accesses E7 performs in quick/full mode.
+pub fn access_count(quick: bool) -> u32 {
+    if quick {
+        512
+    } else {
+        4096
+    }
+}
+
+/// Captures the access trace of `pattern` for the cache-policy
+/// autotuner. The access stream is identical for every cache kind (only
+/// the interposed cache differs), so capturing the naive run yields the
+/// trace that *any* candidate replays.
+pub fn capture_trace(pattern: &str, accesses: u32) -> Vec<softcache::AccessRecord> {
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    machine.access_trace_mut().set_enabled(true);
+    let data = machine.alloc_main(DATA, 16).expect("fits");
+    let offsets = offsets(pattern, accesses);
+    let handle = machine
+        .offload(0, |ctx| -> Result<(), SimError> {
+            let mut buf = [0u8; ACCESS];
+            for &off in &offsets {
+                ctx.outer_read_bytes(data.offset_by(off)?, &mut buf)?;
+            }
+            Ok(())
+        })
+        .expect("accel 0 exists");
+    machine.join(handle).expect("pattern runs");
+    machine.access_trace().records().to_vec()
+}
+
 /// Runs E7.
 pub fn run(quick: bool) -> Table {
-    let accesses = if quick { 512 } else { 4096 };
+    let accesses = access_count(quick);
     let mut table = Table::new(
         "E7",
         "Software-cache family vs access patterns (Sec. 4.2)",

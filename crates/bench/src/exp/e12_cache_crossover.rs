@@ -16,9 +16,9 @@ use crate::table::{cycles, speedup, Table};
 /// One access per cache line (128-byte stride, matching the 4-way
 /// cache's line size): no spatial locality, so the first pass gains
 /// nothing from fetching whole lines.
-const STRIDE: u32 = 128;
+pub const STRIDE: u32 = 128;
 /// Lines touched (exactly fills the 16 KiB cache).
-const LINES: u32 = 128;
+pub const LINES: u32 = 128;
 
 /// `(naive cycles, cached cycles)` for `reuse` passes over the set.
 pub fn measure(reuse: u32) -> (u64, u64) {
@@ -53,9 +53,42 @@ pub fn measure(reuse: u32) -> (u64, u64) {
     (run(false), run(true))
 }
 
+/// The reuse factors E12 sweeps in quick/full mode.
+pub fn reuse_factors(quick: bool) -> &'static [u32] {
+    if quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    }
+}
+
+/// Captures the access trace (reads *and* per-access compute) of the
+/// naive run for the cache-policy autotuner. The cached run issues the
+/// identical access stream, so replaying this trace under any candidate
+/// reproduces that candidate's measured cycles.
+pub fn capture_trace(reuse: u32) -> Vec<softcache::AccessRecord> {
+    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
+    machine.access_trace_mut().set_enabled(true);
+    let data = machine.alloc_main(LINES * STRIDE, 16).expect("fits");
+    let handle = machine
+        .offload(0, |ctx| -> Result<(), SimError> {
+            let mut buf = [0u8; 16];
+            for _ in 0..reuse {
+                for line in 0..LINES {
+                    ctx.outer_read_bytes(data.offset_by(line * STRIDE)?, &mut buf)?;
+                    ctx.compute(8);
+                }
+            }
+            Ok(())
+        })
+        .expect("accel 0 exists");
+    machine.join(handle).expect("runs");
+    machine.access_trace().records().to_vec()
+}
+
 /// Runs E12.
 pub fn run(quick: bool) -> Table {
-    let reuses: &[u32] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let reuses: &[u32] = reuse_factors(quick);
     let mut table = Table::new(
         "E12",
         "Cache lookup overhead vs repeated inter-memory transfers (Sec. 4.2)",

@@ -27,8 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod exp;
 pub mod hotpath;
+pub mod perfbudget;
 pub mod profile;
 pub mod table;
 pub mod timing;

@@ -1,0 +1,148 @@
+//! The CI perf-regression budget: compare freshly measured hot-path
+//! speedups against the committed `BENCH_throughput.json` baseline.
+//!
+//! `bench_throughput --check <baseline.json> --max-regress 0.85` fails
+//! (exit 1) if any hot path's measured speedup drops below 85% of the
+//! baseline's — wall-clock noise is tolerated, halving a hot-path win
+//! is not. The baseline format is this repository's own report, so the
+//! parser is a few lines of string scanning rather than a JSON
+//! dependency.
+
+/// One budget violation: a hot path whose measured speedup fell below
+/// `max_regress` times its baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The hot-path key (e.g. `dma_issue_wait`).
+    pub key: String,
+    /// The committed baseline speedup.
+    pub baseline: f64,
+    /// The freshly measured speedup (0.0 when the key was not measured).
+    pub current: f64,
+}
+
+impl Violation {
+    /// `current / baseline` — below the budget's `max_regress` by
+    /// construction.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Extracts `(key, speedup)` pairs from the `"speedups"` section of a
+/// `BENCH_throughput.json` report.
+///
+/// # Errors
+///
+/// Fails with a description if the section is missing, empty, or an
+/// entry has no parseable `"speedup"` number.
+pub fn parse_speedups(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let start = json
+        .find("\"speedups\"")
+        .ok_or_else(|| "no \"speedups\" section".to_string())?;
+    let mut out = Vec::new();
+    for line in json[start..].lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with('}') {
+            break;
+        }
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some(key_end) = rest.find('"') else {
+            continue;
+        };
+        let key = &rest[..key_end];
+        let field = "\"speedup\":";
+        let pos = line
+            .rfind(field)
+            .ok_or_else(|| format!("entry \"{key}\" has no \"speedup\" field"))?;
+        let tail = line[pos + field.len()..].trim_start();
+        let number: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        let value: f64 = number
+            .parse()
+            .map_err(|e| format!("entry \"{key}\" has a bad speedup ({number:?}): {e}"))?;
+        out.push((key.to_string(), value));
+    }
+    if out.is_empty() {
+        return Err("\"speedups\" section has no entries".to_string());
+    }
+    Ok(out)
+}
+
+/// Checks measured speedups against a baseline: every baseline key must
+/// be present in `current` with `current >= max_regress * baseline`.
+/// Returns the violations (empty means the budget holds). Keys present
+/// only in `current` are new hot paths and are ignored.
+pub fn check_speedups(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    max_regress: f64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (key, base) in baseline {
+        let measured = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        if measured < max_regress * base {
+            violations.push(Violation {
+                key: key.clone(),
+                baseline: *base,
+                current: measured,
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed baseline must always parse — this is the file the
+    /// CI budget reads.
+    #[test]
+    fn committed_baseline_parses() {
+        let json = include_str!("../../../BENCH_throughput.json");
+        let speedups = parse_speedups(json).expect("committed baseline parses");
+        assert_eq!(speedups.len(), 3);
+        assert!(speedups.iter().any(|(k, _)| k == "dma_issue_wait"));
+        assert!(speedups.iter().all(|&(_, v)| v > 1.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_reports() {
+        assert!(parse_speedups("{}").is_err());
+        assert!(parse_speedups("{ \"speedups\": {\n}\n}").is_err());
+        let bad = "{ \"speedups\": {\n  \"x\": { \"speedup\": oops }\n } }";
+        assert!(parse_speedups(bad).is_err());
+    }
+
+    #[test]
+    fn budget_flags_only_real_regressions() {
+        let baseline = vec![("a".to_string(), 4.0), ("b".to_string(), 2.0)];
+        // b regressed to 60% of baseline; a is within budget.
+        let current = vec![("a".to_string(), 3.6), ("b".to_string(), 1.2)];
+        let violations = check_speedups(&baseline, &current, 0.85);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].key, "b");
+        assert!(violations[0].ratio() < 0.85);
+        assert!(check_speedups(&baseline, &current, 0.5).is_empty());
+    }
+
+    #[test]
+    fn missing_keys_violate_the_budget() {
+        let baseline = vec![("gone".to_string(), 2.0)];
+        let violations = check_speedups(&baseline, &[], 0.85);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].current, 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Regression pins for the trace-driven cache-policy autotuner on the
+//! full-size E7/E12 workloads: the tuner must keep reaching the same
+//! conclusions hand profiling reached in EXPERIMENTS.md.
+
+use bench::autotune::{e12_options, tune_options};
+use bench::exp::{e07_softcache_matrix as e07, e12_cache_crossover as e12};
+use softcache::autotune::{autotune, replay_exact};
+use softcache::CacheChoice;
+
+/// Full-size E7 access count (matches `paper_tables` without `--quick`).
+const FULL: u32 = 4096;
+
+#[test]
+fn e7_sequential_tunes_to_streaming() {
+    let trace = e07::capture_trace("sequential", FULL);
+    let report = autotune(&trace, &tune_options()).expect("search space is valid");
+    let winner = report.winner();
+    assert!(
+        matches!(winner.choice, CacheChoice::Stream(_)),
+        "sequential scans must tune to the streaming cache, got {}",
+        winner.choice
+    );
+}
+
+#[test]
+fn e7_strided_and_hot_set_tune_to_four_way() {
+    for pattern in ["strided", "hot-set"] {
+        let trace = e07::capture_trace(pattern, FULL);
+        let report = autotune(&trace, &tune_options()).expect("search space is valid");
+        let winner = report.winner();
+        match winner.choice {
+            CacheChoice::SetAssoc(config) => assert_eq!(
+                config.ways, 4,
+                "{pattern} must tune to a 4-way cache, got {}",
+                winner.choice
+            ),
+            ref other => panic!("{pattern} must tune to a set-associative cache, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn e12_crossover_is_at_reuse_two() {
+    let opts = e12_options();
+    // Single-touch sweep: every cache is pure overhead, the tuner must
+    // say so.
+    let trace1 = e12::capture_trace(1);
+    let report1 = autotune(&trace1, &opts).expect("search space is valid");
+    assert!(
+        matches!(report1.winner().choice, CacheChoice::Naive),
+        "reuse=1 must tune to no cache, got {}",
+        report1.winner().choice
+    );
+    // From the second touch on, a set-associative cache wins.
+    let trace2 = e12::capture_trace(2);
+    let report2 = autotune(&trace2, &opts).expect("search space is valid");
+    let winner = report2.winner();
+    assert!(
+        matches!(winner.choice, CacheChoice::SetAssoc(_)),
+        "reuse=2 must tune to a set-associative cache, got {}",
+        winner.choice
+    );
+    let naive = replay_exact(&CacheChoice::Naive, &trace2, &opts).expect("replay succeeds");
+    assert!(
+        winner.exact_cycles.expect("winner validated") < naive,
+        "the tuned cache must beat naive from reuse=2"
+    );
+}
+
+#[test]
+fn quick_mode_reports_agree_end_to_end() {
+    // The full `--autotune` front-end (capture, measure, replay
+    // bit-identically, family agreement) in quick mode; its internal
+    // asserts are the gate.
+    let e7 = bench::autotune::e7_report(true);
+    assert_eq!(e7.rows.len(), 4);
+    assert!(e7.rows.iter().all(|r| r.last().unwrap() == "yes"));
+    let e12 = bench::autotune::e12_report(true);
+    assert_eq!(e12.rows.len(), 2);
+    assert!(e12.rows.iter().all(|r| r.last().unwrap() == "yes"));
+}

@@ -86,6 +86,32 @@ fn run_once() -> RunRecord {
 }
 
 #[test]
+fn paper_tables_quick_matches_the_committed_golden_output() {
+    // The same diff CI's determinism gate performs: two runs of the
+    // real binary must agree with each other and with the checked-in
+    // golden transcript. Any cycle-count drift — intended or not —
+    // shows up as a diff and must be re-committed deliberately
+    // (regenerate with `cargo run --release -p bench --bin paper_tables
+    // -- --quick > tests/golden/paper_tables_quick.txt`).
+    let exe = env!("CARGO_BIN_EXE_paper_tables");
+    let run = || {
+        let out = std::process::Command::new(exe)
+            .arg("--quick")
+            .output()
+            .expect("paper_tables runs");
+        assert!(out.status.success(), "paper_tables --quick failed");
+        String::from_utf8(out.stdout).expect("tables are UTF-8")
+    };
+    let first = run();
+    assert_eq!(first, run(), "paper_tables --quick diverged between runs");
+    let golden = include_str!("../../../tests/golden/paper_tables_quick.txt");
+    assert_eq!(
+        first, golden,
+        "paper_tables --quick drifted from tests/golden/paper_tables_quick.txt"
+    );
+}
+
+#[test]
 fn vm_runs_are_identical_down_to_the_event_log() {
     let a = run_once();
     let b = run_once();

@@ -49,6 +49,7 @@ pub mod accessor;
 pub mod codeload;
 pub mod domain;
 pub mod stream;
+pub mod tuned;
 
 pub use accessor::ArrayAccessor;
 pub use codeload::{dispatch_with_loading, CodeLoader, CodeLoaderStats, DEFAULT_CODE_SIZE};
@@ -57,6 +58,7 @@ pub use domain::{
     DispatchError, Domain, DomainMiss, DuplicateId, FnAddr, LookupCost, MethodSlot, MethodTable,
 };
 pub use stream::{process_chunked, process_stream, StreamConfig};
+pub use tuned::{build_tuned_cache, stream_config_for, TunedCache};
 
 /// DMA tag used by [`ArrayAccessor`] bulk transfers.
 pub const ACCESSOR_TAG: u8 = 26;

@@ -1,0 +1,225 @@
+//! Applying an autotuned cache choice to an offload.
+//!
+//! The `softcache::autotune` search returns a [`CacheChoice`] — naive,
+//! set-associative, or streaming. This module turns that value back
+//! into a running cache inside an offload block
+//! ([`build_tuned_cache`]), and derives a double-buffered
+//! [`StreamConfig`] from a streaming winner ([`stream_config_for`]) so
+//! the §4.1 uniform streaming helpers can adopt the tuned line size.
+
+use memspace::Pod;
+use simcell::{AccelCtx, SimError};
+use softcache::{
+    CacheBacking, CacheChoice, CacheError, CacheStats, SetAssociativeCache, SoftwareCache,
+    StreamCache,
+};
+
+use crate::StreamConfig;
+
+/// A runtime cache built from an autotuned [`CacheChoice`].
+///
+/// Both concrete cache families behind one type, so offload code can
+/// hold "whatever the tuner picked" without generics; a naive choice
+/// builds no cache at all ([`build_tuned_cache`] returns `None`).
+#[derive(Debug)]
+pub enum TunedCache {
+    /// The tuner picked a set-associative configuration.
+    SetAssoc(SetAssociativeCache),
+    /// The tuner picked a streaming (prefetch) configuration.
+    Stream(StreamCache),
+}
+
+impl SoftwareCache for TunedCache {
+    fn read(
+        &mut self,
+        now: u64,
+        addr: memspace::Addr,
+        out: &mut [u8],
+        backing: &mut CacheBacking<'_>,
+    ) -> Result<u64, CacheError> {
+        match self {
+            TunedCache::SetAssoc(c) => c.read(now, addr, out, backing),
+            TunedCache::Stream(c) => c.read(now, addr, out, backing),
+        }
+    }
+
+    fn write(
+        &mut self,
+        now: u64,
+        addr: memspace::Addr,
+        data: &[u8],
+        backing: &mut CacheBacking<'_>,
+    ) -> Result<u64, CacheError> {
+        match self {
+            TunedCache::SetAssoc(c) => c.write(now, addr, data, backing),
+            TunedCache::Stream(c) => c.write(now, addr, data, backing),
+        }
+    }
+
+    fn flush(&mut self, now: u64, backing: &mut CacheBacking<'_>) -> Result<u64, CacheError> {
+        match self {
+            TunedCache::SetAssoc(c) => c.flush(now, backing),
+            TunedCache::Stream(c) => c.flush(now, backing),
+        }
+    }
+
+    fn invalidate(&mut self) {
+        match self {
+            TunedCache::SetAssoc(c) => c.invalidate(),
+            TunedCache::Stream(c) => c.invalidate(),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            TunedCache::SetAssoc(c) => c.stats(),
+            TunedCache::Stream(c) => c.stats(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            TunedCache::SetAssoc(c) => c.describe(),
+            TunedCache::Stream(c) => c.describe(),
+        }
+    }
+}
+
+/// Builds the cache an autotuned [`CacheChoice`] describes inside the
+/// current offload block, allocating its buffers from the accelerator's
+/// local store. Returns `None` for [`CacheChoice::Naive`] — the tuner
+/// decided plain outer accesses win, so there is nothing to build.
+///
+/// # Errors
+///
+/// Fails if the local store cannot fit the chosen configuration.
+pub fn build_tuned_cache(
+    ctx: &mut AccelCtx<'_>,
+    choice: &CacheChoice,
+) -> Result<Option<TunedCache>, SimError> {
+    Ok(match choice {
+        CacheChoice::Naive => None,
+        CacheChoice::SetAssoc(config) => Some(TunedCache::SetAssoc(ctx.new_cache(*config)?)),
+        CacheChoice::Stream(config) => Some(TunedCache::Stream(ctx.new_stream_cache(*config)?)),
+    })
+}
+
+/// Derives a [`StreamConfig`] for the §4.1 uniform streaming helpers
+/// from a streaming tuner winner: the double-buffered chunk size adopts
+/// the tuned line size (in elements of `T`). Returns `None` unless the
+/// choice is [`CacheChoice::Stream`] — the other families do not
+/// describe a sequential prefetch depth.
+pub fn stream_config_for<T: Pod>(choice: &CacheChoice, write_back: bool) -> Option<StreamConfig> {
+    match choice {
+        CacheChoice::Stream(config) => Some(StreamConfig {
+            chunk_elems: (config.line_size / T::SIZE as u32).max(1),
+            write_back,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcell::{Machine, MachineConfig};
+    use softcache::autotune::{autotune, replay_exact, TuneOptions};
+    use softcache::CacheConfig;
+
+    #[test]
+    fn naive_choice_builds_no_cache() {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let built = m
+            .run_offload(0, |ctx| -> Result<bool, SimError> {
+                Ok(build_tuned_cache(ctx, &CacheChoice::Naive)?.is_some())
+            })
+            .unwrap()
+            .unwrap();
+        assert!(!built);
+    }
+
+    #[test]
+    fn tuned_caches_read_correct_data_in_both_families() {
+        for choice in [
+            CacheChoice::SetAssoc(CacheConfig::four_way_16k()),
+            CacheChoice::Stream(CacheConfig::new(1024, 1, 1)),
+        ] {
+            let mut m = Machine::new(MachineConfig::small()).unwrap();
+            let remote = m.alloc_main_slice::<u32>(512).unwrap();
+            let values: Vec<u32> = (0..512).map(|i| i * 3).collect();
+            m.main_mut().write_pod_slice(remote, &values).unwrap();
+            let sum = m
+                .run_offload(0, |ctx| -> Result<u64, SimError> {
+                    let mut cache = build_tuned_cache(ctx, &choice)?.expect("cache families build");
+                    let mut sum = 0u64;
+                    for i in 0..512u32 {
+                        let v: u32 = ctx.cached_read_pod(&mut cache, remote.element(i, 4)?)?;
+                        sum += u64::from(v);
+                    }
+                    assert!(cache.stats().hits > 0, "{}", cache.describe());
+                    Ok(sum)
+                })
+                .unwrap()
+                .unwrap();
+            assert_eq!(sum, values.iter().map(|&v| u64::from(v)).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn autotuned_choice_applies_and_reproduces_its_predicted_cycles() {
+        // Capture a sequential scan, tune it, apply the winner through
+        // build_tuned_cache, and check the tuned run (a) beats naive
+        // and (b) lands exactly on the cycles exact replay predicted.
+        let len = 16 * 1024u32;
+        let run = |choice: Option<&CacheChoice>, capture: bool| -> (u64, Vec<_>) {
+            let mut m = Machine::new(MachineConfig::small()).unwrap();
+            m.access_trace_mut().set_enabled(capture);
+            let data = m.alloc_main(len, 16).unwrap();
+            let choice = choice.cloned();
+            let elapsed = m
+                .run_offload(0, move |ctx| -> Result<u64, SimError> {
+                    let t0 = ctx.now();
+                    let mut cache = match &choice {
+                        Some(c) => build_tuned_cache(ctx, c)?,
+                        None => None,
+                    };
+                    let mut buf = [0u8; 16];
+                    for off in (0..len - 16).step_by(16) {
+                        match &mut cache {
+                            Some(c) => ctx.cached_read_bytes(c, data.offset_by(off)?, &mut buf)?,
+                            None => ctx.outer_read_bytes(data.offset_by(off)?, &mut buf)?,
+                        }
+                    }
+                    Ok(ctx.now() - t0)
+                })
+                .unwrap()
+                .unwrap();
+            (elapsed, m.access_trace().records().to_vec())
+        };
+
+        let (naive_cycles, trace) = run(None, true);
+        let opts = TuneOptions::default();
+        let report = autotune(&trace, &opts).unwrap();
+        let winner = report.winner();
+        assert_eq!(winner.choice.family(), "stream", "sequential scans stream");
+
+        let (tuned_cycles, _) = run(Some(&winner.choice), false);
+        assert!(tuned_cycles < naive_cycles);
+        assert_eq!(
+            tuned_cycles,
+            replay_exact(&winner.choice, &trace, &opts).unwrap(),
+            "applying the tuned choice reproduces the validated replay bit-identically"
+        );
+    }
+
+    #[test]
+    fn stream_config_derivation() {
+        let stream = CacheChoice::Stream(CacheConfig::new(1024, 1, 1));
+        let cfg = stream_config_for::<u32>(&stream, true).unwrap();
+        assert_eq!(cfg.chunk_elems, 256);
+        assert!(cfg.write_back);
+        assert!(stream_config_for::<u32>(&CacheChoice::Naive, true).is_none());
+        let assoc = CacheChoice::SetAssoc(CacheConfig::four_way_16k());
+        assert!(stream_config_for::<u32>(&assoc, false).is_none());
+    }
+}

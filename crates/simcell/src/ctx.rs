@@ -49,6 +49,8 @@ pub struct AccelCtx<'m> {
     pub(crate) staging_size: u32,
     pub(crate) events: &'m mut EventLog,
     pub(crate) stats: &'m mut MachineStats,
+    pub(crate) accesses: &'m mut softcache::AccessTrace,
+    pub(crate) span: u32,
 }
 
 impl<'m> AccelCtx<'m> {
@@ -74,6 +76,7 @@ impl<'m> AccelCtx<'m> {
 
     /// Charges `cycles` of pure computation.
     pub fn compute(&mut self, cycles: u64) {
+        self.accesses.record_compute(self.span, cycles);
         self.now += cycles;
     }
 
@@ -453,6 +456,7 @@ impl<'m> AccelCtx<'m> {
                 staging: self.staging_size,
             });
         }
+        self.accesses.record_read(self.span, addr.offset(), size);
         let tag = self.outer_tag();
         let issued_at = self.now;
         self.now = self
@@ -480,6 +484,7 @@ impl<'m> AccelCtx<'m> {
                 staging: self.staging_size,
             });
         }
+        self.accesses.record_write(self.span, addr.offset(), size);
         self.now += self.ls_cycles(size);
         self.ls.write_pod(self.staging, value)?;
         let tag = self.outer_tag();
@@ -501,6 +506,8 @@ impl<'m> AccelCtx<'m> {
     ///
     /// Fails on transfer errors.
     pub fn outer_read_bytes(&mut self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
+        self.accesses
+            .record_read(self.span, addr.offset(), out.len() as u32);
         let tag = self.outer_tag();
         let mut done = 0usize;
         while done < out.len() {
@@ -535,6 +542,8 @@ impl<'m> AccelCtx<'m> {
     ///
     /// Fails on transfer errors.
     pub fn outer_write_bytes(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
+        self.accesses
+            .record_write(self.span, addr.offset(), data.len() as u32);
         let tag = self.outer_tag();
         let mut done = 0usize;
         while done < data.len() {
@@ -573,6 +582,8 @@ impl<'m> AccelCtx<'m> {
         addr: Addr,
         out: &mut [u8],
     ) -> Result<(), SimError> {
+        self.accesses
+            .record_read(self.span, addr.offset(), out.len() as u32);
         let before = cache.stats();
         let at = self.now;
         let mut backing = CacheBacking {
@@ -596,6 +607,8 @@ impl<'m> AccelCtx<'m> {
         addr: Addr,
         data: &[u8],
     ) -> Result<(), SimError> {
+        self.accesses
+            .record_write(self.span, addr.offset(), data.len() as u32);
         let before = cache.stats();
         let at = self.now;
         let mut backing = CacheBacking {
@@ -620,6 +633,8 @@ impl<'m> AccelCtx<'m> {
         cache: &mut C,
         addr: Addr,
     ) -> Result<T, SimError> {
+        self.accesses
+            .record_read(self.span, addr.offset(), T::SIZE as u32);
         // Stack buffer for the common small-Pod case; per-element cached
         // reads are the hottest path in cached offload loops.
         let mut small = [0u8; POD_STACK_BUF];
@@ -654,6 +669,8 @@ impl<'m> AccelCtx<'m> {
         addr: Addr,
         value: &T,
     ) -> Result<(), SimError> {
+        self.accesses
+            .record_write(self.span, addr.offset(), T::SIZE as u32);
         let mut small = [0u8; POD_STACK_BUF];
         let mut large;
         let buf = if T::SIZE <= POD_STACK_BUF {

@@ -69,4 +69,7 @@ pub use ctx::AccelCtx;
 pub use error::SimError;
 pub use event::{CoreId, Event, EventKind, EventLog};
 pub use machine::{Machine, MachineConfig, OffloadHandle};
-pub use trace::{ascii_timeline, chrome_trace_json, parse_chrome_trace, ChromeEvent, MachineStats};
+pub use trace::{
+    ascii_timeline, chrome_trace_json, parse_chrome_trace, AccessRecord, AccessTrace, ChromeEvent,
+    MachineStats, TraceOp,
+};

@@ -108,6 +108,7 @@ pub struct Machine {
     host_now: u64,
     events: EventLog,
     stats: MachineStats,
+    accesses: softcache::AccessTrace,
 }
 
 impl Machine {
@@ -158,6 +159,7 @@ impl Machine {
             host_now: 0,
             events: EventLog::new(),
             stats: MachineStats::default(),
+            accesses: softcache::AccessTrace::new(),
         })
     }
 
@@ -189,6 +191,19 @@ impl Machine {
     /// Mutable access to the event log, e.g. to enable it.
     pub fn events_mut(&mut self) -> &mut EventLog {
         &mut self.events
+    }
+
+    /// The access trace capturing offload outer/cached accesses for the
+    /// cache-policy autotuner (disabled by default; allocation-free
+    /// while disabled). Hand its records to `softcache::autotune`.
+    pub fn access_trace(&self) -> &softcache::AccessTrace {
+        &self.accesses
+    }
+
+    /// Mutable access to the access trace, e.g. to enable capture with
+    /// `access_trace_mut().set_enabled(true)` before an offload.
+    pub fn access_trace_mut(&mut self) -> &mut softcache::AccessTrace {
+        &mut self.accesses
     }
 
     /// The always-on machine counter block (see [`MachineStats`]).
@@ -425,6 +440,7 @@ impl Machine {
         self.events
             .record(start, EventKind::OffloadStart { accel, name });
         let mark = slot.ls.save_alloc();
+        let span = (self.stats.offloads - 1) as u32;
         let mut ctx = AccelCtx {
             now: start,
             cost: self.config.cost,
@@ -436,6 +452,8 @@ impl Machine {
             staging_size: self.config.staging_size,
             events: &mut self.events,
             stats: &mut self.stats,
+            accesses: &mut self.accesses,
+            span,
         };
         let result = f(&mut ctx);
         let end = ctx.now;

@@ -16,7 +16,13 @@
 //! - [`ascii_timeline`] — a terminal-friendly rendering of the same
 //!   timeline, used by the `sim_profile` example and `PROFILING.md`,
 //! - [`Machine::utilization_report`] — a plain-text per-run report
-//!   merging [`MachineStats`] with per-engine DMA statistics.
+//!   merging [`MachineStats`] with per-engine DMA statistics,
+//! - [`AccessTrace`] (re-exported from `softcache::autotune`) — the
+//!   access-trace capture mode: when enabled via
+//!   [`Machine::access_trace_mut`], every outer/cached access an
+//!   offload issues is recorded as `(span, read/write, offset, len)`
+//!   alongside its compute cycles, forming the input to the
+//!   cache-policy autotuner (`softcache::autotune::autotune`).
 //!
 //! Everything here reads state; nothing advances a clock. The
 //! determinism regression test pins that tracing on/off leaves every
@@ -45,6 +51,8 @@ use dma::DmaDirection;
 
 use crate::event::{CoreId, Event, EventKind, EventLog};
 use crate::machine::Machine;
+
+pub use softcache::autotune::{AccessRecord, AccessTrace, TraceOp};
 
 /// Always-on machine-level counters.
 ///

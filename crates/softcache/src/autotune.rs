@@ -1,0 +1,1146 @@
+//! Trace-driven cache-policy autotuning.
+//!
+//! Paper §4.2 says the right software cache is found by *profiling and
+//! choosing*: "several cache implementations favouring different types
+//! of application behaviour" ship with the runtime and the programmer
+//! picks one per offload. This module closes that loop mechanically:
+//!
+//! 1. capture an [`AccessTrace`] of an offload's outer accesses
+//!    (`simcell` records one when its access-trace mode is enabled),
+//! 2. replay the trace through a lightweight analytic cost model for
+//!    every candidate [`CacheChoice`] in a [`TuneOptions`] search grid
+//!    ([`model_cycles`]),
+//! 3. validate the top-k model picks with an *exact* simulated replay
+//!    against the real cache implementations and DMA engine
+//!    ([`replay_exact`]), and return the minimum-cycle configuration
+//!    ([`autotune`]).
+//!
+//! The model replicates the caches' metadata machinery (LRU sets,
+//! write-through pipelining, stream prefetch) and the DMA engine's
+//! serial-channel timing exactly, with one deliberate simplification:
+//! it is **alignment-blind** — it never charges the engine's
+//! misalignment penalty. On DMA-aligned traces the model is therefore
+//! bit-identical to the exact replay; on arbitrary traces it
+//! underestimates by at most [`MODEL_ALIGNMENT_TOLERANCE`] (property
+//! tests pin both bounds). The exact replay of the top-k candidates is
+//! what the final ranking trusts.
+
+use std::fmt;
+
+use dma::{DmaEngine, DmaTiming, Tag};
+use memspace::{Addr, MemoryRegion, SpaceId, SpaceKind, DMA_ALIGN, LOCAL_STORE_SIZE};
+
+use crate::cache::SetAssociativeCache;
+use crate::config::{CacheConfig, WritePolicy};
+use crate::stream::StreamCache;
+use crate::{CacheBacking, CacheError, SoftwareCache};
+
+/// Relative tolerance of the cost model on arbitrary (possibly
+/// misaligned) traces: the model is alignment-blind, and the engine's
+/// misalignment penalty (96 cycles under [`DmaTiming::cell_like`]) is at
+/// most ~21% of the cheapest possible round trip it can attach to, so
+/// the model never under-estimates the exact replay by more than this
+/// fraction. On 16-byte-aligned traces the model is bit-exact.
+pub const MODEL_ALIGNMENT_TOLERANCE: f64 = 0.25;
+
+// ---- the captured trace --------------------------------------------------
+
+/// One operation in a captured access trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceOp {
+    /// A read of `len` bytes from remote offset `offset`.
+    Read {
+        /// Byte offset in the remote (main) space.
+        offset: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// A write of `len` bytes to remote offset `offset`.
+    Write {
+        /// Byte offset in the remote (main) space.
+        offset: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Pure computation between accesses (needed so replayed totals
+    /// match measured offload durations bit-for-bit).
+    Compute {
+        /// Cycles of computation.
+        cycles: u64,
+    },
+}
+
+impl TraceOp {
+    /// Transfer length of the operation (0 for compute).
+    pub fn len(&self) -> u32 {
+        match *self {
+            TraceOp::Read { len, .. } | TraceOp::Write { len, .. } => len,
+            TraceOp::Compute { .. } => 0,
+        }
+    }
+
+    /// Whether this operation transfers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One recorded access, tagged with the offload span it belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessRecord {
+    /// Ordinal of the offload that issued the access (the machine's
+    /// offload counter at the time, starting from 0).
+    pub span: u32,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+/// A captured access trace: the address/size/direction stream of an
+/// offload's outer accesses, in issue order.
+///
+/// Disabled by default and allocation-free while disabled, mirroring the
+/// event log's zero-cost-when-off contract. Enable with
+/// [`AccessTrace::set_enabled`], run the workload, then hand
+/// [`AccessTrace::records`] to [`autotune`].
+#[derive(Debug, Default)]
+pub struct AccessTrace {
+    enabled: bool,
+    records: Vec<AccessRecord>,
+}
+
+impl AccessTrace {
+    /// Creates a disabled, empty trace.
+    pub fn new() -> AccessTrace {
+        AccessTrace::default()
+    }
+
+    /// Creates an enabled trace pre-filled with `records` (for building
+    /// traces by hand in tests and tools).
+    pub fn from_records(records: Vec<AccessRecord>) -> AccessTrace {
+        AccessTrace {
+            enabled: true,
+            records,
+        }
+    }
+
+    /// Enables or disables capture. Disabling keeps existing records.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether capture is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Drops all records (capacity is released too, so a disabled trace
+    /// goes back to owning no heap memory).
+    pub fn clear(&mut self) {
+        self.records = Vec::new();
+    }
+
+    /// The recorded accesses, in issue order.
+    pub fn records(&self) -> &[AccessRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Heap capacity currently held (0 while disabled and never used —
+    /// pinned by the zero-cost observability tests).
+    pub fn capacity(&self) -> usize {
+        self.records.capacity()
+    }
+
+    /// Records a read; no-op (and allocation-free) while disabled.
+    #[inline]
+    pub fn record_read(&mut self, span: u32, offset: u32, len: u32) {
+        if self.enabled && len > 0 {
+            self.records.push(AccessRecord {
+                span,
+                op: TraceOp::Read { offset, len },
+            });
+        }
+    }
+
+    /// Records a write; no-op (and allocation-free) while disabled.
+    #[inline]
+    pub fn record_write(&mut self, span: u32, offset: u32, len: u32) {
+        if self.enabled && len > 0 {
+            self.records.push(AccessRecord {
+                span,
+                op: TraceOp::Write { offset, len },
+            });
+        }
+    }
+
+    /// Records pure compute cycles between accesses; consecutive compute
+    /// records in the same span coalesce. No-op while disabled.
+    #[inline]
+    pub fn record_compute(&mut self, span: u32, cycles: u64) {
+        if !self.enabled || cycles == 0 {
+            return;
+        }
+        if let Some(last) = self.records.last_mut() {
+            if last.span == span {
+                if let TraceOp::Compute { cycles: ref mut c } = last.op {
+                    *c += cycles;
+                    return;
+                }
+            }
+        }
+        self.records.push(AccessRecord {
+            span,
+            op: TraceOp::Compute { cycles },
+        });
+    }
+
+    /// The records belonging to one offload span.
+    pub fn span_records(&self, span: u32) -> Vec<AccessRecord> {
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| r.span == span)
+            .collect()
+    }
+
+    /// One past the highest remote byte touched (0 if no transfers).
+    pub fn max_extent(&self) -> u32 {
+        max_extent(&self.records)
+    }
+
+    /// Whether the trace contains any write.
+    pub fn has_writes(&self) -> bool {
+        has_writes(&self.records)
+    }
+}
+
+fn max_extent(records: &[AccessRecord]) -> u32 {
+    records
+        .iter()
+        .map(|r| match r.op {
+            TraceOp::Read { offset, len } | TraceOp::Write { offset, len } => {
+                u64::from(offset) + u64::from(len)
+            }
+            TraceOp::Compute { .. } => 0,
+        })
+        .max()
+        .unwrap_or(0)
+        .min(u64::from(u32::MAX)) as u32
+}
+
+fn has_writes(records: &[AccessRecord]) -> bool {
+    records
+        .iter()
+        .any(|r| matches!(r.op, TraceOp::Write { .. }))
+}
+
+// ---- the candidate space -------------------------------------------------
+
+/// A cache policy candidate: which cache family to interpose (if any)
+/// and its geometry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheChoice {
+    /// No cache: every access is a synchronous outer DMA round trip.
+    Naive,
+    /// An N-way set-associative cache ([`SetAssociativeCache`]).
+    SetAssoc(CacheConfig),
+    /// A two-buffer streaming cache ([`StreamCache`]; only `line_size`
+    /// and the cost fields of the config apply).
+    Stream(CacheConfig),
+}
+
+impl CacheChoice {
+    /// The family name used when comparing against hand-picked winners:
+    /// `"naive"`, `"set-associative"` or `"stream"`.
+    pub fn family(&self) -> &'static str {
+        match self {
+            CacheChoice::Naive => "naive",
+            CacheChoice::SetAssoc(_) => "set-associative",
+            CacheChoice::Stream(_) => "stream",
+        }
+    }
+
+    /// The cache configuration, if this choice uses a cache.
+    pub fn config(&self) -> Option<CacheConfig> {
+        match self {
+            CacheChoice::Naive => None,
+            CacheChoice::SetAssoc(c) | CacheChoice::Stream(c) => Some(*c),
+        }
+    }
+}
+
+impl fmt::Display for CacheChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheChoice::Naive => write!(f, "no cache"),
+            CacheChoice::SetAssoc(c) => {
+                let cap = c.capacity_bytes();
+                if cap.is_multiple_of(1024) {
+                    write!(f, "{}-way {}K/{}B", c.ways, cap / 1024, c.line_size)?;
+                } else {
+                    write!(f, "{}-way {}B/{}B", c.ways, cap, c.line_size)?;
+                }
+                if c.write == WritePolicy::WriteThrough {
+                    write!(f, " wt")?;
+                }
+                Ok(())
+            }
+            CacheChoice::Stream(c) => write!(f, "stream 2x{}B", c.line_size),
+        }
+    }
+}
+
+/// The search space and machine parameters for [`autotune`].
+///
+/// The machine-parameter defaults mirror `simcell`'s cell-like cost
+/// model: [`DmaTiming::cell_like`], 6 cycles per 16-byte local-store
+/// access, a 4 KiB staging buffer for naive outer accesses and a 1 MiB
+/// main memory. Callers tuning for a differently configured machine
+/// should overwrite them from its actual cost model.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// DMA timing of the target accelerator.
+    pub dma: DmaTiming,
+    /// Cycles per 16-byte local-store access (`CostModel::ls_access`).
+    pub ls_access_cost: u64,
+    /// Staging-buffer size used by naive outer accesses.
+    pub staging_size: u32,
+    /// Main-memory capacity (line fetches clip against it).
+    pub main_capacity: u32,
+    /// Local-store budget a candidate cache may occupy.
+    pub ls_budget: u32,
+    /// How many model-ranked candidates to validate with exact replay.
+    pub top_k: usize,
+    /// Whether "no cache" competes in the search.
+    pub include_naive: bool,
+    /// Candidate line sizes (powers of two ≥ 16).
+    pub line_sizes: Vec<u32>,
+    /// Candidate total capacities in bytes for set-associative caches.
+    pub capacities: Vec<u32>,
+    /// Candidate associativities.
+    pub ways: Vec<u32>,
+    /// Candidate line sizes for the streaming cache.
+    pub stream_lines: Vec<u32>,
+    /// Whether to also try write-through variants (only meaningful when
+    /// the trace contains writes; read-only traces skip them).
+    pub try_write_through: bool,
+}
+
+impl Default for TuneOptions {
+    fn default() -> TuneOptions {
+        TuneOptions {
+            dma: DmaTiming::cell_like(),
+            ls_access_cost: 6,
+            staging_size: 4096,
+            main_capacity: 1024 * 1024,
+            ls_budget: 64 * 1024,
+            top_k: 4,
+            include_naive: true,
+            line_sizes: vec![64, 128, 256],
+            capacities: vec![4 * 1024, 8 * 1024, 16 * 1024],
+            ways: vec![1, 2, 4],
+            stream_lines: vec![256, 512, 1024],
+            try_write_through: true,
+        }
+    }
+}
+
+impl TuneOptions {
+    /// Every candidate the options describe, given what the trace needs
+    /// (write-through variants only appear for traces with writes).
+    /// Always returns at least one choice.
+    pub fn candidates(&self, records: &[AccessRecord]) -> Vec<CacheChoice> {
+        let mut out = Vec::new();
+        if self.include_naive {
+            out.push(CacheChoice::Naive);
+        }
+        let writes = has_writes(records);
+        for &cap in &self.capacities {
+            if cap > self.ls_budget {
+                continue;
+            }
+            for &line in &self.line_sizes {
+                if !line.is_power_of_two() || line < DMA_ALIGN {
+                    continue;
+                }
+                for &ways in &self.ways {
+                    if ways == 0 || !cap.is_multiple_of(line * ways) {
+                        continue;
+                    }
+                    let sets = cap / (line * ways);
+                    if sets == 0 || !sets.is_power_of_two() {
+                        continue;
+                    }
+                    let config = CacheConfig::new(line, sets, ways);
+                    out.push(CacheChoice::SetAssoc(config));
+                    if writes && self.try_write_through {
+                        out.push(CacheChoice::SetAssoc(
+                            config.write_policy(WritePolicy::WriteThrough),
+                        ));
+                    }
+                }
+            }
+        }
+        for &line in &self.stream_lines {
+            if !line.is_power_of_two() || line < DMA_ALIGN {
+                continue;
+            }
+            if 2 * line + DMA_ALIGN > self.ls_budget {
+                continue;
+            }
+            out.push(CacheChoice::Stream(CacheConfig::new(line, 1, 1)));
+        }
+        if out.is_empty() {
+            out.push(CacheChoice::Naive);
+        }
+        out
+    }
+
+    fn ls_cycles(&self, bytes: u32) -> u64 {
+        self.ls_access_cost * u64::from(bytes.div_ceil(16).max(1))
+    }
+
+    fn effective_capacity(&self, records: &[AccessRecord]) -> u32 {
+        self.main_capacity.max(max_extent(records))
+    }
+}
+
+// ---- the analytic cost model ---------------------------------------------
+
+/// The serial DMA channel, reduced to timing: one `free_at` horizon and
+/// the engine's issue/setup/bandwidth/latency parameters. Deliberately
+/// alignment-blind (see [`MODEL_ALIGNMENT_TOLERANCE`]).
+struct ModelDma {
+    timing: DmaTiming,
+    free_at: u64,
+}
+
+impl ModelDma {
+    fn new(timing: DmaTiming) -> ModelDma {
+        ModelDma { timing, free_at: 0 }
+    }
+
+    /// Issues a non-blocking transfer; returns `(resume, complete_at)`.
+    fn issue(&mut self, now: u64, bytes: u32) -> (u64, u64) {
+        let bw = self.timing.bytes_per_cycle.max(1);
+        let stream = self.timing.setup + u64::from(bytes).div_ceil(bw);
+        let start = now.max(self.free_at);
+        self.free_at = start + stream;
+        (
+            now + self.timing.issue_cost,
+            self.free_at + self.timing.latency,
+        )
+    }
+
+    /// A blocking issue-then-wait round trip.
+    fn round_trip(&mut self, now: u64, bytes: u32) -> u64 {
+        let (resume, complete) = self.issue(now, bytes);
+        resume.max(complete)
+    }
+}
+
+/// Metadata replica of [`SetAssociativeCache`]: same LRU, same victim
+/// choice, same write-through pipelining — minus the data movement.
+struct SetAssocModel {
+    config: CacheConfig,
+    lines: Vec<(bool, bool, u32, u32, u64)>, // (valid, dirty, line, len, last_use)
+    lru_clock: u64,
+    wt_pending: Vec<(u32, u32)>, // (remote start, len)
+    wt_done_at: u64,
+}
+
+impl SetAssocModel {
+    fn new(config: CacheConfig) -> SetAssocModel {
+        SetAssocModel {
+            config,
+            lines: vec![(false, false, 0, 0, 0); (config.num_sets * config.ways) as usize],
+            lru_clock: 0,
+            wt_pending: Vec::new(),
+            wt_done_at: 0,
+        }
+    }
+
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.config.ways + way) as usize
+    }
+
+    fn ensure_line(&mut self, now: u64, line: u32, capacity: u32, dma: &mut ModelDma) -> u64 {
+        let set = self.config.set_of(line);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        for way in 0..self.config.ways {
+            let slot = self.slot(set, way);
+            if self.lines[slot].0 && self.lines[slot].2 == line {
+                self.lines[slot].4 = clock;
+                return now + self.config.lookup_cycles(way + 1);
+            }
+        }
+        let mut t = now + self.config.lookup_cycles(self.config.ways);
+        let victim = (0..self.config.ways)
+            .min_by_key(|&way| {
+                let meta = self.lines[self.slot(set, way)];
+                (meta.0, meta.4)
+            })
+            .expect("ways >= 1");
+        let slot = self.slot(set, victim);
+        if !self.wt_pending.is_empty() {
+            self.wt_pending.clear();
+            t = t.max(self.wt_done_at);
+        }
+        let (valid, dirty, _, evicted_len, _) = self.lines[slot];
+        if valid && dirty {
+            t = dma.round_trip(t, evicted_len);
+        }
+        let line_start = line * self.config.line_size;
+        let len = self
+            .config
+            .line_size
+            .min(capacity.saturating_sub(line_start));
+        t = dma.round_trip(t, len);
+        self.lines[slot] = (true, false, line, len, clock);
+        t
+    }
+
+    fn read(
+        &mut self,
+        now: u64,
+        offset: u32,
+        total: u32,
+        capacity: u32,
+        dma: &mut ModelDma,
+    ) -> u64 {
+        let mut t = now;
+        let mut done = 0u32;
+        while done < total {
+            let (line, in_line) = self.config.split_offset(offset + done);
+            let chunk = (self.config.line_size - in_line).min(total - done);
+            t = self.ensure_line(t, line, capacity, dma);
+            t += self.config.copy_cycles(chunk);
+            done += chunk;
+        }
+        t
+    }
+
+    fn write(
+        &mut self,
+        now: u64,
+        offset: u32,
+        total: u32,
+        capacity: u32,
+        dma: &mut ModelDma,
+    ) -> u64 {
+        let mut t = now;
+        let mut done = 0u32;
+        while done < total {
+            let abs = offset + done;
+            let (line, in_line) = self.config.split_offset(abs);
+            let chunk = (self.config.line_size - in_line).min(total - done);
+            t = self.ensure_line(t, line, capacity, dma);
+            t += self.config.copy_cycles(chunk);
+            match self.config.write {
+                WritePolicy::WriteBack => {
+                    // ensure_line re-ran the probe; mark the resident slot.
+                    let set = self.config.set_of(line);
+                    for w in 0..self.config.ways {
+                        let slot = self.slot(set, w);
+                        if self.lines[slot].0 && self.lines[slot].2 == line {
+                            self.lines[slot].1 = true;
+                        }
+                    }
+                }
+                WritePolicy::WriteThrough => {
+                    if self
+                        .wt_pending
+                        .iter()
+                        .any(|&(s, l)| abs < s + l && s < abs + chunk)
+                    {
+                        self.wt_pending.clear();
+                        t = t.max(self.wt_done_at);
+                    }
+                    let (resume, complete) = dma.issue(t, chunk);
+                    t = resume;
+                    self.wt_done_at = complete;
+                    self.wt_pending.push((abs, chunk));
+                }
+            }
+            done += chunk;
+        }
+        t
+    }
+}
+
+/// Metadata replica of [`StreamCache`]: current/prefetched line tracking
+/// plus the prefetch completion horizon.
+struct StreamModel {
+    config: CacheConfig,
+    current: Option<(u32, u32)>,     // (line, len)
+    prefetching: Option<(u32, u32)>, // (line, len)
+    prefetch_done_at: u64,
+}
+
+impl StreamModel {
+    fn new(config: CacheConfig) -> StreamModel {
+        StreamModel {
+            config,
+            current: None,
+            prefetching: None,
+            prefetch_done_at: 0,
+        }
+    }
+
+    fn line_len(&self, line: u32, capacity: u32) -> u32 {
+        let start = line * self.config.line_size;
+        self.config.line_size.min(capacity.saturating_sub(start))
+    }
+
+    fn issue_prefetch(&mut self, now: u64, line: u32, capacity: u32, dma: &mut ModelDma) -> u64 {
+        let len = self.line_len(line, capacity);
+        if len == 0 {
+            return now;
+        }
+        let (resume, complete) = dma.issue(now, len);
+        self.prefetching = Some((line, len));
+        self.prefetch_done_at = complete;
+        resume
+    }
+
+    fn cancel_prefetch(&mut self, now: u64) -> u64 {
+        if self.prefetching.take().is_some() {
+            now.max(self.prefetch_done_at)
+        } else {
+            now
+        }
+    }
+
+    fn ensure_line(&mut self, now: u64, line: u32, capacity: u32, dma: &mut ModelDma) -> u64 {
+        if let Some((current, _)) = self.current {
+            if current == line {
+                return now + self.config.lookup_cycles(1);
+            }
+        }
+        if let Some(pending) = self.prefetching {
+            if pending.0 == line {
+                let mut t = now + self.config.lookup_cycles(2);
+                t = t.max(self.prefetch_done_at);
+                self.prefetching = None;
+                self.current = Some(pending);
+                return self.issue_prefetch(t, line + 1, capacity, dma);
+            }
+        }
+        let mut t = now + self.config.lookup_cycles(2);
+        t = self.cancel_prefetch(t);
+        let len = self.line_len(line, capacity);
+        t = dma.round_trip(t, len);
+        self.current = Some((line, len));
+        self.issue_prefetch(t, line + 1, capacity, dma)
+    }
+
+    fn read(
+        &mut self,
+        now: u64,
+        offset: u32,
+        total: u32,
+        capacity: u32,
+        dma: &mut ModelDma,
+    ) -> u64 {
+        let mut t = now;
+        let mut done = 0u32;
+        while done < total {
+            let (line, in_line) = self.config.split_offset(offset + done);
+            let chunk = (self.config.line_size - in_line).min(total - done);
+            t = self.ensure_line(t, line, capacity, dma);
+            t += self.config.copy_cycles(chunk);
+            done += chunk;
+        }
+        t
+    }
+
+    fn write(&mut self, now: u64, offset: u32, total: u32, dma: &mut ModelDma) -> u64 {
+        let mut t = now;
+        let mut done = 0u32;
+        while done < total {
+            let chunk = (total - done).min(DMA_ALIGN);
+            let abs = offset + done;
+            if let Some((pl, plen)) = self.prefetching {
+                let p_start = pl * self.config.line_size;
+                let p_end = p_start + plen;
+                if abs < p_end && p_start < abs + chunk {
+                    t = self.cancel_prefetch(t);
+                }
+            }
+            t = dma.round_trip(t, chunk);
+            done += chunk;
+        }
+        t
+    }
+}
+
+/// Predicts the total cycles of replaying `records` under `choice`
+/// using the analytic model (no memory regions, no data movement).
+///
+/// Bit-identical to [`replay_exact`] on DMA-aligned traces; within
+/// [`MODEL_ALIGNMENT_TOLERANCE`] (and never above the exact cost)
+/// otherwise.
+pub fn model_cycles(choice: &CacheChoice, records: &[AccessRecord], opts: &TuneOptions) -> u64 {
+    let capacity = opts.effective_capacity(records);
+    let mut dma = ModelDma::new(opts.dma);
+    let mut t = 0u64;
+    match choice {
+        CacheChoice::Naive => {
+            for rec in records {
+                match rec.op {
+                    TraceOp::Read { offset, len } => {
+                        let _ = offset;
+                        let mut done = 0u32;
+                        while done < len {
+                            let chunk = (len - done).min(opts.staging_size);
+                            t = dma.round_trip(t, chunk);
+                            t += opts.ls_cycles(chunk);
+                            done += chunk;
+                        }
+                    }
+                    TraceOp::Write { offset, len } => {
+                        let _ = offset;
+                        let mut done = 0u32;
+                        while done < len {
+                            let chunk = (len - done).min(opts.staging_size);
+                            t += opts.ls_cycles(chunk);
+                            t = dma.round_trip(t, chunk);
+                            done += chunk;
+                        }
+                    }
+                    TraceOp::Compute { cycles } => t += cycles,
+                }
+            }
+        }
+        CacheChoice::SetAssoc(config) => {
+            let mut model = SetAssocModel::new(*config);
+            for rec in records {
+                match rec.op {
+                    TraceOp::Read { offset, len } => {
+                        t = model.read(t, offset, len, capacity, &mut dma);
+                    }
+                    TraceOp::Write { offset, len } => {
+                        t = model.write(t, offset, len, capacity, &mut dma);
+                    }
+                    TraceOp::Compute { cycles } => t += cycles,
+                }
+            }
+        }
+        CacheChoice::Stream(config) => {
+            let mut model = StreamModel::new(*config);
+            for rec in records {
+                match rec.op {
+                    TraceOp::Read { offset, len } => {
+                        t = model.read(t, offset, len, capacity, &mut dma);
+                    }
+                    TraceOp::Write { offset, len } => {
+                        t = model.write(t, offset, len, &mut dma);
+                    }
+                    TraceOp::Compute { cycles } => t += cycles,
+                }
+            }
+        }
+    }
+    t
+}
+
+// ---- exact replay --------------------------------------------------------
+
+/// DMA tag for replayed naive outer accesses (mirrors the runtime's
+/// reserved outer-access tag).
+const REPLAY_OUTER_TAG: u8 = 27;
+
+/// Replays `records` against the *real* cache implementation and DMA
+/// engine, from cycle 0 on a fresh rig, and returns the total cycles.
+///
+/// Cache cycle accounting is fully self-contained (config costs plus the
+/// DMA engine) and the engine's timing is translation-invariant from an
+/// idle start, so this reproduces the in-offload cycle delta of the
+/// traced run bit-for-bit when `opts` mirror the traced machine.
+///
+/// # Errors
+///
+/// Fails if a candidate cache cannot be built (local store budget) or a
+/// replayed transfer is invalid.
+pub fn replay_exact(
+    choice: &CacheChoice,
+    records: &[AccessRecord],
+    opts: &TuneOptions,
+) -> Result<u64, CacheError> {
+    let capacity = opts.effective_capacity(records);
+    let mut main = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, capacity);
+    let mut ls = MemoryRegion::new(
+        SpaceId::local_store(0),
+        SpaceKind::LocalStore { accel: 0 },
+        LOCAL_STORE_SIZE,
+    );
+    let mut dma = DmaEngine::with_timing(SpaceId::local_store(0), opts.dma);
+    let max_len = records.iter().map(|r| r.op.len()).max().unwrap_or(0);
+    let mut buf = vec![0u8; max_len as usize];
+
+    match choice {
+        CacheChoice::Naive => replay_naive(records, opts, &mut main, &mut ls, &mut dma),
+        CacheChoice::SetAssoc(config) => {
+            let mut cache = SetAssociativeCache::new(*config, SpaceId::MAIN, &mut ls)?;
+            replay_cached(&mut cache, records, &mut main, &mut ls, &mut dma, &mut buf)
+        }
+        CacheChoice::Stream(config) => {
+            let mut cache = StreamCache::new(*config, SpaceId::MAIN, &mut ls)?;
+            replay_cached(&mut cache, records, &mut main, &mut ls, &mut dma, &mut buf)
+        }
+    }
+}
+
+fn replay_cached<C: SoftwareCache>(
+    cache: &mut C,
+    records: &[AccessRecord],
+    main: &mut MemoryRegion,
+    ls: &mut MemoryRegion,
+    dma: &mut DmaEngine,
+    buf: &mut [u8],
+) -> Result<u64, CacheError> {
+    let mut t = 0u64;
+    for rec in records {
+        match rec.op {
+            TraceOp::Read { offset, len } => {
+                let mut backing = CacheBacking { main, ls, dma };
+                t = cache.read(
+                    t,
+                    Addr::new(SpaceId::MAIN, offset),
+                    &mut buf[..len as usize],
+                    &mut backing,
+                )?;
+            }
+            TraceOp::Write { offset, len } => {
+                let mut backing = CacheBacking { main, ls, dma };
+                t = cache.write(
+                    t,
+                    Addr::new(SpaceId::MAIN, offset),
+                    &buf[..len as usize],
+                    &mut backing,
+                )?;
+            }
+            TraceOp::Compute { cycles } => t += cycles,
+        }
+    }
+    Ok(t)
+}
+
+/// Replays the naive outer-access path: each record is chunked through a
+/// staging buffer with one blocking DMA round trip plus the local-store
+/// copy charge per chunk — exactly what `AccelCtx`'s outer accessors do.
+fn replay_naive(
+    records: &[AccessRecord],
+    opts: &TuneOptions,
+    main: &mut MemoryRegion,
+    ls: &mut MemoryRegion,
+    dma: &mut DmaEngine,
+) -> Result<u64, CacheError> {
+    let staging = ls.alloc(opts.staging_size, DMA_ALIGN)?;
+    let tag = Tag::new(REPLAY_OUTER_TAG).expect("constant tag is valid");
+    let mut t = 0u64;
+    for rec in records {
+        match rec.op {
+            TraceOp::Read { offset, len } => {
+                let mut done = 0u32;
+                while done < len {
+                    let chunk = (len - done).min(opts.staging_size);
+                    let remote = Addr::new(SpaceId::MAIN, offset + done);
+                    let resume = dma.get(t, staging, remote, chunk, tag, main, ls)?;
+                    t = dma.wait(tag.mask(), resume);
+                    t += opts.ls_cycles(chunk);
+                    done += chunk;
+                }
+            }
+            TraceOp::Write { offset, len } => {
+                let mut done = 0u32;
+                while done < len {
+                    let chunk = (len - done).min(opts.staging_size);
+                    let remote = Addr::new(SpaceId::MAIN, offset + done);
+                    t += opts.ls_cycles(chunk);
+                    let resume = dma.put(t, staging, remote, chunk, tag, main, ls)?;
+                    t = dma.wait(tag.mask(), resume);
+                    done += chunk;
+                }
+            }
+            TraceOp::Compute { cycles } => t += cycles,
+        }
+    }
+    Ok(t)
+}
+
+// ---- the search ----------------------------------------------------------
+
+/// One evaluated candidate.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The cache policy evaluated.
+    pub choice: CacheChoice,
+    /// Cycles predicted by the analytic model.
+    pub model_cycles: u64,
+    /// Cycles measured by exact replay (`None` if the candidate ranked
+    /// outside the validated top-k).
+    pub exact_cycles: Option<u64>,
+}
+
+/// The result of an [`autotune`] search: every candidate ranked by the
+/// model, with the top-k validated by exact replay.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    candidates: Vec<Candidate>,
+    winner: usize,
+}
+
+impl TuneReport {
+    /// All candidates, best model rank first.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The winning candidate: minimum *exact* replay cycles among the
+    /// validated top-k (model rank breaks ties).
+    pub fn winner(&self) -> &Candidate {
+        &self.candidates[self.winner]
+    }
+
+    /// Index of the winner within [`TuneReport::candidates`].
+    pub fn winner_index(&self) -> usize {
+        self.winner
+    }
+}
+
+/// Searches the [`TuneOptions`] candidate space for the minimum-cycle
+/// cache policy for `records`: ranks every candidate with the analytic
+/// model, validates the top-k by exact simulated replay, and picks the
+/// exact-cycle minimum.
+///
+/// # Errors
+///
+/// Fails if an exact replay fails (local-store budget, bad transfer).
+pub fn autotune(records: &[AccessRecord], opts: &TuneOptions) -> Result<TuneReport, CacheError> {
+    let mut candidates: Vec<Candidate> = opts
+        .candidates(records)
+        .into_iter()
+        .map(|choice| Candidate {
+            choice,
+            model_cycles: model_cycles(&choice, records, opts),
+            exact_cycles: None,
+        })
+        .collect();
+    candidates.sort_by_key(|c| c.model_cycles);
+    let k = opts.top_k.clamp(1, candidates.len());
+    for candidate in &mut candidates[..k] {
+        candidate.exact_cycles = Some(replay_exact(&candidate.choice, records, opts)?);
+    }
+    let winner = candidates[..k]
+        .iter()
+        .enumerate()
+        .min_by_key(|(index, c)| (c.exact_cycles.expect("top-k was validated"), *index))
+        .map(|(index, _)| index)
+        .expect("at least one candidate");
+    Ok(TuneReport { candidates, winner })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sequential_trace(accesses: u32, stride: u32, len: u32) -> Vec<AccessRecord> {
+        (0..accesses)
+            .map(|i| AccessRecord {
+                span: 0,
+                op: TraceOp::Read {
+                    offset: i * stride,
+                    len,
+                },
+            })
+            .collect()
+    }
+
+    fn hot_trace(accesses: u32) -> Vec<AccessRecord> {
+        // 90% of accesses in a 2 KiB hot region, deterministic LCG.
+        let mut state = 0x905eed_u64;
+        (0..accesses)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let r = (state >> 33) as u32;
+                let offset = if r % 10 < 9 {
+                    (r % (2 * 1024 / 16)) * 16
+                } else {
+                    (r % (60 * 1024 / 16)) * 16
+                };
+                AccessRecord {
+                    span: 0,
+                    op: TraceOp::Read { offset, len: 16 },
+                }
+            })
+            .collect()
+    }
+
+    fn families() -> Vec<CacheChoice> {
+        vec![
+            CacheChoice::Naive,
+            CacheChoice::SetAssoc(CacheConfig::direct_mapped_4k()),
+            CacheChoice::SetAssoc(CacheConfig::four_way_16k()),
+            CacheChoice::SetAssoc(
+                CacheConfig::four_way_16k().write_policy(WritePolicy::WriteThrough),
+            ),
+            CacheChoice::Stream(CacheConfig::new(1024, 1, 1)),
+        ]
+    }
+
+    #[test]
+    fn model_is_bit_exact_on_aligned_traces() {
+        let mut trace = sequential_trace(256, 16, 16);
+        // Mix in writes and compute so every model path is exercised.
+        for i in 0..64u32 {
+            trace.push(AccessRecord {
+                span: 0,
+                op: TraceOp::Write {
+                    offset: i * 48 % 4096,
+                    len: 16,
+                },
+            });
+            trace.push(AccessRecord {
+                span: 0,
+                op: TraceOp::Compute { cycles: 8 },
+            });
+        }
+        let opts = TuneOptions::default();
+        for choice in families() {
+            let model = model_cycles(&choice, &trace, &opts);
+            let exact = replay_exact(&choice, &trace, &opts).unwrap();
+            assert_eq!(model, exact, "model must be exact for {choice}");
+        }
+    }
+
+    #[test]
+    fn model_never_overestimates_and_stays_in_tolerance_when_misaligned() {
+        // Odd offsets/lengths: every transfer pays the misalignment
+        // penalty that the model deliberately ignores.
+        let trace: Vec<AccessRecord> = (0..128u32)
+            .map(|i| AccessRecord {
+                span: 0,
+                op: TraceOp::Read {
+                    offset: i * 17 + 3,
+                    len: 13,
+                },
+            })
+            .collect();
+        let opts = TuneOptions::default();
+        for choice in families() {
+            let model = model_cycles(&choice, &trace, &opts);
+            let exact = replay_exact(&choice, &trace, &opts).unwrap();
+            assert!(model <= exact, "{choice}: model {model} > exact {exact}");
+            let error = (exact - model) as f64 / exact.max(1) as f64;
+            assert!(
+                error <= MODEL_ALIGNMENT_TOLERANCE,
+                "{choice}: error {error} exceeds tolerance"
+            );
+        }
+    }
+
+    #[test]
+    fn autotune_picks_stream_for_sequential_scans() {
+        let trace = sequential_trace(512, 16, 16);
+        let report = autotune(&trace, &TuneOptions::default()).unwrap();
+        assert_eq!(report.winner().choice.family(), "stream");
+        assert!(report.winner().exact_cycles.is_some());
+    }
+
+    #[test]
+    fn autotune_picks_set_associative_for_hot_sets() {
+        let trace = hot_trace(1024);
+        let report = autotune(&trace, &TuneOptions::default()).unwrap();
+        assert_eq!(report.winner().choice.family(), "set-associative");
+    }
+
+    #[test]
+    fn winner_is_the_exact_minimum_of_the_validated_set() {
+        let trace = hot_trace(256);
+        let report = autotune(&trace, &TuneOptions::default()).unwrap();
+        let winner = report.winner().exact_cycles.unwrap();
+        for candidate in report.candidates() {
+            if let Some(exact) = candidate.exact_cycles {
+                assert!(winner <= exact);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = hot_trace(200);
+        let opts = TuneOptions::default();
+        for choice in families() {
+            let a = replay_exact(&choice, &trace, &opts).unwrap();
+            let b = replay_exact(&choice, &trace, &opts).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing_and_never_allocates() {
+        let mut trace = AccessTrace::new();
+        trace.record_read(0, 0, 16);
+        trace.record_write(0, 16, 16);
+        trace.record_compute(0, 100);
+        assert!(trace.is_empty());
+        assert_eq!(trace.capacity(), 0);
+    }
+
+    #[test]
+    fn compute_records_coalesce_within_a_span() {
+        let mut trace = AccessTrace::new();
+        trace.set_enabled(true);
+        trace.record_compute(0, 10);
+        trace.record_compute(0, 5);
+        trace.record_read(0, 0, 16);
+        trace.record_compute(0, 3);
+        trace.record_compute(1, 2);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.records()[0].op, TraceOp::Compute { cycles: 15 });
+    }
+
+    #[test]
+    fn candidate_grid_contains_the_hand_picked_e7_configs() {
+        let opts = TuneOptions::default();
+        let choices = opts.candidates(&[]);
+        let has = |target: CacheConfig| {
+            choices
+                .iter()
+                .any(|c| matches!(c, CacheChoice::SetAssoc(cfg) if *cfg == target))
+        };
+        assert!(has(CacheConfig::direct_mapped_4k()));
+        assert!(has(CacheConfig::new(64, 64, 2)));
+        assert!(has(CacheConfig::four_way_16k()));
+        assert!(choices
+            .iter()
+            .any(|c| matches!(c, CacheChoice::Stream(cfg) if cfg.line_size == 1024)));
+        assert!(choices.contains(&CacheChoice::Naive));
+    }
+
+    #[test]
+    fn display_names_are_compact() {
+        assert_eq!(CacheChoice::Naive.to_string(), "no cache");
+        assert_eq!(
+            CacheChoice::SetAssoc(CacheConfig::four_way_16k()).to_string(),
+            "4-way 16K/128B"
+        );
+        assert_eq!(
+            CacheChoice::Stream(CacheConfig::new(512, 1, 1)).to_string(),
+            "stream 2x512B"
+        );
+    }
+}

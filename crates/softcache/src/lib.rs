@@ -40,11 +40,15 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod cache;
 pub mod config;
 pub mod stats;
 pub mod stream;
 
+pub use autotune::{
+    autotune, AccessRecord, AccessTrace, CacheChoice, Candidate, TraceOp, TuneOptions, TuneReport,
+};
 pub use cache::SetAssociativeCache;
 pub use config::{CacheConfig, WritePolicy};
 pub use stats::CacheStats;

@@ -1,0 +1,138 @@
+//! Property tests for the cache-policy autotuner: the analytic cost
+//! model vs exact simulated replay, over seeded random access patterns.
+//!
+//! Two contracts (both stated in `softcache::autotune`):
+//!
+//! - on 16-byte-aligned traces the model is **bit-exact** — local
+//!   buffers are always DMA-aligned, so with aligned remote
+//!   offsets/sizes no transfer pays the misalignment penalty the model
+//!   is blind to;
+//! - on arbitrary traces the model **never overestimates** and stays
+//!   within `MODEL_ALIGNMENT_TOLERANCE` of the exact replay.
+
+use softcache::autotune::{
+    autotune, model_cycles, replay_exact, AccessRecord, TraceOp, TuneOptions,
+    MODEL_ALIGNMENT_TOLERANCE,
+};
+use softcache::{CacheChoice, CacheConfig, WritePolicy};
+use xrng::Rng;
+
+/// The cache families the properties are checked against.
+fn choices() -> Vec<CacheChoice> {
+    vec![
+        CacheChoice::Naive,
+        CacheChoice::SetAssoc(CacheConfig::direct_mapped_4k()),
+        CacheChoice::SetAssoc(CacheConfig::new(64, 64, 2)),
+        CacheChoice::SetAssoc(CacheConfig::four_way_16k()),
+        CacheChoice::SetAssoc(CacheConfig::new(128, 32, 4).write_policy(WritePolicy::WriteThrough)),
+        CacheChoice::Stream(CacheConfig::new(512, 1, 1)),
+    ]
+}
+
+/// A random trace over a 64 KiB extent: reads, writes and compute in
+/// random order. `align` forces every offset/length to a 16-byte
+/// multiple.
+fn random_trace(rng: &mut Rng, records: usize, align: bool) -> Vec<AccessRecord> {
+    let extent = 64 * 1024u32;
+    let mut out = Vec::with_capacity(records);
+    for _ in 0..records {
+        let op = match rng.below_u32(10) {
+            0 => TraceOp::Compute {
+                cycles: u64::from(rng.below_u32(500)) + 1,
+            },
+            1..=3 => {
+                let (offset, len) = random_span(rng, extent, align);
+                TraceOp::Write { offset, len }
+            }
+            _ => {
+                let (offset, len) = random_span(rng, extent, align);
+                TraceOp::Read { offset, len }
+            }
+        };
+        out.push(AccessRecord { span: 0, op });
+    }
+    out
+}
+
+fn random_span(rng: &mut Rng, extent: u32, align: bool) -> (u32, u32) {
+    let mut len = rng.range_u32(1, 512);
+    let mut offset = rng.below_u32(extent - len);
+    if align {
+        len = (len & !0xf).max(16);
+        offset &= !0xf;
+    }
+    (offset, len)
+}
+
+#[test]
+fn model_is_bit_exact_on_random_aligned_traces() {
+    let mut rng = Rng::new(0xA117);
+    let opts = TuneOptions::default();
+    for round in 0..24 {
+        let trace = random_trace(&mut rng, 200, true);
+        for choice in choices() {
+            let modeled = model_cycles(&choice, &trace, &opts);
+            let exact = replay_exact(&choice, &trace, &opts).expect("replay succeeds");
+            assert_eq!(
+                modeled, exact,
+                "round {round}: model drifted from exact replay for {choice}"
+            );
+        }
+    }
+}
+
+#[test]
+fn model_never_overestimates_and_stays_in_tolerance_on_unaligned_traces() {
+    let mut rng = Rng::new(0xBAD_A119);
+    let opts = TuneOptions::default();
+    for round in 0..24 {
+        let trace = random_trace(&mut rng, 200, false);
+        for choice in choices() {
+            let modeled = model_cycles(&choice, &trace, &opts);
+            let exact = replay_exact(&choice, &trace, &opts).expect("replay succeeds");
+            assert!(
+                modeled <= exact,
+                "round {round}: the alignment-blind model must never overestimate \
+                 ({modeled} > {exact} for {choice})"
+            );
+            let drift = (exact - modeled) as f64 / exact as f64;
+            assert!(
+                drift <= MODEL_ALIGNMENT_TOLERANCE,
+                "round {round}: model drift {drift:.3} exceeds the stated tolerance \
+                 {MODEL_ALIGNMENT_TOLERANCE} for {choice} ({modeled} vs {exact})"
+            );
+        }
+    }
+}
+
+#[test]
+fn autotune_winner_is_exact_optimal_among_validated_candidates() {
+    // The tuner's winner must be the exact-cycle minimum of whatever it
+    // validated — on any random trace.
+    let mut rng = Rng::new(0x0971_3a1e);
+    let opts = TuneOptions::default();
+    for _ in 0..8 {
+        let trace = random_trace(&mut rng, 150, true);
+        let report = autotune(&trace, &opts).expect("search space is valid");
+        let winner = report.winner();
+        let best_exact = report
+            .candidates()
+            .iter()
+            .filter_map(|c| c.exact_cycles)
+            .min()
+            .expect("top-k candidates were validated");
+        assert_eq!(winner.exact_cycles, Some(best_exact));
+    }
+}
+
+#[test]
+fn replay_is_deterministic_across_runs() {
+    let mut rng = Rng::new(7);
+    let trace = random_trace(&mut rng, 300, false);
+    let opts = TuneOptions::default();
+    for choice in choices() {
+        let a = replay_exact(&choice, &trace, &opts).expect("replay succeeds");
+        let b = replay_exact(&choice, &trace, &opts).expect("replay succeeds");
+        assert_eq!(a, b, "replay must be deterministic for {choice}");
+    }
+}
