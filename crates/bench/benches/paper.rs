@@ -40,6 +40,7 @@ fn main() {
         ("e12_cache_crossover", exp::e12_cache_crossover::run),
         ("e13_code_loading", exp::e13_code_loading::run),
         ("e14_multi_accel", exp::e14_multi_accel::run),
+        ("e15_sched_policies", exp::e15_sched_policies::run),
     ];
     for &(name, run) in experiments {
         let m = time(name, budget, || run(true));

@@ -89,7 +89,8 @@ fn stream_run() -> u64 {
         .write_pod_slice(remote, &values)
         .expect("fits");
     let handle = machine
-        .offload(0, |ctx| {
+        .offload(0)
+        .spawn(|ctx| {
             process_stream::<u32, _>(
                 ctx,
                 remote,

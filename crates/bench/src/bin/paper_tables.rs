@@ -1,4 +1,4 @@
-//! Regenerates every table of the reproduction (E1–E14).
+//! Regenerates every table of the reproduction (E1–E15).
 //!
 //! Usage:
 //!
@@ -18,12 +18,15 @@
 //! `--trace <file>` runs one traced E2 offloaded frame (paper Figure 2)
 //! and writes its event log as Chrome trace-event JSON — open the file
 //! in <https://ui.perfetto.dev>; `PROFILING.md` is the reading guide.
+//! It also writes `<file stem>-sched.json`: a work-stealing E15 frame
+//! whose scheduler lanes (tile slices, idle gaps, steals) PROFILING.md's
+//! "Reading the scheduler lane" section walks through.
 //! `--stats` runs the same frame and prints the plain-text utilization
 //! report instead. Tracing is zero simulated cost, so neither flag
 //! perturbs any table.
 
 use bench::exp;
-use bench::profile::traced_e2_frame;
+use bench::profile::{traced_e2_frame, traced_sched_frame};
 use bench::Table;
 use simcell::{chrome_trace_json, parse_chrome_trace};
 
@@ -62,6 +65,56 @@ fn write_trace(path: &str) {
         machine.events().len(),
         stats.host_cycles,
         stats.pairs,
+    );
+    write_sched_trace(&sched_trace_path(path));
+}
+
+/// Derives the scheduler-trace path written next to the main one:
+/// `e2.json` → `e2-sched.json`.
+fn sched_trace_path(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}-sched.json"),
+        None => format!("{path}-sched"),
+    }
+}
+
+/// Runs one work-stealing E15 frame and writes its Chrome trace —
+/// scheduler lanes included — to `path`, round-tripping it through the
+/// parser with the same payload arithmetic as the main trace (every
+/// scheduler event exports as exactly one payload record).
+fn write_sched_trace(path: &str) {
+    let (machine, report) = traced_sched_frame(true);
+    let json = chrome_trace_json(machine.events());
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let back = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let parsed = parse_chrome_trace(&back)
+        .unwrap_or_else(|e| panic!("{path} does not parse as a Chrome trace: {e}"));
+    let payload = parsed.iter().filter(|e| e.ph != 'M').count();
+    let completed_offloads = machine
+        .events()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, simcell::EventKind::OffloadEnd { .. }))
+        .count();
+    assert_eq!(
+        payload,
+        machine.events().len() - completed_offloads,
+        "{path}: parsed payload event count must match the event log"
+    );
+    let sched_lanes = parsed
+        .iter()
+        .filter(|e| e.ph == 'M' && e.tid >= simcell::trace::SCHED_LANE_BASE)
+        .count();
+    assert!(
+        sched_lanes >= usize::from(report.accels),
+        "{path}: every dispatch lane must be named in the export"
+    );
+    eprintln!(
+        "wrote {path}: {} events from one work-stealing E15 frame ({} tiles, {} steals) — \
+         the scheduler lanes walkthrough in PROFILING.md reads this file",
+        machine.events().len(),
+        report.tiles,
+        report.steals,
     );
 }
 
@@ -111,6 +164,7 @@ fn main() {
         ("E12", exp::e12_cache_crossover::run),
         ("E13", exp::e13_code_loading::run),
         ("E14", exp::e14_multi_accel::run),
+        ("E15", exp::e15_sched_policies::run),
     ];
 
     eprintln!(

@@ -46,7 +46,8 @@ fn accel_style(
     let pairs_addr = r.pairs_addr;
     let handle = r
         .machine
-        .offload(0, move |ctx| style(ctx, &entities, pairs_addr, pair_count))
+        .offload(0)
+        .spawn(move |ctx| style(ctx, &entities, pairs_addr, pair_count))
         .expect("accel 0 exists");
     let elapsed = handle.elapsed();
     r.machine.join(handle).expect("style succeeds");

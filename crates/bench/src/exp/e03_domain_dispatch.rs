@@ -58,7 +58,8 @@ fn dispatch_cycles(n: usize, receiver_local: bool) -> u64 {
         .expect("fits");
 
     let handle = machine
-        .offload(0, |ctx| {
+        .offload(0)
+        .spawn(|ctx| {
             let obj = if receiver_local {
                 let local = ctx.alloc_local(64, 16)?;
                 ctx.local_write_pod(local, &r.class.0)?;

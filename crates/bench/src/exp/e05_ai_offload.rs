@@ -34,7 +34,8 @@ pub fn measure(n: u32) -> (u64, u64) {
 
     let (mut m2, e2, t2) = setup(n);
     let handle = m2
-        .offload(0, |ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
+        .offload(0)
+        .spawn(|ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
         .expect("accel 0 exists");
     let offloaded = handle.elapsed();
     m2.join(handle).expect("offloaded AI runs");

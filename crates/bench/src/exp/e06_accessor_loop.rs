@@ -66,7 +66,8 @@ fn naive(rig: &mut Rig) -> u64 {
     let count = rig.count;
     let handle = rig
         .machine
-        .offload(0, move |ctx| -> Result<(), SimError> {
+        .offload(0)
+        .spawn(move |ctx| -> Result<(), SimError> {
             for i in 0..count {
                 // Transfer 1: the pointer itself.
                 let ptr: u32 = ctx.outer_read_pod(table.element(i, 4)?)?;
@@ -91,7 +92,8 @@ fn pointer_accessor(rig: &mut Rig) -> u64 {
     let count = rig.count;
     let handle = rig
         .machine
-        .offload(0, move |ctx| -> Result<(), SimError> {
+        .offload(0)
+        .spawn(move |ctx| -> Result<(), SimError> {
             let pointers = ArrayAccessor::<u32>::fetch(ctx, table, count)?;
             for i in 0..count {
                 let ptr = pointers.get(ctx, i)?;
@@ -116,7 +118,8 @@ fn accessor_plus_cache(rig: &mut Rig) -> u64 {
     let count = rig.count;
     let handle = rig
         .machine
-        .offload(0, move |ctx| -> Result<(), SimError> {
+        .offload(0)
+        .spawn(move |ctx| -> Result<(), SimError> {
             let mut cache = ctx.new_cache(CacheConfig::four_way_16k())?;
             let pointers = ArrayAccessor::<u32>::fetch(ctx, table, count)?;
             for i in 0..count {

@@ -66,7 +66,8 @@ pub fn measure(cache_kind: &str, pattern: &str, accesses: u32) -> (u64, f64) {
     let offsets = offsets(pattern, accesses);
 
     let handle = machine
-        .offload(0, |ctx| -> Result<(u64, f64), SimError> {
+        .offload(0)
+        .spawn(|ctx| -> Result<(u64, f64), SimError> {
             let t0 = ctx.now();
             let mut buf = [0u8; ACCESS];
             match cache_kind {
@@ -121,7 +122,8 @@ pub fn capture_trace(pattern: &str, accesses: u32) -> Vec<softcache::AccessRecor
     let data = machine.alloc_main(DATA, 16).expect("fits");
     let offsets = offsets(pattern, accesses);
     let handle = machine
-        .offload(0, |ctx| -> Result<(), SimError> {
+        .offload(0)
+        .spawn(|ctx| -> Result<(), SimError> {
             let mut buf = [0u8; ACCESS];
             for &off in &offsets {
                 ctx.outer_read_bytes(data.offset_by(off)?, &mut buf)?;

@@ -35,7 +35,8 @@ pub fn measure(n: u32) -> (u64, u64, u64) {
     let per_object = {
         let (mut machine, entities) = setup(n);
         let handle = machine
-            .offload(0, |ctx| -> Result<(), SimError> {
+            .offload(0)
+            .spawn(|ctx| -> Result<(), SimError> {
                 for i in 0..n {
                     let addr = entities.addr_of(i)?;
                     let mut e: GameEntity = ctx.outer_read_pod(addr)?;
@@ -64,9 +65,8 @@ pub fn measure(n: u32) -> (u64, u64, u64) {
     let chunked = {
         let (mut machine, entities) = setup(n);
         let handle = machine
-            .offload(0, |ctx| {
-                process_chunked::<GameEntity, _>(ctx, entities.base(), n, config, worker)
-            })
+            .offload(0)
+            .spawn(|ctx| process_chunked::<GameEntity, _>(ctx, entities.base(), n, config, worker))
             .expect("accel 0 exists");
         let t = handle.elapsed();
         machine.join(handle).expect("runs");
@@ -75,9 +75,8 @@ pub fn measure(n: u32) -> (u64, u64, u64) {
     let streamed = {
         let (mut machine, entities) = setup(n);
         let handle = machine
-            .offload(0, |ctx| {
-                process_stream::<GameEntity, _>(ctx, entities.base(), n, config, worker)
-            })
+            .offload(0)
+            .spawn(|ctx| process_stream::<GameEntity, _>(ctx, entities.base(), n, config, worker))
             .expect("accel 0 exists");
         let t = handle.elapsed();
         machine.join(handle).expect("runs");

@@ -26,7 +26,8 @@ pub fn measure(reuse: u32) -> (u64, u64) {
         let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
         let data = machine.alloc_main(LINES * STRIDE, 16).expect("fits");
         let handle = machine
-            .offload(0, |ctx| -> Result<(), SimError> {
+            .offload(0)
+            .spawn(|ctx| -> Result<(), SimError> {
                 let mut cache = if cached {
                     Some(ctx.new_cache(CacheConfig::four_way_16k())?)
                 } else {
@@ -71,7 +72,8 @@ pub fn capture_trace(reuse: u32) -> Vec<softcache::AccessRecord> {
     machine.access_trace_mut().set_enabled(true);
     let data = machine.alloc_main(LINES * STRIDE, 16).expect("fits");
     let handle = machine
-        .offload(0, |ctx| -> Result<(), SimError> {
+        .offload(0)
+        .spawn(|ctx| -> Result<(), SimError> {
             let mut buf = [0u8; 16];
             for _ in 0..reuse {
                 for line in 0..LINES {

@@ -98,7 +98,8 @@ pub fn measure(methods: u32, pattern: &str, budget_methods: Option<u32>) -> (u64
         .collect();
 
     let handle = machine
-        .offload(0, |ctx| -> Result<(u64, u64), SimError> {
+        .offload(0)
+        .spawn(|ctx| -> Result<(u64, u64), SimError> {
             let t0 = ctx.now();
             let mut loads = 0u64;
             match budget_methods {

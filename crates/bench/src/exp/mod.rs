@@ -14,6 +14,7 @@ pub mod e11_race_detection;
 pub mod e12_cache_crossover;
 pub mod e13_code_loading;
 pub mod e14_multi_accel;
+pub mod e15_sched_policies;
 
 use crate::table::Table;
 
@@ -35,5 +36,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e12_cache_crossover::run(quick),
         e13_code_loading::run(quick),
         e14_multi_accel::run(quick),
+        e15_sched_policies::run(quick),
     ]
 }

@@ -49,6 +49,41 @@ pub fn traced_e2_frame_cycles() -> u64 {
     traced_e2_frame(false).1.host_cycles
 }
 
+/// Runs one E15 skewed frame under the work-stealing scheduler with
+/// `trace` deciding whether the event log records. The returned
+/// machine's log carries the scheduler lanes (`sched N` in the Chrome
+/// export): tile-assignment slices, idle gaps, enqueue and steal
+/// instants — the capture side of PROFILING.md's "Reading the
+/// scheduler lane".
+pub fn traced_sched_frame(trace: bool) -> (Machine, offload_rt::sched::SchedReport) {
+    use crate::exp::e15_sched_policies::{skewed_costs, ACCELS, TILES};
+    use gamekit::ai_frame_sched;
+    use offload_rt::sched::SchedPolicy;
+
+    let n = 512;
+    let config = AiConfig::default();
+    let mut machine = Machine::new(MachineConfig::default()).expect("config valid");
+    machine.events_mut().set_enabled(trace);
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    let mut gen = WorldGen::new(0xE15);
+    gen.populate(&mut machine, &entities, 70.0).expect("fits");
+    let table = gen
+        .candidate_table(&mut machine, n, config.candidates)
+        .expect("fits");
+    let report = ai_frame_sched(
+        &mut machine,
+        &entities,
+        table,
+        &config,
+        ACCELS,
+        TILES,
+        SchedPolicy::WorkStealing,
+        &skewed_costs(),
+    )
+    .expect("tiles fit");
+    (machine, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +103,21 @@ mod tests {
         assert_eq!(traced.host_cycles, untraced.host_cycles);
         assert_eq!(traced.ai_cycles, untraced.ai_cycles);
         assert_eq!(traced.pairs, untraced.pairs);
+    }
+
+    #[test]
+    fn traced_sched_frame_records_scheduler_events_at_zero_cost() {
+        let (machine, report) = traced_sched_frame(true);
+        let (_, untraced_report) = traced_sched_frame(false);
+        assert_eq!(report.cycles, untraced_report.cycles);
+        assert!(report.steals > 0, "the skewed frame steals");
+        let stats = machine.stats();
+        assert_eq!(u64::from(report.tiles), stats.sched_tiles);
+        assert_eq!(u64::from(report.steals), stats.sched_steals);
+        assert!(machine
+            .events()
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, simcell::EventKind::SchedSteal { .. })));
     }
 }

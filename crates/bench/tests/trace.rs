@@ -5,8 +5,8 @@
 //! lanes, tracing is zero simulated cost and allocation-free when
 //! disabled, and the always-on counters agree with the event log.
 
-use bench::profile::{traced_e2_frame, traced_e2_frame_cycles};
-use simcell::trace::{accel_tid, dma_tid};
+use bench::profile::{traced_e2_frame, traced_e2_frame_cycles, traced_sched_frame};
+use simcell::trace::{accel_tid, dma_tid, sched_tid};
 use simcell::{
     chrome_trace_json, parse_chrome_trace, ChromeEvent, EventKind, Machine, MachineConfig,
 };
@@ -108,6 +108,50 @@ fn figure2_overlap_is_visible_in_the_trace() {
     );
 }
 
+/// The scheduler-lane half of the `--trace` smoke test: a traced
+/// work-stealing E15 frame exports one `sched N` lane per accelerator,
+/// its tile slices, idle gaps and steal instants survive the
+/// parse_chrome_trace round trip, and the tile slices account for
+/// every dispatched tile.
+#[test]
+fn scheduler_lanes_round_trip_through_the_chrome_parser() {
+    let (machine, report) = traced_sched_frame(true);
+    let json = chrome_trace_json(machine.events());
+    let parsed = parse_chrome_trace(&json).expect("valid JSON");
+
+    for lane in 0..report.accels {
+        assert!(
+            parsed
+                .iter()
+                .any(|e| e.ph == 'M' && e.name == "thread_name" && e.tid == sched_tid(lane)),
+            "scheduler lane {lane} must be named in the export"
+        );
+    }
+    let tile_slices = parsed
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name.starts_with("tile ") && e.tid >= sched_tid(0))
+        .count();
+    assert_eq!(
+        tile_slices as u32, report.tiles,
+        "every dispatched tile becomes one scheduler-lane slice"
+    );
+    assert!(
+        parsed
+            .iter()
+            .any(|e| e.ph == 'X' && e.name == "idle" && e.tid >= sched_tid(0)),
+        "the skewed frame leaves visible idle gaps"
+    );
+    let steal_instants = parsed
+        .iter()
+        .filter(|e| e.ph == 'i' && e.name == "steal")
+        .count();
+    assert_eq!(steal_instants as u32, report.steals);
+
+    // Tracing the schedule costs zero simulated cycles.
+    let (_, untraced) = traced_sched_frame(false);
+    assert_eq!(report.cycles, untraced.cycles);
+}
+
 #[test]
 fn machine_stats_agree_with_logged_dma_events() {
     let (machine, _) = traced_e2_frame(true);
@@ -144,7 +188,8 @@ fn machine_stats_agree_with_logged_cache_events() {
     let values: Vec<u32> = (0..1024).collect();
     machine.main_mut().write_pod_slice(remote, &values).unwrap();
     machine
-        .run_offload(0, |ctx| -> Result<(), simcell::SimError> {
+        .offload(0)
+        .run(|ctx| -> Result<(), simcell::SimError> {
             let mut cache = ctx.new_cache(softcache::CacheConfig::direct_mapped_4k())?;
             let mut sum = 0u64;
             for i in 0..1024u32 {

@@ -16,6 +16,7 @@
 //! identical results (asserted in tests).
 
 use memspace::Addr;
+use offload_rt::sched::{SchedExt, SchedPolicy, SchedReport};
 use offload_rt::ArrayAccessor;
 use simcell::{AccelCtx, Machine, SimError};
 
@@ -171,6 +172,10 @@ pub fn ai_frame_offloaded(
 /// only position/health (which the AI never writes), so tile order
 /// cannot matter.
 ///
+/// This is [`ai_frame_sched`] under [`SchedPolicy::Static`] with one
+/// tile per accelerator — the cycle accounting is bit-identical to the
+/// hand-rolled launch-all-then-join-all loop it replaced.
+///
 /// # Errors
 ///
 /// Fails if `accels` is zero or exceeds the machine, or if a tile does
@@ -182,6 +187,50 @@ pub fn ai_frame_offloaded_tiled(
     config: &AiConfig,
     accels: u16,
 ) -> Result<u64, SimError> {
+    let report = ai_frame_sched(
+        machine,
+        entities,
+        candidate_table,
+        config,
+        accels,
+        u32::from(accels),
+        SchedPolicy::Static,
+        &[],
+    )?;
+    Ok(report.cycles)
+}
+
+/// Runs one AI frame as `tiles` tiles dispatched by a scheduler
+/// policy over the first `accels` accelerators.
+///
+/// Each tile bulk-fetches the (read-only) entity array plus its slice
+/// of the candidate table, decides for its own slice of entities, and
+/// writes back only that slice; `extra` optionally charges tile `t` an
+/// additional `extra[t]` cycles of synthetic work *before* its real
+/// work (the E15 skewed-cost experiment uses this to model the hot
+/// tiles — pathfinding-heavy regions, crowded cells — a real frame
+/// contains). With `tiles == accels`, [`SchedPolicy::Static`] and no
+/// extras this is exactly [`ai_frame_offloaded_tiled`].
+///
+/// World results are policy-independent: decisions read only
+/// position/health (which the AI never writes), so tile placement
+/// cannot matter — only the cycle accounting moves.
+///
+/// # Errors
+///
+/// Fails if `accels` is zero or exceeds the machine, or if a tile does
+/// not fit the local store.
+#[allow(clippy::too_many_arguments)] // an experiment entry point: all knobs are the point
+pub fn ai_frame_sched(
+    machine: &mut Machine,
+    entities: &EntityArray,
+    candidate_table: Addr,
+    config: &AiConfig,
+    accels: u16,
+    tiles: u32,
+    policy: SchedPolicy,
+    extra: &[u64],
+) -> Result<SchedReport, SimError> {
     if accels == 0 || accels > machine.accel_count() {
         return Err(SimError::BadConfig {
             reason: format!(
@@ -192,12 +241,17 @@ pub fn ai_frame_offloaded_tiled(
     }
     let n = entities.len();
     let k = config.candidates;
-    let t0 = machine.host_now();
-    let mut handles = Vec::with_capacity(usize::from(accels));
-    for a in 0..accels {
-        let begin = n * u32::from(a) / u32::from(accels);
-        let end = n * (u32::from(a) + 1) / u32::from(accels);
-        let handle = machine.offload(a, move |ctx| -> Result<(), SimError> {
+    let (_, report) = machine
+        .offload(0)
+        .label("ai tile")
+        .sched(policy)
+        .accels(accels)
+        .run_tiles(tiles, |ctx, tile| -> Result<(), SimError> {
+            if let Some(&cost) = extra.get(tile as usize) {
+                ctx.compute(cost);
+            }
+            let begin = n * tile / tiles;
+            let end = n * (tile + 1) / tiles;
             let all = ArrayAccessor::<GameEntity>::fetch(ctx, entities.base(), n)?;
             let count = end - begin;
             if count == 0 {
@@ -225,12 +279,7 @@ pub fn ai_frame_offloaded_tiled(
             }
             out.write_back(ctx)
         })?;
-        handles.push(handle);
-    }
-    for handle in handles {
-        machine.join(handle)?;
-    }
-    Ok(machine.host_now() - t0)
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -298,7 +347,8 @@ mod tests {
         let host_result = e1.snapshot(&m1).unwrap();
 
         let (mut m2, e2, t2) = setup(256, 11);
-        m2.run_offload(0, |ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
+        m2.offload(0)
+            .run(|ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
             .unwrap()
             .unwrap();
         let offl_result = e2.snapshot(&m2).unwrap();
@@ -317,7 +367,8 @@ mod tests {
 
         let (mut m2, e2, t2) = setup(1024, 11);
         let handle = m2
-            .offload(0, |ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
+            .offload(0)
+            .spawn(|ctx| ai_frame_offloaded(ctx, &e2, t2, &config))
             .unwrap();
         let offl_cycles = handle.elapsed();
         m2.join(handle).unwrap();
@@ -345,7 +396,8 @@ mod tests {
         };
 
         let (mut m1, e1, t1) = build(512);
-        m1.run_offload(0, |ctx| ai_frame_offloaded(ctx, &e1, t1, &config))
+        m1.offload(0)
+            .run(|ctx| ai_frame_offloaded(ctx, &e1, t1, &config))
             .unwrap()
             .unwrap();
         let reference = e1.snapshot(&m1).unwrap();

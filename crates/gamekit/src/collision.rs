@@ -398,7 +398,8 @@ mod tests {
         let pairs_addr = r.pairs_addr;
         let handle = r
             .machine
-            .offload(0, move |ctx| style(ctx, &entities, pairs_addr, pair_count))
+            .offload(0)
+            .spawn(move |ctx| style(ctx, &entities, pairs_addr, pair_count))
             .unwrap();
         let elapsed = handle.elapsed();
         r.machine.join(handle).unwrap();

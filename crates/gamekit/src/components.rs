@@ -424,28 +424,30 @@ impl ComponentSystem {
         let t0 = machine.host_now();
         let total = self.total;
         let monolithic = self.monolithic;
-        let handle = machine.offload(accel, |ctx| -> Result<u64, SimError> {
-            let mut vcalls = 0u64;
-            for i in 0..total {
-                let addr = monolithic.element(i, Component::STRIDE)?;
-                let local_fn = accel_virtual_dispatch(
-                    ctx,
-                    &self.registry,
-                    &self.monolithic_domain,
-                    addr,
-                    UPDATE_SLOT,
-                    DuplicateId(0b1),
-                )
-                .map_err(dispatch_to_sim)?;
-                let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
-                let mut comp: Component = ctx.outer_read_pod(addr)?;
-                (behaviour.transform)(&mut comp.data);
-                ctx.compute(behaviour.compute);
-                ctx.outer_write_pod(addr, &comp)?;
-                vcalls += 1;
-            }
-            Ok(vcalls)
-        })?;
+        let handle = machine
+            .offload(accel)
+            .spawn(|ctx| -> Result<u64, SimError> {
+                let mut vcalls = 0u64;
+                for i in 0..total {
+                    let addr = monolithic.element(i, Component::STRIDE)?;
+                    let local_fn = accel_virtual_dispatch(
+                        ctx,
+                        &self.registry,
+                        &self.monolithic_domain,
+                        addr,
+                        UPDATE_SLOT,
+                        DuplicateId(0b1),
+                    )
+                    .map_err(dispatch_to_sim)?;
+                    let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
+                    let mut comp: Component = ctx.outer_read_pod(addr)?;
+                    (behaviour.transform)(&mut comp.data);
+                    ctx.compute(behaviour.compute);
+                    ctx.outer_write_pod(addr, &comp)?;
+                    vcalls += 1;
+                }
+                Ok(vcalls)
+            })?;
         let vcalls = machine.join(handle)?;
         Ok(ComponentSystemStats {
             layout: SystemLayout::Monolithic,
@@ -474,30 +476,32 @@ impl ComponentSystem {
         for kind in 0..KIND_COUNT {
             let (addr, count) = self.specialised[kind];
             let domain = &self.specialised_domains[kind];
-            let handle = machine.offload(accel, |ctx| -> Result<u64, SimError> {
-                let mut local_calls = 0u64;
-                let mut array = ArrayAccessor::<Component>::fetch(ctx, addr, count)?;
-                for i in 0..count {
-                    let obj = array.element_addr(i)?;
-                    let local_fn = accel_virtual_dispatch(
-                        ctx,
-                        &self.registry,
-                        domain,
-                        obj,
-                        UPDATE_SLOT,
-                        DuplicateId::ALL_LOCAL,
-                    )
-                    .map_err(dispatch_to_sim)?;
-                    let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
-                    let mut comp = array.get(ctx, i)?;
-                    (behaviour.transform)(&mut comp.data);
-                    ctx.compute(behaviour.compute);
-                    array.set(ctx, i, &comp)?;
-                    local_calls += 1;
-                }
-                array.write_back(ctx)?;
-                Ok(local_calls)
-            })?;
+            let handle = machine
+                .offload(accel)
+                .spawn(|ctx| -> Result<u64, SimError> {
+                    let mut local_calls = 0u64;
+                    let mut array = ArrayAccessor::<Component>::fetch(ctx, addr, count)?;
+                    for i in 0..count {
+                        let obj = array.element_addr(i)?;
+                        let local_fn = accel_virtual_dispatch(
+                            ctx,
+                            &self.registry,
+                            domain,
+                            obj,
+                            UPDATE_SLOT,
+                            DuplicateId::ALL_LOCAL,
+                        )
+                        .map_err(dispatch_to_sim)?;
+                        let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
+                        let mut comp = array.get(ctx, i)?;
+                        (behaviour.transform)(&mut comp.data);
+                        ctx.compute(behaviour.compute);
+                        array.set(ctx, i, &comp)?;
+                        local_calls += 1;
+                    }
+                    array.write_back(ctx)?;
+                    Ok(local_calls)
+                })?;
             vcalls += machine.join(handle)?;
         }
         Ok(ComponentSystemStats {

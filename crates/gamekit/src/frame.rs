@@ -124,9 +124,10 @@ pub fn run_frame(
         }
         FrameSchedule::Offloaded { accel } => {
             // __offload { this->calculateStrategy(...); }
-            let handle = machine.offload_labeled(accel, "calculateStrategy", |ctx| {
-                ai_frame_offloaded(ctx, entities, candidate_table, ai_config)
-            })?;
+            let handle = machine
+                .offload(accel)
+                .label("calculateStrategy")
+                .spawn(|ctx| ai_frame_offloaded(ctx, entities, candidate_table, ai_config))?;
             let ai_cycles = handle.elapsed();
             // this->detectCollisions();  (host, in parallel)
             machine.span_start("detectCollisions");

@@ -55,7 +55,9 @@ pub mod frame;
 pub mod math;
 pub mod workload;
 
-pub use ai::{ai_frame_host, ai_frame_offloaded, ai_frame_offloaded_tiled, AiConfig};
+pub use ai::{
+    ai_frame_host, ai_frame_offloaded, ai_frame_offloaded_tiled, ai_frame_sched, AiConfig,
+};
 pub use collision::{
     detect_collisions_host, respond_pairs_blocking, respond_pairs_host, respond_pairs_streamed,
     respond_pairs_tagged, CollisionPair,

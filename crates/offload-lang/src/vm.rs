@@ -279,7 +279,8 @@ impl Env for HostEnv<'_> {
     ) -> Result<(), VmError> {
         let policy = vm.cache_policy;
         self.machine
-            .run_offload(0, |ctx| vm.run_on_accel(ctx, func, domain, policy, args))??;
+            .offload(0)
+            .run(|ctx| vm.run_on_accel(ctx, func, domain, policy, args))??;
         Ok(())
     }
 
@@ -296,9 +297,10 @@ impl Env for HostEnv<'_> {
         // several language-level handles genuinely overlap.
         let accel = self.next_accel;
         self.next_accel = (self.next_accel + 1) % self.machine.accel_count();
-        let handle = self.machine.offload(accel, |ctx| {
-            vm.run_on_accel(ctx, func, domain, policy, args)
-        })?;
+        let handle = self
+            .machine
+            .offload(accel)
+            .spawn(|ctx| vm.run_on_accel(ctx, func, domain, policy, args))?;
         if usize::from(slot) >= self.pending.len() {
             self.pending.resize_with(usize::from(slot) + 1, || None);
         }

@@ -35,7 +35,7 @@ use crate::ACCESSOR_TAG;
 /// let remote = machine.alloc_main_slice::<f32>(256)?;
 /// machine.main_mut().write_pod_slice(remote, &vec![1.5f32; 256])?;
 ///
-/// let total = machine.run_offload(0, |ctx| -> Result<f32, SimError> {
+/// let total = machine.offload(0).run(|ctx| -> Result<f32, SimError> {
 ///     let array = ArrayAccessor::<f32>::fetch(ctx, remote, 256)?;
 ///     let mut total = 0.0;
 ///     for i in 0..array.len() {
@@ -239,7 +239,8 @@ mod tests {
         m.main_mut().write_pod_slice(remote, &values).unwrap();
 
         let out = m
-            .run_offload(0, |ctx| -> Result<Vec<u32>, SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<Vec<u32>, SimError> {
                 let array = ArrayAccessor::<u32>::fetch(ctx, remote, 100)?;
                 array.to_vec(ctx)
             })
@@ -252,15 +253,16 @@ mod tests {
     fn write_back_persists_changes() {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(8).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let mut array = ArrayAccessor::<u32>::fetch(ctx, remote, 8)?;
-            for i in 0..8 {
-                array.set(ctx, i, &(i * 10))?;
-            }
-            array.write_back(ctx)
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let mut array = ArrayAccessor::<u32>::fetch(ctx, remote, 8)?;
+                for i in 0..8 {
+                    array.set(ctx, i, &(i * 10))?;
+                }
+                array.write_back(ctx)
+            })
+            .unwrap()
+            .unwrap();
         let stored = m.main().read_pod_slice::<u32>(remote, 8).unwrap();
         assert_eq!(stored, vec![0, 10, 20, 30, 40, 50, 60, 70]);
     }
@@ -269,13 +271,14 @@ mod tests {
     fn clean_accessor_skips_write_back() {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(8).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let mut array = ArrayAccessor::<u32>::fetch(ctx, remote, 8)?;
-            let _ = array.get(ctx, 0)?;
-            array.write_back(ctx)
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let mut array = ArrayAccessor::<u32>::fetch(ctx, remote, 8)?;
+                let _ = array.get(ctx, 0)?;
+                array.write_back(ctx)
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(m.dma_stats(0).unwrap().puts, 0);
     }
 
@@ -283,13 +286,14 @@ mod tests {
     fn output_only_accessor_never_fetches() {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(4).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let mut array = ArrayAccessor::<u32>::for_output(ctx, remote, 4)?;
-            array.copy_from_slice(ctx, &[9, 8, 7, 6])?;
-            array.write_back(ctx)
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let mut array = ArrayAccessor::<u32>::for_output(ctx, remote, 4)?;
+                array.copy_from_slice(ctx, &[9, 8, 7, 6])?;
+                array.write_back(ctx)
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(m.dma_stats(0).unwrap().gets, 0);
         assert_eq!(
             m.main().read_pod_slice::<u32>(remote, 4).unwrap(),
@@ -303,7 +307,8 @@ mod tests {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(256).unwrap();
         let (bulk, naive) = m
-            .run_offload(0, |ctx| -> Result<(u64, u64), SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<(u64, u64), SimError> {
                 let t0 = ctx.now();
                 let array = ArrayAccessor::<u32>::fetch(ctx, remote, 256)?;
                 let mut sum = 0u32;
@@ -333,12 +338,13 @@ mod tests {
         let mut m = machine();
         // 40 KiB > 16 KiB DMA limit -> 3 commands.
         let remote = m.alloc_main_slice::<u32>(10 * 1024).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let _ = ArrayAccessor::<u32>::fetch(ctx, remote, 10 * 1024)?;
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let _ = ArrayAccessor::<u32>::fetch(ctx, remote, 10 * 1024)?;
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(m.dma_stats(0).unwrap().gets, 3);
         assert_eq!(m.dma_stats(0).unwrap().bytes_in, 40 * 1024);
     }
@@ -348,7 +354,8 @@ mod tests {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(4).unwrap();
         let result = m
-            .run_offload(0, |ctx| -> Result<u32, SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<u32, SimError> {
                 let array = ArrayAccessor::<u32>::fetch(ctx, remote, 4)?;
                 array.get(ctx, 4)
             })
@@ -360,16 +367,17 @@ mod tests {
     fn accessor_is_race_free() {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u64>(512).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let mut array = ArrayAccessor::<u64>::fetch(ctx, remote, 512)?;
-            for i in 0..512 {
-                let v = array.get(ctx, i)?;
-                array.set(ctx, i, &(v + 1))?;
-            }
-            array.write_back(ctx)
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let mut array = ArrayAccessor::<u64>::fetch(ctx, remote, 512)?;
+                for i in 0..512 {
+                    let v = array.get(ctx, i)?;
+                    array.set(ctx, i, &(v + 1))?;
+                }
+                array.write_back(ctx)
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(m.races_detected(), 0);
     }
 
@@ -377,13 +385,14 @@ mod tests {
     fn empty_fetch_moves_nothing() {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(4).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let array = ArrayAccessor::<u32>::fetch(ctx, remote, 0)?;
-            assert!(array.to_vec(ctx)?.is_empty());
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let array = ArrayAccessor::<u32>::fetch(ctx, remote, 0)?;
+                assert!(array.to_vec(ctx)?.is_empty());
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(m.dma_stats(0).unwrap().gets, 0);
     }
 
@@ -391,13 +400,14 @@ mod tests {
     fn empty_len_reports() {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(4).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let array = ArrayAccessor::<u32>::for_output(ctx, remote, 0)?;
-            assert!(array.is_empty());
-            assert_eq!(array.len(), 0);
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let array = ArrayAccessor::<u32>::for_output(ctx, remote, 0)?;
+                assert!(array.is_empty());
+                assert_eq!(array.len(), 0);
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
     }
 }

@@ -263,7 +263,8 @@ mod tests {
         machine.main_mut().write_pod(obj, &classes[0].id.0).unwrap();
 
         let resolved = machine
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 let mut loader = CodeLoader::new(ctx, 16 * 1024, image)?;
                 let f = dispatch_with_loading(
                     ctx,
@@ -297,7 +298,8 @@ mod tests {
         machine.main_mut().write_pod(obj, &classes[0].id.0).unwrap();
 
         machine
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 let mut loader = CodeLoader::new(ctx, 16 * 1024, image)?;
                 let mut first_cost = 0;
                 let mut second_cost = 0;
@@ -351,7 +353,8 @@ mod tests {
             .collect();
 
         machine
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 // Budget for exactly two methods.
                 let mut loader = CodeLoader::new(ctx, 2 * DEFAULT_CODE_SIZE, image)?;
                 let call = |ctx: &mut simcell::AccelCtx<'_>, loader: &mut CodeLoader, i: usize| {
@@ -393,7 +396,8 @@ mod tests {
         machine.main_mut().write_pod(obj, &classes[0].id.0).unwrap();
 
         let result = machine
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 let mut loader = CodeLoader::new(ctx, 1024, image)?;
                 dispatch_with_loading(
                     ctx,
@@ -427,7 +431,8 @@ mod tests {
         machine.main_mut().write_pod(obj, &classes[0].id.0).unwrap();
 
         machine
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 let mut loader = CodeLoader::new(ctx, 16 * 1024, image)?;
                 let f = dispatch_with_loading(
                     ctx,

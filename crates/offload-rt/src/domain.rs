@@ -645,7 +645,8 @@ mod tests {
         m.main_mut().write_pod(obj, &enemy.0).unwrap();
 
         let resolved = m
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 accel_virtual_dispatch(
                     ctx,
                     &reg,
@@ -672,7 +673,8 @@ mod tests {
         m.main_mut().write_pod(outer_obj, &entity.0).unwrap();
 
         let (outer_cost, local_cost) = m
-            .run_offload(0, |ctx| -> Result<(u64, u64), DispatchError> {
+            .offload(0)
+            .run(|ctx| -> Result<(u64, u64), DispatchError> {
                 let t0 = ctx.now();
                 accel_virtual_dispatch(
                     ctx,
@@ -715,7 +717,8 @@ mod tests {
         m.main_mut().write_pod(obj, &enemy.0).unwrap();
 
         let err = m
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 accel_virtual_dispatch(
                     ctx,
                     &reg,

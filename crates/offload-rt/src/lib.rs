@@ -23,14 +23,13 @@
 //! # Example
 //!
 //! ```
-//! use offload_rt::ArrayAccessor;
-//! use simcell::{Machine, MachineConfig, SimError};
+//! use offload_rt::prelude::*;
 //!
 //! # fn main() -> Result<(), SimError> {
 //! let mut machine = Machine::new(MachineConfig::small())?;
 //! let remote = machine.alloc_main_slice::<u32>(64)?;
 //! machine.main_mut().write_pod_slice(remote, &(0..64).collect::<Vec<u32>>())?;
-//! let sum = machine.run_offload(0, |ctx| -> Result<u32, SimError> {
+//! let sum = machine.offload(0).run(|ctx| -> Result<u32, SimError> {
 //!     let array = ArrayAccessor::<u32>::fetch(ctx, remote, 64)?;
 //!     let mut sum = 0;
 //!     for i in 0..array.len() {
@@ -48,6 +47,8 @@
 pub mod accessor;
 pub mod codeload;
 pub mod domain;
+pub mod prelude;
+pub mod sched;
 pub mod stream;
 pub mod tuned;
 
@@ -57,8 +58,9 @@ pub use domain::{
     accel_virtual_dispatch, class_of, host_virtual_dispatch, set_class, ClassId, ClassRegistry,
     DispatchError, Domain, DomainMiss, DuplicateId, FnAddr, LookupCost, MethodSlot, MethodTable,
 };
+pub use sched::{SchedExt, SchedPolicy, SchedReport, TileScheduler};
 pub use stream::{process_chunked, process_stream, StreamConfig};
-pub use tuned::{build_tuned_cache, stream_config_for, TunedCache};
+pub use tuned::{build_tuned_cache, TunedCache};
 
 /// DMA tag used by [`ArrayAccessor`] bulk transfers.
 pub const ACCESSOR_TAG: u8 = 26;

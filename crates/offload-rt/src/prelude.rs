@@ -1,0 +1,16 @@
+//! The working set of the Offload runtime, in one import.
+//!
+//! `use offload_rt::prelude::*;` brings in everything a typical
+//! offloaded frame touches: the machine and its fluent offload
+//! builder, the accessor and streaming abstractions, the autotuned
+//! cache types, and the tile scheduler. Examples and doc tests across
+//! the repository import exactly this.
+
+pub use memspace::{Addr, Pod, SpaceId};
+pub use simcell::{AccelCtx, Machine, MachineConfig, OffloadBuilder, OffloadHandle, SimError};
+pub use softcache::{autotune::autotune, CacheChoice, CacheConfig, TunedCache};
+
+pub use crate::accessor::ArrayAccessor;
+pub use crate::sched::{SchedExt, SchedPolicy, SchedReport, TileScheduler};
+pub use crate::stream::{process_chunked, process_stream, StreamConfig};
+pub use crate::tuned::build_tuned_cache;

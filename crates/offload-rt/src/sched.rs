@@ -1,0 +1,654 @@
+//! Deterministic multi-accelerator tile scheduling.
+//!
+//! The paper's frame loop (§4.1, Figure 2) offloads one task per
+//! accelerator by hand. Once a task is tiled finer than the
+//! accelerator count — or the tiles stop costing the same — someone
+//! has to decide *which* accelerator runs *which* tile, and that
+//! decision is a scheduler. This module layers three of them over
+//! [`simcell::Machine`], all deterministic (the simulation stays
+//! sequential; "parallelism" is the cycle accounting):
+//!
+//! - [`SchedPolicy::Static`]: block-split tiles over accelerators up
+//!   front, exactly the hand-rolled split of the E14 experiment. Tile
+//!   `t` of `T` on accelerator `base + t*A/T`-ish; with `T == A` this
+//!   reproduces the classic one-offload-per-accelerator frame
+//!   bit-identically.
+//! - [`SchedPolicy::ShortestQueue`]: greedy — each tile, in order,
+//!   goes to the accelerator that frees up earliest.
+//! - [`SchedPolicy::WorkStealing`]: per-accelerator deques seeded with
+//!   the static split; an accelerator that drains its own deque steals
+//!   the *back* tile of the most-loaded queue, paying
+//!   [`TileScheduler::steal_cost`] simulated cycles for the cross-queue
+//!   grab. A steal is taken only when profitable — the thief, steal
+//!   cost included, must start the tile strictly before the victim
+//!   could even begin its own queue's remainder — so every stolen tile
+//!   finishes no later than it would have under [`SchedPolicy::Static`]
+//!   and work stealing can only recover cycles, never lose them (the
+//!   seeded property test in `bench` exercises this over random
+//!   tile-cost vectors).
+//!
+//! Every enqueue, run, steal and idle gap is recorded as a
+//! zero-simulated-cost structured event in the machine's [`EventLog`];
+//! the Chrome exporter renders them as one scheduler lane per
+//! accelerator (see `simcell::trace` and the repository's
+//! `PROFILING.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use offload_rt::sched::{SchedExt, SchedPolicy};
+//! use simcell::{Machine, MachineConfig, SimError};
+//!
+//! # fn main() -> Result<(), SimError> {
+//! let mut machine = Machine::new(MachineConfig::default())?;
+//! let costs = [40_000u64, 5_000, 5_000, 5_000, 5_000, 5_000, 5_000, 5_000];
+//! let (ends, report) = machine
+//!     .offload(0)
+//!     .label("tile")
+//!     .sched(SchedPolicy::WorkStealing)
+//!     .accels(4)
+//!     .run_tiles(8, |ctx, tile| {
+//!         ctx.compute(costs[tile as usize]);
+//!         Ok(ctx.now())
+//!     })?;
+//! assert_eq!(ends.len(), 8);
+//! assert_eq!(report.tiles, 8);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`EventLog`]: simcell::EventLog
+
+use std::collections::VecDeque;
+
+use simcell::{AccelCtx, Machine, OffloadBuilder, OffloadHandle, SimError};
+use softcache::CacheChoice;
+
+/// How a [`TileScheduler`] maps tiles onto accelerators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Block-split tiles over accelerators up front: accelerator `a`
+    /// of `A` owns tiles `[T*a/A, T*(a+1)/A)`. With one tile per
+    /// accelerator this is bit-identical to launching one offload per
+    /// accelerator by hand (the E14 shape).
+    Static,
+    /// Greedy: each tile, in tile order, goes to the accelerator that
+    /// frees up earliest (ties to the lowest index).
+    ShortestQueue,
+    /// Static seeding plus stealing: an accelerator whose own deque is
+    /// empty takes the back tile of the most-loaded queue when doing
+    /// so is strictly profitable, paying the configured steal cost.
+    WorkStealing,
+}
+
+impl SchedPolicy {
+    /// Short lower-case name for report rows ("static", "shortest-queue",
+    /// "work-stealing").
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Static => "static",
+            SchedPolicy::ShortestQueue => "shortest-queue",
+            SchedPolicy::WorkStealing => "work-stealing",
+        }
+    }
+}
+
+/// Simulated cycles a work-stealing thief pays to grab a tile from
+/// another accelerator's queue (a cross-local-store descriptor pull:
+/// two high-latency accesses' worth under the Cell-like cost model).
+pub const DEFAULT_STEAL_COST: u64 = 600;
+
+/// Extends [`OffloadBuilder`] with the scheduler entry point, so a
+/// tiled dispatch reads as one fluent chain:
+/// `machine.offload(0).label("ai").cache(choice).sched(policy)`.
+pub trait SchedExt<'m> {
+    /// Turns the configured offload into a [`TileScheduler`] running
+    /// under `policy`. The builder's accelerator index becomes the
+    /// first lane; its label and cache choice apply to every tile.
+    fn sched(self, policy: SchedPolicy) -> TileScheduler<'m>;
+}
+
+impl<'m> SchedExt<'m> for OffloadBuilder<'m> {
+    fn sched(self, policy: SchedPolicy) -> TileScheduler<'m> {
+        let (machine, base, label, cache) = self.into_parts();
+        TileScheduler {
+            machine,
+            base,
+            accels: None,
+            label,
+            cache,
+            policy,
+            steal_cost: DEFAULT_STEAL_COST,
+        }
+    }
+}
+
+/// A configured tile dispatch over several accelerators.
+///
+/// Built by [`SchedExt::sched`]; consumed by
+/// [`TileScheduler::run_tiles`].
+#[must_use = "a tile scheduler does nothing until run_tiles"]
+#[derive(Debug)]
+pub struct TileScheduler<'m> {
+    machine: &'m mut Machine,
+    base: u16,
+    accels: Option<u16>,
+    label: &'static str,
+    cache: CacheChoice,
+    policy: SchedPolicy,
+    steal_cost: u64,
+}
+
+/// Per-accelerator row of a [`SchedReport`].
+#[derive(Clone, Copy, Debug)]
+pub struct LaneReport {
+    /// The accelerator index.
+    pub accel: u16,
+    /// Tiles this accelerator ran.
+    pub tiles: u32,
+    /// Cycles spent running tiles.
+    pub busy: u64,
+    /// Cycles spent idle between the dispatch start and the last tile
+    /// end anywhere (the gaps the scheduler lane shows as `idle`).
+    pub idle: u64,
+}
+
+/// What a [`TileScheduler::run_tiles`] dispatch did, for reports and
+/// assertions. All cycle figures are simulated cycles.
+#[derive(Clone, Debug)]
+pub struct SchedReport {
+    /// The policy that produced this schedule.
+    pub policy: SchedPolicy,
+    /// Tiles dispatched.
+    pub tiles: u32,
+    /// Accelerator lanes used.
+    pub accels: u16,
+    /// Host cycles from entering `run_tiles` to the last join.
+    pub cycles: u64,
+    /// Cycle at which the last tile finished (absolute machine time).
+    pub finished_at: u64,
+    /// One row per accelerator lane.
+    pub lanes: Vec<LaneReport>,
+    /// Tiles that moved queues under work stealing.
+    pub steals: u32,
+    /// Total cycles thieves paid grabbing those tiles.
+    pub steal_cycles: u64,
+}
+
+impl SchedReport {
+    /// Load imbalance of the schedule: max over mean busy cycles
+    /// across the lanes that ran anything (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self
+            .lanes
+            .iter()
+            .map(|l| l.busy)
+            .filter(|&b| b > 0)
+            .collect();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let max = *busy.iter().max().expect("non-empty") as f64;
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        max / mean
+    }
+}
+
+/// One dispatched tile, pending join.
+struct Dispatch<R> {
+    tile: u32,
+    handle: OffloadHandle<Result<R, SimError>>,
+}
+
+impl<'m> TileScheduler<'m> {
+    /// Restricts the dispatch to the first `n` accelerator lanes
+    /// (starting at the builder's accelerator). Defaults to every
+    /// accelerator from there up.
+    pub fn accels(mut self, n: u16) -> TileScheduler<'m> {
+        self.accels = Some(n);
+        self
+    }
+
+    /// Sets the simulated cycles a work-stealing thief pays per stolen
+    /// tile (default [`DEFAULT_STEAL_COST`]). Ignored by the other
+    /// policies.
+    pub fn steal_cost(mut self, cycles: u64) -> TileScheduler<'m> {
+        self.steal_cost = cycles;
+        self
+    }
+
+    /// Dispatches `tiles` tiles through the policy and joins them all.
+    ///
+    /// The closure runs once per tile (in scheduler-determined order —
+    /// it must not care) against the accelerator context the tile
+    /// landed on; stolen tiles are charged the steal cost *before* the
+    /// closure runs. Returns the per-tile results indexed by tile,
+    /// plus the [`SchedReport`]. Joins happen in tile order for every
+    /// policy, so a policy changes cycle accounting, never results.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the lane range does not exist on the machine, if the
+    /// tuned cache cannot be built, or with the first tile error (by
+    /// tile index) the closure returned.
+    pub fn run_tiles<R>(
+        self,
+        tiles: u32,
+        mut f: impl FnMut(&mut AccelCtx<'_>, u32) -> Result<R, SimError>,
+    ) -> Result<(Vec<R>, SchedReport), SimError> {
+        let TileScheduler {
+            machine,
+            base,
+            accels,
+            label,
+            cache,
+            policy,
+            steal_cost,
+        } = self;
+        let lane_count = accels.unwrap_or_else(|| machine.accel_count().saturating_sub(base));
+        if lane_count == 0
+            || u32::from(base) + u32::from(lane_count) > u32::from(machine.accel_count())
+        {
+            return Err(SimError::BadConfig {
+                reason: format!(
+                    "scheduler lanes {base}..{} exceed the machine's {} accelerators",
+                    u32::from(base) + u32::from(lane_count),
+                    machine.accel_count()
+                ),
+            });
+        }
+        let lanes: Vec<u16> = (base..base + lane_count).collect();
+        let t0 = machine.host_now();
+        let mut dispatches: Vec<Dispatch<R>> = Vec::with_capacity(tiles as usize);
+        let mut steals = 0u32;
+        let mut steal_cycles = 0u64;
+
+        // One launch, shared by every policy: run the tile (stolen
+        // tiles pay the grab first) and note the run on the timeline.
+        let mut launch = |machine: &mut Machine,
+                          lane: u16,
+                          tile: u32,
+                          stolen_from: Option<u16>|
+         -> Result<Dispatch<R>, SimError> {
+            let handle = machine
+                .offload(lane)
+                .label(label)
+                .cache(cache)
+                .spawn(|ctx| {
+                    if stolen_from.is_some() {
+                        ctx.compute(steal_cost);
+                    }
+                    f(ctx, tile)
+                })?;
+            if let Some(victim) = stolen_from {
+                machine.sched_note_steal(handle.start(), lane, victim, tile, steal_cost);
+                steals += 1;
+                steal_cycles += steal_cost;
+            }
+            machine.sched_note_run(handle.start(), lane, tile, handle.end(), stolen_from);
+            Ok(Dispatch { tile, handle })
+        };
+
+        match policy {
+            SchedPolicy::Static => {
+                let queues = static_split(tiles, &lanes);
+                for (i, queue) in queues.iter().enumerate() {
+                    for &tile in queue {
+                        machine.sched_note_enqueue(t0, lanes[i], tile);
+                    }
+                }
+                // Position-major launch order: the first tile of each
+                // lane, then the second of each, … With one tile per
+                // lane this is exactly the hand-rolled E14 loop.
+                let deepest = queues.iter().map(VecDeque::len).max().unwrap_or(0);
+                for pos in 0..deepest {
+                    for (i, queue) in queues.iter().enumerate() {
+                        if let Some(&tile) = queue.get(pos) {
+                            dispatches.push(launch(machine, lanes[i], tile, None)?);
+                        }
+                    }
+                }
+            }
+            SchedPolicy::ShortestQueue => {
+                for tile in 0..tiles {
+                    let lane = *lanes
+                        .iter()
+                        .min_by_key(|&&l| machine.accel_free_at(l).expect("lane checked above"))
+                        .expect("at least one lane");
+                    machine.sched_note_enqueue(machine.host_now(), lane, tile);
+                    dispatches.push(launch(machine, lane, tile, None)?);
+                }
+            }
+            SchedPolicy::WorkStealing => {
+                let mut queues = static_split(tiles, &lanes);
+                for (i, queue) in queues.iter().enumerate() {
+                    for &tile in queue {
+                        machine.sched_note_enqueue(t0, lanes[i], tile);
+                    }
+                }
+                let mut pending = tiles;
+                while pending > 0 {
+                    // Lanes in becomes-free order; the first that can
+                    // act (own work, or a profitable steal) dispatches.
+                    // The most-loaded lane can always pop its own
+                    // front, so one pass always dispatches something.
+                    let mut order: Vec<usize> = (0..lanes.len()).collect();
+                    order.sort_by_key(|&i| {
+                        machine.accel_free_at(lanes[i]).expect("lane checked above")
+                    });
+                    let next_floor = machine.host_now() + machine.cost().offload_launch;
+                    let mut dispatched = false;
+                    for &i in &order {
+                        if let Some(tile) = queues[i].pop_front() {
+                            dispatches.push(launch(machine, lanes[i], tile, None)?);
+                            dispatched = true;
+                            break;
+                        }
+                        // Own deque empty: steal the back tile of the
+                        // most-loaded victim, but only if the thief —
+                        // launch floor and steal cost included — starts
+                        // it strictly before the victim is even free.
+                        // That bound keeps every stolen tile's end at
+                        // or before its static end.
+                        let thief_free =
+                            machine.accel_free_at(lanes[i]).expect("lane checked above");
+                        let thief_eff = thief_free.max(next_floor);
+                        let victim = order
+                            .iter()
+                            .rev()
+                            .copied()
+                            .find(|&j| j != i && !queues[j].is_empty());
+                        if let Some(j) = victim {
+                            let victim_free =
+                                machine.accel_free_at(lanes[j]).expect("lane checked above");
+                            if thief_eff + steal_cost < victim_free {
+                                let tile = queues[j].pop_back().expect("checked non-empty");
+                                dispatches.push(launch(machine, lanes[i], tile, Some(lanes[j]))?);
+                                dispatched = true;
+                                break;
+                            }
+                        }
+                    }
+                    debug_assert!(dispatched, "some lane always owns a runnable tile");
+                    pending -= 1;
+                }
+            }
+        }
+
+        // Join in tile order for every policy: results are
+        // policy-independent, and the host-clock accounting matches
+        // the hand-rolled dispatch-then-join-in-order frame loop.
+        dispatches.sort_by_key(|d| d.tile);
+        let mut runs: Vec<(u16, u32, u64, u64)> = dispatches
+            .iter()
+            .map(|d| (d.handle.accel(), d.tile, d.handle.start(), d.handle.end()))
+            .collect();
+        let mut results = Vec::with_capacity(dispatches.len());
+        let mut first_err: Option<SimError> = None;
+        for d in dispatches {
+            match machine.join(d.handle) {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        // Reconstruct per-lane occupancy and note the idle gaps the
+        // trace's scheduler lanes render (zero simulated cost).
+        let finished_at = runs.iter().map(|&(_, _, _, end)| end).max().unwrap_or(t0);
+        runs.sort_by_key(|&(accel, _, start, _)| (accel, start));
+        let mut lane_reports = Vec::with_capacity(lanes.len());
+        for &lane in &lanes {
+            let mut cursor = t0;
+            let mut busy = 0u64;
+            let mut count = 0u32;
+            for &(accel, _, start, end) in runs.iter().filter(|&&(a, ..)| a == lane) {
+                debug_assert_eq!(accel, lane);
+                if start > cursor {
+                    machine.sched_note_idle(cursor, lane, start);
+                }
+                busy += end - start;
+                count += 1;
+                cursor = cursor.max(end);
+            }
+            if finished_at > cursor {
+                machine.sched_note_idle(cursor, lane, finished_at);
+            }
+            lane_reports.push(LaneReport {
+                accel: lane,
+                tiles: count,
+                busy,
+                idle: finished_at.saturating_sub(t0).saturating_sub(busy),
+            });
+        }
+
+        let report = SchedReport {
+            policy,
+            tiles,
+            accels: lane_count,
+            cycles: machine.host_now() - t0,
+            finished_at,
+            lanes: lane_reports,
+            steals,
+            steal_cycles,
+        };
+        Ok((results, report))
+    }
+}
+
+/// Block split of `tiles` over the lanes: lane `a` of `A` owns tiles
+/// `[T*a/A, T*(a+1)/A)`, front-to-back.
+fn static_split(tiles: u32, lanes: &[u16]) -> Vec<VecDeque<u32>> {
+    let a = lanes.len() as u32;
+    (0..a)
+        .map(|i| (tiles * i / a..tiles * (i + 1) / a).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcell::{EventKind, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default()).unwrap()
+    }
+
+    fn run_policy(policy: SchedPolicy, costs: &[u64], accels: u16) -> (u64, SchedReport) {
+        let mut m = machine();
+        let t0 = m.host_now();
+        let (_, report) = m
+            .offload(0)
+            .sched(policy)
+            .accels(accels)
+            .run_tiles(costs.len() as u32, |ctx, tile| {
+                ctx.compute(costs[tile as usize]);
+                Ok(())
+            })
+            .unwrap();
+        (m.host_now() - t0, report)
+    }
+
+    #[test]
+    fn static_one_tile_per_lane_is_bit_identical_to_hand_rolled_offloads() {
+        let costs = [30_000u64, 42_000, 27_000, 35_000];
+        let mut by_hand = machine();
+        let mut handles = Vec::new();
+        for (a, &c) in costs.iter().enumerate() {
+            handles.push(
+                by_hand
+                    .offload(a as u16)
+                    .spawn(move |ctx| ctx.compute(c))
+                    .unwrap(),
+            );
+        }
+        for h in handles {
+            by_hand.join(h);
+        }
+        let (sched_cycles, report) = run_policy(SchedPolicy::Static, &costs, 4);
+        assert_eq!(sched_cycles, by_hand.host_now());
+        assert_eq!(report.cycles, sched_cycles);
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.lanes.len(), 4);
+        assert!(report.lanes.iter().all(|l| l.tiles == 1));
+    }
+
+    #[test]
+    fn work_stealing_recovers_most_of_a_skewed_static_schedule() {
+        // Two hot tiles land on lane 0 under the static split; lanes
+        // 2 and 3 finish early and steal them.
+        let costs = [
+            120_000u64, 120_000, 8_000, 8_000, 8_000, 8_000, 8_000, 8_000,
+        ];
+        let (static_cycles, _) = run_policy(SchedPolicy::Static, &costs, 4);
+        let (ws_cycles, report) = run_policy(SchedPolicy::WorkStealing, &costs, 4);
+        assert!(report.steals > 0, "skew this strong must trigger steals");
+        assert_eq!(
+            report.steal_cycles,
+            u64::from(report.steals) * DEFAULT_STEAL_COST
+        );
+        assert!(
+            ws_cycles * 5 < static_cycles * 4,
+            "stealing should recover >20%: {ws_cycles} vs {static_cycles}"
+        );
+    }
+
+    #[test]
+    fn work_stealing_matches_static_exactly_on_uniform_tiles() {
+        let costs = [25_000u64; 6];
+        let (static_cycles, _) = run_policy(SchedPolicy::Static, &costs, 6);
+        let (ws_cycles, report) = run_policy(SchedPolicy::WorkStealing, &costs, 6);
+        assert_eq!(ws_cycles, static_cycles, "no profitable steal exists");
+        assert_eq!(report.steals, 0);
+    }
+
+    #[test]
+    fn shortest_queue_fills_the_least_loaded_lane() {
+        // One long tile first: the greedy policy routes the rest away
+        // from the busy lane, beating the block split.
+        let costs = [200_000u64, 10_000, 10_000, 10_000, 10_000, 10_000];
+        let (static_cycles, _) = run_policy(SchedPolicy::Static, &costs, 3);
+        let (sq_cycles, report) = run_policy(SchedPolicy::ShortestQueue, &costs, 3);
+        assert!(sq_cycles < static_cycles);
+        assert_eq!(report.lanes.iter().map(|l| l.tiles).sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn results_are_indexed_by_tile_under_every_policy() {
+        for policy in [
+            SchedPolicy::Static,
+            SchedPolicy::ShortestQueue,
+            SchedPolicy::WorkStealing,
+        ] {
+            let mut m = machine();
+            let (results, _) = m
+                .offload(0)
+                .sched(policy)
+                .accels(3)
+                .run_tiles(10, |ctx, tile| {
+                    ctx.compute(u64::from(10 - tile) * 9_000);
+                    Ok(tile * 7)
+                })
+                .unwrap();
+            let expect: Vec<u32> = (0..10).map(|t| t * 7).collect();
+            assert_eq!(results, expect, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn dispatch_records_sched_events_and_idle_gaps() {
+        let mut m = machine();
+        m.events_mut().set_enabled(true);
+        let costs = [90_000u64, 9_000, 9_000, 9_000];
+        let (_, report) = m
+            .offload(0)
+            .sched(SchedPolicy::Static)
+            .accels(2)
+            .run_tiles(4, |ctx, tile| {
+                ctx.compute(costs[tile as usize]);
+                Ok(())
+            })
+            .unwrap();
+        let events = m.events().events();
+        let enqueues = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SchedEnqueue { .. }))
+            .count();
+        let runs = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SchedRun { .. }))
+            .count();
+        let idles = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SchedIdle { .. }))
+            .count();
+        assert_eq!(enqueues, 4);
+        assert_eq!(runs, 4);
+        assert!(idles > 0, "lane 1 finishes early and must show an idle gap");
+        // Lane 0 carries the hot tile; the report calls that out.
+        assert!(report.imbalance() > 1.2, "imbalance {}", report.imbalance());
+        let stats = m.stats();
+        assert_eq!(stats.sched_tiles, 4);
+        assert!(stats.sched_idle_cycles > 0);
+    }
+
+    #[test]
+    fn stolen_tiles_pay_the_configured_cost_and_results_survive() {
+        let costs = [150_000u64, 150_000, 5_000, 5_000, 5_000, 5_000];
+        let mut m = machine();
+        let (results, report) = m
+            .offload(0)
+            .sched(SchedPolicy::WorkStealing)
+            .accels(3)
+            .steal_cost(2_500)
+            .run_tiles(6, |ctx, tile| {
+                ctx.compute(costs[tile as usize]);
+                Ok(tile)
+            })
+            .unwrap();
+        assert_eq!(results, vec![0, 1, 2, 3, 4, 5]);
+        assert!(report.steals > 0);
+        assert_eq!(report.steal_cycles, u64::from(report.steals) * 2_500);
+        assert_eq!(m.stats().sched_steals, u64::from(report.steals));
+    }
+
+    #[test]
+    fn lane_ranges_are_validated() {
+        let mut m = machine();
+        let err = m
+            .offload(4)
+            .sched(SchedPolicy::Static)
+            .accels(5)
+            .run_tiles(4, |_, _| Ok(()));
+        assert!(err.is_err(), "4..9 exceeds a 6-accel machine");
+        let ok = m
+            .offload(4)
+            .sched(SchedPolicy::Static)
+            .run_tiles(4, |ctx, _| {
+                ctx.compute(1_000);
+                Ok(())
+            });
+        assert!(ok.is_ok(), "defaulting to the remaining lanes fits");
+    }
+
+    #[test]
+    fn zero_tiles_is_a_no_op() {
+        let mut m = machine();
+        let before = m.host_now();
+        let (results, report) = m
+            .offload(0)
+            .sched(SchedPolicy::WorkStealing)
+            .run_tiles(0, |_, _| Ok(()))
+            .unwrap();
+        assert!(results.is_empty());
+        assert_eq!(report.cycles, 0);
+        assert_eq!(m.host_now(), before);
+        assert_eq!(report.imbalance(), 1.0);
+    }
+}

@@ -32,6 +32,25 @@ impl Default for StreamConfig {
     }
 }
 
+impl StreamConfig {
+    /// Derives the streaming configuration an autotuned
+    /// [`CacheChoice`](softcache::CacheChoice) implies: the
+    /// double-buffered chunk adopts the tuned line size, in elements of
+    /// `T`. Returns `None` unless the choice is a streaming one — the
+    /// other families do not describe a sequential prefetch depth.
+    pub fn from_choice<T: Pod>(
+        choice: &softcache::CacheChoice,
+        write_back: bool,
+    ) -> Option<StreamConfig> {
+        choice
+            .stream_chunk_elems(T::SIZE as u32)
+            .map(|chunk_elems| StreamConfig {
+                chunk_elems,
+                write_back,
+            })
+    }
+}
+
 fn stream_tag(which: usize) -> Tag {
     Tag::new(STREAM_TAGS[which]).expect("constant tags are valid")
 }
@@ -182,23 +201,24 @@ mod tests {
     fn chunked_transforms_every_element() {
         let mut m = machine();
         let remote = prepared(&mut m, 300);
-        m.run_offload(0, |ctx| {
-            process_chunked::<u32, _>(
-                ctx,
-                remote,
-                300,
-                StreamConfig::default(),
-                |ctx, _, chunk| {
-                    for v in chunk.iter_mut() {
-                        *v += 1000;
-                    }
-                    ctx.compute(chunk.len() as u64);
-                    Ok(())
-                },
-            )
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| {
+                process_chunked::<u32, _>(
+                    ctx,
+                    remote,
+                    300,
+                    StreamConfig::default(),
+                    |ctx, _, chunk| {
+                        for v in chunk.iter_mut() {
+                            *v += 1000;
+                        }
+                        ctx.compute(chunk.len() as u64);
+                        Ok(())
+                    },
+                )
+            })
+            .unwrap()
+            .unwrap();
         let out = m.main().read_pod_slice::<u32>(remote, 300).unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1000));
     }
@@ -207,24 +227,25 @@ mod tests {
     fn stream_transforms_every_element() {
         let mut m = machine();
         let remote = prepared(&mut m, 300);
-        m.run_offload(0, |ctx| {
-            process_stream::<u32, _>(
-                ctx,
-                remote,
-                300,
-                StreamConfig::default(),
-                |ctx, base, chunk| {
-                    for (i, v) in chunk.iter_mut().enumerate() {
-                        assert_eq!(*v, base + i as u32, "chunks arrive in order");
-                        *v *= 2;
-                    }
-                    ctx.compute(chunk.len() as u64);
-                    Ok(())
-                },
-            )
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| {
+                process_stream::<u32, _>(
+                    ctx,
+                    remote,
+                    300,
+                    StreamConfig::default(),
+                    |ctx, base, chunk| {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            assert_eq!(*v, base + i as u32, "chunks arrive in order");
+                            *v *= 2;
+                        }
+                        ctx.compute(chunk.len() as u64);
+                        Ok(())
+                    },
+                )
+            })
+            .unwrap()
+            .unwrap();
         let out = m.main().read_pod_slice::<u32>(remote, 300).unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
     }
@@ -248,7 +269,8 @@ mod tests {
                 Ok(())
             };
             let handle = m
-                .offload(0, |ctx| {
+                .offload(0)
+                .spawn(|ctx| {
                     if double {
                         process_stream::<u32, _>(ctx, remote, 4096, config, work)
                     } else {
@@ -272,25 +294,26 @@ mod tests {
     fn streaming_is_race_free() {
         let mut m = machine();
         let remote = prepared(&mut m, 1000);
-        m.run_offload(0, |ctx| {
-            process_stream::<u32, _>(
-                ctx,
-                remote,
-                1000,
-                StreamConfig {
-                    chunk_elems: 96,
-                    write_back: true,
-                },
-                |_, _, chunk| {
-                    for v in chunk.iter_mut() {
-                        *v ^= 0xffff_ffff;
-                    }
-                    Ok(())
-                },
-            )
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| {
+                process_stream::<u32, _>(
+                    ctx,
+                    remote,
+                    1000,
+                    StreamConfig {
+                        chunk_elems: 96,
+                        write_back: true,
+                    },
+                    |_, _, chunk| {
+                        for v in chunk.iter_mut() {
+                            *v ^= 0xffff_ffff;
+                        }
+                        Ok(())
+                    },
+                )
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(m.races_detected(), 0, "{:?}", m.take_race_reports());
     }
 
@@ -303,7 +326,8 @@ mod tests {
             write_back: false,
         };
         let sum = m
-            .run_offload(0, |ctx| -> Result<u64, SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<u64, SimError> {
                 let mut sum = 0u64;
                 process_stream::<u32, _>(ctx, remote, 256, config, |_, _, chunk| {
                     sum += chunk.iter().map(|&v| u64::from(v)).sum::<u64>();
@@ -322,29 +346,30 @@ mod tests {
         let mut m = machine();
         let remote = prepared(&mut m, 100);
         // 100 elements in chunks of 64 -> one full + one partial chunk.
-        m.run_offload(0, |ctx| {
-            process_stream::<u32, _>(
-                ctx,
-                remote,
-                100,
-                StreamConfig {
-                    chunk_elems: 64,
-                    write_back: true,
-                },
-                |_, _, chunk| {
-                    for v in chunk.iter_mut() {
-                        *v += 1;
-                    }
-                    Ok(())
-                },
-            )?;
-            // Zero-length stream is a no-op.
-            process_stream::<u32, _>(ctx, remote, 0, StreamConfig::default(), |_, _, _| {
-                panic!("closure must not run for an empty stream")
+        m.offload(0)
+            .run(|ctx| {
+                process_stream::<u32, _>(
+                    ctx,
+                    remote,
+                    100,
+                    StreamConfig {
+                        chunk_elems: 64,
+                        write_back: true,
+                    },
+                    |_, _, chunk| {
+                        for v in chunk.iter_mut() {
+                            *v += 1;
+                        }
+                        Ok(())
+                    },
+                )?;
+                // Zero-length stream is a no-op.
+                process_stream::<u32, _>(ctx, remote, 0, StreamConfig::default(), |_, _, _| {
+                    panic!("closure must not run for an empty stream")
+                })
             })
-        })
-        .unwrap()
-        .unwrap();
+            .unwrap()
+            .unwrap();
         let out = m.main().read_pod_slice::<u32>(remote, 100).unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
     }
@@ -354,7 +379,8 @@ mod tests {
         let mut m = machine();
         let remote = prepared(&mut m, 64);
         let result = m
-            .run_offload(0, |ctx| {
+            .offload(0)
+            .run(|ctx| {
                 process_chunked::<u32, _>(ctx, remote, 64, StreamConfig::default(), |_, _, _| {
                     Err(SimError::BadConfig {
                         reason: "synthetic".into(),

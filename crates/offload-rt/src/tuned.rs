@@ -1,94 +1,33 @@
 //! Applying an autotuned cache choice to an offload.
 //!
 //! The `softcache::autotune` search returns a [`CacheChoice`] — naive,
-//! set-associative, or streaming. This module turns that value back
-//! into a running cache inside an offload block
-//! ([`build_tuned_cache`]), and derives a double-buffered
-//! [`StreamConfig`] from a streaming winner ([`stream_config_for`]) so
-//! the §4.1 uniform streaming helpers can adopt the tuned line size.
+//! set-associative, or streaming. The conversions from that value to a
+//! running cache live on `CacheChoice` itself ([`CacheChoice::build`],
+//! [`CacheChoice::stream_chunk_elems`] in `softcache`); this module
+//! keeps the offload-side conveniences: [`build_tuned_cache`] builds
+//! the choice inside an offload block from the accelerator's local
+//! store, and [`crate::StreamConfig::from_choice`] derives a
+//! double-buffered streaming configuration from a streaming winner.
+//!
+//! Most code no longer needs either: pass the choice to
+//! [`simcell::OffloadBuilder::cache`] and the machine builds, routes
+//! and flushes the cache around the offload closure itself.
 
-use memspace::Pod;
 use simcell::{AccelCtx, SimError};
-use softcache::{
-    CacheBacking, CacheChoice, CacheError, CacheStats, SetAssociativeCache, SoftwareCache,
-    StreamCache,
-};
+use softcache::CacheChoice;
+
+pub use softcache::TunedCache;
 
 use crate::StreamConfig;
-
-/// A runtime cache built from an autotuned [`CacheChoice`].
-///
-/// Both concrete cache families behind one type, so offload code can
-/// hold "whatever the tuner picked" without generics; a naive choice
-/// builds no cache at all ([`build_tuned_cache`] returns `None`).
-#[derive(Debug)]
-pub enum TunedCache {
-    /// The tuner picked a set-associative configuration.
-    SetAssoc(SetAssociativeCache),
-    /// The tuner picked a streaming (prefetch) configuration.
-    Stream(StreamCache),
-}
-
-impl SoftwareCache for TunedCache {
-    fn read(
-        &mut self,
-        now: u64,
-        addr: memspace::Addr,
-        out: &mut [u8],
-        backing: &mut CacheBacking<'_>,
-    ) -> Result<u64, CacheError> {
-        match self {
-            TunedCache::SetAssoc(c) => c.read(now, addr, out, backing),
-            TunedCache::Stream(c) => c.read(now, addr, out, backing),
-        }
-    }
-
-    fn write(
-        &mut self,
-        now: u64,
-        addr: memspace::Addr,
-        data: &[u8],
-        backing: &mut CacheBacking<'_>,
-    ) -> Result<u64, CacheError> {
-        match self {
-            TunedCache::SetAssoc(c) => c.write(now, addr, data, backing),
-            TunedCache::Stream(c) => c.write(now, addr, data, backing),
-        }
-    }
-
-    fn flush(&mut self, now: u64, backing: &mut CacheBacking<'_>) -> Result<u64, CacheError> {
-        match self {
-            TunedCache::SetAssoc(c) => c.flush(now, backing),
-            TunedCache::Stream(c) => c.flush(now, backing),
-        }
-    }
-
-    fn invalidate(&mut self) {
-        match self {
-            TunedCache::SetAssoc(c) => c.invalidate(),
-            TunedCache::Stream(c) => c.invalidate(),
-        }
-    }
-
-    fn stats(&self) -> CacheStats {
-        match self {
-            TunedCache::SetAssoc(c) => c.stats(),
-            TunedCache::Stream(c) => c.stats(),
-        }
-    }
-
-    fn describe(&self) -> String {
-        match self {
-            TunedCache::SetAssoc(c) => c.describe(),
-            TunedCache::Stream(c) => c.describe(),
-        }
-    }
-}
 
 /// Builds the cache an autotuned [`CacheChoice`] describes inside the
 /// current offload block, allocating its buffers from the accelerator's
 /// local store. Returns `None` for [`CacheChoice::Naive`] — the tuner
 /// decided plain outer accesses win, so there is nothing to build.
+///
+/// Prefer [`simcell::OffloadBuilder::cache`], which installs the same
+/// cache machine-side and flushes it when the offload returns; this
+/// helper remains for code that manages the cache lifetime by hand.
 ///
 /// # Errors
 ///
@@ -97,26 +36,16 @@ pub fn build_tuned_cache(
     ctx: &mut AccelCtx<'_>,
     choice: &CacheChoice,
 ) -> Result<Option<TunedCache>, SimError> {
-    Ok(match choice {
-        CacheChoice::Naive => None,
-        CacheChoice::SetAssoc(config) => Some(TunedCache::SetAssoc(ctx.new_cache(*config)?)),
-        CacheChoice::Stream(config) => Some(TunedCache::Stream(ctx.new_stream_cache(*config)?)),
-    })
+    ctx.new_tuned_cache(choice)
 }
 
-/// Derives a [`StreamConfig`] for the §4.1 uniform streaming helpers
-/// from a streaming tuner winner: the double-buffered chunk size adopts
-/// the tuned line size (in elements of `T`). Returns `None` unless the
-/// choice is [`CacheChoice::Stream`] — the other families do not
-/// describe a sequential prefetch depth.
-pub fn stream_config_for<T: Pod>(choice: &CacheChoice, write_back: bool) -> Option<StreamConfig> {
-    match choice {
-        CacheChoice::Stream(config) => Some(StreamConfig {
-            chunk_elems: (config.line_size / T::SIZE as u32).max(1),
-            write_back,
-        }),
-        _ => None,
-    }
+/// Derives a [`StreamConfig`] from a streaming tuner winner.
+#[deprecated(since = "0.2.0", note = "use StreamConfig::from_choice")]
+pub fn stream_config_for<T: memspace::Pod>(
+    choice: &CacheChoice,
+    write_back: bool,
+) -> Option<StreamConfig> {
+    StreamConfig::from_choice::<T>(choice, write_back)
 }
 
 #[cfg(test)]
@@ -124,13 +53,14 @@ mod tests {
     use super::*;
     use simcell::{Machine, MachineConfig};
     use softcache::autotune::{autotune, replay_exact, TuneOptions};
-    use softcache::CacheConfig;
+    use softcache::{CacheConfig, SoftwareCache};
 
     #[test]
     fn naive_choice_builds_no_cache() {
         let mut m = Machine::new(MachineConfig::small()).unwrap();
         let built = m
-            .run_offload(0, |ctx| -> Result<bool, SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<bool, SimError> {
                 Ok(build_tuned_cache(ctx, &CacheChoice::Naive)?.is_some())
             })
             .unwrap()
@@ -149,7 +79,8 @@ mod tests {
             let values: Vec<u32> = (0..512).map(|i| i * 3).collect();
             m.main_mut().write_pod_slice(remote, &values).unwrap();
             let sum = m
-                .run_offload(0, |ctx| -> Result<u64, SimError> {
+                .offload(0)
+                .run(|ctx| -> Result<u64, SimError> {
                     let mut cache = build_tuned_cache(ctx, &choice)?.expect("cache families build");
                     let mut sum = 0u64;
                     for i in 0..512u32 {
@@ -177,7 +108,8 @@ mod tests {
             let data = m.alloc_main(len, 16).unwrap();
             let choice = choice.cloned();
             let elapsed = m
-                .run_offload(0, move |ctx| -> Result<u64, SimError> {
+                .offload(0)
+                .run(move |ctx| -> Result<u64, SimError> {
                     let t0 = ctx.now();
                     let mut cache = match &choice {
                         Some(c) => build_tuned_cache(ctx, c)?,
@@ -213,13 +145,17 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn stream_config_derivation() {
         let stream = CacheChoice::Stream(CacheConfig::new(1024, 1, 1));
-        let cfg = stream_config_for::<u32>(&stream, true).unwrap();
+        let cfg = StreamConfig::from_choice::<u32>(&stream, true).unwrap();
         assert_eq!(cfg.chunk_elems, 256);
         assert!(cfg.write_back);
-        assert!(stream_config_for::<u32>(&CacheChoice::Naive, true).is_none());
+        assert!(StreamConfig::from_choice::<u32>(&CacheChoice::Naive, true).is_none());
         let assoc = CacheChoice::SetAssoc(CacheConfig::four_way_16k());
-        assert!(stream_config_for::<u32>(&assoc, false).is_none());
+        assert!(StreamConfig::from_choice::<u32>(&assoc, false).is_none());
+        // The deprecated free function forwards to the same conversion.
+        let old = stream_config_for::<u32>(&stream, true).unwrap();
+        assert_eq!(old.chunk_elems, cfg.chunk_elems);
     }
 }

@@ -2,7 +2,7 @@
 
 use dma::{AccessKind, DmaDirection, DmaEngine, Tag, TagMask};
 use memspace::{Addr, AddrRange, MemoryRegion, Pod};
-use softcache::{CacheBacking, SoftwareCache};
+use softcache::{CacheBacking, CacheChoice, SoftwareCache, TunedCache};
 
 use crate::cost::CostModel;
 use crate::error::SimError;
@@ -51,6 +51,7 @@ pub struct AccelCtx<'m> {
     pub(crate) stats: &'m mut MachineStats,
     pub(crate) accesses: &'m mut softcache::AccessTrace,
     pub(crate) span: u32,
+    pub(crate) tuned: Option<TunedCache>,
 }
 
 impl<'m> AccelCtx<'m> {
@@ -728,6 +729,80 @@ impl<'m> AccelCtx<'m> {
             memspace::SpaceId::MAIN,
             self.ls,
         )?)
+    }
+
+    /// Builds the cache an autotuned [`CacheChoice`] describes in this
+    /// accelerator's local store (released when the offload block
+    /// ends). Returns `None` for [`CacheChoice::Naive`] — the tuner
+    /// decided plain outer accesses win, so there is nothing to build.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the local store cannot fit the chosen configuration.
+    pub fn new_tuned_cache(
+        &mut self,
+        choice: &CacheChoice,
+    ) -> Result<Option<TunedCache>, SimError> {
+        Ok(choice.build(memspace::SpaceId::MAIN, self.ls)?)
+    }
+
+    /// Builds the block-scoped tuned cache an offload builder's
+    /// [`CacheChoice`] describes (see `OffloadBuilder::cache`).
+    /// Allocation only — zero simulated cycles.
+    pub(crate) fn install_tuned(&mut self, choice: &CacheChoice) -> Result<(), SimError> {
+        self.tuned = choice.build(memspace::SpaceId::MAIN, self.ls)?;
+        Ok(())
+    }
+
+    /// Flushes and drops the block-scoped tuned cache (if any), charging
+    /// the write-back to this accelerator's clock.
+    pub(crate) fn flush_tuned(&mut self) -> Result<(), SimError> {
+        if let Some(mut cache) = self.tuned.take() {
+            self.cache_flush(&mut cache)?;
+        }
+        Ok(())
+    }
+
+    /// Whether this offload block carries a tuned cache (i.e. the
+    /// builder was given a non-naive [`CacheChoice`]).
+    pub fn has_tuned_cache(&self) -> bool {
+        self.tuned.is_some()
+    }
+
+    /// Reads a `T` from main memory through the block's tuned cache,
+    /// falling back to a plain synchronous outer access when the offload
+    /// was built without one (or with [`CacheChoice::Naive`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`AccelCtx::cached_read_pod`] / [`AccelCtx::outer_read_pod`].
+    pub fn tuned_read_pod<T: Pod>(&mut self, addr: Addr) -> Result<T, SimError> {
+        match self.tuned.take() {
+            Some(mut cache) => {
+                let result = self.cached_read_pod(&mut cache, addr);
+                self.tuned = Some(cache);
+                result
+            }
+            None => self.outer_read_pod(addr),
+        }
+    }
+
+    /// Writes a `T` to main memory through the block's tuned cache,
+    /// falling back to a plain synchronous outer access when the offload
+    /// was built without one.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AccelCtx::cached_write_pod`] / [`AccelCtx::outer_write_pod`].
+    pub fn tuned_write_pod<T: Pod>(&mut self, addr: Addr, value: &T) -> Result<(), SimError> {
+        match self.tuned.take() {
+            Some(mut cache) => {
+                let result = self.cached_write_pod(&mut cache, addr, value);
+                self.tuned = Some(cache);
+                result
+            }
+            None => self.outer_write_pod(addr, value),
+        }
     }
 
     /// Flushes a software cache's dirty data back to main memory.

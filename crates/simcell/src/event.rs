@@ -132,6 +132,45 @@ pub enum EventKind {
         /// Peak allocated bytes observed so far.
         bytes: u32,
     },
+    /// The scheduler placed a tile on an accelerator's work queue.
+    ///
+    /// Zero simulated cost: queue bookkeeping is the scheduler's, not
+    /// the machine's. Stamped at the host cycle of the dispatch pass.
+    SchedEnqueue {
+        /// The accelerator whose queue received the tile.
+        accel: u16,
+        /// Tile index within the scheduled task.
+        tile: u32,
+    },
+    /// An accelerator ran a tile from `at` (the event cycle) to `end`.
+    SchedRun {
+        /// The accelerator that executed the tile.
+        accel: u16,
+        /// Tile index within the scheduled task.
+        tile: u32,
+        /// Accelerator cycle at which the tile finished.
+        end: u64,
+        /// Set when the tile was stolen: the queue it originally sat on.
+        stolen_from: Option<u16>,
+    },
+    /// An accelerator sat idle from `at` (the event cycle) to `until`.
+    SchedIdle {
+        /// The idle accelerator.
+        accel: u16,
+        /// Accelerator cycle at which the idle gap ended.
+        until: u64,
+    },
+    /// A work-stealing scheduler moved a tile between queues.
+    SchedSteal {
+        /// The accelerator that stole the tile.
+        thief: u16,
+        /// The accelerator it was stolen from.
+        victim: u16,
+        /// Tile index within the scheduled task.
+        tile: u32,
+        /// Simulated cycles charged to the thief for the steal.
+        cost: u64,
+    },
 }
 
 /// One timestamped event.
@@ -157,7 +196,11 @@ impl Event {
             | EventKind::CacheHit { accel, .. }
             | EventKind::CacheMiss { accel, .. }
             | EventKind::CacheEvict { accel, .. }
-            | EventKind::LsHighWater { accel, .. } => CoreId::Accel(*accel),
+            | EventKind::LsHighWater { accel, .. }
+            | EventKind::SchedEnqueue { accel, .. }
+            | EventKind::SchedRun { accel, .. }
+            | EventKind::SchedIdle { accel, .. } => CoreId::Accel(*accel),
+            EventKind::SchedSteal { thief, .. } => CoreId::Accel(*thief),
             EventKind::Join { .. } | EventKind::Note { .. } => CoreId::Host,
             EventKind::SpanStart { core, .. } | EventKind::SpanEnd { core, .. } => *core,
         }
@@ -223,6 +266,39 @@ impl fmt::Display for Event {
             EventKind::LsHighWater { accel, bytes } => write!(
                 f,
                 "[{:>10}] accel {accel}: local-store high water {bytes} B",
+                self.at
+            ),
+            EventKind::SchedEnqueue { accel, tile } => {
+                write!(f, "[{:>10}] sched: tile {tile} -> accel {accel}", self.at)
+            }
+            EventKind::SchedRun {
+                accel,
+                tile,
+                end,
+                stolen_from,
+            } => match stolen_from {
+                Some(victim) => write!(
+                    f,
+                    "[{:>10}] accel {accel}: run tile {tile} until {end} (stolen from accel {victim})",
+                    self.at
+                ),
+                None => write!(
+                    f,
+                    "[{:>10}] accel {accel}: run tile {tile} until {end}",
+                    self.at
+                ),
+            },
+            EventKind::SchedIdle { accel, until } => {
+                write!(f, "[{:>10}] accel {accel}: idle until {until}", self.at)
+            }
+            EventKind::SchedSteal {
+                thief,
+                victim,
+                tile,
+                cost,
+            } => write!(
+                f,
+                "[{:>10}] sched: accel {thief} steals tile {tile} from accel {victim} (+{cost} cycles)",
                 self.at
             ),
         }

@@ -33,7 +33,7 @@
 //! let data = machine.alloc_main_pod::<u32>()?;
 //! machine.host_write_pod(data, &41u32)?;
 //!
-//! let handle = machine.offload(0, |ctx| -> Result<(), simcell::SimError> {
+//! let handle = machine.offload(0).spawn(|ctx| -> Result<(), simcell::SimError> {
 //!     let v: u32 = ctx.outer_read_pod(data)?;
 //!     ctx.compute(100);
 //!     ctx.outer_write_pod(data, &(v + 1))?;
@@ -68,7 +68,7 @@ pub use cost::CostModel;
 pub use ctx::AccelCtx;
 pub use error::SimError;
 pub use event::{CoreId, Event, EventKind, EventLog};
-pub use machine::{Machine, MachineConfig, OffloadHandle};
+pub use machine::{Machine, MachineConfig, OffloadBuilder, OffloadHandle};
 pub use trace::{
     ascii_timeline, chrome_trace_json, parse_chrome_trace, AccessRecord, AccessTrace, ChromeEvent,
     MachineStats, TraceOp,

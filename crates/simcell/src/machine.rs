@@ -2,6 +2,7 @@
 
 use dma::{DmaEngine, DmaStats, RaceReport};
 use memspace::{Addr, MemoryRegion, Pod, SpaceId, SpaceKind};
+use softcache::CacheChoice;
 
 use crate::cost::CostModel;
 use crate::ctx::AccelCtx;
@@ -94,6 +95,112 @@ impl<R> OffloadHandle<R> {
     /// Cycles the thread occupied the accelerator.
     pub fn elapsed(&self) -> u64 {
         self.end - self.start
+    }
+}
+
+/// A fluent, in-flight offload: created by [`Machine::offload`], it
+/// accumulates the label and tuned-cache choice and launches with
+/// [`OffloadBuilder::spawn`] (returning a joinable [`OffloadHandle`])
+/// or [`OffloadBuilder::run`] (spawn + join in one step).
+///
+/// ```
+/// use simcell::{Machine, MachineConfig, SimError};
+///
+/// # fn main() -> Result<(), SimError> {
+/// let mut machine = Machine::new(MachineConfig::small())?;
+/// let handle = machine
+///     .offload(0)
+///     .label("calculateStrategy")
+///     .spawn(|ctx| ctx.compute(500))?;
+/// machine.join(handle);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use = "an offload builder does nothing until spawn or run"]
+#[derive(Debug)]
+pub struct OffloadBuilder<'m> {
+    machine: &'m mut Machine,
+    accel: u16,
+    label: &'static str,
+    cache: CacheChoice,
+}
+
+impl<'m> OffloadBuilder<'m> {
+    /// Names the offload: the label shows up on its trace slice (e.g.
+    /// `"calculateStrategy"` in the Figure 2 frame) instead of the
+    /// generic `"offload"`. Cycle accounting is identical.
+    pub fn label(mut self, name: &'static str) -> OffloadBuilder<'m> {
+        self.label = name;
+        self
+    }
+
+    /// Routes the offload's tuned accesses through the cache an
+    /// autotuned [`CacheChoice`] describes: the cache is built from the
+    /// accelerator's local store when the block starts (allocation only
+    /// — zero cycles) and its dirty lines are flushed, on the
+    /// accelerator clock, when the closure returns. Inside the block,
+    /// [`AccelCtx::tuned_read_pod`] / [`AccelCtx::tuned_write_pod`] hit
+    /// this cache; with the default [`CacheChoice::Naive`] they fall
+    /// back to plain outer accesses and nothing is built.
+    pub fn cache(mut self, choice: CacheChoice) -> OffloadBuilder<'m> {
+        self.cache = choice;
+        self
+    }
+
+    /// The target accelerator index.
+    pub fn accel(&self) -> u16 {
+        self.accel
+    }
+
+    /// Launches the closure as an offload thread and returns the
+    /// joinable handle (see [`Machine::join`]).
+    ///
+    /// The closure runs to completion immediately (the simulation is
+    /// sequential) against an [`AccelCtx`] whose clock starts when the
+    /// accelerator is free; the host is charged only the launch
+    /// overhead and keeps its own clock. Local-store allocations made
+    /// inside the closure are released when it returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the accelerator does not exist or the local store
+    /// cannot fit the configured tuned cache.
+    pub fn spawn<R>(
+        self,
+        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
+    ) -> Result<OffloadHandle<R>, SimError> {
+        let OffloadBuilder {
+            machine,
+            accel,
+            label,
+            cache,
+        } = self;
+        machine.launch(accel, label, cache, f)
+    }
+
+    /// Launches and joins immediately (no host work in between) — the
+    /// convenience for purely sequential offload use.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OffloadBuilder::spawn`].
+    pub fn run<R>(self, f: impl FnOnce(&mut AccelCtx<'_>) -> R) -> Result<R, SimError> {
+        let OffloadBuilder {
+            machine,
+            accel,
+            label,
+            cache,
+        } = self;
+        let handle = machine.launch(accel, label, cache, f)?;
+        Ok(machine.join(handle))
+    }
+
+    /// Dissolves the builder back into its parts, for scheduler
+    /// front-ends layered on top of the machine (e.g.
+    /// `offload_rt::sched`, which fans the configured label and cache
+    /// choice out over several accelerators).
+    pub fn into_parts(self) -> (&'m mut Machine, u16, &'static str, CacheChoice) {
+        (self.machine, self.accel, self.label, self.cache)
     }
 }
 
@@ -397,50 +504,58 @@ impl Machine {
 
     // ---- offload ----------------------------------------------------------
 
-    /// Launches `f` as an offload thread on accelerator `accel`.
+    /// Begins a fluent offload onto accelerator `accel`.
     ///
-    /// The closure runs to completion immediately (the simulation is
-    /// sequential) against an [`AccelCtx`] whose clock starts when the
-    /// accelerator is free; the host is charged only the launch overhead
-    /// and keeps its own clock. Join the returned handle to synchronise.
+    /// The returned [`OffloadBuilder`] carries the optional label and
+    /// tuned-cache choice; finish it with [`OffloadBuilder::spawn`] (for
+    /// a joinable handle) or [`OffloadBuilder::run`] (spawn + join):
     ///
-    /// Local-store allocations made inside the closure are released when
-    /// the closure returns.
+    /// ```
+    /// use simcell::{Machine, MachineConfig, SimError};
     ///
-    /// # Errors
-    ///
-    /// Fails if `accel` does not exist.
-    pub fn offload<R>(
-        &mut self,
-        accel: u16,
-        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
-    ) -> Result<OffloadHandle<R>, SimError> {
-        self.offload_labeled(accel, "offload", f)
+    /// # fn main() -> Result<(), SimError> {
+    /// let mut machine = Machine::new(MachineConfig::small())?;
+    /// let cycles = machine
+    ///     .offload(0)
+    ///     .label("ai")
+    ///     .run(|ctx| {
+    ///         let t0 = ctx.now();
+    ///         ctx.compute(100);
+    ///         ctx.now() - t0
+    ///     })?;
+    /// assert_eq!(cycles, 100);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn offload(&mut self, accel: u16) -> OffloadBuilder<'_> {
+        OffloadBuilder {
+            machine: self,
+            accel,
+            label: "offload",
+            cache: CacheChoice::Naive,
+        }
     }
 
-    /// [`Machine::offload`] with a label: the name shows up on the
-    /// offload's trace slice (e.g. `"calculateStrategy"` in the Figure 2
-    /// frame) instead of the generic `"offload"`. Semantics and cycle
-    /// accounting are identical.
-    ///
-    /// # Errors
-    ///
-    /// As for [`Machine::offload`].
-    pub fn offload_labeled<R>(
+    /// The full launch path every offload goes through: charge the host
+    /// the launch overhead, run the closure on the accelerator clock
+    /// (building and flushing the builder's tuned cache around it), and
+    /// hand back the joinable handle.
+    fn launch<R>(
         &mut self,
         accel: u16,
         name: &'static str,
+        choice: CacheChoice,
         f: impl FnOnce(&mut AccelCtx<'_>) -> R,
     ) -> Result<OffloadHandle<R>, SimError> {
         self.check_accel(accel)?;
         self.host_now += self.config.cost.offload_launch;
         self.stats.offloads += 1;
+        let span = (self.stats.offloads - 1) as u32;
         let slot = &mut self.accels[usize::from(accel)];
         let start = self.host_now.max(slot.busy_until);
         self.events
             .record(start, EventKind::OffloadStart { accel, name });
         let mark = slot.ls.save_alloc();
-        let span = (self.stats.offloads - 1) as u32;
         let mut ctx = AccelCtx {
             now: start,
             cost: self.config.cost,
@@ -454,9 +569,28 @@ impl Machine {
             stats: &mut self.stats,
             accesses: &mut self.accesses,
             span,
+            tuned: None,
         };
-        let result = f(&mut ctx);
-        let end = ctx.now;
+        // Building the cache is allocation only (zero cycles); the
+        // closure, and the final dirty-line flush, run on the
+        // accelerator clock.
+        let outcome = match ctx.install_tuned(&choice) {
+            Err(e) => Err(e),
+            Ok(()) => {
+                let result = f(&mut ctx);
+                match ctx.flush_tuned() {
+                    Err(e) => Err(e),
+                    Ok(()) => Ok((result, ctx.now)),
+                }
+            }
+        };
+        let (result, end) = match outcome {
+            Ok(v) => v,
+            Err(e) => {
+                slot.ls.restore_alloc(mark);
+                return Err(e);
+            }
+        };
         if self.events.is_enabled() {
             self.events.record(
                 end,
@@ -479,6 +613,38 @@ impl Machine {
         })
     }
 
+    /// Launches `f` as an offload thread on accelerator `accel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    #[deprecated(since = "0.2.0", note = "use machine.offload(accel).spawn(f)")]
+    pub fn offload_async<R>(
+        &mut self,
+        accel: u16,
+        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
+    ) -> Result<OffloadHandle<R>, SimError> {
+        self.launch(accel, "offload", CacheChoice::Naive, f)
+    }
+
+    /// Launches a labeled offload thread on accelerator `accel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use machine.offload(accel).label(name).spawn(f)"
+    )]
+    pub fn offload_labeled<R>(
+        &mut self,
+        accel: u16,
+        name: &'static str,
+        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
+    ) -> Result<OffloadHandle<R>, SimError> {
+        self.launch(accel, name, CacheChoice::Naive, f)
+    }
+
     /// Joins an offload thread: the host blocks until the accelerator
     /// finished, then resumes with the closure's result.
     pub fn join<R>(&mut self, handle: OffloadHandle<R>) -> R {
@@ -493,19 +659,94 @@ impl Machine {
         handle.result
     }
 
-    /// Offloads and joins immediately (no host work in between) — the
-    /// convenience for purely sequential offload use.
+    /// Offloads and joins immediately (no host work in between).
     ///
     /// # Errors
     ///
-    /// As for [`Machine::offload`].
+    /// Fails if `accel` does not exist.
+    #[deprecated(since = "0.2.0", note = "use machine.offload(accel).run(f)")]
     pub fn run_offload<R>(
         &mut self,
         accel: u16,
         f: impl FnOnce(&mut AccelCtx<'_>) -> R,
     ) -> Result<R, SimError> {
-        let handle = self.offload(accel, f)?;
+        let handle = self.launch(accel, "offload", CacheChoice::Naive, f)?;
         Ok(self.join(handle))
+    }
+
+    /// The cycle at which accelerator `accel` finishes its last launched
+    /// offload (0 if it never ran one). Schedulers use this to pick the
+    /// least-loaded accelerator before committing a launch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    pub fn accel_free_at(&self, accel: u16) -> Result<u64, SimError> {
+        self.check_accel(accel)?;
+        Ok(self.accels[usize::from(accel)].busy_until)
+    }
+
+    // ---- scheduler bookkeeping --------------------------------------------
+    //
+    // Hooks for tile schedulers layered on top of the machine (see
+    // `offload_rt::sched`). All of them are pure bookkeeping — they
+    // update the always-on counters and, when the event log is enabled,
+    // record structured scheduler events; no simulated cycles anywhere.
+
+    /// Notes that a scheduler placed `tile` on accelerator `accel`'s
+    /// work queue at cycle `at`. Zero simulated cost.
+    pub fn sched_note_enqueue(&mut self, at: u64, accel: u16, tile: u32) {
+        self.events
+            .record(at, EventKind::SchedEnqueue { accel, tile });
+    }
+
+    /// Notes that accelerator `accel` ran `tile` over `[start, end]`;
+    /// `stolen_from` names the queue the tile originally sat on when a
+    /// work-stealing scheduler moved it. Zero simulated cost.
+    pub fn sched_note_run(
+        &mut self,
+        start: u64,
+        accel: u16,
+        tile: u32,
+        end: u64,
+        stolen_from: Option<u16>,
+    ) {
+        self.stats.sched_tiles += 1;
+        self.events.record(
+            start,
+            EventKind::SchedRun {
+                accel,
+                tile,
+                end,
+                stolen_from,
+            },
+        );
+    }
+
+    /// Notes that accelerator `accel` sat idle over `[from, until]`
+    /// while the scheduled task was in flight. Zero simulated cost.
+    pub fn sched_note_idle(&mut self, from: u64, accel: u16, until: u64) {
+        self.stats.sched_idle_cycles += until.saturating_sub(from);
+        self.events
+            .record(from, EventKind::SchedIdle { accel, until });
+    }
+
+    /// Notes that a work-stealing scheduler moved `tile` from `victim`'s
+    /// queue to `thief`'s at cycle `at`, charging the thief `cost`
+    /// simulated cycles (the charge itself is applied by the scheduler,
+    /// inside the stolen tile's offload). Zero simulated cost here.
+    pub fn sched_note_steal(&mut self, at: u64, thief: u16, victim: u16, tile: u32, cost: u64) {
+        self.stats.sched_steals += 1;
+        self.stats.sched_steal_cycles += cost;
+        self.events.record(
+            at,
+            EventKind::SchedSteal {
+                thief,
+                victim,
+                tile,
+                cost,
+            },
+        );
     }
 
     // ---- inspection --------------------------------------------------------
@@ -643,7 +884,8 @@ mod tests {
     fn offload_runs_in_parallel_with_host() {
         let mut m = machine();
         let handle = m
-            .offload(0, |ctx| {
+            .offload(0)
+            .spawn(|ctx| {
                 ctx.compute(10_000);
             })
             .unwrap();
@@ -659,7 +901,7 @@ mod tests {
     #[test]
     fn join_is_free_when_accel_already_finished() {
         let mut m = machine();
-        let handle = m.offload(0, |ctx| ctx.compute(100)).unwrap();
+        let handle = m.offload(0).spawn(|ctx| ctx.compute(100)).unwrap();
         m.host_compute(50_000);
         let before = m.host_now();
         m.join(handle);
@@ -669,8 +911,8 @@ mod tests {
     #[test]
     fn sequential_offloads_to_same_accel_queue_up() {
         let mut m = machine();
-        let h1 = m.offload(0, |ctx| ctx.compute(5_000)).unwrap();
-        let h2 = m.offload(0, |ctx| ctx.compute(5_000)).unwrap();
+        let h1 = m.offload(0).spawn(|ctx| ctx.compute(5_000)).unwrap();
+        let h2 = m.offload(0).spawn(|ctx| ctx.compute(5_000)).unwrap();
         assert!(h2.start() >= h1.end(), "same accelerator serialises");
         m.join(h1);
         m.join(h2);
@@ -679,8 +921,8 @@ mod tests {
     #[test]
     fn offloads_to_different_accels_overlap() {
         let mut m = Machine::new(MachineConfig::default()).unwrap();
-        let h1 = m.offload(0, |ctx| ctx.compute(5_000)).unwrap();
-        let h2 = m.offload(1, |ctx| ctx.compute(5_000)).unwrap();
+        let h1 = m.offload(0).spawn(|ctx| ctx.compute(5_000)).unwrap();
+        let h2 = m.offload(1).spawn(|ctx| ctx.compute(5_000)).unwrap();
         assert!(h2.start() < h1.end(), "different accelerators overlap");
         m.join(h1);
         m.join(h2);
@@ -697,7 +939,8 @@ mod tests {
         let a = m.alloc_main_pod::<u32>().unwrap();
         m.main_mut().write_pod(a, &123u32).unwrap();
         let result = m
-            .run_offload(0, |ctx| -> Result<u32, SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<u32, SimError> {
                 let start = ctx.now();
                 let v: u32 = ctx.outer_read_pod(a)?;
                 let cost = ctx.now() - start;
@@ -719,10 +962,12 @@ mod tests {
     fn local_allocations_are_scoped_to_the_offload() {
         let mut m = machine();
         let first = m
-            .run_offload(0, |ctx| ctx.alloc_local(1024, 16).unwrap())
+            .offload(0)
+            .run(|ctx| ctx.alloc_local(1024, 16).unwrap())
             .unwrap();
         let second = m
-            .run_offload(0, |ctx| ctx.alloc_local(1024, 16).unwrap())
+            .offload(0)
+            .run(|ctx| ctx.alloc_local(1024, 16).unwrap())
             .unwrap();
         assert_eq!(first, second, "local data died with the first offload");
     }
@@ -731,7 +976,8 @@ mod tests {
     fn local_store_exhaustion_surfaces() {
         let mut m = machine();
         let result = m
-            .run_offload(0, |ctx| ctx.alloc_local(512 * 1024, 16))
+            .offload(0)
+            .run(|ctx| ctx.alloc_local(512 * 1024, 16))
             .unwrap();
         assert!(matches!(result, Err(SimError::Memory(_))));
     }
@@ -743,7 +989,8 @@ mod tests {
         let values: Vec<u32> = (0..16).collect();
         m.main_mut().write_pod_slice(remote, &values).unwrap();
         let out = m
-            .run_offload(0, |ctx| -> Result<Vec<u32>, SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<Vec<u32>, SimError> {
                 let local = ctx.alloc_local_slice::<u32>(16)?;
                 let tag = dma::Tag::new(0).unwrap();
                 ctx.dma_get(local, remote, 64, tag)?;
@@ -760,17 +1007,18 @@ mod tests {
     fn missing_wait_is_detected_as_a_race() {
         let mut m = machine();
         let remote = m.alloc_main_slice::<u32>(16).unwrap();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let local = ctx.alloc_local_slice::<u32>(16)?;
-            let tag = dma::Tag::new(0).unwrap();
-            ctx.dma_get(local, remote, 64, tag)?;
-            // BUG: read without waiting.
-            let _: u32 = ctx.local_read_pod(local)?;
-            ctx.dma_wait_tag(tag);
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let local = ctx.alloc_local_slice::<u32>(16)?;
+                let tag = dma::Tag::new(0).unwrap();
+                ctx.dma_get(local, remote, 64, tag)?;
+                // BUG: read without waiting.
+                let _: u32 = ctx.local_read_pod(local)?;
+                ctx.dma_wait_tag(tag);
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(m.races_detected(), 1);
         let reports = m.take_race_reports();
         assert_eq!(reports.len(), 1);
@@ -785,7 +1033,8 @@ mod tests {
             .write_pod_slice(a, &(0..64).collect::<Vec<u32>>())
             .unwrap();
         let sum = m
-            .run_offload(0, |ctx| -> Result<(u32, u64, u64), SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<(u32, u64, u64), SimError> {
                 // Allocate the cache arena inside the offload scope.
                 let mut cache = ctx.new_cache(softcache::CacheConfig::direct_mapped_4k())?;
                 let t0 = ctx.now();
@@ -817,7 +1066,7 @@ mod tests {
     fn no_such_accel_is_reported() {
         let mut m = machine();
         assert!(matches!(
-            m.offload(5, |_| ()),
+            m.offload(5).spawn(|_| ()),
             Err(SimError::NoSuchAccel { index: 5, count: 1 })
         ));
         assert!(m.dma_stats(3).is_err());
@@ -827,7 +1076,7 @@ mod tests {
     fn events_record_the_offload_lifecycle() {
         let mut m = machine();
         m.events_mut().set_enabled(true);
-        let h = m.offload(0, |ctx| ctx.compute(100)).unwrap();
+        let h = m.offload(0).spawn(|ctx| ctx.compute(100)).unwrap();
         m.join(h);
         let kinds: Vec<_> = m.events().events().iter().map(|e| &e.kind).collect();
         assert!(matches!(
@@ -852,7 +1101,9 @@ mod tests {
         let mut m = machine();
         m.events_mut().set_enabled(true);
         let h = m
-            .offload_labeled(0, "calculateStrategy", |ctx| ctx.compute(10))
+            .offload(0)
+            .label("calculateStrategy")
+            .spawn(|ctx| ctx.compute(10))
             .unwrap();
         m.join(h);
         assert!(m.events().events().iter().any(|e| matches!(
@@ -873,7 +1124,8 @@ mod tests {
         let pattern: Vec<u8> = (0..10 * 1024).map(|i| (i % 251) as u8).collect();
         m.main_mut().write_bytes(remote, &pattern).unwrap();
         let (data, elapsed) = m
-            .run_offload(0, |ctx| -> Result<(Vec<u8>, u64), SimError> {
+            .offload(0)
+            .run(|ctx| -> Result<(Vec<u8>, u64), SimError> {
                 let t0 = ctx.now();
                 let mut buf = vec![0u8; 10 * 1024];
                 ctx.outer_read_bytes(remote, &mut buf)?;
@@ -894,7 +1146,8 @@ mod tests {
     fn outer_byte_writes_round_trip() {
         let mut m = machine();
         let remote = m.alloc_main(256, 16).unwrap();
-        m.run_offload(0, |ctx| ctx.outer_write_bytes(remote, &[7u8; 100]))
+        m.offload(0)
+            .run(|ctx| ctx.outer_write_bytes(remote, &[7u8; 100]))
             .unwrap()
             .unwrap();
         assert_eq!(m.main().read_bytes(remote, 100).unwrap(), &[7u8; 100][..]);
@@ -903,18 +1156,19 @@ mod tests {
     #[test]
     fn peek_and_poke_are_cost_free() {
         let mut m = machine();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let local = ctx.alloc_local(64, 16)?;
-            let before = ctx.now();
-            ctx.poke_local(local, &[1, 2, 3])?;
-            let mut out = [0u8; 3];
-            ctx.peek_local(local, &mut out)?;
-            assert_eq!(out, [1, 2, 3]);
-            assert_eq!(ctx.now(), before, "bookkeeping access charges nothing");
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let local = ctx.alloc_local(64, 16)?;
+                let before = ctx.now();
+                ctx.poke_local(local, &[1, 2, 3])?;
+                let mut out = [0u8; 3];
+                ctx.peek_local(local, &mut out)?;
+                assert_eq!(out, [1, 2, 3]);
+                assert_eq!(ctx.now(), before, "bookkeeping access charges nothing");
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
         assert_eq!(
             m.races_detected(),
             0,
@@ -925,19 +1179,20 @@ mod tests {
     #[test]
     fn local_byte_access_charges_quadword_granularity() {
         let mut m = machine();
-        m.run_offload(0, |ctx| -> Result<(), SimError> {
-            let local = ctx.alloc_local(256, 16)?;
-            let ls = ctx.cost().ls_access;
-            let t0 = ctx.now();
-            ctx.local_write_bytes(local, &[0u8; 16])?;
-            assert_eq!(ctx.now() - t0, ls, "one quadword");
-            let t1 = ctx.now();
-            ctx.local_write_bytes(local, &[0u8; 64])?;
-            assert_eq!(ctx.now() - t1, 4 * ls, "four quadwords");
-            Ok(())
-        })
-        .unwrap()
-        .unwrap();
+        m.offload(0)
+            .run(|ctx| -> Result<(), SimError> {
+                let local = ctx.alloc_local(256, 16)?;
+                let ls = ctx.cost().ls_access;
+                let t0 = ctx.now();
+                ctx.local_write_bytes(local, &[0u8; 16])?;
+                assert_eq!(ctx.now() - t0, ls, "one quadword");
+                let t1 = ctx.now();
+                ctx.local_write_bytes(local, &[0u8; 64])?;
+                assert_eq!(ctx.now() - t1, 4 * ls, "four quadwords");
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
     }
 
     #[test]
@@ -969,7 +1224,8 @@ mod tests {
         // its arena was allocated before any offload scope.
         for _ in 0..2 {
             let v = m
-                .run_offload(0, |ctx| ctx.cached_read_pod::<u32, _>(&mut cache, a))
+                .offload(0)
+                .run(|ctx| ctx.cached_read_pod::<u32, _>(&mut cache, a))
                 .unwrap()
                 .unwrap();
             assert_eq!(v, 9);
@@ -985,10 +1241,166 @@ mod tests {
             .new_stream_cache_for(0, softcache::CacheConfig::new(256, 1, 1))
             .unwrap();
         let v = m
-            .run_offload(0, |ctx| ctx.cached_read_pod::<u32, _>(&mut stream, a))
+            .offload(0)
+            .run(|ctx| ctx.cached_read_pod::<u32, _>(&mut stream, a))
             .unwrap()
             .unwrap();
         assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn builder_cache_routes_tuned_accesses_and_flushes_on_exit() {
+        let mut m = machine();
+        let a = m.alloc_main_slice::<u32>(64).unwrap();
+        m.main_mut()
+            .write_pod_slice(a, &(0..64).collect::<Vec<u32>>())
+            .unwrap();
+        // Naive builder: tuned accessors fall back to outer accesses.
+        let (naive_sum, naive_cycles) = m
+            .offload(0)
+            .run(|ctx| -> Result<(u32, u64), SimError> {
+                assert!(!ctx.has_tuned_cache());
+                let t0 = ctx.now();
+                let mut sum = 0u32;
+                for i in 0..64u32 {
+                    sum += ctx.tuned_read_pod::<u32>(a.element(i, 4)?)?;
+                }
+                Ok((sum, ctx.now() - t0))
+            })
+            .unwrap()
+            .unwrap();
+        // Cached builder: same loop through the tuned cache, far cheaper.
+        let choice = CacheChoice::SetAssoc(softcache::CacheConfig::direct_mapped_4k());
+        let (cached_sum, cached_cycles) = m
+            .offload(0)
+            .cache(choice)
+            .run(|ctx| -> Result<(u32, u64), SimError> {
+                assert!(ctx.has_tuned_cache());
+                let t0 = ctx.now();
+                let mut sum = 0u32;
+                for i in 0..64u32 {
+                    sum += ctx.tuned_read_pod::<u32>(a.element(i, 4)?)?;
+                }
+                ctx.tuned_write_pod(a.element(0, 4)?, &777u32)?;
+                Ok((sum, ctx.now() - t0))
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(naive_sum, cached_sum);
+        assert!(
+            cached_cycles * 4 < naive_cycles,
+            "tuned cache should be >4x faster: {cached_cycles} vs {naive_cycles}"
+        );
+        // The write-back flush ran when the block ended.
+        assert_eq!(m.main().read_pod::<u32>(a).unwrap(), 777);
+        assert!(m.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn builder_with_naive_cache_matches_the_plain_builder_bit_identically() {
+        let run = |cache: bool| -> u64 {
+            let mut m = machine();
+            let a = m.alloc_main_pod::<u32>().unwrap();
+            m.main_mut().write_pod(a, &3u32).unwrap();
+            let b = m.offload(0);
+            let b = if cache {
+                b.cache(CacheChoice::Naive)
+            } else {
+                b
+            };
+            b.run(|ctx| -> Result<(), SimError> {
+                let v: u32 = ctx.outer_read_pod(a)?;
+                ctx.compute(u64::from(v));
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
+            m.host_now()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work_and_match_the_builder() {
+        let body = |ctx: &mut AccelCtx<'_>| ctx.compute(1234);
+        let via_builder = {
+            let mut m = machine();
+            let h = m.offload(0).spawn(body).unwrap();
+            m.join(h);
+            m.host_now()
+        };
+        let via_wrappers = {
+            let mut m = machine();
+            let h = m.offload_async(0, body).unwrap();
+            m.join(h);
+            m.host_now()
+        };
+        assert_eq!(via_builder, via_wrappers);
+        let mut m = machine();
+        m.run_offload(0, body).unwrap();
+        assert_eq!(m.host_now(), via_builder);
+        let mut m = machine();
+        let h = m.offload_labeled(0, "legacy", body).unwrap();
+        m.join(h);
+        assert_eq!(m.host_now(), via_builder);
+    }
+
+    #[test]
+    fn accel_free_at_tracks_queue_depth() {
+        let mut m = machine();
+        assert_eq!(m.accel_free_at(0).unwrap(), 0);
+        let h = m.offload(0).spawn(|ctx| ctx.compute(5_000)).unwrap();
+        assert_eq!(m.accel_free_at(0).unwrap(), h.end());
+        m.join(h);
+        assert!(m.accel_free_at(9).is_err());
+    }
+
+    #[test]
+    fn sched_notes_update_stats_and_record_events() {
+        let mut m = machine();
+        m.events_mut().set_enabled(true);
+        m.sched_note_enqueue(10, 0, 7);
+        m.sched_note_run(100, 0, 7, 400, Some(1));
+        m.sched_note_idle(400, 0, 450);
+        m.sched_note_steal(90, 0, 1, 7, 250);
+        let s = m.stats();
+        assert_eq!(s.sched_tiles, 1);
+        assert_eq!(s.sched_steals, 1);
+        assert_eq!(s.sched_steal_cycles, 250);
+        assert_eq!(s.sched_idle_cycles, 50);
+        let kinds: Vec<_> = m.events().events().iter().map(|e| &e.kind).collect();
+        assert!(matches!(
+            kinds[0],
+            EventKind::SchedEnqueue { accel: 0, tile: 7 }
+        ));
+        assert!(matches!(
+            kinds[1],
+            EventKind::SchedRun {
+                accel: 0,
+                tile: 7,
+                end: 400,
+                stolen_from: Some(1)
+            }
+        ));
+        assert!(matches!(
+            kinds[2],
+            EventKind::SchedIdle {
+                accel: 0,
+                until: 450
+            }
+        ));
+        assert!(matches!(
+            kinds[3],
+            EventKind::SchedSteal {
+                thief: 0,
+                victim: 1,
+                tile: 7,
+                cost: 250
+            }
+        ));
+        // Bookkeeping is free: no clock moved.
+        assert_eq!(m.host_now(), 0);
     }
 
     #[test]
@@ -996,7 +1408,8 @@ mod tests {
         let mut m = machine();
         let a = m.alloc_main(8192, 16).unwrap();
         let result = m
-            .run_offload(0, |ctx| ctx.outer_read_pod::<[u8; 8192]>(a))
+            .offload(0)
+            .run(|ctx| ctx.outer_read_pod::<[u8; 8192]>(a))
             .unwrap();
         assert!(matches!(result, Err(SimError::ValueTooLarge { .. })));
     }

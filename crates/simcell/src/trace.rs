@@ -37,7 +37,7 @@
 //! # fn main() -> Result<(), simcell::SimError> {
 //! let mut machine = Machine::new(MachineConfig::small())?;
 //! machine.events_mut().set_enabled(true);
-//! machine.run_offload(0, |ctx| ctx.compute(500))?;
+//! machine.offload(0).run(|ctx| ctx.compute(500))?;
 //! let json = chrome_trace_json(machine.events());
 //! let events = parse_chrome_trace(&json).expect("exporter emits valid JSON");
 //! assert!(events.iter().any(|e| e.name == "offload"));
@@ -96,6 +96,15 @@ pub struct MachineStats {
     pub cache_bytes_written_back: u64,
     /// Total cycles offload threads occupied accelerators.
     pub accel_busy_cycles: u64,
+    /// Tiles dispatched by a tile scheduler (see `offload_rt::sched`).
+    pub sched_tiles: u64,
+    /// Tiles a work-stealing scheduler moved between accelerator queues.
+    pub sched_steals: u64,
+    /// Simulated cycles charged to thieves for those steals.
+    pub sched_steal_cycles: u64,
+    /// Accelerator cycles a scheduler reported as idle gaps while its
+    /// task was in flight.
+    pub sched_idle_cycles: u64,
 }
 
 impl MachineStats {
@@ -142,9 +151,14 @@ impl fmt::Display for MachineStats {
 // ---- Chrome trace-event export ------------------------------------------
 
 /// Thread-id layout of the exported trace: the host runs on tid 0,
-/// accelerator *n* on tid `1 + n`, and accelerator *n*'s DMA lane on
-/// tid `DMA_LANE_BASE + n`.
+/// accelerator *n* on tid `1 + n`, accelerator *n*'s DMA lane on tid
+/// `DMA_LANE_BASE + n`, and its scheduler lane on tid
+/// `SCHED_LANE_BASE + n`.
 pub const DMA_LANE_BASE: u64 = 100;
+
+/// Base thread id of the per-accelerator scheduler lanes (tile
+/// assignment and idle-gap slices; see `offload_rt::sched`).
+pub const SCHED_LANE_BASE: u64 = 200;
 
 /// Thread id of accelerator `accel`'s execution lane.
 pub fn accel_tid(accel: u16) -> u64 {
@@ -154,6 +168,11 @@ pub fn accel_tid(accel: u16) -> u64 {
 /// Thread id of accelerator `accel`'s DMA lane.
 pub fn dma_tid(accel: u16) -> u64 {
     DMA_LANE_BASE + u64::from(accel)
+}
+
+/// Thread id of accelerator `accel`'s scheduler lane.
+pub fn sched_tid(accel: u16) -> u64 {
+    SCHED_LANE_BASE + u64::from(accel)
 }
 
 fn tid_of(core: CoreId) -> u64 {
@@ -248,11 +267,13 @@ impl ChromeWriter {
 /// `chrome://tracing`. Timestamps are simulated cycles reported as
 /// microseconds (the units are relative; only ratios matter). Lane
 /// layout: host on tid 0, accelerator *n* on tid `1+n`, its DMA
-/// transfers on tid `100+n`. Offload intervals and host/accel spans
-/// become complete ("X") slices; DMA commands become slices on the DMA
-/// lane spanning issue→completion; cache hits/misses/evictions and
-/// notes become instant events; local-store high-water marks become
-/// counter tracks.
+/// transfers on tid `100+n`, its scheduler lane on tid `200+n`.
+/// Offload intervals and host/accel spans become complete ("X")
+/// slices; DMA commands become slices on the DMA lane spanning
+/// issue→completion; cache hits/misses/evictions and notes become
+/// instant events; local-store high-water marks become counter tracks.
+/// Scheduler tile runs (`tile N`) and idle gaps (`idle`) become X
+/// slices on the scheduler lane, with enqueues and steals as instants.
 pub fn chrome_trace_json(log: &EventLog) -> String {
     let mut w = ChromeWriter::new();
     w.metadata("process_name", 0, "offload-sim");
@@ -262,6 +283,7 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
     // Name each lane that actually appears.
     let mut seen_accel = [false; 64];
     let mut seen_dma = [false; 64];
+    let mut seen_sched = [false; 64];
     for e in &events {
         if let CoreId::Accel(a) = e.core() {
             let a = a as usize;
@@ -275,6 +297,20 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
             if a < 64 && !seen_dma[a] {
                 seen_dma[a] = true;
                 w.metadata("thread_name", dma_tid(accel), &format!("dma {a}"));
+            }
+        }
+        let sched_accel = match e.kind {
+            EventKind::SchedEnqueue { accel, .. }
+            | EventKind::SchedRun { accel, .. }
+            | EventKind::SchedIdle { accel, .. } => Some(accel),
+            EventKind::SchedSteal { thief, .. } => Some(thief),
+            _ => None,
+        };
+        if let Some(accel) = sched_accel {
+            let a = accel as usize;
+            if a < 64 && !seen_sched[a] {
+                seen_sched[a] = true;
+                w.metadata("thread_name", sched_tid(accel), &format!("sched {a}"));
             }
         }
     }
@@ -387,6 +423,60 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
                     None,
                     accel_tid(*accel),
                     &format!("\"bytes\":{bytes}"),
+                );
+            }
+            EventKind::SchedEnqueue { accel, tile } => {
+                w.event(
+                    "enqueue",
+                    'i',
+                    e.at,
+                    None,
+                    sched_tid(*accel),
+                    &format!("\"tile\":{tile}"),
+                );
+            }
+            EventKind::SchedRun {
+                accel,
+                tile,
+                end,
+                stolen_from,
+            } => {
+                let mut args = format!("\"tile\":{tile},\"accel\":{accel}");
+                if let Some(victim) = stolen_from {
+                    args.push_str(&format!(",\"stolen_from\":{victim}"));
+                }
+                w.event(
+                    &format!("tile {tile}"),
+                    'X',
+                    e.at,
+                    Some(end.saturating_sub(e.at)),
+                    sched_tid(*accel),
+                    &args,
+                );
+            }
+            EventKind::SchedIdle { accel, until } => {
+                w.event(
+                    "idle",
+                    'X',
+                    e.at,
+                    Some(until.saturating_sub(e.at)),
+                    sched_tid(*accel),
+                    &format!("\"accel\":{accel}"),
+                );
+            }
+            EventKind::SchedSteal {
+                thief,
+                victim,
+                tile,
+                cost,
+            } => {
+                w.event(
+                    "steal",
+                    'i',
+                    e.at,
+                    None,
+                    sched_tid(*thief),
+                    &format!("\"victim\":{victim},\"tile\":{tile},\"cost\":{cost}"),
                 );
             }
         }
@@ -856,6 +946,8 @@ fn end_cycle(e: &Event) -> u64 {
     match e.kind {
         EventKind::DmaIssue { complete_at, .. } => complete_at.max(e.at),
         EventKind::DmaWait { resumed_at, .. } => resumed_at.max(e.at),
+        EventKind::SchedRun { end, .. } => end.max(e.at),
+        EventKind::SchedIdle { until, .. } => until.max(e.at),
         _ => e.at,
     }
 }
@@ -915,6 +1007,31 @@ impl Machine {
                 stats.cache_bytes_written_back
             ));
         }
+        if stats.sched_tiles > 0 {
+            // Imbalance across the accelerators the scheduler actually
+            // used: max busy over mean busy (1.00 = perfectly even).
+            let busy: Vec<u64> = (0..self.accel_count())
+                .filter_map(|a| self.accel_busy_cycles(a).ok())
+                .filter(|&b| b > 0)
+                .collect();
+            let max = busy.iter().copied().max().unwrap_or(0);
+            let mean = if busy.is_empty() {
+                0.0
+            } else {
+                busy.iter().sum::<u64>() as f64 / busy.len() as f64
+            };
+            let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+            out.push_str(&format!(
+                "scheduler: {} tiles across {} accels, {} steals (+{} steal cycles), \
+                 {} idle cycles, imbalance {:.2} (max/mean busy)\n",
+                stats.sched_tiles,
+                busy.len(),
+                stats.sched_steals,
+                stats.sched_steal_cycles,
+                stats.sched_idle_cycles,
+                imbalance
+            ));
+        }
         if self.events().is_enabled() {
             out.push_str(&format!(
                 "event log: {} events recorded\n",
@@ -970,7 +1087,7 @@ mod tests {
     fn offload_becomes_a_complete_slice() -> Result<(), SimError> {
         let mut m = Machine::new(MachineConfig::small())?;
         m.events_mut().set_enabled(true);
-        m.run_offload(0, |ctx| ctx.compute(1000))?;
+        m.offload(0).run(|ctx| ctx.compute(1000))?;
         let json = chrome_trace_json(m.events());
         let events = parse_chrome_trace(&json).unwrap();
         let slice = events
@@ -1018,11 +1135,64 @@ mod tests {
         m.span_start("setup");
         m.host_compute(500);
         m.span_end("setup");
-        m.run_offload(0, |ctx| ctx.compute(1000))?;
+        m.offload(0).run(|ctx| ctx.compute(1000))?;
         let art = ascii_timeline(m.events(), 60);
         assert!(art.contains("host    |"));
         assert!(art.contains("accel 0 |"));
         assert!(art.contains('='), "bars are drawn:\n{art}");
+        Ok(())
+    }
+
+    #[test]
+    fn scheduler_lane_round_trips() -> Result<(), SimError> {
+        let mut m = Machine::new(MachineConfig::small())?;
+        m.events_mut().set_enabled(true);
+        m.sched_note_enqueue(0, 0, 0);
+        m.sched_note_run(100, 0, 0, 600, None);
+        m.sched_note_idle(600, 0, 900);
+        m.sched_note_run(900, 0, 1, 1400, Some(1));
+        m.sched_note_steal(880, 0, 1, 1, 300);
+        let json = chrome_trace_json(m.events());
+        let events = parse_chrome_trace(&json).unwrap();
+        let lane = sched_tid(0);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.ph == 'M' && e.tid == lane && e.name == "thread_name"),
+            "sched lane is named"
+        );
+        let tile0 = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "tile 0" && e.tid == lane)
+            .expect("tile slice");
+        assert_eq!((tile0.ts, tile0.dur), (100, Some(500)));
+        let idle = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "idle" && e.tid == lane)
+            .expect("idle slice");
+        assert_eq!((idle.ts, idle.dur), (600, Some(300)));
+        assert!(events
+            .iter()
+            .any(|e| e.ph == 'i' && e.name == "steal" && e.tid == lane));
+        assert!(events
+            .iter()
+            .any(|e| e.ph == 'i' && e.name == "enqueue" && e.tid == lane));
+        Ok(())
+    }
+
+    #[test]
+    fn utilization_report_gains_an_imbalance_section_with_sched_tiles() -> Result<(), SimError> {
+        let mut m = Machine::new(MachineConfig::small())?;
+        let report = m.utilization_report();
+        assert!(
+            !report.contains("scheduler:"),
+            "no sched section by default"
+        );
+        m.offload(0).run(|ctx| ctx.compute(1000))?;
+        m.sched_note_run(0, 0, 0, 1000, None);
+        let report = m.utilization_report();
+        assert!(report.contains("scheduler: 1 tiles across 1 accels"));
+        assert!(report.contains("imbalance 1.00"));
         Ok(())
     }
 

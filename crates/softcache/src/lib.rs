@@ -45,6 +45,7 @@ pub mod cache;
 pub mod config;
 pub mod stats;
 pub mod stream;
+pub mod tuned;
 
 pub use autotune::{
     autotune, AccessRecord, AccessTrace, CacheChoice, Candidate, TraceOp, TuneOptions, TuneReport,
@@ -53,6 +54,7 @@ pub use cache::SetAssociativeCache;
 pub use config::{CacheConfig, WritePolicy};
 pub use stats::CacheStats;
 pub use stream::StreamCache;
+pub use tuned::TunedCache;
 
 use dma::{DmaEngine, DmaError};
 use memspace::{Addr, MemError, MemoryRegion, Pod};

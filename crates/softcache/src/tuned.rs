@@ -1,0 +1,175 @@
+//! One runtime cache type for "whatever the tuner picked".
+//!
+//! The autotune search returns a [`CacheChoice`] — naive,
+//! set-associative, or streaming. [`TunedCache`] holds either concrete
+//! cache family behind one enum so offload code can carry the choice
+//! without generics, and [`CacheChoice::build`] turns the value back
+//! into a running cache over a given local store. A naive choice builds
+//! no cache at all (`build` returns `None`): the tuner decided plain
+//! outer accesses win, so there is nothing to interpose.
+
+use memspace::{Addr, MemoryRegion, SpaceId};
+
+use crate::autotune::CacheChoice;
+use crate::{
+    CacheBacking, CacheError, CacheStats, SetAssociativeCache, SoftwareCache, StreamCache,
+};
+
+/// A runtime cache built from an autotuned [`CacheChoice`].
+///
+/// Both concrete cache families behind one type, so offload code can
+/// hold "whatever the tuner picked" without generics; a naive choice
+/// builds no cache at all ([`CacheChoice::build`] returns `None`).
+#[derive(Debug)]
+pub enum TunedCache {
+    /// The tuner picked a set-associative configuration.
+    SetAssoc(SetAssociativeCache),
+    /// The tuner picked a streaming (prefetch) configuration.
+    Stream(StreamCache),
+}
+
+impl SoftwareCache for TunedCache {
+    fn read(
+        &mut self,
+        now: u64,
+        addr: Addr,
+        out: &mut [u8],
+        backing: &mut CacheBacking<'_>,
+    ) -> Result<u64, CacheError> {
+        match self {
+            TunedCache::SetAssoc(c) => c.read(now, addr, out, backing),
+            TunedCache::Stream(c) => c.read(now, addr, out, backing),
+        }
+    }
+
+    fn write(
+        &mut self,
+        now: u64,
+        addr: Addr,
+        data: &[u8],
+        backing: &mut CacheBacking<'_>,
+    ) -> Result<u64, CacheError> {
+        match self {
+            TunedCache::SetAssoc(c) => c.write(now, addr, data, backing),
+            TunedCache::Stream(c) => c.write(now, addr, data, backing),
+        }
+    }
+
+    fn flush(&mut self, now: u64, backing: &mut CacheBacking<'_>) -> Result<u64, CacheError> {
+        match self {
+            TunedCache::SetAssoc(c) => c.flush(now, backing),
+            TunedCache::Stream(c) => c.flush(now, backing),
+        }
+    }
+
+    fn invalidate(&mut self) {
+        match self {
+            TunedCache::SetAssoc(c) => c.invalidate(),
+            TunedCache::Stream(c) => c.invalidate(),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            TunedCache::SetAssoc(c) => c.stats(),
+            TunedCache::Stream(c) => c.stats(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            TunedCache::SetAssoc(c) => c.describe(),
+            TunedCache::Stream(c) => c.describe(),
+        }
+    }
+}
+
+impl CacheChoice {
+    /// Builds the cache this choice describes, allocating its line
+    /// buffers from `ls` and caching addresses in `remote_space`.
+    /// Returns `None` for [`CacheChoice::Naive`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if `ls` cannot fit the chosen configuration.
+    pub fn build(
+        &self,
+        remote_space: SpaceId,
+        ls: &mut MemoryRegion,
+    ) -> Result<Option<TunedCache>, CacheError> {
+        Ok(match self {
+            CacheChoice::Naive => None,
+            CacheChoice::SetAssoc(config) => Some(TunedCache::SetAssoc(SetAssociativeCache::new(
+                *config,
+                remote_space,
+                ls,
+            )?)),
+            CacheChoice::Stream(config) => Some(TunedCache::Stream(StreamCache::new(
+                *config,
+                remote_space,
+                ls,
+            )?)),
+        })
+    }
+
+    /// For a streaming choice, the double-buffered chunk depth the §4.1
+    /// streaming helpers should adopt: the tuned line size in elements
+    /// of size `elem_size` bytes (at least 1). Returns `None` unless the
+    /// choice is [`CacheChoice::Stream`] — the other families do not
+    /// describe a sequential prefetch depth.
+    pub fn stream_chunk_elems(&self, elem_size: u32) -> Option<u32> {
+        match self {
+            CacheChoice::Stream(config) => Some((config.line_size / elem_size.max(1)).max(1)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheConfig;
+    use memspace::SpaceKind;
+
+    fn test_ls() -> MemoryRegion {
+        MemoryRegion::new(
+            SpaceId::local_store(0),
+            SpaceKind::LocalStore { accel: 0 },
+            64 * 1024,
+        )
+    }
+
+    #[test]
+    fn naive_builds_nothing_and_has_no_chunk_depth() {
+        let mut ls = test_ls();
+        assert!(CacheChoice::Naive
+            .build(SpaceId::MAIN, &mut ls)
+            .unwrap()
+            .is_none());
+        assert!(CacheChoice::Naive.stream_chunk_elems(4).is_none());
+    }
+
+    #[test]
+    fn both_cache_families_build() {
+        let mut ls = test_ls();
+        let assoc = CacheChoice::SetAssoc(CacheConfig::four_way_16k())
+            .build(SpaceId::MAIN, &mut ls)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(assoc, TunedCache::SetAssoc(_)));
+        let stream = CacheChoice::Stream(CacheConfig::new(1024, 1, 1))
+            .build(SpaceId::MAIN, &mut ls)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(stream, TunedCache::Stream(_)));
+    }
+
+    #[test]
+    fn stream_chunk_depth_is_line_size_in_elements() {
+        let stream = CacheChoice::Stream(CacheConfig::new(1024, 1, 1));
+        assert_eq!(stream.stream_chunk_elems(4), Some(256));
+        assert_eq!(stream.stream_chunk_elems(2048), Some(1), "never zero");
+        let assoc = CacheChoice::SetAssoc(CacheConfig::four_way_16k());
+        assert!(assoc.stream_chunk_elems(4).is_none());
+    }
+}

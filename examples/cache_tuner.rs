@@ -20,11 +20,9 @@
 //!    matches the naive run bit-for-bit.
 
 use offload_repro::gamekit::{ai, AiConfig, EntityArray, GameEntity, WorldGen};
-use offload_repro::memspace::Addr;
-use offload_repro::offload_rt::{build_tuned_cache, TunedCache};
-use offload_repro::simcell::{AccelCtx, Machine, MachineConfig, SimError};
-use offload_repro::softcache::autotune::{autotune, replay_exact, TuneOptions};
-use offload_repro::softcache::{AccessRecord, CacheChoice};
+use offload_repro::offload_rt::prelude::*;
+use offload_repro::softcache::autotune::{replay_exact, TuneOptions};
+use offload_repro::softcache::AccessRecord;
 
 const ENTITIES: u32 = 256;
 const WORLD_SEED: u64 = 0xE2;
@@ -101,8 +99,9 @@ fn run_frame(
     let (mut machine, entities, table) = build_world()?;
     machine.access_trace_mut().set_enabled(capture);
     let config = AiConfig::default();
-    let cycles =
-        machine.run_offload(0, |ctx| ai_frame(ctx, &entities, table, &config, choice))??;
+    let cycles = machine
+        .offload(0)
+        .run(|ctx| ai_frame(ctx, &entities, table, &config, choice))??;
     let world = entities.snapshot(&machine)?;
     Ok((cycles, machine.access_trace().records().to_vec(), world))
 }

@@ -12,8 +12,8 @@
 //! dynamic checker catching the same bug.
 
 use offload_repro::dma::{analyze_kernel, AccessKind, DmaKernel, KernelOp, RaceMode, Tag};
-use offload_repro::memspace::{Addr, AddrRange, SpaceId};
-use offload_repro::simcell::{Machine, MachineConfig, SimError};
+use offload_repro::memspace::AddrRange;
+use offload_repro::offload_rt::prelude::*;
 
 fn ls(offset: u32, len: u32) -> AddrRange {
     AddrRange::new(Addr::new(SpaceId::local_store(0), offset), len).unwrap()
@@ -80,7 +80,7 @@ fn main() -> Result<(), SimError> {
     let mut machine = Machine::new(MachineConfig::default())?;
     let e1 = machine.alloc_main(64, 16)?;
     let e2 = machine.alloc_main(64, 16)?;
-    machine.run_offload(0, |ctx| -> Result<(), SimError> {
+    machine.offload(0).run(|ctx| -> Result<(), SimError> {
         let b1 = ctx.alloc_local(64, 16)?;
         let b2 = ctx.alloc_local(64, 16)?;
         let tag = Tag::new(1).expect("valid tag");

@@ -11,7 +11,7 @@
 //! events of the last frame.
 
 use offload_repro::gamekit::{run_frame, AiConfig, EntityArray, FrameSchedule, WorldGen};
-use offload_repro::simcell::{Machine, MachineConfig, SimError};
+use offload_repro::offload_rt::prelude::*;
 
 const ENTITIES: u32 = 1024;
 const FRAMES: u32 = 5;

@@ -1,4 +1,5 @@
-//! Scaling one frame task across all six accelerators.
+//! Scaling one frame task across all six accelerators, then letting
+//! the tile scheduler fix a skewed one.
 //!
 //! ```text
 //! cargo run --release --example multi_accel
@@ -8,12 +9,16 @@
 //! uses one. This example tiles the AI strategy task across 1–6
 //! simulated accelerators (each tile bulk-fetches the shared read-only
 //! entity array and writes back only its slice) and prints the scaling
-//! curve, then shows the same effect at the language level with named
-//! asynchronous offload handles.
+//! curve. It then skews the tile costs — a few "hot" tiles, as a real
+//! frame has — and dispatches the same work under all three
+//! `offload_rt::sched` policies through the fluent builder chain,
+//! showing work stealing recovering the cycles the static split loses.
+//! Finally the same fan-out effect is shown at the language level with
+//! named asynchronous offload handles.
 
 use offload_repro::gamekit::{ai_frame_offloaded_tiled, AiConfig, EntityArray, WorldGen};
 use offload_repro::offload_lang::{compile, Target, Vm};
-use offload_repro::simcell::{Machine, MachineConfig, SimError};
+use offload_repro::offload_rt::prelude::*;
 
 const ENTITIES: u32 = 1024;
 
@@ -27,6 +32,23 @@ fn tiled(accels: u16) -> Result<u64, SimError> {
     ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, accels)
 }
 
+/// Dispatches one skewed synthetic frame — 24 tiles, the first 6 hot —
+/// over 6 lanes under `policy`, via the fluent builder chain.
+fn skewed(policy: SchedPolicy) -> Result<SchedReport, SimError> {
+    const TILES: u32 = 24;
+    let mut machine = Machine::new(MachineConfig::default())?;
+    let (_, report) = machine
+        .offload(0)
+        .label("skewed tile")
+        .sched(policy)
+        .accels(6)
+        .run_tiles(TILES, |ctx, tile| {
+            ctx.compute(if tile < TILES / 4 { 180_000 } else { 30_000 });
+            Ok(())
+        })?;
+    Ok(report)
+}
+
 fn main() -> Result<(), SimError> {
     println!("AI strategy task over {ENTITIES} entities, tiled across accelerators:\n");
     let base = tiled(1)?;
@@ -37,6 +59,27 @@ fn main() -> Result<(), SimError> {
         println!(
             "  {accels:>6}   {cycles:>12}   {speedup:>6.2}x   {:>8.0}%",
             100.0 * speedup / f64::from(accels)
+        );
+    }
+
+    // Uniform tiles are the easy case — a static block split is already
+    // right. Skew the costs and compare the scheduling policies.
+    println!("\nSkewed tiles (24 tiles over 6 lanes, first quarter hot), by policy:\n");
+    let st = skewed(SchedPolicy::Static)?;
+    println!("  policy           cycles      vs static   steals   imbalance");
+    for policy in [
+        SchedPolicy::Static,
+        SchedPolicy::ShortestQueue,
+        SchedPolicy::WorkStealing,
+    ] {
+        let report = skewed(policy)?;
+        println!(
+            "  {:<14}   {:>9}   {:>8.2}x   {:>6}   {:>9.2}",
+            policy.name(),
+            report.cycles,
+            st.cycles as f64 / report.cycles as f64,
+            report.steals,
+            report.imbalance(),
         );
     }
 
@@ -56,7 +99,7 @@ fn main() -> Result<(), SimError> {
     "#;
     let program = compile(source, &Target::cell_like()).expect("fan-out compiles");
     let mut machine = Machine::new(MachineConfig::default())?;
-    let mut vm = offload_repro::offload_lang::Vm::new(&program, &mut machine)?;
+    let mut vm = Vm::new(&program, &mut machine)?;
     let fanout_exit = vm.run(&mut machine).expect("fan-out runs");
     let fanout_cycles = machine.host_now();
 

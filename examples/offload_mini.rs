@@ -11,7 +11,7 @@
 //! domain-miss exception, and the word-addressing error.
 
 use offload_repro::offload_lang::{compile, OffloadCachePolicy, Target, Vm, WordStrategy};
-use offload_repro::simcell::{Machine, MachineConfig};
+use offload_repro::offload_rt::prelude::*;
 
 const GAME: &str = r#"
     class Entity {

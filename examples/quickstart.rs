@@ -11,9 +11,7 @@
 //! software cache, and with one bulk `Array` accessor transfer — the
 //! progression paper §4.2 walks through.
 
-use offload_repro::offload_rt::ArrayAccessor;
-use offload_repro::simcell::{Machine, MachineConfig, SimError};
-use offload_repro::softcache::CacheConfig;
+use offload_repro::offload_rt::prelude::*;
 
 const N: u32 = 1024;
 
@@ -31,36 +29,43 @@ fn main() -> Result<(), SimError> {
     let expected: u32 = values.iter().sum();
 
     // 1. Naive: each element is a synchronous DMA round trip.
-    let naive = machine.run_offload(0, |ctx| -> Result<(u32, u64), SimError> {
-        let t0 = ctx.now();
-        let mut sum = 0u32;
-        for i in 0..N {
-            sum = sum.wrapping_add(ctx.outer_read_pod::<u32>(data.element(i, 4)?)?);
-        }
-        Ok((sum, ctx.now() - t0))
-    })??;
+    let naive = machine
+        .offload(0)
+        .run(|ctx| -> Result<(u32, u64), SimError> {
+            let t0 = ctx.now();
+            let mut sum = 0u32;
+            for i in 0..N {
+                sum = sum.wrapping_add(ctx.outer_read_pod::<u32>(data.element(i, 4)?)?);
+            }
+            Ok((sum, ctx.now() - t0))
+        })??;
 
     // 2. Through a software cache: misses fetch whole lines.
-    let cached = machine.run_offload(0, |ctx| -> Result<(u32, u64), SimError> {
-        let mut cache = ctx.new_cache(CacheConfig::direct_mapped_4k())?;
-        let t0 = ctx.now();
-        let mut sum = 0u32;
-        for i in 0..N {
-            sum = sum.wrapping_add(ctx.cached_read_pod::<u32, _>(&mut cache, data.element(i, 4)?)?);
-        }
-        Ok((sum, ctx.now() - t0))
-    })??;
+    let cached = machine
+        .offload(0)
+        .run(|ctx| -> Result<(u32, u64), SimError> {
+            let mut cache = ctx.new_cache(CacheConfig::direct_mapped_4k())?;
+            let t0 = ctx.now();
+            let mut sum = 0u32;
+            for i in 0..N {
+                sum = sum
+                    .wrapping_add(ctx.cached_read_pod::<u32, _>(&mut cache, data.element(i, 4)?)?);
+            }
+            Ok((sum, ctx.now() - t0))
+        })??;
 
     // 3. The Array accessor: one bulk transfer, then local reads.
-    let bulk = machine.run_offload(0, |ctx| -> Result<(u32, u64), SimError> {
-        let t0 = ctx.now();
-        let array = ArrayAccessor::<u32>::fetch(ctx, data, N)?;
-        let mut sum = 0u32;
-        for i in 0..N {
-            sum = sum.wrapping_add(array.get(ctx, i)?);
-        }
-        Ok((sum, ctx.now() - t0))
-    })??;
+    let bulk = machine
+        .offload(0)
+        .run(|ctx| -> Result<(u32, u64), SimError> {
+            let t0 = ctx.now();
+            let array = ArrayAccessor::<u32>::fetch(ctx, data, N)?;
+            let mut sum = 0u32;
+            for i in 0..N {
+                sum = sum.wrapping_add(array.get(ctx, i)?);
+            }
+            Ok((sum, ctx.now() - t0))
+        })??;
 
     for (name, (sum, cycles)) in [
         ("naive outer", naive),

@@ -16,7 +16,8 @@
 //! an untraced run bit for bit.
 
 use offload_repro::gamekit::{run_frame, AiConfig, EntityArray, FrameSchedule, WorldGen};
-use offload_repro::simcell::{ascii_timeline, chrome_trace_json, Machine, MachineConfig, SimError};
+use offload_repro::offload_rt::prelude::*;
+use offload_repro::simcell::{ascii_timeline, chrome_trace_json};
 
 const ENTITIES: u32 = 256;
 

@@ -28,8 +28,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use offload_repro::simcell::{Machine, MachineConfig, SimError};
-//! use offload_repro::offload_rt::ArrayAccessor;
+//! use offload_repro::offload_rt::prelude::*;
 //!
 //! # fn main() -> Result<(), SimError> {
 //! let mut machine = Machine::new(MachineConfig::default())?;
@@ -37,7 +36,7 @@
 //! machine.main_mut().write_pod_slice(data, &vec![1.0f32; 1024])?;
 //!
 //! // An offload block: runs on an accelerator, local store + DMA.
-//! let handle = machine.offload(0, |ctx| -> Result<f32, SimError> {
+//! let handle = machine.offload(0).spawn(|ctx| -> Result<f32, SimError> {
 //!     let array = ArrayAccessor::<f32>::fetch(ctx, data, 1024)?;
 //!     let mut sum = 0.0;
 //!     for i in 0..array.len() {

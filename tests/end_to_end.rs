@@ -55,7 +55,8 @@ fn language_and_runtime_share_one_machine() {
     // see indirectly through its own globals (disjoint allocations).
     let scratch = machine.alloc_main_slice::<u32>(64).unwrap();
     machine
-        .run_offload(0, |ctx| -> Result<(), SimError> {
+        .offload(0)
+        .run(|ctx| -> Result<(), SimError> {
             let mut array = ArrayAccessor::<u32>::for_output(ctx, scratch, 64)?;
             array.copy_from_slice(ctx, &[2u32; 64])?;
             array.write_back(ctx)
@@ -142,7 +143,8 @@ fn local_store_pressure_is_enforced_end_to_end() {
         .candidate_table(&mut machine, n, AiConfig::default().candidates)
         .unwrap();
     let result = machine
-        .run_offload(0, |ctx| {
+        .offload(0)
+        .run(|ctx| {
             offload_repro::gamekit::ai_frame_offloaded(ctx, &entities, table, &AiConfig::default())
         })
         .unwrap();

@@ -295,19 +295,17 @@ fn chunked_and_streamed_processing_agree() {
         };
 
         let (mut m1, r1) = build();
-        m1.run_offload(0, |ctx| {
-            process_chunked::<u32, _>(ctx, r1, len, config, work)
-        })
-        .unwrap()
-        .unwrap();
+        m1.offload(0)
+            .run(|ctx| process_chunked::<u32, _>(ctx, r1, len, config, work))
+            .unwrap()
+            .unwrap();
         let chunked = m1.main().read_pod_slice::<u32>(r1, len).unwrap();
 
         let (mut m2, r2) = build();
-        m2.run_offload(0, |ctx| {
-            process_stream::<u32, _>(ctx, r2, len, config, work)
-        })
-        .unwrap()
-        .unwrap();
+        m2.offload(0)
+            .run(|ctx| process_stream::<u32, _>(ctx, r2, len, config, work))
+            .unwrap()
+            .unwrap();
         let streamed = m2.main().read_pod_slice::<u32>(r2, len).unwrap();
 
         assert_eq!(chunked, streamed);
@@ -479,7 +477,8 @@ fn array_accessor_matches_direct_memory() {
         let mut mirror = initial.clone();
         let writes2 = writes.clone();
         machine
-            .run_offload(0, move |ctx| -> Result<(), SimError> {
+            .offload(0)
+            .run(move |ctx| -> Result<(), SimError> {
                 let mut array = ArrayAccessor::<u32>::fetch(ctx, remote, len)?;
                 for (index, value) in writes2 {
                     if index < len {
