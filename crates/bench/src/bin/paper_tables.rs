@@ -1,4 +1,4 @@
-//! Regenerates every table of the reproduction (E1–E15).
+//! Regenerates every table of the reproduction (E1–E16).
 //!
 //! Usage:
 //!
@@ -20,13 +20,16 @@
 //! in <https://ui.perfetto.dev>; `PROFILING.md` is the reading guide.
 //! It also writes `<file stem>-sched.json`: a work-stealing E15 frame
 //! whose scheduler lanes (tile slices, idle gaps, steals) PROFILING.md's
-//! "Reading the scheduler lane" section walks through.
+//! "Reading the scheduler lane" section walks through, and
+//! `<file stem>-faults.json`: a work-stealing E16 frame under a 5%
+//! fault plan whose fault lanes (injections, retries, evictions, host
+//! fallbacks) the "Reading the faults lane" section reads.
 //! `--stats` runs the same frame and prints the plain-text utilization
 //! report instead. Tracing is zero simulated cost, so neither flag
 //! perturbs any table.
 
 use bench::exp;
-use bench::profile::{traced_e2_frame, traced_sched_frame};
+use bench::profile::{traced_e2_frame, traced_fault_frame, traced_sched_frame};
 use bench::Table;
 use simcell::{chrome_trace_json, parse_chrome_trace};
 
@@ -66,15 +69,16 @@ fn write_trace(path: &str) {
         stats.host_cycles,
         stats.pairs,
     );
-    write_sched_trace(&sched_trace_path(path));
+    write_sched_trace(&suffixed_trace_path(path, "sched"));
+    write_fault_trace(&suffixed_trace_path(path, "faults"));
 }
 
-/// Derives the scheduler-trace path written next to the main one:
-/// `e2.json` → `e2-sched.json`.
-fn sched_trace_path(path: &str) -> String {
+/// Derives a sibling trace path written next to the main one:
+/// `e2.json` + `sched` → `e2-sched.json`.
+fn suffixed_trace_path(path: &str, suffix: &str) -> String {
     match path.strip_suffix(".json") {
-        Some(stem) => format!("{stem}-sched.json"),
-        None => format!("{path}-sched"),
+        Some(stem) => format!("{stem}-{suffix}.json"),
+        None => format!("{path}-{suffix}"),
     }
 }
 
@@ -115,6 +119,48 @@ fn write_sched_trace(path: &str) {
         machine.events().len(),
         report.tiles,
         report.steals,
+    );
+}
+
+/// Runs one work-stealing E16 frame under a 5% fault plan and writes
+/// its Chrome trace — fault lanes included — to `path`, round-tripping
+/// it through the parser with the same payload arithmetic as the other
+/// traces (every fault and recovery event exports as exactly one
+/// payload record).
+fn write_fault_trace(path: &str) {
+    let (machine, report) = traced_fault_frame(true);
+    let json = chrome_trace_json(machine.events());
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let back = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let parsed = parse_chrome_trace(&back)
+        .unwrap_or_else(|e| panic!("{path} does not parse as a Chrome trace: {e}"));
+    let payload = parsed.iter().filter(|e| e.ph != 'M').count();
+    let completed_offloads = machine
+        .events()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, simcell::EventKind::OffloadEnd { .. }))
+        .count();
+    assert_eq!(
+        payload,
+        machine.events().len() - completed_offloads,
+        "{path}: parsed payload event count must match the event log"
+    );
+    let fault_lanes = parsed
+        .iter()
+        .filter(|e| e.ph == 'M' && e.tid >= simcell::trace::FAULT_LANE_BASE)
+        .count();
+    assert!(
+        fault_lanes >= 1,
+        "{path}: a frame under fire must name at least one fault lane"
+    );
+    eprintln!(
+        "wrote {path}: {} events from one E16 frame under fire ({} faults, {} retries, \
+         {} host fallbacks) — the faults lane walkthrough in PROFILING.md reads this file",
+        machine.events().len(),
+        report.faults,
+        report.retries,
+        report.fallbacks,
     );
 }
 
@@ -165,6 +211,7 @@ fn main() {
         ("E13", exp::e13_code_loading::run),
         ("E14", exp::e14_multi_accel::run),
         ("E15", exp::e15_sched_policies::run),
+        ("E16", exp::e16_fault_recovery::run),
     ];
 
     eprintln!(

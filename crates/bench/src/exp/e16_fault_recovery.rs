@@ -1,0 +1,209 @@
+//! E16 (extension) — recovery overhead under a rising fault rate.
+//!
+//! The consoles the paper's teams shipped on treat a flaky DMA or a
+//! wedged coprocessor as a fatal bug; a robust runtime treats them as
+//! schedulable events. This experiment arms `simcell`'s deterministic
+//! fault plane over the E15 AI frame and dispatches it under all three
+//! `offload_rt::sched` policies with the full recovery stack on:
+//! transient faults (corrupted/dropped transfers, tag timeouts) retry
+//! with a cycle-accounted backoff, accelerators the plane kills are
+//! evicted mid-run, and tiles nothing can run degrade to the host at
+//! the cost model's honest penalty.
+//!
+//! Two invariants anchor the table. First, recovery is *exact*: every
+//! run, at every fault rate, produces the faultless frame's world
+//! bit-for-bit — retries restart tiles from a clean local-store mark,
+//! and completed writes overwrite any scribble damage. Second, the
+//! plane is *free when quiet*: an armed all-zero plan draws nothing
+//! from the fault RNG, so its cycles equal the no-plan run exactly.
+//! What the table shows is the price of the rest: overhead climbs with
+//! the rate, and work stealing absorbs evictions most gracefully
+//! because survivors inherit and rebalance dead lanes' queues.
+
+use gamekit::{ai_frame_sched, ai_frame_sched_recovering, AiConfig, EntityArray, WorldGen};
+use offload_rt::sched::{SchedPolicy, SchedReport};
+use simcell::{FaultPlan, Machine, MachineConfig};
+
+use crate::table::{cycles, speedup, Table};
+
+/// Accelerator lanes the dispatch uses.
+pub const ACCELS: u16 = 6;
+/// Tiles the frame is cut into.
+pub const TILES: u32 = 24;
+/// Retries per transient fault before the host fallback takes the tile.
+pub const RETRIES: u32 = 3;
+/// Backoff cycles charged per retry.
+pub const BACKOFF: u64 = 1_000;
+/// Seed of every fault plan (the schedule is a pure function of it).
+pub const FAULT_SEED: u64 = 0xE16;
+
+/// The fault rates the table sweeps (0 = armed-but-quiet plan).
+pub const RATES: [f32; 4] = [0.0, 0.02, 0.05, 0.10];
+
+/// Runs one frame under `policy` with a uniform fault plan at `rate`
+/// (`None` = no plan armed at all); returns the scheduler report and
+/// the resulting world snapshot.
+pub fn measure(
+    n: u32,
+    policy: SchedPolicy,
+    rate: Option<f32>,
+) -> (SchedReport, Vec<gamekit::GameEntity>) {
+    let config = AiConfig::default();
+    let mut machine = Machine::new(MachineConfig::default()).expect("config valid");
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    let mut gen = WorldGen::new(0xE16);
+    gen.populate(&mut machine, &entities, 70.0).expect("fits");
+    let table = gen
+        .candidate_table(&mut machine, n, config.candidates)
+        .expect("fits");
+    let report = match rate {
+        None => ai_frame_sched(
+            &mut machine,
+            &entities,
+            table,
+            &config,
+            ACCELS,
+            TILES,
+            policy,
+            &[],
+        )
+        .expect("tiles fit"),
+        Some(rate) => ai_frame_sched_recovering(
+            &mut machine,
+            &entities,
+            table,
+            &config,
+            ACCELS,
+            TILES,
+            policy,
+            FaultPlan::uniform(FAULT_SEED, rate),
+            RETRIES,
+            BACKOFF,
+        )
+        .expect("recovery absorbs every fault"),
+    };
+    assert_eq!(machine.races_detected(), 0);
+    let world = entities.snapshot(&machine).expect("snapshot reads");
+    (report, world)
+}
+
+/// Runs E16.
+pub fn run(quick: bool) -> Table {
+    let n = if quick { 512 } else { 1024 };
+    let mut table = Table::new(
+        "E16",
+        "Extension: fault injection and recovery overhead by scheduling policy",
+        "a deterministic fault plane (corrupt/dropped DMA, tag timeouts, accelerator death) \
+         plus retry/evict/host-fallback recovery; every run reproduces the faultless world \
+         bit-for-bit, and the armed-but-quiet plan costs zero cycles",
+        vec![
+            "policy",
+            "fault rate",
+            "frame AI cycles",
+            "vs faultless",
+            "faults",
+            "retries",
+            "fallbacks",
+            "evicted",
+        ],
+    );
+    for policy in [
+        SchedPolicy::Static,
+        SchedPolicy::ShortestQueue,
+        SchedPolicy::WorkStealing,
+    ] {
+        let (clean, clean_world) = measure(n, policy, None);
+        for rate in RATES {
+            let (report, world) = measure(n, policy, Some(rate));
+            assert_eq!(
+                world,
+                clean_world,
+                "{} @ {rate}: recovery must reproduce the faultless world exactly",
+                policy.name()
+            );
+            if rate == 0.0 {
+                assert_eq!(
+                    report.cycles,
+                    clean.cycles,
+                    "{}: an armed all-zero plan must cost nothing",
+                    policy.name()
+                );
+            }
+            table.push_row(vec![
+                policy.name().to_string(),
+                format!("{rate:.2}"),
+                cycles(report.cycles),
+                speedup(report.cycles, clean.cycles),
+                report.faults.to_string(),
+                report.retries.to_string(),
+                report.fallbacks.to_string(),
+                report.evicted.len().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_plan_is_cycle_identical_to_no_plan() {
+        for policy in [
+            SchedPolicy::Static,
+            SchedPolicy::ShortestQueue,
+            SchedPolicy::WorkStealing,
+        ] {
+            let (clean, clean_world) = measure(512, policy, None);
+            let (armed, armed_world) = measure(512, policy, Some(0.0));
+            assert_eq!(armed.cycles, clean.cycles, "{}", policy.name());
+            assert_eq!(armed_world, clean_world, "{}", policy.name());
+            assert_eq!(armed.faults, 0);
+        }
+    }
+
+    #[test]
+    fn recovery_reproduces_the_faultless_world_under_fire() {
+        let (_, clean_world) = measure(512, SchedPolicy::WorkStealing, None);
+        let (report, world) = measure(512, SchedPolicy::WorkStealing, Some(0.10));
+        assert!(report.faults > 0, "a 10% rate must inject something");
+        assert!(
+            report.retries > 0 || report.fallbacks > 0,
+            "and something must have recovered"
+        );
+        assert_eq!(world, clean_world);
+    }
+
+    #[test]
+    fn overhead_rises_with_the_fault_rate() {
+        let (clean, _) = measure(512, SchedPolicy::Static, None);
+        let (low, _) = measure(512, SchedPolicy::Static, Some(0.02));
+        let (high, _) = measure(512, SchedPolicy::Static, Some(0.10));
+        assert!(low.cycles >= clean.cycles);
+        assert!(
+            high.cycles > clean.cycles,
+            "10% faults cannot be free: {} vs {}",
+            high.cycles,
+            clean.cycles
+        );
+        assert!(high.faults > low.faults);
+    }
+
+    #[test]
+    fn runs_are_bit_identical_across_repeats() {
+        let a = measure(512, SchedPolicy::WorkStealing, Some(0.05));
+        let b = measure(512, SchedPolicy::WorkStealing, Some(0.05));
+        assert_eq!(a.0.cycles, b.0.cycles);
+        assert_eq!(a.0.faults, b.0.faults);
+        assert_eq!(a.0.evicted, b.0.evicted);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 12, "3 policies x 4 rates");
+        assert_eq!(t.columns.len(), 8);
+    }
+}

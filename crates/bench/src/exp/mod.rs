@@ -15,6 +15,7 @@ pub mod e12_cache_crossover;
 pub mod e13_code_loading;
 pub mod e14_multi_accel;
 pub mod e15_sched_policies;
+pub mod e16_fault_recovery;
 
 use crate::table::Table;
 
@@ -37,5 +38,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e13_code_loading::run(quick),
         e14_multi_accel::run(quick),
         e15_sched_policies::run(quick),
+        e16_fault_recovery::run(quick),
     ]
 }

@@ -84,6 +84,45 @@ pub fn traced_sched_frame(trace: bool) -> (Machine, offload_rt::sched::SchedRepo
     (machine, report)
 }
 
+/// Runs one E16 work-stealing frame under fire — a uniform fault plan
+/// at E16's middle rate with the full retry/evict/fallback stack on —
+/// with `trace` deciding whether the event log records. The returned
+/// machine's log carries the fault lanes (`faults N` in the Chrome
+/// export): injection instants and the retry / evict / host-fallback
+/// responses — the capture side of PROFILING.md's "Reading the faults
+/// lane".
+pub fn traced_fault_frame(trace: bool) -> (Machine, offload_rt::sched::SchedReport) {
+    use crate::exp::e16_fault_recovery::{ACCELS, BACKOFF, FAULT_SEED, RETRIES, TILES};
+    use gamekit::ai_frame_sched_recovering;
+    use offload_rt::sched::SchedPolicy;
+    use simcell::FaultPlan;
+
+    let n = 512;
+    let config = AiConfig::default();
+    let mut machine = Machine::new(MachineConfig::default()).expect("config valid");
+    machine.events_mut().set_enabled(trace);
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    let mut gen = WorldGen::new(0xE16);
+    gen.populate(&mut machine, &entities, 70.0).expect("fits");
+    let table = gen
+        .candidate_table(&mut machine, n, config.candidates)
+        .expect("fits");
+    let report = ai_frame_sched_recovering(
+        &mut machine,
+        &entities,
+        table,
+        &config,
+        ACCELS,
+        TILES,
+        SchedPolicy::WorkStealing,
+        FaultPlan::uniform(FAULT_SEED, 0.05),
+        RETRIES,
+        BACKOFF,
+    )
+    .expect("recovery absorbs every fault");
+    (machine, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +158,20 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.kind, simcell::EventKind::SchedSteal { .. })));
+    }
+
+    #[test]
+    fn traced_fault_frame_records_fault_events_at_zero_cost() {
+        let (machine, report) = traced_fault_frame(true);
+        let (_, untraced_report) = traced_fault_frame(false);
+        assert_eq!(report.cycles, untraced_report.cycles);
+        assert!(report.faults > 0, "the 5% plan must inject");
+        let events = machine.events().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, simcell::EventKind::FaultInjected { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, simcell::EventKind::RecoveryApplied { .. })));
     }
 }

@@ -5,8 +5,10 @@
 //! lanes, tracing is zero simulated cost and allocation-free when
 //! disabled, and the always-on counters agree with the event log.
 
-use bench::profile::{traced_e2_frame, traced_e2_frame_cycles, traced_sched_frame};
-use simcell::trace::{accel_tid, dma_tid, sched_tid};
+use bench::profile::{
+    traced_e2_frame, traced_e2_frame_cycles, traced_fault_frame, traced_sched_frame,
+};
+use simcell::trace::{accel_tid, dma_tid, fault_tid, sched_tid};
 use simcell::{
     chrome_trace_json, parse_chrome_trace, ChromeEvent, EventKind, Machine, MachineConfig,
 };
@@ -149,6 +151,54 @@ fn scheduler_lanes_round_trip_through_the_chrome_parser() {
 
     // Tracing the schedule costs zero simulated cycles.
     let (_, untraced) = traced_sched_frame(false);
+    assert_eq!(report.cycles, untraced.cycles);
+}
+
+/// The fault-lane half of the `--trace` smoke test: a traced E16 frame
+/// under fire exports a named `faults N` lane for every accelerator the
+/// plan hit, every injection and recovery instant survives the
+/// parse_chrome_trace round trip, and the instant counts agree with the
+/// scheduler report's always-on counters.
+#[test]
+fn fault_lanes_round_trip_through_the_chrome_parser() {
+    let (machine, report) = traced_fault_frame(true);
+    assert!(report.faults > 0, "the 5% plan must inject");
+    let json = chrome_trace_json(machine.events());
+    let parsed = parse_chrome_trace(&json).expect("valid JSON");
+
+    assert!(
+        parsed
+            .iter()
+            .any(|e| e.ph == 'M' && e.name == "thread_name" && e.tid >= fault_tid(0)),
+        "every accelerator the plan hit gets a named faults lane"
+    );
+    let injections = parsed
+        .iter()
+        .filter(|e| e.ph == 'i' && e.tid >= fault_tid(0))
+        .filter(|e| {
+            matches!(
+                e.name.as_str(),
+                "dma_corrupt"
+                    | "dma_drop"
+                    | "tag_timeout"
+                    | "accel_stall"
+                    | "accel_death"
+                    | "ls_poison"
+            )
+        })
+        .count();
+    assert_eq!(
+        injections as u64, report.faults,
+        "every injected fault becomes one instant on a fault lane"
+    );
+    let retries = parsed
+        .iter()
+        .filter(|e| e.ph == 'i' && e.name == "retry" && e.tid >= fault_tid(0))
+        .count();
+    assert_eq!(retries as u64, report.retries);
+
+    // Tracing the frame under fire costs zero simulated cycles.
+    let (_, untraced) = traced_fault_frame(false);
     assert_eq!(report.cycles, untraced.cycles);
 }
 

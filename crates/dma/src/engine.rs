@@ -570,6 +570,39 @@ impl DmaEngine {
         !self.queues[tag.raw() as usize].is_empty()
     }
 
+    /// Number of in-flight commands whose tag is in `mask`.
+    ///
+    /// Pure inspection: nothing is retired and no time passes. Fault
+    /// layers use this to ask "would this wait actually block?" before
+    /// deciding whether a timeout can plausibly be injected.
+    pub fn pending_on(&self, mask: TagMask) -> usize {
+        let mut bits = mask.bits();
+        let mut pending = 0;
+        while bits != 0 {
+            let raw = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            pending += self.queues[raw].len();
+        }
+        pending
+    }
+
+    /// Drops every in-flight command without waiting for it.
+    ///
+    /// Models the engine of a dead accelerator: queued transfers are
+    /// abandoned (their eager byte movement already happened and is not
+    /// undone — on real hardware the data is simply in an undefined
+    /// state, which the simulation approximates as "whatever landed").
+    /// Retires the commands with the race checker so later accesses are
+    /// not flagged against ghosts.
+    pub fn purge(&mut self) {
+        for queue in &mut self.queues {
+            while let Some(cmd) = queue.pop_front() {
+                self.checker.note_retire(cmd.id);
+                self.inflight_count -= 1;
+            }
+        }
+    }
+
     /// Records a direct core access to the local store so the race
     /// checker can flag conflicts with in-flight transfers.
     ///
@@ -872,6 +905,87 @@ mod tests {
             .unwrap();
         let done = engine.wait(tag(0).mask(), resume);
         assert_eq!(engine.stats().stall_cycles, done - resume);
+    }
+
+    #[test]
+    fn pending_on_counts_only_masked_tags() {
+        let (mut main, mut ls, mut engine) = setup();
+        assert_eq!(engine.pending_on(TagMask::ALL), 0);
+        engine
+            .get(
+                0,
+                Addr::new(SpaceId::local_store(0), 0x100),
+                Addr::new(SpaceId::MAIN, 0x1000),
+                16,
+                tag(1),
+                &mut main,
+                &mut ls,
+            )
+            .unwrap();
+        engine
+            .get(
+                0,
+                Addr::new(SpaceId::local_store(0), 0x200),
+                Addr::new(SpaceId::MAIN, 0x2000),
+                16,
+                tag(1),
+                &mut main,
+                &mut ls,
+            )
+            .unwrap();
+        engine
+            .get(
+                0,
+                Addr::new(SpaceId::local_store(0), 0x300),
+                Addr::new(SpaceId::MAIN, 0x3000),
+                16,
+                tag(4),
+                &mut main,
+                &mut ls,
+            )
+            .unwrap();
+        assert_eq!(engine.pending_on(tag(1).mask()), 2);
+        assert_eq!(engine.pending_on(tag(4).mask()), 1);
+        assert_eq!(engine.pending_on(tag(9).mask()), 0);
+        assert_eq!(engine.pending_on(TagMask::ALL), 3);
+        // Inspection retires nothing.
+        assert_eq!(engine.inflight_len(), 3);
+        engine.wait(tag(1).mask(), 0);
+        assert_eq!(engine.pending_on(TagMask::ALL), 1);
+    }
+
+    #[test]
+    fn purge_abandons_in_flight_commands() {
+        let (mut main, mut ls, mut engine) = setup();
+        engine
+            .get(
+                0,
+                Addr::new(SpaceId::local_store(0), 0x100),
+                Addr::new(SpaceId::MAIN, 0x1000),
+                64,
+                tag(3),
+                &mut main,
+                &mut ls,
+            )
+            .unwrap();
+        engine
+            .put(
+                0,
+                Addr::new(SpaceId::local_store(0), 0x200),
+                Addr::new(SpaceId::MAIN, 0x2000),
+                64,
+                tag(7),
+                &mut main,
+                &mut ls,
+            )
+            .unwrap();
+        assert_eq!(engine.inflight_len(), 2);
+        engine.purge();
+        assert_eq!(engine.inflight_len(), 0);
+        assert!(!engine.tag_busy(tag(3)));
+        assert!(!engine.tag_busy(tag(7)));
+        // A purged engine waits for nothing: the caller resumes at once.
+        assert_eq!(engine.wait_all(5), 5);
     }
 
     #[test]

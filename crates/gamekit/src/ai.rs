@@ -18,7 +18,7 @@
 use memspace::Addr;
 use offload_rt::sched::{SchedExt, SchedPolicy, SchedReport};
 use offload_rt::ArrayAccessor;
-use simcell::{AccelCtx, Machine, SimError};
+use simcell::{AccelCtx, FaultPlan, Machine, SimError};
 
 use crate::entity::{state, EntityArray, GameEntity};
 use crate::math::Vec3;
@@ -282,6 +282,85 @@ pub fn ai_frame_sched(
     Ok(report)
 }
 
+/// Runs one AI frame as scheduled tiles under an armed fault plan —
+/// the E16 workload: [`ai_frame_sched`]'s tile body behind the
+/// recovery layer (`retries`/`backoff` per transient fault, dead-lane
+/// eviction, host fallback for whatever is left).
+///
+/// World results still match the fault-free frame bit-for-bit: every
+/// retried tile restarts from a clean local-store mark and re-fetches
+/// its inputs, and host-fallback tiles run the same body with faults
+/// suppressed.
+///
+/// # Errors
+///
+/// As for [`ai_frame_sched`]; with the host fallback armed, injected
+/// faults never surface as errors.
+#[allow(clippy::too_many_arguments)] // an experiment entry point: all knobs are the point
+pub fn ai_frame_sched_recovering(
+    machine: &mut Machine,
+    entities: &EntityArray,
+    candidate_table: Addr,
+    config: &AiConfig,
+    accels: u16,
+    tiles: u32,
+    policy: SchedPolicy,
+    plan: FaultPlan,
+    retries: u32,
+    backoff: u64,
+) -> Result<SchedReport, SimError> {
+    if accels == 0 || accels > machine.accel_count() {
+        return Err(SimError::BadConfig {
+            reason: format!(
+                "tiling needs 1..={} accelerators, got {accels}",
+                machine.accel_count()
+            ),
+        });
+    }
+    let n = entities.len();
+    let k = config.candidates;
+    let (_, report) = machine
+        .offload(0)
+        .label("ai tile")
+        .faults(plan)
+        .sched(policy)
+        .accels(accels)
+        .retry(retries)
+        .backoff(backoff)
+        .fallback_host()
+        .run_tiles(tiles, |ctx, tile| -> Result<(), SimError> {
+            let begin = n * tile / tiles;
+            let end = n * (tile + 1) / tiles;
+            let all = ArrayAccessor::<GameEntity>::fetch(ctx, entities.base(), n)?;
+            let count = end - begin;
+            if count == 0 {
+                return Ok(());
+            }
+            let table_slice = ArrayAccessor::<u32>::fetch(
+                ctx,
+                candidate_table.element(begin * k, 4)?,
+                count * k,
+            )?;
+            let mut out =
+                ArrayAccessor::<GameEntity>::for_output(ctx, entities.addr_of(begin)?, count)?;
+            for i in 0..count {
+                let mut me = all.get(ctx, begin + i)?;
+                let mut candidates = Vec::with_capacity(k as usize);
+                for j in 0..k {
+                    let idx = table_slice.get(ctx, i * k + j)?;
+                    let c = all.get(ctx, idx)?;
+                    ctx.compute(config.per_candidate_compute);
+                    candidates.push((idx, c.pos, c.health));
+                }
+                decide(&mut me, begin + i, &candidates);
+                ctx.compute(config.think_compute);
+                out.set(ctx, i, &me)?;
+            }
+            out.write_back(ctx)
+        })?;
+    Ok(report)
+}
+
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)] // building test fixtures field-by-field reads best
 mod tests {
@@ -445,6 +524,64 @@ mod tests {
             .unwrap();
         assert!(ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 0).is_err());
         assert!(ai_frame_offloaded_tiled(&mut machine, &entities, table, &config, 9).is_err());
+    }
+
+    #[test]
+    fn recovered_frame_matches_the_faultless_world_bit_for_bit() {
+        let config = AiConfig::default();
+        let build = |n: u32| {
+            let mut machine = Machine::new(MachineConfig::default()).unwrap();
+            let entities = EntityArray::alloc(&mut machine, n).unwrap();
+            let mut gen = WorldGen::new(47);
+            gen.populate(&mut machine, &entities, 70.0).unwrap();
+            let table = gen
+                .candidate_table(&mut machine, n, config.candidates)
+                .unwrap();
+            (machine, entities, table)
+        };
+
+        let (mut m1, e1, t1) = build(256);
+        ai_frame_sched(
+            &mut m1,
+            &e1,
+            t1,
+            &config,
+            4,
+            8,
+            SchedPolicy::WorkStealing,
+            &[],
+        )
+        .unwrap();
+        let reference = e1.snapshot(&m1).unwrap();
+
+        let (mut m2, e2, t2) = build(256);
+        let plan = FaultPlan::new(0xe16)
+            .with_dma_corrupt(0.02)
+            .with_tag_timeout(0.02)
+            .with_accel_death(0.02);
+        let report = ai_frame_sched_recovering(
+            &mut m2,
+            &e2,
+            t2,
+            &config,
+            4,
+            8,
+            SchedPolicy::WorkStealing,
+            plan,
+            3,
+            1_000,
+        )
+        .unwrap();
+        assert!(
+            report.faults > 0,
+            "this seed must inject something for the test to mean anything"
+        );
+        assert_eq!(
+            e2.snapshot(&m2).unwrap(),
+            reference,
+            "recovery must reproduce the faultless world exactly"
+        );
+        assert_eq!(m2.races_detected(), 0);
     }
 
     #[test]

@@ -31,10 +31,10 @@
 
 use memspace::{impl_pod, Addr, Pod};
 use offload_rt::{
-    accel_virtual_dispatch, host_virtual_dispatch, ArrayAccessor, ClassId, ClassRegistry,
-    DispatchError, Domain, DuplicateId, FnAddr, MethodSlot, MethodTable,
+    accel_virtual_dispatch, host_virtual_dispatch, ArrayAccessor, ClassRegistry, Domain,
+    DuplicateId, FnAddr, MethodSlot, MethodTable,
 };
-use simcell::{Machine, SimError};
+use simcell::{DispatchFault, Machine, SimError};
 
 use crate::workload::WorldGen;
 
@@ -368,14 +368,14 @@ impl ComponentSystem {
         &self.registry
     }
 
-    fn behaviour_of(&self, addr: FnAddr) -> Result<ComponentBehavior, DispatchError> {
+    fn behaviour_of(&self, addr: FnAddr) -> Result<ComponentBehavior, SimError> {
         self.behaviors
             .get(addr)
             .copied()
-            .ok_or(DispatchError::NoSuchMethod {
-                class: ClassId(u32::MAX),
-                slot: UPDATE_SLOT,
-            })
+            .ok_or(SimError::Dispatch(DispatchFault::NoSuchMethod {
+                class: u32::MAX,
+                slot: UPDATE_SLOT.0,
+            }))
     }
 
     /// Updates every component on the host (no offloading) — the
@@ -389,9 +389,8 @@ impl ComponentSystem {
         let mut vcalls = 0u64;
         for i in 0..self.total {
             let addr = self.monolithic.element(i, Component::STRIDE)?;
-            let target = host_virtual_dispatch(machine, &self.registry, addr, UPDATE_SLOT)
-                .map_err(dispatch_to_sim)?;
-            let behaviour = self.behaviour_of(target).map_err(dispatch_to_sim)?;
+            let target = host_virtual_dispatch(machine, &self.registry, addr, UPDATE_SLOT)?;
+            let behaviour = self.behaviour_of(target)?;
             let mut comp: Component = machine.host_read_pod(addr)?;
             (behaviour.transform)(&mut comp.data);
             machine.host_compute(behaviour.compute);
@@ -437,9 +436,8 @@ impl ComponentSystem {
                         addr,
                         UPDATE_SLOT,
                         DuplicateId(0b1),
-                    )
-                    .map_err(dispatch_to_sim)?;
-                    let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
+                    )?;
+                    let behaviour = self.behaviour_of(local_fn)?;
                     let mut comp: Component = ctx.outer_read_pod(addr)?;
                     (behaviour.transform)(&mut comp.data);
                     ctx.compute(behaviour.compute);
@@ -490,9 +488,8 @@ impl ComponentSystem {
                             obj,
                             UPDATE_SLOT,
                             DuplicateId::ALL_LOCAL,
-                        )
-                        .map_err(dispatch_to_sim)?;
-                        let behaviour = self.behaviour_of(local_fn).map_err(dispatch_to_sim)?;
+                        )?;
+                        let behaviour = self.behaviour_of(local_fn)?;
                         let mut comp = array.get(ctx, i)?;
                         (behaviour.transform)(&mut comp.data);
                         ctx.compute(behaviour.compute);
@@ -541,18 +538,6 @@ impl ComponentSystem {
             .into_iter()
             .map(|c| (c.entity, c.class, c.data.map(f32::to_bits)))
             .collect())
-    }
-}
-
-/// Folds a dispatch error into a simulator error for `?` interop (a
-/// domain miss is a programming error in these fixed workloads, so it
-/// surfaces as `BadConfig` with the informative message).
-fn dispatch_to_sim(err: DispatchError) -> SimError {
-    match err {
-        DispatchError::Sim(e) => e,
-        other => SimError::BadConfig {
-            reason: other.to_string(),
-        },
     }
 }
 

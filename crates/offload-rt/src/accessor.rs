@@ -81,6 +81,9 @@ impl<T: Pod> ArrayAccessor<T> {
         let bytes = (T::SIZE as u32) * len;
         transfer_chunked(ctx, local, remote, bytes, TransferDir::Get)?;
         ctx.dma_wait_tag(Self::tag());
+        // Surface an injected tag timeout before handing the (possibly
+        // incomplete) array to the caller.
+        ctx.check_faults()?;
         ctx.span_end("accessor.fetch");
         Ok(accessor)
     }
@@ -186,6 +189,7 @@ impl<T: Pod> ArrayAccessor<T> {
         let bytes = (T::SIZE as u32) * self.len;
         transfer_chunked(ctx, self.local, self.remote, bytes, TransferDir::Put)?;
         ctx.dma_wait_tag(Self::tag());
+        ctx.check_faults()?;
         self.dirty = false;
         ctx.span_end("accessor.write_back");
         Ok(())

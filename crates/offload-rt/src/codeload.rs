@@ -18,10 +18,10 @@
 
 use dma::Tag;
 use memspace::Addr;
-use simcell::{AccelCtx, Machine, SimError};
+use simcell::{AccelCtx, DispatchFault, Machine, SimError};
 
 use crate::domain::{
-    accel_virtual_dispatch, ClassRegistry, DispatchError, Domain, DuplicateId, FnAddr, MethodSlot,
+    accel_virtual_dispatch, ClassRegistry, Domain, DuplicateId, FnAddr, MethodSlot,
 };
 
 /// DMA tag used for code transfers.
@@ -203,7 +203,7 @@ impl CodeLoader {
 /// # Errors
 ///
 /// Propagates header-read, unknown-class and transfer failures — but
-/// never [`DispatchError::Miss`].
+/// never [`DispatchFault::DomainMiss`].
 #[allow(clippy::too_many_arguments)]
 pub fn dispatch_with_loading(
     ctx: &mut AccelCtx<'_>,
@@ -214,14 +214,13 @@ pub fn dispatch_with_loading(
     slot: MethodSlot,
     duplicate: DuplicateId,
     code_size: u32,
-) -> Result<FnAddr, DispatchError> {
+) -> Result<FnAddr, SimError> {
     match accel_virtual_dispatch(ctx, registry, domain, obj, slot, duplicate) {
         Ok(local) => Ok(local),
-        Err(DispatchError::Miss(miss)) => {
-            loader
-                .ensure_loaded(ctx, miss.target, code_size)
-                .map_err(DispatchError::Sim)?;
-            Ok(miss.target)
+        Err(SimError::Dispatch(DispatchFault::DomainMiss { target, .. })) => {
+            let target = FnAddr(target);
+            loader.ensure_loaded(ctx, target, code_size)?;
+            Ok(target)
         }
         Err(other) => Err(other),
     }
@@ -275,10 +274,7 @@ mod tests {
                     MethodSlot(0),
                     DuplicateId(1),
                     DEFAULT_CODE_SIZE,
-                )
-                .map_err(|e| SimError::BadConfig {
-                    reason: e.to_string(),
-                })?;
+                )?;
                 assert_eq!(loader.stats().loads, 1);
                 assert_eq!(loader.stats().bytes_loaded, u64::from(DEFAULT_CODE_SIZE));
                 Ok::<_, SimError>(f)
@@ -408,10 +404,7 @@ mod tests {
                     MethodSlot(0),
                     DuplicateId(1),
                     4096,
-                )
-                .map_err(|e| SimError::BadConfig {
-                    reason: e.to_string(),
-                })?;
+                )?;
                 Ok::<_, SimError>(())
             })
             .unwrap();

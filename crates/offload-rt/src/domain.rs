@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use memspace::Addr;
-use simcell::{AccelCtx, CostModel, Machine, SimError};
+use simcell::{AccelCtx, CostModel, DispatchFault, Machine, SimError};
 
 /// The address of a compiled function (host or local ISA).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -186,54 +186,6 @@ impl LookupCost {
     }
 }
 
-/// The informative exception raised on a domain miss.
-///
-/// "At present, if a dynamically dispatched function does not provide a
-/// match in the inner domain, an exception is generated, providing
-/// information which the programmer can use to tell the compiler which
-/// methods should be pre-compiled for local dynamic dispatch."
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct DomainMiss {
-    /// The host function address that was dispatched.
-    pub target: FnAddr,
-    /// The memory-space signature that was required.
-    pub duplicate: DuplicateId,
-    /// Whether the function was in the outer domain at all (if so, only
-    /// the required duplicate is missing).
-    pub outer_matched: bool,
-    /// Outer-domain entries searched before giving up.
-    pub outer_searched: u32,
-    /// Method name, when known.
-    pub method_name: Option<String>,
-}
-
-impl fmt::Display for DomainMiss {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = self
-            .method_name
-            .as_deref()
-            .map(|n| format!(" ({n})"))
-            .unwrap_or_default();
-        if self.outer_matched {
-            write!(
-                f,
-                "dispatch-domain miss: {}{name} is in the domain but no duplicate was compiled for \
-                 memory-space signature {}; annotate the offload so the compiler emits it",
-                self.target, self.duplicate
-            )
-        } else {
-            write!(
-                f,
-                "dispatch-domain miss: {}{name} is not in the offload's domain (searched {} \
-                 entries); add it to the domain annotation so it is pre-compiled for local dispatch",
-                self.target, self.outer_searched
-            )
-        }
-    }
-}
-
-impl std::error::Error for DomainMiss {}
-
 /// The outer/inner dispatch domain of one offload block (Figure 3).
 #[derive(Clone, Debug, Default)]
 pub struct Domain {
@@ -284,13 +236,15 @@ impl Domain {
     ///
     /// # Errors
     ///
-    /// Returns the informative [`DomainMiss`] when the function or the
-    /// required duplicate was not pre-compiled.
+    /// Returns the informative [`DispatchFault::DomainMiss`] (the
+    /// paper's "exception providing information which the programmer
+    /// can use") when the function or the required duplicate was not
+    /// pre-compiled.
     pub fn lookup(
         &self,
         target: FnAddr,
         duplicate: DuplicateId,
-    ) -> Result<(FnAddr, LookupCost), DomainMiss> {
+    ) -> Result<(FnAddr, LookupCost), SimError> {
         for (i, &entry) in self.outer.iter().enumerate() {
             if entry == target {
                 let outer_probes = i as u32 + 1;
@@ -305,22 +259,24 @@ impl Domain {
                         ));
                     }
                 }
-                return Err(DomainMiss {
-                    target,
-                    duplicate,
+                return Err(DispatchFault::DomainMiss {
+                    target: target.0,
+                    duplicate: duplicate.0,
                     outer_matched: true,
                     outer_searched: outer_probes,
                     method_name: None,
-                });
+                }
+                .into());
             }
         }
-        Err(DomainMiss {
-            target,
-            duplicate,
+        Err(DispatchFault::DomainMiss {
+            target: target.0,
+            duplicate: duplicate.0,
             outer_matched: false,
             outer_searched: self.outer.len() as u32,
             method_name: None,
-        })
+        }
+        .into())
     }
 }
 
@@ -368,64 +324,6 @@ impl<F> fmt::Debug for MethodTable<F> {
     }
 }
 
-/// Errors raised during a full virtual dispatch.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum DispatchError {
-    /// The object header named a class id that was never registered.
-    UnknownClass {
-        /// The raw class id read from the object.
-        raw: u32,
-    },
-    /// The class has no implementation in the requested slot.
-    NoSuchMethod {
-        /// The class.
-        class: ClassId,
-        /// The slot.
-        slot: MethodSlot,
-    },
-    /// The domain lookup failed (accelerator side only).
-    Miss(DomainMiss),
-    /// A simulator error while reading the object header.
-    Sim(SimError),
-}
-
-impl fmt::Display for DispatchError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DispatchError::UnknownClass { raw } => {
-                write!(f, "unknown class id {raw} in object header")
-            }
-            DispatchError::NoSuchMethod { class, slot } => {
-                write!(f, "class {} has no method in slot {}", class.0, slot.0)
-            }
-            DispatchError::Miss(miss) => miss.fmt(f),
-            DispatchError::Sim(err) => err.fmt(f),
-        }
-    }
-}
-
-impl std::error::Error for DispatchError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            DispatchError::Miss(miss) => Some(miss),
-            DispatchError::Sim(err) => Some(err),
-            _ => None,
-        }
-    }
-}
-
-impl From<DomainMiss> for DispatchError {
-    fn from(miss: DomainMiss) -> DispatchError {
-        DispatchError::Miss(miss)
-    }
-}
-
-impl From<SimError> for DispatchError {
-    fn from(err: SimError) -> DispatchError {
-        DispatchError::Sim(err)
-    }
-}
-
 /// Performs a full accelerator-side virtual dispatch of `obj`'s method
 /// in `slot`, returning the *local* function address to call.
 ///
@@ -437,8 +335,8 @@ impl From<SimError> for DispatchError {
 /// # Errors
 ///
 /// Propagates header-read failures, unknown classes/slots, and
-/// [`DomainMiss`] (with the method name filled in when the registry
-/// knows it).
+/// [`DispatchFault::DomainMiss`] (with the method name filled in when
+/// the registry knows it).
 pub fn accel_virtual_dispatch(
     ctx: &mut AccelCtx<'_>,
     registry: &ClassRegistry,
@@ -446,7 +344,7 @@ pub fn accel_virtual_dispatch(
     obj: Addr,
     slot: MethodSlot,
     duplicate: DuplicateId,
-) -> Result<FnAddr, DispatchError> {
+) -> Result<FnAddr, SimError> {
     let raw: u32 = if obj.space() == ctx.local_space() {
         ctx.local_read_pod(obj)?
     } else {
@@ -454,22 +352,28 @@ pub fn accel_virtual_dispatch(
     };
     let class = ClassId(raw);
     if !registry.is_class(class) {
-        return Err(DispatchError::UnknownClass { raw });
+        return Err(DispatchFault::UnknownClass { raw }.into());
     }
     let vcall = ctx.cost().vcall;
     ctx.compute(vcall);
-    let target = registry
-        .resolve(class, slot)
-        .ok_or(DispatchError::NoSuchMethod { class, slot })?;
+    let target =
+        registry
+            .resolve(class, slot)
+            .ok_or(SimError::Dispatch(DispatchFault::NoSuchMethod {
+                class: class.0,
+                slot: slot.0,
+            }))?;
     match domain.lookup(target, duplicate) {
         Ok((local, lookup)) => {
             let cycles = lookup.cycles(ctx.cost());
             ctx.compute(cycles);
             Ok(local)
         }
-        Err(mut miss) => {
-            miss.method_name = registry.fn_name(target).map(str::to_owned);
-            Err(DispatchError::Miss(miss))
+        Err(mut err) => {
+            if let SimError::Dispatch(DispatchFault::DomainMiss { method_name, .. }) = &mut err {
+                *method_name = registry.fn_name(target).map(str::to_owned);
+            }
+            Err(err)
         }
     }
 }
@@ -485,16 +389,19 @@ pub fn host_virtual_dispatch(
     registry: &ClassRegistry,
     obj: Addr,
     slot: MethodSlot,
-) -> Result<FnAddr, DispatchError> {
+) -> Result<FnAddr, SimError> {
     let raw: u32 = machine.host_read_pod(obj)?;
     let class = ClassId(raw);
     if !registry.is_class(class) {
-        return Err(DispatchError::UnknownClass { raw });
+        return Err(DispatchFault::UnknownClass { raw }.into());
     }
     machine.host_compute(machine.cost().vcall);
     registry
         .resolve(class, slot)
-        .ok_or(DispatchError::NoSuchMethod { class, slot })
+        .ok_or(SimError::Dispatch(DispatchFault::NoSuchMethod {
+            class: class.0,
+            slot: slot.0,
+        }))
 }
 
 /// Reads the class id header of an object on the host (cost-free setup
@@ -594,11 +501,17 @@ mod tests {
     #[test]
     fn miss_when_function_not_in_domain() {
         let domain = Domain::new();
-        let miss = domain
+        let err = domain
             .lookup(FnAddr(0x42), DuplicateId::ALL_LOCAL)
             .unwrap_err();
-        assert!(!miss.outer_matched);
-        assert!(miss.to_string().contains("not in the offload's domain"));
+        assert!(matches!(
+            err,
+            SimError::Dispatch(DispatchFault::DomainMiss {
+                outer_matched: false,
+                ..
+            })
+        ));
+        assert!(err.to_string().contains("not in the offload's domain"));
     }
 
     #[test]
@@ -606,9 +519,15 @@ mod tests {
         let mut domain = Domain::new();
         let f = FnAddr(0x100);
         domain.add(f, &[(DuplicateId(0b01), FnAddr(0x9000))]);
-        let miss = domain.lookup(f, DuplicateId(0b10)).unwrap_err();
-        assert!(miss.outer_matched);
-        let text = miss.to_string();
+        let err = domain.lookup(f, DuplicateId(0b10)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Dispatch(DispatchFault::DomainMiss {
+                outer_matched: true,
+                ..
+            })
+        ));
+        let text = err.to_string();
         assert!(text.contains("no duplicate"));
         assert!(text.contains("dup0b10"));
     }
@@ -674,7 +593,7 @@ mod tests {
 
         let (outer_cost, local_cost) = m
             .offload(0)
-            .run(|ctx| -> Result<(u64, u64), DispatchError> {
+            .run(|ctx| -> Result<(u64, u64), SimError> {
                 let t0 = ctx.now();
                 accel_virtual_dispatch(
                     ctx,
@@ -743,11 +662,17 @@ mod tests {
 
         m.main_mut().write_pod(obj, &999u32).unwrap();
         let err = host_virtual_dispatch(&mut m, &reg, obj, MethodSlot(0)).unwrap_err();
-        assert!(matches!(err, DispatchError::UnknownClass { raw: 999 }));
+        assert!(matches!(
+            err,
+            SimError::Dispatch(DispatchFault::UnknownClass { raw: 999 })
+        ));
 
         m.main_mut().write_pod(obj, &entity.0).unwrap();
         let err = host_virtual_dispatch(&mut m, &reg, obj, MethodSlot(7)).unwrap_err();
-        assert!(matches!(err, DispatchError::NoSuchMethod { .. }));
+        assert!(matches!(
+            err,
+            SimError::Dispatch(DispatchFault::NoSuchMethod { .. })
+        ));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use accessor::ArrayAccessor;
 pub use codeload::{dispatch_with_loading, CodeLoader, CodeLoaderStats, DEFAULT_CODE_SIZE};
 pub use domain::{
     accel_virtual_dispatch, class_of, host_virtual_dispatch, set_class, ClassId, ClassRegistry,
-    DispatchError, Domain, DomainMiss, DuplicateId, FnAddr, LookupCost, MethodSlot, MethodTable,
+    Domain, DuplicateId, FnAddr, LookupCost, MethodSlot, MethodTable,
 };
 pub use sched::{SchedExt, SchedPolicy, SchedReport, TileScheduler};
 pub use stream::{process_chunked, process_stream, StreamConfig};

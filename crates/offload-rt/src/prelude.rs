@@ -7,7 +7,10 @@
 //! the repository import exactly this.
 
 pub use memspace::{Addr, Pod, SpaceId};
-pub use simcell::{AccelCtx, Machine, MachineConfig, OffloadBuilder, OffloadHandle, SimError};
+pub use simcell::{
+    AccelCtx, DispatchFault, FaultError, FaultPlan, Machine, MachineConfig, OffloadBuilder,
+    OffloadHandle, SimError,
+};
 pub use softcache::{autotune::autotune, CacheChoice, CacheConfig, TunedCache};
 
 pub use crate::accessor::ArrayAccessor;

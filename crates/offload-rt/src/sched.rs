@@ -33,6 +33,33 @@
 //! accelerator (see `simcell::trace` and the repository's
 //! `PROFILING.md`).
 //!
+//! # Recovery
+//!
+//! When a deterministic fault plan is armed (via the builder's
+//! `.faults(plan)` or [`TileScheduler::faults`]), the scheduler grows a
+//! recovery layer configured by [`TileScheduler::retry`],
+//! [`TileScheduler::backoff`] and [`TileScheduler::fallback_host`]:
+//!
+//! - **Retry with backoff**: a tile whose closure hits a *transient*
+//!   fault (DMA corruption/drop, tag timeout, local-store poison) is
+//!   re-run on the same accelerator, up to the configured retry count.
+//!   Each retry releases the tile's local-store allocations, quiesces
+//!   the DMA engine, charges the backoff cycles on the accelerator
+//!   clock, and records a `retry` event on the faults lane.
+//! - **Eviction**: an accelerator the fault plane kills is removed from
+//!   the live lane set mid-dispatch. Its queued tiles are redistributed
+//!   round-robin over the survivors (under work stealing the thieves
+//!   then rebalance them as usual); an `evict` event notes the move.
+//! - **Host fallback**: with [`TileScheduler::fallback_host`], a tile
+//!   that exhausts its retries — or that no live accelerator remains to
+//!   run — degrades to host execution via
+//!   [`simcell::Machine::run_host_fallback`], paying the cost model's
+//!   honest `host_fallback_factor` penalty. Without it, the fault
+//!   surfaces as the dispatch error.
+//!
+//! With no plan armed (or an all-zero plan) none of this draws from the
+//! fault RNG and the schedule is bit-identical to the fault-free one.
+//!
 //! # Example
 //!
 //! ```
@@ -61,7 +88,9 @@
 
 use std::collections::VecDeque;
 
-use simcell::{AccelCtx, Machine, OffloadBuilder, OffloadHandle, SimError};
+use simcell::{
+    AccelCtx, FaultError, FaultPlan, Machine, OffloadBuilder, OffloadHandle, OffloadParts, SimError,
+};
 use softcache::CacheChoice;
 
 /// How a [`TileScheduler`] maps tiles onto accelerators.
@@ -98,6 +127,11 @@ impl SchedPolicy {
 /// two high-latency accesses' worth under the Cell-like cost model).
 pub const DEFAULT_STEAL_COST: u64 = 600;
 
+/// Simulated cycles a retried tile cools down on the accelerator clock
+/// before re-running (see [`TileScheduler::backoff`]): roughly the
+/// cost of re-staging one bulk descriptor under the Cell-like model.
+pub const DEFAULT_RETRY_BACKOFF: u64 = 1_000;
+
 /// Extends [`OffloadBuilder`] with the scheduler entry point, so a
 /// tiled dispatch reads as one fluent chain:
 /// `machine.offload(0).label("ai").cache(choice).sched(policy)`.
@@ -110,7 +144,13 @@ pub trait SchedExt<'m> {
 
 impl<'m> SchedExt<'m> for OffloadBuilder<'m> {
     fn sched(self, policy: SchedPolicy) -> TileScheduler<'m> {
-        let (machine, base, label, cache) = self.into_parts();
+        let OffloadParts {
+            machine,
+            accel: base,
+            label,
+            cache,
+            faults,
+        } = self.into_parts();
         TileScheduler {
             machine,
             base,
@@ -119,6 +159,10 @@ impl<'m> SchedExt<'m> for OffloadBuilder<'m> {
             cache,
             policy,
             steal_cost: DEFAULT_STEAL_COST,
+            faults,
+            retries: 0,
+            backoff: DEFAULT_RETRY_BACKOFF,
+            fallback: false,
         }
     }
 }
@@ -137,6 +181,10 @@ pub struct TileScheduler<'m> {
     cache: CacheChoice,
     policy: SchedPolicy,
     steal_cost: u64,
+    faults: Option<FaultPlan>,
+    retries: u32,
+    backoff: u64,
+    fallback: bool,
 }
 
 /// Per-accelerator row of a [`SchedReport`].
@@ -173,6 +221,15 @@ pub struct SchedReport {
     pub steals: u32,
     /// Total cycles thieves paid grabbing those tiles.
     pub steal_cycles: u64,
+    /// Faults the plane injected during the dispatch (all kinds).
+    pub faults: u64,
+    /// Tile retries the recovery layer performed.
+    pub retries: u64,
+    /// Tiles that degraded to host execution.
+    pub fallbacks: u64,
+    /// Accelerators evicted mid-dispatch after the fault plane killed
+    /// them, in eviction order.
+    pub evicted: Vec<u16>,
 }
 
 impl SchedReport {
@@ -217,6 +274,41 @@ impl<'m> TileScheduler<'m> {
         self
     }
 
+    /// Arms `plan` on the machine when the dispatch starts (the
+    /// scheduler-side twin of [`OffloadBuilder::faults`], for chains
+    /// that call [`SchedExt::sched`] first). The plan persists on the
+    /// machine afterwards; clear it with
+    /// [`Machine::clear_fault_plan`](simcell::Machine::clear_fault_plan).
+    pub fn faults(mut self, plan: FaultPlan) -> TileScheduler<'m> {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Retries a tile up to `n` times after a *transient* fault (DMA
+    /// corruption/drop, tag timeout, local-store poison) before giving
+    /// up on it. Default 0: the first fault is final.
+    pub fn retry(mut self, n: u32) -> TileScheduler<'m> {
+        self.retries = n;
+        self
+    }
+
+    /// Sets the simulated cycles a retried tile waits on the
+    /// accelerator clock before re-running (default
+    /// [`DEFAULT_RETRY_BACKOFF`]).
+    pub fn backoff(mut self, cycles: u64) -> TileScheduler<'m> {
+        self.backoff = cycles;
+        self
+    }
+
+    /// Degrades unrecoverable tiles to host execution instead of
+    /// failing the dispatch: tiles that exhaust their retries, and
+    /// tiles stranded when every lane's accelerator has died, re-run on
+    /// the host at the cost model's `host_fallback_factor` penalty.
+    pub fn fallback_host(mut self) -> TileScheduler<'m> {
+        self.fallback = true;
+        self
+    }
+
     /// Dispatches `tiles` tiles through the policy and joins them all.
     ///
     /// The closure runs once per tile (in scheduler-determined order —
@@ -226,11 +318,19 @@ impl<'m> TileScheduler<'m> {
     /// plus the [`SchedReport`]. Joins happen in tile order for every
     /// policy, so a policy changes cycle accounting, never results.
     ///
+    /// With a fault plan armed, retries/evictions/fallbacks happen as
+    /// described at the module level; a tile that reaches the host
+    /// fallback may re-run the closure there, so the closure must
+    /// tolerate re-execution from a clean local-store mark.
+    ///
     /// # Errors
     ///
     /// Fails if the lane range does not exist on the machine, if the
     /// tuned cache cannot be built, or with the first tile error (by
-    /// tile index) the closure returned.
+    /// tile index) the closure returned. An injected fault the
+    /// recovery layer could not absorb (retries exhausted without
+    /// [`TileScheduler::fallback_host`], or every lane dead) surfaces
+    /// as [`SimError::Fault`].
     pub fn run_tiles<R>(
         self,
         tiles: u32,
@@ -244,7 +344,14 @@ impl<'m> TileScheduler<'m> {
             cache,
             policy,
             steal_cost,
+            faults,
+            retries,
+            backoff,
+            fallback,
         } = self;
+        if let Some(plan) = faults {
+            machine.install_fault_plan(plan);
+        }
         let lane_count = accels.unwrap_or_else(|| machine.accel_count().saturating_sub(base));
         if lane_count == 0
             || u32::from(base) + u32::from(lane_count) > u32::from(machine.accel_count())
@@ -259,12 +366,18 @@ impl<'m> TileScheduler<'m> {
         }
         let lanes: Vec<u16> = (base..base + lane_count).collect();
         let t0 = machine.host_now();
+        let s0 = *machine.stats();
         let mut dispatches: Vec<Dispatch<R>> = Vec::with_capacity(tiles as usize);
         let mut steals = 0u32;
         let mut steal_cycles = 0u64;
+        let mut evicted: Vec<u16> = Vec::new();
+        // Tiles stranded by total accelerator loss, awaiting the host
+        // fallback (joined tiles that exhausted retries join them below).
+        let mut stranded: Vec<(u32, u16)> = Vec::new();
 
         // One launch, shared by every policy: run the tile (stolen
-        // tiles pay the grab first) and note the run on the timeline.
+        // tiles pay the grab first, retried tiles their backoff) and
+        // note the run on the timeline.
         let mut launch = |machine: &mut Machine,
                           lane: u16,
                           tile: u32,
@@ -278,7 +391,7 @@ impl<'m> TileScheduler<'m> {
                     if stolen_from.is_some() {
                         ctx.compute(steal_cost);
                     }
-                    f(ctx, tile)
+                    run_with_retries(ctx, tile, retries, backoff, &mut f)
                 })?;
             if let Some(victim) = stolen_from {
                 machine.sched_note_steal(handle.start(), lane, victim, tile, steal_cost);
@@ -291,39 +404,113 @@ impl<'m> TileScheduler<'m> {
 
         match policy {
             SchedPolicy::Static => {
-                let queues = static_split(tiles, &lanes);
-                for (i, queue) in queues.iter().enumerate() {
+                let mut queues: Vec<(u16, VecDeque<u32>)> = lanes
+                    .iter()
+                    .copied()
+                    .zip(static_split(tiles, &lanes))
+                    .collect();
+                for (lane, queue) in &queues {
                     for &tile in queue {
-                        machine.sched_note_enqueue(t0, lanes[i], tile);
+                        machine.sched_note_enqueue(t0, *lane, tile);
                     }
                 }
-                // Position-major launch order: the first tile of each
-                // lane, then the second of each, … With one tile per
-                // lane this is exactly the hand-rolled E14 loop.
-                let deepest = queues.iter().map(VecDeque::len).max().unwrap_or(0);
-                for pos in 0..deepest {
-                    for (i, queue) in queues.iter().enumerate() {
-                        if let Some(&tile) = queue.get(pos) {
-                            dispatches.push(launch(machine, lanes[i], tile, None)?);
+                // Sweep the lanes in order, popping one front tile per
+                // lane per pass — position-major launch order: the
+                // first tile of each lane, then the second of each, …
+                // With one tile per lane this is exactly the
+                // hand-rolled E14 loop.
+                let mut remaining = tiles;
+                'dispatch: while remaining > 0 {
+                    let mut i = 0;
+                    while i < queues.len() {
+                        let Some(tile) = queues[i].1.pop_front() else {
+                            i += 1;
+                            continue;
+                        };
+                        let lane = queues[i].0;
+                        match launch(machine, lane, tile, None) {
+                            Ok(d) => {
+                                dispatches.push(d);
+                                remaining -= 1;
+                                i += 1;
+                            }
+                            Err(SimError::Fault(FaultError::AccelDead { .. })) => {
+                                let (dead, mut orphans) = queues.remove(i);
+                                orphans.push_front(tile);
+                                evicted.push(dead);
+                                machine.recovery_note_evict(
+                                    machine.host_now(),
+                                    dead,
+                                    orphans.len() as u32,
+                                );
+                                if queues.is_empty() {
+                                    if !fallback {
+                                        return Err(FaultError::AccelDead { accel: dead }.into());
+                                    }
+                                    stranded.extend(orphans.into_iter().map(|t| (t, dead)));
+                                    break 'dispatch;
+                                }
+                                // Round-robin the orphans over the
+                                // survivors; the removal already slid
+                                // the next lane into slot i, so this
+                                // sweep continues without skipping it.
+                                let survivors = queues.len();
+                                for (k, t) in orphans.into_iter().enumerate() {
+                                    let (lane, queue) = &mut queues[k % survivors];
+                                    queue.push_back(t);
+                                    let lane = *lane;
+                                    machine.sched_note_enqueue(machine.host_now(), lane, t);
+                                }
+                            }
+                            Err(e) => return Err(e),
                         }
                     }
                 }
             }
             SchedPolicy::ShortestQueue => {
+                let mut live = lanes.clone();
                 for tile in 0..tiles {
-                    let lane = *lanes
-                        .iter()
-                        .min_by_key(|&&l| machine.accel_free_at(l).expect("lane checked above"))
-                        .expect("at least one lane");
-                    machine.sched_note_enqueue(machine.host_now(), lane, tile);
-                    dispatches.push(launch(machine, lane, tile, None)?);
+                    loop {
+                        let Some(&lane) = live.iter().min_by_key(|&&l| {
+                            machine.accel_free_at(l).expect("lane checked above")
+                        }) else {
+                            // Every lane is dead; the last eviction is
+                            // the fault that stranded this tile.
+                            let dead = *evicted.last().expect("emptied by eviction");
+                            if !fallback {
+                                return Err(FaultError::AccelDead { accel: dead }.into());
+                            }
+                            stranded.push((tile, dead));
+                            break;
+                        };
+                        machine.sched_note_enqueue(machine.host_now(), lane, tile);
+                        match launch(machine, lane, tile, None) {
+                            Ok(d) => {
+                                dispatches.push(d);
+                                break;
+                            }
+                            Err(SimError::Fault(FaultError::AccelDead { .. })) => {
+                                live.retain(|&l| l != lane);
+                                evicted.push(lane);
+                                machine.recovery_note_evict(machine.host_now(), lane, 1);
+                                // Greedy has no queue to drain: the
+                                // bounced tile just re-picks among the
+                                // survivors.
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
                 }
             }
             SchedPolicy::WorkStealing => {
-                let mut queues = static_split(tiles, &lanes);
-                for (i, queue) in queues.iter().enumerate() {
+                let mut queues: Vec<(u16, VecDeque<u32>)> = lanes
+                    .iter()
+                    .copied()
+                    .zip(static_split(tiles, &lanes))
+                    .collect();
+                for (lane, queue) in &queues {
                     for &tile in queue {
-                        machine.sched_note_enqueue(t0, lanes[i], tile);
+                        machine.sched_note_enqueue(t0, *lane, tile);
                     }
                 }
                 let mut pending = tiles;
@@ -331,17 +518,18 @@ impl<'m> TileScheduler<'m> {
                     // Lanes in becomes-free order; the first that can
                     // act (own work, or a profitable steal) dispatches.
                     // The most-loaded lane can always pop its own
-                    // front, so one pass always dispatches something.
-                    let mut order: Vec<usize> = (0..lanes.len()).collect();
+                    // front, so one pass always picks something.
+                    let mut order: Vec<usize> = (0..queues.len()).collect();
                     order.sort_by_key(|&i| {
-                        machine.accel_free_at(lanes[i]).expect("lane checked above")
+                        machine
+                            .accel_free_at(queues[i].0)
+                            .expect("lane checked above")
                     });
                     let next_floor = machine.host_now() + machine.cost().offload_launch;
-                    let mut dispatched = false;
+                    let mut choice: Option<(usize, u32, Option<usize>)> = None;
                     for &i in &order {
-                        if let Some(tile) = queues[i].pop_front() {
-                            dispatches.push(launch(machine, lanes[i], tile, None)?);
-                            dispatched = true;
+                        if let Some(tile) = queues[i].1.pop_front() {
+                            choice = Some((i, tile, None));
                             break;
                         }
                         // Own deque empty: steal the back tile of the
@@ -350,27 +538,67 @@ impl<'m> TileScheduler<'m> {
                         // it strictly before the victim is even free.
                         // That bound keeps every stolen tile's end at
                         // or before its static end.
-                        let thief_free =
-                            machine.accel_free_at(lanes[i]).expect("lane checked above");
+                        let thief_free = machine
+                            .accel_free_at(queues[i].0)
+                            .expect("lane checked above");
                         let thief_eff = thief_free.max(next_floor);
                         let victim = order
                             .iter()
                             .rev()
                             .copied()
-                            .find(|&j| j != i && !queues[j].is_empty());
+                            .find(|&j| j != i && !queues[j].1.is_empty());
                         if let Some(j) = victim {
-                            let victim_free =
-                                machine.accel_free_at(lanes[j]).expect("lane checked above");
+                            let victim_free = machine
+                                .accel_free_at(queues[j].0)
+                                .expect("lane checked above");
                             if thief_eff + steal_cost < victim_free {
-                                let tile = queues[j].pop_back().expect("checked non-empty");
-                                dispatches.push(launch(machine, lanes[i], tile, Some(lanes[j]))?);
-                                dispatched = true;
+                                let tile = queues[j].1.pop_back().expect("checked non-empty");
+                                choice = Some((i, tile, Some(j)));
                                 break;
                             }
                         }
                     }
-                    debug_assert!(dispatched, "some lane always owns a runnable tile");
-                    pending -= 1;
+                    let (i, tile, victim) =
+                        choice.expect("some live lane always owns a runnable tile");
+                    let lane = queues[i].0;
+                    match launch(machine, lane, tile, victim.map(|j| queues[j].0)) {
+                        Ok(d) => {
+                            dispatches.push(d);
+                            pending -= 1;
+                        }
+                        Err(SimError::Fault(FaultError::AccelDead { .. })) => {
+                            // Put the tile back where it came from,
+                            // then evict the dead lane and round-robin
+                            // its deque over the survivors (whose
+                            // thieves rebalance it from there).
+                            match victim {
+                                Some(j) => queues[j].1.push_back(tile),
+                                None => queues[i].1.push_front(tile),
+                            }
+                            let (dead, orphans) = queues.remove(i);
+                            evicted.push(dead);
+                            machine.recovery_note_evict(
+                                machine.host_now(),
+                                dead,
+                                orphans.len() as u32,
+                            );
+                            if queues.is_empty() {
+                                if !fallback {
+                                    return Err(FaultError::AccelDead { accel: dead }.into());
+                                }
+                                stranded.extend(orphans.into_iter().map(|t| (t, dead)));
+                                break;
+                            }
+                            let survivors = queues.len();
+                            for (k, t) in orphans.into_iter().enumerate() {
+                                let (lane, queue) = &mut queues[k % survivors];
+                                queue.push_back(t);
+                                let lane = *lane;
+                                machine.sched_note_enqueue(machine.host_now(), lane, t);
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             }
         }
@@ -383,11 +611,15 @@ impl<'m> TileScheduler<'m> {
             .iter()
             .map(|d| (d.handle.accel(), d.tile, d.handle.start(), d.handle.end()))
             .collect();
-        let mut results = Vec::with_capacity(dispatches.len());
+        let mut results: Vec<Option<R>> = Vec::with_capacity(tiles as usize);
+        results.resize_with(tiles as usize, || None);
+        let mut failed: Vec<(u32, u16)> = stranded;
         let mut first_err: Option<SimError> = None;
         for d in dispatches {
+            let accel = d.handle.accel();
             match machine.join(d.handle) {
-                Ok(r) => results.push(r),
+                Ok(r) => results[d.tile as usize] = Some(r),
+                Err(SimError::Fault(_)) if fallback => failed.push((d.tile, accel)),
                 Err(e) => {
                     if first_err.is_none() {
                         first_err = Some(e);
@@ -398,6 +630,19 @@ impl<'m> TileScheduler<'m> {
         if let Some(e) = first_err {
             return Err(e);
         }
+
+        // Last resort: re-run every unrecovered tile on the host, in
+        // tile order, at the cost model's honest fallback penalty.
+        failed.sort_by_key(|&(tile, _)| tile);
+        for (tile, accel) in failed {
+            machine.recovery_note_fallback(machine.host_now(), accel, tile);
+            let r = machine.run_host_fallback(accel, label, |ctx| f(ctx, tile))??;
+            results[tile as usize] = Some(r);
+        }
+        let results: Vec<R> = results
+            .into_iter()
+            .map(|r| r.expect("every tile either resolved or errored out above"))
+            .collect();
 
         // Reconstruct per-lane occupancy and note the idle gaps the
         // trace's scheduler lanes render (zero simulated cost).
@@ -428,6 +673,7 @@ impl<'m> TileScheduler<'m> {
             });
         }
 
+        let s1 = *machine.stats();
         let report = SchedReport {
             policy,
             tiles,
@@ -437,8 +683,64 @@ impl<'m> TileScheduler<'m> {
             lanes: lane_reports,
             steals,
             steal_cycles,
+            faults: s1.faults_injected - s0.faults_injected,
+            retries: s1.recovery_retries - s0.recovery_retries,
+            fallbacks: s1.recovery_fallbacks - s0.recovery_fallbacks,
+            evicted,
         };
         Ok((results, report))
+    }
+}
+
+/// Runs one tile with the retry/backoff recovery loop: a transient
+/// fault (returned by the closure, or left sticky by a tag timeout)
+/// releases the tile's local-store allocations, quiesces the DMA
+/// engine, charges the backoff on the accelerator clock, and re-runs —
+/// up to `retries` times before the fault becomes the tile's result.
+fn run_with_retries<R>(
+    ctx: &mut AccelCtx<'_>,
+    tile: u32,
+    retries: u32,
+    backoff: u64,
+    f: &mut dyn FnMut(&mut AccelCtx<'_>, u32) -> Result<R, SimError>,
+) -> Result<R, SimError> {
+    let mut attempt = 0u32;
+    loop {
+        let mark = ctx.local_alloc_mark();
+        let puts = ctx.put_journal_mark();
+        let err = match f(ctx, tile) {
+            Ok(r) => match ctx.take_fault() {
+                // A sticky timeout the closure never checked still
+                // fails the attempt: its data may be incomplete.
+                Some(fault) => SimError::from(fault),
+                None => {
+                    ctx.put_journal_commit(puts);
+                    return Ok(r);
+                }
+            },
+            Err(e) => e,
+        };
+        // Either way the failed attempt's in-flight transfers must
+        // land before anyone reuses this local store — the retry, the
+        // next tile on this lane, or the host fallback. A timeout
+        // rolled during the drain belongs to the same failed attempt,
+        // so it must not poison what comes next.
+        ctx.dma_wait_all();
+        ctx.take_fault();
+        // Void the failed attempt's main-memory puts: an in-place tile
+        // reads the range it writes, so whoever re-runs it — the retry
+        // here or the host fallback after us — must see the input the
+        // failed attempt started from, not its partial (or scribbled)
+        // output.
+        ctx.put_journal_rollback(puts)?;
+        let transient = matches!(&err, SimError::Fault(fault) if fault.is_transient());
+        if !transient || attempt >= retries {
+            return Err(err);
+        }
+        ctx.local_alloc_restore(mark);
+        attempt += 1;
+        ctx.recovery_note_retry(tile, attempt, backoff);
+        ctx.compute(backoff);
     }
 }
 
@@ -635,6 +937,207 @@ mod tests {
                 Ok(())
             });
         assert!(ok.is_ok(), "defaulting to the remaining lanes fits");
+    }
+
+    /// A tile body with a real DMA round trip, so transfer faults have
+    /// something to hit: fetch one u32, return it.
+    fn fetch_tile(
+        machine: &mut Machine,
+        values: &[u32],
+    ) -> (
+        memspace::Addr,
+        impl Fn(&mut AccelCtx<'_>, u32) -> Result<u32, SimError>,
+    ) {
+        let remote = machine
+            .alloc_main_slice::<u32>(values.len() as u32)
+            .unwrap();
+        machine.main_mut().write_pod_slice(remote, values).unwrap();
+        let base = remote;
+        let body = move |ctx: &mut AccelCtx<'_>, tile: u32| -> Result<u32, SimError> {
+            let local = ctx.alloc_local(4, 16)?;
+            let tag = dma::Tag::new(3).unwrap();
+            ctx.dma_get(local, base.offset_by(tile * 4)?, 4, tag)?;
+            ctx.dma_wait_tag(tag);
+            ctx.check_faults()?;
+            ctx.compute(5_000);
+            ctx.local_read_pod::<u32>(local)
+        };
+        (remote, body)
+    }
+
+    #[test]
+    fn retries_absorb_transient_dma_faults() {
+        let values: Vec<u32> = (0..12).map(|i| i * 11 + 7).collect();
+        let mut m = machine();
+        let (_, body) = fetch_tile(&mut m, &values);
+        let (results, report) = m
+            .offload(0)
+            .faults(FaultPlan::new(0xfab).with_dma_corrupt(0.5))
+            .sched(SchedPolicy::Static)
+            .accels(4)
+            .retry(6)
+            .backoff(800)
+            .run_tiles(12, body)
+            .unwrap();
+        assert_eq!(results, values, "retried tiles must re-fetch clean data");
+        assert!(
+            report.faults > 0,
+            "a 50% corrupt rate must fire over 12 DMAs"
+        );
+        assert!(report.retries > 0);
+        assert_eq!(report.retries, m.stats().recovery_retries);
+        assert_eq!(
+            m.stats().recovery_backoff_cycles,
+            report.retries * 800,
+            "every retry charges the configured backoff"
+        );
+        assert_eq!(report.fallbacks, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_host_fallback() {
+        // Every transfer corrupts: no retry budget can absorb that, so
+        // with fallback_host every tile completes on the host instead.
+        let values: Vec<u32> = (0..6).map(|i| 1000 - i).collect();
+        let mut m = machine();
+        let (_, body) = fetch_tile(&mut m, &values);
+        let (results, report) = m
+            .offload(0)
+            .faults(FaultPlan::new(7).with_dma_corrupt(1.0))
+            .sched(SchedPolicy::ShortestQueue)
+            .accels(3)
+            .retry(2)
+            .fallback_host()
+            .run_tiles(6, body)
+            .unwrap();
+        assert_eq!(results, values, "host fallback runs fault-free");
+        assert_eq!(report.fallbacks, 6);
+        assert_eq!(report.retries, 12, "2 retries per tile before giving up");
+        assert!(m.stats().recovery_fallback_cycles > 0);
+    }
+
+    #[test]
+    fn dead_lanes_are_evicted_and_survivors_absorb_their_tiles() {
+        for policy in [
+            SchedPolicy::Static,
+            SchedPolicy::ShortestQueue,
+            SchedPolicy::WorkStealing,
+        ] {
+            let mut m = machine();
+            let (results, report) = m
+                .offload(0)
+                .faults(FaultPlan::new(0xdead).with_accel_death(0.2))
+                .sched(policy)
+                .accels(4)
+                .fallback_host()
+                .run_tiles(16, |ctx, tile| {
+                    ctx.compute(20_000);
+                    Ok(tile * 3)
+                })
+                .unwrap();
+            let expect: Vec<u32> = (0..16).map(|t| t * 3).collect();
+            assert_eq!(results, expect, "{policy:?}");
+            assert!(
+                !report.evicted.is_empty(),
+                "{policy:?}: a 20% death rate over 16 launches must kill a lane"
+            );
+            assert_eq!(
+                report.evicted.len() as u64,
+                m.stats().recovery_evictions,
+                "{policy:?}"
+            );
+            let ran: u32 = report.lanes.iter().map(|l| l.tiles).sum();
+            assert_eq!(ran as u64 + report.fallbacks, 16, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn total_accel_loss_without_fallback_is_the_dispatch_error() {
+        let mut m = machine();
+        let err = m
+            .offload(0)
+            .faults(FaultPlan::new(1).with_accel_death(1.0))
+            .sched(SchedPolicy::WorkStealing)
+            .accels(3)
+            .run_tiles(6, |ctx, tile| {
+                ctx.compute(1_000);
+                Ok(tile)
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::Fault(FaultError::AccelDead { .. })));
+    }
+
+    #[test]
+    fn total_accel_loss_with_fallback_completes_on_the_host() {
+        let mut m = machine();
+        let (results, report) = m
+            .offload(0)
+            .faults(FaultPlan::new(1).with_accel_death(1.0))
+            .sched(SchedPolicy::Static)
+            .accels(3)
+            .fallback_host()
+            .run_tiles(6, |ctx, tile| {
+                ctx.compute(1_000);
+                Ok(tile + 100)
+            })
+            .unwrap();
+        assert_eq!(results, vec![100, 101, 102, 103, 104, 105]);
+        assert_eq!(report.evicted.len(), 3, "every lane died");
+        assert_eq!(report.fallbacks, 6, "every tile degraded to the host");
+        assert_eq!(report.lanes.iter().map(|l| l.tiles).sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn all_zero_plan_is_bit_identical_to_no_plan() {
+        let costs = [40_000u64, 12_000, 9_000, 30_000, 8_000, 15_000];
+        let run = |plan: Option<FaultPlan>| {
+            let mut m = machine();
+            if let Some(p) = plan {
+                m.install_fault_plan(p);
+            }
+            let (_, report) = m
+                .offload(0)
+                .sched(SchedPolicy::WorkStealing)
+                .accels(3)
+                .retry(2)
+                .fallback_host()
+                .run_tiles(costs.len() as u32, |ctx, tile| {
+                    ctx.compute(costs[tile as usize]);
+                    Ok(())
+                })
+                .unwrap();
+            (m.host_now(), report.cycles, report.steals)
+        };
+        assert_eq!(
+            run(None),
+            run(Some(FaultPlan::new(42))),
+            "an armed all-zero plan must not perturb the schedule"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_faulty_schedule() {
+        let run = || {
+            let values: Vec<u32> = (0..10).map(|i| i ^ 0x5a).collect();
+            let mut m = machine();
+            let (_, body) = fetch_tile(&mut m, &values);
+            let (results, report) = m
+                .offload(0)
+                .faults(
+                    FaultPlan::new(0xc0ffee)
+                        .with_dma_corrupt(0.3)
+                        .with_tag_timeout(0.2)
+                        .with_accel_death(0.05),
+                )
+                .sched(SchedPolicy::WorkStealing)
+                .accels(4)
+                .retry(4)
+                .fallback_host()
+                .run_tiles(10, body)
+                .unwrap();
+            (results, m.host_now(), *m.stats(), report.evicted.clone())
+        };
+        assert_eq!(run(), run(), "the fault schedule is a function of the seed");
     }
 
     #[test]

@@ -90,6 +90,9 @@ where
         let r = remote.element(base, elem)?;
         ctx.dma_get(buffer, r, n * elem, tag)?;
         ctx.dma_wait_tag(tag);
+        // Surface an injected tag timeout before computing on data
+        // that may not have fully arrived.
+        ctx.check_faults()?;
         chunk.clear();
         ctx.local_read_slice_into(buffer, n, &mut chunk)?;
         f(ctx, base, &mut chunk)?;
@@ -97,6 +100,7 @@ where
             ctx.local_write_slice(buffer, &chunk)?;
             ctx.dma_put(buffer, r, n * elem, tag)?;
             ctx.dma_wait_tag(tag);
+            ctx.check_faults()?;
         }
         base += n;
     }
@@ -162,8 +166,10 @@ where
                 stream_tag(nxt),
             )?;
         }
-        // Wait for the current chunk and process it.
+        // Wait for the current chunk and process it. A timed-out wait
+        // means the buffer may be stale; surface it before computing.
         ctx.dma_wait_tag(stream_tag(cur));
+        ctx.check_faults()?;
         let n = chunk_len(i);
         chunk.clear();
         ctx.local_read_slice_into(buffers[cur], n, &mut chunk)?;
@@ -177,6 +183,7 @@ where
     // Drain the pipeline.
     ctx.dma_wait_tag(stream_tag(0));
     ctx.dma_wait_tag(stream_tag(1));
+    ctx.check_faults()?;
     ctx.span_end("process_stream");
     Ok(())
 }

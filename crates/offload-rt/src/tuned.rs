@@ -18,8 +18,6 @@ use softcache::CacheChoice;
 
 pub use softcache::TunedCache;
 
-use crate::StreamConfig;
-
 /// Builds the cache an autotuned [`CacheChoice`] describes inside the
 /// current offload block, allocating its buffers from the accelerator's
 /// local store. Returns `None` for [`CacheChoice::Naive`] — the tuner
@@ -39,18 +37,10 @@ pub fn build_tuned_cache(
     ctx.new_tuned_cache(choice)
 }
 
-/// Derives a [`StreamConfig`] from a streaming tuner winner.
-#[deprecated(since = "0.2.0", note = "use StreamConfig::from_choice")]
-pub fn stream_config_for<T: memspace::Pod>(
-    choice: &CacheChoice,
-    write_back: bool,
-) -> Option<StreamConfig> {
-    StreamConfig::from_choice::<T>(choice, write_back)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StreamConfig;
     use simcell::{Machine, MachineConfig};
     use softcache::autotune::{autotune, replay_exact, TuneOptions};
     use softcache::{CacheConfig, SoftwareCache};
@@ -145,7 +135,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn stream_config_derivation() {
         let stream = CacheChoice::Stream(CacheConfig::new(1024, 1, 1));
         let cfg = StreamConfig::from_choice::<u32>(&stream, true).unwrap();
@@ -154,8 +143,5 @@ mod tests {
         assert!(StreamConfig::from_choice::<u32>(&CacheChoice::Naive, true).is_none());
         let assoc = CacheChoice::SetAssoc(CacheConfig::four_way_16k());
         assert!(StreamConfig::from_choice::<u32>(&assoc, false).is_none());
-        // The deprecated free function forwards to the same conversion.
-        let old = stream_config_for::<u32>(&stream, true).unwrap();
-        assert_eq!(old.chunk_elems, cfg.chunk_elems);
     }
 }

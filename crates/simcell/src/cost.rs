@@ -44,6 +44,13 @@ pub struct CostModel {
     pub domain_outer_entry: u64,
     /// Cost per inner-domain entry searched.
     pub domain_inner_entry: u64,
+    /// How much slower a tile runs when degraded to host execution
+    /// (recovery fallback): elapsed accelerator-style cycles are
+    /// multiplied by this factor on the host clock. The host has no
+    /// local store, so every "local" access is really a cached main
+    /// memory access and the SIMD-friendly inner loops lose their
+    /// width — 3x is the honest games-console ballpark.
+    pub host_fallback_factor: u64,
     /// DMA engine timing.
     pub dma: DmaTiming,
 }
@@ -62,8 +69,16 @@ impl CostModel {
             domain_lookup_base: 10,
             domain_outer_entry: 2,
             domain_inner_entry: 2,
+            host_fallback_factor: 3,
             dma: DmaTiming::cell_like(),
         }
+    }
+
+    /// Replaces the host-fallback slowdown factor.
+    #[must_use]
+    pub fn with_host_fallback_factor(mut self, factor: u64) -> CostModel {
+        self.host_fallback_factor = factor;
+        self
     }
 
     /// Replaces the local-store access cost.
@@ -125,7 +140,9 @@ mod tests {
         let c = CostModel::cell_like()
             .with_ls_access(3)
             .with_host_mem_access(55)
-            .with_offload_overheads(10, 20);
+            .with_offload_overheads(10, 20)
+            .with_host_fallback_factor(5);
+        assert_eq!(c.host_fallback_factor, 5);
         assert_eq!(c.ls_access, 3);
         assert_eq!(c.host_mem_access, 55);
         assert_eq!(c.offload_launch, 10);

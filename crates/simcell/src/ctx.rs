@@ -7,6 +7,7 @@ use softcache::{CacheBacking, CacheChoice, SoftwareCache, TunedCache};
 use crate::cost::CostModel;
 use crate::error::SimError;
 use crate::event::{CoreId, EventKind, EventLog};
+use crate::fault::{DmaFault, FaultError, FaultKind, FaultPlane, RecoveryKind};
 use crate::trace::MachineStats;
 
 /// DMA tag reserved for synchronous "outer" accesses (the naive
@@ -52,6 +53,9 @@ pub struct AccelCtx<'m> {
     pub(crate) accesses: &'m mut softcache::AccessTrace,
     pub(crate) span: u32,
     pub(crate) tuned: Option<TunedCache>,
+    pub(crate) faults: &'m mut FaultPlane,
+    pub(crate) fault_sticky: Option<FaultError>,
+    pub(crate) put_journal: Vec<(Addr, Vec<u8>)>,
 }
 
 impl<'m> AccelCtx<'m> {
@@ -83,6 +87,176 @@ impl<'m> AccelCtx<'m> {
 
     fn ls_cycles(&self, bytes: u32) -> u64 {
         self.cost.ls_access * u64::from(bytes.div_ceil(16).max(1))
+    }
+
+    // ---- fault plane ------------------------------------------------------
+
+    /// The sticky fault left by an operation that cannot report errors
+    /// directly (tag-timeout during a `dma_wait`), without clearing it.
+    pub fn pending_fault(&self) -> Option<FaultError> {
+        self.fault_sticky
+    }
+
+    /// Takes (and clears) the sticky fault, if any. The recovery layer
+    /// calls this after the tile closure returns; fallible DMA
+    /// operations surface it automatically via
+    /// [`AccelCtx::check_faults`].
+    pub fn take_fault(&mut self) -> Option<FaultError> {
+        self.fault_sticky.take()
+    }
+
+    /// Errors out with the sticky fault if one is pending. Called at
+    /// the head of every fallible DMA entry point so a timed-out wait
+    /// surfaces at the next opportunity; call it explicitly before
+    /// returning from a closure that only uses infallible operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending [`FaultError`], if any.
+    pub fn check_faults(&mut self) -> Result<(), SimError> {
+        match self.fault_sticky.take() {
+            Some(fault) => Err(fault.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// Notes that the recovery layer is retrying `tile` on this
+    /// accelerator (zero simulated cost — the backoff itself is charged
+    /// separately by the caller, via [`AccelCtx::compute`]).
+    pub fn recovery_note_retry(&mut self, tile: u32, attempt: u32, backoff: u64) {
+        self.stats.recovery_retries += 1;
+        self.stats.recovery_backoff_cycles += backoff;
+        self.events.record(
+            self.now,
+            EventKind::RecoveryApplied {
+                accel: self.accel_index,
+                recovery: RecoveryKind::Retry {
+                    tile,
+                    attempt,
+                    backoff,
+                },
+            },
+        );
+    }
+
+    /// The local store's current allocation mark; pass it to
+    /// [`AccelCtx::local_alloc_restore`] to release everything
+    /// allocated after it. The recovery layer brackets each tile
+    /// attempt with a mark/restore pair so retries do not leak local
+    /// store.
+    pub fn local_alloc_mark(&self) -> u32 {
+        self.ls.save_alloc()
+    }
+
+    /// Releases every local-store allocation made since `mark` was
+    /// taken (see [`AccelCtx::local_alloc_mark`]).
+    pub fn local_alloc_restore(&mut self, mark: u32) {
+        self.ls.restore_alloc(mark);
+    }
+
+    /// The put journal's current mark. While a fault plan is armed,
+    /// every `dma_put` records its destination's main-memory pre-image;
+    /// the recovery layer brackets each tile attempt with a mark so a
+    /// failed attempt's puts can be voided — see
+    /// [`AccelCtx::put_journal_rollback`]. Empty (and free) without a
+    /// plan.
+    pub fn put_journal_mark(&self) -> usize {
+        self.put_journal.len()
+    }
+
+    /// Restores, newest-first, the main-memory pre-image of every put
+    /// recorded since `mark`, then forgets them. A failed tile attempt
+    /// may have committed puts before it faulted (or scribbled its
+    /// destination on a corrupted put); voiding them is what lets the
+    /// retry — or the host fallback — re-read the exact input the
+    /// failed attempt saw, which is what makes recovery bit-exact for
+    /// in-place workloads. Call only after the attempt's in-flight
+    /// transfers have drained. Zero simulated cost: this models a
+    /// transactional tile commit, not a data transfer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds or space violations (the journaled ranges were
+    /// valid when written, so failures indicate memory reconfiguration).
+    pub fn put_journal_rollback(&mut self, mark: usize) -> Result<(), SimError> {
+        while self.put_journal.len() > mark {
+            let (addr, bytes) = self.put_journal.pop().expect("len > mark");
+            self.main.write_bytes(addr, &bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Forgets the pre-images recorded since `mark` without restoring
+    /// them: the attempt committed, its puts stand.
+    pub fn put_journal_commit(&mut self, mark: usize) {
+        self.put_journal.truncate(mark);
+    }
+
+    /// Records an injected fault: always counts it, and records the
+    /// structured event when the log is on. Zero simulated cost.
+    fn note_fault(&mut self, at: u64, fault: FaultKind) {
+        self.stats.faults_injected += 1;
+        match fault {
+            FaultKind::DmaCorrupt { .. } => self.stats.fault_dma_corrupt += 1,
+            FaultKind::DmaDrop { .. } => self.stats.fault_dma_drop += 1,
+            FaultKind::TagTimeout { stall } => {
+                self.stats.fault_timeouts += 1;
+                self.stats.fault_stall_cycles += stall;
+            }
+            FaultKind::AccelStall { cycles } => {
+                self.stats.fault_stalls += 1;
+                self.stats.fault_stall_cycles += cycles;
+            }
+            FaultKind::AccelDeath => self.stats.fault_deaths += 1,
+            FaultKind::LsPoison => self.stats.fault_ls_poison += 1,
+        }
+        self.events.record(
+            at,
+            EventKind::FaultInjected {
+                accel: self.accel_index,
+                fault,
+            },
+        );
+    }
+
+    /// XORs the first quadword at `addr` (in `region`) with a marker —
+    /// the observable damage of a corrupted transfer.
+    fn scribble(region: &mut MemoryRegion, addr: Addr, len: u32) -> Result<(), SimError> {
+        let n = (len.min(16)) as usize;
+        let mut buf = [0u8; 16];
+        region.read_into(addr, &mut buf[..n])?;
+        for b in &mut buf[..n] {
+            *b ^= 0xA5;
+        }
+        region.write_bytes(addr, &buf[..n])?;
+        Ok(())
+    }
+
+    /// Rolls the per-transfer corrupt/drop decision (no draw while the
+    /// plane is inactive or both rates are zero).
+    fn roll_transfer(&mut self) -> Option<DmaFault> {
+        if self.faults.active() {
+            self.faults.roll_dma()
+        } else {
+            None
+        }
+    }
+
+    /// Rolls the local-store poison decision for one charged read; a
+    /// hit models a detected parity error (the access was paid for,
+    /// the data is unusable).
+    fn roll_ls_poison(&mut self) -> Result<(), SimError> {
+        if self.faults.active() {
+            let rate = self.faults.plan().map(|p| p.ls_poison).unwrap_or(0.0);
+            if self.faults.roll(rate) {
+                self.note_fault(self.now, FaultKind::LsPoison);
+                return Err(FaultError::LsPoisoned {
+                    accel: self.accel_index,
+                }
+                .into());
+            }
+        }
+        Ok(())
     }
 
     /// Counts one DMA command in [`MachineStats`] and, when the event
@@ -257,6 +431,7 @@ impl<'m> AccelCtx<'m> {
             AccessKind::Read,
             self.now,
         );
+        self.roll_ls_poison()?;
         Ok(self.ls.read_pod(addr)?)
     }
 
@@ -305,6 +480,7 @@ impl<'m> AccelCtx<'m> {
         self.now += self.ls_cycles(bytes);
         self.dma
             .note_local_access(AddrRange::new(addr, bytes)?, AccessKind::Read, self.now);
+        self.roll_ls_poison()?;
         self.ls.read_pod_slice_into(addr, count, out)?;
         Ok(())
     }
@@ -334,6 +510,7 @@ impl<'m> AccelCtx<'m> {
             AccessKind::Read,
             self.now,
         );
+        self.roll_ls_poison()?;
         Ok(self.ls.read_into(addr, out)?)
     }
 
@@ -375,12 +552,172 @@ impl<'m> AccelCtx<'m> {
 
     // ---- explicit DMA ---------------------------------------------------
 
+    /// The full `dma_get` path, including the fault plane's per-transfer
+    /// corrupt/drop roll. The engine's charging and bookkeeping run
+    /// unconditionally — a faulted transfer still costs its cycles.
+    fn engine_get(
+        &mut self,
+        local: Addr,
+        remote: Addr,
+        size: u32,
+        tag: Tag,
+    ) -> Result<(), SimError> {
+        let issued_at = self.now;
+        let decision = self.roll_transfer();
+        // The engine copies eagerly; a dropped transfer must leave the
+        // destination untouched, so snapshot it first (fault path only).
+        let saved = if decision == Some(DmaFault::Drop) {
+            let mut bytes = vec![0u8; size as usize];
+            self.ls.read_into(local, &mut bytes)?;
+            Some(bytes)
+        } else {
+            None
+        };
+        self.now = self
+            .dma
+            .get(self.now, local, remote, size, tag, self.main, self.ls)?;
+        self.trace_dma(issued_at, size, tag, DmaDirection::Get);
+        match decision {
+            None => Ok(()),
+            Some(DmaFault::Drop) => {
+                if let Some(bytes) = saved {
+                    self.ls.write_bytes(local, &bytes)?;
+                }
+                self.note_fault(
+                    self.now,
+                    FaultKind::DmaDrop {
+                        tag: tag.raw(),
+                        bytes: size,
+                    },
+                );
+                Err(FaultError::DmaDropped {
+                    accel: self.accel_index,
+                    tag: tag.raw(),
+                    bytes: size,
+                }
+                .into())
+            }
+            Some(DmaFault::Corrupt) => {
+                Self::scribble(self.ls, local, size)?;
+                self.note_fault(
+                    self.now,
+                    FaultKind::DmaCorrupt {
+                        tag: tag.raw(),
+                        bytes: size,
+                    },
+                );
+                Err(FaultError::DmaCorrupted {
+                    accel: self.accel_index,
+                    tag: tag.raw(),
+                    bytes: size,
+                }
+                .into())
+            }
+        }
+    }
+
+    /// The full `dma_put` path; see [`AccelCtx::engine_get`].
+    fn engine_put(
+        &mut self,
+        local: Addr,
+        remote: Addr,
+        size: u32,
+        tag: Tag,
+    ) -> Result<(), SimError> {
+        let issued_at = self.now;
+        let decision = self.roll_transfer();
+        // With a plan armed, journal the destination's pre-image so the
+        // recovery layer can void a failed attempt's puts (see
+        // AccelCtx::put_journal_rollback).
+        if self.faults.active() {
+            let mut bytes = vec![0u8; size as usize];
+            self.main.read_into(remote, &mut bytes)?;
+            self.put_journal.push((remote, bytes));
+        }
+        let saved = if decision == Some(DmaFault::Drop) {
+            let mut bytes = vec![0u8; size as usize];
+            self.main.read_into(remote, &mut bytes)?;
+            Some(bytes)
+        } else {
+            None
+        };
+        self.now = self
+            .dma
+            .put(self.now, local, remote, size, tag, self.main, self.ls)?;
+        self.trace_dma(issued_at, size, tag, DmaDirection::Put);
+        match decision {
+            None => Ok(()),
+            Some(DmaFault::Drop) => {
+                if let Some(bytes) = saved {
+                    self.main.write_bytes(remote, &bytes)?;
+                }
+                self.note_fault(
+                    self.now,
+                    FaultKind::DmaDrop {
+                        tag: tag.raw(),
+                        bytes: size,
+                    },
+                );
+                Err(FaultError::DmaDropped {
+                    accel: self.accel_index,
+                    tag: tag.raw(),
+                    bytes: size,
+                }
+                .into())
+            }
+            Some(DmaFault::Corrupt) => {
+                Self::scribble(self.main, remote, size)?;
+                self.note_fault(
+                    self.now,
+                    FaultKind::DmaCorrupt {
+                        tag: tag.raw(),
+                        bytes: size,
+                    },
+                );
+                Err(FaultError::DmaCorrupted {
+                    accel: self.accel_index,
+                    tag: tag.raw(),
+                    bytes: size,
+                }
+                .into())
+            }
+        }
+    }
+
+    /// Rolls the tag-timeout decision after a wait that actually had
+    /// commands pending (a free wait cannot time out), stalling the
+    /// clock and leaving the sticky fault on a hit.
+    fn after_wait_roll(&mut self, pending: usize, mask: TagMask) {
+        if pending == 0 {
+            return;
+        }
+        let plan = match self.faults.plan() {
+            Some(plan) => *plan,
+            None => return,
+        };
+        if self.faults.roll(plan.tag_timeout) {
+            self.note_fault(
+                self.now,
+                FaultKind::TagTimeout {
+                    stall: plan.timeout_stall,
+                },
+            );
+            self.now += plan.timeout_stall;
+            self.fault_sticky = Some(FaultError::TagTimeout {
+                accel: self.accel_index,
+                mask: mask.bits(),
+            });
+        }
+    }
+
     /// Issues a non-blocking `dma_get` of `size` bytes from main memory
     /// into the local store, under `tag`.
     ///
     /// # Errors
     ///
-    /// As for [`dma::DmaEngine::get`].
+    /// As for [`dma::DmaEngine::get`]; additionally surfaces pending
+    /// sticky faults and injected transfer faults when a fault plan is
+    /// armed.
     pub fn dma_get(
         &mut self,
         local: Addr,
@@ -388,12 +725,8 @@ impl<'m> AccelCtx<'m> {
         size: u32,
         tag: Tag,
     ) -> Result<(), SimError> {
-        let issued_at = self.now;
-        self.now = self
-            .dma
-            .get(self.now, local, remote, size, tag, self.main, self.ls)?;
-        self.trace_dma(issued_at, size, tag, DmaDirection::Get);
-        Ok(())
+        self.check_faults()?;
+        self.engine_get(local, remote, size, tag)
     }
 
     /// Issues a non-blocking `dma_put` of `size` bytes from the local
@@ -401,7 +734,9 @@ impl<'m> AccelCtx<'m> {
     ///
     /// # Errors
     ///
-    /// As for [`dma::DmaEngine::put`].
+    /// As for [`dma::DmaEngine::put`]; additionally surfaces pending
+    /// sticky faults and injected transfer faults when a fault plan is
+    /// armed.
     pub fn dma_put(
         &mut self,
         local: Addr,
@@ -409,19 +744,26 @@ impl<'m> AccelCtx<'m> {
         size: u32,
         tag: Tag,
     ) -> Result<(), SimError> {
-        let issued_at = self.now;
-        self.now = self
-            .dma
-            .put(self.now, local, remote, size, tag, self.main, self.ls)?;
-        self.trace_dma(issued_at, size, tag, DmaDirection::Put);
-        Ok(())
+        self.check_faults()?;
+        self.engine_put(local, remote, size, tag)
     }
 
     /// Blocks until every command in `mask` has completed.
+    ///
+    /// With a fault plan armed, a wait that had commands pending may
+    /// time out: the clock stalls and a sticky
+    /// [`FaultError::TagTimeout`] is left on the context, surfaced by
+    /// the next fallible DMA operation or [`AccelCtx::check_faults`].
     pub fn dma_wait(&mut self, mask: TagMask) {
         let issued_at = self.now;
+        let pending = if self.faults.active() {
+            self.dma.pending_on(mask)
+        } else {
+            0
+        };
         self.now = self.dma.wait(mask, self.now);
         self.trace_wait(issued_at, mask);
+        self.after_wait_roll(pending, mask);
     }
 
     /// Blocks until every command under `tag` has completed.
@@ -432,8 +774,14 @@ impl<'m> AccelCtx<'m> {
     /// Blocks until the DMA engine is idle.
     pub fn dma_wait_all(&mut self) {
         let issued_at = self.now;
+        let pending = if self.faults.active() {
+            self.dma.pending_on(TagMask::ALL)
+        } else {
+            0
+        };
         self.now = self.dma.wait_all(self.now);
         self.trace_wait(issued_at, TagMask::ALL);
+        self.after_wait_roll(pending, TagMask::ALL);
     }
 
     // ---- naive outer access ----------------------------------------------
@@ -459,14 +807,10 @@ impl<'m> AccelCtx<'m> {
         }
         self.accesses.record_read(self.span, addr.offset(), size);
         let tag = self.outer_tag();
-        let issued_at = self.now;
-        self.now = self
-            .dma
-            .get(self.now, self.staging, addr, size, tag, self.main, self.ls)?;
-        self.trace_dma(issued_at, size, tag, DmaDirection::Get);
-        let wait_at = self.now;
-        self.now = self.dma.wait(tag.mask(), self.now);
-        self.trace_wait(wait_at, tag.mask());
+        self.check_faults()?;
+        self.engine_get(self.staging, addr, size, tag)?;
+        self.dma_wait(tag.mask());
+        self.check_faults()?;
         self.now += self.ls_cycles(size);
         Ok(self.ls.read_pod(self.staging)?)
     }
@@ -486,17 +830,13 @@ impl<'m> AccelCtx<'m> {
             });
         }
         self.accesses.record_write(self.span, addr.offset(), size);
+        self.check_faults()?;
         self.now += self.ls_cycles(size);
         self.ls.write_pod(self.staging, value)?;
         let tag = self.outer_tag();
-        let issued_at = self.now;
-        self.now = self
-            .dma
-            .put(self.now, self.staging, addr, size, tag, self.main, self.ls)?;
-        self.trace_dma(issued_at, size, tag, DmaDirection::Put);
-        let wait_at = self.now;
-        self.now = self.dma.wait(tag.mask(), self.now);
-        self.trace_wait(wait_at, tag.mask());
+        self.engine_put(self.staging, addr, size, tag)?;
+        self.dma_wait(tag.mask());
+        self.check_faults()?;
         Ok(())
     }
 
@@ -510,24 +850,14 @@ impl<'m> AccelCtx<'m> {
         self.accesses
             .record_read(self.span, addr.offset(), out.len() as u32);
         let tag = self.outer_tag();
+        self.check_faults()?;
         let mut done = 0usize;
         while done < out.len() {
             let chunk = (out.len() - done).min(self.staging_size as usize);
             let remote = addr.offset_by(done as u32)?;
-            let issued_at = self.now;
-            self.now = self.dma.get(
-                self.now,
-                self.staging,
-                remote,
-                chunk as u32,
-                tag,
-                self.main,
-                self.ls,
-            )?;
-            self.trace_dma(issued_at, chunk as u32, tag, DmaDirection::Get);
-            let wait_at = self.now;
-            self.now = self.dma.wait(tag.mask(), self.now);
-            self.trace_wait(wait_at, tag.mask());
+            self.engine_get(self.staging, remote, chunk as u32, tag)?;
+            self.dma_wait(tag.mask());
+            self.check_faults()?;
             self.now += self.ls_cycles(chunk as u32);
             self.ls
                 .read_into(self.staging, &mut out[done..done + chunk])?;
@@ -546,6 +876,7 @@ impl<'m> AccelCtx<'m> {
         self.accesses
             .record_write(self.span, addr.offset(), data.len() as u32);
         let tag = self.outer_tag();
+        self.check_faults()?;
         let mut done = 0usize;
         while done < data.len() {
             let chunk = (data.len() - done).min(self.staging_size as usize);
@@ -553,20 +884,9 @@ impl<'m> AccelCtx<'m> {
             self.now += self.ls_cycles(chunk as u32);
             self.ls
                 .write_bytes(self.staging, &data[done..done + chunk])?;
-            let issued_at = self.now;
-            self.now = self.dma.put(
-                self.now,
-                self.staging,
-                remote,
-                chunk as u32,
-                tag,
-                self.main,
-                self.ls,
-            )?;
-            self.trace_dma(issued_at, chunk as u32, tag, DmaDirection::Put);
-            let wait_at = self.now;
-            self.now = self.dma.wait(tag.mask(), self.now);
-            self.trace_wait(wait_at, tag.mask());
+            self.engine_put(self.staging, remote, chunk as u32, tag)?;
+            self.dma_wait(tag.mask());
+            self.check_faults()?;
             done += chunk;
         }
         Ok(())

@@ -7,6 +7,92 @@ use dma::DmaError;
 use memspace::MemError;
 use softcache::CacheError;
 
+use crate::fault::FaultError;
+
+/// A virtual-dispatch failure, carried in [`SimError::Dispatch`].
+///
+/// The runtime's dispatch machinery lives in `offload_rt`, but its
+/// failure taxonomy lives here so every runtime entry point can share
+/// the one [`SimError`] surface (the cost side already does: see
+/// `CostModel::domain_lookup_base` and friends). Fields are raw ids —
+/// `target` is a function address, `duplicate` a memory-space
+/// signature bitmask — formatted the way the runtime prints them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DispatchFault {
+    /// The object header named a class id that was never registered.
+    UnknownClass {
+        /// The raw class id read from the object.
+        raw: u32,
+    },
+    /// The class has no implementation in the requested slot.
+    NoSuchMethod {
+        /// The raw class id.
+        class: u32,
+        /// The raw method slot.
+        slot: u16,
+    },
+    /// The dispatch-domain lookup failed (accelerator side only).
+    ///
+    /// This is the paper's informative exception: it tells the
+    /// programmer exactly which method annotation is missing.
+    DomainMiss {
+        /// The host function address that was dispatched.
+        target: u32,
+        /// The memory-space signature that was required (bit *i* set
+        /// when pointer parameter *i* is an outer pointer).
+        duplicate: u16,
+        /// Whether the function was in the outer domain at all (if
+        /// so, only the required duplicate is missing).
+        outer_matched: bool,
+        /// Outer-domain entries searched before giving up.
+        outer_searched: u32,
+        /// Method name, when known.
+        method_name: Option<String>,
+    },
+}
+
+impl fmt::Display for DispatchFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchFault::UnknownClass { raw } => {
+                write!(f, "unknown class id {raw} in object header")
+            }
+            DispatchFault::NoSuchMethod { class, slot } => {
+                write!(f, "class {class} has no method in slot {slot}")
+            }
+            DispatchFault::DomainMiss {
+                target,
+                duplicate,
+                outer_matched,
+                outer_searched,
+                method_name,
+            } => {
+                let name = method_name
+                    .as_deref()
+                    .map(|n| format!(" ({n})"))
+                    .unwrap_or_default();
+                if *outer_matched {
+                    write!(
+                        f,
+                        "dispatch-domain miss: fn@{target:#x}{name} is in the domain but no \
+                         duplicate was compiled for memory-space signature dup{duplicate:#b}; \
+                         annotate the offload so the compiler emits it"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "dispatch-domain miss: fn@{target:#x}{name} is not in the offload's \
+                         domain (searched {outer_searched} entries); add it to the domain \
+                         annotation so it is pre-compiled for local dispatch"
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl Error for DispatchFault {}
+
 /// Errors raised by simulated-machine operations.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SimError {
@@ -35,6 +121,20 @@ pub enum SimError {
     Dma(DmaError),
     /// An underlying software-cache failure.
     Cache(CacheError),
+    /// An injected fault observed by running code.
+    Fault(FaultError),
+    /// A virtual-dispatch failure.
+    Dispatch(DispatchFault),
+}
+
+impl SimError {
+    /// The injected fault inside this error, if it is one.
+    pub fn as_fault(&self) -> Option<&FaultError> {
+        match self {
+            SimError::Fault(fault) => Some(fault),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -54,6 +154,8 @@ impl fmt::Display for SimError {
             SimError::Memory(err) => write!(f, "memory error: {err}"),
             SimError::Dma(err) => write!(f, "DMA error: {err}"),
             SimError::Cache(err) => write!(f, "software-cache error: {err}"),
+            SimError::Fault(err) => write!(f, "injected fault: {err}"),
+            SimError::Dispatch(err) => err.fmt(f),
         }
     }
 }
@@ -64,6 +166,8 @@ impl Error for SimError {
             SimError::Memory(err) => Some(err),
             SimError::Dma(err) => Some(err),
             SimError::Cache(err) => Some(err),
+            SimError::Fault(err) => Some(err),
+            SimError::Dispatch(err) => Some(err),
             _ => None,
         }
     }
@@ -87,6 +191,18 @@ impl From<CacheError> for SimError {
     }
 }
 
+impl From<FaultError> for SimError {
+    fn from(err: FaultError) -> SimError {
+        SimError::Fault(err)
+    }
+}
+
+impl From<DispatchFault> for SimError {
+    fn from(err: DispatchFault) -> SimError {
+        SimError::Dispatch(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +220,38 @@ mod tests {
         });
         assert!(err.source().is_some());
         assert!(err.to_string().contains("memory error"));
+
+        let err = SimError::from(FaultError::AccelDead { accel: 2 });
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(err.as_fault(), Some(&FaultError::AccelDead { accel: 2 }));
+    }
+
+    #[test]
+    fn dispatch_fault_messages_stay_informative() {
+        let miss = DispatchFault::DomainMiss {
+            target: 0x1020,
+            duplicate: 0b10,
+            outer_matched: true,
+            outer_searched: 3,
+            method_name: Some("Enemy::update".into()),
+        };
+        let text = SimError::from(miss).to_string();
+        assert!(text.contains("fn@0x1020"), "{text}");
+        assert!(text.contains("Enemy::update"), "{text}");
+        assert!(text.contains("dup0b10"), "{text}");
+        assert!(text.contains("annotate the offload"), "{text}");
+
+        let miss = DispatchFault::DomainMiss {
+            target: 0x40,
+            duplicate: 0,
+            outer_matched: false,
+            outer_searched: 7,
+            method_name: None,
+        };
+        let text = miss.to_string();
+        assert!(text.contains("searched 7 entries"), "{text}");
+        assert!(text.contains("domain annotation"), "{text}");
     }
 
     #[test]

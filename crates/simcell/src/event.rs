@@ -171,6 +171,23 @@ pub enum EventKind {
         /// Simulated cycles charged to the thief for the steal.
         cost: u64,
     },
+    /// The fault plane injected a fault.
+    ///
+    /// Recording is free (simulated cycles are charged by the fault
+    /// itself, e.g. a stall, never by the bookkeeping).
+    FaultInjected {
+        /// The accelerator the fault hit.
+        accel: u16,
+        /// What was injected.
+        fault: crate::fault::FaultKind,
+    },
+    /// The runtime took a recovery action after a fault.
+    RecoveryApplied {
+        /// The accelerator the recovery concerns.
+        accel: u16,
+        /// What was done.
+        recovery: crate::fault::RecoveryKind,
+    },
 }
 
 /// One timestamped event.
@@ -199,7 +216,9 @@ impl Event {
             | EventKind::LsHighWater { accel, .. }
             | EventKind::SchedEnqueue { accel, .. }
             | EventKind::SchedRun { accel, .. }
-            | EventKind::SchedIdle { accel, .. } => CoreId::Accel(*accel),
+            | EventKind::SchedIdle { accel, .. }
+            | EventKind::FaultInjected { accel, .. }
+            | EventKind::RecoveryApplied { accel, .. } => CoreId::Accel(*accel),
             EventKind::SchedSteal { thief, .. } => CoreId::Accel(*thief),
             EventKind::Join { .. } | EventKind::Note { .. } => CoreId::Host,
             EventKind::SpanStart { core, .. } | EventKind::SpanEnd { core, .. } => *core,
@@ -301,6 +320,41 @@ impl fmt::Display for Event {
                 "[{:>10}] sched: accel {thief} steals tile {tile} from accel {victim} (+{cost} cycles)",
                 self.at
             ),
+            EventKind::FaultInjected { accel, fault } => {
+                use crate::fault::FaultKind;
+                write!(f, "[{:>10}] accel {accel}: fault ", self.at)?;
+                match fault {
+                    FaultKind::DmaCorrupt { tag, bytes } => {
+                        write!(f, "dma_corrupt tag{tag} {bytes} B")
+                    }
+                    FaultKind::DmaDrop { tag, bytes } => write!(f, "dma_drop tag{tag} {bytes} B"),
+                    FaultKind::TagTimeout { stall } => {
+                        write!(f, "tag_timeout (+{stall} cycles)")
+                    }
+                    FaultKind::AccelStall { cycles } => {
+                        write!(f, "accel_stall (+{cycles} cycles)")
+                    }
+                    FaultKind::AccelDeath => write!(f, "accel_death"),
+                    FaultKind::LsPoison => write!(f, "ls_poison"),
+                }
+            }
+            EventKind::RecoveryApplied { accel, recovery } => {
+                use crate::fault::RecoveryKind;
+                write!(f, "[{:>10}] accel {accel}: recovery ", self.at)?;
+                match recovery {
+                    RecoveryKind::Retry {
+                        tile,
+                        attempt,
+                        backoff,
+                    } => write!(f, "retry tile {tile} attempt {attempt} (+{backoff} cycles)"),
+                    RecoveryKind::Evict { tiles_moved } => {
+                        write!(f, "evict ({tiles_moved} tiles redistributed)")
+                    }
+                    RecoveryKind::HostFallback { tile } => {
+                        write!(f, "host_fallback tile {tile}")
+                    }
+                }
+            }
         }
     }
 }
@@ -551,5 +605,46 @@ mod tests {
             },
         };
         assert!(e.to_string().contains("cache miss x2"));
+    }
+
+    #[test]
+    fn fault_and_recovery_events() {
+        use crate::fault::{FaultKind, RecoveryKind};
+
+        let e = Event {
+            at: 9,
+            kind: EventKind::FaultInjected {
+                accel: 4,
+                fault: FaultKind::DmaDrop { tag: 26, bytes: 64 },
+            },
+        };
+        assert_eq!(e.core(), CoreId::Accel(4));
+        let s = e.to_string();
+        assert!(s.contains("fault dma_drop"), "{s}");
+        assert!(s.contains("tag26"), "{s}");
+
+        let e = Event {
+            at: 9,
+            kind: EventKind::RecoveryApplied {
+                accel: 4,
+                recovery: RecoveryKind::Retry {
+                    tile: 7,
+                    attempt: 2,
+                    backoff: 400,
+                },
+            },
+        };
+        assert_eq!(e.core(), CoreId::Accel(4));
+        let s = e.to_string();
+        assert!(s.contains("retry tile 7 attempt 2"), "{s}");
+
+        let e = Event {
+            at: 1,
+            kind: EventKind::RecoveryApplied {
+                accel: 0,
+                recovery: RecoveryKind::HostFallback { tile: 3 },
+            },
+        };
+        assert!(e.to_string().contains("host_fallback tile 3"));
     }
 }

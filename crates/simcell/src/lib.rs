@@ -61,14 +61,16 @@ pub mod cost;
 pub mod ctx;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod machine;
 pub mod trace;
 
 pub use cost::CostModel;
 pub use ctx::AccelCtx;
-pub use error::SimError;
+pub use error::{DispatchFault, SimError};
 pub use event::{CoreId, Event, EventKind, EventLog};
-pub use machine::{Machine, MachineConfig, OffloadBuilder, OffloadHandle};
+pub use fault::{FaultError, FaultKind, FaultPlan, RecoveryKind};
+pub use machine::{Machine, MachineConfig, OffloadBuilder, OffloadHandle, OffloadParts};
 pub use trace::{
     ascii_timeline, chrome_trace_json, parse_chrome_trace, AccessRecord, AccessTrace, ChromeEvent,
     MachineStats, TraceOp,

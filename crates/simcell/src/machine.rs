@@ -8,6 +8,7 @@ use crate::cost::CostModel;
 use crate::ctx::AccelCtx;
 use crate::error::SimError;
 use crate::event::{CoreId, EventKind, EventLog};
+use crate::fault::{FaultError, FaultKind, FaultPlan, FaultPlane, RecoveryKind};
 use crate::trace::MachineStats;
 
 /// Machine shape and cost parameters.
@@ -123,6 +124,7 @@ pub struct OffloadBuilder<'m> {
     accel: u16,
     label: &'static str,
     cache: CacheChoice,
+    faults: Option<FaultPlan>,
 }
 
 impl<'m> OffloadBuilder<'m> {
@@ -144,6 +146,16 @@ impl<'m> OffloadBuilder<'m> {
     /// back to plain outer accesses and nothing is built.
     pub fn cache(mut self, choice: CacheChoice) -> OffloadBuilder<'m> {
         self.cache = choice;
+        self
+    }
+
+    /// Installs `plan` on the machine right before launch, arming its
+    /// deterministic fault plane (see [`crate::fault`]). The plan
+    /// persists on the machine after the offload, so a sequence of
+    /// launches draws one continuous fault schedule; clear it with
+    /// [`Machine::clear_fault_plan`].
+    pub fn faults(mut self, plan: FaultPlan) -> OffloadBuilder<'m> {
+        self.faults = Some(plan);
         self
     }
 
@@ -174,7 +186,11 @@ impl<'m> OffloadBuilder<'m> {
             accel,
             label,
             cache,
+            faults,
         } = self;
+        if let Some(plan) = faults {
+            machine.install_fault_plan(plan);
+        }
         machine.launch(accel, label, cache, f)
     }
 
@@ -190,18 +206,47 @@ impl<'m> OffloadBuilder<'m> {
             accel,
             label,
             cache,
+            faults,
         } = self;
+        if let Some(plan) = faults {
+            machine.install_fault_plan(plan);
+        }
         let handle = machine.launch(accel, label, cache, f)?;
         Ok(machine.join(handle))
     }
 
     /// Dissolves the builder back into its parts, for scheduler
     /// front-ends layered on top of the machine (e.g.
-    /// `offload_rt::sched`, which fans the configured label and cache
-    /// choice out over several accelerators).
-    pub fn into_parts(self) -> (&'m mut Machine, u16, &'static str, CacheChoice) {
-        (self.machine, self.accel, self.label, self.cache)
+    /// `offload_rt::sched`, which fans the configured label, cache
+    /// choice and fault plan out over several accelerators).
+    pub fn into_parts(self) -> OffloadParts<'m> {
+        OffloadParts {
+            machine: self.machine,
+            accel: self.accel,
+            label: self.label,
+            cache: self.cache,
+            faults: self.faults,
+        }
     }
+}
+
+/// The dissolved contents of an [`OffloadBuilder`], handed to
+/// scheduler front-ends by [`OffloadBuilder::into_parts`].
+///
+/// A struct rather than a tuple so front-ends keep compiling (and stay
+/// readable) as the builder grows new knobs.
+#[derive(Debug)]
+pub struct OffloadParts<'m> {
+    /// The machine the builder was created on.
+    pub machine: &'m mut Machine,
+    /// The accelerator the builder targeted.
+    pub accel: u16,
+    /// The configured label ("offload" when unset).
+    pub label: &'static str,
+    /// The configured tuned-cache choice.
+    pub cache: CacheChoice,
+    /// The fault plan to install before launching, if any.
+    pub faults: Option<FaultPlan>,
 }
 
 /// The simulated heterogeneous machine.
@@ -216,6 +261,7 @@ pub struct Machine {
     events: EventLog,
     stats: MachineStats,
     accesses: softcache::AccessTrace,
+    faults: FaultPlane,
 }
 
 impl Machine {
@@ -267,6 +313,7 @@ impl Machine {
             events: EventLog::new(),
             stats: MachineStats::default(),
             accesses: softcache::AccessTrace::new(),
+            faults: FaultPlane::new(),
         })
     }
 
@@ -322,6 +369,37 @@ impl Machine {
     /// event log, clocks, and memories are untouched.
     pub fn reset_stats(&mut self) {
         self.stats = MachineStats::default();
+    }
+
+    // ---- fault plane -------------------------------------------------------
+
+    /// Arms the deterministic fault plane with `plan` (see
+    /// [`crate::fault`]): the plan's RNG stream is reset to its seed and
+    /// every accelerator is revived. With no plan installed, every
+    /// fault hook is a single always-false branch — the zero-cost
+    /// guarantee the determinism tests pin.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults.install(plan);
+    }
+
+    /// Disarms the fault plane and revives every accelerator.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults.clear();
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.plan()
+    }
+
+    /// True if the fault plane has killed accelerator `accel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `accel` does not exist.
+    pub fn accel_is_dead(&self, accel: u16) -> Result<bool, SimError> {
+        self.check_accel(accel)?;
+        Ok(self.faults.is_dead(accel))
     }
 
     /// Cycles accelerator `accel` has spent executing offload threads.
@@ -533,6 +611,7 @@ impl Machine {
             accel,
             label: "offload",
             cache: CacheChoice::Naive,
+            faults: None,
         }
     }
 
@@ -548,11 +627,55 @@ impl Machine {
         f: impl FnOnce(&mut AccelCtx<'_>) -> R,
     ) -> Result<OffloadHandle<R>, SimError> {
         self.check_accel(accel)?;
+        // A launch on a known-dead accelerator fails fast and free: the
+        // runtime already knows, so no launch overhead is charged.
+        if self.faults.active() && self.faults.is_dead(accel) {
+            return Err(FaultError::AccelDead { accel }.into());
+        }
         self.host_now += self.config.cost.offload_launch;
+        // Fault plane: one death roll and one stall roll per launch (a
+        // zero rate skips its draw entirely). A fresh death still costs
+        // the host the launch overhead it just paid to discover it.
+        if self.faults.active() {
+            let plan = *self.faults.plan().expect("active plane has a plan");
+            if self.faults.roll(plan.accel_death) {
+                self.faults.mark_dead(accel);
+                self.stats.faults_injected += 1;
+                self.stats.fault_deaths += 1;
+                // In-flight transfers die with the core.
+                self.accels[usize::from(accel)].dma.purge();
+                self.events.record(
+                    self.host_now,
+                    EventKind::FaultInjected {
+                        accel,
+                        fault: FaultKind::AccelDeath,
+                    },
+                );
+                return Err(FaultError::AccelDead { accel }.into());
+            }
+        }
         self.stats.offloads += 1;
         let span = (self.stats.offloads - 1) as u32;
         let slot = &mut self.accels[usize::from(accel)];
-        let start = self.host_now.max(slot.busy_until);
+        let mut start = self.host_now.max(slot.busy_until);
+        if self.faults.active() {
+            let plan = *self.faults.plan().expect("active plane has a plan");
+            if self.faults.roll(plan.accel_stall) {
+                self.stats.faults_injected += 1;
+                self.stats.fault_stalls += 1;
+                self.stats.fault_stall_cycles += plan.stall_cycles;
+                self.events.record(
+                    start,
+                    EventKind::FaultInjected {
+                        accel,
+                        fault: FaultKind::AccelStall {
+                            cycles: plan.stall_cycles,
+                        },
+                    },
+                );
+                start += plan.stall_cycles;
+            }
+        }
         self.events
             .record(start, EventKind::OffloadStart { accel, name });
         let mark = slot.ls.save_alloc();
@@ -570,6 +693,9 @@ impl Machine {
             accesses: &mut self.accesses,
             span,
             tuned: None,
+            faults: &mut self.faults,
+            fault_sticky: None,
+            put_journal: Vec::new(),
         };
         // Building the cache is allocation only (zero cycles); the
         // closure, and the final dirty-line flush, run on the
@@ -613,38 +739,6 @@ impl Machine {
         })
     }
 
-    /// Launches `f` as an offload thread on accelerator `accel`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if `accel` does not exist.
-    #[deprecated(since = "0.2.0", note = "use machine.offload(accel).spawn(f)")]
-    pub fn offload_async<R>(
-        &mut self,
-        accel: u16,
-        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
-    ) -> Result<OffloadHandle<R>, SimError> {
-        self.launch(accel, "offload", CacheChoice::Naive, f)
-    }
-
-    /// Launches a labeled offload thread on accelerator `accel`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if `accel` does not exist.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use machine.offload(accel).label(name).spawn(f)"
-    )]
-    pub fn offload_labeled<R>(
-        &mut self,
-        accel: u16,
-        name: &'static str,
-        f: impl FnOnce(&mut AccelCtx<'_>) -> R,
-    ) -> Result<OffloadHandle<R>, SimError> {
-        self.launch(accel, name, CacheChoice::Naive, f)
-    }
-
     /// Joins an offload thread: the host blocks until the accelerator
     /// finished, then resumes with the closure's result.
     pub fn join<R>(&mut self, handle: OffloadHandle<R>) -> R {
@@ -659,19 +753,76 @@ impl Machine {
         handle.result
     }
 
-    /// Offloads and joins immediately (no host work in between).
+    /// Runs `f` *on the host*, as the degraded form of an offload tile
+    /// whose accelerator has failed it — the recovery layer's last
+    /// resort (see `offload_rt::sched`).
+    ///
+    /// The closure runs against accelerator `accel`'s context (its
+    /// local store and DMA engine still work as scratch even when the
+    /// core itself is dead) starting at the *host's* current cycle,
+    /// with fault injection suppressed — the host does not share the
+    /// accelerators' failure modes. The honest penalty is charged by
+    /// scaling the elapsed accelerator-style cycles by
+    /// [`CostModel::host_fallback_factor`] on the host clock; the
+    /// accelerator's busy accounting is untouched because it did no
+    /// work.
     ///
     /// # Errors
     ///
     /// Fails if `accel` does not exist.
-    #[deprecated(since = "0.2.0", note = "use machine.offload(accel).run(f)")]
-    pub fn run_offload<R>(
+    pub fn run_host_fallback<R>(
         &mut self,
         accel: u16,
+        name: &'static str,
         f: impl FnOnce(&mut AccelCtx<'_>) -> R,
     ) -> Result<R, SimError> {
-        let handle = self.launch(accel, "offload", CacheChoice::Naive, f)?;
-        Ok(self.join(handle))
+        self.check_accel(accel)?;
+        let start = self.host_now;
+        self.events.record(
+            start,
+            EventKind::SpanStart {
+                core: CoreId::Host,
+                name,
+            },
+        );
+        self.faults.push_suppress();
+        let slot = &mut self.accels[usize::from(accel)];
+        let mark = slot.ls.save_alloc();
+        let mut ctx = AccelCtx {
+            now: start,
+            cost: self.config.cost,
+            accel_index: accel,
+            main: &mut self.main,
+            ls: &mut slot.ls,
+            dma: &mut slot.dma,
+            staging: slot.staging,
+            staging_size: self.config.staging_size,
+            events: &mut self.events,
+            stats: &mut self.stats,
+            accesses: &mut self.accesses,
+            // Fallbacks are not offload spans; keep them out of the
+            // autotuner's per-span attribution.
+            span: u32::MAX,
+            tuned: None,
+            faults: &mut self.faults,
+            fault_sticky: None,
+            put_journal: Vec::new(),
+        };
+        let result = f(&mut ctx);
+        let elapsed = ctx.now - start;
+        slot.ls.restore_alloc(mark);
+        self.faults.pop_suppress();
+        let penalty = elapsed.saturating_mul(self.config.cost.host_fallback_factor);
+        self.host_now = start + penalty;
+        self.stats.recovery_fallback_cycles += penalty;
+        self.events.record(
+            self.host_now,
+            EventKind::SpanEnd {
+                core: CoreId::Host,
+                name,
+            },
+        );
+        Ok(result)
     }
 
     /// The cycle at which accelerator `accel` finishes its last launched
@@ -745,6 +896,41 @@ impl Machine {
                 victim,
                 tile,
                 cost,
+            },
+        );
+    }
+
+    // ---- recovery bookkeeping ---------------------------------------------
+    //
+    // Zero-simulated-cost hooks for the recovery layer (retry/backoff/
+    // fallback in `offload_rt::sched`), mirroring the scheduler hooks
+    // above: counters always, structured events when the log is on.
+
+    /// Notes that the scheduler evicted dead accelerator `accel` at
+    /// cycle `at`, redistributing `tiles_moved` queued tiles. Zero
+    /// simulated cost.
+    pub fn recovery_note_evict(&mut self, at: u64, accel: u16, tiles_moved: u32) {
+        self.stats.recovery_evictions += 1;
+        self.events.record(
+            at,
+            EventKind::RecoveryApplied {
+                accel,
+                recovery: RecoveryKind::Evict { tiles_moved },
+            },
+        );
+    }
+
+    /// Notes that `tile` was degraded to host execution after
+    /// accelerator `accel` failed it, at cycle `at`. Zero simulated
+    /// cost (the execution penalty is charged by
+    /// [`Machine::run_host_fallback`]).
+    pub fn recovery_note_fallback(&mut self, at: u64, accel: u16, tile: u32) {
+        self.stats.recovery_fallbacks += 1;
+        self.events.record(
+            at,
+            EventKind::RecoveryApplied {
+                accel,
+                recovery: RecoveryKind::HostFallback { tile },
             },
         );
     }
@@ -1321,29 +1507,117 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work_and_match_the_builder() {
-        let body = |ctx: &mut AccelCtx<'_>| ctx.compute(1234);
-        let via_builder = {
+    fn quiet_fault_plan_is_bit_identical_to_no_plan() {
+        use crate::fault::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
             let mut m = machine();
-            let h = m.offload(0).spawn(body).unwrap();
-            m.join(h);
+            if let Some(p) = plan {
+                m.install_fault_plan(p);
+            }
+            let a = m.alloc_main_slice::<u32>(64).unwrap();
+            m.main_mut().write_pod_slice(a, &vec![7u32; 64]).unwrap();
+            m.offload(0)
+                .run(|ctx| -> Result<(), SimError> {
+                    let local = ctx.alloc_local(256, 16)?;
+                    let tag = dma::Tag::new(5).unwrap();
+                    ctx.dma_get(local, a, 256, tag)?;
+                    ctx.dma_wait_tag(tag);
+                    let v: u32 = ctx.local_read_pod(local)?;
+                    ctx.compute(u64::from(v));
+                    Ok(())
+                })
+                .unwrap()
+                .unwrap();
             m.host_now()
         };
-        let via_wrappers = {
+        // All-zero rates short-circuit every roll, so an armed-but-quiet
+        // plane costs nothing and consumes no randomness.
+        assert_eq!(run(None), run(Some(FaultPlan::new(12345))));
+    }
+
+    #[test]
+    fn accel_death_fails_launches_and_is_sticky() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        m.install_fault_plan(FaultPlan::new(1).with_accel_death(1.0));
+        let err = m
+            .offload(0)
+            .run(|ctx| ctx.compute(1))
+            .expect_err("certain death must fail the launch");
+        assert_eq!(err, SimError::Fault(FaultError::AccelDead { accel: 0 }));
+        assert!(m.accel_is_dead(0).unwrap());
+        let t0 = m.host_now();
+        let err = m.offload(0).run(|ctx| ctx.compute(1)).unwrap_err();
+        assert!(matches!(err, SimError::Fault(FaultError::AccelDead { .. })));
+        assert_eq!(m.host_now(), t0, "known-dead launches are free");
+        // Clearing the plan revives the machine.
+        m.clear_fault_plan();
+        m.offload(0).run(|ctx| ctx.compute(1)).unwrap();
+    }
+
+    #[test]
+    fn accel_stall_delays_the_block_start() {
+        use crate::fault::FaultPlan;
+        let stalled = {
             let mut m = machine();
-            let h = m.offload_async(0, body).unwrap();
-            m.join(h);
-            m.host_now()
+            m.install_fault_plan(
+                FaultPlan::new(2)
+                    .with_accel_stall(1.0)
+                    .with_stall_cycles(9_000),
+            );
+            let h = m.offload(0).spawn(|ctx| ctx.compute(100)).unwrap();
+            h.start()
         };
-        assert_eq!(via_builder, via_wrappers);
+        let clean = {
+            let mut m = machine();
+            let h = m.offload(0).spawn(|ctx| ctx.compute(100)).unwrap();
+            h.start()
+        };
+        assert_eq!(stalled, clean + 9_000);
+    }
+
+    #[test]
+    fn host_fallback_charges_the_penalty_factor() {
         let mut m = machine();
-        m.run_offload(0, body).unwrap();
-        assert_eq!(m.host_now(), via_builder);
+        let a = m.alloc_main_pod::<u32>().unwrap();
+        m.main_mut().write_pod(a, &20u32).unwrap();
+        let t0 = m.host_now();
+        let v = m
+            .run_host_fallback(0, "tile-fallback", |ctx| -> Result<u32, SimError> {
+                let v: u32 = ctx.outer_read_pod(a)?;
+                ctx.compute(1_000);
+                ctx.outer_write_pod(a, &(v + 1))?;
+                Ok(v)
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(v, 20);
+        assert_eq!(m.main().read_pod::<u32>(a).unwrap(), 21);
+        let elapsed = m.host_now() - t0;
+        assert!(
+            elapsed >= 3 * 1_000,
+            "fallback must charge at least factor x compute: {elapsed}"
+        );
+        assert_eq!(elapsed % m.cost().host_fallback_factor, 0);
+        assert_eq!(m.stats().recovery_fallback_cycles, elapsed);
+        // The accelerator did no work.
+        assert_eq!(m.accel_busy_cycles(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn recovery_notes_update_stats_and_record_events() {
         let mut m = machine();
-        let h = m.offload_labeled(0, "legacy", body).unwrap();
-        m.join(h);
-        assert_eq!(m.host_now(), via_builder);
+        m.events_mut().set_enabled(true);
+        m.recovery_note_evict(100, 0, 3);
+        m.recovery_note_fallback(200, 0, 7);
+        assert_eq!(m.stats().recovery_evictions, 1);
+        assert_eq!(m.stats().recovery_fallbacks, 1);
+        let text: Vec<String> = m.events().events().iter().map(|e| e.to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("evict")), "{text:?}");
+        assert!(
+            text.iter().any(|s| s.contains("host_fallback tile 7")),
+            "{text:?}"
+        );
     }
 
     #[test]

@@ -105,6 +105,33 @@ pub struct MachineStats {
     /// Accelerator cycles a scheduler reported as idle gaps while its
     /// task was in flight.
     pub sched_idle_cycles: u64,
+    /// Total faults injected by the fault plane (all kinds).
+    pub faults_injected: u64,
+    /// DMA transfers that landed corrupted.
+    pub fault_dma_corrupt: u64,
+    /// DMA transfers that were charged but dropped.
+    pub fault_dma_drop: u64,
+    /// Tag-group waits that timed out.
+    pub fault_timeouts: u64,
+    /// Launches delayed by an injected stall.
+    pub fault_stalls: u64,
+    /// Cycles lost to injected stalls and timeout waits.
+    pub fault_stall_cycles: u64,
+    /// Accelerators killed at a launch boundary.
+    pub fault_deaths: u64,
+    /// Local-store reads that observed poisoned data.
+    pub fault_ls_poison: u64,
+    /// Tile runs the recovery layer retried after a fault.
+    pub recovery_retries: u64,
+    /// Cycles charged as backoff before those retries.
+    pub recovery_backoff_cycles: u64,
+    /// Dead accelerators evicted from a scheduler mid-run.
+    pub recovery_evictions: u64,
+    /// Tiles degraded to host execution after exhausting retries.
+    pub recovery_fallbacks: u64,
+    /// Host cycles spent running those fallback tiles (penalty
+    /// included).
+    pub recovery_fallback_cycles: u64,
 }
 
 impl MachineStats {
@@ -152,13 +179,18 @@ impl fmt::Display for MachineStats {
 
 /// Thread-id layout of the exported trace: the host runs on tid 0,
 /// accelerator *n* on tid `1 + n`, accelerator *n*'s DMA lane on tid
-/// `DMA_LANE_BASE + n`, and its scheduler lane on tid
-/// `SCHED_LANE_BASE + n`.
+/// `DMA_LANE_BASE + n`, its scheduler lane on tid
+/// `SCHED_LANE_BASE + n`, and its fault lane on tid
+/// `FAULT_LANE_BASE + n`.
 pub const DMA_LANE_BASE: u64 = 100;
 
 /// Base thread id of the per-accelerator scheduler lanes (tile
 /// assignment and idle-gap slices; see `offload_rt::sched`).
 pub const SCHED_LANE_BASE: u64 = 200;
+
+/// Base thread id of the per-accelerator fault lanes (injected faults
+/// and recovery actions; see [`crate::fault`]).
+pub const FAULT_LANE_BASE: u64 = 300;
 
 /// Thread id of accelerator `accel`'s execution lane.
 pub fn accel_tid(accel: u16) -> u64 {
@@ -173,6 +205,11 @@ pub fn dma_tid(accel: u16) -> u64 {
 /// Thread id of accelerator `accel`'s scheduler lane.
 pub fn sched_tid(accel: u16) -> u64 {
     SCHED_LANE_BASE + u64::from(accel)
+}
+
+/// Thread id of accelerator `accel`'s fault lane.
+pub fn fault_tid(accel: u16) -> u64 {
+    FAULT_LANE_BASE + u64::from(accel)
 }
 
 fn tid_of(core: CoreId) -> u64 {
@@ -274,6 +311,9 @@ impl ChromeWriter {
 /// instant events; local-store high-water marks become counter tracks.
 /// Scheduler tile runs (`tile N`) and idle gaps (`idle`) become X
 /// slices on the scheduler lane, with enqueues and steals as instants.
+/// Injected faults and recovery actions become instants on the fault
+/// lane (tid `300+n`), named by their stable kind string
+/// (`dma_drop`, `tag_timeout`, `retry`, `host_fallback`, …).
 pub fn chrome_trace_json(log: &EventLog) -> String {
     let mut w = ChromeWriter::new();
     w.metadata("process_name", 0, "offload-sim");
@@ -284,6 +324,7 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
     let mut seen_accel = [false; 64];
     let mut seen_dma = [false; 64];
     let mut seen_sched = [false; 64];
+    let mut seen_fault = [false; 64];
     for e in &events {
         if let CoreId::Accel(a) = e.core() {
             let a = a as usize;
@@ -311,6 +352,15 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
             if a < 64 && !seen_sched[a] {
                 seen_sched[a] = true;
                 w.metadata("thread_name", sched_tid(accel), &format!("sched {a}"));
+            }
+        }
+        if let EventKind::FaultInjected { accel, .. } | EventKind::RecoveryApplied { accel, .. } =
+            e.kind
+        {
+            let a = accel as usize;
+            if a < 64 && !seen_fault[a] {
+                seen_fault[a] = true;
+                w.metadata("thread_name", fault_tid(accel), &format!("faults {a}"));
             }
         }
     }
@@ -478,6 +528,45 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
                     sched_tid(*thief),
                     &format!("\"victim\":{victim},\"tile\":{tile},\"cost\":{cost}"),
                 );
+            }
+            EventKind::FaultInjected { accel, fault } => {
+                use crate::fault::FaultKind;
+                let mut args = format!("\"accel\":{accel},\"kind\":\"{}\"", fault.name());
+                match fault {
+                    FaultKind::DmaCorrupt { tag, bytes } | FaultKind::DmaDrop { tag, bytes } => {
+                        args.push_str(&format!(",\"tag\":{tag},\"bytes\":{bytes}"));
+                    }
+                    FaultKind::TagTimeout { stall } => {
+                        args.push_str(&format!(",\"stall\":{stall}"));
+                    }
+                    FaultKind::AccelStall { cycles } => {
+                        args.push_str(&format!(",\"cycles\":{cycles}"));
+                    }
+                    FaultKind::AccelDeath | FaultKind::LsPoison => {}
+                }
+                w.event(fault.name(), 'i', e.at, None, fault_tid(*accel), &args);
+            }
+            EventKind::RecoveryApplied { accel, recovery } => {
+                use crate::fault::RecoveryKind;
+                let mut args = format!("\"accel\":{accel},\"kind\":\"{}\"", recovery.name());
+                match recovery {
+                    RecoveryKind::Retry {
+                        tile,
+                        attempt,
+                        backoff,
+                    } => {
+                        args.push_str(&format!(
+                            ",\"tile\":{tile},\"attempt\":{attempt},\"backoff\":{backoff}"
+                        ));
+                    }
+                    RecoveryKind::Evict { tiles_moved } => {
+                        args.push_str(&format!(",\"tiles_moved\":{tiles_moved}"));
+                    }
+                    RecoveryKind::HostFallback { tile } => {
+                        args.push_str(&format!(",\"tile\":{tile}"));
+                    }
+                }
+                w.event(recovery.name(), 'i', e.at, None, fault_tid(*accel), &args);
             }
         }
     }
@@ -1032,6 +1121,29 @@ impl Machine {
                 imbalance
             ));
         }
+        if stats.faults_injected > 0 || stats.recovery_retries > 0 || stats.recovery_fallbacks > 0 {
+            out.push_str(&format!(
+                "faults: {} injected ({} dma corrupt, {} dma drop, {} timeouts, \
+                 {} stalls, {} deaths, {} ls poison), {} cycles lost to stalls\n",
+                stats.faults_injected,
+                stats.fault_dma_corrupt,
+                stats.fault_dma_drop,
+                stats.fault_timeouts,
+                stats.fault_stalls,
+                stats.fault_deaths,
+                stats.fault_ls_poison,
+                stats.fault_stall_cycles
+            ));
+            out.push_str(&format!(
+                "recovery: {} retries (+{} backoff cycles), {} evictions, \
+                 {} host fallbacks (+{} host cycles)\n",
+                stats.recovery_retries,
+                stats.recovery_backoff_cycles,
+                stats.recovery_evictions,
+                stats.recovery_fallbacks,
+                stats.recovery_fallback_cycles
+            ));
+        }
         if self.events().is_enabled() {
             out.push_str(&format!(
                 "event log: {} events recorded\n",
@@ -1177,6 +1289,66 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.ph == 'i' && e.name == "enqueue" && e.tid == lane));
+        Ok(())
+    }
+
+    #[test]
+    fn fault_lane_round_trips() {
+        use crate::event::CoreId;
+        use crate::fault::{FaultKind, RecoveryKind};
+        let mut log = EventLog::new();
+        log.set_enabled(true);
+        log.record(
+            100,
+            EventKind::FaultInjected {
+                accel: 2,
+                fault: FaultKind::DmaDrop { tag: 5, bytes: 256 },
+            },
+        );
+        log.record(
+            400,
+            EventKind::RecoveryApplied {
+                accel: 2,
+                recovery: RecoveryKind::Retry {
+                    tile: 7,
+                    attempt: 1,
+                    backoff: 200,
+                },
+            },
+        );
+        assert!(log.sorted().iter().all(|e| e.core() == CoreId::Accel(2)));
+        let json = chrome_trace_json(&log);
+        let events = parse_chrome_trace(&json).unwrap();
+        let lane = fault_tid(2);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.ph == 'M' && e.tid == lane && e.name == "thread_name"),
+            "fault lane is named"
+        );
+        let drop = events
+            .iter()
+            .find(|e| e.ph == 'i' && e.name == "dma_drop")
+            .expect("fault instant");
+        assert_eq!((drop.ts, drop.tid), (100, lane));
+        let retry = events
+            .iter()
+            .find(|e| e.ph == 'i' && e.name == "retry")
+            .expect("recovery instant");
+        assert_eq!((retry.ts, retry.tid), (400, lane));
+    }
+
+    #[test]
+    fn utilization_report_mentions_faults_only_when_any_fired() -> Result<(), SimError> {
+        let m = Machine::new(MachineConfig::small())?;
+        assert!(!m.utilization_report().contains("faults:"));
+        let mut m = Machine::new(MachineConfig::small())?;
+        m.install_fault_plan(crate::fault::FaultPlan::new(9).with_accel_death(1.0));
+        let _ = m.offload(0).run(|ctx| ctx.compute(1));
+        let report = m.utilization_report();
+        assert!(report.contains("faults: 1 injected"));
+        assert!(report.contains("1 deaths"));
+        assert!(report.contains("recovery: 0 retries"));
         Ok(())
     }
 

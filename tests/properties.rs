@@ -313,6 +313,182 @@ fn chunked_and_streamed_processing_agree() {
     }
 }
 
+// ----------------------------------------------------------------- fault
+
+/// One traced recovering frame: the Chrome trace JSON (fault schedule
+/// and recovery instants included), the final world, and the report's
+/// (cycles, faults) pair — everything the determinism property pins.
+fn recovering_run(
+    seed: u64,
+    rate: f32,
+    policy: offload_repro::offload_rt::sched::SchedPolicy,
+) -> (String, Vec<offload_repro::gamekit::GameEntity>, u64, u64) {
+    use offload_repro::gamekit::{ai_frame_sched_recovering, AiConfig, EntityArray, WorldGen};
+    use offload_repro::simcell::{chrome_trace_json, FaultPlan};
+
+    let n = 256;
+    let config = AiConfig::default();
+    let mut machine = Machine::new(MachineConfig::default()).unwrap();
+    machine.events_mut().set_enabled(true);
+    let entities = EntityArray::alloc(&mut machine, n).unwrap();
+    let mut gen = WorldGen::new(0xF0_0D);
+    gen.populate(&mut machine, &entities, 70.0).unwrap();
+    let table = gen
+        .candidate_table(&mut machine, n, config.candidates)
+        .unwrap();
+    let report = ai_frame_sched_recovering(
+        &mut machine,
+        &entities,
+        table,
+        &config,
+        4,
+        8,
+        policy,
+        FaultPlan::uniform(seed, rate),
+        3,
+        1_000,
+    )
+    .unwrap();
+    assert_eq!(machine.races_detected(), 0);
+    let world = entities.snapshot(&machine).unwrap();
+    let trace = chrome_trace_json(machine.events());
+    (trace, world, report.cycles, report.faults)
+}
+
+/// The tentpole determinism property: an identical `FaultPlan` seed
+/// produces a bit-identical fault schedule, recovery trace, and final
+/// world state — across random seeds, rates, and all three scheduler
+/// policies.
+#[test]
+fn identical_fault_seeds_reproduce_schedule_trace_and_world_bit_identically() {
+    use offload_repro::offload_rt::sched::SchedPolicy;
+
+    let mut rng = Rng::new(0xFA_17);
+    let mut injected_somewhere = false;
+    for case in 0..12 {
+        let seed = rng.next_u64();
+        let rate = rng.range_u32(1, 11) as f32 / 100.0;
+        let policy = [
+            SchedPolicy::Static,
+            SchedPolicy::ShortestQueue,
+            SchedPolicy::WorkStealing,
+        ][rng.below_u32(3) as usize];
+        let a = recovering_run(seed, rate, policy);
+        let b = recovering_run(seed, rate, policy);
+        assert_eq!(a.0, b.0, "case {case}: trace JSON diverged");
+        assert_eq!(a.1, b.1, "case {case}: world diverged");
+        assert_eq!(a.2, b.2, "case {case}: cycles diverged");
+        assert_eq!(a.3, b.3, "case {case}: fault counts diverged");
+        injected_somewhere |= a.3 > 0;
+    }
+    assert!(
+        injected_somewhere,
+        "twelve random plans must inject at least once"
+    );
+}
+
+/// Different seeds at the same rate must not replay the same schedule —
+/// the plan's RNG stream, not the rate, decides where faults land.
+#[test]
+fn different_fault_seeds_produce_different_schedules() {
+    use offload_repro::offload_rt::sched::SchedPolicy;
+
+    let a = recovering_run(0xA, 0.05, SchedPolicy::WorkStealing);
+    let b = recovering_run(0xB, 0.05, SchedPolicy::WorkStealing);
+    assert_ne!(a.0, b.0, "seeds 0xA and 0xB replayed the same trace");
+    // Both recover to the same world regardless of where faults landed.
+    assert_eq!(a.1, b.1);
+}
+
+/// DMA edge case: a tag timeout with commands genuinely in flight
+/// stalls the clock and leaves a sticky fault, but the transfer's bytes
+/// still land — the timeout models a late completion, not a lost one.
+#[test]
+fn tag_timeout_on_an_in_flight_tag_is_sticky_and_loses_no_data() {
+    use offload_repro::dma::Tag;
+    use offload_repro::simcell::{FaultError, FaultPlan};
+
+    let mut machine = Machine::new(MachineConfig::small()).unwrap();
+    let remote = machine.alloc_main_slice::<u32>(64).unwrap();
+    let values: Vec<u32> = (0..64).map(|i| i * 3 + 7).collect();
+    machine.main_mut().write_pod_slice(remote, &values).unwrap();
+    let expected = values.clone();
+    machine
+        .offload(0)
+        .faults(FaultPlan::new(1).with_tag_timeout(1.0))
+        .run(move |ctx| -> Result<(), SimError> {
+            let local = ctx.alloc_local(256, 16)?;
+            let tag = Tag::new(2).unwrap();
+            ctx.dma_get(local, remote, 256, tag)?;
+            let before = ctx.now();
+            ctx.dma_wait_tag(tag);
+            assert!(ctx.now() > before, "a hit timeout must stall the clock");
+            // The sticky fault surfaces on the next fallible operation…
+            let err = ctx.check_faults().unwrap_err();
+            assert!(matches!(
+                err,
+                SimError::Fault(FaultError::TagTimeout { accel: 0, .. })
+            ));
+            // …then clears, and the data arrived intact anyway.
+            assert!(ctx.take_fault().is_none());
+            ctx.check_faults()?;
+            let got = ctx.local_read_slice::<u32>(local, 64)?;
+            assert_eq!(got, expected);
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+    assert_eq!(machine.races_detected(), 0);
+    assert!(machine.stats().faults_injected >= 1);
+}
+
+/// DMA edge case: a transfer fault on one tag while another tag's
+/// transfer is in flight neither damages the clean tag's data nor
+/// confuses the race checker — the faulted command still completes and
+/// retires like any other.
+#[test]
+fn transfer_fault_beside_an_in_flight_tag_leaves_the_clean_tag_intact() {
+    use offload_repro::dma::Tag;
+    use offload_repro::simcell::{FaultError, FaultPlan};
+
+    // Seed 0 makes the plan's first per-transfer roll miss and the
+    // second hit at rate 0.5: tag 1's get is clean, tag 2's corrupts.
+    let seed = 0;
+    let mut machine = Machine::new(MachineConfig::small()).unwrap();
+    let remote = machine.alloc_main_slice::<u32>(128).unwrap();
+    let values: Vec<u32> = (0..128).map(|i| i ^ 0x5a5a).collect();
+    machine.main_mut().write_pod_slice(remote, &values).unwrap();
+    let clean_half = values[..64].to_vec();
+    machine
+        .offload(0)
+        .faults(FaultPlan::new(seed).with_dma_corrupt(0.5))
+        .run(move |ctx| -> Result<(), SimError> {
+            let a = ctx.alloc_local(256, 16)?;
+            let b = ctx.alloc_local(256, 16)?;
+            ctx.dma_get(a, remote, 256, Tag::new(1).unwrap())?;
+            // Tag 1 is still in flight when tag 2's transfer faults.
+            let err = ctx
+                .dma_get(b, remote.offset_by(256)?, 256, Tag::new(2).unwrap())
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                SimError::Fault(FaultError::DmaCorrupted {
+                    accel: 0,
+                    tag: 2,
+                    ..
+                })
+            ));
+            ctx.dma_wait_all();
+            ctx.take_fault();
+            let got = ctx.local_read_slice::<u32>(a, 64)?;
+            assert_eq!(got, clean_half, "the clean tag's bytes must land intact");
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+    assert_eq!(machine.races_detected(), 0);
+}
+
 // ------------------------------------------------------------ offload-lang
 
 #[test]
