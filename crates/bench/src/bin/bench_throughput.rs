@@ -16,6 +16,14 @@
 //! [output.json]`. Defaults to `BENCH_throughput.json` in the current
 //! directory.
 //!
+//! With `--farm` the report gains the sim-farm scaling lane:
+//! `worlds_per_sec` and aggregate `farm_sim_cycles_per_sec` at
+//! 1/2/4/8 worker threads, measured on the worker critical path (see
+//! [`bench::farmlane`] for why that, and not wall clock, is the
+//! scaling signal on CI boxes), plus `farm_scaling_2t`/`_4t` entries
+//! in the `"speedups"` section so the scaling joins the perf budget.
+//! `--quick` shrinks the farm batch for CI.
+//!
 //! With `--check <baseline.json> [--max-regress <ratio>]` the run
 //! additionally enforces the CI perf-regression budget: after writing
 //! the fresh report, every hot-path speedup is compared against the
@@ -135,6 +143,8 @@ fn json_escape(s: &str) -> String {
 struct Args {
     out_path: String,
     check: Option<(String, f64)>,
+    farm: bool,
+    quick: bool,
 }
 
 fn parse_args() -> Args {
@@ -142,9 +152,19 @@ fn parse_args() -> Args {
     let mut out_path = None;
     let mut baseline = None;
     let mut max_regress = 0.85f64;
+    let mut farm = false;
+    let mut quick = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--farm" => {
+                farm = true;
+                i += 1;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
             "--check" => {
                 baseline = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
                     eprintln!("--check needs a baseline file, e.g. --check BENCH_throughput.json");
@@ -175,6 +195,8 @@ fn parse_args() -> Args {
     Args {
         out_path: out_path.unwrap_or_else(|| "BENCH_throughput.json".to_string()),
         check: baseline.map(|b| (b, max_regress)),
+        farm,
+        quick,
     }
 }
 
@@ -317,6 +339,32 @@ fn main() {
         eprintln!("  {}: {:.2}x", c.key, c.speedup());
     }
 
+    // --- Sim-farm scaling lane ------------------------------------
+    let farm_bench = if args.farm {
+        let worlds = if args.quick { 32 } else { 64 };
+        let threads: &[usize] = if args.quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8]
+        };
+        eprintln!("sim farm scaling ({worlds} worlds per lane)");
+        let bench = bench::farmlane::run_farm_bench(worlds, threads);
+        for lane in &bench.lanes {
+            eprintln!(
+                "  {} worker(s): {:.0} worlds/s critical-path ({:.0} wall), \
+                 {:.2e} sim cycles/s, scaling {:.2}x",
+                lane.threads,
+                lane.worlds_per_sec,
+                lane.wall_worlds_per_sec,
+                lane.farm_sim_cycles_per_sec,
+                bench.scaling(lane.threads)
+            );
+        }
+        Some(bench)
+    } else {
+        None
+    };
+
     // --- Report ---------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
@@ -336,9 +384,38 @@ fn main() {
         stream_wall.iters_per_sec()
     ));
     json.push_str("  },\n");
+    if let Some(farm) = &farm_bench {
+        json.push_str("  \"farm\": {\n");
+        json.push_str(&format!("    \"worlds\": {},\n", farm.worlds));
+        json.push_str(&format!(
+            "    \"batch_sim_cycles\": {},\n",
+            farm.batch_sim_cycles
+        ));
+        json.push_str("    \"lanes\": [\n");
+        for (i, lane) in farm.lanes.iter().enumerate() {
+            let comma = if i + 1 < farm.lanes.len() { "," } else { "" };
+            json.push_str(&format!(
+                "      {{ \"threads\": {}, \"worlds_per_sec\": {:.1}, \
+                 \"farm_sim_cycles_per_sec\": {:.0}, \"critical_path_ms\": {:.3}, \
+                 \"wall_ms\": {:.3}, \"wall_worlds_per_sec\": {:.1} }}{comma}\n",
+                lane.threads,
+                lane.worlds_per_sec,
+                lane.farm_sim_cycles_per_sec,
+                lane.critical_path_secs * 1e3,
+                lane.wall_secs * 1e3,
+                lane.wall_worlds_per_sec,
+            ));
+        }
+        json.push_str("    ]\n");
+        json.push_str("  },\n");
+    }
     json.push_str("  \"speedups\": {\n");
     for (i, c) in comparisons.iter().enumerate() {
-        let comma = if i + 1 < comparisons.len() { "," } else { "" };
+        let comma = if i + 1 < comparisons.len() || farm_bench.is_some() {
+            ","
+        } else {
+            ""
+        };
         json.push_str(&format!(
             "    \"{}\": {{ \"label\": \"{}\", \"legacy_ns_per_iter\": {:.1}, \"current_ns_per_iter\": {:.1}, \"speedup\": {:.3} }}{comma}\n",
             c.key,
@@ -346,6 +423,16 @@ fn main() {
             c.legacy.nanos_per_iter(),
             c.current.nanos_per_iter(),
             c.speedup()
+        ));
+    }
+    if let Some(farm) = &farm_bench {
+        json.push_str(&format!(
+            "    \"farm_scaling_2t\": {{ \"label\": \"sim farm critical-path scaling, 2 workers vs 1\", \"speedup\": {:.3} }},\n",
+            farm.scaling(2)
+        ));
+        json.push_str(&format!(
+            "    \"farm_scaling_4t\": {{ \"label\": \"sim farm critical-path scaling, 4 workers vs 1\", \"speedup\": {:.3} }}\n",
+            farm.scaling(4)
         ));
     }
     json.push_str("  }\n");

@@ -29,6 +29,7 @@
 
 pub mod autotune;
 pub mod exp;
+pub mod farmlane;
 pub mod hotpath;
 pub mod perfbudget;
 pub mod profile;

@@ -113,8 +113,11 @@ mod tests {
     fn committed_baseline_parses() {
         let json = include_str!("../../../BENCH_throughput.json");
         let speedups = parse_speedups(json).expect("committed baseline parses");
-        assert_eq!(speedups.len(), 3);
+        // Three hot-path speedups plus the two farm scaling lanes.
+        assert_eq!(speedups.len(), 5);
         assert!(speedups.iter().any(|(k, _)| k == "dma_issue_wait"));
+        assert!(speedups.iter().any(|(k, _)| k == "farm_scaling_2t"));
+        assert!(speedups.iter().any(|(k, _)| k == "farm_scaling_4t"));
         assert!(speedups.iter().all(|&(_, v)| v > 1.0));
     }
 

@@ -603,6 +603,24 @@ impl DmaEngine {
         }
     }
 
+    /// Restores the engine to its as-constructed state: in-flight
+    /// commands, statistics, the race checker's history, the command
+    /// id counter and every clock are discarded. The per-tag rings keep
+    /// their capacity, so a reset engine reissues without allocating —
+    /// the machine-reuse path of the sim farm depends on a reset engine
+    /// being indistinguishable from a new one.
+    pub fn reset(&mut self) {
+        for queue in &mut self.queues {
+            queue.clear();
+        }
+        self.inflight_count = 0;
+        self.engine_free_at = 0;
+        self.next_id = 1;
+        self.last_complete_at = 0;
+        self.stats = DmaStats::default();
+        self.checker.reset();
+    }
+
     /// Records a direct core access to the local store so the race
     /// checker can flag conflicts with in-flight transfers.
     ///
@@ -672,6 +690,48 @@ mod tests {
         assert_eq!(done, expected);
         assert_eq!(ls.read_bytes(dst, 64).unwrap(), &[7u8; 64][..]);
         assert!(!engine.tag_busy(tag(1)));
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_engine() {
+        let (mut main, mut ls, mut engine) = setup();
+        let src = Addr::new(SpaceId::MAIN, 256);
+        let dst = Addr::new(SpaceId::local_store(0), 512);
+        main.write_bytes(src, &[7; 64]).unwrap();
+        let resume = engine
+            .get(0, dst, src, 64, tag(1), &mut main, &mut ls)
+            .unwrap();
+        // A race on purpose, so the checker has history to forget.
+        engine.note_local_access(
+            AddrRange::new(dst, 16).unwrap(),
+            crate::race::AccessKind::Read,
+            resume,
+        );
+        assert_eq!(engine.race_checker().detected(), 1);
+
+        engine.reset();
+        assert_eq!(engine.stats(), DmaStats::default());
+        assert_eq!(engine.inflight_len(), 0);
+        assert_eq!(engine.last_complete_at(), 0);
+        assert_eq!(engine.race_checker().detected(), 0);
+        assert!(engine.race_checker().reports().is_empty());
+
+        // The replayed transfer behaves exactly like the first one on a
+        // fresh engine: same issue cost, same completion time.
+        let (mut main2, mut ls2, mut fresh) = setup();
+        main2.write_bytes(src, &[7; 64]).unwrap();
+        let r1 = engine
+            .get(0, dst, src, 64, tag(1), &mut main, &mut ls)
+            .unwrap();
+        let r2 = fresh
+            .get(0, dst, src, 64, tag(1), &mut main2, &mut ls2)
+            .unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(
+            engine.wait(tag(1).mask(), r1),
+            fresh.wait(tag(1).mask(), r2)
+        );
+        assert_eq!(engine.stats(), fresh.stats());
     }
 
     #[test]

@@ -163,6 +163,15 @@ impl RaceChecker {
         self.mode = mode;
     }
 
+    /// Forgets every tracked transfer, recorded report, and the
+    /// detection count, keeping the mode and the backing capacity. Part
+    /// of [`crate::DmaEngine::reset`].
+    pub fn reset(&mut self) {
+        self.tracked.clear();
+        self.reports.clear();
+        self.detected = 0;
+    }
+
     /// Races detected so far (including ignored ones).
     pub fn detected(&self) -> u64 {
         self.detected

@@ -285,6 +285,17 @@ impl MemoryRegion {
         self.next_free = crate::DMA_ALIGN;
     }
 
+    /// Restores the region to its as-constructed state: every byte is
+    /// zeroed and the bump allocator (including the high-water mark)
+    /// restarts past the null page. The backing storage is reused, so a
+    /// reset allocates nothing — this is the arena-reuse primitive the
+    /// sim farm's per-world `Machine` recycling is built on.
+    pub fn reset(&mut self) {
+        self.bytes.fill(0);
+        self.next_free = crate::DMA_ALIGN;
+        self.high_water = crate::DMA_ALIGN;
+    }
+
     /// Returns the current allocator position, to be restored later with
     /// [`MemoryRegion::restore_alloc`]. Used to scope allocations to an
     /// offload block: data declared inside the block dies with it.
@@ -503,6 +514,22 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = MemoryRegion::new(SpaceId::MAIN, SpaceKind::Main, 0);
+    }
+
+    #[test]
+    fn reset_restores_the_as_constructed_state() {
+        let mut m = region();
+        let a = m.alloc(64, 16).unwrap();
+        m.write_bytes(a, &[9; 64]).unwrap();
+        let _ = m.alloc(256, 16).unwrap();
+        m.reset();
+        // Same allocation sequence, same addresses, zeroed contents.
+        let fresh = region();
+        assert_eq!(m.bytes_free(), fresh.bytes_free());
+        assert_eq!(m.alloc_high_water(), fresh.alloc_high_water());
+        let b = m.alloc(64, 16).unwrap();
+        assert_eq!(b, a, "reset replays the allocation sequence");
+        assert_eq!(m.read_bytes(b, 64).unwrap(), &[0u8; 64][..]);
     }
 
     #[test]

@@ -188,7 +188,7 @@ pub struct TileScheduler<'m> {
 }
 
 /// Per-accelerator row of a [`SchedReport`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaneReport {
     /// The accelerator index.
     pub accel: u16,
@@ -203,7 +203,7 @@ pub struct LaneReport {
 
 /// What a [`TileScheduler::run_tiles`] dispatch did, for reports and
 /// assertions. All cycle figures are simulated cycles.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SchedReport {
     /// The policy that produced this schedule.
     pub policy: SchedPolicy,

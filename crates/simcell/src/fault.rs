@@ -370,6 +370,17 @@ impl FaultPlane {
         self.dead = 0;
     }
 
+    /// Full reset back to the as-constructed state: disarmed, everyone
+    /// alive, the RNG stream re-seeded to the disarmed default, and any
+    /// suppression depth forgotten. Used by `Machine::reset_for_seed`
+    /// so a recycled machine is bit-identical to a new one.
+    pub(crate) fn reset(&mut self) {
+        self.plan = None;
+        self.rng = Rng::new(0);
+        self.dead = 0;
+        self.suppress = 0;
+    }
+
     /// The installed plan, if any.
     pub(crate) fn plan(&self) -> Option<&FaultPlan> {
         self.plan.as_ref()

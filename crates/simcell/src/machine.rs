@@ -17,7 +17,7 @@ use crate::trace::MachineStats;
 /// local stores and a 16 MiB simulated main memory (large enough for
 /// every workload in the workspace while keeping regions cheap to
 /// clone).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Number of accelerator cores.
     pub accel_count: u16,
@@ -262,7 +262,14 @@ pub struct Machine {
     stats: MachineStats,
     accesses: softcache::AccessTrace,
     faults: FaultPlane,
+    world_seed: u64,
 }
+
+// Workers in a sim farm own machines outright and carry them across OS
+// threads; keep that a compile-time guarantee rather than an accident
+// of today's field types.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<Machine>();
 
 impl Machine {
     /// Builds a machine.
@@ -314,6 +321,7 @@ impl Machine {
             stats: MachineStats::default(),
             accesses: softcache::AccessTrace::new(),
             faults: FaultPlane::new(),
+            world_seed: 0,
         })
     }
 
@@ -369,6 +377,81 @@ impl Machine {
     /// event log, clocks, and memories are untouched.
     pub fn reset_stats(&mut self) {
         self.stats = MachineStats::default();
+    }
+
+    /// Restores the machine to the state a fresh [`Machine::new`] with
+    /// the same configuration would have, then tags it with `seed`:
+    /// every memory region is zeroed and its allocator rewound, the DMA
+    /// engines, clocks, stats, event log, access trace, and fault plane
+    /// all return to their as-constructed defaults, and the per-accel
+    /// staging buffers are re-carved at their original addresses.
+    ///
+    /// The backing storage is reused, so a reset allocates nothing —
+    /// this is the arena-reuse path the sim farm leans on to recycle
+    /// worker machines between worlds. A world run on a recycled
+    /// machine is bit-identical to the same world run on a fresh one
+    /// (pinned by test).
+    pub fn reset_for_seed(&mut self, seed: u64) {
+        self.host_now = 0;
+        self.main.reset();
+        for accel in &mut self.accels {
+            accel.ls.reset();
+            accel.dma.reset();
+            accel.busy_until = 0;
+            accel.busy_cycles = 0;
+            // The staging carve-out succeeded at construction against
+            // the same capacity, so it cannot fail after a rewind; it
+            // lands back at the identical address.
+            accel.staging = accel
+                .ls
+                .alloc(self.config.staging_size, memspace::DMA_ALIGN)
+                .expect("staging buffer fit at construction");
+        }
+        self.events.clear();
+        self.events.set_enabled(false);
+        self.stats = MachineStats::default();
+        self.accesses.clear();
+        self.accesses.set_enabled(false);
+        self.faults.reset();
+        self.world_seed = seed;
+    }
+
+    /// The seed the machine was last reset for (0 on a fresh machine).
+    pub fn world_seed(&self) -> u64 {
+        self.world_seed
+    }
+
+    /// A 64-bit FNV-1a digest of the observable end-of-run state: every
+    /// allocated main-memory byte, the host clock, and each
+    /// accelerator's busy-cycle total. Two runs that diverge anywhere
+    /// the simulation can observe produce different digests, which is
+    /// what the farm determinism gate compares between a farm world and
+    /// its solo twin.
+    pub fn world_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        let used = self.main.capacity() - self.main.bytes_free();
+        let bytes = self
+            .main
+            .read_bytes(Addr::new(SpaceId::MAIN, 0), used)
+            .expect("the allocated extent is in bounds");
+        for &byte in bytes {
+            mix(byte);
+        }
+        for byte in self.host_now.to_le_bytes() {
+            mix(byte);
+        }
+        for accel in &self.accels {
+            for byte in accel.busy_cycles.to_le_bytes() {
+                mix(byte);
+            }
+        }
+        hash
     }
 
     // ---- fault plane -------------------------------------------------------
@@ -1686,5 +1769,126 @@ mod tests {
             .run(|ctx| ctx.outer_read_pod::<[u8; 8192]>(a))
             .unwrap();
         assert!(matches!(result, Err(SimError::ValueTooLarge { .. })));
+    }
+
+    /// A representative workload that exercises every piece of state a
+    /// reset must clear: host accesses, an offload with DMA and events,
+    /// faults, and the access trace.
+    fn dirty_the_machine(m: &mut Machine) {
+        m.events_mut().set_enabled(true);
+        m.access_trace_mut().set_enabled(true);
+        m.install_fault_plan(FaultPlan {
+            accel_stall: 0.5,
+            stall_cycles: 40,
+            ..FaultPlan::new(7)
+        });
+        let a = m.alloc_main_slice::<u32>(64).unwrap();
+        m.host_write_slice(a, &[3u32; 64]).unwrap();
+        let _ = m.offload(0).label("dirty").run(|ctx| {
+            ctx.compute(1_000);
+            let local = ctx.alloc_local(256, memspace::DMA_ALIGN)?;
+            ctx.dma_get(local, a, 256, dma::Tag::new(0).unwrap())?;
+            ctx.dma_wait_all();
+            Ok::<(), SimError>(())
+        });
+        m.host_compute(123);
+    }
+
+    fn run_seeded_world(m: &mut Machine, seed: u64) {
+        m.reset_for_seed(seed);
+        let a = m.alloc_main_slice::<u64>(32).unwrap();
+        let fill: Vec<u64> = (0..32)
+            .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+            .collect();
+        m.host_write_slice(a, &fill).unwrap();
+        let sum = m
+            .offload(0)
+            .run(|ctx| {
+                ctx.compute(seed % 997);
+                let local = ctx.alloc_local(256, memspace::DMA_ALIGN)?;
+                ctx.dma_get(local, a, 256, dma::Tag::new(1).unwrap())?;
+                ctx.dma_wait_all();
+                let mut sum = 0u64;
+                for i in 0..32u32 {
+                    sum = sum
+                        .wrapping_add(ctx.local_read_pod::<u64>(local.offset_by(i * 8).unwrap())?);
+                }
+                Ok::<u64, SimError>(sum)
+            })
+            .unwrap()
+            .unwrap();
+        m.host_write_pod(a, &sum).unwrap();
+    }
+
+    #[test]
+    fn reset_machine_is_bit_identical_to_fresh() {
+        let config = MachineConfig::small();
+        let mut reused = Machine::new(config).unwrap();
+        dirty_the_machine(&mut reused);
+        run_seeded_world(&mut reused, 42);
+
+        let mut fresh = Machine::new(config).unwrap();
+        run_seeded_world(&mut fresh, 42);
+
+        assert_eq!(reused.world_hash(), fresh.world_hash());
+        assert_eq!(reused.stats(), fresh.stats());
+        assert_eq!(reused.host_now(), fresh.host_now());
+        assert_eq!(reused.world_seed(), fresh.world_seed());
+        assert_eq!(
+            reused.accel_busy_cycles(0).unwrap(),
+            fresh.accel_busy_cycles(0).unwrap()
+        );
+        assert_eq!(reused.dma_stats(0).unwrap(), fresh.dma_stats(0).unwrap());
+        assert_eq!(
+            reused.ls_high_water(0).unwrap(),
+            fresh.ls_high_water(0).unwrap()
+        );
+        assert!(reused.fault_plan().is_none());
+        assert!(!reused.events().is_enabled());
+        assert!(!reused.access_trace().is_enabled());
+        assert_eq!(reused.events().len(), fresh.events().len());
+    }
+
+    #[test]
+    fn reset_for_seed_clears_all_observable_state() {
+        let mut m = machine();
+        dirty_the_machine(&mut m);
+        m.reset_for_seed(9);
+        let pristine = Machine::new(MachineConfig::small()).unwrap();
+        assert_eq!(m.host_now(), 0);
+        assert_eq!(m.stats(), pristine.stats());
+        assert_eq!(m.world_seed(), 9);
+        assert_eq!(m.main().bytes_free(), pristine.main().bytes_free());
+        assert_eq!(
+            m.ls_high_water(0).unwrap(),
+            pristine.ls_high_water(0).unwrap()
+        );
+        assert_eq!(m.accel_busy_cycles(0).unwrap(), 0);
+        assert!(m.fault_plan().is_none());
+        assert_eq!(m.events().len(), 0);
+    }
+
+    #[test]
+    fn world_hash_tracks_observable_state() {
+        let mut a = machine();
+        let mut b = machine();
+        run_seeded_world(&mut a, 5);
+        run_seeded_world(&mut b, 5);
+        assert_eq!(a.world_hash(), b.world_hash());
+        let mut c = machine();
+        run_seeded_world(&mut c, 6);
+        assert_ne!(a.world_hash(), c.world_hash());
+        // Host-visible memory writes change the digest even when the
+        // clocks agree.
+        let before = a.world_hash();
+        let addr = Addr::new(SpaceId::MAIN, memspace::DMA_ALIGN);
+        a.main_mut().write_pod(addr, &0xdead_beefu32).unwrap();
+        assert_ne!(a.world_hash(), before);
+    }
+
+    #[test]
+    fn machine_config_equality() {
+        assert_eq!(MachineConfig::small(), MachineConfig::small());
+        assert_ne!(MachineConfig::small(), MachineConfig::default());
     }
 }

@@ -1,0 +1,405 @@
+//! The worker pool: batch submit, in-order reap.
+//!
+//! `Farm` follows the FastFlow farm shape — an emitter (the caller,
+//! via [`Farm::submit`]), N workers on dedicated OS threads, and a
+//! collector (the caller again, via [`Farm::reap`]) — built on the
+//! standard library only: `mpsc` injector(s), a results channel, and a
+//! reorder buffer keyed by ticket.
+//!
+//! Two distribution policies, mirroring FastFlow's emitter choices:
+//!
+//! - [`Farm::new`] — **greedy**: one shared injector, each idle worker
+//!   pulls the next job. Best when worlds vary in cost, since a slow
+//!   world never blocks the queue behind it.
+//! - [`Farm::round_robin`] — **static round-robin**: per-worker
+//!   queues, world *k* goes to worker *k mod N*. For uniform batches
+//!   this pins the per-worker split exactly, which is what the farm
+//!   scaling bench measures — greedy pulling on a box with fewer CPUs
+//!   than workers turns bursty (a worker drains many jobs per
+//!   timeslice), skewing per-worker totals without being a real
+//!   imbalance.
+//!
+//! Each worker owns one [`Machine`] and recycles it between worlds
+//! with [`Machine::reset_for_seed`]; a worker only rebuilds its
+//! machine when a spec asks for a different [`MachineConfig`] (or
+//! after a world panicked, since a half-run machine is unsalvageable).
+//! Because every world runs through [`run_world_in`], the report for a
+//! given spec is bit-identical whichever worker picks it up — policy,
+//! order, and thread count can only change *when* a world runs, never
+//! *what* it computes.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use simcell::{Machine, MachineConfig, SimError};
+
+use crate::cputime::thread_cpu_nanos;
+use crate::spec::{run_world_in, WorldOutput, WorldSpec};
+
+/// Receipt for a submitted world; reports come back in ticket order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// Zero-based submission index of the world.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// A finished world, as reaped from the farm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorldReport {
+    /// The ticket [`Farm::submit`] returned for this world.
+    pub ticket: Ticket,
+    /// The seed the world was submitted with.
+    pub seed: u64,
+    /// The world's output, or the error that stopped it. A panicking
+    /// world surfaces as [`SimError::BadConfig`] with the panic text;
+    /// it never takes the farm down.
+    pub outcome: Result<WorldOutput, SimError>,
+    /// Which worker ran the world (0-based). Informational only — the
+    /// outcome is worker-independent.
+    pub worker: usize,
+}
+
+struct Job {
+    ticket: u64,
+    spec: WorldSpec,
+}
+
+/// What a worker blocks on: the shared greedy injector or its own
+/// round-robin queue.
+enum JobSource {
+    Shared(Arc<Mutex<Receiver<Job>>>),
+    Own(Receiver<Job>),
+}
+
+impl JobSource {
+    fn next(&self) -> Option<Job> {
+        match self {
+            JobSource::Shared(shared) => shared
+                .lock()
+                .expect("a poisoned injector means a bug")
+                .recv()
+                .ok(),
+            JobSource::Own(queue) => queue.recv().ok(),
+        }
+    }
+}
+
+/// A fixed pool of OS threads executing [`WorldSpec`]s.
+///
+/// See the crate docs for the model, the two distribution policies,
+/// and an example. Dropping the farm closes the injectors and joins
+/// every worker; undelivered reports are discarded.
+pub struct Farm {
+    injectors: Vec<Sender<Job>>,
+    results: Receiver<(u64, WorldReport)>,
+    workers: Vec<JoinHandle<()>>,
+    busy_ns: Arc<Vec<AtomicU64>>,
+    next_ticket: u64,
+    next_reap: u64,
+    pending: BTreeMap<u64, WorldReport>,
+}
+
+impl Farm {
+    /// Spins up `threads` workers pulling greedily from one shared
+    /// queue — the default policy; prefer it whenever world costs vary.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero-thread farm.
+    pub fn new(threads: usize) -> Result<Farm, SimError> {
+        Farm::build(threads, false)
+    }
+
+    /// Spins up `threads` workers with static round-robin
+    /// distribution: submission `k` runs on worker `k % threads`.
+    /// Deterministic per-worker assignment for uniform batches (the
+    /// scaling bench's policy — see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero-thread farm.
+    pub fn round_robin(threads: usize) -> Result<Farm, SimError> {
+        Farm::build(threads, true)
+    }
+
+    fn build(threads: usize, round_robin: bool) -> Result<Farm, SimError> {
+        if threads == 0 {
+            return Err(SimError::BadConfig {
+                reason: "a farm needs at least one worker thread".into(),
+            });
+        }
+        let mut injectors = Vec::new();
+        let mut sources = Vec::new();
+        if round_robin {
+            for _ in 0..threads {
+                let (tx, rx) = channel::<Job>();
+                injectors.push(tx);
+                sources.push(JobSource::Own(rx));
+            }
+        } else {
+            let (tx, rx) = channel::<Job>();
+            let shared = Arc::new(Mutex::new(rx));
+            injectors.push(tx);
+            for _ in 0..threads {
+                sources.push(JobSource::Shared(Arc::clone(&shared)));
+            }
+        }
+        let (report_tx, results) = channel();
+        let busy_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+        let mut workers = Vec::with_capacity(threads);
+        for (index, source) in sources.into_iter().enumerate() {
+            let report_tx: Sender<(u64, WorldReport)> = report_tx.clone();
+            let busy_ns = Arc::clone(&busy_ns);
+            let handle = std::thread::Builder::new()
+                .name(format!("simfarm-{index}"))
+                .spawn(move || worker_loop(index, &source, &report_tx, &busy_ns[index]))
+                .map_err(|e| SimError::BadConfig {
+                    reason: format!("failed to spawn farm worker: {e}"),
+                })?;
+            workers.push(handle);
+        }
+        Ok(Farm {
+            injectors,
+            results,
+            workers,
+            busy_ns,
+            next_ticket: 0,
+            next_reap: 0,
+            pending: BTreeMap::new(),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worlds submitted but not yet reaped.
+    pub fn outstanding(&self) -> u64 {
+        self.next_ticket - self.next_reap
+    }
+
+    /// Queues `spec` for execution and returns its ticket.
+    pub fn submit(&mut self, spec: WorldSpec) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let lane = ticket as usize % self.injectors.len();
+        self.injectors[lane]
+            .send(Job { ticket, spec })
+            .expect("workers outlive the farm handle");
+        Ticket(ticket)
+    }
+
+    /// Blocks until the next report *in submission order* is ready and
+    /// returns it; `None` when every submitted world has been reaped.
+    pub fn reap(&mut self) -> Option<WorldReport> {
+        if self.next_reap == self.next_ticket {
+            return None;
+        }
+        loop {
+            if let Some(report) = self.pending.remove(&self.next_reap) {
+                self.next_reap += 1;
+                return Some(report);
+            }
+            let (ticket, report) = self
+                .results
+                .recv()
+                .expect("workers outlive the farm handle");
+            self.pending.insert(ticket, report);
+        }
+    }
+
+    /// Reaps every outstanding world, in submission order.
+    pub fn collect(&mut self) -> Vec<WorldReport> {
+        let mut reports = Vec::new();
+        while let Some(report) = self.reap() {
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Cumulative CPU nanoseconds each worker has spent *executing
+    /// worlds* (queue idling excluded), indexed by worker. Falls back
+    /// to wall-clock deltas on platforms without per-thread CPU
+    /// counters. This is the ingredient of the farm bench's
+    /// critical-path scaling metric — see [`crate::cputime`].
+    pub fn worker_busy_nanos(&self) -> Vec<u64> {
+        self.busy_ns
+            .iter()
+            .map(|ns| ns.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl Drop for Farm {
+    fn drop(&mut self) {
+        // Closing the injectors ends every worker's recv loop.
+        self.injectors.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    jobs: &JobSource,
+    reports: &Sender<(u64, WorldReport)>,
+    busy_ns: &AtomicU64,
+) {
+    // The worker's arena: one machine, recycled between worlds.
+    let mut slot: Option<Machine> = None;
+    let mut slot_config: Option<MachineConfig> = None;
+    loop {
+        let Some(job) = jobs.next() else {
+            return; // farm dropped; drain out
+        };
+        let cpu_before = thread_cpu_nanos();
+        let wall_before = Instant::now();
+        let outcome = run_job(&mut slot, &mut slot_config, &job.spec);
+        let spent = match (cpu_before, thread_cpu_nanos()) {
+            (Some(before), Some(after)) => after.saturating_sub(before),
+            _ => wall_before.elapsed().as_nanos() as u64,
+        };
+        busy_ns.fetch_add(spent, Ordering::Relaxed);
+        let report = WorldReport {
+            ticket: Ticket(job.ticket),
+            seed: job.spec.seed,
+            outcome,
+            worker: index,
+        };
+        if reports.send((job.ticket, report)).is_err() {
+            return; // collector gone; no one to report to
+        }
+    }
+}
+
+fn run_job(
+    slot: &mut Option<Machine>,
+    slot_config: &mut Option<MachineConfig>,
+    spec: &WorldSpec,
+) -> Result<WorldOutput, SimError> {
+    if slot.is_none() || *slot_config != Some(spec.config) {
+        *slot = Some(Machine::new(spec.config)?);
+        *slot_config = Some(spec.config);
+    }
+    let machine = slot.as_mut().expect("slot was just filled");
+    let result = catch_unwind(AssertUnwindSafe(|| run_world_in(machine, spec)));
+    match result {
+        Ok(outcome) => outcome,
+        Err(panic) => {
+            // A panicked world leaves the machine in an unknown state;
+            // throw the arena away so the next world starts clean.
+            *slot = None;
+            *slot_config = None;
+            let text = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(SimError::BadConfig {
+                reason: format!("world {} panicked: {text}", spec.seed),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::run_world;
+
+    #[test]
+    fn farm_reports_come_back_in_submission_order() {
+        let mut farm = Farm::new(3).unwrap();
+        let tickets: Vec<Ticket> = (0..16).map(|i| farm.submit(WorldSpec::quick(i))).collect();
+        let reports = farm.collect();
+        assert_eq!(reports.len(), 16);
+        for (i, (ticket, report)) in tickets.iter().zip(&reports).enumerate() {
+            assert_eq!(report.ticket, *ticket);
+            assert_eq!(report.ticket.index(), i as u64);
+            assert_eq!(report.seed, i as u64);
+        }
+    }
+
+    #[test]
+    fn farm_worlds_match_their_solo_twins() {
+        let mut farm = Farm::new(2).unwrap();
+        for seed in 0..8 {
+            farm.submit(WorldSpec::quick(seed * 11));
+        }
+        for report in farm.collect() {
+            let solo = run_world(&WorldSpec::quick(report.seed)).unwrap();
+            assert_eq!(report.outcome.as_ref().unwrap(), &solo);
+        }
+    }
+
+    #[test]
+    fn reap_returns_none_when_drained() {
+        let mut farm = Farm::new(1).unwrap();
+        assert!(farm.reap().is_none());
+        farm.submit(WorldSpec::quick(1));
+        assert!(farm.reap().is_some());
+        assert!(farm.reap().is_none());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert!(matches!(Farm::new(0), Err(SimError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn a_failing_world_does_not_poison_the_farm() {
+        let mut farm = Farm::new(1).unwrap();
+        let mut bad = WorldSpec::quick(1);
+        // More lanes than the machine has accelerators: a clean error.
+        if let crate::spec::WorldProgram::AiFrame { ref mut accels, .. } = bad.program {
+            *accels = 5;
+        }
+        farm.submit(bad);
+        farm.submit(WorldSpec::quick(2));
+        let reports = farm.collect();
+        assert!(reports[0].outcome.is_err());
+        let good = reports[1].outcome.as_ref().unwrap();
+        assert_eq!(
+            good.world_hash,
+            run_world(&WorldSpec::quick(2)).unwrap().world_hash
+        );
+    }
+
+    #[test]
+    fn round_robin_assignment_is_deterministic_and_bit_identical() {
+        let mut farm = Farm::round_robin(2).unwrap();
+        for seed in 0..6 {
+            farm.submit(WorldSpec::quick(seed * 3));
+        }
+        let reports = farm.collect();
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.worker, i % 2);
+            let solo = run_world(&WorldSpec::quick(report.seed)).unwrap();
+            assert_eq!(report.outcome.as_ref().unwrap(), &solo);
+        }
+    }
+
+    #[test]
+    fn workers_account_busy_time() {
+        let mut farm = Farm::new(2).unwrap();
+        for seed in 0..6 {
+            farm.submit(WorldSpec::quick(seed));
+        }
+        farm.collect();
+        let busy = farm.worker_busy_nanos();
+        assert_eq!(busy.len(), 2);
+        assert!(busy.iter().sum::<u64>() > 0);
+    }
+}

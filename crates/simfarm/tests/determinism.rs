@@ -1,0 +1,102 @@
+//! The farm's central invariant, as a seeded property test: a world's
+//! report depends only on its spec — never on how many workers ran the
+//! batch or the order the batch was submitted in.
+
+use simfarm::{run_world, Farm, WorldOutput, WorldProgram, WorldSpec};
+use xrng::Rng;
+
+/// A mixed bag of specs: plain AI frames, multi-frame worlds, kernel
+/// chains, and a faulty world, all derived from `rng`.
+fn spec_batch(rng: &mut Rng, count: usize) -> Vec<WorldSpec> {
+    (0..count)
+        .map(|_| {
+            let seed = rng.next_u64();
+            let mut spec = WorldSpec::quick(seed);
+            match rng.below_u32(4) {
+                0 => {
+                    if let WorldProgram::AiFrame { ref mut frames, .. } = spec.program {
+                        *frames = 2;
+                    }
+                }
+                1 => {
+                    spec.program = WorldProgram::KernelChain {
+                        kernels: 3 + rng.below_u32(3),
+                        compute: 300,
+                        payload_words: 16,
+                    };
+                }
+                2 => {
+                    spec.faults = Some(simcell::FaultPlan {
+                        accel_stall: 0.25,
+                        stall_cycles: 50,
+                        ..simcell::FaultPlan::new(seed)
+                    });
+                    spec.retries = 2;
+                    spec.backoff = 16;
+                }
+                _ => {}
+            }
+            spec
+        })
+        .collect()
+}
+
+fn run_batch(specs: &[WorldSpec], threads: usize) -> Vec<(u64, WorldOutput)> {
+    let mut farm = Farm::new(threads).unwrap();
+    for spec in specs {
+        farm.submit(*spec);
+    }
+    let mut out: Vec<(u64, WorldOutput)> = farm
+        .collect()
+        .into_iter()
+        .map(|r| (r.seed, r.outcome.expect("batch worlds are well-formed")))
+        .collect();
+    // Key by seed so differently-shuffled batches compare directly.
+    out.sort_by_key(|(seed, _)| *seed);
+    out
+}
+
+#[test]
+fn shuffled_batches_across_worker_counts_are_bit_identical() {
+    let mut rng = Rng::new(0x5eed_f00d);
+    let specs = spec_batch(&mut rng, 24);
+
+    let reference: Vec<(u64, WorldOutput)> = {
+        let mut solo: Vec<(u64, WorldOutput)> = specs
+            .iter()
+            .map(|s| (s.seed, run_world(s).unwrap()))
+            .collect();
+        solo.sort_by_key(|(seed, _)| *seed);
+        solo
+    };
+
+    for threads in [1usize, 2, 4] {
+        let mut shuffled = specs.clone();
+        rng.shuffle(&mut shuffled);
+        let farmed = run_batch(&shuffled, threads);
+        assert_eq!(
+            farmed, reference,
+            "farm output diverged from solo runs at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn resubmitting_the_same_batch_reuses_machines_without_drift() {
+    let mut rng = Rng::new(42);
+    let specs = spec_batch(&mut rng, 8);
+    let mut farm = Farm::new(2).unwrap();
+    for spec in &specs {
+        farm.submit(*spec);
+    }
+    let first = farm.collect();
+    // Second pass lands on already-warm machines.
+    for spec in &specs {
+        farm.submit(*spec);
+    }
+    let second = farm.collect();
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.outcome, b.outcome);
+    }
+}

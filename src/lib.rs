@@ -19,6 +19,7 @@
 //! | [`offload_rt`] | accessor classes, double buffering, dispatch domains |
 //! | [`offload_lang`] | the Offload/Mini compiler + VM (outer pointers, duplication, word addressing) |
 //! | [`gamekit`] | the game-workload substrate (entities, components, collision, AI, frames) |
+//! | [`simfarm`] | the multicore fleet: worker pool running many deterministic worlds |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -57,4 +58,5 @@ pub use memspace;
 pub use offload_lang;
 pub use offload_rt;
 pub use simcell;
+pub use simfarm;
 pub use softcache;
