@@ -7,10 +7,12 @@
 //!   streaming offload) and VM instructions retired per wall-second (a
 //!   call-heavy Offload/Mini program with virtual dispatch). These are
 //!   the headline "how fast does the simulator run" figures.
-//! - **Seed-vs-current speedups** on the three hot paths the
-//!   allocation-free overhaul touched, each timed against a faithful
+//! - **Seed-vs-current speedups** on the hot paths the allocation-free
+//!   and raw-speed overhauls touched, each timed against a faithful
 //!   standalone replica of the seed implementation on an identical
-//!   workload (see [`bench::hotpath`]).
+//!   workload (see [`bench::hotpath`]) — plus the `vm_superinstr` lane,
+//!   which times the real VM on the same program with the peephole
+//!   fusion pass on and off (pinned bit-identical in simulated time).
 //!
 //! Usage: `cargo run --release -p bench --bin bench_throughput
 //! [output.json]`. Defaults to `BENCH_throughput.json` in the current
@@ -33,7 +35,8 @@
 use std::time::Duration;
 
 use bench::hotpath::{
-    dma_ledger_legacy, dma_ledger_rings, vm_call_path_legacy, vm_call_path_sliced, CopyRig,
+    dma_ledger_legacy, dma_ledger_rings, vm_call_path_legacy, vm_call_path_sliced, vm_value_enum,
+    vm_value_tagged, CopyRig,
 };
 use bench::timing::{row, time, Measurement};
 use offload_lang::{compile, Target, Vm};
@@ -78,11 +81,18 @@ const VM_PROGRAM: &str = r#"
     }
 "#;
 
-/// One full VM run; returns (simulated cycles, instructions retired).
-fn vm_run(program: &offload_lang::Program) -> (u64, u64) {
-    let mut machine = Machine::new(MachineConfig::small()).expect("config valid");
-    let mut vm = Vm::new(program, &mut machine).expect("program fits");
-    vm.run(&mut machine).expect("program runs");
+/// One full VM run on a recycled machine; returns (simulated cycles,
+/// instructions retired).
+///
+/// The machine is recycled with [`Machine::reset_for_seed`] — the sim
+/// farm's arena-reuse path, pinned bit-identical to a fresh machine —
+/// so the measurement covers the VM (compile artefacts are shared,
+/// construction is a reset), not the allocator's appetite for zeroing
+/// fresh regions. See PROFILING.md for the measurement conditions.
+fn vm_run(program: &offload_lang::Program, machine: &mut Machine) -> (u64, u64) {
+    machine.reset_for_seed(0);
+    let mut vm = Vm::new(program, machine).expect("program fits");
+    vm.run(machine).expect("program runs");
     (machine.host_now(), vm.instructions_executed())
 }
 
@@ -258,8 +268,11 @@ fn main() {
     // --- End-to-end throughput -----------------------------------
     eprintln!("end-to-end pipeline throughput");
     let program = compile(VM_PROGRAM, &Target::cell_like()).expect("benchmark program compiles");
-    let (vm_cycles, vm_instrs) = vm_run(&program);
-    let vm_wall = time("vm program (calls + offloads)", budget, || vm_run(&program));
+    let mut vm_machine = Machine::new(MachineConfig::small()).expect("config valid");
+    let (vm_cycles, vm_instrs) = vm_run(&program, &mut vm_machine);
+    let vm_wall = time("vm program (calls + offloads)", budget, || {
+        vm_run(&program, &mut vm_machine)
+    });
     eprintln!("  {}", row(&vm_wall));
     let vm_instrs_per_sec = vm_instrs as f64 * vm_wall.iters_per_sec();
     let vm_cycles_per_sec = vm_cycles as f64 * vm_wall.iters_per_sec();
@@ -280,6 +293,22 @@ fn main() {
     assert_eq!(rig.step_legacy(), rig.step_new());
     assert_eq!(rig.read_slice_legacy(), rig.read_slice_new());
     assert_eq!(vm_call_path_legacy(512), vm_call_path_sliced(512));
+    assert_eq!(vm_value_enum(512), vm_value_tagged(512));
+
+    // The superinstruction lane runs the *real* VM twice on the same
+    // program, fused vs unfused; fusion must be invisible to the
+    // simulated machine, so the cycle/instruction pins are asserted
+    // live before either side is timed.
+    let plain = compile(
+        VM_PROGRAM,
+        &Target::cell_like().with_superinstructions(false),
+    )
+    .expect("benchmark program compiles unfused");
+    assert_eq!(
+        vm_run(&plain, &mut vm_machine),
+        (vm_cycles, vm_instrs),
+        "superinstruction fusion must not change simulated cycles or instruction counts"
+    );
 
     let comparisons = [
         Comparison {
@@ -330,6 +359,26 @@ fn main() {
             }),
             current: time("vm: stack split + flat slots (current)", budget, || {
                 vm_call_path_sliced(512)
+            }),
+        },
+        Comparison {
+            key: "vm_tagged_dispatch",
+            label: "VM operand representation (tagged word vs enum)",
+            legacy: time("vm: enum operand stack (seed)", budget, || {
+                vm_value_enum(512)
+            }),
+            current: time("vm: tagged machine words (current)", budget, || {
+                vm_value_tagged(512)
+            }),
+        },
+        Comparison {
+            key: "vm_superinstr",
+            label: "VM superinstruction fusion (full program, fused vs unfused)",
+            legacy: time("vm: superinstructions off", budget, || {
+                vm_run(&plain, &mut vm_machine)
+            }),
+            current: time("vm: superinstructions on", budget, || {
+                vm_run(&program, &mut vm_machine)
             }),
         },
     ];

@@ -8,8 +8,7 @@
 //! checksum so the optimizer cannot delete the work and callers can
 //! assert both sides computed the same thing.
 //!
-//! The three comparisons mirror the three hot paths the overhaul
-//! touched:
+//! The comparisons mirror the hot paths the overhauls touched:
 //!
 //! 1. **DMA bookkeeping** — seed: one flat `Vec` of in-flight commands,
 //!    waits retire by `retain` with a per-wait scratch `Vec` of ids;
@@ -22,6 +21,10 @@
 //!    into a freshly allocated reversed `Vec`, async offload handles in
 //!    a `HashMap<u16, _>`; now: a stack split passes arguments as a
 //!    borrowed slice and handles live in a flat slot vector.
+//! 4. **VM operand representation** — seed: a 16-byte Rust enum per
+//!    stack slot, discriminant-matched on every pop; now: a tagged
+//!    machine word (type tag in the top bits), so a slot is 8 bytes
+//!    and un/packing is a shift and a mask.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -421,6 +424,154 @@ pub fn vm_call_path_sliced(rounds: u64) -> u64 {
     acc
 }
 
+// ---------------------------------------------------------------------
+// 4. Operand representation: boxed enum vs tagged machine word.
+// ---------------------------------------------------------------------
+
+/// Seed-style operand: a Rust enum per stack slot — 16 bytes, and a
+/// discriminant match on every single pop.
+#[derive(Clone, Copy)]
+enum EnumVal {
+    I(i32),
+    F(f32),
+    B(bool),
+    P(u64),
+}
+
+/// Current-style operand: one machine word with the type tag in bits
+/// 63..62, mirroring the VM's `Value` (docs/VM.md has the layout) — 8
+/// bytes per slot, un/packing is a shift and a mask.
+#[derive(Clone, Copy)]
+struct Word(u64);
+
+const WORD_TAG_SHIFT: u32 = 62;
+
+impl Word {
+    fn from_i(v: i32) -> Word {
+        Word(u64::from(v as u32))
+    }
+    fn as_i(self) -> i32 {
+        self.0 as u32 as i32
+    }
+    fn from_f(v: f32) -> Word {
+        Word((1u64 << WORD_TAG_SHIFT) | u64::from(v.to_bits()))
+    }
+    fn as_f(self) -> f32 {
+        f32::from_bits(self.0 as u32)
+    }
+    fn from_b(v: bool) -> Word {
+        Word((2u64 << WORD_TAG_SHIFT) | u64::from(v))
+    }
+    fn as_b(self) -> bool {
+        self.0 & 1 != 0
+    }
+    fn from_p(offset: u64) -> Word {
+        Word((3u64 << WORD_TAG_SHIFT) | offset)
+    }
+    fn as_p(self) -> u64 {
+        self.0 & ((1u64 << 48) - 1)
+    }
+}
+
+/// The shared trace both operand kernels run: per round, an integer
+/// add, a float multiply, an integer compare and a pointer bump, all
+/// through the operand stack — the mixed-type traffic of one VM loop
+/// iteration, with the memory system factored out.
+#[must_use]
+pub fn vm_value_enum(rounds: u64) -> u64 {
+    let mut stack: Vec<EnumVal> = Vec::with_capacity(16);
+    let mut acc = 0u64;
+    for round in 0..rounds {
+        let r = round as i32;
+        stack.push(EnumVal::I(r));
+        stack.push(EnumVal::I(3));
+        let (b, a) = (pop_i(&mut stack), pop_i(&mut stack));
+        stack.push(EnumVal::I(a.wrapping_add(b)));
+        let s = pop_i(&mut stack);
+        stack.push(EnumVal::B(s & 0xff < 100));
+        stack.push(EnumVal::F(r as f32));
+        stack.push(EnumVal::F(1.5));
+        let (d, c) = (pop_f(&mut stack), pop_f(&mut stack));
+        stack.push(EnumVal::F(c * d));
+        stack.push(EnumVal::P(u64::from(r as u32 & 0xfff)));
+        let p = pop_p(&mut stack);
+        stack.push(EnumVal::P(p + 8));
+        let (p, f, flag) = (pop_p(&mut stack), pop_f(&mut stack), pop_b(&mut stack));
+        acc = acc
+            .wrapping_add(p)
+            .wrapping_add(u64::from(flag))
+            .wrapping_add(u64::from(f.to_bits()));
+    }
+    acc
+}
+
+fn pop_i(stack: &mut Vec<EnumVal>) -> i32 {
+    match stack.pop().expect("operand") {
+        EnumVal::I(v) => v,
+        _ => unreachable!("type-checked program"),
+    }
+}
+
+fn pop_f(stack: &mut Vec<EnumVal>) -> f32 {
+    match stack.pop().expect("operand") {
+        EnumVal::F(v) => v,
+        _ => unreachable!("type-checked program"),
+    }
+}
+
+fn pop_b(stack: &mut Vec<EnumVal>) -> bool {
+    match stack.pop().expect("operand") {
+        EnumVal::B(v) => v,
+        _ => unreachable!("type-checked program"),
+    }
+}
+
+fn pop_p(stack: &mut Vec<EnumVal>) -> u64 {
+    match stack.pop().expect("operand") {
+        EnumVal::P(v) => v,
+        _ => unreachable!("type-checked program"),
+    }
+}
+
+/// Same trace over tagged machine words.
+#[must_use]
+pub fn vm_value_tagged(rounds: u64) -> u64 {
+    let mut stack: Vec<Word> = Vec::with_capacity(16);
+    let mut acc = 0u64;
+    for round in 0..rounds {
+        let r = round as i32;
+        stack.push(Word::from_i(r));
+        stack.push(Word::from_i(3));
+        let (b, a) = (
+            stack.pop().expect("operand").as_i(),
+            stack.pop().expect("operand").as_i(),
+        );
+        stack.push(Word::from_i(a.wrapping_add(b)));
+        let s = stack.pop().expect("operand").as_i();
+        stack.push(Word::from_b(s & 0xff < 100));
+        stack.push(Word::from_f(r as f32));
+        stack.push(Word::from_f(1.5));
+        let (d, c) = (
+            stack.pop().expect("operand").as_f(),
+            stack.pop().expect("operand").as_f(),
+        );
+        stack.push(Word::from_f(c * d));
+        stack.push(Word::from_p(u64::from(r as u32 & 0xfff)));
+        let p = stack.pop().expect("operand").as_p();
+        stack.push(Word::from_p(p + 8));
+        let (p, f, flag) = (
+            stack.pop().expect("operand").as_p(),
+            stack.pop().expect("operand").as_f(),
+            stack.pop().expect("operand").as_b(),
+        );
+        acc = acc
+            .wrapping_add(p)
+            .wrapping_add(u64::from(flag))
+            .wrapping_add(u64::from(f.to_bits()));
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,5 +593,10 @@ mod tests {
     #[test]
     fn call_paths_agree() {
         assert_eq!(vm_call_path_legacy(1000), vm_call_path_sliced(1000));
+    }
+
+    #[test]
+    fn value_kernels_agree() {
+        assert_eq!(vm_value_enum(1000), vm_value_tagged(1000));
     }
 }

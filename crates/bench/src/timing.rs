@@ -2,9 +2,14 @@
 //!
 //! The container has no external bench framework, so the wall-time
 //! suites roll their own: calibrate a batch size against a 5 ms probe,
-//! scale it to the requested budget, and time one contiguous run. Good
-//! enough for the ×1.5-style ratios the throughput suite reports; not a
-//! statistics package.
+//! split the requested budget into a handful of equal sub-runs, and
+//! report the *fastest* sub-run. On a single shared CPU (the only
+//! environment these suites see — PROFILING.md has the details) the
+//! mean of one contiguous run absorbs every scheduler preemption that
+//! lands inside it and swings ±20 % run-to-run; the minimum of a few
+//! sub-runs converges on the uncontended cost, which is the quantity
+//! the perf budget pins. Good enough for the ×1.5-style ratios the
+//! throughput suite reports; not a statistics package.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -40,8 +45,14 @@ impl Measurement {
     }
 }
 
+/// How many equal sub-runs the budget is split into; the fastest one
+/// is reported. See the module docs for why minimum-of-k and not the
+/// mean of one contiguous run.
+const SUBRUNS: u32 = 8;
+
 /// Times `f`, aiming to spend roughly `budget` of wall time on the
-/// measured run. The kernel's return value is [`black_box`]ed so the
+/// measured runs, and reports the fastest of [`SUBRUNS`] equal
+/// sub-runs. The kernel's return value is [`black_box`]ed so the
 /// optimizer cannot delete the work.
 pub fn time<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
     // Warmup, and a first estimate of per-iteration cost.
@@ -57,16 +68,24 @@ pub fn time<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) -> Measur
         }
         batch *= 2;
     };
-    // One contiguous measured run sized to the budget.
-    let iters = ((budget.as_secs_f64() / per_iter.max(1e-12)).ceil() as u64).clamp(1, 1 << 32);
-    let start = Instant::now();
-    for _ in 0..iters {
-        black_box(f());
+    // SUBRUNS equal slices of the budget; keep the fastest.
+    let slice = budget.as_secs_f64() / f64::from(SUBRUNS);
+    let iters = ((slice / per_iter.max(1e-12)).ceil() as u64).clamp(1, 1 << 32);
+    let mut best = Duration::MAX;
+    for _ in 0..SUBRUNS {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
     }
     Measurement {
         name: name.to_string(),
         iters,
-        elapsed: start.elapsed(),
+        elapsed: best,
     }
 }
 

@@ -183,11 +183,26 @@ impl DmaTiming {
     /// Cycles the engine needs to stream `size` bytes for a request with
     /// the given endpoints (excluding latency).
     pub fn stream_cycles(&self, request: &DmaRequest) -> u64 {
-        let bw = self.bytes_per_cycle.max(1);
-        let mut cycles = self.setup + (u64::from(request.size)).div_ceil(bw);
         let aligned = request.local.is_aligned_to(DMA_ALIGN)
             && request.remote.is_aligned_to(DMA_ALIGN)
             && request.size.is_multiple_of(DMA_ALIGN);
+        self.stream_cycles_aligned(request.size, aligned)
+    }
+
+    /// [`DmaTiming::stream_cycles`] with the alignment of the request
+    /// already decided, so issue paths that also need the alignment for
+    /// statistics compute it exactly once.
+    #[inline]
+    pub fn stream_cycles_aligned(&self, size: u32, aligned: bool) -> u64 {
+        let bw = self.bytes_per_cycle.max(1);
+        // Bandwidths are powers of two in every shipped config; the
+        // shift avoids a 64-bit division on the per-transfer hot path.
+        let streamed = if bw.is_power_of_two() {
+            (u64::from(size) + bw - 1) >> bw.trailing_zeros()
+        } else {
+            u64::from(size).div_ceil(bw)
+        };
+        let mut cycles = self.setup + streamed;
         if !aligned {
             cycles += self.misalign_penalty;
         }
@@ -411,6 +426,7 @@ impl DmaEngine {
         self.checker.take_reports()
     }
 
+    #[inline]
     fn validate(&self, request: &DmaRequest) -> Result<(), DmaError> {
         if request.size == 0 {
             return Err(DmaError::EmptyTransfer);
@@ -497,11 +513,117 @@ impl DmaEngine {
         Ok(self.admit(now, request))
     }
 
-    fn admit(&mut self, now: u64, request: DmaRequest) -> u64 {
-        let stream = self.timing.stream_cycles(&request);
+    /// A `get` immediately followed by a `wait` on its tag, for callers
+    /// that know the tag's queue is idle (the synchronous outer-access
+    /// staging path). The command is issued and retired in one step, so
+    /// the per-tag ring and the race tracker's in-flight list are never
+    /// touched — every observable (statistics, command ids, race
+    /// reports, engine and caller clocks) is bit-identical to
+    /// [`DmaEngine::get`] + [`DmaEngine::wait`] on the tag's mask.
+    ///
+    /// Returns the cycle at which the caller resumes (the wait's return
+    /// value).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DmaEngine::get`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn sync_get(
+        &mut self,
+        now: u64,
+        local: Addr,
+        remote: Addr,
+        size: u32,
+        tag: Tag,
+        remote_mem: &mut MemoryRegion,
+        local_mem: &mut MemoryRegion,
+    ) -> Result<u64, DmaError> {
+        let request = DmaRequest {
+            local,
+            remote,
+            size,
+            tag,
+            direction: DmaDirection::Get,
+        };
+        self.validate(&request)?;
+        copy_between(remote_mem, remote, local_mem, local, size)?;
+        self.stats.gets += 1;
+        self.stats.bytes_in += u64::from(size);
+        Ok(self.admit_sync(now, request))
+    }
+
+    /// A `put` immediately followed by a `wait` on its tag; see
+    /// [`DmaEngine::sync_get`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`DmaEngine::put`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn sync_put(
+        &mut self,
+        now: u64,
+        local: Addr,
+        remote: Addr,
+        size: u32,
+        tag: Tag,
+        remote_mem: &mut MemoryRegion,
+        local_mem: &mut MemoryRegion,
+    ) -> Result<u64, DmaError> {
+        let request = DmaRequest {
+            local,
+            remote,
+            size,
+            tag,
+            direction: DmaDirection::Put,
+        };
+        self.validate(&request)?;
+        copy_between(local_mem, local, remote_mem, remote, size)?;
+        self.stats.puts += 1;
+        self.stats.bytes_out += u64::from(size);
+        Ok(self.admit_sync(now, request))
+    }
+
+    /// [`DmaEngine::admit`] fused with the immediate `wait` that
+    /// follows it on the synchronous path: same charging, same id
+    /// consumption, same race scan, but the command never enters the
+    /// tag ring (it would be popped straight back out).
+    #[inline]
+    fn admit_sync(&mut self, now: u64, request: DmaRequest) -> u64 {
+        debug_assert!(
+            !self.tag_busy(request.tag),
+            "sync transfer requires an idle tag queue"
+        );
         let aligned = request.local.is_aligned_to(DMA_ALIGN)
             && request.remote.is_aligned_to(DMA_ALIGN)
             && request.size.is_multiple_of(DMA_ALIGN);
+        let stream = self.timing.stream_cycles_aligned(request.size, aligned);
+        if !aligned {
+            self.stats.misaligned += 1;
+        }
+        let start = now.max(self.engine_free_at);
+        let streamed = start + stream;
+        self.engine_free_at = streamed;
+        let complete_at = streamed + self.timing.latency;
+        self.last_complete_at = complete_at;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.checker.note_sync(id, &request, now);
+        // The wait, viewed from the issuing core's resume point: with
+        // the tag queue otherwise empty the group's finish time is this
+        // command's completion.
+        let issued = now + self.timing.issue_cost;
+        let resume = issued.max(complete_at);
+        self.stats.stall_cycles += resume - issued;
+        resume
+    }
+
+    fn admit(&mut self, now: u64, request: DmaRequest) -> u64 {
+        let aligned = request.local.is_aligned_to(DMA_ALIGN)
+            && request.remote.is_aligned_to(DMA_ALIGN)
+            && request.size.is_multiple_of(DMA_ALIGN);
+        let stream = self.timing.stream_cycles_aligned(request.size, aligned);
         if !aligned {
             self.stats.misaligned += 1;
         }
@@ -566,6 +688,7 @@ impl DmaEngine {
     }
 
     /// Whether any command under `tag` is still in flight.
+    #[inline]
     pub fn tag_busy(&self, tag: Tag) -> bool {
         !self.queues[tag.raw() as usize].is_empty()
     }

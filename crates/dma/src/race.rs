@@ -203,17 +203,47 @@ impl RaceChecker {
     ///
     /// Panics on detection in [`RaceMode::Panic`].
     pub fn note_issue(&mut self, id: u64, request: &DmaRequest, now: u64) {
+        let entry = Self::entry_for(id, request);
+        self.scan_against_inflight(&entry, now);
+        self.tracked.push(entry);
+    }
+
+    /// Checks a transfer that is issued and retired in one step — a
+    /// synchronous staging round trip whose tag queue is idle — against
+    /// every transfer still in flight, without tracking it. Because an
+    /// issue immediately followed by a retire leaves `tracked`
+    /// unchanged and nothing else can observe the transient entry, this
+    /// is report-for-report identical to `note_issue` + `note_retire`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on detection in [`RaceMode::Panic`].
+    #[inline]
+    pub fn note_sync(&mut self, id: u64, request: &DmaRequest, now: u64) {
+        // Nothing in flight, nothing to overlap with: skip even the
+        // range construction (the common case on the outer-access path).
+        if self.tracked.is_empty() {
+            return;
+        }
+        let entry = Self::entry_for(id, request);
+        self.scan_against_inflight(&entry, now);
+    }
+
+    fn entry_for(id: u64, request: &DmaRequest) -> Tracked {
         let local =
             AddrRange::new(request.local, request.size).expect("engine validated the local range");
         let remote = AddrRange::new(request.remote, request.size)
             .expect("engine validated the remote range");
-        let entry = Tracked {
+        Tracked {
             id,
             local,
             remote,
             direction: request.direction,
-        };
+        }
+    }
 
+    fn scan_against_inflight(&mut self, entry: &Tracked, now: u64) {
+        let (id, local, remote) = (entry.id, entry.local, entry.remote);
         let mut found = Vec::new();
         for other in &self.tracked {
             // Local store side: a get writes its local range, a put reads
@@ -249,7 +279,6 @@ impl RaceChecker {
         for report in found {
             self.emit(report);
         }
-        self.tracked.push(entry);
     }
 
     /// Retires a transfer (its tag group was waited on).

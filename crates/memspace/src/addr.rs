@@ -35,6 +35,7 @@ pub struct Addr {
 
 impl Addr {
     /// Creates an address at `offset` within `space`.
+    #[inline]
     pub fn new(space: SpaceId, offset: u32) -> Addr {
         Addr { space, offset }
     }
@@ -46,16 +47,19 @@ impl Addr {
     }
 
     /// Whether this is the null address of its space.
+    #[inline]
     pub fn is_null(self) -> bool {
         self.offset == 0
     }
 
     /// The memory space this address points into.
+    #[inline]
     pub fn space(self) -> SpaceId {
         self.space
     }
 
     /// The byte offset within the space.
+    #[inline]
     pub fn offset(self) -> u32 {
         self.offset
     }
@@ -66,6 +70,7 @@ impl Addr {
     ///
     /// Returns [`MemError::AddressOverflow`] if the sum exceeds the 32-bit
     /// simulated address range.
+    #[inline]
     pub fn offset_by(self, delta: u32) -> Result<Addr, MemError> {
         match self.offset.checked_add(delta) {
             Some(offset) => Ok(Addr {

@@ -39,6 +39,12 @@ pub struct MemoryRegion {
     bytes: Vec<u8>,
     next_free: u32,
     high_water: u32,
+    /// One past the highest byte ever written (not merely allocated).
+    /// Everything at or above this offset is still zero from
+    /// construction, so [`MemoryRegion::reset`] only has to clear the
+    /// dirty prefix — the difference between recycling a 16 MiB machine
+    /// in microseconds and re-zeroing it wholesale.
+    dirty_high: u32,
 }
 
 impl MemoryRegion {
@@ -58,7 +64,15 @@ impl MemoryRegion {
             // a DMA-friendly boundary.
             next_free: crate::DMA_ALIGN,
             high_water: crate::DMA_ALIGN,
+            dirty_high: 0,
         }
+    }
+
+    /// Notes that bytes up to offset `end` (exclusive) may now be
+    /// non-zero. Every mutation path funnels through this.
+    #[inline]
+    fn mark_dirty(&mut self, end: usize) {
+        self.dirty_high = self.dirty_high.max(end as u32);
     }
 
     /// The space this region implements.
@@ -81,6 +95,7 @@ impl MemoryRegion {
         self.capacity().saturating_sub(self.next_free)
     }
 
+    #[inline]
     fn check(&self, addr: Addr, len: u32) -> Result<usize, MemError> {
         if addr.space() != self.id {
             return Err(MemError::SpaceMismatch {
@@ -123,6 +138,7 @@ impl MemoryRegion {
     /// # Errors
     ///
     /// As for [`MemoryRegion::read_bytes`].
+    #[inline]
     pub fn read_into(&self, addr: Addr, out: &mut [u8]) -> Result<(), MemError> {
         let at = self.check(addr, out.len() as u32)?;
         out.copy_from_slice(&self.bytes[at..at + out.len()]);
@@ -134,9 +150,11 @@ impl MemoryRegion {
     /// # Errors
     ///
     /// As for [`MemoryRegion::read_bytes`].
+    #[inline]
     pub fn write_bytes(&mut self, addr: Addr, data: &[u8]) -> Result<(), MemError> {
         let at = self.check(addr, data.len() as u32)?;
         self.bytes[at..at + data.len()].copy_from_slice(data);
+        self.mark_dirty(at + data.len());
         Ok(())
     }
 
@@ -148,6 +166,7 @@ impl MemoryRegion {
     pub fn fill(&mut self, addr: Addr, len: u32, value: u8) -> Result<(), MemError> {
         let at = self.check(addr, len)?;
         self.bytes[at..at + len as usize].fill(value);
+        self.mark_dirty(at + len as usize);
         Ok(())
     }
 
@@ -169,6 +188,7 @@ impl MemoryRegion {
     pub fn write_pod<T: Pod>(&mut self, addr: Addr, value: &T) -> Result<(), MemError> {
         let at = self.check(addr, T::SIZE as u32)?;
         value.write_to(&mut self.bytes[at..at + T::SIZE]);
+        self.mark_dirty(at + T::SIZE);
         Ok(())
     }
 
@@ -221,6 +241,7 @@ impl MemoryRegion {
         let total = (T::SIZE * values.len()) as u32;
         let at = self.check(addr, total)?;
         T::write_slice_to(values, &mut self.bytes[at..at + total as usize]);
+        self.mark_dirty(at + total as usize);
         Ok(())
     }
 
@@ -291,7 +312,12 @@ impl MemoryRegion {
     /// reset allocates nothing — this is the arena-reuse primitive the
     /// sim farm's per-world `Machine` recycling is built on.
     pub fn reset(&mut self) {
-        self.bytes.fill(0);
+        // Bytes at or above `dirty_high` were never written, so they are
+        // still zero from construction (or the previous reset): clearing
+        // the dirty prefix restores the exact as-constructed contents
+        // without touching the untouched tail.
+        self.bytes[..self.dirty_high as usize].fill(0);
+        self.dirty_high = 0;
         self.next_free = crate::DMA_ALIGN;
         self.high_water = crate::DMA_ALIGN;
     }
@@ -358,6 +384,7 @@ pub fn copy_between(
     let dst_at = dst.check(dst_addr, len)?;
     dst.bytes[dst_at..dst_at + len as usize]
         .copy_from_slice(&src.bytes[src_at..src_at + len as usize]);
+    dst.mark_dirty(dst_at + len as usize);
     Ok(())
 }
 

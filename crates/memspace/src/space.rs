@@ -33,6 +33,7 @@ impl SpaceId {
     pub const MAIN: SpaceId = SpaceId(0);
 
     /// Creates a space id from a raw index.
+    #[inline]
     pub fn from_index(index: u16) -> SpaceId {
         SpaceId(index)
     }
@@ -44,18 +45,21 @@ impl SpaceId {
     }
 
     /// Raw index of this space.
+    #[inline]
     pub fn index(self) -> u16 {
         self.0
     }
 
     /// Whether this is the main memory space (under the conventional
     /// layout).
+    #[inline]
     pub fn is_main(self) -> bool {
         self.0 == 0
     }
 
     /// Whether this is a local-store space (under the conventional
     /// layout).
+    #[inline]
     pub fn is_local_store(self) -> bool {
         self.0 != 0
     }

@@ -4,6 +4,48 @@
 //! (modelling registers — operand traffic is free), while locals,
 //! globals, heap objects and frames live in *simulated memory*, so
 //! every pointer dereference pays the cost of the space it touches.
+//!
+//! # Cost accounting
+//!
+//! Unless noted otherwise, every instruction charges one `arith` cycle
+//! for decode/execute (the [`simcell::CostModel`] field names are used
+//! throughout). Per-opcode docs list anything charged *on top of* that
+//! baseline. Accesses that fall inside the current frame model
+//! register/L1-resident locals and charge nothing extra; everything
+//! else pays the memory path of the space it touches.
+//!
+//! # Superinstructions
+//!
+//! The tail of [`Instr`] holds *fused* opcodes produced by the
+//! [`crate::peephole`] pass. Each one stands for a short run of
+//! ordinary instructions and charges **exactly** the cycles that run
+//! would have charged — fusion is a wall-clock (host) optimisation
+//! only; simulated time is bit-identical. [`Instr::width`] reports how
+//! many original instructions a fused opcode replaces; the interpreter
+//! advances the program counter and the retired-instruction counter by
+//! that width, stepping over the dead original instructions the fuser
+//! leaves behind as padding (so jump targets stay valid).
+//!
+//! # Example: disassembling a tiny program
+//!
+//! The peephole pass is on by default, so a counter bump compiles to a
+//! single fused [`Instr::IncLocalI`]:
+//!
+//! ```
+//! use offload_lang::{compile, Target};
+//!
+//! let source = "fn main() -> int { let i: int = 40; i = i + 2; return i; }";
+//! let program = compile(source, &Target::cell_like()).unwrap();
+//! let listing = program.disassemble();
+//! assert!(listing.contains("IncLocalI"), "i = i + 2 fuses:\n{listing}");
+//! assert!(listing.contains("Ret"));
+//!
+//! // With superinstructions off, the plain four-opcode form survives.
+//! let plain = compile(source, &Target::cell_like().with_superinstructions(false)).unwrap();
+//! assert!(!plain.disassemble().contains("IncLocalI"));
+//! ```
+
+#![deny(missing_docs)]
 
 use std::fmt;
 
@@ -68,120 +110,170 @@ pub enum Cmp {
     Ge,
 }
 
+/// Integer operator selector for fused superinstructions.
+///
+/// Only the non-trapping operators appear: `DivI`/`ModI` can raise
+/// [`crate::VmError::DivideByZero`] mid-sequence, so the fuser never
+/// folds them into a superinstruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArithI {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+}
+
+/// Float operator selector for fused superinstructions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArithF {
+    /// IEEE addition.
+    Add,
+    /// IEEE subtraction.
+    Sub,
+    /// IEEE multiplication.
+    Mul,
+    /// IEEE division (no trap; produces ±inf/NaN like the unfused op).
+    Div,
+}
+
 /// One bytecode instruction.
 ///
-/// Stack effects are noted as `… pops → pushes`.
+/// Stack effects are noted as `… pops → pushes`; costs follow the
+/// module-level convention (an implicit `arith` per instruction, extras
+/// listed per opcode).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Instr {
-    /// `→ i32`
+    /// Push an integer constant. `→ i32`. Cost: `arith`.
     ConstI(i32),
-    /// `→ f32`
+    /// Push a float constant. `→ f32`. Cost: `arith`.
     ConstF(f32),
-    /// `→ bool`
+    /// Push a boolean constant. `→ bool`. Cost: `arith`.
     ConstB(bool),
-    /// Discard the top of stack.
+    /// Discard the top of stack. `v →`. Cost: `arith`.
     Drop,
 
-    /// Load a frame slot. `→ value`
+    /// Load a frame slot. `→ value`. Cost: `arith` (in-frame access is
+    /// register-modelled — no memory cycles).
     LoadLocal {
         /// Byte offset within the frame.
         offset: u32,
         /// Scalar type.
         ty: ValType,
     },
-    /// Store to a frame slot. `value →`
+    /// Store to a frame slot. `value →`. Cost: `arith`.
     StoreLocal {
         /// Byte offset within the frame.
         offset: u32,
         /// Scalar type.
         ty: ValType,
     },
-    /// Push the address of a frame slot. `→ ptr(local-or-host)`
+    /// Push the address of a frame slot. `→ ptr(local-or-host)`.
+    /// Cost: `arith`.
     AddrOfLocal {
         /// Byte offset within the frame.
         offset: u32,
     },
-    /// Push the address of a global. `→ ptr(host)`
+    /// Push the address of a global. `→ ptr(host)`. Cost: `arith`.
     AddrOfGlobal {
         /// Byte offset within the globals block.
         offset: u32,
     },
 
-    /// Load through a pointer. `ptr → value`. `penalty` is extra cycles
-    /// for sub-word extraction / byte-pointer emulation (paper §5).
+    /// Load through a pointer. `ptr → value`. Cost: `arith` +
+    /// `penalty`, plus the memory path of the space the pointer points
+    /// into (free if it lands in the current frame; `host_mem_access`
+    /// per line on the host; local-store or DMA/cache cycles on an
+    /// accelerator).
     LoadMem {
         /// Scalar type loaded.
         ty: ValType,
-        /// Extra cycles charged on top of the memory access.
+        /// Extra cycles for sub-word extraction / byte-pointer
+        /// emulation (paper §5), charged before the access.
         penalty: u32,
     },
-    /// Store through a pointer. `ptr value →`
+    /// Store through a pointer. `ptr value →`. Cost: as [`Instr::LoadMem`].
     StoreMem {
         /// Scalar type stored.
         ty: ValType,
         /// Extra cycles charged on top of the memory access.
         penalty: u32,
     },
-    /// Aggregate copy. `dst_ptr src_ptr →`
+    /// Aggregate copy. `dst_ptr src_ptr →`. Cost: `arith` + the read
+    /// path of `src` + the write path of `dst` for `size` bytes.
     CopyMem {
         /// Bytes copied.
         size: u32,
     },
-    /// Add a constant byte offset to a pointer. `ptr → ptr`
+    /// Add a constant byte offset to a pointer. `ptr → ptr`.
+    /// Cost: `arith`.
     PtrAddConst(i32),
-    /// Add a scaled dynamic index. `ptr i32 → ptr`
+    /// Add a scaled dynamic index. `ptr i32 → ptr`. Cost: 2 × `arith`
+    /// (decode + multiply-add).
     PtrIndex {
         /// Element stride in bytes.
         stride: u32,
     },
 
-    /// `i32 i32 → i32`
+    /// Wrapping add. `i32 i32 → i32`. Cost: `arith`.
     AddI,
-    /// `i32 i32 → i32`
+    /// Wrapping subtract. `i32 i32 → i32`. Cost: `arith`.
     SubI,
-    /// `i32 i32 → i32`
+    /// Wrapping multiply. `i32 i32 → i32`. Cost: `arith`.
     MulI,
-    /// `i32 i32 → i32` (traps on zero divisor)
+    /// Division. `i32 i32 → i32`. Cost: `arith`. Traps with
+    /// [`crate::VmError::DivideByZero`] on a zero divisor.
     DivI,
-    /// `i32 i32 → i32` (traps on zero divisor)
+    /// Remainder. `i32 i32 → i32`. Cost: `arith`. Traps on zero.
     ModI,
-    /// `i32 → i32`
+    /// Negate. `i32 → i32`. Cost: `arith`.
     NegI,
-    /// `f32 f32 → f32`
+    /// `f32 f32 → f32`. Cost: `arith`.
     AddF,
-    /// `f32 f32 → f32`
+    /// `f32 f32 → f32`. Cost: `arith`.
     SubF,
-    /// `f32 f32 → f32`
+    /// `f32 f32 → f32`. Cost: `arith`.
     MulF,
-    /// `f32 f32 → f32`
+    /// `f32 f32 → f32`. Cost: `arith` (IEEE — no trap).
     DivF,
-    /// `f32 → f32`
+    /// Negate. `f32 → f32`. Cost: `arith`.
     NegF,
-    /// `i32 i32 → bool`
+    /// Compare integers (or pointer offsets). `i32 i32 → bool`.
+    /// Cost: `arith`.
     CmpI(Cmp),
-    /// `f32 f32 → bool`
+    /// Compare floats. `f32 f32 → bool`. Cost: `arith`.
     CmpF(Cmp),
-    /// `bool → bool`
+    /// Logical not. `bool → bool`. Cost: `arith`.
     NotB,
-    /// `i32 → f32`
+    /// Convert. `i32 → f32`. Cost: `arith`.
     I2F,
-    /// `f32 → i32` (truncating)
+    /// Convert (truncating). `f32 → i32`. Cost: `arith`.
     F2I,
 
-    /// Unconditional jump to an instruction index.
+    /// Unconditional jump to an instruction index. Cost: `arith` +
+    /// `branch`.
     Jump(u32),
-    /// `bool →`; jump when false.
+    /// `bool →`; jump when false. Cost: `arith` + `branch` (charged
+    /// whether or not the branch is taken — the simulated core has no
+    /// branch predictor).
     JumpIfFalse(u32),
-    /// `bool →`; jump when true (for `||`).
+    /// `bool →`; jump when true (for `||`). Cost: `arith` + `branch`.
     JumpIfTrue(u32),
 
-    /// Static call. `args… → ret?`
+    /// Static call. `args… → ret?`. Cost: `arith` + `branch` for the
+    /// frame push, then `arith` per argument stored into the callee
+    /// frame.
     Call {
         /// Callee.
         func: FuncId,
     },
     /// Virtual call through the receiver's class-id header.
-    /// `recv args… → ret?`
+    /// `recv args… → ret?`. Cost: `arith` + the header read (costed by
+    /// the receiver's space) + `vcall`; on an accelerator additionally
+    /// the Figure 3 domain search (`domain_lookup_base` +
+    /// `domain_outer_entry`/`domain_inner_entry` per probe); then the
+    /// [`Instr::Call`] frame-push costs.
     CallVirtual {
         /// vtable slot.
         slot: u16,
@@ -192,14 +284,16 @@ pub enum Instr {
         /// Memory-space signature of the required duplicate.
         dup: u16,
     },
-    /// Return from the current function. `ret? →` (caller receives it)
+    /// Return from the current function. `ret? →` (caller receives it).
+    /// Cost: `arith` + `branch`.
     Ret {
         /// Whether a value is returned.
         has_value: bool,
     },
 
     /// Allocate a class instance in the *current* space's arena and
-    /// write its class-id header. `→ ptr(local)`
+    /// write its class-id header. `→ ptr(local)`. Cost: 5 × `arith`
+    /// (decode + allocator bookkeeping) + the header write.
     NewObject {
         /// Class id (index into the program's class list).
         class: u32,
@@ -208,7 +302,9 @@ pub enum Instr {
     },
 
     /// Launch an offload block (host only): run `func` on the
-    /// accelerator under `domain`, joining before continuing.
+    /// accelerator under `domain`, joining before continuing. Cost:
+    /// `arith`, plus everything the accelerator run charges (spawn/join
+    /// synchronisation, callee frame, DMA…).
     Offload {
         /// The compiled body.
         func: FuncId,
@@ -216,7 +312,8 @@ pub enum Instr {
         domain: DomainId,
     },
     /// Launch an *asynchronous* offload block (host only): the host
-    /// continues; `Join` with the same slot synchronises.
+    /// continues; `Join` with the same slot synchronises. Cost: `arith`
+    /// + spawn overhead.
     OffloadAsync {
         /// The compiled body.
         func: FuncId,
@@ -225,19 +322,191 @@ pub enum Instr {
         /// The handle slot.
         slot: u16,
     },
-    /// Join the asynchronous offload registered under `slot`.
+    /// Join the asynchronous offload registered under `slot`. Cost:
+    /// `arith` + the wait until the accelerator finishes.
     Join {
         /// The handle slot.
         slot: u16,
     },
 
-    /// Print the top of stack to the VM output. `i32 →`
+    /// Print the top of stack to the VM output. `i32 →`. Cost: `arith`.
     PrintI,
-    /// Print the top of stack to the VM output. `f32 →`
+    /// Print the top of stack to the VM output. `f32 →`. Cost: `arith`.
     PrintF,
+
+    // ------------------------------------------------------------------
+    // Superinstructions — emitted only by the peephole fusion pass
+    // (crate::peephole), never by codegen directly. Each charges
+    // exactly what its unfused expansion charges.
+    // ------------------------------------------------------------------
+    /// Fused `LoadLocal off1 ty1; LoadLocal off2 ty2`. `→ v1 v2`.
+    /// Width 2. Cost: 2 × `arith`.
+    LoadLocal2 {
+        /// First slot's byte offset.
+        off1: u32,
+        /// First slot's type.
+        ty1: ValType,
+        /// Second slot's byte offset.
+        off2: u32,
+        /// Second slot's type.
+        ty2: ValType,
+    },
+    /// Fused `LoadLocal a I32; LoadLocal b I32; AddI/SubI/MulI`.
+    /// `→ i32`. Width 3. Cost: 3 × `arith`.
+    LoadLocal2OpI {
+        /// Left operand's frame offset.
+        a: u32,
+        /// Right operand's frame offset.
+        b: u32,
+        /// The fused operator.
+        op: ArithI,
+    },
+    /// Fused `LoadLocal a F32; LoadLocal b F32; AddF/SubF/MulF/DivF`.
+    /// `→ f32`. Width 3. Cost: 3 × `arith`.
+    LoadLocal2OpF {
+        /// Left operand's frame offset.
+        a: u32,
+        /// Right operand's frame offset.
+        b: u32,
+        /// The fused operator.
+        op: ArithF,
+    },
+    /// Fused `LoadLocal offset I32; AddI/SubI/MulI` — top of stack ⊕
+    /// local. `i32 → i32`. Width 2. Cost: 2 × `arith`.
+    LoadLocalOpI {
+        /// Right operand's frame offset.
+        offset: u32,
+        /// The fused operator.
+        op: ArithI,
+    },
+    /// Fused `LoadLocal offset F32; AddF/SubF/MulF/DivF`. `f32 → f32`.
+    /// Width 2. Cost: 2 × `arith`.
+    LoadLocalOpF {
+        /// Right operand's frame offset.
+        offset: u32,
+        /// The fused operator.
+        op: ArithF,
+    },
+    /// Fused `LoadLocal offset Ptr(tag); PtrAddConst delta` — the
+    /// `obj.field` address pattern. `→ ptr`. Width 2. Cost: 2 × `arith`.
+    LoadLocalPtrAdd {
+        /// Pointer slot's frame offset.
+        offset: u32,
+        /// The pointer's space tag.
+        tag: SpaceTag,
+        /// Constant byte offset added to the loaded pointer.
+        delta: i32,
+    },
+    /// Fused `LoadLocal offset I32; ConstI ±k; AddI/SubI; StoreLocal
+    /// offset I32` — the `i = i + k` counter bump. No stack effect.
+    /// Width 4. Cost: 4 × `arith`.
+    IncLocalI {
+        /// The counter slot's frame offset.
+        offset: u32,
+        /// Signed increment (`SubI k` folds to `delta = -k`).
+        delta: i32,
+    },
+    /// Fused `CmpI op; JumpIfFalse target`. `i32 i32 →`. Width 2.
+    /// Cost: 2 × `arith` + `branch`.
+    CmpIBr {
+        /// The comparison.
+        op: Cmp,
+        /// Jump target when the comparison is false.
+        target: u32,
+    },
+    /// Fused `CmpF op; JumpIfFalse target`. `f32 f32 →`. Width 2.
+    /// Cost: 2 × `arith` + `branch`.
+    CmpFBr {
+        /// The comparison.
+        op: Cmp,
+        /// Jump target when the comparison is false.
+        target: u32,
+    },
+    /// Fused `LoadLocal offset I32; ConstI imm; CmpI op; JumpIfFalse
+    /// target` — the `while i < N` loop header. No stack effect.
+    /// Width 4. Cost: 4 × `arith` + `branch`.
+    CmpLocalImmBr {
+        /// The loop counter's frame offset.
+        offset: u32,
+        /// The constant compared against.
+        imm: i32,
+        /// The comparison.
+        op: Cmp,
+        /// Jump target when the comparison is false.
+        target: u32,
+    },
+    /// Fused `AddrOfGlobal offset; LoadMem ty penalty` — a global
+    /// scalar read. `→ value`. Width 2. Cost: 2 × `arith` + `penalty`
+    /// + the memory path of the globals block (see [`Instr::LoadMem`]).
+    LoadGlobalMem {
+        /// Byte offset within the globals block.
+        offset: u32,
+        /// Scalar type loaded.
+        ty: ValType,
+        /// Extra cycles, as on [`Instr::LoadMem`].
+        penalty: u32,
+    },
+    /// Fused `LoadLocal offset F32; AddF/SubF/MulF/DivF; StoreMem F32
+    /// penalty` — the `*ptr = acc ⊕ local` write-back that closes a
+    /// field update. `ptr f32 →`. Width 3. Cost: 3 × `arith` +
+    /// `penalty` + the store's memory path (see [`Instr::StoreMem`]).
+    LoadLocalOpFStoreMem {
+        /// Right operand's frame offset.
+        offset: u32,
+        /// The fused operator.
+        op: ArithF,
+        /// Extra cycles, as on [`Instr::StoreMem`].
+        penalty: u32,
+    },
+    /// Fused `LoadLocal offset Ptr(tag); PtrAddConst delta; LoadMem ty
+    /// penalty` — the `obj.field` read. `→ value`. Width 3. Cost:
+    /// 3 × `arith` + `penalty` + the memory path of the loaded
+    /// pointer's space (see [`Instr::LoadMem`]).
+    LoadLocalPtrAddMem {
+        /// Pointer slot's frame offset.
+        offset: u32,
+        /// The pointer's space tag.
+        tag: SpaceTag,
+        /// Constant byte offset added to the loaded pointer.
+        delta: i32,
+        /// Scalar type loaded.
+        ty: ValType,
+        /// Extra cycles, as on [`Instr::LoadMem`].
+        penalty: u32,
+    },
 }
 
-/// A compiled function (or function duplicate, or offload body).
+impl Instr {
+    /// How many *original* instructions this opcode stands for: 1 for
+    /// ordinary opcodes, the fused run length for superinstructions.
+    /// The interpreter advances `pc` and the retired-instruction
+    /// counter by this width, so instruction counts are identical with
+    /// fusion on or off.
+    pub fn width(self) -> u32 {
+        match self {
+            Instr::LoadLocal2 { .. }
+            | Instr::LoadLocalOpI { .. }
+            | Instr::LoadLocalOpF { .. }
+            | Instr::LoadLocalPtrAdd { .. }
+            | Instr::LoadGlobalMem { .. }
+            | Instr::CmpIBr { .. }
+            | Instr::CmpFBr { .. } => 2,
+            Instr::LoadLocal2OpI { .. }
+            | Instr::LoadLocal2OpF { .. }
+            | Instr::LoadLocalPtrAddMem { .. }
+            | Instr::LoadLocalOpFStoreMem { .. } => 3,
+            Instr::IncLocalI { .. } | Instr::CmpLocalImmBr { .. } => 4,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a fused superinstruction (width > 1).
+    pub fn is_fused(self) -> bool {
+        self.width() > 1
+    }
+}
+
+/// A compiled function (or function duplicate, or offload block).
 #[derive(Clone, Debug)]
 pub struct FuncBody {
     /// Diagnostic name, e.g. `update@Enemy[self:outer]`.
@@ -257,8 +526,18 @@ pub struct FuncBody {
 impl fmt::Display for FuncBody {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "fn {} (frame {} bytes):", self.name, self.frame_size)?;
+        let mut skip_until = 0usize;
+        let mut head = 0usize;
         for (i, instr) in self.code.iter().enumerate() {
+            if i < skip_until {
+                // Dead padding inside a fused window: never executed,
+                // kept only so jump targets stay valid.
+                writeln!(f, "  {i:4}:   · (fused into {head})")?;
+                continue;
+            }
             writeln!(f, "  {i:4}: {instr:?}")?;
+            head = i;
+            skip_until = i + instr.width() as usize;
         }
         Ok(())
     }
@@ -368,5 +647,81 @@ mod tests {
         let text = body.to_string();
         assert!(text.contains("main"));
         assert!(text.contains("ConstI(42)"));
+    }
+
+    #[test]
+    fn widths_cover_all_superinstructions() {
+        assert_eq!(Instr::AddI.width(), 1);
+        assert!(!Instr::AddI.is_fused());
+        assert_eq!(
+            Instr::LoadLocal2 {
+                off1: 0,
+                ty1: ValType::I32,
+                off2: 4,
+                ty2: ValType::I32
+            }
+            .width(),
+            2
+        );
+        assert_eq!(
+            Instr::LoadLocal2OpI {
+                a: 0,
+                b: 4,
+                op: ArithI::Add
+            }
+            .width(),
+            3
+        );
+        assert_eq!(
+            Instr::IncLocalI {
+                offset: 0,
+                delta: 1
+            }
+            .width(),
+            4
+        );
+        assert_eq!(
+            Instr::CmpLocalImmBr {
+                offset: 0,
+                imm: 10,
+                op: Cmp::Lt,
+                target: 2
+            }
+            .width(),
+            4
+        );
+        assert!(Instr::CmpIBr {
+            op: Cmp::Eq,
+            target: 0
+        }
+        .is_fused());
+    }
+
+    #[test]
+    fn display_marks_fused_padding() {
+        let body = FuncBody {
+            name: "f".into(),
+            params: vec![],
+            param_offsets: vec![],
+            frame_size: 16,
+            returns_value: false,
+            code: vec![
+                Instr::IncLocalI {
+                    offset: 0,
+                    delta: 1,
+                },
+                Instr::LoadLocal {
+                    offset: 0,
+                    ty: ValType::I32,
+                },
+                Instr::ConstI(1),
+                Instr::AddI,
+                Instr::Ret { has_value: false },
+            ],
+        };
+        let text = body.to_string();
+        assert!(text.contains("IncLocalI"));
+        assert!(text.contains("· (fused into 0)"), "{text}");
+        assert!(text.contains("Ret"));
     }
 }

@@ -657,13 +657,17 @@ impl<'t> Compiler<'t> {
             sig.join(", ")
         );
         *self.stats.duplicates.entry(def.name.clone()).or_insert(0) += 1;
+        let mut code = fx.code;
+        if self.target.superinstructions {
+            self.stats.superinstructions += crate::peephole::fuse(&mut code) as usize;
+        }
         self.funcs[fid.0 as usize] = FuncBody {
             name: variant_name,
             params: param_tys,
             param_offsets,
             frame_size: memspace::align_up(fx.frame_size.max(4), 16),
             returns_value: ret != Type::Void,
-            code: fx.code,
+            code,
         };
         Ok(fid)
     }
@@ -1292,6 +1296,10 @@ impl<'t> Compiler<'t> {
         }
         self.block(&mut ox, body)?;
         ox.emit(Instr::Ret { has_value: false });
+        let mut body_code = ox.code;
+        if self.target.superinstructions {
+            self.stats.superinstructions += crate::peephole::fuse(&mut body_code) as usize;
+        }
         let body_id = FuncId(self.funcs.len() as u32);
         self.funcs.push(FuncBody {
             name: format!("offload#{}", self.stats.offload_blocks),
@@ -1299,7 +1307,7 @@ impl<'t> Compiler<'t> {
             param_offsets,
             frame_size: memspace::align_up(ox.frame_size.max(4), 16),
             returns_value: false,
-            code: ox.code,
+            code: body_code,
         });
 
         // Compile duplicates for the annotated methods, for every

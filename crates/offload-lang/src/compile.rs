@@ -41,6 +41,12 @@ pub struct Target {
     /// Extra cycles to dereference a stored `byte*` value (runtime
     /// extract) under [`WordStrategy::Hybrid`].
     pub byte_ptr_deref_cost: u32,
+    /// Whether the [`crate::peephole`] superinstruction-fusion pass
+    /// runs after codegen (on by default). Fusion is a host wall-clock
+    /// optimisation only — simulated cycles, instruction counts and
+    /// traces are bit-identical either way; turning it off is for the
+    /// differential dispatch tests and for reading plain disassembly.
+    pub superinstructions: bool,
 }
 
 impl Target {
@@ -53,6 +59,7 @@ impl Target {
             byte_emulation_cost: 4,
             subword_extract_cost: 1,
             byte_ptr_deref_cost: 2,
+            superinstructions: true,
         }
     }
 
@@ -69,6 +76,13 @@ impl Target {
     #[must_use]
     pub fn with_strategy(mut self, strategy: WordStrategy) -> Target {
         self.strategy = strategy;
+        self
+    }
+
+    /// Enables or disables the superinstruction-fusion peephole pass.
+    #[must_use]
+    pub fn with_superinstructions(mut self, enabled: bool) -> Target {
+        self.superinstructions = enabled;
         self
     }
 
@@ -97,6 +111,9 @@ pub struct CompileStats {
     pub offload_blocks: usize,
     /// Outer-domain size per offload block (annotation counts).
     pub domain_sizes: Vec<usize>,
+    /// Superinstructions formed by the peephole fusion pass (0 when the
+    /// pass is disabled on the [`Target`]).
+    pub superinstructions: usize,
 }
 
 impl CompileStats {

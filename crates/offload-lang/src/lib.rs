@@ -67,6 +67,7 @@ pub mod compile;
 pub mod diag;
 pub mod lexer;
 pub mod parser;
+pub mod peephole;
 pub mod span;
 pub mod token;
 pub mod types;

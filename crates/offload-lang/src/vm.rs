@@ -15,29 +15,58 @@
 //! falling inside the *current frame* model register/L1-resident locals
 //! and charge nothing extra); word-addressing penalties from the
 //! compiler (paper §5); virtual calls the header read plus `vcall` plus
-//! — on the accelerator — the Figure 3 domain search costs.
+//! — on the accelerator — the Figure 3 domain search costs. Fused
+//! superinstructions charge exactly what their unfused expansion
+//! charges (see [`crate::peephole`]), so simulated time is independent
+//! of the fusion pass.
 //!
 //! # Hot-path discipline
 //!
-//! The interpreter loop is allocation-free in steady state: function and
-//! method names are interned as [`FuncId`]s at compile time, call
-//! arguments move via slices of the value stack (never through temporary
+//! See `docs/VM.md` for the full architecture notes. In short, the
+//! interpreter loop is allocation-free and unboxed in steady state:
+//!
+//! - **Tagged machine-word values.** A runtime value is one `u64` with
+//!   the type tag in the top two bits and the 32-bit payload in the low
+//!   word (the New Mars noun trick). Tagging a small integer is a plain
+//!   zero-extend and untagging is a truncation, so integer arithmetic
+//!   operates on values immediately — no enum discriminant, no match,
+//!   no unboxing.
+//! - **Two-stack east/west frame arena.** The operand stack grows west
+//!   (up) and two-word call-frame records grow east (down) inside one
+//!   preallocated word array, so calls and returns never touch the Rust
+//!   allocator. (Simulated frame *slots* still live in simulated stack
+//!   memory — pointers into frames must stay meaningful.)
+//! - **Cached frame registers.** The dispatch loop keeps the current
+//!   function, program counter and frame base in locals, spilling them
+//!   to the frame record only around calls.
+//! - **Superinstruction handlers.** Fused opcodes retire whole
+//!   load/load/arith or compare-branch runs in one dispatch.
+//!
+//! Call arguments move through the arena (never through temporary
 //! `Vec`s), `CopyMem` reuses one scratch buffer, and asynchronous
 //! offload handles live in a flat slot vector rather than a hash map.
 //! `String`s only materialise on the cold error paths that terminate
-//! execution (where the id is resolved back to its interned name).
+//! execution.
 
 use memspace::{Addr, SpaceId};
 use simcell::{AccelCtx, CostModel, Machine, SimError};
 use softcache::CacheConfig;
 
-use crate::bytecode::{Cmp, DomainId, FuncId, Instr, SpaceTag, ValType};
+use crate::bytecode::{ArithF, ArithI, Cmp, DomainId, FuncId, Instr, SpaceTag, ValType};
 use crate::compile::Program;
 
 /// Bytes reserved for the host call stack.
 const HOST_STACK: u32 = 256 * 1024;
 /// Bytes reserved for the accelerator call stack inside an offload.
 const ACCEL_STACK: u32 = 48 * 1024;
+/// Words in the east/west frame arena (operand stack west, frame
+/// records east). 4 Ki words = 32 KiB: the simulated 512-frame
+/// call-depth limit caps the east side at 1024 words, which leaves
+/// 3 Ki words of operand stack — far beyond any compiler-emitted
+/// expression depth (operands are scalar `Value`s; aggregates live in
+/// simulated memory). Kept modest so `Vm::new` stays cheap (the arena
+/// is zero-filled once per VM).
+const ARENA_WORDS: usize = 1 << 12;
 
 /// How offloaded code reaches outer (host) memory.
 #[derive(Clone, Copy, Debug, Default)]
@@ -124,42 +153,185 @@ impl From<SimError> for VmError {
     }
 }
 
-/// A runtime scalar value.
-#[derive(Clone, Copy, PartialEq, Debug)]
-enum Value {
-    I(i32),
-    F(f32),
-    B(bool),
-    P(Addr),
-}
+/// A runtime scalar value: one tagged machine word.
+///
+/// Layout (the New Mars noun trick, adapted to our four scalar kinds):
+///
+/// ```text
+///  63 62        48 47        32 31                         0
+/// +-----+----------+------------+----------------------------+
+/// | tag |  (zero)  | ptr space  |         payload            |
+/// +-----+----------+------------+----------------------------+
+///  tag 00 = int    payload = i32 bits (zero-extended)
+///  tag 01 = float  payload = f32 bits
+///  tag 10 = bool   payload = 0 / 1
+///  tag 11 = ptr    payload = offset, bits 47..32 = SpaceId
+/// ```
+///
+/// The int tag is **zero**, so tagging a small integer is a plain
+/// zero-extend and untagging is a truncation — integer arithmetic never
+/// masks or shifts. Programs are statically typed, so release-mode
+/// accessors trust the tag; debug builds assert it.
+#[derive(Clone, Copy)]
+struct Value(u64);
 
 impl Value {
+    const TAG_SHIFT: u32 = 62;
+    const TAG_INT: u64 = 0b00 << Value::TAG_SHIFT;
+    const TAG_FLOAT: u64 = 0b01 << Value::TAG_SHIFT;
+    const TAG_BOOL: u64 = 0b10 << Value::TAG_SHIFT;
+    const TAG_PTR: u64 = 0b11 << Value::TAG_SHIFT;
+    const TAG_MASK: u64 = 0b11 << Value::TAG_SHIFT;
+
+    #[inline(always)]
+    fn from_i(v: i32) -> Value {
+        // TAG_INT is zero: the tag *is* the zero-extension.
+        Value(u64::from(v as u32))
+    }
+
+    #[inline(always)]
+    fn from_f(v: f32) -> Value {
+        Value(Value::TAG_FLOAT | u64::from(v.to_bits()))
+    }
+
+    #[inline(always)]
+    fn from_b(v: bool) -> Value {
+        Value(Value::TAG_BOOL | u64::from(v))
+    }
+
+    #[inline(always)]
+    fn from_p(addr: Addr) -> Value {
+        Value(Value::TAG_PTR | (u64::from(addr.space().index()) << 32) | u64::from(addr.offset()))
+    }
+
+    #[inline(always)]
+    fn tag(self) -> u64 {
+        self.0 & Value::TAG_MASK
+    }
+
+    #[inline(always)]
     fn as_i(self) -> i32 {
-        match self {
-            Value::I(v) => v,
-            other => unreachable!("typechecked program pushed {other:?} where int expected"),
-        }
+        debug_assert_eq!(self.tag(), Value::TAG_INT, "int expected: {self:?}");
+        self.0 as u32 as i32
     }
 
+    #[inline(always)]
     fn as_f(self) -> f32 {
-        match self {
-            Value::F(v) => v,
-            other => unreachable!("typechecked program pushed {other:?} where float expected"),
-        }
+        debug_assert_eq!(self.tag(), Value::TAG_FLOAT, "float expected: {self:?}");
+        f32::from_bits(self.0 as u32)
     }
 
+    #[inline(always)]
     fn as_b(self) -> bool {
-        match self {
-            Value::B(v) => v,
-            other => unreachable!("typechecked program pushed {other:?} where bool expected"),
+        debug_assert_eq!(self.tag(), Value::TAG_BOOL, "bool expected: {self:?}");
+        self.0 & 1 != 0
+    }
+
+    #[inline(always)]
+    fn as_p(self) -> Addr {
+        debug_assert_eq!(self.tag(), Value::TAG_PTR, "pointer expected: {self:?}");
+        Addr::new(SpaceId::from_index((self.0 >> 32) as u16), self.0 as u32)
+    }
+
+    /// The low 32 bits as a signed integer: the value of an int, or the
+    /// offset of a pointer. `CmpI` compares either kind branchlessly.
+    #[inline(always)]
+    fn low_i32(self) -> i32 {
+        debug_assert!(
+            matches!(self.tag(), Value::TAG_INT | Value::TAG_PTR),
+            "int or pointer expected: {self:?}"
+        );
+        self.0 as u32 as i32
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.tag() {
+            Value::TAG_INT => write!(f, "I({})", self.0 as u32 as i32),
+            Value::TAG_FLOAT => write!(f, "F({})", f32::from_bits(self.0 as u32)),
+            Value::TAG_BOOL => write!(f, "B({})", self.0 & 1 != 0),
+            _ => write!(
+                f,
+                "P(space {} + {:#x})",
+                (self.0 >> 32) as u16,
+                self.0 as u32
+            ),
+        }
+    }
+}
+
+/// The two-stack frame arena: one preallocated word array where the
+/// operand stack grows west (up from 0) and two-word frame records grow
+/// east (down from the end), ares-style. Exhaustion (the stacks
+/// meeting) surfaces as [`VmError::StackOverflow`]; in practice the
+/// simulated 512-frame / stack-byte limits trip long before the arena
+/// does.
+struct FrameArena {
+    words: Box<[u64]>,
+    /// One past the top of the operand stack.
+    west: usize,
+    /// Index of the newest frame record (records sit at `east`,
+    /// `east + 1`).
+    east: usize,
+}
+
+impl FrameArena {
+    fn new() -> FrameArena {
+        FrameArena {
+            words: vec![0u64; ARENA_WORDS].into_boxed_slice(),
+            west: 0,
+            east: ARENA_WORDS,
         }
     }
 
-    fn as_p(self) -> Addr {
-        match self {
-            Value::P(v) => v,
-            other => unreachable!("typechecked program pushed {other:?} where pointer expected"),
+    #[inline(always)]
+    fn push(&mut self, v: Value) -> Result<(), VmError> {
+        if self.west == self.east {
+            return Err(VmError::StackOverflow);
         }
+        self.words[self.west] = v.0;
+        self.west += 1;
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn pop(&mut self) -> Value {
+        self.west -= 1;
+        Value(self.words[self.west])
+    }
+
+    /// Pushes a frame record for the *suspended* caller: its function,
+    /// resume pc, frame-entry stack mark and frame base offset.
+    #[inline(always)]
+    fn push_record(
+        &mut self,
+        func: FuncId,
+        pc: usize,
+        entry_top: u32,
+        base_offset: u32,
+    ) -> Result<(), VmError> {
+        if self.east < self.west + 2 {
+            return Err(VmError::StackOverflow);
+        }
+        self.east -= 2;
+        self.words[self.east] = u64::from(func.0) | ((pc as u64) << 32);
+        self.words[self.east + 1] = u64::from(entry_top) | (u64::from(base_offset) << 32);
+        Ok(())
+    }
+
+    /// Pops the newest frame record: `(func, pc, entry_top, base_offset)`.
+    #[inline(always)]
+    fn pop_record(&mut self) -> (FuncId, usize, u32, u32) {
+        let w0 = self.words[self.east];
+        let w1 = self.words[self.east + 1];
+        self.east += 2;
+        (
+            FuncId(w0 as u32),
+            (w0 >> 32) as usize,
+            w1 as u32,
+            (w1 >> 32) as u32,
+        )
     }
 }
 
@@ -230,6 +402,7 @@ impl<'a> HostEnv<'a> {
 }
 
 impl Env for HostEnv<'_> {
+    #[inline(always)]
     fn space(&self) -> SpaceId {
         SpaceId::MAIN
     }
@@ -238,10 +411,12 @@ impl Env for HostEnv<'_> {
         *self.machine.cost()
     }
 
+    #[inline(always)]
     fn compute(&mut self, cycles: u64) {
         self.machine.host_compute(cycles);
     }
 
+    #[inline(always)]
     fn read(&mut self, addr: Addr, out: &mut [u8], in_frame: bool) -> Result<(), VmError> {
         if in_frame {
             self.machine
@@ -254,6 +429,7 @@ impl Env for HostEnv<'_> {
         }
     }
 
+    #[inline(always)]
     fn write(&mut self, addr: Addr, data: &[u8], in_frame: bool) -> Result<(), VmError> {
         if in_frame {
             self.machine
@@ -328,6 +504,7 @@ struct AccelEnv<'a, 'm> {
 }
 
 impl Env for AccelEnv<'_, '_> {
+    #[inline(always)]
     fn space(&self) -> SpaceId {
         self.ctx.local_space()
     }
@@ -336,10 +513,12 @@ impl Env for AccelEnv<'_, '_> {
         *self.ctx.cost()
     }
 
+    #[inline(always)]
     fn compute(&mut self, cycles: u64) {
         self.ctx.compute(cycles);
     }
 
+    #[inline(always)]
     fn read(&mut self, addr: Addr, out: &mut [u8], in_frame: bool) -> Result<(), VmError> {
         if addr.space() == self.ctx.local_space() {
             if in_frame {
@@ -354,6 +533,7 @@ impl Env for AccelEnv<'_, '_> {
         }
     }
 
+    #[inline(always)]
     fn write(&mut self, addr: Addr, data: &[u8], in_frame: bool) -> Result<(), VmError> {
         if addr.space() == self.ctx.local_space() {
             if in_frame {
@@ -397,12 +577,90 @@ impl Env for AccelEnv<'_, '_> {
     }
 }
 
-struct Frame {
-    func: FuncId,
-    pc: usize,
-    base: Addr,
-    size: u32,
-    domain: Option<DomainId>,
+/// Whether `addr` falls inside the current frame (register-modelled:
+/// the access is free).
+#[inline(always)]
+fn in_frame(base: Addr, frame_size: u32, addr: Addr) -> bool {
+    addr.space() == base.space() && addr.offset().wrapping_sub(base.offset()) < frame_size
+}
+
+/// Loads one scalar from simulated memory as a tagged value. Fixed-size
+/// reads per type keep the copies constant-length after inlining.
+#[inline(always)]
+fn load_value(
+    env: &mut impl Env,
+    addr: Addr,
+    ty: ValType,
+    in_frame: bool,
+) -> Result<Value, VmError> {
+    Ok(match ty {
+        ValType::I32 => {
+            let mut b = [0u8; 4];
+            env.read(addr, &mut b, in_frame)?;
+            Value::from_i(i32::from_le_bytes(b))
+        }
+        ValType::F32 => {
+            let mut b = [0u8; 4];
+            env.read(addr, &mut b, in_frame)?;
+            Value::from_f(f32::from_le_bytes(b))
+        }
+        ValType::Bool => {
+            let mut b = [0u8; 1];
+            env.read(addr, &mut b, in_frame)?;
+            Value::from_b(b[0] != 0)
+        }
+        ValType::Char => {
+            let mut b = [0u8; 1];
+            env.read(addr, &mut b, in_frame)?;
+            Value::from_i(i32::from(b[0]))
+        }
+        ValType::Ptr(tag) => {
+            let mut b = [0u8; 4];
+            env.read(addr, &mut b, in_frame)?;
+            let space = match tag {
+                SpaceTag::Host => SpaceId::MAIN,
+                SpaceTag::Local => env.space(),
+            };
+            Value::from_p(Addr::new(space, u32::from_le_bytes(b)))
+        }
+    })
+}
+
+/// Stores one scalar into simulated memory.
+#[inline(always)]
+fn store_value(
+    env: &mut impl Env,
+    addr: Addr,
+    ty: ValType,
+    value: Value,
+    in_frame: bool,
+) -> Result<(), VmError> {
+    match ty {
+        ValType::I32 => env.write(addr, &value.as_i().to_le_bytes(), in_frame),
+        ValType::F32 => env.write(addr, &value.as_f().to_le_bytes(), in_frame),
+        ValType::Bool => env.write(addr, &[u8::from(value.as_b())], in_frame),
+        ValType::Char => env.write(addr, &[(value.as_i() & 0xff) as u8], in_frame),
+        ValType::Ptr(_) => env.write(addr, &value.as_p().offset().to_le_bytes(), in_frame),
+    }
+}
+
+#[inline(always)]
+fn apply_i(op: ArithI, a: i32, b: i32) -> i32 {
+    match op {
+        ArithI::Add => a.wrapping_add(b),
+        ArithI::Sub => a.wrapping_sub(b),
+        ArithI::Mul => a.wrapping_mul(b),
+    }
+}
+
+#[inline(always)]
+fn apply_f(op: ArithF, a: f32, b: f32) -> f32 {
+    match op {
+        ArithF::Add => a + b,
+        ArithF::Sub => a - b,
+        ArithF::Mul => a * b,
+        ArithF::Div => a / b,
+    }
 }
 
 /// The virtual machine for one compiled program.
@@ -415,8 +673,15 @@ pub struct Vm<'p> {
     output: Vec<String>,
     fuel: u64,
     cache_policy: OffloadCachePolicy,
-    /// Instructions executed so far.
+    /// Instructions executed so far (fused superinstructions count as
+    /// their full unfused width).
     executed: u64,
+    /// The east/west operand-stack + frame-record arena, reused across
+    /// `exec` activations (host and nested offload runs).
+    arena: FrameArena,
+    /// Reusable buffer for offload capture lists, so launching an
+    /// offload doesn't allocate.
+    arg_scratch: Vec<Value>,
     /// Reusable byte buffer for `CopyMem`, so struct copies don't
     /// allocate per instruction.
     copy_scratch: Vec<u8>,
@@ -440,6 +705,8 @@ impl<'p> Vm<'p> {
             fuel: 500_000_000,
             cache_policy: OffloadCachePolicy::default(),
             executed: 0,
+            arena: FrameArena::new(),
+            arg_scratch: Vec::new(),
             copy_scratch: Vec::new(),
         })
     }
@@ -459,7 +726,9 @@ impl<'p> Vm<'p> {
         &self.output
     }
 
-    /// Instructions executed so far.
+    /// Instructions executed so far. Fused superinstructions count as
+    /// the full run of original instructions they stand for, so the
+    /// count is identical with fusion on or off.
     pub fn instructions_executed(&self) -> u64 {
         self.executed
     }
@@ -476,8 +745,8 @@ impl<'p> Vm<'p> {
         let result = self.exec(&mut env, main, &[], stack, HOST_STACK, None)?;
         env.drain()?;
         match result {
-            Some(Value::I(code)) => Ok(code),
-            other => unreachable!("main returns int per the compiler ({other:?})"),
+            Some(v) => Ok(v.as_i()),
+            None => unreachable!("main returns int per the compiler"),
         }
     }
 
@@ -503,54 +772,9 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
-    fn load_value(
-        &self,
-        env: &mut impl Env,
-        addr: Addr,
-        ty: ValType,
-        in_frame: bool,
-    ) -> Result<Value, VmError> {
-        let mut buf = [0u8; 4];
-        let size = ty.size() as usize;
-        env.read(addr, &mut buf[..size], in_frame)?;
-        Ok(match ty {
-            ValType::I32 => Value::I(i32::from_le_bytes(buf)),
-            ValType::F32 => Value::F(f32::from_le_bytes(buf)),
-            ValType::Bool => Value::B(buf[0] != 0),
-            ValType::Char => Value::I(i32::from(buf[0])),
-            ValType::Ptr(tag) => {
-                let offset = u32::from_le_bytes(buf);
-                let space = match tag {
-                    SpaceTag::Host => SpaceId::MAIN,
-                    SpaceTag::Local => env.space(),
-                };
-                Value::P(Addr::new(space, offset))
-            }
-        })
-    }
-
-    fn store_value(
-        &self,
-        env: &mut impl Env,
-        addr: Addr,
-        ty: ValType,
-        value: Value,
-        in_frame: bool,
-    ) -> Result<(), VmError> {
-        let mut buf = [0u8; 4];
-        let size = ty.size() as usize;
-        match ty {
-            ValType::I32 => buf = value.as_i().to_le_bytes(),
-            ValType::F32 => buf = value.as_f().to_le_bytes(),
-            ValType::Bool => buf[0] = u8::from(value.as_b()),
-            ValType::Char => buf[0] = (value.as_i() & 0xff) as u8,
-            ValType::Ptr(_) => buf = value.as_p().offset().to_le_bytes(),
-        }
-        env.write(addr, &buf[..size], in_frame)?;
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_lines)]
+    /// Runs `entry` in a fresh activation, preserving the arena marks
+    /// around the nested dispatch (host `exec` stays suspended while an
+    /// offload body runs its own activation on the same arena).
     fn exec(
         &mut self,
         env: &mut impl Env,
@@ -560,42 +784,78 @@ impl<'p> Vm<'p> {
         stack_size: u32,
         domain: Option<DomainId>,
     ) -> Result<Option<Value>, VmError> {
-        let cost = env.cost();
-        let mut stack: Vec<Value> = Vec::with_capacity(64);
-        let mut frames: Vec<Frame> = Vec::new();
-        let mut stack_top = 0u32;
+        let west_mark = self.arena.west;
+        let east_mark = self.arena.east;
+        let mut seeded = Ok(());
+        for &a in args {
+            seeded = seeded.and_then(|()| self.arena.push(a));
+        }
+        let result = seeded
+            .and_then(|()| self.dispatch(env, entry, args.len(), stack_base, stack_size, domain));
+        // Unwind this activation's stacks even on error paths.
+        self.arena.west = west_mark;
+        self.arena.east = east_mark;
+        result
+    }
 
-        // Pushes a frame for `func`, copying arguments from a `&[Value]`
-        // slice. Call sites pass a view of the value stack's tail and
-        // truncate afterwards, so calls move no values through temporary
-        // heap storage.
-        macro_rules! push_frame {
-            ($func:expr, $args:expr, $domain:expr) => {{
-                let body = self.program.func($func);
-                let base = stack_base.offset_by(stack_top).map_err(SimError::from)?;
-                if stack_top + body.frame_size > stack_size || frames.len() >= 512 {
+    /// The dispatch loop for one activation. The caller has pushed the
+    /// `nargs` entry arguments onto the arena's operand stack.
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(
+        &mut self,
+        env: &mut impl Env,
+        entry: FuncId,
+        nargs: usize,
+        stack_base: Addr,
+        stack_size: u32,
+        domain: Option<DomainId>,
+    ) -> Result<Option<Value>, VmError> {
+        // `program` is a copy of the `&'p Program` field, independent of
+        // the `&mut self` borrow — the loop can hold code references
+        // while still lending `self` out to offload launches.
+        let program: &'p Program = self.program;
+        let cost = env.cost();
+        let east_floor = self.arena.east;
+
+        let mut stack_top: u32 = 0;
+
+        // Enters a frame for `$callee`, whose arguments sit on top of
+        // the operand stack. The caller's record (if any) must already
+        // be on the east stack, so the record count equals the live
+        // frame depth checked against the 512 limit. Evaluates to
+        // `(body, base, entry_top)` for the new frame.
+        macro_rules! enter {
+            ($callee:expr, $nargs:expr) => {{
+                let callee: FuncId = $callee;
+                let argc: usize = $nargs;
+                let body = program.func(callee);
+                let new_base = stack_base.offset_by(stack_top).map_err(SimError::from)?;
+                let depth = (east_floor - self.arena.east) / 2;
+                if stack_top + body.frame_size > stack_size || depth >= 512 {
                     return Err(VmError::StackOverflow);
                 }
+                let frame_entry_top = stack_top;
                 stack_top += body.frame_size;
                 env.compute(cost.branch);
-                for (i, &value) in $args.iter().enumerate() {
-                    let slot = base
+                let arg_split = self.arena.west - argc;
+                for i in 0..argc {
+                    let v = Value(self.arena.words[arg_split + i]);
+                    let slot = new_base
                         .offset_by(body.param_offsets[i])
                         .map_err(SimError::from)?;
-                    self.store_value(env, slot, body.params[i], value, true)?;
+                    store_value(env, slot, body.params[i], v, true)?;
                     env.compute(cost.arith);
                 }
-                frames.push(Frame {
-                    func: $func,
-                    pc: 0,
-                    base,
-                    size: body.frame_size,
-                    domain: $domain,
-                });
+                self.arena.west = arg_split;
+                (body, new_base, frame_entry_top)
             }};
         }
 
-        push_frame!(entry, args, domain);
+        // Current-frame registers, spilled to a frame record only
+        // around calls and restored on return.
+        let mut func = entry;
+        let (mut fbody, mut base, mut entry_top) = enter!(entry, nargs);
+        let mut pc: usize = 0;
 
         loop {
             if self.executed >= self.fuel {
@@ -603,67 +863,55 @@ impl<'p> Vm<'p> {
             }
             self.executed += 1;
 
-            let frame = frames.last_mut().expect("at least the entry frame");
-            let code = &self.program.func(frame.func).code;
-            if frame.pc >= code.len() {
-                unreachable!("compiler emits a trailing Ret");
-            }
-            let instr = code[frame.pc];
-            frame.pc += 1;
-            let frame_base = frame.base;
-            let frame_size = frame.size;
-            let frame_domain = frame.domain;
-            let in_frame = |addr: Addr| {
-                addr.space() == frame_base.space()
-                    && addr.offset() >= frame_base.offset()
-                    && addr.offset() < frame_base.offset() + frame_size
-            };
+            let instr = fbody.code[pc];
+            pc += 1;
             env.compute(cost.arith);
 
             match instr {
-                Instr::ConstI(v) => stack.push(Value::I(v)),
-                Instr::ConstF(v) => stack.push(Value::F(v)),
-                Instr::ConstB(v) => stack.push(Value::B(v)),
+                Instr::ConstI(v) => self.arena.push(Value::from_i(v))?,
+                Instr::ConstF(v) => self.arena.push(Value::from_f(v))?,
+                Instr::ConstB(v) => self.arena.push(Value::from_b(v))?,
                 Instr::Drop => {
-                    stack.pop();
+                    self.arena.pop();
                 }
                 Instr::LoadLocal { offset, ty } => {
-                    let addr = frame_base.offset_by(offset).map_err(SimError::from)?;
-                    let v = self.load_value(env, addr, ty, true)?;
-                    stack.push(v);
+                    let addr = base.offset_by(offset).map_err(SimError::from)?;
+                    let v = load_value(env, addr, ty, true)?;
+                    self.arena.push(v)?;
                 }
                 Instr::StoreLocal { offset, ty } => {
-                    let v = stack.pop().expect("value to store");
-                    let addr = frame_base.offset_by(offset).map_err(SimError::from)?;
-                    self.store_value(env, addr, ty, v, true)?;
+                    let v = self.arena.pop();
+                    let addr = base.offset_by(offset).map_err(SimError::from)?;
+                    store_value(env, addr, ty, v, true)?;
                 }
                 Instr::AddrOfLocal { offset } => {
-                    stack.push(Value::P(
-                        frame_base.offset_by(offset).map_err(SimError::from)?,
-                    ));
+                    self.arena.push(Value::from_p(
+                        base.offset_by(offset).map_err(SimError::from)?,
+                    ))?;
                 }
                 Instr::AddrOfGlobal { offset } => {
-                    stack.push(Value::P(
+                    self.arena.push(Value::from_p(
                         self.globals_base
                             .offset_by(offset)
                             .map_err(SimError::from)?,
-                    ));
+                    ))?;
                 }
                 Instr::LoadMem { ty, penalty } => {
-                    let ptr = stack.pop().expect("pointer").as_p();
+                    let ptr = self.arena.pop().as_p();
                     env.compute(u64::from(penalty));
-                    let v = self.load_value(env, ptr, ty, in_frame(ptr))?;
-                    stack.push(v);
+                    let v = load_value(env, ptr, ty, in_frame(base, fbody.frame_size, ptr))?;
+                    self.arena.push(v)?;
                 }
                 Instr::StoreMem { ty, penalty } => {
-                    let v = stack.pop().expect("value");
-                    let ptr = stack.pop().expect("pointer").as_p();
+                    let v = self.arena.pop();
+                    let ptr = self.arena.pop().as_p();
                     env.compute(u64::from(penalty));
-                    self.store_value(env, ptr, ty, v, in_frame(ptr))?;
+                    store_value(env, ptr, ty, v, in_frame(base, fbody.frame_size, ptr))?;
                 }
                 Instr::CopyMem { size } => {
-                    let src = stack.pop().expect("source").as_p();
-                    let dst = stack.pop().expect("destination").as_p();
+                    let src = self.arena.pop().as_p();
+                    let dst = self.arena.pop().as_p();
+                    let fsize = fbody.frame_size;
                     // Reuse one scratch buffer across CopyMem executions;
                     // take/restore keeps the buffer through error returns
                     // from the read/write pair.
@@ -671,54 +919,63 @@ impl<'p> Vm<'p> {
                     buf.clear();
                     buf.resize(size as usize, 0);
                     let moved = env
-                        .read(src, &mut buf, in_frame(src))
-                        .and_then(|()| env.write(dst, &buf, in_frame(dst)));
+                        .read(src, &mut buf, in_frame(base, fsize, src))
+                        .and_then(|()| env.write(dst, &buf, in_frame(base, fsize, dst)));
                     self.copy_scratch = buf;
                     moved?;
                 }
                 Instr::PtrAddConst(delta) => {
-                    let ptr = stack.pop().expect("pointer").as_p();
+                    let ptr = self.arena.pop().as_p();
                     let offset = (ptr.offset() as i64 + i64::from(delta)) as u32;
-                    stack.push(Value::P(Addr::new(ptr.space(), offset)));
+                    self.arena
+                        .push(Value::from_p(Addr::new(ptr.space(), offset)))?;
                 }
                 Instr::PtrIndex { stride } => {
-                    let index = stack.pop().expect("index").as_i();
-                    let ptr = stack.pop().expect("pointer").as_p();
+                    let index = self.arena.pop().as_i();
+                    let ptr = self.arena.pop().as_p();
                     env.compute(cost.arith);
                     let offset =
                         (ptr.offset() as i64 + i64::from(index) * i64::from(stride)) as u32;
-                    stack.push(Value::P(Addr::new(ptr.space(), offset)));
+                    self.arena
+                        .push(Value::from_p(Addr::new(ptr.space(), offset)))?;
                 }
-                Instr::AddI | Instr::SubI | Instr::MulI | Instr::DivI | Instr::ModI => {
-                    let b = stack.pop().expect("rhs").as_i();
-                    let a = stack.pop().expect("lhs").as_i();
-                    let v = match instr {
-                        Instr::AddI => a.wrapping_add(b),
-                        Instr::SubI => a.wrapping_sub(b),
-                        Instr::MulI => a.wrapping_mul(b),
-                        Instr::DivI | Instr::ModI => {
-                            if b == 0 {
-                                return Err(VmError::DivideByZero {
-                                    func: self.program.func(frame.func).name.clone(),
-                                });
-                            }
-                            if matches!(instr, Instr::DivI) {
-                                a.wrapping_div(b)
-                            } else {
-                                a.wrapping_rem(b)
-                            }
-                        }
-                        _ => unreachable!(),
+                Instr::AddI => {
+                    let b = self.arena.pop().as_i();
+                    let a = self.arena.pop().as_i();
+                    self.arena.push(Value::from_i(a.wrapping_add(b)))?;
+                }
+                Instr::SubI => {
+                    let b = self.arena.pop().as_i();
+                    let a = self.arena.pop().as_i();
+                    self.arena.push(Value::from_i(a.wrapping_sub(b)))?;
+                }
+                Instr::MulI => {
+                    let b = self.arena.pop().as_i();
+                    let a = self.arena.pop().as_i();
+                    self.arena.push(Value::from_i(a.wrapping_mul(b)))?;
+                }
+                Instr::DivI | Instr::ModI => {
+                    let b = self.arena.pop().as_i();
+                    let a = self.arena.pop().as_i();
+                    if b == 0 {
+                        return Err(VmError::DivideByZero {
+                            func: fbody.name.clone(),
+                        });
+                    }
+                    let v = if matches!(instr, Instr::DivI) {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
                     };
-                    stack.push(Value::I(v));
+                    self.arena.push(Value::from_i(v))?;
                 }
                 Instr::NegI => {
-                    let a = stack.pop().expect("operand").as_i();
-                    stack.push(Value::I(a.wrapping_neg()));
+                    let a = self.arena.pop().as_i();
+                    self.arena.push(Value::from_i(a.wrapping_neg()))?;
                 }
                 Instr::AddF | Instr::SubF | Instr::MulF | Instr::DivF => {
-                    let b = stack.pop().expect("rhs").as_f();
-                    let a = stack.pop().expect("lhs").as_f();
+                    let b = self.arena.pop().as_f();
+                    let a = self.arena.pop().as_f();
                     let v = match instr {
                         Instr::AddF => a + b,
                         Instr::SubF => a - b,
@@ -726,83 +983,89 @@ impl<'p> Vm<'p> {
                         Instr::DivF => a / b,
                         _ => unreachable!(),
                     };
-                    stack.push(Value::F(v));
+                    self.arena.push(Value::from_f(v))?;
                 }
                 Instr::NegF => {
-                    let a = stack.pop().expect("operand").as_f();
-                    stack.push(Value::F(-a));
+                    let a = self.arena.pop().as_f();
+                    self.arena.push(Value::from_f(-a))?;
                 }
                 Instr::CmpI(op) => {
-                    let b = stack.pop().expect("rhs");
-                    let a = stack.pop().expect("lhs");
-                    // Pointer comparisons arrive here too.
-                    let (a, b) = match (a, b) {
-                        (Value::P(pa), Value::P(pb)) => (pa.offset() as i32, pb.offset() as i32),
-                        (a, b) => (a.as_i(), b.as_i()),
-                    };
-                    stack.push(Value::B(cmp_i(op, a, b)));
+                    // Pointer comparisons arrive here too: ints and
+                    // pointers both keep their comparable payload in the
+                    // low 32 bits, so no tag dispatch is needed.
+                    let b = self.arena.pop().low_i32();
+                    let a = self.arena.pop().low_i32();
+                    self.arena.push(Value::from_b(cmp_i(op, a, b)))?;
                 }
                 Instr::CmpF(op) => {
-                    let b = stack.pop().expect("rhs").as_f();
-                    let a = stack.pop().expect("lhs").as_f();
-                    stack.push(Value::B(cmp_f(op, a, b)));
+                    let b = self.arena.pop().as_f();
+                    let a = self.arena.pop().as_f();
+                    self.arena.push(Value::from_b(cmp_f(op, a, b)))?;
                 }
                 Instr::NotB => {
-                    let a = stack.pop().expect("operand").as_b();
-                    stack.push(Value::B(!a));
+                    let a = self.arena.pop().as_b();
+                    self.arena.push(Value::from_b(!a))?;
                 }
                 Instr::I2F => {
-                    let a = stack.pop().expect("operand").as_i();
-                    stack.push(Value::F(a as f32));
+                    let a = self.arena.pop().as_i();
+                    self.arena.push(Value::from_f(a as f32))?;
                 }
                 Instr::F2I => {
-                    let a = stack.pop().expect("operand").as_f();
-                    stack.push(Value::I(a as i32));
+                    let a = self.arena.pop().as_f();
+                    self.arena.push(Value::from_i(a as i32))?;
                 }
                 Instr::Jump(target) => {
                     env.compute(cost.branch);
-                    frames.last_mut().expect("frame").pc = target as usize;
+                    pc = target as usize;
                 }
                 Instr::JumpIfFalse(target) => {
                     env.compute(cost.branch);
-                    if !stack.pop().expect("condition").as_b() {
-                        frames.last_mut().expect("frame").pc = target as usize;
+                    if !self.arena.pop().as_b() {
+                        pc = target as usize;
                     }
                 }
                 Instr::JumpIfTrue(target) => {
                     env.compute(cost.branch);
-                    if stack.pop().expect("condition").as_b() {
-                        frames.last_mut().expect("frame").pc = target as usize;
+                    if self.arena.pop().as_b() {
+                        pc = target as usize;
                     }
                 }
-                Instr::Call { func } => {
-                    let nparams = self.program.func(func).params.len();
-                    let split = stack.len() - nparams;
-                    push_frame!(func, stack[split..], frame_domain);
-                    stack.truncate(split);
+                Instr::Call { func: callee } => {
+                    let nparams = program.func(callee).params.len();
+                    self.arena.push_record(func, pc, entry_top, base.offset())?;
+                    let (b, nb, et) = enter!(callee, nparams);
+                    func = callee;
+                    fbody = b;
+                    base = nb;
+                    entry_top = et;
+                    pc = 0;
                 }
                 Instr::CallVirtual {
                     slot, nargs, dup, ..
                 } => {
                     // The compiler pushes receiver first, then arguments,
-                    // so `stack[split..]` is already the receiver-first
-                    // parameter list push_frame! expects.
-                    let split = stack.len() - usize::from(nargs) - 1;
-                    let recv = stack[split];
+                    // so the stack tail is already the receiver-first
+                    // parameter list the frame-entry path expects.
+                    let argc = usize::from(nargs) + 1;
+                    let split = self.arena.west - argc;
+                    let recv_ptr = Value(self.arena.words[split]).as_p();
 
                     // Read the class-id header (costed by space).
-                    let recv_ptr = recv.as_p();
                     let mut header = [0u8; 4];
-                    env.read(recv_ptr, &mut header, in_frame(recv_ptr))?;
+                    env.read(
+                        recv_ptr,
+                        &mut header,
+                        in_frame(base, fbody.frame_size, recv_ptr),
+                    )?;
                     let class = u32::from_le_bytes(header) as usize;
                     env.compute(cost.vcall);
-                    let host_fn = self.program.classes[class].vtable[usize::from(slot)];
+                    let host_fn = program.classes[class].vtable[usize::from(slot)];
 
                     let target = if env.space().is_main() {
                         host_fn
                     } else {
-                        let d = frame_domain.expect("accelerator code runs under a domain");
-                        let vm_domain = &self.program.domains[d.0 as usize];
+                        let d = domain.expect("accelerator code runs under a domain");
+                        let vm_domain = &program.domains[d.0 as usize];
                         match vm_domain.lookup(host_fn, dup) {
                             Some((accel_fn, outer_probes, inner_probes)) => {
                                 env.compute(
@@ -818,72 +1081,339 @@ impl<'p> Vm<'p> {
                                         + cost.domain_outer_entry * vm_domain.len() as u64,
                                 );
                                 return Err(VmError::DomainMiss {
-                                    method: self.program.func(host_fn).name.clone(),
+                                    method: program.func(host_fn).name.clone(),
                                     dup,
                                     searched: vm_domain.len(),
                                 });
                             }
                         }
                     };
-                    push_frame!(target, stack[split..], frame_domain);
-                    stack.truncate(split);
+                    self.arena.push_record(func, pc, entry_top, base.offset())?;
+                    let (b, nb, et) = enter!(target, argc);
+                    func = target;
+                    fbody = b;
+                    base = nb;
+                    entry_top = et;
+                    pc = 0;
                 }
                 Instr::Ret { has_value } => {
                     env.compute(cost.branch);
-                    let body = self.program.func(frames.last().expect("frame").func);
-                    if body.returns_value && !has_value {
+                    if fbody.returns_value && !has_value {
                         return Err(VmError::MissingReturn {
-                            func: body.name.clone(),
+                            func: fbody.name.clone(),
                         });
                     }
                     let result = if has_value {
-                        Some(stack.pop().expect("return value"))
+                        Some(self.arena.pop())
                     } else {
                         None
                     };
-                    let popped = frames.pop().expect("frame");
-                    stack_top -= popped.size;
-                    if frames.is_empty() {
+                    stack_top = entry_top;
+                    if self.arena.east == east_floor {
                         return Ok(result);
                     }
+                    let (pfunc, ppc, pentry, pbase) = self.arena.pop_record();
+                    func = pfunc;
+                    fbody = program.func(func);
+                    pc = ppc;
+                    entry_top = pentry;
+                    base = Addr::new(stack_base.space(), pbase);
                     if let Some(v) = result {
-                        stack.push(v);
+                        self.arena.push(v)?;
                     }
                 }
                 Instr::NewObject { class, size } => {
                     env.compute(cost.arith * 4);
                     let addr = env.alloc(size, 16)?;
-                    self.store_value(env, addr, ValType::I32, Value::I(class as i32), false)?;
-                    stack.push(Value::P(addr));
+                    store_value(env, addr, ValType::I32, Value::from_i(class as i32), false)?;
+                    self.arena.push(Value::from_p(addr))?;
                 }
-                Instr::Offload { func, domain } => {
-                    let nparams = self.program.func(func).params.len();
-                    let split = stack.len() - nparams;
-                    env.exec_offload(self, func, domain, &stack[split..])?;
-                    stack.truncate(split);
+                Instr::Offload {
+                    func: ofunc,
+                    domain: odomain,
+                } => {
+                    let nparams = program.func(ofunc).params.len();
+                    let split = self.arena.west - nparams;
+                    // Move the captures out through the reusable scratch
+                    // list: `self` must be lent to the launch whole, so
+                    // the arguments can't stay borrowed from the arena.
+                    let mut captures = std::mem::take(&mut self.arg_scratch);
+                    captures.clear();
+                    captures.extend(
+                        self.arena.words[split..self.arena.west]
+                            .iter()
+                            .map(|&w| Value(w)),
+                    );
+                    self.arena.west = split;
+                    let launched = env.exec_offload(self, ofunc, odomain, &captures);
+                    self.arg_scratch = captures;
+                    launched?;
                 }
-                Instr::OffloadAsync { func, domain, slot } => {
-                    let nparams = self.program.func(func).params.len();
-                    let split = stack.len() - nparams;
-                    env.exec_offload_async(self, func, domain, slot, &stack[split..])?;
-                    stack.truncate(split);
+                Instr::OffloadAsync {
+                    func: ofunc,
+                    domain: odomain,
+                    slot,
+                } => {
+                    let nparams = program.func(ofunc).params.len();
+                    let split = self.arena.west - nparams;
+                    let mut captures = std::mem::take(&mut self.arg_scratch);
+                    captures.clear();
+                    captures.extend(
+                        self.arena.words[split..self.arena.west]
+                            .iter()
+                            .map(|&w| Value(w)),
+                    );
+                    self.arena.west = split;
+                    let launched = env.exec_offload_async(self, ofunc, odomain, slot, &captures);
+                    self.arg_scratch = captures;
+                    launched?;
                 }
                 Instr::Join { slot } => {
                     env.exec_join(slot)?;
                 }
                 Instr::PrintI => {
-                    let v = stack.pop().expect("value").as_i();
+                    let v = self.arena.pop().as_i();
                     self.output.push(v.to_string());
                 }
                 Instr::PrintF => {
-                    let v = stack.pop().expect("value").as_f();
+                    let v = self.arena.pop().as_f();
                     self.output.push(format!("{v:.4}"));
+                }
+
+                // ---- superinstructions -------------------------------
+                // Each handler charges exactly what the unfused run
+                // charges (the loop header already charged one `arith`
+                // and bumped `executed` once) and advances `pc` past the
+                // dead padding. Fused runs only touch the operand stack
+                // and the current frame — except for a trailing
+                // `LoadMem`, which runs after every interior cycle has
+                // been charged — so batching their `compute` calls is
+                // unobservable: no event, DMA or clock read can occur
+                // mid-run.
+                Instr::LoadLocal2 {
+                    off1,
+                    ty1,
+                    off2,
+                    ty2,
+                } => {
+                    self.executed += 1;
+                    env.compute(cost.arith);
+                    let a1 = base.offset_by(off1).map_err(SimError::from)?;
+                    let v1 = load_value(env, a1, ty1, true)?;
+                    self.arena.push(v1)?;
+                    let a2 = base.offset_by(off2).map_err(SimError::from)?;
+                    let v2 = load_value(env, a2, ty2, true)?;
+                    self.arena.push(v2)?;
+                    pc += 1;
+                }
+                Instr::LoadLocal2OpI { a, b, op } => {
+                    self.executed += 2;
+                    env.compute(cost.arith * 2);
+                    let va = load_value(
+                        env,
+                        base.offset_by(a).map_err(SimError::from)?,
+                        ValType::I32,
+                        true,
+                    )?
+                    .as_i();
+                    let vb = load_value(
+                        env,
+                        base.offset_by(b).map_err(SimError::from)?,
+                        ValType::I32,
+                        true,
+                    )?
+                    .as_i();
+                    self.arena.push(Value::from_i(apply_i(op, va, vb)))?;
+                    pc += 2;
+                }
+                Instr::LoadLocal2OpF { a, b, op } => {
+                    self.executed += 2;
+                    env.compute(cost.arith * 2);
+                    let va = load_value(
+                        env,
+                        base.offset_by(a).map_err(SimError::from)?,
+                        ValType::F32,
+                        true,
+                    )?
+                    .as_f();
+                    let vb = load_value(
+                        env,
+                        base.offset_by(b).map_err(SimError::from)?,
+                        ValType::F32,
+                        true,
+                    )?
+                    .as_f();
+                    self.arena.push(Value::from_f(apply_f(op, va, vb)))?;
+                    pc += 2;
+                }
+                Instr::LoadLocalOpI { offset, op } => {
+                    self.executed += 1;
+                    env.compute(cost.arith);
+                    let a = self.arena.pop().as_i();
+                    let b = load_value(
+                        env,
+                        base.offset_by(offset).map_err(SimError::from)?,
+                        ValType::I32,
+                        true,
+                    )?
+                    .as_i();
+                    self.arena.push(Value::from_i(apply_i(op, a, b)))?;
+                    pc += 1;
+                }
+                Instr::LoadLocalOpF { offset, op } => {
+                    self.executed += 1;
+                    env.compute(cost.arith);
+                    let a = self.arena.pop().as_f();
+                    let b = load_value(
+                        env,
+                        base.offset_by(offset).map_err(SimError::from)?,
+                        ValType::F32,
+                        true,
+                    )?
+                    .as_f();
+                    self.arena.push(Value::from_f(apply_f(op, a, b)))?;
+                    pc += 1;
+                }
+                Instr::LoadLocalPtrAdd { offset, tag, delta } => {
+                    self.executed += 1;
+                    env.compute(cost.arith);
+                    let p = load_value(
+                        env,
+                        base.offset_by(offset).map_err(SimError::from)?,
+                        ValType::Ptr(tag),
+                        true,
+                    )?
+                    .as_p();
+                    let off = (p.offset() as i64 + i64::from(delta)) as u32;
+                    self.arena.push(Value::from_p(Addr::new(p.space(), off)))?;
+                    pc += 1;
+                }
+                Instr::IncLocalI { offset, delta } => {
+                    self.executed += 3;
+                    env.compute(cost.arith * 3);
+                    let addr = base.offset_by(offset).map_err(SimError::from)?;
+                    let v = load_value(env, addr, ValType::I32, true)?.as_i();
+                    store_value(
+                        env,
+                        addr,
+                        ValType::I32,
+                        Value::from_i(v.wrapping_add(delta)),
+                        true,
+                    )?;
+                    pc += 3;
+                }
+                Instr::CmpIBr { op, target } => {
+                    self.executed += 1;
+                    env.compute(cost.arith + cost.branch);
+                    let b = self.arena.pop().low_i32();
+                    let a = self.arena.pop().low_i32();
+                    if !cmp_i(op, a, b) {
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Instr::CmpFBr { op, target } => {
+                    self.executed += 1;
+                    env.compute(cost.arith + cost.branch);
+                    let b = self.arena.pop().as_f();
+                    let a = self.arena.pop().as_f();
+                    if !cmp_f(op, a, b) {
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Instr::CmpLocalImmBr {
+                    offset,
+                    imm,
+                    op,
+                    target,
+                } => {
+                    self.executed += 3;
+                    env.compute(cost.arith * 3 + cost.branch);
+                    let v = load_value(
+                        env,
+                        base.offset_by(offset).map_err(SimError::from)?,
+                        ValType::I32,
+                        true,
+                    )?
+                    .as_i();
+                    if !cmp_i(op, v, imm) {
+                        pc = target as usize;
+                    } else {
+                        pc += 3;
+                    }
+                }
+                Instr::LoadGlobalMem {
+                    offset,
+                    ty,
+                    penalty,
+                } => {
+                    let ptr = self
+                        .globals_base
+                        .offset_by(offset)
+                        .map_err(SimError::from)?;
+                    self.executed += 1;
+                    env.compute(cost.arith + u64::from(penalty));
+                    let v = load_value(env, ptr, ty, in_frame(base, fbody.frame_size, ptr))?;
+                    self.arena.push(v)?;
+                    pc += 1;
+                }
+                Instr::LoadLocalOpFStoreMem {
+                    offset,
+                    op,
+                    penalty,
+                } => {
+                    let b = load_value(
+                        env,
+                        base.offset_by(offset).map_err(SimError::from)?,
+                        ValType::F32,
+                        true,
+                    )?
+                    .as_f();
+                    let a = self.arena.pop().as_f();
+                    let v = Value::from_f(apply_f(op, a, b));
+                    self.executed += 2;
+                    env.compute(cost.arith * 2 + u64::from(penalty));
+                    let ptr = self.arena.pop().as_p();
+                    store_value(
+                        env,
+                        ptr,
+                        ValType::F32,
+                        v,
+                        in_frame(base, fbody.frame_size, ptr),
+                    )?;
+                    pc += 2;
+                }
+                Instr::LoadLocalPtrAddMem {
+                    offset,
+                    tag,
+                    delta,
+                    ty,
+                    penalty,
+                } => {
+                    let p = load_value(
+                        env,
+                        base.offset_by(offset).map_err(SimError::from)?,
+                        ValType::Ptr(tag),
+                        true,
+                    )?
+                    .as_p();
+                    self.executed += 2;
+                    env.compute(cost.arith * 2 + u64::from(penalty));
+                    let off = (p.offset() as i64 + i64::from(delta)) as u32;
+                    let ptr = Addr::new(p.space(), off);
+                    let v = load_value(env, ptr, ty, in_frame(base, fbody.frame_size, ptr))?;
+                    self.arena.push(v)?;
+                    pc += 2;
                 }
             }
         }
     }
 }
 
+#[inline(always)]
 fn cmp_i(op: Cmp, a: i32, b: i32) -> bool {
     match op {
         Cmp::Eq => a == b,
@@ -895,6 +1425,7 @@ fn cmp_i(op: Cmp, a: i32, b: i32) -> bool {
     }
 }
 
+#[inline(always)]
 fn cmp_f(op: Cmp, a: f32, b: f32) -> bool {
     match op {
         Cmp::Eq => a == b,
@@ -903,5 +1434,68 @@ fn cmp_f(op: Cmp, a: f32, b: f32) -> bool {
         Cmp::Le => a <= b,
         Cmp::Gt => a > b,
         Cmp::Ge => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_value_round_trips() {
+        for v in [0i32, 1, -1, i32::MAX, i32::MIN, 123_456_789] {
+            assert_eq!(Value::from_i(v).as_i(), v);
+            assert_eq!(Value::from_i(v).low_i32(), v);
+        }
+        for v in [0.0f32, -0.0, 1.5, f32::MAX, f32::MIN_POSITIVE, -3.25] {
+            assert_eq!(Value::from_f(v).as_f().to_bits(), v.to_bits());
+        }
+        let nan = Value::from_f(f32::NAN).as_f();
+        assert!(nan.is_nan());
+        assert!(Value::from_b(true).as_b());
+        assert!(!Value::from_b(false).as_b());
+        let p = Addr::new(SpaceId::local_store(3), 0xdead_beef);
+        assert_eq!(Value::from_p(p).as_p(), p);
+        assert_eq!(Value::from_p(p).low_i32(), 0xdead_beefu32 as i32);
+    }
+
+    #[test]
+    fn value_tags_are_disjoint() {
+        assert_eq!(Value::from_i(-1).tag(), Value::TAG_INT);
+        assert_eq!(Value::from_f(-1.0).tag(), Value::TAG_FLOAT);
+        assert_eq!(Value::from_b(true).tag(), Value::TAG_BOOL);
+        assert_eq!(
+            Value::from_p(Addr::new(SpaceId::MAIN, u32::MAX)).tag(),
+            Value::TAG_PTR
+        );
+    }
+
+    #[test]
+    fn arena_two_stacks_meet_gracefully() {
+        let mut arena = FrameArena::new();
+        for i in 0..ARENA_WORDS {
+            arena.push(Value::from_i(i as i32)).expect("fits");
+        }
+        assert!(matches!(
+            arena.push(Value::from_i(0)),
+            Err(VmError::StackOverflow)
+        ));
+        assert!(matches!(
+            arena.push_record(FuncId(0), 0, 0, 0),
+            Err(VmError::StackOverflow)
+        ));
+        for i in (0..ARENA_WORDS).rev() {
+            assert_eq!(arena.pop().as_i(), i as i32);
+        }
+    }
+
+    #[test]
+    fn arena_records_round_trip() {
+        let mut arena = FrameArena::new();
+        arena.push_record(FuncId(7), 42, 160, 96).unwrap();
+        arena.push_record(FuncId(9), 1, 0, 0).unwrap();
+        assert_eq!(arena.pop_record(), (FuncId(9), 1, 0, 0));
+        assert_eq!(arena.pop_record(), (FuncId(7), 42, 160, 96));
+        assert_eq!(arena.east, ARENA_WORDS);
     }
 }

@@ -70,21 +70,25 @@ impl<'m> AccelCtx<'m> {
     }
 
     /// The local-store space of this accelerator.
+    #[inline]
     pub fn local_space(&self) -> memspace::SpaceId {
         self.ls.id()
     }
 
     /// The machine's cost model.
+    #[inline]
     pub fn cost(&self) -> &CostModel {
         &self.cost
     }
 
     /// Charges `cycles` of pure computation.
+    #[inline]
     pub fn compute(&mut self, cycles: u64) {
         self.accesses.record_compute(self.span, cycles);
         self.now += cycles;
     }
 
+    #[inline]
     fn ls_cycles(&self, bytes: u32) -> u64 {
         self.cost.ls_access * u64::from(bytes.div_ceil(16).max(1))
     }
@@ -113,6 +117,7 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// Returns the pending [`FaultError`], if any.
+    #[inline]
     pub fn check_faults(&mut self) -> Result<(), SimError> {
         match self.fault_sticky.take() {
             Some(fault) => Err(fault.into()),
@@ -536,6 +541,7 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// Fails on bounds or space violations.
+    #[inline]
     pub fn peek_local(&self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
         Ok(self.ls.read_into(addr, out)?)
     }
@@ -546,6 +552,7 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// Fails on bounds or space violations.
+    #[inline]
     pub fn poke_local(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
         Ok(self.ls.write_bytes(addr, data)?)
     }
@@ -790,6 +797,65 @@ impl<'m> AccelCtx<'m> {
         Tag::new(OUTER_ACCESS_TAG).expect("constant tag is valid")
     }
 
+    /// Whether the fused synchronous staging round trip may run: no
+    /// fault plan (no transfer rolls, journals, or timeout rolls), no
+    /// event log (the split path would record `DmaIssue`/`DmaWait`
+    /// events), and the tag's queue idle (the fused issue+retire
+    /// assumes the wait retires exactly the command it issued). Outside
+    /// those conditions the split `engine_get`/`engine_put` +
+    /// `dma_wait` path runs instead; both are bit-identical in every
+    /// simulated observable.
+    #[inline]
+    fn outer_sync_ok(&self, tag: Tag) -> bool {
+        !self.faults.active() && !self.events.is_enabled() && !self.dma.tag_busy(tag)
+    }
+
+    /// One synchronous staging `get` (`engine_get` + `dma_wait` on the
+    /// tag's mask), taking the fused engine path when eligible.
+    #[inline]
+    fn staged_get(&mut self, remote: Addr, size: u32, tag: Tag) -> Result<(), SimError> {
+        if self.outer_sync_ok(tag) {
+            self.now = self.dma.sync_get(
+                self.now,
+                self.staging,
+                remote,
+                size,
+                tag,
+                self.main,
+                self.ls,
+            )?;
+            // trace_dma with the event log off: stats only.
+            self.stats.dma_gets += 1;
+            self.stats.dma_bytes_to_local += u64::from(size);
+        } else {
+            self.engine_get(self.staging, remote, size, tag)?;
+            self.dma_wait(tag.mask());
+        }
+        Ok(())
+    }
+
+    /// One synchronous staging `put`; see [`AccelCtx::staged_get`].
+    #[inline]
+    fn staged_put(&mut self, remote: Addr, size: u32, tag: Tag) -> Result<(), SimError> {
+        if self.outer_sync_ok(tag) {
+            self.now = self.dma.sync_put(
+                self.now,
+                self.staging,
+                remote,
+                size,
+                tag,
+                self.main,
+                self.ls,
+            )?;
+            self.stats.dma_puts += 1;
+            self.stats.dma_bytes_from_local += u64::from(size);
+        } else {
+            self.engine_put(self.staging, remote, size, tag)?;
+            self.dma_wait(tag.mask());
+        }
+        Ok(())
+    }
+
     /// Reads a `T` from main memory *synchronously*: one full DMA round
     /// trip through a staging buffer. This is the cost of dereferencing
     /// an `__outer` pointer without any caching or batching.
@@ -797,6 +863,7 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// Fails if `T` exceeds the staging buffer or the transfer fails.
+    #[inline]
     pub fn outer_read_pod<T: Pod>(&mut self, addr: Addr) -> Result<T, SimError> {
         let size = T::SIZE as u32;
         if size > self.staging_size {
@@ -808,8 +875,7 @@ impl<'m> AccelCtx<'m> {
         self.accesses.record_read(self.span, addr.offset(), size);
         let tag = self.outer_tag();
         self.check_faults()?;
-        self.engine_get(self.staging, addr, size, tag)?;
-        self.dma_wait(tag.mask());
+        self.staged_get(addr, size, tag)?;
         self.check_faults()?;
         self.now += self.ls_cycles(size);
         Ok(self.ls.read_pod(self.staging)?)
@@ -821,6 +887,7 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// As for [`AccelCtx::outer_read_pod`].
+    #[inline]
     pub fn outer_write_pod<T: Pod>(&mut self, addr: Addr, value: &T) -> Result<(), SimError> {
         let size = T::SIZE as u32;
         if size > self.staging_size {
@@ -834,8 +901,7 @@ impl<'m> AccelCtx<'m> {
         self.now += self.ls_cycles(size);
         self.ls.write_pod(self.staging, value)?;
         let tag = self.outer_tag();
-        self.engine_put(self.staging, addr, size, tag)?;
-        self.dma_wait(tag.mask());
+        self.staged_put(addr, size, tag)?;
         self.check_faults()?;
         Ok(())
     }
@@ -846,17 +912,27 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// Fails on transfer errors.
+    #[inline]
     pub fn outer_read_bytes(&mut self, addr: Addr, out: &mut [u8]) -> Result<(), SimError> {
         self.accesses
             .record_read(self.span, addr.offset(), out.len() as u32);
         let tag = self.outer_tag();
         self.check_faults()?;
+        // Single-chunk accesses (every scalar VM load) skip the chunk
+        // loop; the sequence below is the loop body with `done == 0`.
+        if !out.is_empty() && out.len() <= self.staging_size as usize {
+            let size = out.len() as u32;
+            self.staged_get(addr, size, tag)?;
+            self.check_faults()?;
+            self.now += self.ls_cycles(size);
+            self.ls.read_into(self.staging, out)?;
+            return Ok(());
+        }
         let mut done = 0usize;
         while done < out.len() {
             let chunk = (out.len() - done).min(self.staging_size as usize);
             let remote = addr.offset_by(done as u32)?;
-            self.engine_get(self.staging, remote, chunk as u32, tag)?;
-            self.dma_wait(tag.mask());
+            self.staged_get(remote, chunk as u32, tag)?;
             self.check_faults()?;
             self.now += self.ls_cycles(chunk as u32);
             self.ls
@@ -872,11 +948,21 @@ impl<'m> AccelCtx<'m> {
     /// # Errors
     ///
     /// Fails on transfer errors.
+    #[inline]
     pub fn outer_write_bytes(&mut self, addr: Addr, data: &[u8]) -> Result<(), SimError> {
         self.accesses
             .record_write(self.span, addr.offset(), data.len() as u32);
         let tag = self.outer_tag();
         self.check_faults()?;
+        // Single-chunk fast path; see `outer_read_bytes`.
+        if !data.is_empty() && data.len() <= self.staging_size as usize {
+            let size = data.len() as u32;
+            self.now += self.ls_cycles(size);
+            self.ls.write_bytes(self.staging, data)?;
+            self.staged_put(addr, size, tag)?;
+            self.check_faults()?;
+            return Ok(());
+        }
         let mut done = 0usize;
         while done < data.len() {
             let chunk = (data.len() - done).min(self.staging_size as usize);
@@ -884,8 +970,7 @@ impl<'m> AccelCtx<'m> {
             self.now += self.ls_cycles(chunk as u32);
             self.ls
                 .write_bytes(self.staging, &data[done..done + chunk])?;
-            self.engine_put(self.staging, remote, chunk as u32, tag)?;
-            self.dma_wait(tag.mask());
+            self.staged_put(remote, chunk as u32, tag)?;
             self.check_faults()?;
             done += chunk;
         }

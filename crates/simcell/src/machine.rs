@@ -550,11 +550,13 @@ impl Machine {
 
     /// Direct, *cost-free* access to main memory, for scenario setup and
     /// result inspection outside the measured region.
+    #[inline]
     pub fn main(&self) -> &MemoryRegion {
         &self.main
     }
 
     /// Direct, cost-free mutable access to main memory (setup only).
+    #[inline]
     pub fn main_mut(&mut self) -> &mut MemoryRegion {
         &mut self.main
     }
@@ -659,6 +661,7 @@ impl Machine {
     }
 
     /// Charges `cycles` of host computation.
+    #[inline]
     pub fn host_compute(&mut self, cycles: u64) {
         self.host_now += cycles;
     }
