@@ -13,6 +13,10 @@
 //!   workload (see [`bench::hotpath`]) — plus the `vm_superinstr` lane,
 //!   which times the real VM on the same program with the peephole
 //!   fusion pass on and off (pinned bit-identical in simulated time).
+//! - **Simulated overlap** (`pipeline_overlap`): the staged frame's
+//!   sequential-over-pipeline cycle ratio — deterministic simulated
+//!   time rather than wall time, so the perf budget can enforce it
+//!   without CI noise ever moving it.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_throughput
 //! [output.json]`. Defaults to `BENCH_throughput.json` in the current
@@ -130,6 +134,36 @@ fn stream_run() -> u64 {
     let elapsed = handle.elapsed();
     machine.join(handle).expect("stream succeeds");
     elapsed
+}
+
+/// Simulated cycles for the staged frame (skin → collide → resolve)
+/// run sequentially stage-by-stage vs overlapped through
+/// `machine.pipeline()`, on identical seeded worlds (bit-identity
+/// asserted). The ratio is the `pipeline_overlap` perf lane: pure
+/// simulated time, so CI load cannot move it — any regression is a
+/// real scheduling change.
+fn pipeline_overlap_cycles() -> (u64, u64) {
+    use gamekit::{staged_frame_pipeline, staged_frame_sequential, EntityArray, WorldGen};
+    const N: u32 = 512;
+    const CHUNK: u32 = 64;
+    let world = || {
+        let mut machine = Machine::new(MachineConfig::default()).expect("config valid");
+        let entities = EntityArray::alloc(&mut machine, N).expect("fits");
+        WorldGen::new(0xE17)
+            .populate(&mut machine, &entities, 100.0)
+            .expect("fits");
+        (machine, entities)
+    };
+    let (mut seq_m, seq_e) = world();
+    let sequential = staged_frame_sequential(&mut seq_m, &seq_e, CHUNK).expect("fits");
+    let (mut pipe_m, pipe_e) = world();
+    let report = staged_frame_pipeline(&mut pipe_m, &pipe_e, CHUNK, 2).expect("fits");
+    assert_eq!(
+        seq_m.memory_hash(),
+        pipe_m.memory_hash(),
+        "the pipeline must produce the bit-identical world"
+    );
+    (sequential, report.cycles)
 }
 
 struct Comparison {
@@ -388,6 +422,15 @@ fn main() {
         eprintln!("  {}: {:.2}x", c.key, c.speedup());
     }
 
+    // --- Pipeline overlap lane (simulated, deterministic) ---------
+    eprintln!("pipeline overlap (simulated cycles, deterministic)");
+    let (pipe_seq_cycles, pipe_par_cycles) = pipeline_overlap_cycles();
+    let pipeline_overlap = pipe_seq_cycles as f64 / pipe_par_cycles as f64;
+    eprintln!(
+        "  staged frame: sequential {pipe_seq_cycles} cycles, pipeline {pipe_par_cycles} \
+         cycles: {pipeline_overlap:.2}x"
+    );
+
     // --- Sim-farm scaling lane ------------------------------------
     let farm_bench = if args.farm {
         let worlds = if args.quick { 32 } else { 64 };
@@ -459,19 +502,21 @@ fn main() {
         json.push_str("  },\n");
     }
     json.push_str("  \"speedups\": {\n");
-    for (i, c) in comparisons.iter().enumerate() {
-        let comma = if i + 1 < comparisons.len() || farm_bench.is_some() {
-            ","
-        } else {
-            ""
-        };
+    for c in &comparisons {
+        // The pipeline_overlap entry below always follows.
         json.push_str(&format!(
-            "    \"{}\": {{ \"label\": \"{}\", \"legacy_ns_per_iter\": {:.1}, \"current_ns_per_iter\": {:.1}, \"speedup\": {:.3} }}{comma}\n",
+            "    \"{}\": {{ \"label\": \"{}\", \"legacy_ns_per_iter\": {:.1}, \"current_ns_per_iter\": {:.1}, \"speedup\": {:.3} }},\n",
             c.key,
             json_escape(c.label),
             c.legacy.nanos_per_iter(),
             c.current.nanos_per_iter(),
             c.speedup()
+        ));
+    }
+    {
+        let comma = if farm_bench.is_some() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"pipeline_overlap\": {{ \"label\": \"staged frame: pipeline vs sequential stages (simulated cycles)\", \"sequential_cycles\": {pipe_seq_cycles}, \"pipeline_cycles\": {pipe_par_cycles}, \"speedup\": {pipeline_overlap:.3} }}{comma}\n"
         ));
     }
     if let Some(farm) = &farm_bench {

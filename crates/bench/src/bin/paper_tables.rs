@@ -1,4 +1,4 @@
-//! Regenerates every table of the reproduction (E1–E16).
+//! Regenerates every table of the reproduction (E1–E17).
 //!
 //! Usage:
 //!
@@ -23,13 +23,16 @@
 //! "Reading the scheduler lane" section walks through, and
 //! `<file stem>-faults.json`: a work-stealing E16 frame under a 5%
 //! fault plan whose fault lanes (injections, retries, evictions, host
-//! fallbacks) the "Reading the faults lane" section reads.
+//! fallbacks) the "Reading the faults lane" section reads, and
+//! `<file stem>-pipe.json`: a pipelined E17 staged frame whose
+//! pipeline lanes (stage/chunk slices, input-wait and backpressure
+//! stalls) the "Reading the pipeline lane" section reads.
 //! `--stats` runs the same frame and prints the plain-text utilization
 //! report instead. Tracing is zero simulated cost, so neither flag
 //! perturbs any table.
 
 use bench::exp;
-use bench::profile::{traced_e2_frame, traced_fault_frame, traced_sched_frame};
+use bench::profile::{traced_e2_frame, traced_fault_frame, traced_pipe_frame, traced_sched_frame};
 use bench::Table;
 use simcell::{chrome_trace_json, parse_chrome_trace};
 
@@ -71,6 +74,7 @@ fn write_trace(path: &str) {
     );
     write_sched_trace(&suffixed_trace_path(path, "sched"));
     write_fault_trace(&suffixed_trace_path(path, "faults"));
+    write_pipe_trace(&suffixed_trace_path(path, "pipe"));
 }
 
 /// Derives a sibling trace path written next to the main one:
@@ -164,6 +168,49 @@ fn write_fault_trace(path: &str) {
     );
 }
 
+/// Runs one pipelined E17 staged frame and writes its Chrome trace —
+/// pipeline lanes included — to `path`, round-tripping it through the
+/// parser with the same payload arithmetic as the other traces (every
+/// pipeline event exports as exactly one payload record).
+fn write_pipe_trace(path: &str) {
+    let (machine, report) = traced_pipe_frame(true);
+    let json = chrome_trace_json(machine.events());
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let back = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let parsed = parse_chrome_trace(&back)
+        .unwrap_or_else(|e| panic!("{path} does not parse as a Chrome trace: {e}"));
+    let payload = parsed.iter().filter(|e| e.ph != 'M').count();
+    let completed_offloads = machine
+        .events()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, simcell::EventKind::OffloadEnd { .. }))
+        .count();
+    assert_eq!(
+        payload,
+        machine.events().len() - completed_offloads,
+        "{path}: parsed payload event count must match the event log"
+    );
+    let pipe_lanes = parsed
+        .iter()
+        .filter(|e| e.ph == 'M' && e.tid >= simcell::trace::PIPE_LANE_BASE)
+        .count();
+    assert!(
+        pipe_lanes >= usize::from(report.stages),
+        "{path}: every pipeline stage lane must be named in the export"
+    );
+    eprintln!(
+        "wrote {path}: {} events from one pipelined E17 staged frame ({} stages x {} chunks, \
+         {} input-wait cycles, {} backpressure cycles) — the pipeline lane walkthrough in \
+         PROFILING.md reads this file",
+        machine.events().len(),
+        report.stages,
+        report.chunks,
+        report.input_wait_cycles,
+        report.backpressure_cycles,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -212,6 +259,7 @@ fn main() {
         ("E14", exp::e14_multi_accel::run),
         ("E15", exp::e15_sched_policies::run),
         ("E16", exp::e16_fault_recovery::run),
+        ("E17", exp::e17_pipeline::run),
     ];
 
     eprintln!(

@@ -16,6 +16,7 @@ pub mod e13_code_loading;
 pub mod e14_multi_accel;
 pub mod e15_sched_policies;
 pub mod e16_fault_recovery;
+pub mod e17_pipeline;
 
 use crate::table::Table;
 
@@ -39,5 +40,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e14_multi_accel::run(quick),
         e15_sched_policies::run(quick),
         e16_fault_recovery::run(quick),
+        e17_pipeline::run(quick),
     ]
 }

@@ -123,6 +123,26 @@ pub fn traced_fault_frame(trace: bool) -> (Machine, offload_rt::sched::SchedRepo
     (machine, report)
 }
 
+/// Runs one pipelined staged frame (E17's skin → collide → resolve
+/// chain through `machine.pipeline()`) with `trace` deciding whether
+/// the event log records. The returned machine's log carries the
+/// pipeline lanes (`pipe N` in the Chrome export): per-stage chunk
+/// slices plus input-wait and backpressure stalls — the capture side
+/// of PROFILING.md's "Reading the pipeline lane".
+pub fn traced_pipe_frame(trace: bool) -> (Machine, offload_rt::PipeReport) {
+    use gamekit::staged_frame_pipeline;
+
+    let n = 512;
+    let mut machine = Machine::new(MachineConfig::default()).expect("config valid");
+    machine.events_mut().set_enabled(trace);
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    WorldGen::new(0xE17)
+        .populate(&mut machine, &entities, 100.0)
+        .expect("fits");
+    let report = staged_frame_pipeline(&mut machine, &entities, 64, 2).expect("three stages fit");
+    (machine, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +178,30 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.kind, simcell::EventKind::SchedSteal { .. })));
+    }
+
+    #[test]
+    fn traced_pipe_frame_records_pipeline_events_at_zero_cost() {
+        let (machine, report) = traced_pipe_frame(true);
+        let (_, untraced_report) = traced_pipe_frame(false);
+        assert_eq!(report, untraced_report, "tracing is zero simulated cost");
+        let stats = machine.stats();
+        assert_eq!(
+            stats.pipe_stage_runs,
+            u64::from(report.stages) * u64::from(report.chunks)
+        );
+        assert_eq!(stats.pipe_chunks, u64::from(report.chunks));
+        let events = machine.events().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, simcell::EventKind::PipeRun { .. })));
+        assert!(
+            report.input_wait_cycles > 0,
+            "the staged frame's uneven stage costs must stall somewhere: {report:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, simcell::EventKind::PipeWait { .. })));
     }
 
     #[test]

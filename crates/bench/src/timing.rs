@@ -51,7 +51,7 @@ impl Measurement {
 const SUBRUNS: u32 = 8;
 
 /// Times `f`, aiming to spend roughly `budget` of wall time on the
-/// measured runs, and reports the fastest of [`SUBRUNS`] equal
+/// measured runs, and reports the fastest of `SUBRUNS` equal
 /// sub-runs. The kernel's return value is [`black_box`]ed so the
 /// optimizer cannot delete the work.
 pub fn time<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) -> Measurement {

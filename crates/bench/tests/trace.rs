@@ -6,9 +6,10 @@
 //! disabled, and the always-on counters agree with the event log.
 
 use bench::profile::{
-    traced_e2_frame, traced_e2_frame_cycles, traced_fault_frame, traced_sched_frame,
+    traced_e2_frame, traced_e2_frame_cycles, traced_fault_frame, traced_pipe_frame,
+    traced_sched_frame,
 };
-use simcell::trace::{accel_tid, dma_tid, fault_tid, sched_tid};
+use simcell::trace::{accel_tid, dma_tid, fault_tid, pipe_tid, sched_tid};
 use simcell::{
     chrome_trace_json, parse_chrome_trace, ChromeEvent, EventKind, Machine, MachineConfig,
 };
@@ -200,6 +201,48 @@ fn fault_lanes_round_trip_through_the_chrome_parser() {
     // Tracing the frame under fire costs zero simulated cycles.
     let (_, untraced) = traced_fault_frame(false);
     assert_eq!(report.cycles, untraced.cycles);
+}
+
+/// The pipeline-lane half of the `--trace` smoke test: a traced E17
+/// staged frame exports one `pipe N` lane per stage accelerator, every
+/// chunk run and stall slice survives the parse_chrome_trace round
+/// trip, and the slice counts agree with the report's always-on
+/// counters.
+#[test]
+fn pipeline_lanes_round_trip_through_the_chrome_parser() {
+    let (machine, report) = traced_pipe_frame(true);
+    let json = chrome_trace_json(machine.events());
+    let parsed = parse_chrome_trace(&json).expect("valid JSON");
+
+    for lane in &report.lanes {
+        assert!(
+            parsed
+                .iter()
+                .any(|e| e.ph == 'M' && e.name == "thread_name" && e.tid == pipe_tid(lane.accel)),
+            "pipeline lane for accel {} must be named in the export",
+            lane.accel
+        );
+    }
+    let chunk_slices = parsed
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name.starts_with("s") && e.tid >= pipe_tid(0))
+        .filter(|e| e.name.contains(" chunk "))
+        .count();
+    assert_eq!(
+        chunk_slices as u64,
+        u64::from(report.stages) * u64::from(report.chunks),
+        "every per-stage chunk run becomes one pipeline-lane slice"
+    );
+    assert!(
+        parsed
+            .iter()
+            .any(|e| e.ph == 'X' && e.name == "input wait" && e.tid >= pipe_tid(0)),
+        "the staged frame's uneven stage costs leave visible input-wait stalls"
+    );
+
+    // Tracing the pipeline costs zero simulated cycles.
+    let (_, untraced) = traced_pipe_frame(false);
+    assert_eq!(report, untraced);
 }
 
 #[test]

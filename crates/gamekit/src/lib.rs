@@ -53,6 +53,7 @@ pub mod components;
 pub mod entity;
 pub mod frame;
 pub mod math;
+pub mod stages;
 pub mod workload;
 
 pub use ai::{
@@ -67,4 +68,8 @@ pub use components::{ComponentSystem, ComponentSystemStats, SystemLayout};
 pub use entity::{EntityArray, GameEntity};
 pub use frame::{run_frame, FrameSchedule, FrameStats};
 pub use math::Vec3;
+pub use stages::{
+    stage_fn, staged_frame_fanout, staged_frame_pipeline, staged_frame_sequential, FrameStage,
+    FRAME_STAGES,
+};
 pub use workload::WorldGen;

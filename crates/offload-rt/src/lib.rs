@@ -47,6 +47,7 @@
 pub mod accessor;
 pub mod codeload;
 pub mod domain;
+pub mod pipeline;
 pub mod prelude;
 pub mod sched;
 pub mod stream;
@@ -58,6 +59,7 @@ pub use domain::{
     accel_virtual_dispatch, class_of, host_virtual_dispatch, set_class, ClassId, ClassRegistry,
     Domain, DuplicateId, FnAddr, LookupCost, MethodSlot, MethodTable,
 };
+pub use pipeline::{MachinePipelineExt, PipeLaneReport, PipeReport, PipelineBuilder};
 pub use sched::{SchedExt, SchedPolicy, SchedReport, TileScheduler};
 pub use stream::{process_chunked, process_stream, StreamConfig};
 pub use tuned::{build_tuned_cache, TunedCache};

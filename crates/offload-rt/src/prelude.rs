@@ -14,6 +14,7 @@ pub use simcell::{
 pub use softcache::{autotune::autotune, CacheChoice, CacheConfig, TunedCache};
 
 pub use crate::accessor::ArrayAccessor;
+pub use crate::pipeline::{MachinePipelineExt, PipeLaneReport, PipeReport, PipelineBuilder};
 pub use crate::sched::{SchedExt, SchedPolicy, SchedReport, TileScheduler};
 pub use crate::stream::{process_chunked, process_stream, StreamConfig};
 pub use crate::tuned::build_tuned_cache;

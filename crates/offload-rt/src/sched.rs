@@ -697,7 +697,9 @@ impl<'m> TileScheduler<'m> {
 /// releases the tile's local-store allocations, quiesces the DMA
 /// engine, charges the backoff on the accelerator clock, and re-runs —
 /// up to `retries` times before the fault becomes the tile's result.
-fn run_with_retries<R>(
+/// Shared with the pipeline runtime (`crate::pipeline`), which passes a
+/// chunk index as `tile`.
+pub(crate) fn run_with_retries<R>(
     ctx: &mut AccelCtx<'_>,
     tile: u32,
     retries: u32,

@@ -144,6 +144,30 @@ impl<'m> AccelCtx<'m> {
         );
     }
 
+    /// Notes that pipeline stage `stage` is about to stall for `cycles`
+    /// before handling `chunk` — waiting on its input when
+    /// `backpressure` is false, blocked by a full inter-stage queue when
+    /// true. Bookkeeping only (counters always, a structured
+    /// [`EventKind::PipeWait`] when the log is on); the stall itself is
+    /// charged separately by the caller, via [`AccelCtx::compute`].
+    pub fn pipe_note_wait(&mut self, stage: u16, chunk: u32, cycles: u64, backpressure: bool) {
+        if backpressure {
+            self.stats.pipe_backpressure_cycles += cycles;
+        } else {
+            self.stats.pipe_input_wait_cycles += cycles;
+        }
+        self.events.record(
+            self.now,
+            EventKind::PipeWait {
+                accel: self.accel_index,
+                stage,
+                chunk,
+                until: self.now + cycles,
+                backpressure,
+            },
+        );
+    }
+
     /// The local store's current allocation mark; pass it to
     /// [`AccelCtx::local_alloc_restore`] to release everything
     /// allocated after it. The recovery layer brackets each tile

@@ -171,6 +171,38 @@ pub enum EventKind {
         /// Simulated cycles charged to the thief for the steal.
         cost: u64,
     },
+    /// A pipeline stage processed one chunk on its accelerator, from
+    /// `at` (the event cycle) to `end`.
+    ///
+    /// Zero simulated cost: the chunk's compute and DMA charge the
+    /// clock; this record is bookkeeping.
+    PipeRun {
+        /// The accelerator the stage runs on.
+        accel: u16,
+        /// Pipeline stage index (stage 0 is the producer).
+        stage: u16,
+        /// Chunk index within the stream.
+        chunk: u32,
+        /// Accelerator cycle at which the chunk finished (push complete).
+        end: u64,
+    },
+    /// A pipeline stage stalled from `at` (the event cycle) to `until`,
+    /// either waiting for its input chunk to be produced or blocked by
+    /// a full inter-stage queue (backpressure).
+    PipeWait {
+        /// The stalled accelerator.
+        accel: u16,
+        /// Pipeline stage index.
+        stage: u16,
+        /// Chunk index the stage was about to process (input wait) or
+        /// hand off (backpressure).
+        chunk: u32,
+        /// Accelerator cycle at which the stall ended.
+        until: u64,
+        /// `true` for a full-queue (backpressure) stall, `false` for an
+        /// input-not-ready stall.
+        backpressure: bool,
+    },
     /// The fault plane injected a fault.
     ///
     /// Recording is free (simulated cycles are charged by the fault
@@ -217,6 +249,8 @@ impl Event {
             | EventKind::SchedEnqueue { accel, .. }
             | EventKind::SchedRun { accel, .. }
             | EventKind::SchedIdle { accel, .. }
+            | EventKind::PipeRun { accel, .. }
+            | EventKind::PipeWait { accel, .. }
             | EventKind::FaultInjected { accel, .. }
             | EventKind::RecoveryApplied { accel, .. } => CoreId::Accel(*accel),
             EventKind::SchedSteal { thief, .. } => CoreId::Accel(*thief),
@@ -320,6 +354,34 @@ impl fmt::Display for Event {
                 "[{:>10}] sched: accel {thief} steals tile {tile} from accel {victim} (+{cost} cycles)",
                 self.at
             ),
+            EventKind::PipeRun {
+                accel,
+                stage,
+                chunk,
+                end,
+            } => write!(
+                f,
+                "[{:>10}] accel {accel}: pipe stage {stage} chunk {chunk} until {end}",
+                self.at
+            ),
+            EventKind::PipeWait {
+                accel,
+                stage,
+                chunk,
+                until,
+                backpressure,
+            } => {
+                let why = if *backpressure {
+                    "backpressure"
+                } else {
+                    "input wait"
+                };
+                write!(
+                    f,
+                    "[{:>10}] accel {accel}: pipe stage {stage} chunk {chunk} {why} until {until}",
+                    self.at
+                )
+            }
             EventKind::FaultInjected { accel, fault } => {
                 use crate::fault::FaultKind;
                 write!(f, "[{:>10}] accel {accel}: fault ", self.at)?;
@@ -605,6 +667,46 @@ mod tests {
             },
         };
         assert!(e.to_string().contains("cache miss x2"));
+    }
+
+    #[test]
+    fn pipe_events() {
+        let e = Event {
+            at: 100,
+            kind: EventKind::PipeRun {
+                accel: 2,
+                stage: 1,
+                chunk: 4,
+                end: 900,
+            },
+        };
+        assert_eq!(e.core(), CoreId::Accel(2));
+        let s = e.to_string();
+        assert!(s.contains("pipe stage 1 chunk 4 until 900"), "{s}");
+
+        let e = Event {
+            at: 100,
+            kind: EventKind::PipeWait {
+                accel: 3,
+                stage: 2,
+                chunk: 0,
+                until: 350,
+                backpressure: true,
+            },
+        };
+        assert_eq!(e.core(), CoreId::Accel(3));
+        assert!(e.to_string().contains("backpressure until 350"));
+        let e = Event {
+            at: 100,
+            kind: EventKind::PipeWait {
+                accel: 3,
+                stage: 2,
+                chunk: 0,
+                until: 350,
+                backpressure: false,
+            },
+        };
+        assert!(e.to_string().contains("input wait until 350"));
     }
 
     #[test]

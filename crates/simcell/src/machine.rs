@@ -97,6 +97,14 @@ impl<R> OffloadHandle<R> {
     pub fn elapsed(&self) -> u64 {
         self.end - self.start
     }
+
+    /// The closure's result, without joining: the handle stays
+    /// joinable and the host clock does not move. Runtimes that keep
+    /// many handles in flight (the pipeline) peek to learn whether a
+    /// finished item faulted before deciding to launch its dependents.
+    pub fn peek(&self) -> &R {
+        &self.result
+    }
 }
 
 /// A fluent, in-flight offload: created by [`Machine::offload`], it
@@ -450,6 +458,28 @@ impl Machine {
             for byte in accel.busy_cycles.to_le_bytes() {
                 mix(byte);
             }
+        }
+        hash
+    }
+
+    /// A 64-bit FNV-1a digest of every allocated main-memory byte —
+    /// [`Machine::world_hash`] without the clocks. Two executions that
+    /// schedule the same work differently (e.g. a pipeline vs. the same
+    /// stages run sequentially) necessarily differ in busy-cycle
+    /// totals, so `world_hash` cannot compare them; `memory_hash` is
+    /// the "same final world, different schedule" check.
+    pub fn memory_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let used = self.main.capacity() - self.main.bytes_free();
+        let bytes = self
+            .main
+            .read_bytes(Addr::new(SpaceId::MAIN, 0), used)
+            .expect("the allocated extent is in bounds");
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
         }
         hash
     }
@@ -984,6 +1014,34 @@ impl Machine {
                 cost,
             },
         );
+    }
+
+    // ---- pipeline bookkeeping ---------------------------------------------
+    //
+    // Hooks for the streaming pipeline runtime (`offload_rt::pipeline`),
+    // mirroring the scheduler hooks above: counters always, structured
+    // events when the log is on; no simulated cycles anywhere.
+
+    /// Notes that pipeline stage `stage` processed `chunk` on
+    /// accelerator `accel` over `[start, end]`. Zero simulated cost.
+    pub fn pipe_note_run(&mut self, start: u64, accel: u16, stage: u16, chunk: u32, end: u64) {
+        self.stats.pipe_stage_runs += 1;
+        self.events.record(
+            start,
+            EventKind::PipeRun {
+                accel,
+                stage,
+                chunk,
+                end,
+            },
+        );
+    }
+
+    /// Notes that `chunk` cleared the pipeline's final stage at cycle
+    /// `at`. Zero simulated cost.
+    pub fn pipe_note_chunk(&mut self, at: u64, chunk: u32) {
+        let _ = (at, chunk);
+        self.stats.pipe_chunks += 1;
     }
 
     // ---- recovery bookkeeping ---------------------------------------------

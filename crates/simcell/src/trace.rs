@@ -132,6 +132,17 @@ pub struct MachineStats {
     /// Host cycles spent running those fallback tiles (penalty
     /// included).
     pub recovery_fallback_cycles: u64,
+    /// Per-stage chunk executions a pipeline runtime performed (see
+    /// `offload_rt::pipeline`).
+    pub pipe_stage_runs: u64,
+    /// Stream chunks a pipeline pushed through all of its stages.
+    pub pipe_chunks: u64,
+    /// Accelerator cycles pipeline stages stalled waiting for their
+    /// input chunk to be produced.
+    pub pipe_input_wait_cycles: u64,
+    /// Accelerator cycles pipeline stages stalled on a full inter-stage
+    /// queue (backpressure).
+    pub pipe_backpressure_cycles: u64,
 }
 
 impl MachineStats {
@@ -180,8 +191,8 @@ impl fmt::Display for MachineStats {
 /// Thread-id layout of the exported trace: the host runs on tid 0,
 /// accelerator *n* on tid `1 + n`, accelerator *n*'s DMA lane on tid
 /// `DMA_LANE_BASE + n`, its scheduler lane on tid
-/// `SCHED_LANE_BASE + n`, and its fault lane on tid
-/// `FAULT_LANE_BASE + n`.
+/// `SCHED_LANE_BASE + n`, its fault lane on tid `FAULT_LANE_BASE + n`,
+/// and its pipeline lane on tid `PIPE_LANE_BASE + n`.
 pub const DMA_LANE_BASE: u64 = 100;
 
 /// Base thread id of the per-accelerator scheduler lanes (tile
@@ -191,6 +202,11 @@ pub const SCHED_LANE_BASE: u64 = 200;
 /// Base thread id of the per-accelerator fault lanes (injected faults
 /// and recovery actions; see [`crate::fault`]).
 pub const FAULT_LANE_BASE: u64 = 300;
+
+/// Base thread id of the per-accelerator pipeline lanes (per-stage
+/// chunk runs and input/backpressure stalls; see
+/// `offload_rt::pipeline`).
+pub const PIPE_LANE_BASE: u64 = 400;
 
 /// Thread id of accelerator `accel`'s execution lane.
 pub fn accel_tid(accel: u16) -> u64 {
@@ -210,6 +226,11 @@ pub fn sched_tid(accel: u16) -> u64 {
 /// Thread id of accelerator `accel`'s fault lane.
 pub fn fault_tid(accel: u16) -> u64 {
     FAULT_LANE_BASE + u64::from(accel)
+}
+
+/// Thread id of accelerator `accel`'s pipeline lane.
+pub fn pipe_tid(accel: u16) -> u64 {
+    PIPE_LANE_BASE + u64::from(accel)
 }
 
 fn tid_of(core: CoreId) -> u64 {
@@ -314,6 +335,8 @@ impl ChromeWriter {
 /// Injected faults and recovery actions become instants on the fault
 /// lane (tid `300+n`), named by their stable kind string
 /// (`dma_drop`, `tag_timeout`, `retry`, `host_fallback`, …).
+/// Pipeline chunk runs (`s<K> chunk N`) and stalls (`input wait` /
+/// `backpressure`) become X slices on the pipeline lane (tid `400+n`).
 pub fn chrome_trace_json(log: &EventLog) -> String {
     let mut w = ChromeWriter::new();
     w.metadata("process_name", 0, "offload-sim");
@@ -325,6 +348,7 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
     let mut seen_dma = [false; 64];
     let mut seen_sched = [false; 64];
     let mut seen_fault = [false; 64];
+    let mut seen_pipe = [false; 64];
     for e in &events {
         if let CoreId::Accel(a) = e.core() {
             let a = a as usize;
@@ -361,6 +385,13 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
             if a < 64 && !seen_fault[a] {
                 seen_fault[a] = true;
                 w.metadata("thread_name", fault_tid(accel), &format!("faults {a}"));
+            }
+        }
+        if let EventKind::PipeRun { accel, .. } | EventKind::PipeWait { accel, .. } = e.kind {
+            let a = accel as usize;
+            if a < 64 && !seen_pipe[a] {
+                seen_pipe[a] = true;
+                w.metadata("thread_name", pipe_tid(accel), &format!("pipe {a}"));
             }
         }
     }
@@ -527,6 +558,42 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
                     None,
                     sched_tid(*thief),
                     &format!("\"victim\":{victim},\"tile\":{tile},\"cost\":{cost}"),
+                );
+            }
+            EventKind::PipeRun {
+                accel,
+                stage,
+                chunk,
+                end,
+            } => {
+                w.event(
+                    &format!("s{stage} chunk {chunk}"),
+                    'X',
+                    e.at,
+                    Some(end.saturating_sub(e.at)),
+                    pipe_tid(*accel),
+                    &format!("\"accel\":{accel},\"stage\":{stage},\"chunk\":{chunk}"),
+                );
+            }
+            EventKind::PipeWait {
+                accel,
+                stage,
+                chunk,
+                until,
+                backpressure,
+            } => {
+                let name = if *backpressure {
+                    "backpressure"
+                } else {
+                    "input wait"
+                };
+                w.event(
+                    name,
+                    'X',
+                    e.at,
+                    Some(until.saturating_sub(e.at)),
+                    pipe_tid(*accel),
+                    &format!("\"accel\":{accel},\"stage\":{stage},\"chunk\":{chunk}"),
                 );
             }
             EventKind::FaultInjected { accel, fault } => {
@@ -1037,6 +1104,8 @@ fn end_cycle(e: &Event) -> u64 {
         EventKind::DmaWait { resumed_at, .. } => resumed_at.max(e.at),
         EventKind::SchedRun { end, .. } => end.max(e.at),
         EventKind::SchedIdle { until, .. } => until.max(e.at),
+        EventKind::PipeRun { end, .. } => end.max(e.at),
+        EventKind::PipeWait { until, .. } => until.max(e.at),
         _ => e.at,
     }
 }
@@ -1119,6 +1188,16 @@ impl Machine {
                 stats.sched_steal_cycles,
                 stats.sched_idle_cycles,
                 imbalance
+            ));
+        }
+        if stats.pipe_stage_runs > 0 {
+            out.push_str(&format!(
+                "pipeline: {} stage runs over {} chunks, {} input-wait cycles, \
+                 {} backpressure cycles\n",
+                stats.pipe_stage_runs,
+                stats.pipe_chunks,
+                stats.pipe_input_wait_cycles,
+                stats.pipe_backpressure_cycles
             ));
         }
         if stats.faults_injected > 0 || stats.recovery_retries > 0 || stats.recovery_fallbacks > 0 {
@@ -1289,6 +1368,66 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.ph == 'i' && e.name == "enqueue" && e.tid == lane));
+        Ok(())
+    }
+
+    #[test]
+    fn pipe_lane_round_trips() -> Result<(), SimError> {
+        let mut m = Machine::new(MachineConfig::small())?;
+        m.events_mut().set_enabled(true);
+        m.pipe_note_run(1000, 0, 1, 3, 1600);
+        m.pipe_note_chunk(1600, 3);
+        let json = chrome_trace_json(m.events());
+        let events = parse_chrome_trace(&json).unwrap();
+        let lane = pipe_tid(0);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.ph == 'M' && e.tid == lane && e.name == "thread_name"),
+            "pipe lane is named"
+        );
+        let run = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "s1 chunk 3" && e.tid == lane)
+            .expect("pipe run slice");
+        assert_eq!((run.ts, run.dur), (1000, Some(600)));
+        assert_eq!(m.stats().pipe_stage_runs, 1);
+        assert_eq!(m.stats().pipe_chunks, 1);
+
+        // Wait slices come from the context-side hook.
+        let mut m = Machine::new(MachineConfig::small())?;
+        m.events_mut().set_enabled(true);
+        m.offload(0)
+            .run(|ctx| {
+                let t = ctx.now();
+                ctx.pipe_note_wait(2, 5, 400, true);
+                ctx.compute(400);
+                ctx.pipe_note_wait(2, 6, 100, false);
+                ctx.compute(100);
+                assert_eq!(ctx.now(), t + 500);
+                Ok::<(), SimError>(())
+            })?
+            .unwrap();
+        assert_eq!(m.stats().pipe_backpressure_cycles, 400);
+        assert_eq!(m.stats().pipe_input_wait_cycles, 100);
+        let json = chrome_trace_json(m.events());
+        let events = parse_chrome_trace(&json).unwrap();
+        let bp = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "backpressure" && e.tid == pipe_tid(0))
+            .expect("backpressure slice");
+        assert_eq!(bp.dur, Some(400));
+        assert!(events
+            .iter()
+            .any(|e| e.ph == 'X' && e.name == "input wait" && e.tid == pipe_tid(0)));
+        let report = m.utilization_report();
+        assert!(!report.contains("pipeline:"), "no runs -> no pipe section");
+        m.pipe_note_run(0, 0, 0, 0, 500);
+        m.pipe_note_run(500, 0, 1, 0, 900);
+        m.pipe_note_chunk(900, 0);
+        assert!(m
+            .utilization_report()
+            .contains("pipeline: 2 stage runs over 1 chunks"));
         Ok(())
     }
 
