@@ -19,10 +19,22 @@
 //! What the table shows is the price of the rest: overhead climbs with
 //! the rate, and work stealing absorbs evictions most gracefully
 //! because survivors inherit and rebalance dead lanes' queues.
+//!
+//! The last two columns re-measure the storm with access-mode
+//! declarations (the double-buffered frame of
+//! [`ai_frame_sched_recovering_buffered`]): declaring the inputs `read`
+//! and the output `write` elides the conservative table flush and lets
+//! the put journal skip pre-image snapshots for the fully-rewritten
+//! output — recovery gets cheaper exactly where the modes prove
+//! rollback unnecessary, and the world stays bit-identical at every
+//! rate.
 
-use gamekit::{ai_frame_sched, ai_frame_sched_recovering, AiConfig, EntityArray, WorldGen};
+use gamekit::{
+    ai_frame_sched, ai_frame_sched_recovering, ai_frame_sched_recovering_buffered, AiConfig,
+    EntityArray, WorldGen,
+};
 use offload_rt::sched::{SchedPolicy, SchedReport};
-use simcell::{FaultPlan, Machine, MachineConfig};
+use simcell::{FaultPlan, Machine, MachineConfig, MachineStats};
 
 use crate::table::{cycles, speedup, Table};
 
@@ -87,6 +99,45 @@ pub fn measure(
     (report, world)
 }
 
+/// Runs the double-buffered E16 frame (sanitize pass + conservative
+/// table flush, decisions into a separate output array) at `rate`, with
+/// or without access-mode declarations; returns the report, the output
+/// world, and the machine counters (journal and elision columns).
+pub fn measure_buffered(
+    n: u32,
+    policy: SchedPolicy,
+    rate: f32,
+    declare_modes: bool,
+) -> (SchedReport, Vec<gamekit::GameEntity>, MachineStats) {
+    let config = AiConfig::default();
+    let mut machine = Machine::new(MachineConfig::default()).expect("config valid");
+    let entities = EntityArray::alloc(&mut machine, n).expect("fits");
+    let out = EntityArray::alloc(&mut machine, n).expect("fits");
+    let mut gen = WorldGen::new(0xE16);
+    gen.populate(&mut machine, &entities, 70.0).expect("fits");
+    let table = gen
+        .candidate_table(&mut machine, n, config.candidates)
+        .expect("fits");
+    let report = ai_frame_sched_recovering_buffered(
+        &mut machine,
+        &entities,
+        &out,
+        table,
+        &config,
+        ACCELS,
+        TILES,
+        policy,
+        FaultPlan::uniform(FAULT_SEED, rate),
+        RETRIES,
+        BACKOFF,
+        declare_modes,
+    )
+    .expect("recovery absorbs every fault");
+    assert_eq!(machine.races_detected(), 0);
+    let world = out.snapshot(&machine).expect("snapshot reads");
+    (report, world, *machine.stats())
+}
+
 /// Runs E16.
 pub fn run(quick: bool) -> Table {
     let n = if quick { 512 } else { 1024 };
@@ -105,6 +156,8 @@ pub fn run(quick: bool) -> Table {
             "retries",
             "fallbacks",
             "evicted",
+            "journal B (undecl->modes)",
+            "WB elided B",
         ],
     );
     for policy in [
@@ -129,6 +182,28 @@ pub fn run(quick: bool) -> Table {
                     policy.name()
                 );
             }
+            // The double-buffered frame, undeclared vs mode-annotated:
+            // identical worlds, but the declarations elide the
+            // conservative flush and skip the output journal.
+            let (_, world_u, stats_u) = measure_buffered(n, policy, rate, false);
+            let (_, world_d, stats_d) = measure_buffered(n, policy, rate, true);
+            assert_eq!(
+                world_u,
+                clean_world,
+                "{} @ {rate}: the buffered frame computes the same world",
+                policy.name()
+            );
+            assert_eq!(
+                world_d,
+                clean_world,
+                "{} @ {rate}: access modes must not change the world",
+                policy.name()
+            );
+            assert!(
+                stats_d.journal_bytes <= stats_u.journal_bytes,
+                "{} @ {rate}: modes can only shrink the journal",
+                policy.name()
+            );
             table.push_row(vec![
                 policy.name().to_string(),
                 format!("{rate:.2}"),
@@ -138,6 +213,8 @@ pub fn run(quick: bool) -> Table {
                 report.retries.to_string(),
                 report.fallbacks.to_string(),
                 report.evicted.len().to_string(),
+                format!("{}->{}", stats_u.journal_bytes, stats_d.journal_bytes),
+                stats_d.dma_writeback_bytes_elided.to_string(),
             ]);
         }
     }
@@ -204,6 +281,33 @@ mod tests {
     fn table_has_expected_shape() {
         let t = run(true);
         assert_eq!(t.rows.len(), 12, "3 policies x 4 rates");
-        assert_eq!(t.columns.len(), 8);
+        assert_eq!(t.columns.len(), 10);
+    }
+
+    #[test]
+    fn mode_declarations_shrink_recovery_without_changing_the_world() {
+        let (undeclared, world_u, stats_u) =
+            measure_buffered(512, SchedPolicy::WorkStealing, 0.05, false);
+        let (declared, world_d, stats_d) =
+            measure_buffered(512, SchedPolicy::WorkStealing, 0.05, true);
+        assert_eq!(world_u, world_d, "modes must not change the world");
+        assert!(
+            stats_d.journal_bytes < stats_u.journal_bytes,
+            "`write`-declared output skips snapshots: {} vs {}",
+            stats_d.journal_bytes,
+            stats_u.journal_bytes
+        );
+        assert!(stats_d.journal_bytes_skipped > 0);
+        assert!(
+            stats_d.dma_writeback_bytes_elided > 0,
+            "the conservative flush must elide under `reads`"
+        );
+        assert_eq!(stats_u.dma_writeback_bytes_elided, 0);
+        assert!(
+            declared.cycles < undeclared.cycles,
+            "elided flush puts make recovery cheaper: {} vs {}",
+            declared.cycles,
+            undeclared.cycles
+        );
     }
 }

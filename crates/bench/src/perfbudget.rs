@@ -113,13 +113,14 @@ mod tests {
     fn committed_baseline_parses() {
         let json = include_str!("../../../BENCH_throughput.json");
         let speedups = parse_speedups(json).expect("committed baseline parses");
-        // Five hot-path speedups, the simulated pipeline-overlap lane,
-        // plus the two farm scaling lanes.
-        assert_eq!(speedups.len(), 8);
+        // Five hot-path speedups, the simulated pipeline-overlap and
+        // mode-elision lanes, plus the two farm scaling lanes.
+        assert_eq!(speedups.len(), 9);
         assert!(speedups.iter().any(|(k, _)| k == "dma_issue_wait"));
         assert!(speedups.iter().any(|(k, _)| k == "vm_tagged_dispatch"));
         assert!(speedups.iter().any(|(k, _)| k == "vm_superinstr"));
         assert!(speedups.iter().any(|(k, _)| k == "pipeline_overlap"));
+        assert!(speedups.iter().any(|(k, _)| k == "mode_elision"));
         assert!(speedups.iter().any(|(k, _)| k == "farm_scaling_2t"));
         assert!(speedups.iter().any(|(k, _)| k == "farm_scaling_4t"));
         assert!(speedups.iter().all(|&(_, v)| v > 1.0));

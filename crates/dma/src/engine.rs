@@ -751,6 +751,12 @@ impl DmaEngine {
     pub fn note_local_access(&mut self, range: AddrRange, kind: crate::race::AccessKind, now: u64) {
         self.checker.note_access(range, kind, now);
     }
+
+    /// Reports a put that a mode-annotated offload never declared
+    /// writable (see [`RaceChecker::note_undeclared_write`]).
+    pub fn note_undeclared_write(&mut self, range: AddrRange, read_only: bool, now: u64) {
+        self.checker.note_undeclared_write(range, read_only, now);
+    }
 }
 
 #[cfg(test)]

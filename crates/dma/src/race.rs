@@ -73,6 +73,15 @@ pub enum RaceKind {
         /// Direction of the conflicting transfer.
         direction: DmaDirection,
     },
+    /// A put targeted a remote range the offload's access-mode
+    /// declarations do not cover writably: either inside a range
+    /// declared read-only (`read_only` true) or outside every declared
+    /// range. Only raised for mode-annotated offloads — an offload
+    /// that declares nothing keeps the permissive legacy contract.
+    UndeclaredWrite {
+        /// Whether the range was declared read-only (else undeclared).
+        read_only: bool,
+    },
 }
 
 /// A single detected race.
@@ -112,6 +121,17 @@ impl fmt::Display for RaceReport {
                 f,
                 "DMA race at cycle {}: core {access} of {} while {direction} #{transfer} is in flight (missing dma_wait?)",
                 self.at, self.range,
+            ),
+            RaceKind::UndeclaredWrite { read_only } => write!(
+                f,
+                "undeclared write at cycle {}: put of {} {} the offload's access-mode declarations",
+                self.at,
+                self.range,
+                if read_only {
+                    "targets a range declared read-only by"
+                } else {
+                    "is outside every range declared by"
+                },
             ),
         }
     }
@@ -321,6 +341,22 @@ impl RaceChecker {
         for report in found {
             self.emit(report);
         }
+    }
+
+    /// Reports a put whose remote range a mode-annotated offload never
+    /// declared writable. Called by the engine-owning runtime *before*
+    /// it rejects the transfer, so the violation shows up in the race
+    /// reports alongside timing races.
+    ///
+    /// # Panics
+    ///
+    /// Panics on detection in [`RaceMode::Panic`].
+    pub fn note_undeclared_write(&mut self, range: AddrRange, read_only: bool, now: u64) {
+        self.emit(RaceReport {
+            kind: RaceKind::UndeclaredWrite { read_only },
+            range,
+            at: now,
+        });
     }
 
     /// Number of transfers currently tracked as in flight.

@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use memspace::AddrRange;
+use memspace::{AccessMode, AddrRange, ModeSet};
 
 use crate::engine::{DmaDirection, DmaRequest, Tag, TagMask};
 use crate::race::{AccessKind, RaceChecker, RaceKind, RaceMode};
@@ -70,6 +70,11 @@ pub struct DmaKernel {
     pub name: String,
     /// Operation sequence.
     pub ops: Vec<KernelOp>,
+    /// Declared access modes for the kernel's remote working set. Empty
+    /// means undeclared (the permissive legacy contract); non-empty
+    /// makes the analyzer reject every `Put` whose remote range is not
+    /// fully inside a declared `write`/`update` range.
+    pub modes: ModeSet,
 }
 
 impl DmaKernel {
@@ -78,7 +83,15 @@ impl DmaKernel {
         DmaKernel {
             name: name.into(),
             ops: Vec::new(),
+            modes: ModeSet::new(),
         }
+    }
+
+    /// Attaches the offload's access-mode declarations (builder style).
+    #[must_use]
+    pub fn with_modes(mut self, modes: ModeSet) -> DmaKernel {
+        self.modes = modes;
+        self
     }
 }
 
@@ -92,6 +105,10 @@ pub enum StaticFindingKind {
     /// A transfer can still be in flight when the kernel exits (its
     /// buffer may be reused by the next task).
     PendingAtExit,
+    /// A `put` targets a remote range the kernel's access-mode
+    /// declarations never licensed for writing (only raised for
+    /// kernels with a non-empty [`ModeSet`]).
+    UndeclaredWrite,
 }
 
 impl fmt::Display for StaticFindingKind {
@@ -100,6 +117,7 @@ impl fmt::Display for StaticFindingKind {
             StaticFindingKind::UnsyncedAccess => write!(f, "unsynchronised local access"),
             StaticFindingKind::TransferOverlap => write!(f, "overlapping in-flight transfers"),
             StaticFindingKind::PendingAtExit => write!(f, "transfer pending at kernel exit"),
+            StaticFindingKind::UndeclaredWrite => write!(f, "undeclared write"),
         }
     }
 }
@@ -134,6 +152,7 @@ struct Analyzer {
     findings: Vec<StaticFinding>,
     seen: std::collections::HashSet<String>,
     kernel: String,
+    modes: ModeSet,
 }
 
 /// Strips unrolling-iteration markers so the same source-level conflict
@@ -187,6 +206,20 @@ impl Analyzer {
                         self.location_of(transfer),
                     ),
                 },
+                RaceKind::UndeclaredWrite { read_only } => StaticFinding {
+                    kind: StaticFindingKind::UndeclaredWrite,
+                    kernel: self.kernel.clone(),
+                    location: here.to_string(),
+                    detail: format!(
+                        "put of {} {}",
+                        report.range,
+                        if read_only {
+                            "targets a range declared read-only"
+                        } else {
+                            "is outside every declared range"
+                        }
+                    ),
+                },
             };
             self.push_finding(finding);
         }
@@ -218,6 +251,22 @@ impl Analyzer {
                     } else {
                         DmaDirection::Put
                     };
+                    // A mode-annotated kernel may only put into ranges it
+                    // declared writable; everything else is rejected here,
+                    // before the program ever runs.
+                    if direction == DmaDirection::Put && !self.modes.is_empty() {
+                        match self.modes.mode_for(remote.start(), remote.len()) {
+                            Some(AccessMode::Write | AccessMode::Update) => {}
+                            declared => {
+                                self.checker.note_undeclared_write(
+                                    *remote,
+                                    declared == Some(AccessMode::Read),
+                                    0,
+                                );
+                                self.drain_checker(&here);
+                            }
+                        }
+                    }
                     let id = self.issued.len() as u64 + 1;
                     self.issued.push((here.clone(), *tag));
                     let request = DmaRequest {
@@ -294,6 +343,7 @@ pub fn analyze_kernel(kernel: &DmaKernel) -> Vec<StaticFinding> {
         findings: Vec::new(),
         seen: std::collections::HashSet::new(),
         kernel: kernel.name.clone(),
+        modes: kernel.modes.clone(),
     };
     let mut pending = Vec::new();
     analyzer.walk(&kernel.ops, "", &mut pending);
@@ -500,6 +550,48 @@ mod tests {
         let findings = analyze_kernel(&k);
         // One finding per distinct (location pair), not an explosion.
         assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_put_is_rejected_under_modes() {
+        use memspace::AccessMode;
+        // Declares main[0x1000..0x1040] read-only and nothing else, then
+        // puts both into the read-only range and outside every range.
+        let modes = ModeSet::new().with(Addr::new(SpaceId::MAIN, 0x1000), 64, AccessMode::Read);
+        let mut k = DmaKernel::new("mode_violations").with_modes(modes);
+        k.ops = vec![
+            put(ls(0x100, 64), main_r(0x1000, 64), 1),
+            put(ls(0x200, 64), main_r(0x8000, 64), 1),
+            wait(1 << 1),
+        ];
+        let findings = analyze_kernel(&k);
+        let undeclared: Vec<_> = findings
+            .iter()
+            .filter(|f| f.kind == StaticFindingKind::UndeclaredWrite)
+            .collect();
+        assert_eq!(undeclared.len(), 2, "{findings:?}");
+        assert!(undeclared[0].detail.contains("read-only"), "{findings:?}");
+        assert!(
+            undeclared[1]
+                .detail
+                .contains("outside every declared range"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn declared_puts_pass_and_undeclared_kernels_stay_permissive() {
+        use memspace::AccessMode;
+        let modes = ModeSet::new().with(Addr::new(SpaceId::MAIN, 0x1000), 64, AccessMode::Write);
+        let mut k = DmaKernel::new("mode_ok").with_modes(modes);
+        k.ops = vec![put(ls(0x100, 64), main_r(0x1000, 64), 1), wait(1 << 1)];
+        assert!(analyze_kernel(&k).is_empty());
+
+        // The same put with no declarations at all is the legacy
+        // contract: nothing to reject.
+        let mut legacy = DmaKernel::new("legacy");
+        legacy.ops = vec![put(ls(0x100, 64), main_r(0x9000, 64), 1), wait(1 << 1)];
+        assert!(analyze_kernel(&legacy).is_empty());
     }
 
     #[test]

@@ -361,6 +361,128 @@ pub fn ai_frame_sched_recovering(
     Ok(report)
 }
 
+/// Runs one AI frame as recovering scheduled tiles in *double-buffered*
+/// form — the access-mode showcase of E16.
+///
+/// The frame reads `entities_in` and the candidate table, and writes
+/// every decision into the separate `out` array (frame N reads, frame
+/// N+1 receives — the double-buffered component-array idiom). Each tile
+/// also runs a defensive sanitize pass over its candidate-table slice
+/// (clamping indices in place) and conservatively flushes the slice at
+/// the end, because generic engine code cannot know the pass was a
+/// no-op.
+///
+/// With `declare_modes` the offload declares what it actually does —
+/// `entities_in` and the table are `read`, `out` is `write` — and every
+/// layer spends the declaration:
+///
+/// - the conservative table flush is **elided** (the slice is
+///   byte-identical to main memory, so the put never issues);
+/// - the put journal **skips** pre-image snapshots for `out` (a
+///   `write` range is fully rewritten by any retry, so rollback is
+///   unnecessary by declaration);
+/// - a store outside the declared ranges would be rejected as
+///   [`SimError::UndeclaredWrite`] before a byte moved.
+///
+/// Without it, the same body pays the legacy price: the flush is a real
+/// DMA put and every put under a noisy plan journals its pre-image.
+/// Both runs produce bit-identical worlds at every fault rate; the
+/// declarations change only what the machine has to do to guarantee it.
+///
+/// # Errors
+///
+/// As for [`ai_frame_sched_recovering`]; additionally fails if `out`
+/// is smaller than `entities_in`.
+#[allow(clippy::too_many_arguments)] // an experiment entry point: all knobs are the point
+pub fn ai_frame_sched_recovering_buffered(
+    machine: &mut Machine,
+    entities_in: &EntityArray,
+    out: &EntityArray,
+    candidate_table: Addr,
+    config: &AiConfig,
+    accels: u16,
+    tiles: u32,
+    policy: SchedPolicy,
+    plan: FaultPlan,
+    retries: u32,
+    backoff: u64,
+    declare_modes: bool,
+) -> Result<SchedReport, SimError> {
+    if accels == 0 || accels > machine.accel_count() {
+        return Err(SimError::BadConfig {
+            reason: format!(
+                "tiling needs 1..={} accelerators, got {accels}",
+                machine.accel_count()
+            ),
+        });
+    }
+    if out.len() < entities_in.len() {
+        return Err(SimError::BadConfig {
+            reason: format!(
+                "output array holds {} entities, input has {}",
+                out.len(),
+                entities_in.len()
+            ),
+        });
+    }
+    let n = entities_in.len();
+    let k = config.candidates;
+    let mut sched = machine
+        .offload(0)
+        .label("ai tile")
+        .faults(plan)
+        .sched(policy)
+        .accels(accels)
+        .retry(retries)
+        .backoff(backoff)
+        .fallback_host();
+    if declare_modes {
+        sched = sched
+            .reads(entities_in.base(), n * GameEntity::STRIDE)
+            .reads(candidate_table, n * k * 4)
+            .writes(out.base(), n * GameEntity::STRIDE);
+    }
+    let (_, report) = sched.run_tiles(tiles, |ctx, tile| -> Result<(), SimError> {
+        let begin = n * tile / tiles;
+        let end = n * (tile + 1) / tiles;
+        let all = ArrayAccessor::<GameEntity>::fetch(ctx, entities_in.base(), n)?;
+        let count = end - begin;
+        if count == 0 {
+            return Ok(());
+        }
+        let mut table_slice =
+            ArrayAccessor::<u32>::fetch(ctx, candidate_table.element(begin * k, 4)?, count * k)?;
+        // Defensive sanitize pass: clamp every candidate index into
+        // range. On a valid table this rewrites each slot with the
+        // value it already holds — the buffer ends dirty but unchanged.
+        for j in 0..count * k {
+            let idx = table_slice.get(ctx, j)?;
+            table_slice.set(ctx, j, &idx.min(n - 1))?;
+        }
+        let mut decisions =
+            ArrayAccessor::<GameEntity>::for_output(ctx, out.addr_of(begin)?, count)?;
+        for i in 0..count {
+            let mut me = all.get(ctx, begin + i)?;
+            let mut candidates = Vec::with_capacity(k as usize);
+            for j in 0..k {
+                let idx = table_slice.get(ctx, i * k + j)?;
+                let c = all.get(ctx, idx)?;
+                ctx.compute(config.per_candidate_compute);
+                candidates.push((idx, c.pos, c.health));
+            }
+            decide(&mut me, begin + i, &candidates);
+            ctx.compute(config.think_compute);
+            decisions.set(ctx, i, &me)?;
+        }
+        // Conservative flush: without declarations this is a real put;
+        // with `reads(table)` it is elided (and a table that actually
+        // changed would be an undeclared write).
+        table_slice.write_back(ctx)?;
+        decisions.write_back(ctx)
+    })?;
+    Ok(report)
+}
+
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)] // building test fixtures field-by-field reads best
 mod tests {
@@ -582,6 +704,69 @@ mod tests {
             "recovery must reproduce the faultless world exactly"
         );
         assert_eq!(m2.races_detected(), 0);
+    }
+
+    #[test]
+    fn buffered_mode_run_matches_undeclared_and_saves_work() {
+        let config = AiConfig::default();
+        let build = |n: u32| {
+            let mut machine = Machine::new(MachineConfig::default()).unwrap();
+            let entities = EntityArray::alloc(&mut machine, n).unwrap();
+            let out = EntityArray::alloc(&mut machine, n).unwrap();
+            let mut gen = WorldGen::new(47);
+            gen.populate(&mut machine, &entities, 70.0).unwrap();
+            let table = gen
+                .candidate_table(&mut machine, n, config.candidates)
+                .unwrap();
+            (machine, entities, out, table)
+        };
+        let plan = FaultPlan::uniform(0xe16, 0.05);
+        let run = |declare: bool| {
+            let (mut m, e, out, t) = build(256);
+            let report = ai_frame_sched_recovering_buffered(
+                &mut m,
+                &e,
+                &out,
+                t,
+                &config,
+                4,
+                8,
+                SchedPolicy::WorkStealing,
+                plan,
+                3,
+                1_000,
+                declare,
+            )
+            .unwrap();
+            let world = out.snapshot(&m).unwrap();
+            let stats = *m.stats();
+            assert_eq!(m.races_detected(), 0, "declare={declare}");
+            (report, world, stats)
+        };
+        let (undeclared, world_u, stats_u) = run(false);
+        let (declared, world_d, stats_d) = run(true);
+        assert_eq!(world_u, world_d, "modes must not change the world");
+        assert!(
+            stats_d.dma_writebacks_elided > 0,
+            "the conservative table flush must be elided under `reads`"
+        );
+        assert_eq!(
+            stats_u.dma_writebacks_elided, 0,
+            "the undeclared run has no licence to elide"
+        );
+        assert!(
+            stats_d.journal_bytes < stats_u.journal_bytes,
+            "`write`-declared output must skip journal snapshots: {} vs {}",
+            stats_d.journal_bytes,
+            stats_u.journal_bytes
+        );
+        assert!(stats_d.journal_bytes_skipped > 0);
+        assert!(
+            declared.cycles < undeclared.cycles,
+            "eliding the flush puts must make the frame cheaper: {} vs {}",
+            declared.cycles,
+            undeclared.cycles
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod workload;
 
 pub use ai::{
     ai_frame_host, ai_frame_offloaded, ai_frame_offloaded_tiled, ai_frame_sched,
-    ai_frame_sched_recovering, AiConfig,
+    ai_frame_sched_recovering, ai_frame_sched_recovering_buffered, AiConfig,
 };
 pub use collision::{
     detect_collisions_host, respond_pairs_blocking, respond_pairs_host, respond_pairs_streamed,

@@ -36,6 +36,7 @@
 pub mod addr;
 pub mod error;
 pub mod layout;
+pub mod mode;
 pub mod pod;
 pub mod region;
 pub mod space;
@@ -43,6 +44,7 @@ pub mod space;
 pub use addr::{Addr, AddrRange};
 pub use error::MemError;
 pub use layout::{align_up, checked_align_up, is_aligned, AddressingMode};
+pub use mode::{AccessMode, ModeDecl, ModeSet};
 pub use pod::Pod;
 pub use region::{copy_between, MemoryRegion};
 pub use space::{SpaceId, SpaceKind};

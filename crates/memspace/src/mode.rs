@@ -1,0 +1,213 @@
+//! Declared access modes for offloaded buffers.
+//!
+//! The Henrio/Kessler/Li line of work (arXiv 1910.11110) shows that a
+//! three-valued access declaration — *read*, *write*, or *update* — is
+//! enough information to drive coherence and transfer optimisation on
+//! heterogeneous memory systems. This module provides the vocabulary:
+//! an [`AccessMode`] for one buffer and a [`ModeSet`] collecting the
+//! declarations an offload made about the main-memory ranges it touches.
+//!
+//! The set is deliberately *permissive when empty*: an offload that
+//! declares nothing keeps today's conservative behaviour (every store
+//! is journalled and written back). As soon as at least one range is
+//! declared, the contract tightens — stores outside any declared
+//! writable range become errors, and the runtime is licensed to skip
+//! rollback snapshots for `Write` ranges and write-back transfers for
+//! `Read` ranges.
+
+use crate::addr::Addr;
+
+/// How an offloaded kernel accesses a declared buffer.
+///
+/// Mirrors the read / write / readwrite triple of arXiv 1910.11110:
+///
+/// | Mode | Kernel may read | Kernel may store | Runtime licence |
+/// |------|-----------------|------------------|-----------------|
+/// | [`Read`](AccessMode::Read) | yes | no | elide write-back DMA, skip put journal |
+/// | [`Write`](AccessMode::Write) | no (pre-image) | yes, fully | skip put-journal pre-image snapshot |
+/// | [`Update`](AccessMode::Update) | yes | yes | none — conservative journal + write-back |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// The kernel only loads from this range; it never stores to it.
+    Read,
+    /// The kernel fully overwrites this range and never depends on its
+    /// pre-image. A retried or host-fallback attempt rewrites every
+    /// byte, so rollback snapshots are unnecessary.
+    Write,
+    /// The kernel both reads and stores this range (read-modify-write).
+    /// Recovery still needs pre-image snapshots.
+    Update,
+}
+
+impl core::fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AccessMode::Read => write!(f, "read"),
+            AccessMode::Write => write!(f, "write"),
+            AccessMode::Update => write!(f, "update"),
+        }
+    }
+}
+
+/// One declared range: a start address, a byte length and the mode the
+/// kernel promised for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModeDecl {
+    /// First byte of the declared range.
+    pub addr: Addr,
+    /// Length of the range in bytes.
+    pub len: u32,
+    /// The declared access mode.
+    pub mode: AccessMode,
+}
+
+/// The set of access-mode declarations attached to one offload (or one
+/// pipeline stage).
+///
+/// An **empty** set means *undeclared*: the legacy permissive contract
+/// where every store is treated as [`AccessMode::Update`]. A non-empty
+/// set is strict: a store whose target range is not fully contained in
+/// a declared `Write` or `Update` range is an undeclared write and is
+/// rejected by the engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[must_use]
+pub struct ModeSet {
+    decls: Vec<ModeDecl>,
+}
+
+impl ModeSet {
+    /// An empty (permissive, legacy) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing was declared — the permissive legacy contract.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Number of declared ranges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Declares `len` bytes starting at `addr` with the given mode.
+    /// Later declarations win on exact overlap lookups, but declaring
+    /// overlapping ranges with different modes is a programming error
+    /// the engine resolves in favour of the *last* covering declaration.
+    pub fn declare(&mut self, addr: Addr, len: u32, mode: AccessMode) {
+        self.decls.push(ModeDecl { addr, len, mode });
+    }
+
+    /// Builder-style [`declare`](Self::declare).
+    pub fn with(mut self, addr: Addr, len: u32, mode: AccessMode) -> Self {
+        self.declare(addr, len, mode);
+        self
+    }
+
+    /// The declared ranges, in declaration order.
+    #[must_use]
+    pub fn decls(&self) -> &[ModeDecl] {
+        &self.decls
+    }
+
+    /// The mode covering the `len` bytes at `addr`, if the whole span
+    /// is contained in a single declared range (the last such range
+    /// wins). `None` means the span is (at least partially) undeclared.
+    #[must_use]
+    pub fn mode_for(&self, addr: Addr, len: u32) -> Option<AccessMode> {
+        let start = u64::from(addr.offset());
+        let end = start + u64::from(len);
+        self.decls
+            .iter()
+            .rev()
+            .find(|d| {
+                d.addr.space() == addr.space()
+                    && u64::from(d.addr.offset()) <= start
+                    && end <= u64::from(d.addr.offset()) + u64::from(d.len)
+            })
+            .map(|d| d.mode)
+    }
+
+    /// True when every declared range is [`AccessMode::Read`] (and at
+    /// least one range is declared) — the whole working set is
+    /// read-only, so caches can drop dirty-line bookkeeping entirely.
+    #[must_use]
+    pub fn all_read_only(&self) -> bool {
+        !self.decls.is_empty() && self.decls.iter().all(|d| d.mode == AccessMode::Read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceId;
+
+    fn main_addr(off: u32) -> Addr {
+        Addr::new(SpaceId::MAIN, off)
+    }
+
+    #[test]
+    fn empty_set_is_permissive() {
+        let set = ModeSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.mode_for(main_addr(0), 64), None);
+        assert!(!set.all_read_only());
+    }
+
+    #[test]
+    fn containment_lookup() {
+        let set = ModeSet::new()
+            .with(main_addr(0), 256, AccessMode::Read)
+            .with(main_addr(256), 128, AccessMode::Write);
+        assert_eq!(set.mode_for(main_addr(0), 256), Some(AccessMode::Read));
+        assert_eq!(set.mode_for(main_addr(64), 64), Some(AccessMode::Read));
+        assert_eq!(set.mode_for(main_addr(256), 128), Some(AccessMode::Write));
+        // Straddles the Read/Write boundary: no single covering range.
+        assert_eq!(set.mode_for(main_addr(192), 128), None);
+        // Entirely outside.
+        assert_eq!(set.mode_for(main_addr(512), 16), None);
+    }
+
+    #[test]
+    fn last_covering_declaration_wins() {
+        let set = ModeSet::new()
+            .with(main_addr(0), 256, AccessMode::Read)
+            .with(main_addr(0), 256, AccessMode::Update);
+        assert_eq!(set.mode_for(main_addr(16), 16), Some(AccessMode::Update));
+    }
+
+    #[test]
+    fn lookup_is_space_aware() {
+        let set = ModeSet::new().with(main_addr(0), 256, AccessMode::Write);
+        let local = Addr::new(SpaceId::local_store(0), 0);
+        assert_eq!(set.mode_for(local, 16), None);
+    }
+
+    #[test]
+    fn no_overflow_at_the_top_of_the_space() {
+        let set = ModeSet::new().with(main_addr(u32::MAX - 15), 16, AccessMode::Write);
+        assert_eq!(
+            set.mode_for(main_addr(u32::MAX - 15), 16),
+            Some(AccessMode::Write)
+        );
+        assert_eq!(set.mode_for(main_addr(u32::MAX - 15), 17), None);
+    }
+
+    #[test]
+    fn all_read_only_requires_uniform_reads() {
+        let mut set = ModeSet::new().with(main_addr(0), 64, AccessMode::Read);
+        assert!(set.all_read_only());
+        set.declare(main_addr(64), 64, AccessMode::Update);
+        assert!(!set.all_read_only());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AccessMode::Read.to_string(), "read");
+        assert_eq!(AccessMode::Write.to_string(), "write");
+        assert_eq!(AccessMode::Update.to_string(), "update");
+    }
+}

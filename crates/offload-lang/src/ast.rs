@@ -164,6 +164,18 @@ pub struct DomainEntry {
     pub span: Span,
 }
 
+/// One entry of an offload access-mode annotation: a global named in a
+/// `reads(...)`, `writes(...)`, or `updates(...)` clause.
+#[derive(Clone, Debug)]
+pub struct ModeEntry {
+    /// Name of the global the mode covers.
+    pub name: String,
+    /// The declared access mode.
+    pub mode: memspace::AccessMode,
+    /// Span of the name.
+    pub span: Span,
+}
+
 /// A statement.
 #[derive(Clone, Debug)]
 pub enum Stmt {
@@ -235,6 +247,12 @@ pub enum Stmt {
         captures: Vec<(String, Span)>,
         /// The `domain(...)` annotation (may be empty).
         domain: Vec<DomainEntry>,
+        /// Access-mode annotations — `reads(...)` / `writes(...)` /
+        /// `updates(...)` clauses naming globals. Empty means the
+        /// legacy permissive contract; non-empty compiles down to the
+        /// same [`memspace::AccessMode`] metadata the runtime builders
+        /// take via `.reads()`/`.writes()`/`.updates()`.
+        modes: Vec<ModeEntry>,
         /// The offloaded body.
         body: Block,
         /// Span.

@@ -600,6 +600,21 @@ impl VmDomain {
     }
 }
 
+/// One compiled access-mode declaration of an offload block: the range
+/// a `reads(...)`/`writes(...)`/`updates(...)` clause resolved to,
+/// expressed as an offset into the global segment (the VM adds its
+/// `globals_base` at launch). The table for a block shares the block's
+/// [`DomainId`] index.
+#[derive(Clone, Copy, Debug)]
+pub struct ModeRange {
+    /// Byte offset of the named global within the global segment.
+    pub offset: u32,
+    /// Size of the global in bytes.
+    pub len: u32,
+    /// The declared access mode.
+    pub mode: memspace::AccessMode,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@ use std::collections::{HashMap, HashSet};
 
 use crate::ast::{self, BinOp, Expr, Stmt, UnOp};
 use crate::bytecode::{
-    Cmp, DomainId, FuncBody, FuncId, Instr, SpaceTag, ValType, VmClass, VmDomain,
+    Cmp, DomainId, FuncBody, FuncId, Instr, ModeRange, SpaceTag, ValType, VmClass, VmDomain,
 };
 use crate::compile::{CompileStats, Program, Target, WordStrategy};
 use crate::diag::{CompileError, ErrorKind};
@@ -145,6 +145,9 @@ pub struct Compiler<'t> {
     funcs: Vec<FuncBody>,
     classes: Vec<VmClass>,
     domains: Vec<VmDomain>,
+    /// Per offload block (same index as `domains`): the compiled
+    /// access-mode table from its `reads`/`writes`/`updates` clauses.
+    mode_tables: Vec<Vec<ModeRange>>,
     compiled: HashMap<FuncKey, FuncId>,
     /// `(slot, duplicate-id)` signatures observed at accelerator virtual
     /// call sites.
@@ -169,6 +172,7 @@ impl<'t> Compiler<'t> {
             funcs: Vec::new(),
             classes: Vec::new(),
             domains: Vec::new(),
+            mode_tables: Vec::new(),
             compiled: HashMap::new(),
             vcall_sigs: HashSet::new(),
             stats: CompileStats::default(),
@@ -217,6 +221,7 @@ impl<'t> Compiler<'t> {
             funcs: self.funcs,
             classes: self.classes,
             domains: self.domains,
+            mode_tables: self.mode_tables,
             globals_size: self.globals_size.max(4),
             main,
             stats: self.stats,
@@ -1023,9 +1028,10 @@ impl<'t> Compiler<'t> {
                 handle,
                 captures,
                 domain,
+                modes,
                 body,
                 span,
-            } => self.stmt_offload(fx, handle.as_deref(), captures, domain, body, *span),
+            } => self.stmt_offload(fx, handle.as_deref(), captures, domain, modes, body, *span),
             Stmt::Join { name, span } => {
                 if fx.accel {
                     return Err(err(
@@ -1189,6 +1195,7 @@ impl<'t> Compiler<'t> {
         handle: Option<&str>,
         captures: &[(String, Span)],
         domain: &[ast::DomainEntry],
+        modes: &[ast::ModeEntry],
         body: &ast::Block,
         span: Span,
     ) -> Result<(), CompileError> {
@@ -1236,8 +1243,32 @@ impl<'t> Compiler<'t> {
             });
         }
 
+        // Resolve the access-mode clauses against the global segment.
+        // Each named global becomes a `ModeRange` the VM turns into the
+        // runtime's `AccessMode` metadata at launch (`with_modes`).
+        let mut mode_table = Vec::with_capacity(modes.len());
+        for entry in modes {
+            let global = self.globals.get(&entry.name).ok_or_else(|| {
+                err(
+                    ErrorKind::Resolve,
+                    entry.span,
+                    format!(
+                        "`{}` is not a global variable; access-mode clauses \
+                         (`reads`/`writes`/`updates`) name globals",
+                        entry.name
+                    ),
+                )
+            })?;
+            mode_table.push(ModeRange {
+                offset: global.offset,
+                len: self.types.size_of(&global.ty),
+                mode: entry.mode,
+            });
+        }
+
         let domain_id = DomainId(self.domains.len() as u32);
         self.domains.push(VmDomain::default());
+        self.mode_tables.push(mode_table);
 
         // Evaluate the captured host locals by value (they become the
         // block's parameters; pointers arrive as outer pointers).

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use memspace::AddressingMode;
 
-use crate::bytecode::{FuncBody, FuncId, VmClass, VmDomain};
+use crate::bytecode::{FuncBody, FuncId, ModeRange, VmClass, VmDomain};
 use crate::codegen::Compiler;
 use crate::diag::CompileError;
 use crate::parser::parse;
@@ -132,6 +132,11 @@ pub struct Program {
     pub classes: Vec<VmClass>,
     /// Dispatch domains, one per offload block.
     pub domains: Vec<VmDomain>,
+    /// Access-mode tables, one per offload block (same index as
+    /// [`Program::domains`]). An empty table is the legacy permissive
+    /// contract; a non-empty one is handed to the runtime builder via
+    /// `with_modes` at every launch of that block.
+    pub mode_tables: Vec<Vec<ModeRange>>,
     /// Bytes of global variables (zero-initialised).
     pub globals_size: u32,
     /// The entry point (`fn main() -> int`).

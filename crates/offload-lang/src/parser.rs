@@ -369,8 +369,15 @@ impl Parser {
             TokenKind::Offload => {
                 let start = self.span();
                 self.bump();
+                // `use`, `reads`, `writes` and `updates` are soft
+                // keywords here: a bare ident in clause position is a
+                // handle name unless it is one of them.
                 let handle = match self.peek() {
-                    TokenKind::Ident(name) if name != "use" => Some(self.ident()?.0),
+                    TokenKind::Ident(name)
+                        if !matches!(name.as_str(), "use" | "reads" | "writes" | "updates") =>
+                    {
+                        Some(self.ident()?.0)
+                    }
                     _ => None,
                 };
                 let mut captures = Vec::new();
@@ -404,11 +411,31 @@ impl Parser {
                     }
                     self.expect(TokenKind::RParen)?;
                 }
+                let mut modes = Vec::new();
+                loop {
+                    let mode = match self.peek() {
+                        TokenKind::Ident(name) if name == "reads" => memspace::AccessMode::Read,
+                        TokenKind::Ident(name) if name == "writes" => memspace::AccessMode::Write,
+                        TokenKind::Ident(name) if name == "updates" => memspace::AccessMode::Update,
+                        _ => break,
+                    };
+                    self.bump();
+                    self.expect(TokenKind::LParen)?;
+                    loop {
+                        let (name, span) = self.ident()?;
+                        modes.push(ModeEntry { name, mode, span });
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
                 let body = self.block()?;
                 Ok(Stmt::Offload {
                     handle,
                     captures,
                     domain,
+                    modes,
                     body,
                     span: start.to(self.prev_span()),
                 })

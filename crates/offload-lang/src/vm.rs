@@ -49,7 +49,7 @@
 //! execution.
 
 use memspace::{Addr, SpaceId};
-use simcell::{AccelCtx, CostModel, Machine, SimError};
+use simcell::{AccelCtx, CostModel, Machine, ModeSet, SimError};
 use softcache::CacheConfig;
 
 use crate::bytecode::{ArithF, ArithI, Cmp, DomainId, FuncId, Instr, SpaceTag, ValType};
@@ -454,8 +454,10 @@ impl Env for HostEnv<'_> {
         args: &[Value],
     ) -> Result<(), VmError> {
         let policy = vm.cache_policy;
+        let modes = vm.mode_set_for(domain)?;
         self.machine
             .offload(0)
+            .with_modes(modes)
             .run(|ctx| vm.run_on_accel(ctx, func, domain, policy, args))??;
         Ok(())
     }
@@ -469,6 +471,7 @@ impl Env for HostEnv<'_> {
         args: &[Value],
     ) -> Result<(), VmError> {
         let policy = vm.cache_policy;
+        let modes = vm.mode_set_for(domain)?;
         // Asynchronous offloads round-robin over the accelerators, so
         // several language-level handles genuinely overlap.
         let accel = self.next_accel;
@@ -476,6 +479,7 @@ impl Env for HostEnv<'_> {
         let handle = self
             .machine
             .offload(accel)
+            .with_modes(modes)
             .spawn(|ctx| vm.run_on_accel(ctx, func, domain, policy, args))?;
         if usize::from(slot) >= self.pending.len() {
             self.pending.resize_with(usize::from(slot) + 1, || None);
@@ -748,6 +752,22 @@ impl<'p> Vm<'p> {
             Some(v) => Ok(v.as_i()),
             None => unreachable!("main returns int per the compiler"),
         }
+    }
+
+    /// The runtime [`ModeSet`] for an offload block: its compiled
+    /// `reads`/`writes`/`updates` table resolved against this VM's
+    /// global segment. Empty (the legacy permissive contract) when the
+    /// block declared nothing.
+    fn mode_set_for(&self, domain: DomainId) -> Result<ModeSet, VmError> {
+        let mut modes = ModeSet::new();
+        for range in &self.program.mode_tables[domain.0 as usize] {
+            let addr = self
+                .globals_base
+                .offset_by(range.offset)
+                .map_err(SimError::from)?;
+            modes.declare(addr, range.len, range.mode);
+        }
+        Ok(modes)
     }
 
     /// Entry point for offload bodies (called back from the host env).

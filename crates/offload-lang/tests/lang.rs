@@ -248,6 +248,130 @@ fn offload_reads_and_writes_globals() {
 }
 
 #[test]
+fn mode_annotated_offload_matches_unannotated_result() {
+    let plain = r#"
+        var table: [int; 8];
+        var result: int;
+        fn main() -> int {
+            let i: int = 0;
+            while i < 8 { table[i] = i * 3; i = i + 1; }
+            offload {
+                let acc: int = 0;
+                let j: int = 0;
+                while j < 8 { acc = acc + table[j]; j = j + 1; }
+                result = acc;
+            }
+            return result;
+        }
+        "#;
+    let annotated = plain.replace("offload {", "offload reads(table) writes(result) {");
+    assert_eq!(run_cell(plain), run_cell(&annotated));
+}
+
+#[test]
+fn updates_clause_allows_read_modify_write() {
+    let (exit, _) = run_cell(
+        r#"
+        var counter: int;
+        fn main() -> int {
+            counter = 20;
+            offload updates(counter) { counter = counter + 22; }
+            return counter;
+        }
+        "#,
+    );
+    assert_eq!(exit, 42);
+}
+
+#[test]
+fn mode_clauses_compose_with_handle_use_and_domain() {
+    let (exit, _) = run_cell(
+        r#"
+        class Op {
+            bias: int;
+            virtual fn apply(x: int) -> int { return x; }
+        }
+        class AddBias : Op {
+            override fn apply(x: int) -> int { return x + self.bias; }
+        }
+        var op: Op*;
+        var result: int;
+        fn main() -> int {
+            op = new AddBias;
+            op.bias = 40;
+            let seed: int = 2;
+            offload h use(seed) domain(Op.apply, AddBias.apply) writes(result) {
+                result = op.apply(seed);
+            }
+            join h;
+            return result;
+        }
+        "#,
+    );
+    assert_eq!(exit, 42);
+}
+
+#[test]
+fn write_into_reads_declared_global_is_rejected() {
+    let source = r#"
+        var counter: int;
+        fn main() -> int {
+            counter = 20;
+            offload reads(counter) { counter = counter + 22; }
+            return counter;
+        }
+        "#;
+    let program = compile(source, &Target::cell_like()).unwrap();
+    let mut machine = Machine::new(MachineConfig::small()).unwrap();
+    let mut vm = Vm::new(&program, &mut machine).unwrap();
+    match vm.run(&mut machine) {
+        Err(VmError::Sim(simcell::SimError::UndeclaredWrite { declared, .. })) => {
+            assert_eq!(declared, Some(simcell::AccessMode::Read));
+        }
+        other => panic!("expected an undeclared-write rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn write_outside_all_declared_ranges_is_rejected() {
+    // Declaring *any* mode makes the contract strict: a store to an
+    // undeclared global must be rejected, not silently journaled.
+    let source = r#"
+        var a: int;
+        var b: int;
+        fn main() -> int {
+            offload reads(a) { b = a + 1; }
+            return b;
+        }
+        "#;
+    let program = compile(source, &Target::cell_like()).unwrap();
+    let mut machine = Machine::new(MachineConfig::small()).unwrap();
+    let mut vm = Vm::new(&program, &mut machine).unwrap();
+    match vm.run(&mut machine) {
+        Err(VmError::Sim(simcell::SimError::UndeclaredWrite { declared, .. })) => {
+            assert_eq!(declared, None);
+        }
+        other => panic!("expected an undeclared-write rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn mode_clause_must_name_a_global() {
+    let err = compile_err(
+        r#"
+        fn main() -> int {
+            let local: int = 1;
+            offload reads(local) { }
+            return 0;
+        }
+        "#,
+        &Target::cell_like(),
+    );
+    assert_eq!(err.kind, ErrorKind::Resolve);
+    assert!(err.message.contains("global"), "{}", err.message);
+}
+
+#[test]
 fn offload_local_data_is_scratchpad_allocated() {
     let (exit, _) = run_cell(
         r#"

@@ -178,15 +178,27 @@ impl<T: Pod> ArrayAccessor<T> {
     /// Writes the array back to main memory with one bulk transfer if any
     /// element was modified; no-op otherwise.
     ///
+    /// When the offload declared the remote range `read` (see
+    /// `OffloadBuilder::reads` in `simcell`), a dirty-but-unchanged
+    /// array — the conservative-flush idiom — skips the transfer
+    /// entirely: the elision is counted in the machine stats and costs
+    /// zero cycles.
+    ///
     /// # Errors
     ///
-    /// Fails if a transfer fails.
+    /// Fails if a transfer fails, or with
+    /// [`SimError::UndeclaredWrite`] if the array was genuinely
+    /// mutated but its remote range is declared `read`.
     pub fn write_back(&mut self, ctx: &mut AccelCtx<'_>) -> Result<(), SimError> {
         if !self.dirty {
             return Ok(());
         }
-        ctx.span_start("accessor.write_back");
         let bytes = (T::SIZE as u32) * self.len;
+        if ctx.writeback_elidable(self.local, self.remote, bytes)? {
+            self.dirty = false;
+            return Ok(());
+        }
+        ctx.span_start("accessor.write_back");
         transfer_chunked(ctx, self.local, self.remote, bytes, TransferDir::Put)?;
         ctx.dma_wait_tag(Self::tag());
         ctx.check_faults()?;

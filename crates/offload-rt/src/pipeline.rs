@@ -85,7 +85,7 @@
 //! ```
 
 use memspace::{Addr, Pod};
-use simcell::{AccelCtx, FaultPlan, Machine, OffloadHandle, SimError};
+use simcell::{AccelCtx, AccessMode, FaultPlan, Machine, ModeSet, OffloadHandle, SimError};
 
 use crate::sched::{run_with_retries, DEFAULT_RETRY_BACKOFF};
 use crate::stream::{process_stream, StreamConfig};
@@ -120,13 +120,16 @@ impl MachinePipelineExt for Machine {
             retries: 0,
             backoff: DEFAULT_RETRY_BACKOFF,
             fallback: false,
+            orphan_modes: false,
         }
     }
 }
 
-/// A pipeline stage: a chunk-local transform plus its trace label.
+/// A pipeline stage: a chunk-local transform plus its trace label and
+/// declared access modes.
 struct PipeStage<'m, T> {
     name: &'static str,
+    modes: ModeSet,
     #[allow(clippy::type_complexity)]
     f: Box<dyn FnMut(&mut AccelCtx<'_>, u32, &mut [T]) -> Result<(), SimError> + 'm>,
 }
@@ -146,6 +149,7 @@ pub struct PipelineBuilder<'m, T> {
     retries: u32,
     backoff: u64,
     fallback: bool,
+    orphan_modes: bool,
 }
 
 /// Per-stage row of a [`PipeReport`].
@@ -169,6 +173,14 @@ pub struct PipeLaneReport {
 
 /// What a [`PipelineBuilder::run`] did, for reports and assertions.
 /// All cycle figures are simulated cycles.
+///
+/// Shares the busy/idle/stall vocabulary of
+/// [`SchedReport`](crate::sched::SchedReport) — see the terminology
+/// table there. The same three accessors exist here:
+/// [`busy_cycles`](PipeReport::busy_cycles),
+/// [`idle_cycles`](PipeReport::idle_cycles), and
+/// [`stall_cycles`](PipeReport::stall_cycles) (input waits plus
+/// backpressure).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PipeReport {
     /// Stages in the pipeline.
@@ -198,6 +210,29 @@ pub struct PipeReport {
     pub fallbacks: u64,
 }
 
+impl PipeReport {
+    /// Total busy cycles: the sum of [`PipeLaneReport::busy`] over
+    /// every stage lane (see the busy/idle/stall table on
+    /// [`SchedReport`](crate::sched::SchedReport)).
+    pub fn busy_cycles(&self) -> u64 {
+        self.lanes.iter().map(|l| l.busy).sum()
+    }
+
+    /// Total idle cycles: the sum of [`PipeLaneReport::idle`] over
+    /// every stage lane.
+    pub fn idle_cycles(&self) -> u64 {
+        self.lanes.iter().map(|l| l.idle).sum()
+    }
+
+    /// Total coordination-stall cycles: for a pipeline, cycles stages
+    /// spent waiting for input ([`PipeReport::input_wait_cycles`]) plus
+    /// cycles they stalled on a full downstream queue
+    /// ([`PipeReport::backpressure_cycles`]).
+    pub fn stall_cycles(&self) -> u64 {
+        self.input_wait_cycles + self.backpressure_cycles
+    }
+}
+
 impl<'m, T: Pod> PipelineBuilder<'m, T> {
     /// Appends a stage running on the next accelerator. The closure
     /// receives the index of the chunk's first element and the chunk
@@ -220,8 +255,43 @@ impl<'m, T: Pod> PipelineBuilder<'m, T> {
     {
         self.stages.push(PipeStage {
             name,
+            modes: ModeSet::new(),
             f: Box::new(f),
         });
+        self
+    }
+
+    /// Declares that the *most recently added* stage only loads from
+    /// `[addr, addr+len)` — see `OffloadBuilder::reads` in `simcell`.
+    /// A read-declared chunk's write-back DMA is elided (counted in
+    /// [`MachineStats::dma_writebacks_elided`](simcell::MachineStats)),
+    /// and a stage that nonetheless mutates the chunk fails with
+    /// [`SimError::UndeclaredWrite`].
+    ///
+    /// Must follow a [`PipelineBuilder::stage`] call; declaring modes
+    /// on an empty pipeline is rejected by [`PipelineBuilder::run`].
+    pub fn reads(self, addr: Addr, len: u32) -> PipelineBuilder<'m, T> {
+        self.declare(addr, len, AccessMode::Read)
+    }
+
+    /// Declares that the most recently added stage fully overwrites
+    /// `[addr, addr+len)` without reading it: the put journal skips
+    /// pre-image snapshots for the range under an armed fault plan.
+    pub fn writes(self, addr: Addr, len: u32) -> PipelineBuilder<'m, T> {
+        self.declare(addr, len, AccessMode::Write)
+    }
+
+    /// Declares that the most recently added stage both reads and
+    /// writes `[addr, addr+len)`.
+    pub fn updates(self, addr: Addr, len: u32) -> PipelineBuilder<'m, T> {
+        self.declare(addr, len, AccessMode::Update)
+    }
+
+    fn declare(mut self, addr: Addr, len: u32, mode: AccessMode) -> PipelineBuilder<'m, T> {
+        match self.stages.last_mut() {
+            Some(stage) => stage.modes.declare(addr, len, mode),
+            None => self.orphan_modes = true,
+        }
         self
     }
 
@@ -307,7 +377,15 @@ impl<'m, T: Pod> PipelineBuilder<'m, T> {
             retries,
             backoff,
             fallback,
+            orphan_modes,
         } = self;
+        if orphan_modes {
+            return Err(SimError::BadConfig {
+                reason: "pipeline mode declarations (.reads/.writes/.updates) must follow \
+                         the .stage() they describe"
+                    .into(),
+            });
+        }
         let stage_count = stages.len() as u32;
         if stage_count == 0 || buffers == 0 {
             return Err(SimError::BadConfig {
@@ -381,27 +459,31 @@ impl<'m, T: Pod> PipelineBuilder<'m, T> {
                 };
                 let mut pop_at = 0u64;
                 let mut push_at = 0u64;
-                let spawned = machine.offload(accel).label(stage.name).spawn(|ctx| {
-                    // Block until the producer pushed this chunk.
-                    let wait = input_ready.saturating_sub(ctx.now());
-                    if wait > 0 {
-                        ctx.pipe_note_wait(stage_idx, i, wait, false);
-                        ctx.compute(wait);
-                    }
-                    pop_at = ctx.now();
-                    let result = run_with_retries(ctx, i, retries, backoff, &mut body);
-                    // Block until the downstream queue has a free slot;
-                    // only then is the chunk really pushed.
-                    if let Some(pop) = queue_slot {
-                        let wait = pop.saturating_sub(ctx.now());
+                let spawned = machine
+                    .offload(accel)
+                    .label(stage.name)
+                    .with_modes(stage.modes.clone())
+                    .spawn(|ctx| {
+                        // Block until the producer pushed this chunk.
+                        let wait = input_ready.saturating_sub(ctx.now());
                         if wait > 0 {
-                            ctx.pipe_note_wait(stage_idx, i, wait, true);
+                            ctx.pipe_note_wait(stage_idx, i, wait, false);
                             ctx.compute(wait);
                         }
-                    }
-                    push_at = ctx.now();
-                    result
-                });
+                        pop_at = ctx.now();
+                        let result = run_with_retries(ctx, i, retries, backoff, &mut body);
+                        // Block until the downstream queue has a free slot;
+                        // only then is the chunk really pushed.
+                        if let Some(pop) = queue_slot {
+                            let wait = pop.saturating_sub(ctx.now());
+                            if wait > 0 {
+                                ctx.pipe_note_wait(stage_idx, i, wait, true);
+                                ctx.compute(wait);
+                            }
+                        }
+                        push_at = ctx.now();
+                        result
+                    });
                 match spawned {
                     Ok(handle) => match handle.peek() {
                         Ok(()) => {
@@ -440,7 +522,7 @@ impl<'m, T: Pod> PipelineBuilder<'m, T> {
                 }
                 machine.recovery_note_fallback(machine.host_now(), accel, i);
                 let fb_start = machine.host_now();
-                machine.run_host_fallback(accel, stage.name, |ctx| {
+                machine.run_host_fallback(accel, stage.name, stage.modes.clone(), |ctx| {
                     run_with_retries(ctx, i, 0, backoff, &mut body)
                 })??;
                 let fb_end = machine.host_now();

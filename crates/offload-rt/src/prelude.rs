@@ -8,8 +8,8 @@
 
 pub use memspace::{Addr, Pod, SpaceId};
 pub use simcell::{
-    AccelCtx, DispatchFault, FaultError, FaultPlan, Machine, MachineConfig, OffloadBuilder,
-    OffloadHandle, SimError,
+    AccelCtx, AccessMode, DispatchFault, FaultError, FaultPlan, Machine, MachineConfig, ModeDecl,
+    ModeSet, OffloadBuilder, OffloadHandle, SimError,
 };
 pub use softcache::{autotune::autotune, CacheChoice, CacheConfig, TunedCache};
 

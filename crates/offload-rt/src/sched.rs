@@ -88,8 +88,10 @@
 
 use std::collections::VecDeque;
 
+use memspace::Addr;
 use simcell::{
-    AccelCtx, FaultError, FaultPlan, Machine, OffloadBuilder, OffloadHandle, OffloadParts, SimError,
+    AccelCtx, AccessMode, FaultError, FaultPlan, Machine, ModeSet, OffloadBuilder, OffloadHandle,
+    OffloadParts, SimError,
 };
 use softcache::CacheChoice;
 
@@ -150,6 +152,7 @@ impl<'m> SchedExt<'m> for OffloadBuilder<'m> {
             label,
             cache,
             faults,
+            modes,
         } = self.into_parts();
         TileScheduler {
             machine,
@@ -163,6 +166,7 @@ impl<'m> SchedExt<'m> for OffloadBuilder<'m> {
             retries: 0,
             backoff: DEFAULT_RETRY_BACKOFF,
             fallback: false,
+            modes,
         }
     }
 }
@@ -185,6 +189,7 @@ pub struct TileScheduler<'m> {
     retries: u32,
     backoff: u64,
     fallback: bool,
+    modes: ModeSet,
 }
 
 /// Per-accelerator row of a [`SchedReport`].
@@ -203,6 +208,21 @@ pub struct LaneReport {
 
 /// What a [`TileScheduler::run_tiles`] dispatch did, for reports and
 /// assertions. All cycle figures are simulated cycles.
+///
+/// # Busy / idle / stall
+///
+/// This report and [`PipeReport`](crate::PipeReport) share one
+/// vocabulary, exposed by the same three accessors on both:
+///
+/// | term | meaning (simulated cycles) |
+/// |-------|---------------------------|
+/// | busy  | a lane was executing items: compute, transfers, and any stalls charged to the item ([`busy_cycles`](SchedReport::busy_cycles), summed over [`LaneReport::busy`]) |
+/// | idle  | a lane had nothing to run between the dispatch start and the last item finishing anywhere ([`idle_cycles`](SchedReport::idle_cycles), summed over [`LaneReport::idle`]) |
+/// | stall | items were blocked on coordination rather than work — steal costs here, input waits and backpressure in a pipeline ([`stall_cycles`](SchedReport::stall_cycles)) |
+///
+/// Stall cycles are a *breakdown*, not a third bucket: they were
+/// charged somewhere (to the thief's lane here, to the stage's item in
+/// a pipeline), so they are already inside the busy/cycle totals.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SchedReport {
     /// The policy that produced this schedule.
@@ -233,6 +253,25 @@ pub struct SchedReport {
 }
 
 impl SchedReport {
+    /// Total busy cycles: the sum of [`LaneReport::busy`] over every
+    /// lane (see the busy/idle/stall table on [`SchedReport`]).
+    pub fn busy_cycles(&self) -> u64 {
+        self.lanes.iter().map(|l| l.busy).sum()
+    }
+
+    /// Total idle cycles: the sum of [`LaneReport::idle`] over every
+    /// lane.
+    pub fn idle_cycles(&self) -> u64 {
+        self.lanes.iter().map(|l| l.idle).sum()
+    }
+
+    /// Total coordination-stall cycles: for tile dispatch, the cycles
+    /// thieves paid moving stolen tiles between queues
+    /// ([`SchedReport::steal_cycles`]).
+    pub fn stall_cycles(&self) -> u64 {
+        self.steal_cycles
+    }
+
     /// Load imbalance of the schedule: max over mean busy cycles
     /// across the lanes that ran anything (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
@@ -300,6 +339,30 @@ impl<'m> TileScheduler<'m> {
         self
     }
 
+    /// Declares that every tile only *loads* from `[addr, addr+len)`
+    /// (see [`OffloadBuilder::reads`]). The declaration applies to each
+    /// tile launch and to any host fallback of the same tile.
+    pub fn reads(mut self, addr: Addr, len: u32) -> TileScheduler<'m> {
+        self.modes.declare(addr, len, AccessMode::Read);
+        self
+    }
+
+    /// Declares that tiles *fully overwrite* `[addr, addr+len)` without
+    /// reading it (see [`OffloadBuilder::writes`]): the put journal
+    /// skips pre-image snapshots for the range under an armed fault
+    /// plan.
+    pub fn writes(mut self, addr: Addr, len: u32) -> TileScheduler<'m> {
+        self.modes.declare(addr, len, AccessMode::Write);
+        self
+    }
+
+    /// Declares that tiles read *and* write `[addr, addr+len)` (see
+    /// [`OffloadBuilder::updates`]).
+    pub fn updates(mut self, addr: Addr, len: u32) -> TileScheduler<'m> {
+        self.modes.declare(addr, len, AccessMode::Update);
+        self
+    }
+
     /// Degrades unrecoverable tiles to host execution instead of
     /// failing the dispatch: tiles that exhaust their retries, and
     /// tiles stranded when every lane's accelerator has died, re-run on
@@ -348,6 +411,7 @@ impl<'m> TileScheduler<'m> {
             retries,
             backoff,
             fallback,
+            modes,
         } = self;
         if let Some(plan) = faults {
             machine.install_fault_plan(plan);
@@ -387,6 +451,7 @@ impl<'m> TileScheduler<'m> {
                 .offload(lane)
                 .label(label)
                 .cache(cache)
+                .with_modes(modes.clone())
                 .spawn(|ctx| {
                     if stolen_from.is_some() {
                         ctx.compute(steal_cost);
@@ -636,7 +701,8 @@ impl<'m> TileScheduler<'m> {
         failed.sort_by_key(|&(tile, _)| tile);
         for (tile, accel) in failed {
             machine.recovery_note_fallback(machine.host_now(), accel, tile);
-            let r = machine.run_host_fallback(accel, label, |ctx| f(ctx, tile))??;
+            let r =
+                machine.run_host_fallback(accel, label, modes.clone(), |ctx| f(ctx, tile))??;
             results[tile as usize] = Some(r);
         }
         let results: Vec<R> = results

@@ -98,9 +98,14 @@ where
         f(ctx, base, &mut chunk)?;
         if config.write_back {
             ctx.local_write_slice(buffer, &chunk)?;
-            ctx.dma_put(buffer, r, n * elem, tag)?;
-            ctx.dma_wait_tag(tag);
-            ctx.check_faults()?;
+            // A chunk in a `read`-declared range that came through the
+            // transform unchanged needs no put at all (and one that
+            // changed is an undeclared write).
+            if !ctx.writeback_elidable(buffer, r, n * elem)? {
+                ctx.dma_put(buffer, r, n * elem, tag)?;
+                ctx.dma_wait_tag(tag);
+                ctx.check_faults()?;
+            }
         }
         base += n;
     }
@@ -176,8 +181,13 @@ where
         f(ctx, i * chunk_elems, &mut chunk)?;
         if config.write_back {
             ctx.local_write_slice(buffers[cur], &chunk)?;
-            // Non-blocking put: it drains while the next chunk computes.
-            ctx.dma_put(buffers[cur], chunk_remote(i)?, n * elem, stream_tag(cur))?;
+            // A chunk in a `read`-declared range that came through the
+            // transform unchanged needs no put at all (and one that
+            // changed is an undeclared write).
+            if !ctx.writeback_elidable(buffers[cur], chunk_remote(i)?, n * elem)? {
+                // Non-blocking put: it drains while the next chunk computes.
+                ctx.dma_put(buffers[cur], chunk_remote(i)?, n * elem, stream_tag(cur))?;
+            }
         }
     }
     // Drain the pipeline.

@@ -1,7 +1,7 @@
 //! The accelerator execution context.
 
 use dma::{AccessKind, DmaDirection, DmaEngine, Tag, TagMask};
-use memspace::{Addr, AddrRange, MemoryRegion, Pod};
+use memspace::{AccessMode, Addr, AddrRange, MemoryRegion, ModeSet, Pod};
 use softcache::{CacheBacking, CacheChoice, SoftwareCache, TunedCache};
 
 use crate::cost::CostModel;
@@ -56,6 +56,7 @@ pub struct AccelCtx<'m> {
     pub(crate) faults: &'m mut FaultPlane,
     pub(crate) fault_sticky: Option<FaultError>,
     pub(crate) put_journal: Vec<(Addr, Vec<u8>)>,
+    pub(crate) modes: ModeSet,
 }
 
 impl<'m> AccelCtx<'m> {
@@ -166,6 +167,105 @@ impl<'m> AccelCtx<'m> {
                 backpressure,
             },
         );
+    }
+
+    // ---- access modes ----------------------------------------------------
+
+    /// The access-mode declarations this offload was built with (empty
+    /// when the offload declared nothing — the legacy permissive
+    /// contract).
+    pub fn modes(&self) -> &ModeSet {
+        &self.modes
+    }
+
+    /// The declared mode covering `len` bytes at `addr`, if any. Used
+    /// by the runtime's transfer layers to elide write-backs for
+    /// `Read`-declared ranges.
+    pub fn declared_mode(&self, addr: Addr, len: u32) -> Option<AccessMode> {
+        self.modes.mode_for(addr, len)
+    }
+
+    /// Classifies one put against the declared access modes.
+    ///
+    /// `Ok(None)` means the offload declared nothing (legacy contract:
+    /// journal conservatively). `Ok(Some(mode))` is a declared writable
+    /// range. A store into a `read` range — or outside every declared
+    /// range — of a mode-annotated offload is an undeclared write: the
+    /// dynamic race analyzer records it and the put is rejected before
+    /// any byte moves.
+    #[inline]
+    fn put_mode(&mut self, remote: Addr, size: u32) -> Result<Option<AccessMode>, SimError> {
+        if self.modes.is_empty() {
+            return Ok(None);
+        }
+        match self.modes.mode_for(remote, size) {
+            mode @ Some(AccessMode::Write | AccessMode::Update) => Ok(mode),
+            declared => {
+                self.dma.note_undeclared_write(
+                    AddrRange::new(remote, size)?,
+                    declared == Some(AccessMode::Read),
+                    self.now,
+                );
+                Err(SimError::UndeclaredWrite {
+                    addr: remote,
+                    len: size,
+                    declared,
+                })
+            }
+        }
+    }
+
+    /// Notes one write-back DMA the runtime elided because the target
+    /// range was declared `read` — bookkeeping only, zero simulated
+    /// cost (that is the point: the transfer never happens).
+    pub fn note_writeback_elided(&mut self, bytes: u32) {
+        self.stats.dma_writebacks_elided += 1;
+        self.stats.dma_writeback_bytes_elided += u64::from(bytes);
+        self.events
+            .note_static(self.now, "writeback elided (read-only)");
+    }
+
+    /// Mode-aware gate for the runtime's conservative-flush idioms
+    /// (`ArrayAccessor::write_back`, the streaming helpers in
+    /// `offload_rt`): returns `true` when the put of `bytes` from
+    /// `local` to `remote` may be skipped because the target range is
+    /// declared `read` and the local image is byte-identical to main
+    /// memory (the elision is counted via
+    /// [`AccelCtx::note_writeback_elided`]). The comparison is
+    /// host-side bookkeeping — zero simulated cycles either way, which
+    /// is exactly the declaration's value: the transfer itself never
+    /// happens.
+    ///
+    /// # Errors
+    ///
+    /// A *differing* local image under a `read` declaration is a
+    /// genuine mutation: the dynamic race analyzer records it and the
+    /// call fails with [`SimError::UndeclaredWrite`] instead of
+    /// silently dropping the kernel's stores.
+    pub fn writeback_elidable(
+        &mut self,
+        local: Addr,
+        remote: Addr,
+        bytes: u32,
+    ) -> Result<bool, SimError> {
+        if self.declared_mode(remote, bytes) != Some(AccessMode::Read) {
+            return Ok(false);
+        }
+        let mut ours = vec![0u8; bytes as usize];
+        let mut theirs = vec![0u8; bytes as usize];
+        self.ls.read_into(local, &mut ours)?;
+        self.main.read_into(remote, &mut theirs)?;
+        if ours != theirs {
+            self.dma
+                .note_undeclared_write(AddrRange::new(remote, bytes)?, true, self.now);
+            return Err(SimError::UndeclaredWrite {
+                addr: remote,
+                len: bytes,
+                declared: Some(AccessMode::Read),
+            });
+        }
+        self.note_writeback_elided(bytes);
+        Ok(true)
     }
 
     /// The local store's current allocation mark; pass it to
@@ -655,15 +755,26 @@ impl<'m> AccelCtx<'m> {
         size: u32,
         tag: Tag,
     ) -> Result<(), SimError> {
+        let mode = self.put_mode(remote, size)?;
         let issued_at = self.now;
         let decision = self.roll_transfer();
-        // With a plan armed, journal the destination's pre-image so the
-        // recovery layer can void a failed attempt's puts (see
-        // AccelCtx::put_journal_rollback).
-        if self.faults.active() {
-            let mut bytes = vec![0u8; size as usize];
-            self.main.read_into(remote, &mut bytes)?;
-            self.put_journal.push((remote, bytes));
+        // With a plan that can actually fire, journal the destination's
+        // pre-image so the recovery layer can void a failed attempt's
+        // puts (see AccelCtx::put_journal_rollback). A quiet plan can
+        // never need a rollback, so it pays nothing here; a declared
+        // `Write` range is fully rewritten by any retry, so its
+        // snapshot is skipped too.
+        if self.faults.noisy() {
+            if mode == Some(AccessMode::Write) {
+                self.stats.journal_snapshots_skipped += 1;
+                self.stats.journal_bytes_skipped += u64::from(size);
+            } else {
+                let mut bytes = vec![0u8; size as usize];
+                self.main.read_into(remote, &mut bytes)?;
+                self.put_journal.push((remote, bytes));
+                self.stats.journal_snapshots += 1;
+                self.stats.journal_bytes += u64::from(size);
+            }
         }
         let saved = if decision == Some(DmaFault::Drop) {
             let mut bytes = vec![0u8; size as usize];
@@ -862,6 +973,9 @@ impl<'m> AccelCtx<'m> {
     #[inline]
     fn staged_put(&mut self, remote: Addr, size: u32, tag: Tag) -> Result<(), SimError> {
         if self.outer_sync_ok(tag) {
+            // The fused path bypasses `engine_put`, so it enforces the
+            // access-mode contract itself.
+            self.put_mode(remote, size)?;
             self.now = self.dma.sync_put(
                 self.now,
                 self.staging,
@@ -1030,13 +1144,17 @@ impl<'m> AccelCtx<'m> {
     ///
     /// # Errors
     ///
-    /// As for [`softcache::SoftwareCache::write`].
+    /// As for [`softcache::SoftwareCache::write`], plus
+    /// [`SimError::UndeclaredWrite`] when the offload declared access
+    /// modes and `addr..addr+len` is not covered by a `write`/`update`
+    /// declaration — the line never even turns dirty.
     pub fn cached_write_bytes<C: SoftwareCache>(
         &mut self,
         cache: &mut C,
         addr: Addr,
         data: &[u8],
     ) -> Result<(), SimError> {
+        self.put_mode(addr, data.len() as u32)?;
         self.accesses
             .record_write(self.span, addr.offset(), data.len() as u32);
         let before = cache.stats();
@@ -1092,13 +1210,16 @@ impl<'m> AccelCtx<'m> {
     ///
     /// # Errors
     ///
-    /// As for [`softcache::SoftwareCache::write`].
+    /// As for [`softcache::SoftwareCache::write`], plus
+    /// [`SimError::UndeclaredWrite`] under access-mode declarations
+    /// (see [`AccelCtx::cached_write_bytes`]).
     pub fn cached_write_pod<T: Pod, C: SoftwareCache>(
         &mut self,
         cache: &mut C,
         addr: Addr,
         value: &T,
     ) -> Result<(), SimError> {
+        self.put_mode(addr, T::SIZE as u32)?;
         self.accesses
             .record_write(self.span, addr.offset(), T::SIZE as u32);
         let mut small = [0u8; POD_STACK_BUF];
@@ -1178,7 +1299,17 @@ impl<'m> AccelCtx<'m> {
     /// Builds the block-scoped tuned cache an offload builder's
     /// [`CacheChoice`] describes (see `OffloadBuilder::cache`).
     /// Allocation only — zero simulated cycles.
+    ///
+    /// An offload whose access-mode declarations are all `read` gets
+    /// the write-through variant of the choice
+    /// ([`CacheChoice::for_read_only`]): no dirty line can form, so
+    /// the end-of-block flush is guaranteed empty by construction.
     pub(crate) fn install_tuned(&mut self, choice: &CacheChoice) -> Result<(), SimError> {
+        let choice = if self.modes.all_read_only() {
+            choice.for_read_only()
+        } else {
+            *choice
+        };
         self.tuned = choice.build(memspace::SpaceId::MAIN, self.ls)?;
         Ok(())
     }

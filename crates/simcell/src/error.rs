@@ -125,6 +125,24 @@ pub enum SimError {
     Fault(FaultError),
     /// A virtual-dispatch failure.
     Dispatch(DispatchFault),
+    /// A store into main memory that the offload's access-mode
+    /// declarations do not license.
+    ///
+    /// Raised only when the offload declared at least one range via
+    /// `.reads()` / `.writes()` / `.updates()`: under a non-empty
+    /// [`ModeSet`](memspace::ModeSet) every put must land fully inside
+    /// a declared `Write` or `Update` range. An undeclared set keeps
+    /// the legacy permissive contract and never raises this.
+    UndeclaredWrite {
+        /// First byte of the offending store.
+        addr: memspace::Addr,
+        /// Length of the store in bytes.
+        len: u32,
+        /// The mode the covering declaration carried, if any (a store
+        /// into a `read` range, versus a store outside every declared
+        /// range when `None`).
+        declared: Option<memspace::AccessMode>,
+    },
 }
 
 impl SimError {
@@ -156,6 +174,23 @@ impl fmt::Display for SimError {
             SimError::Cache(err) => write!(f, "software-cache error: {err}"),
             SimError::Fault(err) => write!(f, "injected fault: {err}"),
             SimError::Dispatch(err) => err.fmt(f),
+            SimError::UndeclaredWrite {
+                addr,
+                len,
+                declared,
+            } => match declared {
+                Some(mode) => write!(
+                    f,
+                    "undeclared write: {len}-byte store at {addr} into a range declared \
+                     `{mode}`; declare it with .writes()/.updates() (or the offload-lang \
+                     writes()/updates() clause) if the kernel stores to it"
+                ),
+                None => write!(
+                    f,
+                    "undeclared write: {len}-byte store at {addr} is outside every declared \
+                     range; a mode-annotated offload must declare all buffers it stores to"
+                ),
+            },
         }
     }
 }
@@ -252,6 +287,28 @@ mod tests {
         let text = miss.to_string();
         assert!(text.contains("searched 7 entries"), "{text}");
         assert!(text.contains("domain annotation"), "{text}");
+    }
+
+    #[test]
+    fn undeclared_write_messages_name_the_fix() {
+        let addr = memspace::Addr::new(memspace::SpaceId::MAIN, 0x200);
+        let read_violation = SimError::UndeclaredWrite {
+            addr,
+            len: 64,
+            declared: Some(memspace::AccessMode::Read),
+        };
+        let text = read_violation.to_string();
+        assert!(text.contains("declared `read`"), "{text}");
+        assert!(text.contains(".writes()"), "{text}");
+
+        let outside = SimError::UndeclaredWrite {
+            addr,
+            len: 16,
+            declared: None,
+        };
+        let text = outside.to_string();
+        assert!(text.contains("outside every declared range"), "{text}");
+        assert!(read_violation.source().is_none());
     }
 
     #[test]

@@ -102,48 +102,56 @@ impl FaultPlan {
     }
 
     /// Set the DMA corruption rate.
+    #[must_use]
     pub fn with_dma_corrupt(mut self, rate: f32) -> FaultPlan {
         self.dma_corrupt = rate;
         self
     }
 
     /// Set the DMA drop rate.
+    #[must_use]
     pub fn with_dma_drop(mut self, rate: f32) -> FaultPlan {
         self.dma_drop = rate;
         self
     }
 
     /// Set the tag-timeout rate.
+    #[must_use]
     pub fn with_tag_timeout(mut self, rate: f32) -> FaultPlan {
         self.tag_timeout = rate;
         self
     }
 
     /// Set how many cycles a timed-out wait stalls for.
+    #[must_use]
     pub fn with_timeout_stall(mut self, cycles: u64) -> FaultPlan {
         self.timeout_stall = cycles;
         self
     }
 
     /// Set the launch-stall rate.
+    #[must_use]
     pub fn with_accel_stall(mut self, rate: f32) -> FaultPlan {
         self.accel_stall = rate;
         self
     }
 
     /// Set how many cycles a stalled launch is delayed by.
+    #[must_use]
     pub fn with_stall_cycles(mut self, cycles: u64) -> FaultPlan {
         self.stall_cycles = cycles;
         self
     }
 
     /// Set the accelerator-death rate.
+    #[must_use]
     pub fn with_accel_death(mut self, rate: f32) -> FaultPlan {
         self.accel_death = rate;
         self
     }
 
     /// Set the local-store poison rate.
+    #[must_use]
     pub fn with_ls_poison(mut self, rate: f32) -> FaultPlan {
         self.ls_poison = rate;
         self
@@ -392,6 +400,15 @@ impl FaultPlane {
         self.plan.is_some() && self.suppress == 0
     }
 
+    /// True when faults can *actually* fire: armed, not suppressed, and
+    /// at least one rate above zero. This is the put-journal gate — a
+    /// quiet plan (all rates zero) can never need a rollback, so paying
+    /// the pre-image snapshot cost for it would be pure waste.
+    #[inline]
+    pub(crate) fn noisy(&self) -> bool {
+        self.suppress == 0 && self.plan.as_ref().is_some_and(|p| !p.is_quiet())
+    }
+
     /// Suppress injection (used while running host fallbacks — the
     /// host does not share the accelerators' failure modes).
     pub(crate) fn push_suppress(&mut self) {
@@ -532,5 +549,18 @@ mod tests {
     fn quiet_plan_detection() {
         assert!(FaultPlan::new(5).is_quiet());
         assert!(!FaultPlan::uniform(5, 0.1).is_quiet());
+    }
+
+    #[test]
+    fn quiet_plans_are_not_noisy() {
+        let mut plane = FaultPlane::new();
+        assert!(!plane.noisy());
+        plane.install(FaultPlan::new(5));
+        assert!(plane.active());
+        assert!(!plane.noisy(), "an all-zero plan can never roll a fault");
+        plane.install(FaultPlan::uniform(5, 0.1));
+        assert!(plane.noisy());
+        plane.push_suppress();
+        assert!(!plane.noisy());
     }
 }

@@ -71,6 +71,7 @@ pub use error::{DispatchFault, SimError};
 pub use event::{CoreId, Event, EventKind, EventLog};
 pub use fault::{FaultError, FaultKind, FaultPlan, RecoveryKind};
 pub use machine::{Machine, MachineConfig, OffloadBuilder, OffloadHandle, OffloadParts};
+pub use memspace::{AccessMode, ModeDecl, ModeSet};
 pub use trace::{
     ascii_timeline, chrome_trace_json, parse_chrome_trace, AccessRecord, AccessTrace, ChromeEvent,
     MachineStats, TraceOp,

@@ -1,7 +1,7 @@
 //! The simulated machine: host core + accelerators.
 
 use dma::{DmaEngine, DmaStats, RaceReport};
-use memspace::{Addr, MemoryRegion, Pod, SpaceId, SpaceKind};
+use memspace::{AccessMode, Addr, MemoryRegion, ModeSet, Pod, SpaceId, SpaceKind};
 use softcache::CacheChoice;
 
 use crate::cost::CostModel;
@@ -133,6 +133,7 @@ pub struct OffloadBuilder<'m> {
     label: &'static str,
     cache: CacheChoice,
     faults: Option<FaultPlan>,
+    modes: ModeSet,
 }
 
 impl<'m> OffloadBuilder<'m> {
@@ -167,6 +168,51 @@ impl<'m> OffloadBuilder<'m> {
         self
     }
 
+    /// Declares that the offload only *loads* from `[addr, addr+len)`.
+    ///
+    /// A read declaration is a license the runtime spends twice: tuned
+    /// caches serving the range never allocate dirty lines for it, and
+    /// accessors skip the write-back DMA entirely (counted in
+    /// [`crate::MachineStats::dma_writebacks_elided`]). It is also a
+    /// contract: once *any* mode is declared on an offload, a DMA put
+    /// into a read-declared (or undeclared) range fails with
+    /// [`SimError::UndeclaredWrite`] instead of silently journaling.
+    pub fn reads(mut self, addr: Addr, len: u32) -> OffloadBuilder<'m> {
+        self.modes.declare(addr, len, AccessMode::Read);
+        self
+    }
+
+    /// Declares that the offload *fully overwrites* `[addr, addr+len)`
+    /// without reading the previous contents.
+    ///
+    /// Under an armed fault plan the transactional put journal skips
+    /// the pre-image snapshot for such ranges (rollback restores them
+    /// by re-running the producer, not by copying bytes back), counted
+    /// in [`crate::MachineStats::journal_snapshots_skipped`].
+    pub fn writes(mut self, addr: Addr, len: u32) -> OffloadBuilder<'m> {
+        self.modes.declare(addr, len, AccessMode::Write);
+        self
+    }
+
+    /// Declares that the offload both reads and writes
+    /// `[addr, addr+len)` (a read-modify-write buffer). Updates keep
+    /// the full journaling discipline; the declaration's value is
+    /// making every *other* store site checkable.
+    pub fn updates(mut self, addr: Addr, len: u32) -> OffloadBuilder<'m> {
+        self.modes.declare(addr, len, AccessMode::Update);
+        self
+    }
+
+    /// Replaces the builder's declarations with a prebuilt [`ModeSet`]
+    /// — the bulk form of [`OffloadBuilder::reads`] /
+    /// [`OffloadBuilder::writes`] / [`OffloadBuilder::updates`] used by
+    /// front-ends (schedulers, compiled offload-lang programs) that
+    /// assemble declarations away from the call site.
+    pub fn with_modes(mut self, modes: ModeSet) -> OffloadBuilder<'m> {
+        self.modes = modes;
+        self
+    }
+
     /// The target accelerator index.
     pub fn accel(&self) -> u16 {
         self.accel
@@ -195,11 +241,12 @@ impl<'m> OffloadBuilder<'m> {
             label,
             cache,
             faults,
+            modes,
         } = self;
         if let Some(plan) = faults {
             machine.install_fault_plan(plan);
         }
-        machine.launch(accel, label, cache, f)
+        machine.launch(accel, label, cache, modes, f)
     }
 
     /// Launches and joins immediately (no host work in between) — the
@@ -215,11 +262,12 @@ impl<'m> OffloadBuilder<'m> {
             label,
             cache,
             faults,
+            modes,
         } = self;
         if let Some(plan) = faults {
             machine.install_fault_plan(plan);
         }
-        let handle = machine.launch(accel, label, cache, f)?;
+        let handle = machine.launch(accel, label, cache, modes, f)?;
         Ok(machine.join(handle))
     }
 
@@ -234,6 +282,7 @@ impl<'m> OffloadBuilder<'m> {
             label: self.label,
             cache: self.cache,
             faults: self.faults,
+            modes: self.modes,
         }
     }
 }
@@ -255,6 +304,8 @@ pub struct OffloadParts<'m> {
     pub cache: CacheChoice,
     /// The fault plan to install before launching, if any.
     pub faults: Option<FaultPlan>,
+    /// The declared access modes (empty = legacy permissive offload).
+    pub modes: ModeSet,
 }
 
 /// The simulated heterogeneous machine.
@@ -728,6 +779,7 @@ impl Machine {
             label: "offload",
             cache: CacheChoice::Naive,
             faults: None,
+            modes: ModeSet::new(),
         }
     }
 
@@ -740,6 +792,7 @@ impl Machine {
         accel: u16,
         name: &'static str,
         choice: CacheChoice,
+        modes: ModeSet,
         f: impl FnOnce(&mut AccelCtx<'_>) -> R,
     ) -> Result<OffloadHandle<R>, SimError> {
         self.check_accel(accel)?;
@@ -812,6 +865,7 @@ impl Machine {
             faults: &mut self.faults,
             fault_sticky: None,
             put_journal: Vec::new(),
+            modes,
         };
         // Building the cache is allocation only (zero cycles); the
         // closure, and the final dirty-line flush, run on the
@@ -883,6 +937,10 @@ impl Machine {
     /// accelerator's busy accounting is untouched because it did no
     /// work.
     ///
+    /// The fallback honours the same access-mode declarations (`modes`)
+    /// the failed offload ran under: replaying a tile on the host must
+    /// not be allowed to store where the accelerator could not.
+    ///
     /// # Errors
     ///
     /// Fails if `accel` does not exist.
@@ -890,6 +948,7 @@ impl Machine {
         &mut self,
         accel: u16,
         name: &'static str,
+        modes: ModeSet,
         f: impl FnOnce(&mut AccelCtx<'_>) -> R,
     ) -> Result<R, SimError> {
         self.check_accel(accel)?;
@@ -923,6 +982,7 @@ impl Machine {
             faults: &mut self.faults,
             fault_sticky: None,
             put_journal: Vec::new(),
+            modes,
         };
         let result = f(&mut ctx);
         let elapsed = ctx.now - start;
@@ -1727,12 +1787,17 @@ mod tests {
         m.main_mut().write_pod(a, &20u32).unwrap();
         let t0 = m.host_now();
         let v = m
-            .run_host_fallback(0, "tile-fallback", |ctx| -> Result<u32, SimError> {
-                let v: u32 = ctx.outer_read_pod(a)?;
-                ctx.compute(1_000);
-                ctx.outer_write_pod(a, &(v + 1))?;
-                Ok(v)
-            })
+            .run_host_fallback(
+                0,
+                "tile-fallback",
+                ModeSet::new(),
+                |ctx| -> Result<u32, SimError> {
+                    let v: u32 = ctx.outer_read_pod(a)?;
+                    ctx.compute(1_000);
+                    ctx.outer_write_pod(a, &(v + 1))?;
+                    Ok(v)
+                },
+            )
             .unwrap()
             .unwrap();
         assert_eq!(v, 20);

@@ -143,6 +143,22 @@ pub struct MachineStats {
     /// Accelerator cycles pipeline stages stalled on a full inter-stage
     /// queue (backpressure).
     pub pipe_backpressure_cycles: u64,
+    /// Put-journal pre-image snapshots taken (one per journalled put
+    /// while a fault plan with at least one non-zero rate is armed).
+    pub journal_snapshots: u64,
+    /// Pre-image bytes those snapshots copied.
+    pub journal_bytes: u64,
+    /// Journal snapshots *skipped* because the put's destination was
+    /// declared [`AccessMode::Write`](memspace::AccessMode::Write) — a
+    /// retry fully rewrites the range, so rollback needs no pre-image.
+    pub journal_snapshots_skipped: u64,
+    /// Pre-image bytes those skipped snapshots would have copied.
+    pub journal_bytes_skipped: u64,
+    /// Write-back DMA transfers elided because the target range was
+    /// declared [`AccessMode::Read`](memspace::AccessMode::Read).
+    pub dma_writebacks_elided: u64,
+    /// Bytes those elided write-backs would have transferred.
+    pub dma_writeback_bytes_elided: u64,
 }
 
 impl MachineStats {
@@ -1198,6 +1214,21 @@ impl Machine {
                 stats.pipe_chunks,
                 stats.pipe_input_wait_cycles,
                 stats.pipe_backpressure_cycles
+            ));
+        }
+        if stats.journal_snapshots > 0
+            || stats.journal_snapshots_skipped > 0
+            || stats.dma_writebacks_elided > 0
+        {
+            out.push_str(&format!(
+                "access modes: {} journal snapshots ({} B), {} skipped by write \
+                 declarations ({} B saved), {} write-backs elided ({} B saved)\n",
+                stats.journal_snapshots,
+                stats.journal_bytes,
+                stats.journal_snapshots_skipped,
+                stats.journal_bytes_skipped,
+                stats.dma_writebacks_elided,
+                stats.dma_writeback_bytes_elided
             ));
         }
         if stats.faults_injected > 0 || stats.recovery_retries > 0 || stats.recovery_fallbacks > 0 {

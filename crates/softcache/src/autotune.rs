@@ -276,6 +276,27 @@ impl CacheChoice {
             CacheChoice::SetAssoc(c) | CacheChoice::Stream(c) => Some(*c),
         }
     }
+
+    /// The write-policy-adjusted variant of this choice for an offload
+    /// whose access-mode declarations are all `read`: the same
+    /// geometry with [`WritePolicy::WriteThrough`], so no dirty line
+    /// can ever form and the end-of-block flush has nothing to write
+    /// back. For a genuinely read-only working set this costs the same
+    /// cycles (stores are what the policies disagree on, and a store
+    /// would be rejected as an undeclared write anyway) — the value is
+    /// making "no deferred write-back exists" a property of the cache,
+    /// not an accident of the access pattern.
+    pub fn for_read_only(&self) -> CacheChoice {
+        match self {
+            CacheChoice::Naive => CacheChoice::Naive,
+            CacheChoice::SetAssoc(c) => {
+                CacheChoice::SetAssoc(c.write_policy(WritePolicy::WriteThrough))
+            }
+            CacheChoice::Stream(c) => {
+                CacheChoice::Stream(c.write_policy(WritePolicy::WriteThrough))
+            }
+        }
+    }
 }
 
 impl fmt::Display for CacheChoice {
