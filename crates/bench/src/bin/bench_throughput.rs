@@ -22,6 +22,10 @@
 //!   flush is a real DMA put) vs `reads`-declared (the runtime proves
 //!   the buffer unchanged and elides the transfer). Same deterministic
 //!   simulated-cycle discipline as `pipeline_overlap`.
+//! - **Gathered traversal** (`graph_frontier`): E18's irregular graph
+//!   walk (BFS + connected components) with naive per-edge remote
+//!   derefs vs batched frontier gathers, in deterministic simulated
+//!   cycles — the perf budget's guard on the gather engine.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_throughput
 //! [output.json]`. Defaults to `BENCH_throughput.json` in the current
@@ -49,7 +53,7 @@ use bench::hotpath::{
 };
 use bench::timing::{row, time, Measurement};
 use offload_lang::{compile, Target, Vm};
-use offload_rt::{process_stream, ArrayAccessor, StreamConfig};
+use offload_rt::{process_stream, ArrayAccessor, RemoteSlice, StreamConfig};
 use simcell::{Machine, MachineConfig};
 
 /// A call-heavy Offload/Mini program: virtual dispatch through a
@@ -217,6 +221,24 @@ fn mode_elision_cycles() -> (u64, u64) {
         "eliding the flush must not change a single byte"
     );
     (undeclared, declared)
+}
+
+/// Simulated cycles for the irregular graph traversal (E18's BFS plus
+/// connected components over the seeded interaction graph) via naive
+/// per-edge remote derefs vs batched frontier gathers, on identical
+/// graphs (bit-identity asserted). Pure simulated time, deterministic;
+/// the ratio is the `graph_frontier` perf lane.
+fn graph_frontier_cycles() -> (u64, u64) {
+    use bench::exp::e18_graph::measure;
+    use gamekit::graph::GraphAccess;
+    let (naive, naive_hash, _) = measure(true, &GraphAccess::Naive);
+    let (gather, gather_hash, plans) = measure(true, &GraphAccess::Gather);
+    assert_eq!(
+        naive_hash, gather_hash,
+        "gathered traversal must produce the bit-identical memory image"
+    );
+    assert!(plans > 0, "the gather variant must use the gather engine");
+    (naive, gather)
 }
 
 struct Comparison {
@@ -493,6 +515,15 @@ fn main() {
          {mode_decl_cycles} cycles: {mode_elision:.2}x"
     );
 
+    // --- Graph-frontier lane (simulated, deterministic) -----------
+    eprintln!("graph frontier (simulated cycles, deterministic)");
+    let (graph_naive_cycles, graph_gather_cycles) = graph_frontier_cycles();
+    let graph_frontier = graph_naive_cycles as f64 / graph_gather_cycles as f64;
+    eprintln!(
+        "  irregular traversal: naive {graph_naive_cycles} cycles, gathered \
+         {graph_gather_cycles} cycles: {graph_frontier:.2}x"
+    );
+
     // --- Sim-farm scaling lane ------------------------------------
     let farm_bench = if args.farm {
         let worlds = if args.quick { 32 } else { 64 };
@@ -577,6 +608,9 @@ fn main() {
     }
     json.push_str(&format!(
         "    \"pipeline_overlap\": {{ \"label\": \"staged frame: pipeline vs sequential stages (simulated cycles)\", \"sequential_cycles\": {pipe_seq_cycles}, \"pipeline_cycles\": {pipe_par_cycles}, \"speedup\": {pipeline_overlap:.3} }},\n"
+    ));
+    json.push_str(&format!(
+        "    \"graph_frontier\": {{ \"label\": \"irregular graph traversal: batched frontier gather vs naive per-edge derefs (simulated cycles)\", \"naive_cycles\": {graph_naive_cycles}, \"gather_cycles\": {graph_gather_cycles}, \"speedup\": {graph_frontier:.3} }},\n"
     ));
     {
         let comma = if farm_bench.is_some() { "," } else { "" };

@@ -1,4 +1,4 @@
-//! Regenerates every table of the reproduction (E1–E17).
+//! Regenerates every table of the reproduction (E1–E18).
 //!
 //! Usage:
 //!
@@ -260,6 +260,7 @@ fn main() {
         ("E15", exp::e15_sched_policies::run),
         ("E16", exp::e16_fault_recovery::run),
         ("E17", exp::e17_pipeline::run),
+        ("E18", exp::e18_graph::run),
     ];
 
     eprintln!(

@@ -9,7 +9,7 @@
 
 use gamekit::{GameEntity, WorldGen};
 use memspace::Addr;
-use offload_rt::ArrayAccessor;
+use offload_rt::{ArrayAccessor, RemoteSlice};
 use simcell::{Machine, MachineConfig, SimError};
 use softcache::CacheConfig;
 

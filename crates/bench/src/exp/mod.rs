@@ -17,6 +17,7 @@ pub mod e14_multi_accel;
 pub mod e15_sched_policies;
 pub mod e16_fault_recovery;
 pub mod e17_pipeline;
+pub mod e18_graph;
 
 use crate::table::Table;
 
@@ -41,5 +42,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e15_sched_policies::run(quick),
         e16_fault_recovery::run(quick),
         e17_pipeline::run(quick),
+        e18_graph::run(quick),
     ]
 }

@@ -113,10 +113,12 @@ mod tests {
     fn committed_baseline_parses() {
         let json = include_str!("../../../BENCH_throughput.json");
         let speedups = parse_speedups(json).expect("committed baseline parses");
-        // Five hot-path speedups, the simulated pipeline-overlap and
-        // mode-elision lanes, plus the two farm scaling lanes.
-        assert_eq!(speedups.len(), 9);
+        // Five hot-path speedups, the simulated pipeline-overlap,
+        // graph-frontier and mode-elision lanes, plus the two farm
+        // scaling lanes.
+        assert_eq!(speedups.len(), 10);
         assert!(speedups.iter().any(|(k, _)| k == "dma_issue_wait"));
+        assert!(speedups.iter().any(|(k, _)| k == "graph_frontier"));
         assert!(speedups.iter().any(|(k, _)| k == "vm_tagged_dispatch"));
         assert!(speedups.iter().any(|(k, _)| k == "vm_superinstr"));
         assert!(speedups.iter().any(|(k, _)| k == "pipeline_overlap"));

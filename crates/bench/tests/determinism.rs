@@ -26,6 +26,13 @@ fn experiment_tables_are_identical_across_runs() {
         exp::e06_accessor_loop::run(true).to_string(),
         "E6 must be a pure function of its inputs"
     );
+    // E18 exercises the gather engine and the reuse-distance autotuner
+    // on the irregular graph workload.
+    assert_eq!(
+        exp::e18_graph::run(true).to_string(),
+        exp::e18_graph::run(true).to_string(),
+        "E18 must be a pure function of its inputs"
+    );
 }
 
 const PROGRAM: &str = r#"

@@ -16,7 +16,7 @@ use bench::exp::e16_fault_recovery::{self, measure_buffered};
 use gamekit::{ai_frame_sched_recovering_buffered, AiConfig, EntityArray, WorldGen};
 use memspace::AccessMode;
 use offload_rt::sched::SchedPolicy;
-use offload_rt::ArrayAccessor;
+use offload_rt::{ArrayAccessor, RemoteSlice};
 use simcell::{FaultPlan, Machine, MachineConfig, SimError};
 use xrng::Rng;
 

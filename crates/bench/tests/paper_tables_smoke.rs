@@ -19,7 +19,7 @@ fn quick_tables_run_end_to_end() {
         String::from_utf8_lossy(&output.stderr)
     );
     let stdout = String::from_utf8(output.stdout).expect("tables are UTF-8");
-    for exp in 1..=14 {
+    for exp in 1..=18 {
         assert!(
             stdout.contains(&format!("== E{exp}:")),
             "table E{exp} missing from output:\n{stdout}"

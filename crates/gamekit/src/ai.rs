@@ -17,7 +17,7 @@
 
 use memspace::Addr;
 use offload_rt::sched::{SchedExt, SchedPolicy, SchedReport};
-use offload_rt::ArrayAccessor;
+use offload_rt::{ArrayAccessor, RemoteSlice};
 use simcell::{AccelCtx, FaultPlan, Machine, SimError};
 
 use crate::entity::{state, EntityArray, GameEntity};

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use dma::Tag;
 use memspace::Addr;
-use offload_rt::ArrayAccessor;
+use offload_rt::{ArrayAccessor, RemoteSlice};
 use simcell::{AccelCtx, Machine, SimError};
 
 use crate::entity::{EntityArray, GameEntity};

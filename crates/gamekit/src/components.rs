@@ -32,7 +32,7 @@
 use memspace::{impl_pod, Addr, Pod};
 use offload_rt::{
     accel_virtual_dispatch, host_virtual_dispatch, ArrayAccessor, ClassRegistry, Domain,
-    DuplicateId, FnAddr, MethodSlot, MethodTable,
+    DuplicateId, FnAddr, MethodSlot, MethodTable, RemoteSlice,
 };
 use simcell::{DispatchFault, Machine, SimError};
 

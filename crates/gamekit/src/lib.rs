@@ -17,6 +17,9 @@
 //! - [`collision`]: broad-phase pair finding plus the Figure 1 pair
 //!   response in blocking / tagged / pipelined DMA styles,
 //! - [`ai`]: the offloadable strategy computation of Figure 2,
+//! - [`graph`]: the seeded entity-interaction graph (CSR in main
+//!   memory) with BFS / connected components three ways — naive remote
+//!   derefs, autotuned software cache, batched frontier gather,
 //! - [`frame`]: the `GameWorld::doFrame` loop, sequential and offloaded,
 //! - [`workload`]: seeded, deterministic scenario generators.
 //!
@@ -52,6 +55,7 @@ pub mod collision;
 pub mod components;
 pub mod entity;
 pub mod frame;
+pub mod graph;
 pub mod math;
 pub mod stages;
 pub mod workload;
@@ -67,6 +71,7 @@ pub use collision::{
 pub use components::{ComponentSystem, ComponentSystemStats, SystemLayout};
 pub use entity::{EntityArray, GameEntity};
 pub use frame::{run_frame, FrameSchedule, FrameStats};
+pub use graph::{run_bfs, run_components, GraphAccess, InteractionGraph};
 pub use math::Vec3;
 pub use stages::{
     stage_fn, staged_frame_fanout, staged_frame_pipeline, staged_frame_sequential, FrameStage,

@@ -14,6 +14,7 @@ use dma::Tag;
 use memspace::{Addr, Pod};
 use simcell::{AccelCtx, SimError};
 
+use crate::remote::RemoteSlice;
 use crate::ACCESSOR_TAG;
 
 /// A local-store mirror of a main-memory array, filled by one bulk DMA
@@ -27,7 +28,7 @@ use crate::ACCESSOR_TAG;
 ///
 /// ```
 /// use memspace::Addr;
-/// use offload_rt::ArrayAccessor;
+/// use offload_rt::{ArrayAccessor, RemoteSlice};
 /// use simcell::{Machine, MachineConfig, SimError};
 ///
 /// # fn main() -> Result<(), SimError> {
@@ -78,8 +79,7 @@ impl<T: Pod> ArrayAccessor<T> {
             dirty: false,
             _marker: PhantomData,
         };
-        let bytes = (T::SIZE as u32) * len;
-        transfer_chunked(ctx, local, remote, bytes, TransferDir::Get)?;
+        accessor.transfer(ctx, TransferDir::Get)?;
         ctx.dma_wait_tag(Self::tag());
         // Surface an injected tag timeout before handing the (possibly
         // incomplete) array to the caller.
@@ -105,42 +105,6 @@ impl<T: Pod> ArrayAccessor<T> {
         })
     }
 
-    /// Number of elements.
-    pub fn len(&self) -> u32 {
-        self.len
-    }
-
-    /// Whether the accessor is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Local-store address of element `index`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if `index` is out of bounds for the accessor.
-    pub fn element_addr(&self, index: u32) -> Result<Addr, SimError> {
-        if index >= self.len {
-            return Err(SimError::Memory(memspace::MemError::OutOfBounds {
-                space: self.local.space(),
-                offset: index.saturating_mul(T::SIZE as u32),
-                len: T::SIZE as u32,
-                capacity: self.len.saturating_mul(T::SIZE as u32),
-            }));
-        }
-        Ok(self.local.element(index, T::SIZE as u32)?)
-    }
-
-    /// Reads element `index` (a fast local access).
-    ///
-    /// # Errors
-    ///
-    /// Fails if `index` is out of bounds.
-    pub fn get(&self, ctx: &mut AccelCtx<'_>, index: u32) -> Result<T, SimError> {
-        ctx.local_read_pod(self.element_addr(index)?)
-    }
-
     /// Writes element `index` locally and marks the accessor dirty.
     ///
     /// # Errors
@@ -149,15 +113,6 @@ impl<T: Pod> ArrayAccessor<T> {
     pub fn set(&mut self, ctx: &mut AccelCtx<'_>, index: u32, value: &T) -> Result<(), SimError> {
         self.dirty = true;
         ctx.local_write_pod(self.element_addr(index)?, value)
-    }
-
-    /// Reads the whole array as a `Vec` (local cost only).
-    ///
-    /// # Errors
-    ///
-    /// Fails on bounds violations.
-    pub fn to_vec(&self, ctx: &mut AccelCtx<'_>) -> Result<Vec<T>, SimError> {
-        ctx.local_read_slice(self.local, self.len)
     }
 
     /// Overwrites the whole local array (local cost only) and marks it
@@ -199,12 +154,41 @@ impl<T: Pod> ArrayAccessor<T> {
             return Ok(());
         }
         ctx.span_start("accessor.write_back");
-        transfer_chunked(ctx, self.local, self.remote, bytes, TransferDir::Put)?;
+        self.transfer(ctx, TransferDir::Put)?;
         ctx.dma_wait_tag(Self::tag());
         ctx.check_faults()?;
         self.dirty = false;
         ctx.span_end("accessor.write_back");
         Ok(())
+    }
+
+    /// Issues the accessor's logical transfer, split into
+    /// DMA-limit-sized commands on the accessor tag (not waited).
+    fn transfer(&self, ctx: &mut AccelCtx<'_>, dir: TransferDir) -> Result<(), SimError> {
+        let tag = Self::tag();
+        let bytes = (T::SIZE as u32) * self.len;
+        let mut moved = 0u32;
+        while moved < bytes {
+            let chunk = (bytes - moved).min(dma::MAX_TRANSFER);
+            let l = self.local.offset_by(moved)?;
+            let r = self.remote.offset_by(moved)?;
+            match dir {
+                TransferDir::Get => ctx.dma_get(l, r, chunk, tag)?,
+                TransferDir::Put => ctx.dma_put(l, r, chunk, tag)?,
+            }
+            moved += chunk;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Pod> RemoteSlice<T> for ArrayAccessor<T> {
+    fn local_base(&self) -> Addr {
+        self.local
+    }
+
+    fn len(&self) -> u32 {
+        self.len
     }
 }
 
@@ -212,30 +196,6 @@ impl<T: Pod> ArrayAccessor<T> {
 enum TransferDir {
     Get,
     Put,
-}
-
-/// Issues a logical transfer of `bytes`, split into DMA-limit-sized
-/// commands on the accessor tag (not waited).
-fn transfer_chunked(
-    ctx: &mut AccelCtx<'_>,
-    local: Addr,
-    remote: Addr,
-    bytes: u32,
-    dir: TransferDir,
-) -> Result<(), SimError> {
-    let tag = ArrayAccessor::<u8>::tag();
-    let mut moved = 0u32;
-    while moved < bytes {
-        let chunk = (bytes - moved).min(dma::MAX_TRANSFER);
-        let l = local.offset_by(moved)?;
-        let r = remote.offset_by(moved)?;
-        match dir {
-            TransferDir::Get => ctx.dma_get(l, r, chunk, tag)?,
-            TransferDir::Put => ctx.dma_put(l, r, chunk, tag)?,
-        }
-        moved += chunk;
-    }
-    Ok(())
 }
 
 #[cfg(test)]

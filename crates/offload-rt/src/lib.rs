@@ -49,6 +49,7 @@ pub mod codeload;
 pub mod domain;
 pub mod pipeline;
 pub mod prelude;
+pub mod remote;
 pub mod sched;
 pub mod stream;
 pub mod tuned;
@@ -60,11 +61,15 @@ pub use domain::{
     Domain, DuplicateId, FnAddr, LookupCost, MethodSlot, MethodTable,
 };
 pub use pipeline::{MachinePipelineExt, PipeLaneReport, PipeReport, PipelineBuilder};
+pub use remote::{GatherView, RemoteSlice};
 pub use sched::{SchedExt, SchedPolicy, SchedReport, TileScheduler};
 pub use stream::{process_chunked, process_stream, StreamConfig};
 pub use tuned::{build_tuned_cache, TunedCache};
 
-/// DMA tag used by [`ArrayAccessor`] bulk transfers.
+/// DMA tag used by [`ArrayAccessor`] bulk transfers. Gather batches
+/// issued through [`simcell::AccelCtx::gather`] use the runtime's
+/// reserved `GATHER_TAG` (28), so accessor and gather traffic never
+/// share a queue.
 pub const ACCESSOR_TAG: u8 = 26;
 /// DMA tags used by the double-buffered streamer (one per buffer).
 pub const STREAM_TAGS: [u8; 2] = [24, 25];

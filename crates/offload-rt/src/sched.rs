@@ -153,6 +153,10 @@ impl<'m> SchedExt<'m> for OffloadBuilder<'m> {
             cache,
             faults,
             modes,
+            // Tile schedulers re-launch per tile; launch-time gather
+            // declarations don't fan out, so kernels gather dynamically
+            // via AccelCtx::gather instead.
+            gathers: _,
         } = self.into_parts();
         TileScheduler {
             machine,

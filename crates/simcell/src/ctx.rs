@@ -15,6 +15,12 @@ use crate::trace::MachineStats;
 /// `0..=26`; `27..=31` are reserved by the runtime and caches.
 pub const OUTER_ACCESS_TAG: u8 = 27;
 
+/// DMA tag reserved for gather-plan descriptor batches (see
+/// [`AccelCtx::gather`]). Reserved alongside [`OUTER_ACCESS_TAG`]: a
+/// gather drains its whole batch with one wait on this tag, so user
+/// transfers must never share it.
+pub const GATHER_TAG: u8 = 28;
+
 /// Stack-buffer size for per-element Pod marshalling: any `T` up to
 /// this size round-trips through cached accessors without touching the
 /// heap. Covers every Pod in the workspace (the largest, a full game
@@ -57,6 +63,7 @@ pub struct AccelCtx<'m> {
     pub(crate) fault_sticky: Option<FaultError>,
     pub(crate) put_journal: Vec<(Addr, Vec<u8>)>,
     pub(crate) modes: ModeSet,
+    pub(crate) gathered: Vec<Addr>,
 }
 
 impl<'m> AccelCtx<'m> {
@@ -212,6 +219,29 @@ impl<'m> AccelCtx<'m> {
                     declared,
                 })
             }
+        }
+    }
+
+    /// Classifies one gather descriptor against the declared access
+    /// modes: the read-side mirror of [`AccelCtx::put_mode`].
+    ///
+    /// `Ok(None)` means the offload declared nothing (legacy
+    /// permissive contract). `Ok(Some(mode))` is a declared readable
+    /// range. A gather from a `write` range — or outside every
+    /// declared range — of a mode-annotated offload is an undeclared
+    /// read, rejected before any byte moves.
+    #[inline]
+    fn read_mode(&mut self, remote: Addr, size: u32) -> Result<Option<AccessMode>, SimError> {
+        if self.modes.is_empty() {
+            return Ok(None);
+        }
+        match self.modes.mode_for(remote, size) {
+            mode @ Some(AccessMode::Read | AccessMode::Update) => Ok(mode),
+            declared => Err(SimError::UndeclaredRead {
+                addr: remote,
+                len: size,
+                declared,
+            }),
         }
     }
 
@@ -924,6 +954,120 @@ impl<'m> AccelCtx<'m> {
         self.now = self.dma.wait_all(self.now);
         self.trace_wait(issued_at, TagMask::ALL);
         self.after_wait_roll(pending, TagMask::ALL);
+    }
+
+    // ---- gather ----------------------------------------------------------
+
+    /// Executes a [`GatherPlan`](crate::GatherPlan): allocates a packed
+    /// local buffer, issues the plan's coalesced descriptor batch as
+    /// non-blocking `dma_get`s on [`GATHER_TAG`], and drains the whole
+    /// batch with one wait. Returns the local address of the packed
+    /// buffer, which holds the requested elements in index-list order.
+    ///
+    /// This is the declared primitive for irregular reads: one call
+    /// replaces N synchronous outer accesses, the engine sees the
+    /// fewest transfers that cover the index list, and the batch shows
+    /// up as a single slice on the gather trace lane.
+    ///
+    /// The buffer is block-scoped like any [`AccelCtx::alloc_local`]
+    /// allocation; bracket with [`AccelCtx::local_alloc_mark`] /
+    /// [`AccelCtx::local_alloc_restore`] to recycle it inside a loop.
+    ///
+    /// # Fault atomicity
+    ///
+    /// A transfer fault anywhere in the batch rolls back the *whole*
+    /// gather: in-flight descriptors drain, the packed buffer is
+    /// released, and the error returns with the local store exactly as
+    /// it was before the call — so a retry re-runs the entire plan at
+    /// the identical address and recovery is bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces pending sticky faults and injected transfer faults;
+    /// fails with [`SimError::UndeclaredRead`] when the offload
+    /// declared access modes and a descriptor is not covered by a
+    /// `read`/`update` declaration (checked before any byte moves);
+    /// fails on local-store exhaustion or bounds violations.
+    pub fn gather(&mut self, plan: &crate::GatherPlan) -> Result<Addr, SimError> {
+        self.check_faults()?;
+        let tag = Tag::new(GATHER_TAG).expect("constant tag is valid");
+        let descs = plan.descriptors();
+        // Reject undeclared reads before any byte moves or cycles are
+        // charged: the whole batch is licensed or none of it is.
+        for d in &descs {
+            let remote = plan.base().offset_by(d.remote_offset)?;
+            self.read_mode(remote, d.bytes)?;
+        }
+        let mark = self.ls.save_alloc();
+        let local = self.alloc_local(plan.total_bytes(), memspace::DMA_ALIGN)?;
+        let issued_at = self.now;
+        let mut failed = None;
+        for d in &descs {
+            let remote = plan
+                .base()
+                .offset_by(d.remote_offset)
+                .expect("descriptor range mode-checked above");
+            self.accesses
+                .record_read(self.span, remote.offset(), d.bytes);
+            let dst = match local.offset_by(d.local_offset) {
+                Ok(dst) => dst,
+                Err(err) => {
+                    failed = Some(err.into());
+                    break;
+                }
+            };
+            if let Err(err) = self.engine_get(dst, remote, d.bytes, tag) {
+                failed = Some(err);
+                break;
+            }
+        }
+        if failed.is_none() {
+            self.dma_wait(tag.mask());
+            // A timeout rolled on the batch's own wait poisons the
+            // batch: surface it here and roll back like any other
+            // mid-gather fault.
+            failed = self.check_faults().err();
+        }
+        if let Some(err) = failed {
+            // Whole-batch rollback: drain whatever is still in flight
+            // (so releasing the buffer is safe), then release it. A
+            // retry reallocates at the identical mark, making recovery
+            // bit-exact.
+            self.dma_wait(tag.mask());
+            self.ls.restore_alloc(mark);
+            return Err(err);
+        }
+        self.stats.gathers += 1;
+        self.stats.gather_elems += plan.len() as u64;
+        self.stats.gather_descriptors += descs.len() as u64;
+        self.stats.gather_bytes += u64::from(plan.total_bytes());
+        if self.events.is_enabled() {
+            self.events.record(
+                issued_at,
+                EventKind::Gather {
+                    accel: self.accel_index,
+                    elems: plan.len() as u32,
+                    descriptors: descs.len() as u32,
+                    bytes: plan.total_bytes(),
+                    complete_at: self.now,
+                },
+            );
+        }
+        Ok(local)
+    }
+
+    /// The packed local buffer of the `index`-th gather declared on the
+    /// offload builder (see `OffloadBuilder::gather`), in declaration
+    /// order. Builder-declared plans execute before the kernel closure
+    /// runs, so the buffers are ready on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range — fewer gathers were
+    /// declared than the kernel assumes, which is a plain programming
+    /// error.
+    pub fn gathered(&self, index: usize) -> Addr {
+        self.gathered[index]
     }
 
     // ---- naive outer access ----------------------------------------------

@@ -143,6 +143,24 @@ pub enum SimError {
         /// range when `None`).
         declared: Option<memspace::AccessMode>,
     },
+    /// A gather from main memory that the offload's access-mode
+    /// declarations do not license.
+    ///
+    /// The read-side twin of [`SimError::UndeclaredWrite`]: under a
+    /// non-empty [`ModeSet`](memspace::ModeSet) every gather descriptor
+    /// must land fully inside a declared `Read` or `Update` range. An
+    /// undeclared set keeps the legacy permissive contract and never
+    /// raises this.
+    UndeclaredRead {
+        /// First byte of the offending load.
+        addr: memspace::Addr,
+        /// Length of the load in bytes.
+        len: u32,
+        /// The mode the covering declaration carried, if any (a load
+        /// from a `write` range, versus a load outside every declared
+        /// range when `None`).
+        declared: Option<memspace::AccessMode>,
+    },
 }
 
 impl SimError {
@@ -189,6 +207,23 @@ impl fmt::Display for SimError {
                     f,
                     "undeclared write: {len}-byte store at {addr} is outside every declared \
                      range; a mode-annotated offload must declare all buffers it stores to"
+                ),
+            },
+            SimError::UndeclaredRead {
+                addr,
+                len,
+                declared,
+            } => match declared {
+                Some(mode) => write!(
+                    f,
+                    "undeclared read: {len}-byte gather at {addr} from a range declared \
+                     `{mode}`; declare it with .reads()/.updates() if the kernel gathers \
+                     from it"
+                ),
+                None => write!(
+                    f,
+                    "undeclared read: {len}-byte gather at {addr} is outside every declared \
+                     range; a mode-annotated offload must declare all buffers it gathers from"
                 ),
             },
         }
@@ -309,6 +344,28 @@ mod tests {
         let text = outside.to_string();
         assert!(text.contains("outside every declared range"), "{text}");
         assert!(read_violation.source().is_none());
+    }
+
+    #[test]
+    fn undeclared_read_messages_name_the_fix() {
+        let addr = memspace::Addr::new(memspace::SpaceId::MAIN, 0x300);
+        let write_violation = SimError::UndeclaredRead {
+            addr,
+            len: 32,
+            declared: Some(memspace::AccessMode::Write),
+        };
+        let text = write_violation.to_string();
+        assert!(text.contains("declared `write`"), "{text}");
+        assert!(text.contains(".reads()"), "{text}");
+
+        let outside = SimError::UndeclaredRead {
+            addr,
+            len: 8,
+            declared: None,
+        };
+        let text = outside.to_string();
+        assert!(text.contains("outside every declared range"), "{text}");
+        assert!(write_violation.source().is_none());
     }
 
     #[test]

@@ -102,6 +102,22 @@ pub enum EventKind {
         /// when nothing was in flight — a free wait).
         resumed_at: u64,
     },
+    /// An accelerator executed a whole gather plan: a batch of
+    /// coalesced DMA descriptors fetching an index list into a packed
+    /// local buffer. Stamped at issue; `complete_at` is when the batch
+    /// drained (the batch's `dma_wait` returned).
+    Gather {
+        /// The gathering accelerator.
+        accel: u16,
+        /// Elements the plan requested.
+        elems: u32,
+        /// Coalesced descriptors the plan compiled to.
+        descriptors: u32,
+        /// Total bytes fetched into the packed buffer.
+        bytes: u32,
+        /// Cycle at which the batch's wait returned.
+        complete_at: u64,
+    },
     /// A software-cache access hit (possibly several lines at once).
     CacheHit {
         /// The accelerator owning the cache.
@@ -242,6 +258,7 @@ impl Event {
             | EventKind::OffloadEnd { accel }
             | EventKind::DmaIssue { accel, .. }
             | EventKind::DmaWait { accel, .. }
+            | EventKind::Gather { accel, .. }
             | EventKind::CacheHit { accel, .. }
             | EventKind::CacheMiss { accel, .. }
             | EventKind::CacheEvict { accel, .. }
@@ -299,6 +316,18 @@ impl fmt::Display for Event {
             } => write!(
                 f,
                 "[{:>10}] accel {accel}: dma_wait mask {mask:#010x} (resumed at {resumed_at})",
+                self.at
+            ),
+            EventKind::Gather {
+                accel,
+                elems,
+                descriptors,
+                bytes,
+                complete_at,
+            } => write!(
+                f,
+                "[{:>10}] accel {accel}: gather {elems} elems via {descriptors} descriptors, \
+                 {bytes} B (drained at {complete_at})",
                 self.at
             ),
             EventKind::CacheHit { accel, count } => {

@@ -62,6 +62,7 @@ pub mod ctx;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod gather;
 pub mod machine;
 pub mod trace;
 
@@ -70,6 +71,7 @@ pub use ctx::AccelCtx;
 pub use error::{DispatchFault, SimError};
 pub use event::{CoreId, Event, EventKind, EventLog};
 pub use fault::{FaultError, FaultKind, FaultPlan, RecoveryKind};
+pub use gather::{GatherDescriptor, GatherPlan};
 pub use machine::{Machine, MachineConfig, OffloadBuilder, OffloadHandle, OffloadParts};
 pub use memspace::{AccessMode, ModeDecl, ModeSet};
 pub use trace::{

@@ -159,6 +159,17 @@ pub struct MachineStats {
     pub dma_writebacks_elided: u64,
     /// Bytes those elided write-backs would have transferred.
     pub dma_writeback_bytes_elided: u64,
+    /// Gather plans executed (each one batch of coalesced descriptors
+    /// fetched into a packed local buffer; see `simcell::GatherPlan`).
+    pub gathers: u64,
+    /// Elements those gathers requested.
+    pub gather_elems: u64,
+    /// Coalesced DMA descriptors the plans compiled to (each one
+    /// `dma_get`; the gap between `gather_elems` and this is the win
+    /// over per-element outer accesses).
+    pub gather_descriptors: u64,
+    /// Bytes the gathers fetched into packed local buffers.
+    pub gather_bytes: u64,
 }
 
 impl MachineStats {
@@ -224,6 +235,11 @@ pub const FAULT_LANE_BASE: u64 = 300;
 /// `offload_rt::pipeline`).
 pub const PIPE_LANE_BASE: u64 = 400;
 
+/// Base thread id of the per-accelerator gather lanes (whole gather
+/// batches as issue→drain slices; see `simcell::GatherPlan` and
+/// [`crate::AccelCtx::gather`]).
+pub const GATHER_LANE_BASE: u64 = 500;
+
 /// Thread id of accelerator `accel`'s execution lane.
 pub fn accel_tid(accel: u16) -> u64 {
     1 + u64::from(accel)
@@ -247,6 +263,11 @@ pub fn fault_tid(accel: u16) -> u64 {
 /// Thread id of accelerator `accel`'s pipeline lane.
 pub fn pipe_tid(accel: u16) -> u64 {
     PIPE_LANE_BASE + u64::from(accel)
+}
+
+/// Thread id of accelerator `accel`'s gather lane.
+pub fn gather_tid(accel: u16) -> u64 {
+    GATHER_LANE_BASE + u64::from(accel)
 }
 
 fn tid_of(core: CoreId) -> u64 {
@@ -353,6 +374,8 @@ impl ChromeWriter {
 /// (`dma_drop`, `tag_timeout`, `retry`, `host_fallback`, …).
 /// Pipeline chunk runs (`s<K> chunk N`) and stalls (`input wait` /
 /// `backpressure`) become X slices on the pipeline lane (tid `400+n`).
+/// Gather batches become X slices on the gather lane (tid `500+n`)
+/// spanning issue→drain, with elems/descriptors/bytes as args.
 pub fn chrome_trace_json(log: &EventLog) -> String {
     let mut w = ChromeWriter::new();
     w.metadata("process_name", 0, "offload-sim");
@@ -365,6 +388,7 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
     let mut seen_sched = [false; 64];
     let mut seen_fault = [false; 64];
     let mut seen_pipe = [false; 64];
+    let mut seen_gather = [false; 64];
     for e in &events {
         if let CoreId::Accel(a) = e.core() {
             let a = a as usize;
@@ -408,6 +432,13 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
             if a < 64 && !seen_pipe[a] {
                 seen_pipe[a] = true;
                 w.metadata("thread_name", pipe_tid(accel), &format!("pipe {a}"));
+            }
+        }
+        if let EventKind::Gather { accel, .. } = e.kind {
+            let a = accel as usize;
+            if a < 64 && !seen_gather[a] {
+                seen_gather[a] = true;
+                w.metadata("thread_name", gather_tid(accel), &format!("gather {a}"));
             }
         }
     }
@@ -476,6 +507,22 @@ pub fn chrome_trace_json(log: &EventLog) -> String {
                     Some(resumed_at.saturating_sub(e.at)),
                     accel_tid(*accel),
                     &format!("\"mask\":{mask}"),
+                );
+            }
+            EventKind::Gather {
+                accel,
+                elems,
+                descriptors,
+                bytes,
+                complete_at,
+            } => {
+                w.event(
+                    "gather",
+                    'X',
+                    e.at,
+                    Some(complete_at.saturating_sub(e.at)),
+                    gather_tid(*accel),
+                    &format!("\"elems\":{elems},\"descriptors\":{descriptors},\"bytes\":{bytes}"),
                 );
             }
             EventKind::CacheHit { accel, count } => {
@@ -1214,6 +1261,18 @@ impl Machine {
                 stats.pipe_chunks,
                 stats.pipe_input_wait_cycles,
                 stats.pipe_backpressure_cycles
+            ));
+        }
+        if stats.gathers > 0 {
+            let per = stats.gather_elems as f64 / stats.gather_descriptors.max(1) as f64;
+            out.push_str(&format!(
+                "gathers: {} plans, {} elems via {} descriptors ({:.1} elems/descriptor), \
+                 {} B packed\n",
+                stats.gathers,
+                stats.gather_elems,
+                stats.gather_descriptors,
+                per,
+                stats.gather_bytes
             ));
         }
         if stats.journal_snapshots > 0

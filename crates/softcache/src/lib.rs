@@ -48,7 +48,8 @@ pub mod stream;
 pub mod tuned;
 
 pub use autotune::{
-    autotune, AccessRecord, AccessTrace, CacheChoice, Candidate, TraceOp, TuneOptions, TuneReport,
+    autotune, dominant_stride, AccessRecord, AccessTrace, CacheChoice, Candidate, ReuseHistogram,
+    TraceOp, TuneOptions, TuneReport,
 };
 pub use cache::SetAssociativeCache;
 pub use config::{CacheConfig, WritePolicy};
